@@ -1,0 +1,182 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation, plus a bechamel latency microbenchmark backing the paper's
+   query-runtime claims (Sec. 5: ~500 ms average, < 1 s max, on their
+   hardware; orders of magnitude faster here because the polynomial stays
+   in cache).
+
+   Usage:
+     dune exec bench/main.exe               # everything
+     dune exec bench/main.exe -- fig5 fig6  # selected experiments
+     SCALE=full dune exec bench/main.exe    # paper-sized budgets
+
+   Experiments: fig2b fig3 fig4 fig5 fig6 fig7 fig8 compression ablation
+   hierarchy costs latency. *)
+
+open Edb_util
+open Edb_experiments
+
+let print_tables tables =
+  List.iter
+    (fun t ->
+      print_newline ();
+      Table.print t)
+    tables
+
+(* The flights lab (nine methods on two relations) is shared by fig5, fig6,
+   fig8, and costs; build it at most once. *)
+let lab_cache = ref None
+
+let get_lab config =
+  match !lab_cache with
+  | Some lab -> lab
+  | None ->
+      Printf.printf
+        "\n[setup] building the shared flights lab (4 summaries x 2 \
+         relations + 5 samples)...\n%!";
+      let lab, dt = Timing.time (fun () -> Lab.flights_lab config) in
+      Printf.printf "[setup] flights lab ready in %.1fs\n%!" dt;
+      lab_cache := Some lab;
+      lab
+
+(* ------------------------------------------------------------------ *)
+(* Latency microbenchmark (bechamel)                                   *)
+(* ------------------------------------------------------------------ *)
+
+let latency config =
+  let open Bechamel in
+  let open Bechamel.Toolkit in
+  let lab = get_lab config in
+  let rel = lab.Lab.data.coarse in
+  let schema = Edb_storage.Relation.schema rel in
+  let arity = Edb_storage.Schema.arity schema in
+  let module F = Edb_datagen.Flights in
+  let summary =
+    match (Lab.find_method lab.Lab.coarse_methods "Ent1&2&3").Lab.fm_summary with
+    | Some s -> s
+    | None -> assert false
+  in
+  let uni = Lab.find_method lab.Lab.coarse_methods "Uni" in
+  let strat = Lab.find_method lab.Lab.coarse_methods "Strat3" in
+  let point =
+    Edb_storage.Predicate.point ~arity [ (F.origin, 3); (F.distance, 20) ]
+  in
+  let range =
+    Edb_storage.Predicate.of_alist ~arity
+      [
+        (F.fl_time, Ranges.interval 5 25);
+        (F.distance, Ranges.interval 10 40);
+        (F.origin, Ranges.interval 0 20);
+      ]
+  in
+  let tests =
+    [
+      Test.make ~name:"entropydb/point"
+        (Staged.stage (fun () ->
+             Entropydb_core.Summary.estimate summary point));
+      Test.make ~name:"entropydb/range"
+        (Staged.stage (fun () ->
+             Entropydb_core.Summary.estimate summary range));
+      Test.make ~name:"uniform-sample/point"
+        (Staged.stage (fun () ->
+             Edb_workload.Methods.estimate uni.Lab.fm_method point));
+      Test.make ~name:"stratified-sample/point"
+        (Staged.stage (fun () ->
+             Edb_workload.Methods.estimate strat.Lab.fm_method point));
+      Test.make ~name:"exact-scan/point"
+        (Staged.stage (fun () -> Edb_storage.Exec.count rel point));
+      Test.make ~name:"exact-scan/range"
+        (Staged.stage (fun () -> Edb_storage.Exec.count rel range));
+      (let index = Edb_storage.Bitmap.create rel in
+       Test.make ~name:"exact-bitmap/point"
+         (Staged.stage (fun () -> Edb_storage.Bitmap.count index point)));
+      (let cache = Entropydb_core.Cache.create summary in
+       ignore (Entropydb_core.Cache.estimate cache point);
+       Test.make ~name:"entropydb/point-cached"
+         (Staged.stage (fun () -> Entropydb_core.Cache.estimate cache point)));
+    ]
+  in
+  let ols =
+    Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let instances = [ Instance.monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) () in
+  let raw =
+    Benchmark.all cfg instances (Test.make_grouped ~name:"latency" tests)
+  in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let table =
+    Table.create
+      ~title:
+        "Query latency (bechamel, monotonic clock; paper Sec. 5: EntropyDB \
+         ~500ms avg vs Postgres-resident samples)"
+      ~headers:[ "operation"; "time/query"; "r^2" ]
+      ~aligns:[ Table.Left; Table.Right; Table.Right ]
+      ()
+  in
+  let rows = Hashtbl.fold (fun name o acc -> (name, o) :: acc) results [] in
+  List.iter
+    (fun (name, o) ->
+      let ns =
+        match Analyze.OLS.estimates o with Some (t :: _) -> t | _ -> nan
+      in
+      let pretty =
+        if ns >= 1e6 then Printf.sprintf "%.2f ms" (ns /. 1e6)
+        else if ns >= 1e3 then Printf.sprintf "%.2f us" (ns /. 1e3)
+        else Printf.sprintf "%.0f ns" ns
+      in
+      let r2 =
+        match Analyze.OLS.r_square o with
+        | Some r when Float.is_finite r -> Printf.sprintf "%.4f" r
+        | _ -> "-"
+      in
+      Table.add_row table [ name; pretty; r2 ])
+    (List.sort compare rows);
+  [ table ]
+
+(* ------------------------------------------------------------------ *)
+(* Driver                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let experiments config =
+  [
+    ("fig2b", fun () -> Figures.fig2b config);
+    ("fig3", fun () -> Figures.fig3 config);
+    ("fig4", fun () -> Figures.fig4 config);
+    ("fig5", fun () -> Figures.fig5 (get_lab config));
+    ("fig6", fun () -> Figures.fig6 (get_lab config));
+    ("fig7", fun () -> Figures.fig7 config);
+    ("fig8", fun () -> Figures.fig8 (get_lab config));
+    ("compression", fun () -> Figures.compression config);
+    ("ablation", fun () -> Figures.ablation config);
+    ("hierarchy", fun () -> Figures.hierarchy config);
+    ("costs", fun () -> Figures.build_costs (get_lab config));
+    ("latency", fun () -> latency config);
+  ]
+
+let () =
+  Logs.set_reporter (Logs_fmt.reporter ());
+  Logs.set_level (Some Logs.Info);
+  let config = Config.of_env () in
+  let available = experiments config in
+  let requested =
+    match Array.to_list Sys.argv with
+    | _ :: (_ :: _ as names) -> names
+    | _ -> List.map fst available
+  in
+  Printf.printf "EntropyDB benchmark harness (scale=%s, seed=%d)\n"
+    (Config.scale_name config) config.Config.seed;
+  let t0 = Timing.now_s () in
+  List.iter
+    (fun name ->
+      match List.assoc_opt name available with
+      | None ->
+          Printf.eprintf "unknown experiment %s (available: %s)\n" name
+            (String.concat " " (List.map fst available));
+          exit 1
+      | Some run ->
+          Printf.printf "\n================ %s ================\n%!" name;
+          let tables, dt = Timing.time run in
+          print_tables tables;
+          Printf.printf "[%s done in %.1fs]\n%!" name dt)
+    requested;
+  Printf.printf "\nTotal: %.1fs\n" (Timing.now_s () -. t0)

@@ -1,0 +1,538 @@
+(* entropydb — command-line interface.
+
+   Subcommands:
+     generate    materialize a synthetic dataset as CSV
+     build       compute a MaxEnt summary from a dataset and save it
+     query       answer SQL against a saved summary (optionally vs exact)
+     info        inspect a saved summary
+     experiment  regenerate one of the paper's figures
+
+   The CLI works on the two built-in dataset families (flights, particles)
+   so that every artifact of the paper can be produced end to end without
+   writing OCaml. *)
+
+open Cmdliner
+open Edb_storage
+
+let setup_logs verbose =
+  Logs.set_reporter (Logs_fmt.reporter ());
+  Logs.set_level (Some (if verbose then Logs.Debug else Logs.Info))
+
+(* ------------------------------------------------------------------ *)
+(* Dataset plumbing                                                    *)
+(* ------------------------------------------------------------------ *)
+
+type dataset = Flights_coarse | Flights_fine | Particles
+
+let dataset_conv =
+  let parse = function
+    | "flights-coarse" -> Ok Flights_coarse
+    | "flights-fine" -> Ok Flights_fine
+    | "particles" -> Ok Particles
+    | s -> Error (`Msg (Printf.sprintf "unknown dataset %s" s))
+  in
+  let print ppf d =
+    Fmt.string ppf
+      (match d with
+      | Flights_coarse -> "flights-coarse"
+      | Flights_fine -> "flights-fine"
+      | Particles -> "particles")
+  in
+  Arg.conv (parse, print)
+
+let generate_relation dataset ~rows ~seed =
+  match dataset with
+  | Flights_coarse -> (Edb_datagen.Flights.generate ~rows ~seed ()).coarse
+  | Flights_fine -> (Edb_datagen.Flights.generate ~rows ~seed ()).fine
+  | Particles ->
+      Edb_datagen.Particles.generate
+        ~rows_per_snapshot:(max 1 (rows / 3))
+        ~snapshots:3 ~seed ()
+
+let schema_of_dataset = function
+  | Flights_coarse -> Relation.schema (generate_relation Flights_coarse ~rows:1 ~seed:1)
+  | Flights_fine -> Relation.schema (generate_relation Flights_fine ~rows:1 ~seed:1)
+  | Particles -> Edb_datagen.Particles.schema ()
+
+let load_relation dataset path =
+  match Csv_io.load_indices (schema_of_dataset dataset) path with
+  | Ok rel -> rel
+  | Error e ->
+      Fmt.epr "error loading %s: %a@." path Csv_io.pp_error e;
+      exit 1
+
+(* ------------------------------------------------------------------ *)
+(* Common options                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let verbose_t =
+  Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Verbose logging.")
+
+let dataset_t =
+  Arg.(
+    required
+    & opt (some dataset_conv) None
+    & info [ "dataset" ] ~docv:"NAME"
+        ~doc:"Dataset family: flights-coarse, flights-fine, or particles.")
+
+let seed_t =
+  Arg.(value & opt int 1 & info [ "seed" ] ~docv:"N" ~doc:"Random seed.")
+
+(* ------------------------------------------------------------------ *)
+(* generate                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let generate_cmd =
+  let run verbose dataset rows seed output labels =
+    setup_logs verbose;
+    let rel = generate_relation dataset ~rows ~seed in
+    if labels then Csv_io.save_labels rel output
+    else Csv_io.save_indices rel output;
+    Printf.printf "wrote %d rows to %s\n" (Relation.cardinality rel) output;
+    0
+  in
+  let rows_t =
+    Arg.(value & opt int 100_000 & info [ "rows" ] ~docv:"N" ~doc:"Row count.")
+  in
+  let output_t =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Output CSV path.")
+  in
+  let labels_t =
+    Arg.(
+      value & flag
+      & info [ "labels" ]
+          ~doc:"Write human-readable labels instead of value indices \
+                (not re-importable).")
+  in
+  Cmd.v
+    (Cmd.info "generate" ~doc:"Materialize a synthetic dataset as CSV.")
+    Term.(
+      const run $ verbose_t $ dataset_t $ rows_t $ seed_t $ output_t $ labels_t)
+
+(* ------------------------------------------------------------------ *)
+(* build                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let heuristic_conv =
+  let parse = function
+    | "large" -> Ok Edb_select.Heuristic.Large
+    | "zero" -> Ok Edb_select.Heuristic.Zero
+    | "composite" -> Ok Edb_select.Heuristic.Composite
+    | s -> Error (`Msg (Printf.sprintf "unknown heuristic %s" s))
+  in
+  let print ppf k = Fmt.string ppf (Edb_select.Heuristic.kind_name k) in
+  Arg.conv (parse, print)
+
+let build_cmd =
+  let run verbose dataset input rows seed output pairs buckets heuristic
+      sweeps =
+    setup_logs verbose;
+    let rel =
+      match input with
+      | Some path -> load_relation dataset path
+      | None -> generate_relation dataset ~rows ~seed
+    in
+    let chosen =
+      Edb_select.Pairs.select ~strategy:Edb_select.Pairs.By_cover ~budget:pairs
+        rel
+    in
+    let schema = Relation.schema rel in
+    let joints =
+      List.concat_map
+        (fun (a, b) ->
+          Printf.printf "2D statistics on (%s, %s): %d buckets (%s)\n%!"
+            (Schema.attr_name schema a) (Schema.attr_name schema b) buckets
+            (Edb_select.Heuristic.kind_name heuristic);
+          Edb_select.Heuristic.select heuristic rel ~attr1:a ~attr2:b
+            ~budget:buckets)
+        chosen
+    in
+    let solver_config =
+      { Entropydb_core.Solver.default_config with max_sweeps = sweeps }
+    in
+    let summary =
+      Entropydb_core.Summary.build ~solver_config rel ~joints
+    in
+    let report = Entropydb_core.Summary.solver_report summary in
+    Printf.printf "solved in %d sweeps, %.1fs (max rel err %.2e)\n"
+      report.sweeps report.seconds report.max_rel_error;
+    Entropydb_core.Serialize.save summary output;
+    Printf.printf "summary written to %s\n" output;
+    0
+  in
+  let input_t =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "i"; "input" ] ~docv:"FILE"
+          ~doc:"Input index CSV (from $(b,generate)); generates fresh data \
+                when omitted.")
+  in
+  let rows_t =
+    Arg.(
+      value & opt int 100_000
+      & info [ "rows" ] ~docv:"N" ~doc:"Rows when generating fresh data.")
+  in
+  let output_t =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Summary output path.")
+  in
+  let pairs_t =
+    Arg.(
+      value & opt int 2
+      & info [ "pairs" ] ~docv:"BA" ~doc:"Number of 2D attribute pairs (Ba).")
+  in
+  let buckets_t =
+    Arg.(
+      value & opt int 200
+      & info [ "buckets" ] ~docv:"BS" ~doc:"Buckets per pair (Bs).")
+  in
+  let heuristic_t =
+    Arg.(
+      value
+      & opt heuristic_conv Edb_select.Heuristic.Composite
+      & info [ "heuristic" ] ~docv:"KIND"
+          ~doc:"Statistic heuristic: composite, large, or zero.")
+  in
+  let sweeps_t =
+    Arg.(
+      value & opt int 30
+      & info [ "sweeps" ] ~docv:"N" ~doc:"Maximum solver sweeps.")
+  in
+  Cmd.v
+    (Cmd.info "build" ~doc:"Compute and save a MaxEnt summary.")
+    Term.(
+      const run $ verbose_t $ dataset_t $ input_t $ rows_t $ seed_t $ output_t
+      $ pairs_t $ buckets_t $ heuristic_t $ sweeps_t)
+
+(* ------------------------------------------------------------------ *)
+(* query                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let query_cmd =
+  let run verbose summary_path sql exact_csv dataset =
+    setup_logs verbose;
+    let summary = Entropydb_core.Serialize.load summary_path in
+    let schema = Entropydb_core.Summary.schema summary in
+    match Edb_query.Translate.compile_string schema sql with
+    | Error e ->
+        Fmt.epr "query error: %a@." Edb_query.Translate.pp_error e;
+        1
+    | Ok ({ aggregate = Edb_query.Translate.Sum attr; _ } as c) ->
+        let predicate =
+          Option.get (Edb_query.Translate.conjunctive c)
+        in
+        let est = Entropydb_core.Summary.estimate_sum summary ~attr predicate in
+        let sd =
+          sqrt (Entropydb_core.Summary.variance_sum summary ~attr predicate)
+        in
+        Printf.printf "estimate: %.2f +/- %.2f\n" est sd;
+        (match (exact_csv, dataset) with
+        | Some path, Some ds ->
+            let rel = load_relation ds path in
+            Printf.printf "exact:    %.2f\n" (Exec.sum rel ~attr predicate)
+        | _ -> ());
+        0
+    | Ok ({ aggregate = Edb_query.Translate.Avg attr; _ } as c) ->
+        let predicate = Option.get (Edb_query.Translate.conjunctive c) in
+        (match Entropydb_core.Summary.estimate_avg summary ~attr predicate with
+        | Some est -> Printf.printf "estimate: %.4f\n" est
+        | None -> Printf.printf "estimate: undefined (expected count 0)\n");
+        (match (exact_csv, dataset) with
+        | Some path, Some ds -> (
+            let rel = load_relation ds path in
+            match Exec.avg rel ~attr predicate with
+            | Some v -> Printf.printf "exact:    %.4f\n" v
+            | None -> Printf.printf "exact:    undefined (no rows)\n")
+        | _ -> ());
+        0
+    | Ok { disjuncts; group_attrs = []; _ } ->
+        let est = Entropydb_core.Disjunction.estimate summary disjuncts in
+        let sd = Entropydb_core.Disjunction.stddev summary disjuncts in
+        Printf.printf "estimate: %.2f +/- %.2f\n" est sd;
+        (match (exact_csv, dataset) with
+        | Some path, Some ds ->
+            let rel = load_relation ds path in
+            Printf.printf "exact:    %d\n" (Exec.count_dnf rel disjuncts)
+        | _ -> ());
+        0
+    | Ok ({ group_attrs; order; limit; _ } as c) ->
+        let predicate = Option.get (Edb_query.Translate.conjunctive c) in
+        let groups =
+          Entropydb_core.Summary.estimate_groups summary ~attrs:group_attrs
+            predicate
+        in
+        let groups =
+          match order with
+          | Some Edb_query.Ast.Asc ->
+              List.sort (fun (_, a) (_, b) -> compare a b) groups
+          | _ -> List.sort (fun (_, a) (_, b) -> compare b a) groups
+        in
+        let groups =
+          match limit with
+          | Some k -> List.filteri (fun i _ -> i < k) groups
+          | None -> groups
+        in
+        List.iter
+          (fun (values, est) ->
+            let labels =
+              List.map2
+                (fun attr v -> Domain.label (Schema.domain schema attr) v)
+                group_attrs values
+            in
+            let group_pred =
+              List.fold_left2
+                (fun p attr v ->
+                  Predicate.restrict p attr (Edb_util.Ranges.singleton v))
+                predicate group_attrs values
+            in
+            let sd = Entropydb_core.Summary.stddev summary group_pred in
+            Printf.printf "%s: %.2f +/- %.2f\n" (String.concat ", " labels) est
+              sd)
+          groups;
+        0
+  in
+  let summary_t =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "s"; "summary" ] ~docv:"FILE" ~doc:"Saved summary path.")
+  in
+  let sql_t =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"SQL" ~doc:"The query to answer.")
+  in
+  let exact_t =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "exact-csv" ] ~docv:"FILE"
+          ~doc:"Also compute the exact answer from this index CSV.")
+  in
+  let dataset_opt_t =
+    Arg.(
+      value
+      & opt (some dataset_conv) None
+      & info [ "dataset" ] ~docv:"NAME"
+          ~doc:"Dataset family of $(b,--exact-csv).")
+  in
+  Cmd.v
+    (Cmd.info "query" ~doc:"Answer SQL against a saved summary.")
+    Term.(const run $ verbose_t $ summary_t $ sql_t $ exact_t $ dataset_opt_t)
+
+(* ------------------------------------------------------------------ *)
+(* info                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let info_cmd =
+  let run verbose summary_path =
+    setup_logs verbose;
+    let summary = Entropydb_core.Serialize.load summary_path in
+    let schema = Entropydb_core.Summary.schema summary in
+    Printf.printf "cardinality: %d\n" (Entropydb_core.Summary.cardinality summary);
+    Fmt.pr "schema:@.%a@." Schema.pp schema;
+    Fmt.pr "%a@." Entropydb_core.Summary.pp_size_report
+      (Entropydb_core.Summary.size_report summary);
+    let report = Entropydb_core.Summary.solver_report summary in
+    Printf.printf "solver: %d sweeps, converged=%b, max rel err %.2e\n"
+      report.sweeps report.converged report.max_rel_error;
+    0
+  in
+  let summary_t =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"FILE" ~doc:"Saved summary path.")
+  in
+  Cmd.v
+    (Cmd.info "info" ~doc:"Inspect a saved summary.")
+    Term.(const run $ verbose_t $ summary_t)
+
+(* ------------------------------------------------------------------ *)
+(* evaluate                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let evaluate_cmd =
+  let run verbose dataset rows seed pairs buckets rate hitters =
+    setup_logs verbose;
+    let rel = generate_relation dataset ~rows ~seed in
+    let schema = Relation.schema rel in
+    let arity = Schema.arity schema in
+    (* Methods: EntropyDB (COMPOSITE on cover-selected pairs) vs a uniform
+       sample of the same configured rate. *)
+    let chosen =
+      Edb_select.Pairs.select ~strategy:Edb_select.Pairs.By_cover
+        ~budget:pairs rel
+    in
+    let joints =
+      List.concat_map
+        (fun (a, b) ->
+          Edb_select.Heuristic.select Edb_select.Heuristic.Composite rel
+            ~attr1:a ~attr2:b ~budget:buckets)
+        chosen
+    in
+    let summary, build_s =
+      Edb_util.Timing.time (fun () ->
+          Entropydb_core.Summary.build rel ~joints)
+    in
+    Printf.printf "summary built in %.1fs (%d joint statistics)\n%!" build_s
+      (List.length joints);
+    let rng = Edb_util.Prng.create ~seed:(seed + 1) () in
+    let methods =
+      [
+        Edb_workload.Methods.of_sample
+          (Edb_sampling.Uniform.create rng ~rate rel);
+        Edb_workload.Methods.of_summary summary;
+      ]
+    in
+    (* Workloads over each chosen pair's attributes. *)
+    let table =
+      Edb_util.Table.create ~title:"Accuracy evaluation"
+        ~headers:
+          [ "attributes"; "method"; "heavy err"; "light err"; "F measure" ]
+        ~aligns:
+          [ Edb_util.Table.Left; Edb_util.Table.Left; Edb_util.Table.Right;
+            Edb_util.Table.Right; Edb_util.Table.Right ]
+        ()
+    in
+    List.iter
+      (fun (a, b) ->
+        let attrs = [ a; b ] in
+        let label =
+          Printf.sprintf "%s,%s" (Schema.attr_name schema a)
+            (Schema.attr_name schema b)
+        in
+        let w =
+          Edb_workload.Hitters.standard rng rel ~attrs ~num_hitters:hitters
+            ~num_nulls:hitters
+        in
+        let heavy =
+          Edb_workload.Runner.run_errors_all methods ~arity ~attrs
+            ~queries:w.heavy
+        in
+        let light =
+          Edb_workload.Runner.run_errors_all methods ~arity ~attrs
+            ~queries:w.light
+        in
+        let fs =
+          Edb_workload.Runner.run_f_all methods ~arity ~attrs ~light:w.light
+            ~nulls:w.nulls
+        in
+        List.iter2
+          (fun ((h : Edb_workload.Runner.error_result),
+                (l : Edb_workload.Runner.error_result))
+               (f : Edb_workload.Runner.f_result) ->
+            Edb_util.Table.add_row table
+              [
+                label;
+                h.method_name;
+                Edb_util.Table.cell_float h.avg_error;
+                Edb_util.Table.cell_float l.avg_error;
+                Edb_util.Table.cell_float f.f_measure;
+              ])
+          (List.combine heavy light)
+          fs)
+      chosen;
+    Edb_util.Table.print table;
+    0
+  in
+  let rows_t =
+    Arg.(value & opt int 100_000 & info [ "rows" ] ~docv:"N" ~doc:"Row count.")
+  in
+  let pairs_t =
+    Arg.(value & opt int 2 & info [ "pairs" ] ~docv:"BA" ~doc:"2D pairs.")
+  in
+  let buckets_t =
+    Arg.(
+      value & opt int 200 & info [ "buckets" ] ~docv:"BS" ~doc:"Buckets/pair.")
+  in
+  let rate_t =
+    Arg.(
+      value & opt float 0.01
+      & info [ "sample-rate" ] ~docv:"R" ~doc:"Baseline sampling rate.")
+  in
+  let hitters_t =
+    Arg.(
+      value & opt int 50
+      & info [ "hitters" ] ~docv:"K" ~doc:"Heavy/light hitters per workload.")
+  in
+  Cmd.v
+    (Cmd.info "evaluate"
+       ~doc:"Compare summary accuracy against uniform sampling on a \
+             generated dataset.")
+    Term.(
+      const run $ verbose_t $ dataset_t $ rows_t $ seed_t $ pairs_t
+      $ buckets_t $ rate_t $ hitters_t)
+
+(* ------------------------------------------------------------------ *)
+(* experiment                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let experiment_cmd =
+  let run verbose name scale =
+    setup_logs verbose;
+    let config =
+      match scale with
+      | "full" -> Edb_experiments.Config.full ()
+      | _ -> Edb_experiments.Config.small ()
+    in
+    let tables =
+      match name with
+      | "fig2b" -> Edb_experiments.Figures.fig2b config
+      | "fig3" -> Edb_experiments.Figures.fig3 config
+      | "fig4" -> Edb_experiments.Figures.fig4 config
+      | "fig7" -> Edb_experiments.Figures.fig7 config
+      | "compression" -> Edb_experiments.Figures.compression config
+      | "ablation" -> Edb_experiments.Figures.ablation config
+      | "hierarchy" -> Edb_experiments.Figures.hierarchy config
+      | "fig5" | "fig6" | "fig8" | "costs" ->
+          let lab = Edb_experiments.Lab.flights_lab config in
+          (match name with
+          | "fig5" -> Edb_experiments.Figures.fig5 lab
+          | "fig6" -> Edb_experiments.Figures.fig6 lab
+          | "fig8" -> Edb_experiments.Figures.fig8 lab
+          | _ -> Edb_experiments.Figures.build_costs lab)
+      | other ->
+          Fmt.epr "unknown experiment %s@." other;
+          exit 1
+    in
+    List.iter (fun t -> Edb_util.Table.print t) tables;
+    0
+  in
+  let name_t =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"NAME"
+          ~doc:"fig2b, fig3, fig4, fig5, fig6, fig7, fig8, compression, \
+                ablation, hierarchy, or costs.")
+  in
+  let scale_t =
+    Arg.(
+      value & opt string "small"
+      & info [ "scale" ] ~docv:"SCALE" ~doc:"small or full.")
+  in
+  Cmd.v
+    (Cmd.info "experiment" ~doc:"Regenerate one of the paper's figures.")
+    Term.(const run $ verbose_t $ name_t $ scale_t)
+
+let () =
+  let info =
+    Cmd.info "entropydb" ~version:"1.0.0"
+      ~doc:"Probabilistic database summarization for interactive data \
+            exploration (EntropyDB, VLDB 2017)."
+  in
+  exit
+    (Cmd.eval'
+       (Cmd.group info
+          [
+            generate_cmd; build_cmd; query_cmd; info_cmd; evaluate_cmd;
+            experiment_cmd;
+          ]))

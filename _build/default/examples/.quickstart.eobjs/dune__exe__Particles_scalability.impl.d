@@ -1,0 +1,1 @@
+examples/particles_scalability.ml: Edb_datagen Edb_sampling Edb_select Edb_storage Edb_util Edb_workload Entropydb_core Hitters List Methods Printf Prng Relation Runner Schema Sys Timing

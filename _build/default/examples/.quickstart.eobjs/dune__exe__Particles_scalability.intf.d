@@ -1,0 +1,1 @@
+examples/particles_scalability.mli:

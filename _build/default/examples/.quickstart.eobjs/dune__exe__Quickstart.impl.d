@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Domain Edb_datagen Edb_query Edb_select Edb_storage Edb_util Entropydb_core Exec Fmt List Option Printf Relation Schema String Summary Worlds

@@ -1,0 +1,1 @@
+examples/selectivity_estimation.ml: Edb_datagen Edb_select Edb_storage Edb_util Edb_workload Entropydb_core Exec Float List Predicate Printf Ranges Relation Schema String

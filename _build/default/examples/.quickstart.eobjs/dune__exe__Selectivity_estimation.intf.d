@@ -1,0 +1,1 @@
+examples/selectivity_estimation.mli:

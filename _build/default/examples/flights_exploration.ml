@@ -1,0 +1,105 @@
+(* Flights exploration: the paper's Sec. 6.2 scenario in miniature.
+
+   Run with:  dune exec examples/flights_exploration.exe
+
+   Builds the four MaxEnt summaries of the paper's Fig. 4 (No2D, Ent1&2,
+   Ent3&4, Ent1&2&3) plus a 1% uniform sample and four stratified samples,
+   then compares them on heavy-hitter and light-hitter point queries over
+   several attribute combinations. *)
+
+open Edb_util
+open Edb_storage
+open Edb_workload
+module F = Edb_datagen.Flights
+
+let rows = try int_of_string (Sys.getenv "ROWS") with Not_found -> 120_000
+let budget_per_pair = 250
+let num_hitters = 50
+
+(* The paper's four correlated attribute pairs (Sec. 6.2). *)
+let pair1 = (F.origin, F.distance)
+let pair2 = (F.dest, F.distance)
+let pair3 = (F.fl_time, F.distance)
+let pair4 = (F.origin, F.dest)
+
+let composite rel (a, b) ~budget =
+  Edb_select.Heuristic.select Edb_select.Heuristic.Composite rel ~attr1:a
+    ~attr2:b ~budget
+
+let () =
+  let flights = F.generate ~rows ~seed:1 () in
+  let rel = flights.coarse in
+  let schema = Relation.schema rel in
+  let arity = Schema.arity schema in
+  Printf.printf "FlightsCoarse: %d rows\n\nCorrelations (Cramer's V):\n%!"
+    (Relation.cardinality rel);
+  List.iter
+    (fun ((a, b), v) ->
+      Printf.printf "  %-14s %-14s %.3f\n" (Schema.attr_name schema a)
+        (Schema.attr_name schema b) v)
+    (Edb_select.Correlation.rank_pairs rel);
+
+  (* MaxEnt methods per the paper's Fig. 4. *)
+  let summarize name pairs =
+    let joints =
+      List.concat_map (fun p -> composite rel p ~budget:budget_per_pair) pairs
+    in
+    let summary, dt =
+      Timing.time (fun () -> Entropydb_core.Summary.build rel ~joints)
+    in
+    Printf.printf "built %-10s (%4d joints) in %5.1fs\n%!" name
+      (List.length joints) dt;
+    Methods.of_summary ~name summary
+  in
+  Printf.printf "\n";
+  let no2d = summarize "No2D" [] in
+  let ent12 = summarize "Ent1&2" [ pair1; pair2 ] in
+  let ent34 = summarize "Ent3&4" [ pair3; pair4 ] in
+  let ent123 = summarize "Ent1&2&3" [ pair1; pair2; pair3 ] in
+
+  (* Sampling baselines: 1% uniform + stratified on each pair. *)
+  let rng = Prng.create ~seed:2 () in
+  let uni =
+    Methods.of_sample ~name:"Uni" (Edb_sampling.Uniform.create rng ~rate:0.01 rel)
+  in
+  let strat i (a, b) =
+    Methods.of_sample
+      ~name:(Printf.sprintf "Strat%d" i)
+      (Edb_sampling.Stratified.create rng ~rate:0.01 ~attrs:[ a; b ] rel)
+  in
+  let methods =
+    [
+      uni; strat 1 pair1; strat 2 pair2; strat 3 pair3; strat 4 pair4;
+      no2d; ent12; ent34; ent123;
+    ]
+  in
+
+  (* Workloads: heavy and light hitters over three attribute sets. *)
+  let templates =
+    [
+      ("time+dist", [ F.fl_time; F.distance ]);
+      ("dest+dist", [ F.dest; F.distance ]);
+      ("org+dest", [ F.origin; F.dest ]);
+    ]
+  in
+  let wrng = Prng.create ~seed:3 () in
+  List.iter
+    (fun (label, attrs) ->
+      let w =
+        Hitters.standard wrng rel ~attrs ~num_hitters
+          ~num_nulls:(2 * num_hitters)
+      in
+      let heavy = Runner.run_errors_all methods ~arity ~attrs ~queries:w.heavy in
+      let light = Runner.run_errors_all methods ~arity ~attrs ~queries:w.light in
+      let fs =
+        Runner.run_f_all methods ~arity ~attrs ~light:w.light ~nulls:w.nulls
+      in
+      Printf.printf "\n-- %s --\n%-10s %12s %12s %10s\n" label "method"
+        "heavy err" "light err" "F measure";
+      List.iter2
+        (fun (h, l) f ->
+          Printf.printf "%-10s %12.3f %12.3f %10.3f\n" h.Runner.method_name
+            h.Runner.avg_error l.Runner.avg_error f.Runner.f_measure)
+        (List.combine heavy light)
+        fs)
+    templates

@@ -1,0 +1,102 @@
+(* Particles scalability: the paper's Sec. 6.3 scenario in miniature.
+
+   Run with:  dune exec examples/particles_scalability.exe
+   (expect several minutes: the EntAll summary chains five correlated
+   attribute pairs into one statistic group, the expensive case the paper's
+   day-long solver runs correspond to; set ROWS to shrink the data)
+
+   Grows the astronomy-like dataset snapshot by snapshot, builds a
+   no-2D-statistics summary and an "EntAll" summary (2D statistics over the
+   most correlated pairs), and compares accuracy and per-query latency with
+   uniform and (density, grp)-stratified samples on 4D selection queries. *)
+
+open Edb_util
+open Edb_storage
+open Edb_workload
+module P = Edb_datagen.Particles
+
+let rows_per_snapshot =
+  try int_of_string (Sys.getenv "ROWS") with Not_found -> 60_000
+
+let () =
+  List.iter
+    (fun snapshots ->
+      let rel = P.generate ~rows_per_snapshot ~snapshots ~seed:17 () in
+      let schema = Relation.schema rel in
+      let arity = Schema.arity schema in
+      Printf.printf "\n=== %d snapshot(s): %d rows ===\n%!" snapshots
+        (Relation.cardinality rel);
+
+      (* EntAll: COMPOSITE statistics on the 5 most correlated pairs,
+         excluding snapshot (Sec. 6.3). *)
+      let pairs =
+        Edb_select.Pairs.select ~exclude:[ P.snapshot ]
+          ~strategy:Edb_select.Pairs.By_correlation ~budget:5 rel
+      in
+      (* 60 buckets per pair: five correlated pairs chain into one
+         connected statistic group, whose compatible-set count grows
+         quickly with the per-pair budget. *)
+      let joints =
+        List.concat_map
+          (fun (a, b) ->
+            Edb_select.Heuristic.select Edb_select.Heuristic.Composite rel
+              ~attr1:a ~attr2:b ~budget:60)
+          pairs
+      in
+      let solver_config =
+        { Entropydb_core.Solver.default_config with max_sweeps = 30 }
+      in
+      let no2d, t_no2d =
+        Timing.time (fun () ->
+            Entropydb_core.Summary.build ~solver_config rel ~joints:[])
+      in
+      let entall, t_entall =
+        Timing.time (fun () ->
+            Entropydb_core.Summary.build ~solver_config rel ~joints)
+      in
+      Printf.printf "summaries built: No2D %.1fs, EntAll %.1fs (%d joints)\n%!"
+        t_no2d t_entall (List.length joints);
+
+      let rng = Prng.create ~seed:23 () in
+      let methods =
+        [
+          Methods.of_sample ~name:"Uni"
+            (Edb_sampling.Uniform.create rng ~rate:0.01 rel);
+          Methods.of_sample ~name:"Strat"
+            (Edb_sampling.Stratified.create rng ~rate:0.01
+               ~attrs:[ P.density; P.grp ] rel);
+          Methods.of_summary ~name:"EntNo2D" no2d;
+          Methods.of_summary ~name:"EntAll" entall;
+        ]
+      in
+
+      (* The paper's three 4D selection templates. *)
+      let templates =
+        [
+          ("den,mass,grp,type", [ P.density; P.mass; P.grp; P.ptype ]);
+          ("mass,x,y,z", [ P.mass; P.x; P.y; P.z ]);
+          ("y,z,grp,type", [ P.y; P.z; P.grp; P.ptype ]);
+        ]
+      in
+      let wrng = Prng.create ~seed:31 () in
+      List.iter
+        (fun (label, attrs) ->
+          let w =
+            Hitters.standard wrng rel ~attrs ~num_hitters:30 ~num_nulls:30
+          in
+          let heavy =
+            Runner.run_errors_all methods ~arity ~attrs ~queries:w.heavy
+          in
+          let light =
+            Runner.run_errors_all methods ~arity ~attrs ~queries:w.light
+          in
+          Printf.printf "\n-- %s --\n%-8s %11s %11s %12s\n" label "method"
+            "heavy err" "light err" "avg ms/query";
+          List.iter2
+            (fun h l ->
+              Printf.printf "%-8s %11.3f %11.3f %12.3f\n" h.Runner.method_name
+                h.Runner.avg_error l.Runner.avg_error
+                (1000. *. h.Runner.avg_seconds))
+            heavy light)
+        templates)
+    [ 1; 2; 3 ]

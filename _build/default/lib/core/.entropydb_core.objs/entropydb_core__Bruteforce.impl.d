@@ -1,0 +1,1 @@
+lib/core/bruteforce.ml: Array Edb_storage List Phi Predicate Schema Statistic

@@ -1,0 +1,1 @@
+lib/core/bruteforce.mli: Edb_storage Phi Predicate

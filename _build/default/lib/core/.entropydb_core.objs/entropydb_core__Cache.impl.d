@@ -1,0 +1,1 @@
+lib/core/cache.ml: Edb_storage Edb_util Hashtbl List Predicate Summary

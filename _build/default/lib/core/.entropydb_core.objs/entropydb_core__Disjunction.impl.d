@@ -1,0 +1,1 @@
+lib/core/disjunction.ml: Array Edb_storage Edb_util List Poly Predicate Printf Summary

@@ -1,0 +1,1 @@
+lib/core/disjunction.mli: Edb_storage Predicate Summary

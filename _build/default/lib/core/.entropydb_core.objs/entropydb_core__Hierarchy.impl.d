@@ -1,0 +1,1 @@
+lib/core/hierarchy.ml: Array Domain Edb_storage Edb_util Fun Histogram List Predicate Ranges Relation Schema Solver Summary

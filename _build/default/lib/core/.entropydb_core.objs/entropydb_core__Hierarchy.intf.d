@@ -1,0 +1,1 @@
+lib/core/hierarchy.mli: Edb_storage Predicate Relation Solver Summary

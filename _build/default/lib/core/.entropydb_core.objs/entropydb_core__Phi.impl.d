@@ -1,0 +1,1 @@
+lib/core/phi.ml: Array Edb_storage Edb_util Exec Floatx Fmt Hashtbl Histogram List Option Predicate Ranges Relation Schema Statistic

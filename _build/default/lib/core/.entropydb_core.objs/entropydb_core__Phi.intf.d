@@ -1,0 +1,1 @@
+lib/core/phi.mli: Edb_storage Predicate Relation Schema Statistic

@@ -1,0 +1,1 @@
+lib/core/poly.ml: Array Edb_storage Edb_util Float Fun Hashtbl List Option Parallel Phi Predicate Ranges Schema Statistic

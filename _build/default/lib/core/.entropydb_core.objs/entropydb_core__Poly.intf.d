@@ -1,0 +1,1 @@
+lib/core/poly.mli: Edb_storage Phi Predicate

@@ -1,0 +1,1 @@
+lib/core/serialize.ml: Array Edb_storage Fun List Marshal Phi Poly Predicate Printf Schema Solver Statistic String Summary

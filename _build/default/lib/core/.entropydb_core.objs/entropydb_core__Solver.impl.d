@@ -1,0 +1,1 @@
+lib/core/solver.ml: Array Edb_util Float List Logs Phi Poly

@@ -1,0 +1,1 @@
+lib/core/statistic.ml: Edb_storage Fmt Predicate

@@ -1,0 +1,1 @@
+lib/core/statistic.mli: Edb_storage Format Predicate

@@ -1,0 +1,1 @@
+lib/core/summary.ml: Array Domain Edb_storage Edb_util Float Fmt Fun List Phi Poly Predicate Relation Schema Solver

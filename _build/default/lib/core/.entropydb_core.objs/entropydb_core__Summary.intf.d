@@ -1,0 +1,1 @@
+lib/core/summary.mli: Edb_storage Format Phi Poly Predicate Relation Schema Solver

@@ -1,0 +1,1 @@
+lib/core/worlds.ml: Array Edb_storage Edb_util Fun Hashtbl List Option Phi Poly Predicate Prng Ranges Relation Schema Statistic Summary

@@ -1,0 +1,1 @@
+lib/core/worlds.mli: Edb_storage Edb_util Prng Relation Summary

@@ -1,0 +1,114 @@
+(* Reference implementation of the MaxEnt polynomial by explicit
+   enumeration of the tuple space (Eq. 5 literally).
+
+   Only usable when |Tup| = prod N_i is small, which is exactly the point:
+   property-based tests check that the compressed {!Poly} representation
+   and this one agree on P, on derivatives, on expectations, and on
+   restricted evaluations, for randomly generated schemas and statistic
+   sets. *)
+
+open Edb_storage
+
+type t = {
+  phi : Phi.t;
+  schema : Schema.t;
+  tuples : int array array; (* all d tuples of the cross-product space *)
+  memberships : int list array; (* tuple index -> ids of satisfied stats *)
+}
+
+let max_tuples = 2_000_000
+
+let create phi =
+  let schema = Phi.schema phi in
+  let m = Schema.arity schema in
+  let d_f = Schema.tuple_space_size schema in
+  if d_f > float_of_int max_tuples then
+    invalid_arg "Bruteforce.create: tuple space too large";
+  let d = int_of_float d_f in
+  let sizes = Array.init m (fun i -> Schema.domain_size schema i) in
+  let tuples =
+    Array.init d (fun idx ->
+        let tuple = Array.make m 0 in
+        let rest = ref idx in
+        for i = m - 1 downto 0 do
+          tuple.(i) <- !rest mod sizes.(i);
+          rest := !rest / sizes.(i)
+        done;
+        tuple)
+  in
+  let stats = Phi.stats phi in
+  let memberships =
+    Array.map
+      (fun tuple ->
+        Array.to_list stats
+        |> List.filter_map (fun s ->
+               if Predicate.matches_row (Statistic.pred s) tuple then
+                 Some (Statistic.id s)
+               else None))
+      tuples
+  in
+  { phi; schema; tuples; memberships }
+
+(* The monomial of tuple t: prod over satisfied statistics of alpha_j
+   (every <c_j, t_i> is 0 or 1 by construction). *)
+let monomial t alpha idx =
+  List.fold_left (fun acc j -> acc *. alpha.(j)) 1. t.memberships.(idx)
+
+let p t alpha =
+  let acc = ref 0. in
+  for idx = 0 to Array.length t.tuples - 1 do
+    acc := !acc +. monomial t alpha idx
+  done;
+  !acc
+
+let partial t alpha j =
+  (* dP/dalpha_j = sum of monomials containing alpha_j, divided by it —
+     computed by re-multiplying without j to avoid division by zero. *)
+  let acc = ref 0. in
+  Array.iter
+    (fun members ->
+      if List.mem j members then
+        acc :=
+          !acc
+          +. List.fold_left
+               (fun m j' -> if j' = j then m else m *. alpha.(j'))
+               1. members)
+    t.memberships;
+  !acc
+
+let expected t alpha j =
+  float_of_int (Phi.n t.phi) *. alpha.(j) *. partial t alpha j /. p t alpha
+
+let eval_restricted t alpha query =
+  let acc = ref 0. in
+  Array.iteri
+    (fun idx tuple ->
+      if Predicate.matches_row query tuple then
+        acc := !acc +. monomial t alpha idx)
+    t.tuples;
+  !acc
+
+let estimate t alpha query =
+  float_of_int (Phi.n t.phi) *. eval_restricted t alpha query /. p t alpha
+
+let eval_weighted t alpha query ~weights =
+  let weight_of tuple =
+    List.fold_left (fun acc (attr, w) -> acc *. w tuple.(attr)) 1. weights
+  in
+  let acc = ref 0. in
+  Array.iteri
+    (fun idx tuple ->
+      if Predicate.matches_row query tuple then
+        acc := !acc +. (weight_of tuple *. monomial t alpha idx))
+    t.tuples;
+  !acc
+
+let num_tuples t = Array.length t.tuples
+
+(* The exact tuple distribution Pr(t) = monomial_t / P, used to validate
+   the possible-world sampler. *)
+let tuple_probabilities t alpha =
+  let total = p t alpha in
+  Array.init (Array.length t.tuples) (fun idx -> monomial t alpha idx /. total)
+
+let tuple t idx = t.tuples.(idx)

@@ -1,0 +1,33 @@
+(** Reference MaxEnt polynomial by explicit tuple-space enumeration
+    (Eq. 5 literally); used to validate {!Poly} on small schemas. *)
+
+open Edb_storage
+
+type t
+
+val create : Phi.t -> t
+(** Raises [Invalid_argument] when |Tup| exceeds 2,000,000. *)
+
+val p : t -> float array -> float
+(** P evaluated at the given variable vector (indexed by stat id). *)
+
+val partial : t -> float array -> int -> float
+val expected : t -> float array -> int -> float
+val eval_restricted : t -> float array -> Predicate.t -> float
+val estimate : t -> float array -> Predicate.t -> float
+
+val eval_weighted :
+  t ->
+  float array ->
+  Predicate.t ->
+  weights:(int * (int -> float)) list ->
+  float
+(** Reference for {!Poly.eval_weighted}: explicit weighted sum over
+    tuples. *)
+
+val num_tuples : t -> int
+
+val tuple_probabilities : t -> float array -> float array
+(** Exact tuple distribution Pr(t) = monomial_t / P. *)
+
+val tuple : t -> int -> int array

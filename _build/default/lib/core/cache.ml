@@ -1,0 +1,83 @@
+(* Query-result caching for interactive exploration.
+
+   Exploration front ends re-issue the same counting queries constantly
+   (every brushing interaction re-renders the same group-bys).  Estimates
+   are pure functions of the solved summary, so a small LRU in front of
+   the polynomial evaluation turns repeat queries into hash lookups.
+
+   Keys are the canonical form of the predicate (restricted attributes
+   with their interval lists), so structurally equal predicates hit
+   regardless of construction order.  Eviction is batched: when the table
+   exceeds capacity, the least recently used ~10% of entries are dropped
+   in one sweep, keeping bookkeeping O(1) per query. *)
+
+open Edb_storage
+
+type key = (int * (int * int) list) list
+
+type entry = { value : float; mutable last_used : int }
+
+type t = {
+  summary : Summary.t;
+  capacity : int;
+  table : (key, entry) Hashtbl.t;
+  mutable tick : int;
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let create ?(capacity = 4096) summary =
+  if capacity < 1 then invalid_arg "Cache.create: capacity must be positive";
+  {
+    summary;
+    capacity;
+    table = Hashtbl.create (2 * capacity);
+    tick = 0;
+    hits = 0;
+    misses = 0;
+  }
+
+let key_of_predicate pred : key =
+  List.map
+    (fun i ->
+      match Predicate.restriction pred i with
+      | Some r -> (i, Edb_util.Ranges.intervals r)
+      | None -> assert false)
+    (Predicate.restricted_attrs pred)
+
+let evict t =
+  (* Drop the oldest ~10% by last_used. *)
+  let entries =
+    Hashtbl.fold (fun k e acc -> (e.last_used, k) :: acc) t.table []
+  in
+  let sorted = List.sort compare entries in
+  let to_drop = max 1 (t.capacity / 10) in
+  List.iteri
+    (fun i (_, k) -> if i < to_drop then Hashtbl.remove t.table k)
+    sorted
+
+let estimate t pred =
+  let key = key_of_predicate pred in
+  t.tick <- t.tick + 1;
+  match Hashtbl.find_opt t.table key with
+  | Some entry ->
+      entry.last_used <- t.tick;
+      t.hits <- t.hits + 1;
+      entry.value
+  | None ->
+      t.misses <- t.misses + 1;
+      let value = Summary.estimate t.summary pred in
+      if Hashtbl.length t.table >= t.capacity then evict t;
+      Hashtbl.replace t.table key { value; last_used = t.tick };
+      value
+
+type stats = { hits : int; misses : int; entries : int }
+
+let stats (t : t) =
+  { hits = t.hits; misses = t.misses; entries = Hashtbl.length t.table }
+
+let clear t =
+  Hashtbl.reset t.table;
+  t.hits <- 0;
+  t.misses <- 0;
+  t.tick <- 0

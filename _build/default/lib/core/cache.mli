@@ -1,0 +1,19 @@
+(** LRU cache in front of a summary's count estimation — repeat queries
+    from interactive front ends become hash lookups.  Keys are canonical
+    predicate forms; eviction drops the least-recent ~10% when capacity is
+    reached. *)
+
+open Edb_storage
+
+type t
+
+val create : ?capacity:int -> Summary.t -> t
+(** Default capacity 4096 entries.  Raises on non-positive capacities. *)
+
+val estimate : t -> Predicate.t -> float
+(** Same value as {!Summary.estimate}; cached. *)
+
+type stats = { hits : int; misses : int; entries : int }
+
+val stats : t -> stats
+val clear : t -> unit

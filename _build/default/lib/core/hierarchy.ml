@@ -1,0 +1,215 @@
+(* Hierarchical summaries — the paper's Sec. 7 roadmap item:
+
+     "These polynomials will start with coarse buckets (like states), and
+      build separate polynomials for buckets that require more detail."
+
+   One attribute — the "drill attribute" — gets a two-level treatment:
+
+   - the ROOT summary sees the relation with the drill attribute coarsened
+     into contiguous buckets (e.g. 147 cities -> 18 regions), keeping the
+     root polynomial small;
+   - selected heavy buckets are REFINED: each gets its own summary built
+     over exactly the rows that fall in the bucket, at full granularity
+     (its own complete marginals and, optionally, its own 2D statistics).
+
+   Query answering decomposes the drill attribute's restriction by bucket:
+
+   - a refined bucket answers from its sub-summary (whose cardinality is
+     the bucket's true row count, so no rescaling is needed);
+   - an unrefined bucket answers from the root with the bucket-level
+     restriction; when the query covers the bucket only partially, the
+     estimate is scaled by the covered fraction of the bucket — exactly
+     the MaxEnt uniformity assumption, now applied only *within* a coarse
+     bucket instead of across the whole domain.
+
+   The estimates remain linear queries, so everything composes by
+   addition. *)
+
+open Edb_util
+open Edb_storage
+
+type bucket = {
+  b_values : Ranges.t; (* drill-attribute values of this bucket *)
+  b_sub : Summary.t option; (* the refinement, if this bucket has one *)
+}
+
+type t = {
+  root : Summary.t;
+  drill_attr : int;
+  schema : Schema.t; (* the original, fine-grained schema *)
+  buckets : bucket array;
+  bucket_of_value : int array; (* drill value -> bucket index *)
+  n : int;
+}
+
+let coarsened_schema schema ~attr ~num_buckets =
+  Schema.create
+    (List.mapi
+       (fun i (a : Schema.attr) ->
+         if i = attr then
+           Schema.attr a.name (Domain.int_bins ~lo:0 ~hi:(num_buckets - 1) ~width:1)
+         else a)
+       (Schema.attributes schema))
+
+let build ?(solver_config = Solver.default_config) ?term_cap
+    ?(joints_root = fun _ -> []) ?(joints_sub = fun _ -> []) rel ~attr
+    ~boundaries ~refine =
+  let schema = Relation.schema rel in
+  let size = Schema.domain_size schema attr in
+  (* Validate boundaries: sorted bucket start values beginning at 0. *)
+  if Array.length boundaries = 0 || boundaries.(0) <> 0 then
+    invalid_arg "Hierarchy.build: boundaries must start at 0";
+  Array.iteri
+    (fun i b ->
+      if i > 0 && b <= boundaries.(i - 1) then
+        invalid_arg "Hierarchy.build: boundaries must be strictly increasing";
+      if b >= size then
+        invalid_arg "Hierarchy.build: boundary outside the drill domain")
+    boundaries;
+  let num_buckets = Array.length boundaries in
+  let bucket_range b =
+    let lo = boundaries.(b) in
+    let hi = if b + 1 < num_buckets then boundaries.(b + 1) - 1 else size - 1 in
+    Ranges.interval lo hi
+  in
+  let bucket_of_value = Array.make size 0 in
+  for b = 0 to num_buckets - 1 do
+    Ranges.iter (fun v -> bucket_of_value.(v) <- b) (bucket_range b)
+  done;
+  (* Coarsened copy of the relation for the root summary. *)
+  let coarse_schema = coarsened_schema schema ~attr ~num_buckets in
+  let cb = Relation.builder ~capacity:(Relation.cardinality rel) coarse_schema in
+  Relation.iteri
+    (fun _ row ->
+      let row' = Array.copy row in
+      row'.(attr) <- bucket_of_value.(row.(attr));
+      Relation.add_row cb row')
+    rel;
+  let coarse_rel = Relation.build cb in
+  let root =
+    Summary.build ~solver_config ?term_cap coarse_rel
+      ~joints:(joints_root coarse_rel)
+  in
+  (* Which buckets to refine. *)
+  let bucket_counts = Histogram.d1 coarse_rel ~attr in
+  let refined =
+    match refine with
+    | `Buckets bs ->
+        List.iter
+          (fun b ->
+            if b < 0 || b >= num_buckets then
+              invalid_arg "Hierarchy.build: refine bucket out of range")
+          bs;
+        bs
+    | `Top_k k ->
+        Array.to_list (Array.mapi (fun b c -> (b, c)) bucket_counts)
+        |> List.sort (fun (_, c1) (_, c2) -> compare c2 c1)
+        |> List.filteri (fun i _ -> i < k)
+        |> List.map fst
+  in
+  let buckets =
+    Array.init num_buckets (fun b ->
+        let values = bucket_range b in
+        let sub =
+          if List.mem b refined && bucket_counts.(b) > 0 then begin
+            let rows = ref [] in
+            Relation.iteri
+              (fun r row ->
+                if Ranges.mem row.(attr) values then rows := r :: !rows)
+              rel;
+            let sub_rel =
+              Relation.select_rows rel (Array.of_list (List.rev !rows))
+            in
+            Some
+              (Summary.build ~solver_config ?term_cap sub_rel
+                 ~joints:(joints_sub sub_rel))
+          end
+          else None
+        in
+        { b_values = values; b_sub = sub })
+  in
+  {
+    root;
+    drill_attr = attr;
+    schema;
+    buckets;
+    bucket_of_value;
+    n = Relation.cardinality rel;
+  }
+
+let cardinality t = t.n
+let root t = t.root
+let num_refined t =
+  Array.fold_left
+    (fun acc b -> if b.b_sub = None then acc else acc + 1)
+    0 t.buckets
+
+(* Translate a fine-grained predicate to the root's coarse schema, with the
+   drill attribute restricted to one bucket. *)
+let root_query t pred ~bucket =
+  let arity = Schema.arity t.schema in
+  let coarse =
+    List.fold_left
+      (fun q i ->
+        if i = t.drill_attr then q
+        else
+          match Predicate.restriction pred i with
+          | Some r -> Predicate.restrict q i r
+          | None -> q)
+      (Predicate.tautology arity)
+      (List.init arity Fun.id)
+  in
+  Predicate.restrict coarse t.drill_attr (Ranges.singleton bucket)
+
+let estimate t pred =
+  let drill_restriction =
+    match Predicate.restriction pred t.drill_attr with
+    | Some r -> r
+    | None ->
+        Ranges.interval 0 (Schema.domain_size t.schema t.drill_attr - 1)
+  in
+  let acc = ref 0. in
+  Array.iteri
+    (fun b_idx bucket ->
+      let covered = Ranges.inter drill_restriction bucket.b_values in
+      if not (Ranges.is_empty covered) then
+        match bucket.b_sub with
+        | Some sub ->
+            (* Refined: the sub-summary sees the original granularity. *)
+            let q =
+              Predicate.restrict pred t.drill_attr covered
+            in
+            acc := !acc +. Summary.estimate sub q
+        | None ->
+            (* Unrefined: root estimate for the whole bucket, scaled by the
+               covered fraction (uniformity within the bucket). *)
+            let fraction =
+              float_of_int (Ranges.cardinal covered)
+              /. float_of_int (Ranges.cardinal bucket.b_values)
+            in
+            let e = Summary.estimate t.root (root_query t pred ~bucket:b_idx) in
+            acc := !acc +. (e *. fraction))
+    t.buckets;
+  !acc
+
+let estimate_rounded t pred =
+  let e = estimate t pred in
+  if e < 0.5 then 0. else e
+
+type size_report = {
+  root_terms : int;
+  refined_buckets : int;
+  sub_terms_total : int;
+}
+
+let size_report t =
+  let root_terms = (Summary.size_report t.root).Summary.num_terms in
+  let sub_terms_total =
+    Array.fold_left
+      (fun acc b ->
+        match b.b_sub with
+        | None -> acc
+        | Some s -> acc + (Summary.size_report s).Summary.num_terms)
+      0 t.buckets
+  in
+  { root_terms; refined_buckets = num_refined t; sub_terms_total }

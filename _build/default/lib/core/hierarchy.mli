@@ -1,0 +1,43 @@
+(** Hierarchical summaries — the paper's Sec. 7 roadmap item: a root
+    summary over a coarsened drill attribute plus per-bucket refinement
+    summaries at full granularity, composed additively at query time. *)
+
+open Edb_storage
+
+type t
+
+val build :
+  ?solver_config:Solver.config ->
+  ?term_cap:int ->
+  ?joints_root:(Relation.t -> Predicate.t list) ->
+  ?joints_sub:(Relation.t -> Predicate.t list) ->
+  Relation.t ->
+  attr:int ->
+  boundaries:int array ->
+  refine:[ `Top_k of int | `Buckets of int list ] ->
+  t
+(** [build rel ~attr ~boundaries ~refine] coarsens [attr] into contiguous
+    buckets whose start values are [boundaries] (must begin at 0, strictly
+    increasing, within the domain), builds the root summary over the
+    coarsened relation, and refines the selected buckets ([`Top_k k]
+    refines the k most populous) with sub-summaries over their rows.
+    [joints_root]/[joints_sub] choose each level's 2D statistics from its
+    own relation (default: marginals only). *)
+
+val estimate : t -> Predicate.t -> float
+(** E[⟨q,I⟩]: refined buckets answer from their sub-summary; unrefined
+    buckets answer from the root, scaled by the covered fraction of the
+    bucket (uniformity within buckets). *)
+
+val estimate_rounded : t -> Predicate.t -> float
+val cardinality : t -> int
+val root : t -> Summary.t
+val num_refined : t -> int
+
+type size_report = {
+  root_terms : int;
+  refined_buckets : int;
+  sub_terms_total : int;
+}
+
+val size_report : t -> size_report

@@ -1,0 +1,190 @@
+(* The statistic set Φ = {(c_j, s_j)}.
+
+   Construction computes every target from the data: marginal targets from
+   1D histograms, joint targets by exact counting.  Validation enforces the
+   structural assumptions of Sec. 4.1: joint predicates restrict at least
+   two attributes, restrict each attribute to a non-empty value set, and
+   same-attribute-set statistics are pairwise disjoint. *)
+
+open Edb_util
+open Edb_storage
+
+type t = {
+  schema : Schema.t;
+  n : int; (* relation cardinality, fixed and known (Sec. 3.1) *)
+  stats : Statistic.t array; (* marginals first, then joints *)
+  marginal_offset : int array; (* attr -> id of its first marginal *)
+  num_marginals : int;
+  families : int array array; (* family -> member stat ids *)
+  family_attrs : int list array; (* family -> its attribute set *)
+}
+
+let schema t = t.schema
+let n t = t.n
+let stats t = t.stats
+let num_stats t = Array.length t.stats
+let num_marginals t = t.num_marginals
+let stat t j = t.stats.(j)
+let target t j = t.stats.(j).Statistic.target
+
+let marginal_id t ~attr ~value =
+  if value < 0 || value >= Schema.domain_size t.schema attr then
+    invalid_arg "Phi.marginal_id: value out of domain";
+  t.marginal_offset.(attr) + value
+
+let joint_ids t =
+  Array.to_list
+    (Array.init
+       (Array.length t.stats - t.num_marginals)
+       (fun i -> t.num_marginals + i))
+
+let families t = t.families
+let family_attrs t f = t.family_attrs.(f)
+
+let validate_joint schema pred =
+  let attrs = Predicate.restricted_attrs pred in
+  if List.length attrs < 2 then
+    invalid_arg "Phi.create: joint statistic must restrict >= 2 attributes";
+  List.iter
+    (fun i ->
+      match Predicate.restriction pred i with
+      | Some r ->
+          if Ranges.is_empty r then
+            invalid_arg "Phi.create: joint statistic with empty restriction";
+          if Ranges.max_elt r >= Schema.domain_size schema i then
+            invalid_arg "Phi.create: joint restriction exceeds domain"
+      | None -> assert false)
+    attrs
+
+let create_internal schema ~n ~marginal_counts ~joint_pairs =
+  let m = Schema.arity schema in
+  (* Marginals: one statistic per value of every active domain. *)
+  let marginal_offset = Array.make m 0 in
+  let next = ref 0 in
+  for i = 0 to m - 1 do
+    marginal_offset.(i) <- !next;
+    next := !next + Schema.domain_size schema i
+  done;
+  let num_marginals = !next in
+  let marginals =
+    Array.init num_marginals (fun _ -> None)
+    (* placeholder; filled below *)
+  in
+  for i = 0 to m - 1 do
+    Array.iteri
+      (fun v c ->
+        let id = marginal_offset.(i) + v in
+        marginals.(id) <-
+          Some
+            {
+              Statistic.id;
+              pred = Predicate.point ~arity:m [ (i, v) ];
+              target = c;
+              kind = Marginal { attr = i; value = v };
+            })
+      marginal_counts.(i)
+  done;
+  let marginals = Array.map Option.get marginals in
+  (* Joints: group by attribute set into families. *)
+  List.iter (fun (pred, _) -> validate_joint schema pred) joint_pairs;
+  let family_tbl : (int list, int) Hashtbl.t = Hashtbl.create 8 in
+  let family_attrs = ref [] and num_families = ref 0 in
+  let joint_stats =
+    List.mapi
+      (fun k (pred, target) ->
+        let attrs = Predicate.restricted_attrs pred in
+        let family =
+          match Hashtbl.find_opt family_tbl attrs with
+          | Some f -> f
+          | None ->
+              let f = !num_families in
+              Hashtbl.add family_tbl attrs f;
+              family_attrs := attrs :: !family_attrs;
+              incr num_families;
+              f
+        in
+        {
+          Statistic.id = num_marginals + k;
+          pred;
+          target;
+          kind = Joint { family };
+        })
+      joint_pairs
+  in
+  let family_attrs = Array.of_list (List.rev !family_attrs) in
+  let families = Array.make (Array.length family_attrs) [] in
+  List.iter
+    (fun (s : Statistic.t) ->
+      match s.kind with
+      | Joint { family } -> families.(family) <- s.id :: families.(family)
+      | Marginal _ -> assert false)
+    joint_stats;
+  let families =
+    Array.map (fun ids -> Array.of_list (List.rev ids)) families
+  in
+  (* Disjointness within a family (Sec. 4.1): the conjunction of two
+     same-attribute-set statistics must be unsatisfiable. *)
+  let all = Array.append marginals (Array.of_list joint_stats) in
+  Array.iter
+    (fun members ->
+      let k = Array.length members in
+      for a = 0 to k - 1 do
+        for b = a + 1 to k - 1 do
+          let pa = all.(members.(a)).Statistic.pred
+          and pb = all.(members.(b)).Statistic.pred in
+          if not (Predicate.is_unsatisfiable (Predicate.conj pa pb)) then
+            invalid_arg
+              (Fmt.str
+                 "Phi.of_relation: overlapping same-family statistics %a and %a"
+                 Predicate.pp pa Predicate.pp pb)
+        done
+      done)
+    families;
+  {
+    schema;
+    n;
+    stats = all;
+    marginal_offset;
+    num_marginals;
+    families;
+    family_attrs;
+  }
+
+let of_relation rel ~joints =
+  let schema = Relation.schema rel in
+  let m = Schema.arity schema in
+  let marginal_counts =
+    Array.init m (fun i ->
+        Array.map float_of_int (Histogram.d1 rel ~attr:i))
+  in
+  let joint_pairs =
+    List.map (fun pred -> (pred, float_of_int (Exec.count rel pred))) joints
+  in
+  create_internal schema ~n:(Relation.cardinality rel) ~marginal_counts
+    ~joint_pairs
+
+let of_targets schema ~n ~marginal_targets ~joints =
+  let m = Schema.arity schema in
+  if Array.length marginal_targets <> m then
+    invalid_arg "Phi.of_targets: marginal_targets arity mismatch";
+  Array.iteri
+    (fun i targets ->
+      if Array.length targets <> Schema.domain_size schema i then
+        invalid_arg "Phi.of_targets: marginal target vector length mismatch")
+    marginal_targets;
+  create_internal schema ~n ~marginal_counts:marginal_targets
+    ~joint_pairs:joints
+
+(* Overcompleteness sanity check (Sec. 3.1): for every attribute, the
+   marginal targets sum to the relation cardinality. *)
+let check_overcomplete t =
+  let m = Schema.arity t.schema in
+  let ok = ref true in
+  for i = 0 to m - 1 do
+    let sum = ref 0. in
+    for v = 0 to Schema.domain_size t.schema i - 1 do
+      sum := !sum +. target t (marginal_id t ~attr:i ~value:v)
+    done;
+    if not (Floatx.approx_eq !sum (float_of_int t.n)) then ok := false
+  done;
+  !ok

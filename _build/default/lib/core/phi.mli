@@ -1,0 +1,52 @@
+(** The statistic set Φ: the complete marginal family plus the chosen
+    multi-dimensional statistics, with targets computed from the data. *)
+
+open Edb_storage
+
+type t
+
+val of_relation : Relation.t -> joints:Predicate.t list -> t
+(** Builds Φ for a relation: every attribute contributes one marginal
+    statistic per domain value (targets from 1D histograms); [joints] are
+    the multi-dimensional range predicates (targets by exact counting).
+    Raises [Invalid_argument] if a joint restricts fewer than two
+    attributes, has an empty or out-of-domain restriction, or overlaps
+    another joint over the same attribute set (Sec. 4.1 assumptions). *)
+
+val of_targets :
+  Schema.t ->
+  n:int ->
+  marginal_targets:float array array ->
+  joints:(Predicate.t * float) list ->
+  t
+(** Build Φ from explicit targets instead of a relation:
+    [marginal_targets.(attr).(value)] and per-joint [(predicate, target)]
+    pairs.  Used by deserialization and by tests that perturb targets.
+    Same validation as {!of_relation}. *)
+
+val schema : t -> Schema.t
+
+val n : t -> int
+(** The summarized relation's cardinality (fixed and known, Sec. 3.1). *)
+
+val stats : t -> Statistic.t array
+(** All statistics; marginals first, joints after, indexed by id. *)
+
+val num_stats : t -> int
+val num_marginals : t -> int
+val stat : t -> int -> Statistic.t
+val target : t -> int -> float
+
+val marginal_id : t -> attr:int -> value:int -> int
+(** Id of the 1D statistic [A_attr = value]. *)
+
+val joint_ids : t -> int list
+
+val families : t -> int array array
+(** [families t].(f) lists the stat ids of family [f] (same attribute set,
+    pairwise disjoint). *)
+
+val family_attrs : t -> int -> int list
+
+val check_overcomplete : t -> bool
+(** Whether every attribute's marginal targets sum to [n]. *)

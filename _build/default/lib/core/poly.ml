@@ -1,0 +1,822 @@
+(* The compressed MaxEnt polynomial (Sec. 3.1 Eq. 5, compressed per
+   Theorem 4.1, plus two refinements).
+
+   The uncompressed polynomial has one monomial per possible tuple —
+   billions for the paper's schemas — so it is never materialized.
+   Theorem 4.1 rewrites P as a sum over *compatible sets* S of
+   multi-dimensional statistics: each S contributes
+
+       (i)  the full 1D sums A_i of the attributes S does not restrict,
+       (ii) the sums of 1D variables inside the intersection of S's
+            per-attribute projections, for the attributes it does restrict,
+            times prod_{j in S} (delta_j - 1).
+
+   Refinement 1 — group factorization.  Joint statistics are partitioned
+   into *connected groups* by shared attributes (union-find).  Monomials
+   factor across groups, so
+
+       P  =  prod_{i free} A_i  *  prod_g Q_g
+
+   and each group polynomial Q_g enumerates only compatible sets drawn from
+   its own statistics: attribute-disjoint families (e.g. the paper's Ent3&4
+   pairs (time,distance) x (origin,dest)) multiply instead of
+   cross-producting.  The paper's Sec. 7 lists this further factorization
+   as future work.
+
+   Refinement 2 — mask-indexed part (i).  Within a group, many terms leave
+   some group attributes unrestricted.  Storing those attributes' full sums
+   inside every term would make a single marginal update touch every term
+   of the group.  Instead, terms are bucketed by their *mask* (the set of
+   group attributes their S restricts) and carry only part (ii); the group
+   value is
+
+       Q_g = sum_masks  S_mask * prod_{i in group, i not in mask} A_i
+
+   where S_mask is the running sum of the bucket's part-(ii) values.  A
+   marginal update then touches only the terms whose own projection
+   contains the value, plus O(#masks) outer products — #masks is bounded by
+   the number of distinct family combinations, typically < 10.
+
+   The structure is mutable: the solver updates one variable at a time
+   (Algorithm 1) and every cached quantity — A_i, per-term factors,
+   per-mask sums, Q_g, P — is maintained incrementally.  [refresh]
+   recomputes everything from the variable vector to wash out accumulated
+   floating-point drift. *)
+
+open Edb_util
+open Edb_storage
+
+type term = {
+  t_stats : int array; (* joint stat ids of S; [||] for the base term *)
+  t_attrs : int array; (* attributes S restricts, ascending *)
+  t_restr : Ranges.t array; (* parallel to t_attrs: projection intersections *)
+  t_mask : int; (* mask id within the group *)
+  factors : float array; (* cached F_i(S) = sum of alpha inside t_restr *)
+  mutable fprod : float; (* prod factors *)
+  mutable dprod : float; (* prod_{j in S} (alpha_j - 1); 1 for the base *)
+  mutable value : float; (* fprod * dprod — part (ii) only *)
+}
+
+type group = {
+  g_attrs : int array; (* ascending *)
+  g_stats : int array; (* joint stat ids *)
+  g_terms : term array; (* index 0 is the base term (S = empty, mask 0) *)
+  mask_bits : int array; (* mask id -> bitset over local attr indices *)
+  mask_sum : float array; (* mask id -> sum of its terms' values *)
+  mask_outer : float array; (* mask id -> prod of A_i over unmasked locals *)
+  mutable q : float;
+  by_stat : (int, int list) Hashtbl.t; (* joint stat id -> term indices *)
+  by_value : (int * int) list array array;
+      (* local attr -> value -> (term index, factor position) pairs *)
+}
+
+type t = {
+  phi : Phi.t;
+  schema : Schema.t;
+  m : int;
+  alpha : float array; (* one variable per statistic, indexed by stat id *)
+  attr_sums : float array; (* A_i *)
+  groups : group array;
+  group_of_attr : int array; (* attr -> group index, or -1 if free *)
+  group_of_stat : (int, int) Hashtbl.t; (* joint stat id -> group index *)
+  free_attrs : int array;
+  mutable p : float;
+  prefix : float array array; (* attr -> prefix sums of alpha, length N_i+1 *)
+  mutable prefix_valid : bool;
+}
+
+exception Too_many_terms of { cap : int; group_attrs : int list }
+
+(* ------------------------------------------------------------------ *)
+(* Cached-state maintenance                                            *)
+(* ------------------------------------------------------------------ *)
+
+let ensure_prefix t =
+  if not t.prefix_valid then begin
+    for i = 0 to t.m - 1 do
+      let size = Schema.domain_size t.schema i in
+      let pre = t.prefix.(i) in
+      pre.(0) <- 0.;
+      for v = 0 to size - 1 do
+        pre.(v + 1) <-
+          pre.(v) +. t.alpha.(Phi.marginal_id t.phi ~attr:i ~value:v)
+      done
+    done;
+    t.prefix_valid <- true
+  end
+
+(* Sum of alpha over a value set, via prefix sums: O(#intervals). *)
+let range_sum t ~attr r =
+  let pre = t.prefix.(attr) in
+  List.fold_left
+    (fun acc (lo, hi) -> acc +. pre.(hi + 1) -. pre.(lo))
+    0. (Ranges.intervals r)
+
+let fprod_of term =
+  let acc = ref 1. in
+  Array.iter (fun f -> acc := !acc *. f) term.factors;
+  !acc
+
+let dprod_of t term =
+  let acc = ref 1. in
+  Array.iter (fun j -> acc := !acc *. (t.alpha.(j) -. 1.)) term.t_stats;
+  !acc
+
+(* Recompute every mask's outer product and the group value from the
+   current attribute sums and mask sums: O(#masks * |g_attrs|). *)
+let recompute_group_q t g =
+  let q = ref 0. in
+  Array.iteri
+    (fun k bits ->
+      let outer = ref 1. in
+      Array.iteri
+        (fun li attr ->
+          if bits land (1 lsl li) = 0 then outer := !outer *. t.attr_sums.(attr))
+        g.g_attrs;
+      g.mask_outer.(k) <- !outer;
+      q := !q +. (g.mask_sum.(k) *. !outer))
+    g.mask_bits;
+  g.q <- !q
+
+let compute_p t =
+  let p = ref 1. in
+  Array.iter (fun i -> p := !p *. t.attr_sums.(i)) t.free_attrs;
+  Array.iter (fun g -> p := !p *. g.q) t.groups;
+  !p
+
+let refresh t =
+  t.prefix_valid <- false;
+  ensure_prefix t;
+  for i = 0 to t.m - 1 do
+    t.attr_sums.(i) <- t.prefix.(i).(Schema.domain_size t.schema i)
+  done;
+  Array.iter
+    (fun g ->
+      Array.fill g.mask_sum 0 (Array.length g.mask_sum) 0.;
+      Array.iter
+        (fun term ->
+          Array.iteri
+            (fun pos i ->
+              term.factors.(pos) <- range_sum t ~attr:i term.t_restr.(pos))
+            term.t_attrs;
+          term.fprod <- fprod_of term;
+          term.dprod <- dprod_of t term;
+          term.value <- term.fprod *. term.dprod;
+          g.mask_sum.(term.t_mask) <- g.mask_sum.(term.t_mask) +. term.value)
+        g.g_terms;
+      recompute_group_q t g)
+    t.groups;
+  t.p <- compute_p t
+
+(* ------------------------------------------------------------------ *)
+(* Construction                                                        *)
+(* ------------------------------------------------------------------ *)
+
+module Uf = struct
+  let find parent i =
+    let rec go i = if parent.(i) = i then i else go parent.(i) in
+    let root = go i in
+    let rec compress i =
+      if parent.(i) <> root then begin
+        let next = parent.(i) in
+        parent.(i) <- root;
+        compress next
+      end
+    in
+    compress i;
+    root
+
+  let union parent a b =
+    let ra = find parent a and rb = find parent b in
+    if ra <> rb then parent.(ra) <- rb
+end
+
+let stat_ranges phi j =
+  (* The per-attribute projections rho_ij of joint statistic j. *)
+  let pred = Statistic.pred (Phi.stat phi j) in
+  List.map
+    (fun i ->
+      match Predicate.restriction pred i with
+      | Some r -> (i, r)
+      | None -> assert false)
+    (Predicate.restricted_attrs pred)
+
+type raw_term = { rt_stats : int list; rt_bound : (int * Ranges.t) list }
+
+(* Enumerate the compatible sets of one group by DFS over its families:
+   pick at most one statistic per family (same-family statistics are
+   disjoint, so they never co-occur in a monomial), pruning as soon as some
+   attribute's projection intersection becomes empty.  This constructs the
+   paper's J_I sets for all I at once. *)
+let enumerate_raw_terms phi ~term_cap ~g_attrs ~g_families =
+  let terms = ref [] and count = ref 0 in
+  let m = Array.fold_left max 0 g_attrs + 1 in
+  let restr_map : Ranges.t option array = Array.make m None in
+  let emit stats =
+    incr count;
+    if !count > term_cap then
+      raise
+        (Too_many_terms { cap = term_cap; group_attrs = Array.to_list g_attrs });
+    let bound =
+      List.filter_map
+        (fun i ->
+          match restr_map.(i) with Some r -> Some (i, r) | None -> None)
+        (Array.to_list g_attrs)
+    in
+    terms := { rt_stats = List.rev stats; rt_bound = bound } :: !terms
+  in
+  let families = Array.of_list g_families in
+  let ranges_of = Hashtbl.create 64 in
+  Array.iter
+    (fun fam ->
+      Array.iter (fun j -> Hashtbl.add ranges_of j (stat_ranges phi j)) fam)
+    families;
+  let rec dfs f chosen any =
+    if f = Array.length families then begin
+      if any then emit chosen
+    end
+    else begin
+      (* Skip this family. *)
+      dfs (f + 1) chosen any;
+      (* Or choose one of its statistics. *)
+      Array.iter
+        (fun j ->
+          let ranges = Hashtbl.find ranges_of j in
+          let saved = List.map (fun (i, _) -> (i, restr_map.(i))) ranges in
+          let ok =
+            List.for_all
+              (fun (i, r) ->
+                let r' =
+                  match restr_map.(i) with
+                  | None -> r
+                  | Some r0 -> Ranges.inter r0 r
+                in
+                restr_map.(i) <- Some r';
+                not (Ranges.is_empty r'))
+              ranges
+          in
+          if ok then dfs (f + 1) (j :: chosen) true;
+          List.iter (fun (i, saved_r) -> restr_map.(i) <- saved_r) saved)
+        families.(f)
+    end
+  in
+  dfs 0 [] false;
+  !terms
+
+let create ?(term_cap = 2_000_000) phi =
+  let schema = Phi.schema phi in
+  let m = Schema.arity schema in
+  (* Union-find over attributes through joint statistics. *)
+  let parent = Array.init m (fun i -> i) in
+  List.iter
+    (fun j ->
+      match Statistic.attrs (Phi.stat phi j) with
+      | [] | [ _ ] -> assert false
+      | a0 :: rest -> List.iter (fun a -> Uf.union parent a0 a) rest)
+    (Phi.joint_ids phi);
+  (* Collect groups: root -> statistic list. *)
+  let root_stats : (int, int list ref) Hashtbl.t = Hashtbl.create 8 in
+  List.iter
+    (fun j ->
+      let a0 = List.hd (Statistic.attrs (Phi.stat phi j)) in
+      let root = Uf.find parent a0 in
+      match Hashtbl.find_opt root_stats root with
+      | Some l -> l := j :: !l
+      | None -> Hashtbl.add root_stats root (ref [ j ]))
+    (Phi.joint_ids phi);
+  let group_of_attr = Array.make m (-1) in
+  let group_of_stat = Hashtbl.create 64 in
+  let groups = ref [] and g_idx = ref 0 in
+  Hashtbl.iter
+    (fun root stats ->
+      let stats = List.rev !stats in
+      let g_attrs =
+        List.filter (fun i -> Uf.find parent i = root) (List.init m Fun.id)
+        |> List.filter (fun i ->
+               List.exists
+                 (fun j -> List.mem i (Statistic.attrs (Phi.stat phi j)))
+                 stats)
+        |> Array.of_list
+      in
+      let local_of_attr = Array.make m (-1) in
+      Array.iteri (fun li i -> local_of_attr.(i) <- li) g_attrs;
+      (* Families restricted to this group, in id order. *)
+      let g_families =
+        Array.to_list (Phi.families phi)
+        |> List.filter_map (fun members ->
+               let inside =
+                 Array.to_list members |> List.filter (fun j -> List.mem j stats)
+               in
+               if inside = [] then None else Some (Array.of_list inside))
+      in
+      let raw = enumerate_raw_terms phi ~term_cap ~g_attrs ~g_families in
+      (* Assign mask ids: one per distinct restricted-attribute set. *)
+      let mask_ids = Hashtbl.create 8 in
+      Hashtbl.add mask_ids 0 0;
+      let next_mask = ref 1 in
+      let mask_of bound =
+        let bits =
+          List.fold_left
+            (fun acc (i, _) -> acc lor (1 lsl local_of_attr.(i)))
+            0 bound
+        in
+        match Hashtbl.find_opt mask_ids bits with
+        | Some k -> k
+        | None ->
+            let k = !next_mask in
+            Hashtbl.add mask_ids bits k;
+            incr next_mask;
+            k
+      in
+      let base =
+        {
+          t_stats = [||];
+          t_attrs = [||];
+          t_restr = [||];
+          t_mask = 0;
+          factors = [||];
+          fprod = 1.;
+          dprod = 1.;
+          value = 1.;
+        }
+      in
+      let nonbase =
+        List.map
+          (fun rt ->
+            {
+              t_stats = Array.of_list rt.rt_stats;
+              t_attrs = Array.of_list (List.map fst rt.rt_bound);
+              t_restr = Array.of_list (List.map snd rt.rt_bound);
+              t_mask = mask_of rt.rt_bound;
+              factors = Array.make (List.length rt.rt_bound) 0.;
+              fprod = 0.;
+              dprod = 1.;
+              value = 0.;
+            })
+          raw
+      in
+      let g_terms = Array.of_list (base :: nonbase) in
+      let num_masks = !next_mask in
+      let mask_bits = Array.make num_masks 0 in
+      Hashtbl.iter (fun bits k -> mask_bits.(k) <- bits) mask_ids;
+      (* Inverted indexes. *)
+      let by_stat = Hashtbl.create 64 in
+      Array.iteri
+        (fun ti term ->
+          Array.iter
+            (fun j ->
+              let cur = Option.value (Hashtbl.find_opt by_stat j) ~default:[] in
+              Hashtbl.replace by_stat j (ti :: cur))
+            term.t_stats)
+        g_terms;
+      let by_value =
+        Array.map
+          (fun i -> Array.make (Schema.domain_size schema i) [])
+          g_attrs
+      in
+      Array.iteri
+        (fun ti term ->
+          Array.iteri
+            (fun pos i ->
+              let li = local_of_attr.(i) in
+              Ranges.iter
+                (fun v -> by_value.(li).(v) <- (ti, pos) :: by_value.(li).(v))
+                term.t_restr.(pos))
+            term.t_attrs)
+        g_terms;
+      Array.iter (fun i -> group_of_attr.(i) <- !g_idx) g_attrs;
+      List.iter (fun j -> Hashtbl.add group_of_stat j !g_idx) stats;
+      groups :=
+        {
+          g_attrs;
+          g_stats = Array.of_list stats;
+          g_terms;
+          mask_bits;
+          mask_sum = Array.make num_masks 0.;
+          mask_outer = Array.make num_masks 1.;
+          q = 0.;
+          by_stat;
+          by_value;
+        }
+        :: !groups;
+      incr g_idx)
+    root_stats;
+  let groups = Array.of_list (List.rev !groups) in
+  let free_attrs =
+    Array.of_list
+      (List.filter (fun i -> group_of_attr.(i) = -1) (List.init m Fun.id))
+  in
+  let n = float_of_int (Phi.n phi) in
+  let alpha =
+    Array.map
+      (fun s ->
+        match Statistic.kind s with
+        | Statistic.Marginal _ -> Statistic.target s /. n
+        | Statistic.Joint _ -> 1.)
+      (Phi.stats phi)
+  in
+  let t =
+    {
+      phi;
+      schema;
+      m;
+      alpha;
+      attr_sums = Array.make m 0.;
+      groups;
+      group_of_attr;
+      group_of_stat;
+      free_attrs;
+      p = 0.;
+      prefix =
+        Array.init m (fun i -> Array.make (Schema.domain_size schema i + 1) 0.);
+      prefix_valid = false;
+    }
+  in
+  refresh t;
+  t
+
+(* ------------------------------------------------------------------ *)
+(* Accessors                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let phi t = t.phi
+let p t = t.p
+let alpha t j = t.alpha.(j)
+let attr_sum t i = t.attr_sums.(i)
+
+let num_terms t =
+  Array.fold_left (fun acc g -> acc + Array.length g.g_terms) 0 t.groups
+
+let num_groups t = Array.length t.groups
+let uncompressed_monomials t = Schema.tuple_space_size t.schema
+
+(* ------------------------------------------------------------------ *)
+(* Incremental variable update                                         *)
+(* ------------------------------------------------------------------ *)
+
+let local_of g attr =
+  let rec find k = if g.g_attrs.(k) = attr then k else find (k + 1) in
+  find 0
+
+let set_alpha t j v =
+  let old = t.alpha.(j) in
+  if old <> v then begin
+    t.alpha.(j) <- v;
+    t.prefix_valid <- false;
+    (match Statistic.kind (Phi.stat t.phi j) with
+    | Statistic.Marginal { attr; value } ->
+        let delta = v -. old in
+        t.attr_sums.(attr) <- t.attr_sums.(attr) +. delta;
+        let gi = t.group_of_attr.(attr) in
+        if gi >= 0 then begin
+          let g = t.groups.(gi) in
+          List.iter
+            (fun (ti, pos) ->
+              let term = g.g_terms.(ti) in
+              term.factors.(pos) <- term.factors.(pos) +. delta;
+              term.fprod <- fprod_of term;
+              let value' = term.fprod *. term.dprod in
+              g.mask_sum.(term.t_mask) <-
+                g.mask_sum.(term.t_mask) +. value' -. term.value;
+              term.value <- value')
+            g.by_value.(local_of g attr).(value);
+          recompute_group_q t g
+        end
+    | Statistic.Joint _ ->
+        let gi = Hashtbl.find t.group_of_stat j in
+        let g = t.groups.(gi) in
+        List.iter
+          (fun ti ->
+            let term = g.g_terms.(ti) in
+            term.dprod <- dprod_of t term;
+            let value' = term.fprod *. term.dprod in
+            g.mask_sum.(term.t_mask) <-
+              g.mask_sum.(term.t_mask) +. value' -. term.value;
+            term.value <- value')
+          (Option.value (Hashtbl.find_opt g.by_stat j) ~default:[]);
+        recompute_group_q t g);
+    t.p <- compute_p t
+  end
+
+(* Scale normalization.  Every monomial contains exactly one marginal
+   variable of every attribute (overcompleteness), so multiplying all of
+   attribute i's marginals by c multiplies P by c and leaves every
+   expectation, estimate, and the dual unchanged.  Normalizing each
+   attribute sum to 1 therefore pins P to a bounded magnitude; without it,
+   unrealizable targets (noisy or privatized statistics) make the
+   coordinate iteration drift P towards 0 or infinity. *)
+let normalize t =
+  let changed = ref false in
+  for i = 0 to t.m - 1 do
+    let a = t.attr_sums.(i) in
+    if a > 0. && a <> 1. then begin
+      changed := true;
+      for v = 0 to Schema.domain_size t.schema i - 1 do
+        let j = Phi.marginal_id t.phi ~attr:i ~value:v in
+        t.alpha.(j) <- t.alpha.(j) /. a
+      done
+    end
+  done;
+  if !changed then refresh t
+
+(* Bulk variable assignment (used by the gradient solver's simultaneous
+   updates and by deserialization): copy the whole vector, then rebuild all
+   cached state in one pass. *)
+let set_alphas t values =
+  if Array.length values <> Array.length t.alpha then
+    invalid_arg "Poly.set_alphas: wrong vector length";
+  Array.blit values 0 t.alpha 0 (Array.length values);
+  refresh t
+
+let alphas t = Array.copy t.alpha
+
+(* Reset variables to an initialization strategy: [`Marginals] seeds 1D
+   variables at s_j/n (exact for a marginals-only model), [`Uniform] seeds
+   everything at 1 (the uninformed start).  Joints start at 1 in both. *)
+let reinit t strategy =
+  let n = float_of_int (Phi.n t.phi) in
+  Array.iter
+    (fun s ->
+      let j = Statistic.id s in
+      t.alpha.(j) <-
+        (match (Statistic.kind s, strategy) with
+        | Statistic.Marginal _, `Marginals -> Statistic.target s /. n
+        | _, _ -> 1.))
+    (Phi.stats t.phi);
+  refresh t
+
+(* ------------------------------------------------------------------ *)
+(* Derivatives and expectations                                        *)
+(* ------------------------------------------------------------------ *)
+
+(* prod over free attrs and groups, excluding one of each. *)
+let outer_product t ~skip_attr ~skip_group =
+  let acc = ref 1. in
+  Array.iter
+    (fun i -> if i <> skip_attr then acc := !acc *. t.attr_sums.(i))
+    t.free_attrs;
+  Array.iteri
+    (fun gi g -> if gi <> skip_group then acc := !acc *. g.q)
+    t.groups;
+  !acc
+
+let factors_product_excluding term ~pos =
+  let acc = ref 1. in
+  Array.iteri (fun k f -> if k <> pos then acc := !acc *. f) term.factors;
+  !acc
+
+(* dP/dalpha_j.  P is linear in every variable (each statistic predicate is
+   0/1 on every tuple), so the derivative is the sum of the terms whose
+   monomials contain the variable, with the variable's own factor
+   removed. *)
+let partial t j =
+  match Statistic.kind (Phi.stat t.phi j) with
+  | Statistic.Marginal { attr; value } ->
+      let gi = t.group_of_attr.(attr) in
+      if gi < 0 then outer_product t ~skip_attr:attr ~skip_group:(-1)
+      else begin
+        let g = t.groups.(gi) in
+        let li = local_of g attr in
+        let dq = ref 0. in
+        (* Masks not restricting [attr]: the variable enters through the
+           full attribute sum A_attr of the outer product. *)
+        Array.iteri
+          (fun k bits ->
+            if bits land (1 lsl li) = 0 then begin
+              let outer = ref 1. in
+              Array.iteri
+                (fun li' attr' ->
+                  if li' <> li && bits land (1 lsl li') = 0 then
+                    outer := !outer *. t.attr_sums.(attr'))
+                g.g_attrs;
+              dq := !dq +. (g.mask_sum.(k) *. !outer)
+            end)
+          g.mask_bits;
+        (* Terms restricting [attr] with [value] inside their projection:
+           the variable enters through the term's own factor. *)
+        List.iter
+          (fun (ti, pos) ->
+            let term = g.g_terms.(ti) in
+            dq :=
+              !dq
+              +. factors_product_excluding term ~pos
+                 *. term.dprod *. g.mask_outer.(term.t_mask))
+          g.by_value.(li).(value);
+        outer_product t ~skip_attr:(-1) ~skip_group:gi *. !dq
+      end
+  | Statistic.Joint _ ->
+      let gi = Hashtbl.find t.group_of_stat j in
+      let g = t.groups.(gi) in
+      let dq = ref 0. in
+      List.iter
+        (fun ti ->
+          let term = g.g_terms.(ti) in
+          let rest = ref 1. in
+          Array.iter
+            (fun j' -> if j' <> j then rest := !rest *. (t.alpha.(j') -. 1.))
+            term.t_stats;
+          dq := !dq +. (term.fprod *. !rest *. g.mask_outer.(term.t_mask)))
+        (Option.value (Hashtbl.find_opt g.by_stat j) ~default:[]);
+      outer_product t ~skip_attr:(-1) ~skip_group:gi *. !dq
+
+(* E[<c_j, I>] = n * alpha_j * dP/dalpha_j / P   (Eq. 8). *)
+let expected t j =
+  if t.p <= 0. then 0.
+  else float_of_int (Phi.n t.phi) *. t.alpha.(j) *. partial t j /. t.p
+
+(* ------------------------------------------------------------------ *)
+(* Restricted evaluation: query answering by zeroing (Sec. 4.2)        *)
+(* ------------------------------------------------------------------ *)
+
+(* Worker count for restricted evaluation over large groups; configured
+   globally (CLI/bench read EDB_DOMAINS).  Chunk workers only read the
+   cached state, which [ensure_prefix] finalizes before any spawn. *)
+let parallelism = ref (Parallel.default_domains ())
+let parallel_threshold = ref 30_000
+
+let set_parallelism ?threshold n =
+  parallelism := max 1 n;
+  match threshold with
+  | Some th -> parallel_threshold := max 1 th
+  | None -> ()
+
+(* P with every 1D variable outside the query's per-attribute restrictions
+   set to 0.  Nothing is rebuilt: restricted attribute sums and term
+   factors are recomputed from prefix sums over the current alpha. *)
+let eval_restricted t query =
+  ensure_prefix t;
+  let restricted_attr_sum i =
+    match Predicate.restriction query i with
+    | None -> t.attr_sums.(i)
+    | Some r -> range_sum t ~attr:i r
+  in
+  let acc = ref 1. in
+  Array.iter (fun i -> acc := !acc *. restricted_attr_sum i) t.free_attrs;
+  Array.iter
+    (fun g ->
+      let restricted_a = Array.map restricted_attr_sum g.g_attrs in
+      let num_masks = Array.length g.mask_bits in
+      let term_masses ~lo ~hi =
+        let local = Array.make num_masks 0. in
+        for ti = lo to hi - 1 do
+          let term = g.g_terms.(ti) in
+          let f = ref term.dprod in
+          (try
+             Array.iteri
+               (fun pos i ->
+                 let factor =
+                   match Predicate.restriction query i with
+                   | None -> term.factors.(pos)
+                   | Some qr ->
+                       range_sum t ~attr:i (Ranges.inter term.t_restr.(pos) qr)
+                 in
+                 if factor = 0. then raise Exit;
+                 f := !f *. factor)
+               term.t_attrs
+           with Exit -> f := 0.);
+          local.(term.t_mask) <- local.(term.t_mask) +. !f
+        done;
+        local
+      in
+      let n_terms = Array.length g.g_terms in
+      let domains =
+        if n_terms >= !parallel_threshold then !parallelism else 1
+      in
+      let msum =
+        Parallel.fold ~domains ~n:n_terms ~chunk:term_masses
+          ~combine:(fun a b ->
+            Array.iteri (fun k v -> a.(k) <- a.(k) +. v) b;
+            a)
+          ~init:(Array.make num_masks 0.)
+      in
+      let q = ref 0. in
+      Array.iteri
+        (fun k bits ->
+          if msum.(k) <> 0. then begin
+            let outer = ref 1. in
+            Array.iteri
+              (fun li _ ->
+                if bits land (1 lsl li) = 0 then
+                  outer := !outer *. restricted_a.(li))
+              g.g_attrs;
+            q := !q +. (msum.(k) *. !outer)
+          end)
+        g.mask_bits;
+      (* Q_g is a sum of non-negative monomials; clamp the tiny negative
+         values floating-point cancellation can produce. *)
+      acc := !acc *. Float.max 0. !q)
+    t.groups;
+  !acc
+
+(* Weighted evaluation: sum over tuples satisfying [query] of
+   prod_i w_i(t_i) * monomial(t), for product-form per-tuple weights.
+   Because P is linear in every marginal variable, substituting
+   alpha_{i,v} -> alpha_{i,v} * w_i(v) computes exactly this sum; that is
+   what lets the same factorized representation answer SUM and AVG
+   queries (a strictly larger class of the paper's linear queries than
+   counting). *)
+let eval_weighted t query ~weights =
+  ensure_prefix t;
+  (* Per-attribute prefix sums of weighted alphas; [weights] gives a
+     weight function for the attributes it covers, all others weigh 1 and
+     reuse the cached prefixes. *)
+  let prefix_of =
+    let overridden = Hashtbl.create 4 in
+    List.iter
+      (fun (attr, w) ->
+        let size = Schema.domain_size t.schema attr in
+        let pre = Array.make (size + 1) 0. in
+        for v = 0 to size - 1 do
+          pre.(v + 1) <-
+            pre.(v)
+            +. (t.alpha.(Phi.marginal_id t.phi ~attr ~value:v) *. w v)
+        done;
+        Hashtbl.replace overridden attr pre)
+      weights;
+    fun attr ->
+      match Hashtbl.find_opt overridden attr with
+      | Some pre -> pre
+      | None -> t.prefix.(attr)
+  in
+  let sum_over ~attr r =
+    let pre = prefix_of attr in
+    List.fold_left
+      (fun acc (lo, hi) -> acc +. pre.(hi + 1) -. pre.(lo))
+      0. (Ranges.intervals r)
+  in
+  let full ~attr =
+    let pre = prefix_of attr in
+    pre.(Schema.domain_size t.schema attr)
+  in
+  let attr_total i =
+    match Predicate.restriction query i with
+    | None -> full ~attr:i
+    | Some r -> sum_over ~attr:i r
+  in
+  let acc = ref 1. in
+  Array.iter (fun i -> acc := !acc *. attr_total i) t.free_attrs;
+  Array.iter
+    (fun g ->
+      let totals = Array.map attr_total g.g_attrs in
+      let num_masks = Array.length g.mask_bits in
+      let msum = Array.make num_masks 0. in
+      Array.iter
+        (fun term ->
+          let f = ref term.dprod in
+          (try
+             Array.iteri
+               (fun pos i ->
+                 let restr =
+                   match Predicate.restriction query i with
+                   | None -> term.t_restr.(pos)
+                   | Some qr -> Ranges.inter term.t_restr.(pos) qr
+                 in
+                 let factor = sum_over ~attr:i restr in
+                 if factor = 0. then raise Exit;
+                 f := !f *. factor)
+               term.t_attrs
+           with Exit -> f := 0.);
+          msum.(term.t_mask) <- msum.(term.t_mask) +. !f)
+        g.g_terms;
+      let q = ref 0. in
+      Array.iteri
+        (fun k bits ->
+          if msum.(k) <> 0. then begin
+            let outer = ref 1. in
+            Array.iteri
+              (fun li _ ->
+                if bits land (1 lsl li) = 0 then outer := !outer *. totals.(li))
+              g.g_attrs;
+            q := !q +. (msum.(k) *. !outer)
+          end)
+        g.mask_bits;
+      acc := !acc *. !q)
+    t.groups;
+  !acc
+
+(* E[<q, I>] = n / P * P[zeroed]  — the final formula of Sec. 4.2. *)
+let estimate t query =
+  if Predicate.is_unsatisfiable query then 0.
+  else if t.p <= 0. then 0.
+  else float_of_int (Phi.n t.phi) *. eval_restricted t query /. t.p
+
+let estimate_weighted t query ~weights =
+  if Predicate.is_unsatisfiable query then 0.
+  else if t.p <= 0. then 0.
+  else float_of_int (Phi.n t.phi) *. eval_weighted t query ~weights /. t.p
+
+(* The dual objective Psi = sum_j s_j ln alpha_j - n ln P  (Eq. 11).
+   Statistics with s_j = 0 contribute lim_{a->0} 0*ln a = 0. *)
+let dual t =
+  let acc = ref 0. in
+  Array.iter
+    (fun s ->
+      let sj = Statistic.target s in
+      if sj > 0. then begin
+        let a = t.alpha.(Statistic.id s) in
+        if a > 0. then acc := !acc +. (sj *. log a)
+        else acc := Float.neg_infinity
+      end)
+    (Phi.stats t.phi);
+  if t.p > 0. then !acc -. (float_of_int (Phi.n t.phi) *. log t.p)
+  else Float.neg_infinity

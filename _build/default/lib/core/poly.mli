@@ -1,0 +1,103 @@
+(** The compressed factorized MaxEnt polynomial (Eq. 5 / Theorem 4.1).
+
+    P is stored as a product over attribute-connected statistic groups of
+    group polynomials, each a sum over compatible sets of joint statistics
+    (the paper's J_I), never materializing the one-monomial-per-tuple form.
+    All cached quantities are maintained incrementally under
+    single-variable updates, which is what Algorithm 1 needs. *)
+
+open Edb_storage
+
+type t
+
+exception Too_many_terms of { cap : int; group_attrs : int list }
+
+val create : ?term_cap:int -> Phi.t -> t
+(** Builds the compressed representation and initializes variables
+    (marginals to s_j/n — exact for a marginals-only model — and joints
+    to 1, which makes their correction terms vanish initially).  Raises
+    {!Too_many_terms} if a group's compatible-set enumeration exceeds
+    [term_cap] (default 2,000,000): the statistic budget is too large for
+    this attribute topology. *)
+
+val phi : t -> Phi.t
+
+val p : t -> float
+(** Current value of P at the current variable assignment. *)
+
+val alpha : t -> int -> float
+(** Value of statistic [j]'s variable. *)
+
+val attr_sum : t -> int -> float
+(** A_i: sum of attribute [i]'s marginal variables. *)
+
+val set_alpha : t -> int -> float -> unit
+(** Incremental single-variable update; maintains all cached sums, group
+    values, and P in O(terms containing the variable). *)
+
+val refresh : t -> unit
+(** Recompute every cached quantity from the variable vector (washes out
+    floating-point drift; the solver calls it once per sweep). *)
+
+val normalize : t -> unit
+(** Rescale every attribute's marginal variables so A_i = 1.  Leaves all
+    expectations, estimates, and the dual unchanged (overcompleteness
+    makes the model scale-invariant per attribute) while pinning P's
+    magnitude — numerical hygiene the solver applies once per sweep. *)
+
+val set_alphas : t -> float array -> unit
+(** Bulk assignment of the whole variable vector (indexed by stat id),
+    followed by a full refresh.  Raises on length mismatch. *)
+
+val alphas : t -> float array
+(** Copy of the current variable vector. *)
+
+val reinit : t -> [ `Marginals | `Uniform ] -> unit
+(** Reset variables to an initialization strategy: [`Marginals] seeds 1D
+    variables at s_j/n, [`Uniform] seeds everything at 1. *)
+
+val partial : t -> int -> float
+(** ∂P/∂α_j.  P is multi-linear, so this is exact, not numeric. *)
+
+val expected : t -> int -> float
+(** E[⟨c_j, I⟩] = n·α_j·∂P/∂α_j / P  (Eq. 8). *)
+
+val eval_restricted : t -> Predicate.t -> float
+(** P with all 1D variables outside the query's restrictions set to 0 —
+    the optimized query evaluation of Sec. 4.2.  No rebuilding.  Groups
+    above 30k terms are evaluated with {!set_parallelism} domains. *)
+
+val set_parallelism : ?threshold:int -> int -> unit
+(** Worker domains for restricted evaluation over large groups (default:
+    the [EDB_DOMAINS] environment variable, else 1).  [threshold] is the
+    minimum group term count for parallel evaluation (default 30,000;
+    overridable for testing). *)
+
+val estimate : t -> Predicate.t -> float
+(** E[⟨q, I⟩] = n·P\[zeroed\]/P for a conjunctive counting query. *)
+
+val eval_weighted :
+  t -> Predicate.t -> weights:(int * (int -> float)) list -> float
+(** Sum over tuples satisfying the predicate of
+    [Π_i w_i(t_i) · monomial(t)], for product-form weights: [weights]
+    maps an attribute to a per-value weight, absent attributes weigh 1.
+    Computed by substituting α_{i,v} ↦ α_{i,v}·w_i(v) — no restructuring.
+    With all weights 1 this equals {!eval_restricted} (up to the
+    non-negativity clamp, which weighted sums must not apply). *)
+
+val estimate_weighted :
+  t -> Predicate.t -> weights:(int * (int -> float)) list -> float
+(** E of the weighted linear query: n·[eval_weighted]/P. *)
+
+val dual : t -> float
+(** The dual objective Ψ = Σ_j s_j ln α_j − n ln P (Eq. 11); concave in the
+    θ parametrization, maximized at the MaxEnt solution. *)
+
+val num_terms : t -> int
+(** Terms in the compressed representation (including per-group base
+    terms). *)
+
+val num_groups : t -> int
+
+val uncompressed_monomials : t -> float
+(** |Tup| — the size the naive sum-of-products form would have. *)

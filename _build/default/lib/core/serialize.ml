@@ -1,0 +1,91 @@
+(* Summary persistence.
+
+   The paper stores its polynomial variables in Postgres and the
+   factorization in a text file (Sec. 5); here a summary is one versioned
+   binary file.  The payload is the statistic set (schema, n, all targets)
+   plus the solved variable vector and the solver report.  The compressed
+   polynomial itself is *rebuilt* on load — it is deterministic from Φ —
+   which keeps the file at O(#statistics) instead of O(#terms) and avoids
+   deserializing mutable cached state. *)
+
+open Edb_storage
+
+let magic = "ENTROPYDB\x01"
+let version = 1
+
+exception Format_error of string
+
+type payload = {
+  p_schema : Schema.t;
+  p_n : int;
+  p_marginal_targets : float array array;
+  p_joints : (Predicate.t * float) list;
+  p_alpha : float array;
+  p_report : Solver.report;
+}
+
+let save summary path =
+  let poly = Summary.poly summary in
+  let phi = Poly.phi poly in
+  let schema = Phi.schema phi in
+  let m = Schema.arity schema in
+  let marginal_targets =
+    Array.init m (fun i ->
+        Array.init (Schema.domain_size schema i) (fun v ->
+            Phi.target phi (Phi.marginal_id phi ~attr:i ~value:v)))
+  in
+  let joints =
+    List.map
+      (fun j ->
+        let s = Phi.stat phi j in
+        (Statistic.pred s, Statistic.target s))
+      (Phi.joint_ids phi)
+  in
+  let payload =
+    {
+      p_schema = schema;
+      p_n = Phi.n phi;
+      p_marginal_targets = marginal_targets;
+      p_joints = joints;
+      p_alpha = Array.init (Phi.num_stats phi) (fun j -> Poly.alpha poly j);
+      p_report = Summary.solver_report summary;
+    }
+  in
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc magic;
+      output_binary_int oc version;
+      Marshal.to_channel oc payload [])
+
+let load ?term_cap path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let buf =
+        try really_input_string ic (String.length magic)
+        with End_of_file -> raise (Format_error "truncated file")
+      in
+      if buf <> magic then raise (Format_error "bad magic");
+      let v = try input_binary_int ic with End_of_file -> raise (Format_error "truncated header") in
+      if v <> version then
+        raise (Format_error (Printf.sprintf "unsupported version %d" v));
+      let payload : payload =
+        (* Marshal surfaces corruption as Failure or End_of_file; normalize
+           to Format_error so callers have one error type. *)
+        try Marshal.from_channel ic with
+        | Failure msg -> raise (Format_error ("corrupt payload: " ^ msg))
+        | End_of_file -> raise (Format_error "truncated payload")
+      in
+      let phi =
+        Phi.of_targets payload.p_schema ~n:payload.p_n
+          ~marginal_targets:payload.p_marginal_targets ~joints:payload.p_joints
+      in
+      if Array.length payload.p_alpha <> Phi.num_stats phi then
+        raise (Format_error "alpha vector length mismatch");
+      let poly = Poly.create ?term_cap phi in
+      Array.iteri (fun j a -> Poly.set_alpha poly j a) payload.p_alpha;
+      Poly.refresh poly;
+      Summary.of_solved_poly ~poly ~report:payload.p_report)

@@ -1,0 +1,10 @@
+(** Summary persistence: one versioned binary file per summary, sized
+    O(#statistics).  The compressed polynomial is rebuilt on load. *)
+
+exception Format_error of string
+
+val save : Summary.t -> string -> unit
+
+val load : ?term_cap:int -> string -> Summary.t
+(** Raises {!Format_error} on bad magic, version, or payload shape, and
+    like {!Poly.create} if the rebuilt polynomial exceeds [term_cap]. *)

@@ -1,0 +1,42 @@
+(* Statistics (c_j, s_j) — the knowledge the MaxEnt model preserves.
+
+   Following Sec. 3.1, every statistic is a counting query given by a
+   conjunctive per-attribute predicate, together with its observed count on
+   the data.  Two kinds exist:
+
+   - marginals: the complete set of 1D point statistics A_i = v, one per
+     value of every attribute's active domain (the paper requires this
+     "overcomplete" family, Eq. 7);
+   - joints: multi-dimensional range statistics (in the evaluation, 2D
+     rectangles chosen per Sec. 4.3); statistics over the same attribute
+     set must be pairwise disjoint (Sec. 4.1, third assumption).
+
+   Each statistic owns one variable of the polynomial; [id] is its index in
+   the shared variable vector. *)
+
+open Edb_storage
+
+type kind =
+  | Marginal of { attr : int; value : int }
+  | Joint of { family : int }
+      (* [family] identifies the set of same-attribute-set statistics this
+         one belongs to; members of a family are pairwise disjoint. *)
+
+type t = { id : int; pred : Predicate.t; target : float; kind : kind }
+
+let id t = t.id
+let pred t = t.pred
+let target t = t.target
+let kind t = t.kind
+
+let is_marginal t = match t.kind with Marginal _ -> true | Joint _ -> false
+
+let attrs t = Predicate.restricted_attrs t.pred
+
+let pp ppf t =
+  match t.kind with
+  | Marginal { attr; value } ->
+      Fmt.pf ppf "#%d marginal A%d=%d (s=%g)" t.id attr value t.target
+  | Joint { family } ->
+      Fmt.pf ppf "#%d joint fam%d %a (s=%g)" t.id family Predicate.pp t.pred
+        t.target

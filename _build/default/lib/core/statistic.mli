@@ -1,0 +1,28 @@
+(** Statistics (c_j, s_j): counting queries with observed counts, one
+    polynomial variable each (Sec. 3.1). *)
+
+open Edb_storage
+
+type kind =
+  | Marginal of { attr : int; value : int }
+      (** 1D point statistic [A_attr = value]; the complete marginal family
+          makes the model overcomplete (Eq. 7). *)
+  | Joint of { family : int }
+      (** Multi-dimensional range statistic; statistics sharing a [family]
+          have the same attribute set and are pairwise disjoint. *)
+
+type t = { id : int; pred : Predicate.t; target : float; kind : kind }
+
+val id : t -> int
+val pred : t -> Predicate.t
+
+val target : t -> float
+(** The observed count s_j = |σ_{π_j}(I)|. *)
+
+val kind : t -> kind
+val is_marginal : t -> bool
+
+val attrs : t -> int list
+(** Attributes the statistic's predicate restricts. *)
+
+val pp : Format.formatter -> t -> unit

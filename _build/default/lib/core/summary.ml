@@ -1,0 +1,161 @@
+(* The EntropyDB summary: the public face of the library.
+
+   A summary bundles the solved polynomial with everything needed to answer
+   queries: build it once offline (Sec. 3.3), then ask for expected counts
+   of any conjunctive counting query (Sec. 4.2), group-by estimates, or
+   uncertainty (closed-form variance — the paper's Sec. 7 roadmap item,
+   which falls out of the multinomial reading of the fixed-size MaxEnt
+   model). *)
+
+open Edb_storage
+
+type t = {
+  poly : Poly.t;
+  schema : Schema.t;
+  n : int;
+  report : Solver.report;
+}
+
+let build ?(solver_config = Solver.default_config) ?term_cap rel ~joints =
+  let phi = Phi.of_relation rel ~joints in
+  let poly = Poly.create ?term_cap phi in
+  let report = Solver.solve ~config:solver_config poly in
+  { poly; schema = Relation.schema rel; n = Relation.cardinality rel; report }
+
+let of_phi ?(solver_config = Solver.default_config) ?term_cap phi =
+  let poly = Poly.create ?term_cap phi in
+  let report = Solver.solve ~config:solver_config poly in
+  { poly; schema = Phi.schema phi; n = Phi.n phi; report }
+
+let of_solved_poly ~poly ~report =
+  {
+    poly;
+    schema = Phi.schema (Poly.phi poly);
+    n = Phi.n (Poly.phi poly);
+    report;
+  }
+
+let schema t = t.schema
+let cardinality t = t.n
+let poly t = t.poly
+let solver_report t = t.report
+
+let estimate t query = Poly.estimate t.poly query
+
+(* The paper rounds estimates below 0.5 to 0 when distinguishing rare from
+   nonexistent values (Sec. 4.3 discussion of Fig. 2b). *)
+let estimate_rounded t query =
+  let e = estimate t query in
+  if e < 0.5 then 0. else e
+
+(* Multinomial view (Sec. 3.1's slotted worlds of fixed cardinality n):
+   each of the n slots holds tuple u with probability p_u = monomial_u / P
+   independently, so a counting query's answer is Binomial(n, p) with
+   p = P[zeroed]/P; hence Var = n p (1-p). *)
+let variance t query =
+  let p_total = Poly.p t.poly in
+  if p_total <= 0. then 0.
+  else
+    let p_q = Poly.eval_restricted t.poly query /. p_total in
+    let p_q = Edb_util.Floatx.clamp ~lo:0. ~hi:1. p_q in
+    float_of_int t.n *. p_q *. (1. -. p_q)
+
+let stddev t query = sqrt (variance t query)
+
+(* Aggregate queries beyond COUNT: SUM and AVG over a binned attribute,
+   answered as weighted linear queries (each row contributes its bin's
+   midpoint).  The paper's theory covers all linear queries; its prototype
+   stopped at counting (Sec. 7 "limited query support") — this closes that
+   gap for the product-form subclass. *)
+let midpoint_weights t ~attr =
+  let domain = Schema.domain t.schema attr in
+  let table =
+    Array.init (Schema.domain_size t.schema attr) (fun v ->
+        Domain.bin_midpoint domain v)
+  in
+  fun v -> table.(v)
+
+let estimate_sum t ~attr ?weights query =
+  let w = match weights with Some w -> w | None -> midpoint_weights t ~attr in
+  Poly.estimate_weighted t.poly query ~weights:[ (attr, w) ]
+
+let estimate_avg t ~attr query =
+  let count = estimate t query in
+  if count <= 0. then None else Some (estimate_sum t ~attr query /. count)
+
+(* Var[Σ_t w_t X_t] for the multinomial model: n (Σ w² p − (Σ w p)²). *)
+let variance_sum t ~attr ?weights query =
+  let w = match weights with Some w -> w | None -> midpoint_weights t ~attr in
+  let p_total = Poly.p t.poly in
+  if p_total <= 0. then 0.
+  else
+    let mean_w =
+      Poly.eval_weighted t.poly query ~weights:[ (attr, w) ] /. p_total
+    in
+    let mean_w2 =
+      Poly.eval_weighted t.poly query ~weights:[ (attr, fun v -> w v ** 2.) ]
+      /. p_total
+    in
+    Float.max 0. (float_of_int t.n *. (mean_w2 -. (mean_w ** 2.)))
+
+(* GROUP BY estimation: one linear query per group (the paper's Sec. 3.1
+   reading of GROUP BY + ORDER BY ... LIMIT).  Enumerates the cross product
+   of the grouping attributes' (restricted) domains; intended for the small
+   group-bys of interactive exploration. *)
+let estimate_groups t ~attrs query =
+  let rec go chosen = function
+    | [] ->
+        let chosen = List.rev chosen in
+        let q =
+          List.fold_left
+            (fun q (i, v) ->
+              Predicate.restrict q i (Edb_util.Ranges.singleton v))
+            query chosen
+        in
+        [ (List.map snd chosen, estimate t q) ]
+    | attr :: rest ->
+        let size = Schema.domain_size t.schema attr in
+        let candidates =
+          match Predicate.restriction query attr with
+          | None -> List.init size Fun.id
+          | Some r -> Edb_util.Ranges.to_list r
+        in
+        List.concat_map
+          (fun v -> go ((attr, v) :: chosen) rest)
+          candidates
+  in
+  go [] attrs
+
+let top_k_groups t ~attrs ~k query =
+  let groups = estimate_groups t ~attrs query in
+  let sorted = List.sort (fun (_, a) (_, b) -> compare b a) groups in
+  List.filteri (fun i _ -> i < k) sorted
+
+type size_report = {
+  num_statistics : int;
+  num_marginals : int;
+  num_terms : int;
+  num_groups : int;
+  uncompressed_monomials : float;
+}
+
+let size_report t =
+  let phi = Poly.phi t.poly in
+  {
+    num_statistics = Phi.num_stats phi;
+    num_marginals = Phi.num_marginals phi;
+    num_terms = Poly.num_terms t.poly;
+    num_groups = Poly.num_groups t.poly;
+    uncompressed_monomials = Poly.uncompressed_monomials t.poly;
+  }
+
+let pp_size_report ppf r =
+  Fmt.pf ppf
+    "@[<v>statistics: %d (%d marginals, %d joints)@,\
+     compressed terms: %d in %d group(s)@,\
+     uncompressed monomials: %.3g@,\
+     compression ratio: %.3gx@]"
+    r.num_statistics r.num_marginals
+    (r.num_statistics - r.num_marginals)
+    r.num_terms r.num_groups r.uncompressed_monomials
+    (r.uncompressed_monomials /. float_of_int (max 1 r.num_terms))

@@ -1,0 +1,211 @@
+(* Possible-world sampling from the MaxEnt model.
+
+   The solved summary defines a distribution over tuples,
+   Pr(u) = monomial_u / P, and a possible world of cardinality n is n
+   independent draws (the multinomial reading of the slotted semantics of
+   Sec. 2.1).  Sampling lets a user materialize a *synthetic instance* that
+   matches all the summary's statistics in expectation — a probabilistic-
+   database capability beyond the paper's query answering.
+
+   The tuple distribution factorizes exactly like the polynomial: free
+   attributes are independent with Pr(v) = alpha_v / A_i; each statistic
+   group is an independent joint distribution over its own attributes.
+   Within a group we draw by Gibbs sampling: the conditional of one
+   attribute given the others is computable in O(N_i + statistics touching
+   the attribute), since only statistics whose other projections already
+   match can contribute their delta weight. *)
+
+open Edb_util
+open Edb_storage
+
+type t = {
+  summary : Summary.t;
+  schema : Schema.t;
+  phi : Phi.t;
+  (* Per statistic-group sampling state. *)
+  groups : group_sampler array;
+  free_attrs : int list;
+}
+
+and group_sampler = {
+  attrs : int array;
+  stats : (int * (int * Ranges.t) list) array;
+      (* (stat id, per-attr projections) for each joint stat in the group *)
+  mutable state : int array; (* current Gibbs state, parallel to attrs *)
+}
+
+let marginal_weights phi summary attr =
+  let size = Schema.domain_size (Summary.schema summary) attr in
+  Array.init size (fun v ->
+      Poly.alpha (Summary.poly summary) (Phi.marginal_id phi ~attr ~value:v))
+
+let create summary =
+  let phi = Poly.phi (Summary.poly summary) in
+  let schema = Summary.schema summary in
+  let m = Schema.arity schema in
+  (* Rebuild the attribute grouping from the statistics (same union-find
+     criterion as the polynomial). *)
+  let joint_ids = Phi.joint_ids phi in
+  let covered = Array.make m false in
+  let adj : (int, int list ref) Hashtbl.t = Hashtbl.create 8 in
+  List.iter
+    (fun j ->
+      let attrs = Statistic.attrs (Phi.stat phi j) in
+      List.iter (fun a -> covered.(a) <- true) attrs;
+      List.iter
+        (fun a ->
+          List.iter
+            (fun b ->
+              if a <> b then
+                match Hashtbl.find_opt adj a with
+                | Some l -> l := b :: !l
+                | None -> Hashtbl.add adj a (ref [ b ]))
+            attrs)
+        attrs)
+    joint_ids;
+  (* Connected components over covered attributes. *)
+  let comp = Array.make m (-1) in
+  let next_comp = ref 0 in
+  for a = 0 to m - 1 do
+    if covered.(a) && comp.(a) = -1 then begin
+      let c = !next_comp in
+      incr next_comp;
+      let stack = ref [ a ] in
+      while !stack <> [] do
+        let x = List.hd !stack in
+        stack := List.tl !stack;
+        if comp.(x) = -1 then begin
+          comp.(x) <- c;
+          match Hashtbl.find_opt adj x with
+          | Some l -> List.iter (fun y -> if comp.(y) = -1 then stack := y :: !stack) !l
+          | None -> ()
+        end
+      done
+    end
+  done;
+  let groups =
+    Array.init !next_comp (fun c ->
+        let attrs =
+          List.filter (fun a -> comp.(a) = c) (List.init m Fun.id)
+          |> Array.of_list
+        in
+        let stats =
+          List.filter_map
+            (fun j ->
+              let s = Phi.stat phi j in
+              let sa = Statistic.attrs s in
+              if comp.(List.hd sa) = c then
+                Some
+                  ( j,
+                    List.map
+                      (fun i ->
+                        match Predicate.restriction (Statistic.pred s) i with
+                        | Some r -> (i, r)
+                        | None -> assert false)
+                      sa )
+              else None)
+            joint_ids
+          |> Array.of_list
+        in
+        { attrs; stats; state = Array.map (fun _ -> 0) attrs })
+  in
+  let free_attrs =
+    List.filter (fun a -> not covered.(a)) (List.init m Fun.id)
+  in
+  { summary; schema; phi; groups; free_attrs }
+
+let sample_categorical rng weights =
+  let total = Array.fold_left ( +. ) 0. weights in
+  if total <= 0. then None
+  else begin
+    let x = Prng.float rng total in
+    let acc = ref 0. and result = ref (Array.length weights - 1) in
+    (try
+       Array.iteri
+         (fun v w ->
+           acc := !acc +. w;
+           if x < !acc then begin
+             result := v;
+             raise Exit
+           end)
+         weights
+     with Exit -> ());
+    Some !result
+  end
+
+(* Conditional weights of [attr] given the rest of the group state. *)
+let conditional_weights t g ~local =
+  let attr = g.attrs.(local) in
+  let w = marginal_weights t.phi t.summary attr in
+  let w = Array.copy w in
+  Array.iter
+    (fun (j, projections) ->
+      match List.assoc_opt attr projections with
+      | None -> () (* statistic does not touch this attribute *)
+      | Some own_proj ->
+          let others_match =
+            List.for_all
+              (fun (i, r) ->
+                i = attr
+                ||
+                let li = ref (-1) in
+                Array.iteri (fun k a -> if a = i then li := k) g.attrs;
+                Ranges.mem g.state.(!li) r)
+              projections
+          in
+          if others_match then begin
+            let delta = Poly.alpha (Summary.poly t.summary) j in
+            Ranges.iter (fun v -> w.(v) <- w.(v) *. delta) own_proj
+          end)
+    g.stats;
+  w
+
+let gibbs_sweep t g rng =
+  Array.iteri
+    (fun local _ ->
+      let w = conditional_weights t g ~local in
+      match sample_categorical rng w with
+      | Some v -> g.state.(local) <- v
+      | None -> (
+          (* All conditional mass vanished (possible when many marginals are
+             zero); fall back to the marginal distribution. *)
+          let mw = marginal_weights t.phi t.summary g.attrs.(local) in
+          match sample_categorical rng mw with
+          | Some v -> g.state.(local) <- v
+          | None -> ()))
+    g.attrs
+
+let init_group t g rng =
+  Array.iteri
+    (fun local attr ->
+      match sample_categorical rng (marginal_weights t.phi t.summary attr) with
+      | Some v -> g.state.(local) <- v
+      | None -> ())
+    g.attrs
+
+let sample_tuple ?(sweeps = 8) t rng =
+  let m = Schema.arity t.schema in
+  let tuple = Array.make m 0 in
+  List.iter
+    (fun attr ->
+      match sample_categorical rng (marginal_weights t.phi t.summary attr) with
+      | Some v -> tuple.(attr) <- v
+      | None -> ())
+    t.free_attrs;
+  Array.iter
+    (fun g ->
+      init_group t g rng;
+      for _ = 1 to sweeps do
+        gibbs_sweep t g rng
+      done;
+      Array.iteri (fun local attr -> tuple.(attr) <- g.state.(local)) g.attrs)
+    t.groups;
+  tuple
+
+let sample_instance ?(sweeps = 8) ?rows t rng =
+  let n = Option.value rows ~default:(Summary.cardinality t.summary) in
+  let b = Relation.builder ~capacity:n t.schema in
+  for _ = 1 to n do
+    Relation.add_row b (sample_tuple ~sweeps t rng)
+  done;
+  Relation.build b

@@ -1,0 +1,1 @@
+lib/datagen/flights.ml: Array Domain Edb_storage Edb_util Float Floatx Printf Prng Relation Schema

@@ -1,0 +1,1 @@
+lib/datagen/flights.mli: Edb_storage Relation

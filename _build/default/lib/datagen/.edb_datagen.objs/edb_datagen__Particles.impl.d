@@ -1,0 +1,1 @@
+lib/datagen/particles.ml: Array Domain Edb_storage Edb_util Float Prng Relation Schema

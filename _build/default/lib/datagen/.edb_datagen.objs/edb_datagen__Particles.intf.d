@@ -1,0 +1,1 @@
+lib/datagen/particles.mli: Edb_storage Relation Schema

@@ -1,0 +1,184 @@
+(* Synthetic US-flights-like dataset.
+
+   Substitutes the paper's 5 GB BTS on-time-performance data (Sec. 6.1).
+   The reproduction needs the *correlation structure* the paper reports,
+   not the actual flights:
+
+   - active-domain sizes match the paper's Fig. 3: fl_date 307,
+     origin/dest 54 (coarse, "states") or 147 (fine, "cities"),
+     fl_time 62, distance 81;
+   - (origin, distance), (dest, distance), (fl_time, distance), and
+     (origin, dest) are the most correlated attribute pairs — distance is a
+     deterministic function of the route geometry plus noise, flight time is
+     distance over speed plus noise, and routes follow a gravity model
+     (popularity times exponential distance decay), so origin and dest are
+     correlated beyond independence;
+   - fl_date is nearly uniform (mild weekly seasonality), which is why the
+     paper's summaries carry no 2D statistic on it.
+
+   Coarse and fine relations contain the same flights: flights are generated
+   at city granularity, and the coarse relation projects cities onto their
+   states. *)
+
+open Edb_util
+open Edb_storage
+
+(* Attribute indices, identical for the coarse and fine relations. *)
+let fl_date = 0
+let origin = 1
+let dest = 2
+let fl_time = 3
+let distance = 4
+
+let n_dates = 307
+let n_states = 54
+let n_cities = 147
+let n_times = 62
+let n_distances = 81
+
+type t = {
+  coarse : Relation.t;
+  fine : Relation.t;
+  city_state : int array; (* city index -> state index *)
+}
+
+let state_labels =
+  Array.init n_states (fun i -> Printf.sprintf "S%02d" i)
+
+(* Distribute the 147 fine cities over the 54 states: popular states get
+   more distinct cities (the paper separates each state's two most popular
+   cities and pools the rest into an 'Other' bucket). *)
+let make_cities rng =
+  let extra = n_cities - n_states in
+  (* Every state has at least one city bucket; hand out the remaining
+     buckets Zipf-weighted toward popular (low-index) states. *)
+  let per_state = Array.make n_states 1 in
+  let weights = Prng.zipf_weights ~n:n_states ~s:1.0 in
+  let dist = Prng.Categorical.create weights in
+  let remaining = ref extra in
+  while !remaining > 0 do
+    let s = Prng.Categorical.sample dist rng in
+    if per_state.(s) < 4 then begin
+      per_state.(s) <- per_state.(s) + 1;
+      decr remaining
+    end
+  done;
+  let city_state = Array.make n_cities 0 in
+  let labels = Array.make n_cities "" in
+  let c = ref 0 in
+  for s = 0 to n_states - 1 do
+    for k = 0 to per_state.(s) - 1 do
+      city_state.(!c) <- s;
+      labels.(!c) <-
+        (if k = per_state.(s) - 1 then Printf.sprintf "S%02d_Other" s
+         else Printf.sprintf "S%02d_C%d" s k);
+      incr c
+    done
+  done;
+  assert (!c = n_cities);
+  (city_state, labels)
+
+let coarse_schema () =
+  Schema.create
+    [
+      Schema.attr "fl_date" (Domain.int_bins ~lo:0 ~hi:(n_dates - 1) ~width:1);
+      Schema.attr "origin_state" (Domain.categorical state_labels);
+      Schema.attr "dest_state" (Domain.categorical state_labels);
+      Schema.attr "fl_time" (Domain.int_bins ~lo:0 ~hi:(n_times - 1) ~width:1);
+      Schema.attr "distance" (Domain.int_bins ~lo:0 ~hi:(n_distances - 1) ~width:1);
+    ]
+
+let fine_schema city_labels =
+  Schema.create
+    [
+      Schema.attr "fl_date" (Domain.int_bins ~lo:0 ~hi:(n_dates - 1) ~width:1);
+      Schema.attr "origin_city" (Domain.categorical city_labels);
+      Schema.attr "dest_city" (Domain.categorical city_labels);
+      Schema.attr "fl_time" (Domain.int_bins ~lo:0 ~hi:(n_times - 1) ~width:1);
+      Schema.attr "distance" (Domain.int_bins ~lo:0 ~hi:(n_distances - 1) ~width:1);
+    ]
+
+let generate ?(rows = 400_000) ~seed () =
+  let rng = Prng.create ~seed () in
+  let geo_rng = Prng.split rng in
+  (* State geometry: positions on a 3000 x 1500 "mile" map, so route
+     distances fall in [0, ~3350]. *)
+  let state_x = Array.init n_states (fun _ -> Prng.float geo_rng 3000.) in
+  let state_y = Array.init n_states (fun _ -> Prng.float geo_rng 1500.) in
+  let city_state, city_labels = make_cities geo_rng in
+  (* City jitter keeps fine-grained distances distinct within a state. *)
+  let city_dx = Array.init n_cities (fun _ -> Prng.float geo_rng 120. -. 60.) in
+  let city_dy = Array.init n_cities (fun _ -> Prng.float geo_rng 120. -. 60.) in
+  (* City popularity: Zipf over cities, reshuffled so popularity does not
+     simply follow the state index. *)
+  let perm = Array.init n_cities (fun i -> i) in
+  Prng.shuffle geo_rng perm;
+  let city_pop =
+    let z = Prng.zipf_weights ~n:n_cities ~s:1.05 in
+    Array.init n_cities (fun c -> z.(perm.(c)))
+  in
+  (* Gravity-model destination choice: popularity times distance decay, with
+     a long-haul floor so cross-country routes exist. *)
+  let city_xy c =
+    let s = city_state.(c) in
+    (state_x.(s) +. city_dx.(c), state_y.(s) +. city_dy.(c))
+  in
+  let route_miles o d =
+    let ox, oy = city_xy o and dx_, dy_ = city_xy d in
+    sqrt (((ox -. dx_) ** 2.) +. ((oy -. dy_) ** 2.))
+  in
+  let origin_dist = Prng.Categorical.create city_pop in
+  (* Precompute per-origin destination distributions lazily; 147 origins so
+     the table is small. *)
+  let dest_dist = Array.make n_cities None in
+  let dest_for o =
+    match dest_dist.(o) with
+    | Some d -> d
+    | None ->
+        let w =
+          Array.init n_cities (fun d ->
+              if d = o then 0.
+              else
+                let miles = route_miles o d in
+                city_pop.(d) *. (exp (-.miles /. 900.) +. 0.08))
+        in
+        let dist = Prng.Categorical.create w in
+        dest_dist.(o) <- Some dist;
+        dist
+  in
+  let coarse_sc = coarse_schema () in
+  let fine_sc = fine_schema city_labels in
+  let bc = Relation.builder ~capacity:rows coarse_sc in
+  let bf = Relation.builder ~capacity:rows fine_sc in
+  (* Weekly seasonality on dates: weekdays ~15% busier than weekends. *)
+  let date_w =
+    Array.init n_dates (fun d -> if d mod 7 < 5 then 1.15 else 1.0)
+  in
+  let date_dist = Prng.Categorical.create date_w in
+  let max_miles = 3400. in
+  for _ = 1 to rows do
+    let date = Prng.Categorical.sample date_dist rng in
+    let o = Prng.Categorical.sample origin_dist rng in
+    let d = Prng.Categorical.sample (dest_for o) rng in
+    let miles =
+      Float.max 50.
+        (route_miles o d +. Prng.gaussian rng ~mean:0. ~stddev:30.)
+    in
+    let dist_bin =
+      min (n_distances - 1)
+        (int_of_float (miles /. max_miles *. float_of_int n_distances))
+    in
+    (* Block time: ~30 min overhead plus cruise at ~460 mph, in 15-minute
+       buckets capped at the domain. *)
+    let minutes =
+      30. +. (miles /. 460. *. 60.) +. Prng.gaussian rng ~mean:0. ~stddev:12.
+    in
+    let time_bin =
+      Floatx.clamp ~lo:0. ~hi:(float_of_int (n_times - 1)) (minutes /. 15.)
+      |> int_of_float
+    in
+    Relation.add_row bf [| date; o; d; time_bin; dist_bin |];
+    Relation.add_row bc
+      [| date; city_state.(o); city_state.(d); time_bin; dist_bin |]
+  done;
+  { coarse = Relation.build bc; fine = Relation.build bf; city_state }

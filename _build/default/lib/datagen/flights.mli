@@ -1,0 +1,34 @@
+(** Synthetic US-flights-like dataset.
+
+    Substitutes the paper's 5 GB BTS flights data: same schema and
+    active-domain sizes (Fig. 3) and the same correlation ranking —
+    (origin,distance), (dest,distance), (fl_time,distance), (origin,dest)
+    strongly correlated, fl_date near-uniform.  Coarse (54 states) and fine
+    (147 cities) relations contain the same generated flights. *)
+
+open Edb_storage
+
+(** {1 Attribute indices (both relations)} *)
+
+val fl_date : int
+val origin : int
+val dest : int
+val fl_time : int
+val distance : int
+
+(** {1 Domain sizes (paper Fig. 3)} *)
+
+val n_dates : int
+val n_states : int
+val n_cities : int
+val n_times : int
+val n_distances : int
+
+type t = {
+  coarse : Relation.t;  (** FlightsCoarse: origin/dest at state granularity *)
+  fine : Relation.t;  (** FlightsFine: origin/dest at city granularity *)
+  city_state : int array;  (** city index -> state index *)
+}
+
+val generate : ?rows:int -> seed:int -> unit -> t
+(** Deterministic in [seed].  Default 400k rows. *)

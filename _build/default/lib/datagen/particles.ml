@@ -1,0 +1,124 @@
+(* Synthetic N-body-particles-like dataset.
+
+   Substitutes the paper's 210 GB ChaNGa astronomy simulation data
+   (Sec. 6.1, [15]).  What the scalability and accuracy experiments of
+   Fig. 7 depend on is:
+
+   - the Fig. 3 active-domain sizes (density 58, mass 52, x/y/z 21, grp 2,
+     type 3, snapshot 3);
+   - particles clustered in space, with [grp] flagging cluster membership
+     and density strongly correlated with it (so (density, grp) is a useful
+     stratification), and mass correlated with particle type;
+   - snapshots that shift the distribution gradually (simulated time
+     evolution), so adding snapshots grows the data without changing its
+     character.
+
+   Particles are drawn from a mixture: a fraction from 3D Gaussian clusters
+   around drifting centers (grp = 1), the rest from a uniform background
+   (grp = 0). *)
+
+open Edb_util
+open Edb_storage
+
+let density = 0
+let mass = 1
+let x = 2
+let y = 3
+let z = 4
+let grp = 5
+let ptype = 6
+let snapshot = 7
+
+let n_density = 58
+let n_mass = 52
+let n_pos = 21
+let n_grp = 2
+let n_type = 3
+let n_snapshot = 3
+
+let schema () =
+  Schema.create
+    [
+      Schema.attr "density" (Domain.int_bins ~lo:0 ~hi:(n_density - 1) ~width:1);
+      Schema.attr "mass" (Domain.int_bins ~lo:0 ~hi:(n_mass - 1) ~width:1);
+      Schema.attr "x" (Domain.int_bins ~lo:0 ~hi:(n_pos - 1) ~width:1);
+      Schema.attr "y" (Domain.int_bins ~lo:0 ~hi:(n_pos - 1) ~width:1);
+      Schema.attr "z" (Domain.int_bins ~lo:0 ~hi:(n_pos - 1) ~width:1);
+      Schema.attr "grp" (Domain.int_bins ~lo:0 ~hi:(n_grp - 1) ~width:1);
+      Schema.attr "type" (Domain.int_bins ~lo:0 ~hi:(n_type - 1) ~width:1);
+      Schema.attr "snapshot" (Domain.int_bins ~lo:0 ~hi:(n_snapshot - 1) ~width:1);
+    ]
+
+let n_clusters = 12
+
+let generate ?(rows_per_snapshot = 150_000) ?(snapshots = 3) ~seed () =
+  if snapshots < 1 || snapshots > n_snapshot then
+    invalid_arg "Particles.generate: snapshots must be in [1, 3]";
+  let rng = Prng.create ~seed () in
+  let geo = Prng.split rng in
+  (* Cluster centers in the unit cube, with a per-snapshot drift velocity
+     and per-snapshot density growth (structure formation). *)
+  let cx = Array.init n_clusters (fun _ -> Prng.unit_float geo) in
+  let cy = Array.init n_clusters (fun _ -> Prng.unit_float geo) in
+  let cz = Array.init n_clusters (fun _ -> Prng.unit_float geo) in
+  let vx = Array.init n_clusters (fun _ -> Prng.float geo 0.06 -. 0.03) in
+  let vy = Array.init n_clusters (fun _ -> Prng.float geo 0.06 -. 0.03) in
+  let vz = Array.init n_clusters (fun _ -> Prng.float geo 0.06 -. 0.03) in
+  let cluster_sigma = Array.init n_clusters (fun _ -> 0.02 +. Prng.float geo 0.05) in
+  let cluster_weight = Prng.zipf_weights ~n:n_clusters ~s:0.8 in
+  let cluster_dist = Prng.Categorical.create cluster_weight in
+  (* Type mix: 0 = gas, 1 = dark matter, 2 = star.  Stars live mostly in
+     clusters; dark matter dominates the background. *)
+  let type_in_cluster = Prng.Categorical.create [| 0.35; 0.40; 0.25 |] in
+  let type_background = Prng.Categorical.create [| 0.25; 0.72; 0.03 |] in
+  (* Mass scale per type (log-space), giving the mass/type correlation. *)
+  let mass_mean = [| 18.; 34.; 26. |] and mass_sd = [| 4.; 6.; 5. |] in
+  let sc = schema () in
+  let b = Relation.builder ~capacity:(rows_per_snapshot * snapshots) sc in
+  let clamp_bin ~n v = max 0 (min (n - 1) v) in
+  let wrap01 v = v -. Float.of_int (int_of_float (Float.floor v)) in
+  for snap = 0 to snapshots - 1 do
+    let t = float_of_int snap in
+    let cluster_fraction = 0.55 +. (0.08 *. t) in
+    for _ = 1 to rows_per_snapshot do
+      let in_cluster = Prng.unit_float rng < cluster_fraction in
+      let px, py, pz, dens_raw, ty =
+        if in_cluster then begin
+          let c = Prng.Categorical.sample cluster_dist rng in
+          let sigma = cluster_sigma.(c) in
+          let px = Prng.gaussian rng ~mean:(wrap01 (cx.(c) +. (vx.(c) *. t))) ~stddev:sigma in
+          let py = Prng.gaussian rng ~mean:(wrap01 (cy.(c) +. (vy.(c) *. t))) ~stddev:sigma in
+          let pz = Prng.gaussian rng ~mean:(wrap01 (cz.(c) +. (vz.(c) *. t))) ~stddev:sigma in
+          (* Density grows toward cluster centers and over time. *)
+          let dens =
+            35. +. (6. *. t) +. Prng.gaussian rng ~mean:10. ~stddev:6.
+            -. (120. *. sigma *. Prng.unit_float rng)
+          in
+          (wrap01 px, wrap01 py, wrap01 pz, dens, Prng.Categorical.sample type_in_cluster rng)
+        end
+        else
+          ( Prng.unit_float rng,
+            Prng.unit_float rng,
+            Prng.unit_float rng,
+            Float.max 0. (Prng.gaussian rng ~mean:8. ~stddev:5.),
+            Prng.Categorical.sample type_background rng )
+      in
+      let mass_raw =
+        Float.max 0. (Prng.gaussian rng ~mean:mass_mean.(ty) ~stddev:mass_sd.(ty))
+      in
+      let row =
+        [|
+          clamp_bin ~n:n_density (int_of_float dens_raw);
+          clamp_bin ~n:n_mass (int_of_float mass_raw);
+          clamp_bin ~n:n_pos (int_of_float (px *. float_of_int n_pos));
+          clamp_bin ~n:n_pos (int_of_float (py *. float_of_int n_pos));
+          clamp_bin ~n:n_pos (int_of_float (pz *. float_of_int n_pos));
+          (if in_cluster then 1 else 0);
+          ty;
+          snap;
+        |]
+      in
+      Relation.add_row b row
+    done
+  done;
+  Relation.build b

@@ -1,0 +1,34 @@
+(** Synthetic N-body-particles-like dataset.
+
+    Substitutes the paper's 210 GB astronomy simulation data with a seeded
+    Gaussian-mixture particle cloud: same Fig. 3 domain sizes, density/grp
+    and mass/type correlations, and snapshots that evolve gradually. *)
+
+open Edb_storage
+
+(** {1 Attribute indices} *)
+
+val density : int
+val mass : int
+val x : int
+val y : int
+val z : int
+val grp : int
+val ptype : int
+val snapshot : int
+
+(** {1 Domain sizes (paper Fig. 3)} *)
+
+val n_density : int
+val n_mass : int
+val n_pos : int
+val n_grp : int
+val n_type : int
+val n_snapshot : int
+
+val schema : unit -> Schema.t
+
+val generate :
+  ?rows_per_snapshot:int -> ?snapshots:int -> seed:int -> unit -> Relation.t
+(** Deterministic in [seed].  [snapshots] must be in [\[1, 3\]]; rows default
+    to 150k per snapshot. *)

@@ -1,0 +1,1 @@
+lib/experiments/config.ml: Entropydb_core Printf Sys

@@ -1,0 +1,1 @@
+lib/experiments/lab.ml: Config Edb_datagen Edb_sampling Edb_select Edb_storage Edb_util Edb_workload Entropydb_core List Logs Methods Printf Prng Relation Timing

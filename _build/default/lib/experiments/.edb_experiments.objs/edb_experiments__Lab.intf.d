@@ -1,0 +1,1 @@
+lib/experiments/lab.mli: Config Edb_datagen Edb_storage Edb_workload Entropydb_core Methods Relation

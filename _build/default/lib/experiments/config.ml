@@ -1,0 +1,64 @@
+(* Experiment scaling.
+
+   The paper's experiments ran on a 120-CPU / 1 TB machine against 5 GB and
+   210 GB datasets with statistic budgets up to 3,000 and a solver that
+   took up to a day.  The reproduction's default scale keeps every
+   experiment's *shape* (who wins, where, by roughly what factor) while
+   finishing the whole suite in minutes on a laptop; [Full] approaches the
+   paper's budgets at the cost of a much longer run.  Select with the SCALE
+   environment variable (small | full). *)
+
+type scale = Small | Full
+
+type t = {
+  scale : scale;
+  seed : int;
+  flights_rows : int;
+  particles_rows_per_snapshot : int;
+  budget_total : int; (* the paper's B: total 2D buckets per summary *)
+  fig2b_budgets : int list; (* per-pair budgets swept in Fig. 2b *)
+  fig7_pair_budget : int; (* buckets per pair for the particles EntAll *)
+  num_hitters : int; (* heavy/light hitter count (paper: 100) *)
+  num_nulls : int; (* nonexistent-value count (paper: 200) *)
+  sample_rate : float; (* baseline sampling rate (paper: 1%) *)
+  solver : Entropydb_core.Solver.config;
+}
+
+let small ?(seed = 1) () =
+  {
+    scale = Small;
+    seed;
+    flights_rows = 120_000;
+    particles_rows_per_snapshot = 150_000;
+    budget_total = 900;
+    fig2b_budgets = [ 150; 300; 600 ];
+    fig7_pair_budget = 60;
+    num_hitters = 50;
+    num_nulls = 100;
+    sample_rate = 0.01;
+    solver = { Entropydb_core.Solver.default_config with max_sweeps = 30; log_every = 0 };
+  }
+
+let full ?(seed = 1) () =
+  {
+    scale = Full;
+    seed;
+    flights_rows = 500_000;
+    particles_rows_per_snapshot = 200_000;
+    budget_total = 3_000;
+    fig2b_budgets = [ 500; 1_000; 2_000 ];
+    fig7_pair_budget = 100;
+    num_hitters = 100;
+    num_nulls = 200;
+    sample_rate = 0.01;
+    solver = { Entropydb_core.Solver.default_config with max_sweeps = 30; log_every = 0 };
+  }
+
+let of_env () =
+  match Sys.getenv_opt "SCALE" with
+  | Some "full" -> full ()
+  | Some "small" | None -> small ()
+  | Some other ->
+      invalid_arg (Printf.sprintf "SCALE=%s (expected small or full)" other)
+
+let scale_name t = match t.scale with Small -> "small" | Full -> "full"

@@ -1,0 +1,26 @@
+(** Experiment scaling: laptop-sized defaults preserving the paper's
+    comparative shapes, and a [Full] mode approaching the paper's budgets. *)
+
+type scale = Small | Full
+
+type t = {
+  scale : scale;
+  seed : int;
+  flights_rows : int;
+  particles_rows_per_snapshot : int;
+  budget_total : int;
+  fig2b_budgets : int list;
+  fig7_pair_budget : int;
+  num_hitters : int;
+  num_nulls : int;
+  sample_rate : float;
+  solver : Entropydb_core.Solver.config;
+}
+
+val small : ?seed:int -> unit -> t
+val full : ?seed:int -> unit -> t
+
+val of_env : unit -> t
+(** Reads [SCALE] (small | full, default small). *)
+
+val scale_name : t -> string

@@ -1,0 +1,661 @@
+(* Regeneration of every table and figure in the paper's evaluation
+   (Sec. 4.3 Fig. 2b and Secs. 6.1–6.4 Figs. 3–8), at reproduction scale.
+
+   Each function returns plain-text tables; the bench binary prints them.
+   Figures that share the expensive nine-method flights setup (5, 6, 8)
+   take a pre-built {!Lab.flights_lab}. *)
+
+open Edb_util
+open Edb_storage
+open Edb_workload
+module F = Edb_datagen.Flights
+module P = Edb_datagen.Particles
+
+(* ------------------------------------------------------------------ *)
+(* Fig. 2b: statistic-selection heuristics vs budget                   *)
+(* ------------------------------------------------------------------ *)
+
+(* The paper restricts flights to (fl_date, fl_time, distance), gathers 2D
+   statistics on (fl_time, distance) with each heuristic and budget, and
+   measures average error on 100 heavy hitters, 200 nonexistent values, and
+   100 light hitters of the (fl_time, distance) group-by. *)
+let fig2b (config : Config.t) =
+  let data = F.generate ~rows:config.flights_rows ~seed:config.seed () in
+  let rel = Relation.project data.coarse [ F.fl_date; F.fl_time; F.distance ] in
+  let arity = Schema.arity (Relation.schema rel) in
+  let time_attr = 1 and dist_attr = 2 in
+  let attrs = [ time_attr; dist_attr ] in
+  let rng = Prng.create ~seed:(config.seed + 11) () in
+  let w =
+    Hitters.standard rng rel ~attrs ~num_hitters:config.num_hitters
+      ~num_nulls:config.num_nulls
+  in
+  let table =
+    Table.create
+      ~title:
+        "Fig 2b: query error vs budget for 2D-statistic heuristics on \
+         (fl_time, distance)"
+      ~headers:
+        [ "heuristic"; "budget"; "heavy err"; "nonexistent err"; "light err" ]
+      ~aligns:[ Table.Left; Right; Right; Right; Right ]
+      ()
+  in
+  List.iter
+    (fun budget ->
+      List.iter
+        (fun kind ->
+          let joints =
+            Edb_select.Heuristic.select kind rel ~attr1:time_attr
+              ~attr2:dist_attr ~budget
+          in
+          let summary =
+            Entropydb_core.Summary.build ~solver_config:config.solver rel
+              ~joints
+          in
+          let m = Methods.of_summary summary in
+          let heavy = Runner.run_errors m ~arity ~attrs ~queries:w.heavy in
+          let light = Runner.run_errors m ~arity ~attrs ~queries:w.light in
+          let nulls =
+            Runner.run_errors m ~arity ~attrs
+              ~queries:(List.map (fun vs -> (vs, 0)) w.nulls)
+          in
+          Table.add_row table
+            [
+              Edb_select.Heuristic.kind_name kind;
+              Table.cell_int budget;
+              Table.cell_float heavy.avg_error;
+              Table.cell_float nulls.avg_error;
+              Table.cell_float light.avg_error;
+            ])
+        [ Edb_select.Heuristic.Zero; Edb_select.Heuristic.Large;
+          Edb_select.Heuristic.Composite ])
+    config.fig2b_budgets;
+  [ table ]
+
+(* ------------------------------------------------------------------ *)
+(* Fig. 3: active domain sizes                                         *)
+(* ------------------------------------------------------------------ *)
+
+let fig3 (config : Config.t) =
+  let flights = F.generate ~rows:10_000 ~seed:config.seed () in
+  let particles = P.generate ~rows_per_snapshot:5_000 ~snapshots:3 ~seed:config.seed () in
+  let flights_table =
+    Table.create ~title:"Fig 3 (left): flights active domain sizes"
+      ~headers:[ "attribute"; "coarse"; "fine" ]
+      ~aligns:[ Table.Left; Right; Right ]
+      ()
+  in
+  let cs = Relation.schema flights.coarse and fs = Relation.schema flights.fine in
+  List.iteri
+    (fun i _ ->
+      Table.add_row flights_table
+        [
+          Schema.attr_name cs i ^ "/" ^ Schema.attr_name fs i;
+          Table.cell_int (Schema.domain_size cs i);
+          Table.cell_int (Schema.domain_size fs i);
+        ])
+    (Schema.names cs);
+  Table.add_row flights_table
+    [
+      "# possible tuples";
+      Table.addf_cell "%.2g" (Schema.tuple_space_size cs);
+      Table.addf_cell "%.2g" (Schema.tuple_space_size fs);
+    ];
+  let particles_table =
+    Table.create ~title:"Fig 3 (right): particles active domain sizes"
+      ~headers:[ "attribute"; "size" ]
+      ~aligns:[ Table.Left; Right ]
+      ()
+  in
+  let ps = Relation.schema particles in
+  List.iteri
+    (fun i _ ->
+      Table.add_row particles_table
+        [ Schema.attr_name ps i; Table.cell_int (Schema.domain_size ps i) ])
+    (Schema.names ps);
+  Table.add_row particles_table
+    [ "# possible tuples"; Table.addf_cell "%.2g" (Schema.tuple_space_size ps) ];
+  [ flights_table; particles_table ]
+
+(* ------------------------------------------------------------------ *)
+(* Fig. 4: the MaxEnt summary configurations                           *)
+(* ------------------------------------------------------------------ *)
+
+let fig4 (config : Config.t) =
+  let table =
+    Table.create ~title:"Fig 4: 2D statistics included in each MaxEnt summary"
+      ~headers:[ "pair"; "No2D"; "Ent1&2"; "Ent3&4"; "Ent1&2&3" ]
+      ~aligns:[ Table.Left; Right; Right; Right; Right ]
+      ()
+  in
+  let configs = Lab.maxent_configs config in
+  let all_pairs =
+    [ (1, Lab.pair1); (2, Lab.pair2); (3, Lab.pair3); (4, Lab.pair4) ]
+  in
+  List.iter
+    (fun (idx, pair) ->
+      let row =
+        List.map
+          (fun (_, pairs, budget) ->
+            if List.mem pair pairs then Printf.sprintf "%d bkts" budget
+            else "-")
+          configs
+      in
+      Table.add_row table
+        (Printf.sprintf "Pair %d %s" idx (Lab.pair_label pair) :: row))
+    all_pairs;
+  [ table ]
+
+(* ------------------------------------------------------------------ *)
+(* Fig. 5: error difference vs Ent1&2&3 on FlightsCoarse               *)
+(* ------------------------------------------------------------------ *)
+
+(* The paper's query templates: attribute sets chosen to show a query whose
+   pair is missing from Ent1&2&3 (org+dest), one covered by two of its
+   statistics (dest+time+dist), and one mixing a uniform attribute in
+   (date+dest+dist). *)
+let fig5_heavy_templates =
+  [
+    ("ET&DT (Pair 3)", [ F.fl_time; F.distance ]);
+    ("DB&DT (Pair 2)", [ F.dest; F.distance ]);
+    ("FL&DB&DT (Pair 2)", [ F.fl_date; F.dest; F.distance ]);
+  ]
+
+let fig5_light_templates =
+  [
+    ("OB&DB (Pair 4)", [ F.origin; F.dest ]);
+    ("DB&ET&DT (Pair 2&3)", [ F.dest; F.fl_time; F.distance ]);
+    ("FL&DB&DT (Pair 2)", [ F.fl_date; F.dest; F.distance ]);
+  ]
+
+let fig5 (lab : Lab.flights_lab) =
+  let config = lab.config in
+  let rel = lab.data.coarse in
+  let arity = Schema.arity (Relation.schema rel) in
+  let methods = List.map (fun m -> m.Lab.fm_method) lab.coarse_methods in
+  let run ~which templates =
+    let table =
+      Table.create
+        ~title:
+          (Printf.sprintf
+             "Fig 5 (%s): avg error difference vs Ent1&2&3 on FlightsCoarse \
+              (positive = Ent1&2&3 better)"
+             which)
+        ~headers:
+          ("method"
+          :: List.map (fun (label, _) -> label) templates)
+        ~aligns:(Table.Left :: List.map (fun _ -> Table.Right) templates)
+        ()
+    in
+    let diffs_per_template =
+      List.map
+        (fun (_, attrs) ->
+          let rng = Prng.create ~seed:(config.seed + 31) () in
+          let w =
+            Hitters.standard rng rel ~attrs ~num_hitters:config.num_hitters
+              ~num_nulls:10
+          in
+          let queries = if which = "heavy hitters" then w.heavy else w.light in
+          let results = Runner.run_errors_all methods ~arity ~attrs ~queries in
+          Runner.error_differences ~reference:"Ent1&2&3" results)
+        templates
+    in
+    let method_names =
+      List.filter_map
+        (fun m ->
+          let n = Methods.name m.Lab.fm_method in
+          if n = "Ent1&2&3" then None else Some n)
+        (List.map (fun m -> m) lab.coarse_methods)
+    in
+    List.iter
+      (fun name ->
+        let row =
+          List.map
+            (fun diffs ->
+              match List.assoc_opt name diffs with
+              | Some d -> Table.addf_cell "%+.3f" d
+              | None -> "-")
+            diffs_per_template
+        in
+        Table.add_row table (name :: row))
+      method_names;
+    table
+  in
+  [ run ~which:"heavy hitters" fig5_heavy_templates;
+    run ~which:"light hitters" fig5_light_templates ]
+
+(* ------------------------------------------------------------------ *)
+(* Fig. 6: F measure over light hitters and nulls, all methods         *)
+(* ------------------------------------------------------------------ *)
+
+(* Fifteen 2- and 3-dimensional attribute sets (Sec. 6.2): all six pairs of
+   the four correlated attributes, all four of their triples, and five
+   sets mixing fl_date in. *)
+let fig6_attr_sets =
+  let base = [ F.origin; F.dest; F.fl_time; F.distance ] in
+  let pairs =
+    List.concat_map
+      (fun a ->
+        List.filter_map (fun b -> if a < b then Some [ a; b ] else None) base)
+      base
+  in
+  let triples =
+    [
+      [ F.origin; F.dest; F.fl_time ];
+      [ F.origin; F.dest; F.distance ];
+      [ F.origin; F.fl_time; F.distance ];
+      [ F.dest; F.fl_time; F.distance ];
+    ]
+  in
+  let with_date =
+    [
+      [ F.fl_date; F.origin ];
+      [ F.fl_date; F.dest ];
+      [ F.fl_date; F.distance ];
+      [ F.fl_date; F.origin; F.distance ];
+      [ F.fl_date; F.dest; F.distance ];
+    ]
+  in
+  pairs @ triples @ with_date
+
+let average_f config rel methods =
+  let arity = Schema.arity (Relation.schema rel) in
+  let totals = Hashtbl.create 16 in
+  List.iter
+    (fun attrs ->
+      let rng = Prng.create ~seed:(Config.(config.seed) + 41) () in
+      let w =
+        Hitters.standard rng rel ~attrs ~num_hitters:config.Config.num_hitters
+          ~num_nulls:config.Config.num_hitters
+      in
+      let fs =
+        Runner.run_f_all methods ~arity ~attrs ~light:w.light ~nulls:w.nulls
+      in
+      List.iter
+        (fun r ->
+          let cur =
+            Option.value (Hashtbl.find_opt totals r.Runner.f_method) ~default:(0., 0)
+          in
+          Hashtbl.replace totals r.f_method
+            (fst cur +. r.f_measure, snd cur + 1))
+        fs)
+    fig6_attr_sets;
+  fun name ->
+    match Hashtbl.find_opt totals name with
+    | Some (sum, n) -> sum /. float_of_int n
+    | None -> nan
+
+let fig6 (lab : Lab.flights_lab) =
+  let table =
+    Table.create
+      ~title:
+        "Fig 6: avg F measure (light hitters vs nulls) over fifteen 2-3D \
+         templates"
+      ~headers:[ "method"; "coarse"; "fine" ]
+      ~aligns:[ Table.Left; Right; Right ]
+      ()
+  in
+  let coarse_f =
+    average_f lab.config lab.data.coarse
+      (List.map (fun m -> m.Lab.fm_method) lab.coarse_methods)
+  in
+  let fine_f =
+    average_f lab.config lab.data.fine
+      (List.map (fun m -> m.Lab.fm_method) lab.fine_methods)
+  in
+  List.iter
+    (fun m ->
+      let name = m.Lab.fm_name in
+      Table.add_row table
+        [ name; Table.cell_float (coarse_f name); Table.cell_float (fine_f name) ])
+    lab.coarse_methods;
+  [ table ]
+
+(* ------------------------------------------------------------------ *)
+(* Fig. 7: particles accuracy and runtime vs snapshots                 *)
+(* ------------------------------------------------------------------ *)
+
+let fig7_templates =
+  [
+    ("den&mass&grp&type", [ P.density; P.mass; P.grp; P.ptype ]);
+    ("mass&x&y&z", [ P.mass; P.x; P.y; P.z ]);
+    ("y&z&grp&type", [ P.y; P.z; P.grp; P.ptype ]);
+  ]
+
+let fig7 (config : Config.t) =
+  let tables = ref [] in
+  List.iter
+    (fun snapshots ->
+      let lab = Lab.particles_lab config ~snapshots in
+      let rel = lab.p_rel in
+      let arity = Schema.arity (Relation.schema rel) in
+      let methods = List.map (fun m -> m.Lab.fm_method) lab.p_methods in
+      let table =
+        Table.create
+          ~title:
+            (Printf.sprintf
+               "Fig 7: particles, %d snapshot(s) (%d rows): avg error and \
+                runtime"
+               snapshots (Relation.cardinality rel))
+          ~headers:
+            [ "query"; "method"; "heavy err"; "light err"; "avg ms"; "max ms" ]
+          ~aligns:[ Table.Left; Table.Left; Right; Right; Right; Right ]
+          ()
+      in
+      List.iter
+        (fun (label, attrs) ->
+          let rng = Prng.create ~seed:(config.seed + 53) () in
+          let w =
+            Hitters.standard rng rel ~attrs ~num_hitters:config.num_hitters
+              ~num_nulls:10
+          in
+          let heavy = Runner.run_errors_all methods ~arity ~attrs ~queries:w.heavy in
+          let light = Runner.run_errors_all methods ~arity ~attrs ~queries:w.light in
+          List.iter2
+            (fun (h : Runner.error_result) (l : Runner.error_result) ->
+              Table.add_row table
+                [
+                  label;
+                  h.method_name;
+                  Table.cell_float h.avg_error;
+                  Table.cell_float l.avg_error;
+                  Table.cell_float ~prec:2 (1000. *. h.avg_seconds);
+                  Table.cell_float ~prec:2 (1000. *. h.max_seconds);
+                ])
+            heavy light)
+        fig7_templates;
+      tables := table :: !tables)
+    [ 1; 2; 3 ];
+  List.rev !tables
+
+(* ------------------------------------------------------------------ *)
+(* Fig. 8: heavy-hitter error and F measure across MaxEnt methods      *)
+(* ------------------------------------------------------------------ *)
+
+(* Six two-attribute templates: all pairs of origin, dest, time, distance
+   (Sec. 6.4). *)
+let fig8_attr_sets =
+  let base = [ F.origin; F.dest; F.fl_time; F.distance ] in
+  List.concat_map
+    (fun a ->
+      List.filter_map (fun b -> if a < b then Some [ a; b ] else None) base)
+    base
+
+let fig8 (lab : Lab.flights_lab) =
+  let config = lab.config in
+  let maxent_names = [ "No2D"; "Ent1&2"; "Ent3&4"; "Ent1&2&3" ] in
+  let run rel methods =
+    let arity = Schema.arity (Relation.schema rel) in
+    let err_totals = Hashtbl.create 8 and f_totals = Hashtbl.create 8 in
+    List.iter
+      (fun attrs ->
+        let rng = Prng.create ~seed:(config.seed + 61) () in
+        let w =
+          Hitters.standard rng rel ~attrs ~num_hitters:config.num_hitters
+            ~num_nulls:config.num_nulls
+        in
+        let heavy = Runner.run_errors_all methods ~arity ~attrs ~queries:w.heavy in
+        let fs =
+          Runner.run_f_all methods ~arity ~attrs ~light:w.light ~nulls:w.nulls
+        in
+        List.iter
+          (fun (r : Runner.error_result) ->
+            let cur =
+              Option.value (Hashtbl.find_opt err_totals r.method_name)
+                ~default:(0., 0)
+            in
+            Hashtbl.replace err_totals r.method_name
+              (fst cur +. r.avg_error, snd cur + 1))
+          heavy;
+        List.iter
+          (fun (r : Runner.f_result) ->
+            let cur =
+              Option.value (Hashtbl.find_opt f_totals r.f_method)
+                ~default:(0., 0)
+            in
+            Hashtbl.replace f_totals r.f_method
+              (fst cur +. r.f_measure, snd cur + 1))
+          fs)
+      fig8_attr_sets;
+    let get tbl name =
+      match Hashtbl.find_opt tbl name with
+      | Some (sum, n) -> sum /. float_of_int n
+      | None -> nan
+    in
+    (get err_totals, get f_totals)
+  in
+  let pick methods =
+    List.filter_map
+      (fun m ->
+        if List.mem m.Lab.fm_name maxent_names then Some m.Lab.fm_method
+        else None)
+      methods
+  in
+  let coarse_err, coarse_f = run lab.data.coarse (pick lab.coarse_methods) in
+  let fine_err, fine_f = run lab.data.fine (pick lab.fine_methods) in
+  let err_table =
+    Table.create
+      ~title:"Fig 8a: avg heavy-hitter error over six 2D templates"
+      ~headers:[ "method"; "coarse"; "fine" ]
+      ~aligns:[ Table.Left; Right; Right ]
+      ()
+  in
+  let f_table =
+    Table.create
+      ~title:"Fig 8b: avg F measure (light hitters + nulls) over six 2D templates"
+      ~headers:[ "method"; "coarse"; "fine" ]
+      ~aligns:[ Table.Left; Right; Right ]
+      ()
+  in
+  List.iter
+    (fun name ->
+      Table.add_row err_table
+        [ name; Table.cell_float (coarse_err name); Table.cell_float (fine_err name) ];
+      Table.add_row f_table
+        [ name; Table.cell_float (coarse_f name); Table.cell_float (fine_f name) ])
+    maxent_names;
+  [ err_table; f_table ]
+
+(* ------------------------------------------------------------------ *)
+(* Compression accounting (Sec. 4.3's closing discussion)              *)
+(* ------------------------------------------------------------------ *)
+
+let compression (config : Config.t) =
+  let data = F.generate ~rows:config.flights_rows ~seed:config.seed () in
+  let rel = Relation.project data.coarse [ F.fl_date; F.fl_time; F.distance ] in
+  let table =
+    Table.create
+      ~title:
+        "Compression: compressed terms vs uncompressed monomials \
+         ((fl_date, fl_time, distance) schema, COMPOSITE on \
+         (fl_time, distance))"
+      ~headers:
+        [ "budget"; "statistics"; "terms"; "uncompressed"; "ratio" ]
+      ()
+  in
+  List.iter
+    (fun budget ->
+      let joints =
+        Edb_select.Heuristic.select Edb_select.Heuristic.Composite rel
+          ~attr1:1 ~attr2:2 ~budget
+      in
+      let phi = Entropydb_core.Phi.of_relation rel ~joints in
+      let poly = Entropydb_core.Poly.create phi in
+      let terms = Entropydb_core.Poly.num_terms poly in
+      let un = Entropydb_core.Poly.uncompressed_monomials poly in
+      Table.add_row table
+        [
+          Table.cell_int budget;
+          Table.cell_int (Entropydb_core.Phi.num_stats phi);
+          Table.cell_int terms;
+          Table.addf_cell "%.3g" un;
+          Table.addf_cell "%.0fx" (un /. float_of_int terms);
+        ])
+    config.fig2b_budgets;
+  [ table ]
+
+(* ------------------------------------------------------------------ *)
+(* Ablation: solver algorithm and initialization (design choices)      *)
+(* ------------------------------------------------------------------ *)
+
+(* Not a paper figure: quantifies two design choices DESIGN.md calls out —
+   Algorithm 1's coordinate solves vs plain entropic mirror descent, and
+   marginal-seeded vs uniform initialization — on one mid-size flights
+   summary.  Reported: sweeps used, wall time, and the residual after a
+   fixed sweep budget. *)
+let ablation (config : Config.t) =
+  let data = F.generate ~rows:config.flights_rows ~seed:config.seed () in
+  let rel = data.coarse in
+  let joints =
+    Lab.composite rel Lab.pair3 ~budget:(config.budget_total / 3)
+    @ Lab.composite rel Lab.pair4 ~budget:(config.budget_total / 3)
+  in
+  let phi = Entropydb_core.Phi.of_relation rel ~joints in
+  let table =
+    Table.create
+      ~title:
+        "Ablation: solver algorithm x initialization (flights coarse, \
+         pairs 3&4)"
+      ~headers:
+        [ "algorithm"; "init"; "sweeps"; "seconds"; "final max rel err" ]
+      ~aligns:[ Table.Left; Table.Left; Right; Right; Right ]
+      ()
+  in
+  List.iter
+    (fun (alg_name, algorithm, max_sweeps) ->
+      List.iter
+        (fun (init_name, init) ->
+          let poly = Entropydb_core.Poly.create phi in
+          Entropydb_core.Poly.reinit poly init;
+          let report =
+            Entropydb_core.Solver.solve
+              ~config:
+                {
+                  Entropydb_core.Solver.algorithm;
+                  max_sweeps;
+                  tolerance = config.solver.tolerance;
+                  log_every = 0;
+                }
+              poly
+          in
+          Table.add_row table
+            [
+              alg_name;
+              init_name;
+              Table.cell_int report.sweeps;
+              Table.cell_float ~prec:1 report.seconds;
+              Table.addf_cell "%.2e" report.max_rel_error;
+            ])
+        [ ("marginals", `Marginals); ("uniform", `Uniform) ])
+    [
+      ("coordinate (Alg. 1)", Entropydb_core.Solver.Coordinate,
+       config.solver.max_sweeps);
+      ("mirror descent", Entropydb_core.Solver.Multiplicative,
+       10 * config.solver.max_sweeps);
+    ];
+  [ table ]
+
+(* ------------------------------------------------------------------ *)
+(* Hierarchical summaries (Sec. 7 extension, not a paper figure)       *)
+(* ------------------------------------------------------------------ *)
+
+(* Compares three ways of answering city-level point queries on
+   FlightsFine: a flat summary at full city granularity, a root-only
+   summary over coarse city buckets (uniformity within buckets), and the
+   two-level hierarchy with the busiest buckets refined. *)
+let hierarchy (config : Config.t) =
+  let data = F.generate ~rows:config.flights_rows ~seed:config.seed () in
+  let rel = data.fine in
+  let arity = Schema.arity (Relation.schema rel) in
+  let boundaries = Array.init 21 (fun i -> i * 7) in
+  let quiet = config.solver in
+  let flat, t_flat =
+    Timing.time (fun () ->
+        Entropydb_core.Summary.build ~solver_config:quiet rel ~joints:[])
+  in
+  let root_only, t_root =
+    Timing.time (fun () ->
+        Entropydb_core.Hierarchy.build ~solver_config:quiet rel ~attr:F.origin
+          ~boundaries ~refine:(`Buckets []))
+  in
+  let refined, t_refined =
+    Timing.time (fun () ->
+        Entropydb_core.Hierarchy.build ~solver_config:quiet rel ~attr:F.origin
+          ~boundaries ~refine:(`Top_k 6))
+  in
+  (* Workload: heavy + light origin-city point queries (all 147 cities
+     exist, so there is no nonexistent-value component here). *)
+  let heavy_q = Hitters.heavy rel ~attrs:[ F.origin ] ~k:config.num_hitters in
+  let light_q = Hitters.light rel ~attrs:[ F.origin ] ~k:config.num_hitters in
+  let methods =
+    [
+      ("flat fine summary",
+       Methods.of_fn ~name:"flat" (Entropydb_core.Summary.estimate flat),
+       t_flat);
+      ("root only (coarse buckets)",
+       Methods.of_fn ~name:"root" (Entropydb_core.Hierarchy.estimate root_only),
+       t_root);
+      ("hierarchy (6 refined)",
+       Methods.of_fn ~name:"hier" (Entropydb_core.Hierarchy.estimate refined),
+       t_refined);
+    ]
+  in
+  let table =
+    Table.create
+      ~title:
+        "Hierarchical summaries (Sec. 7 extension): origin-city point \
+         queries on FlightsFine"
+      ~headers:[ "method"; "heavy err"; "light err"; "build s" ]
+      ~aligns:[ Table.Left; Right; Right; Right ]
+      ()
+  in
+  List.iter
+    (fun (label, m, dt) ->
+      let heavy =
+        Runner.run_errors m ~arity ~attrs:[ F.origin ] ~queries:heavy_q
+      in
+      let light =
+        Runner.run_errors m ~arity ~attrs:[ F.origin ] ~queries:light_q
+      in
+      Table.add_row table
+        [
+          label;
+          Table.cell_float heavy.avg_error;
+          Table.cell_float light.avg_error;
+          Table.cell_float ~prec:1 dt;
+        ])
+    methods;
+  [ table ]
+
+(* ------------------------------------------------------------------ *)
+(* Summary-build cost accounting (Sec. 5 / 6.1)                        *)
+(* ------------------------------------------------------------------ *)
+
+let build_costs (lab : Lab.flights_lab) =
+  let table =
+    Table.create
+      ~title:"Summary build cost (paper Sec. 6.1: under 1 day at 120 CPUs)"
+      ~headers:[ "summary"; "relation"; "statistics"; "terms"; "build s" ]
+      ~aligns:[ Table.Left; Table.Left; Right; Right; Right ]
+      ()
+  in
+  let add tag methods =
+    List.iter
+      (fun m ->
+        match m.Lab.fm_summary with
+        | None -> ()
+        | Some s ->
+            let r = Entropydb_core.Summary.size_report s in
+            Table.add_row table
+              [
+                m.Lab.fm_name;
+                tag;
+                Table.cell_int r.num_statistics;
+                Table.cell_int r.num_terms;
+                Table.cell_float ~prec:1 m.Lab.fm_build_seconds;
+              ])
+      methods
+  in
+  add "coarse" lab.coarse_methods;
+  add "fine" lab.fine_methods;
+  [ table ]

@@ -1,0 +1,47 @@
+(** Regeneration of every evaluation table and figure of the paper.  Each
+    function returns printable tables; figures sharing the nine-method
+    flights setup (5, 6, 8, build costs) take a pre-built lab. *)
+
+open Edb_util
+
+val fig2b : Config.t -> Table.t list
+(** Heuristic (ZERO / LARGE / COMPOSITE) average error vs budget on
+    (fl_time, distance), for heavy hitters, nonexistent values, and light
+    hitters. *)
+
+val fig3 : Config.t -> Table.t list
+(** Active-domain sizes of the flights (coarse/fine) and particles
+    schemas. *)
+
+val fig4 : Config.t -> Table.t list
+(** The four MaxEnt summary configurations and their per-pair budgets. *)
+
+val fig5 : Lab.flights_lab -> Table.t list
+(** Per-template average error difference vs Ent1&2&3 on FlightsCoarse,
+    heavy and light hitters. *)
+
+val fig6 : Lab.flights_lab -> Table.t list
+(** Average F measure over fifteen 2–3D templates, coarse and fine. *)
+
+val fig7 : Config.t -> Table.t list
+(** Particles: error and latency for three 4D templates over 1–3
+    snapshots. *)
+
+val fig8 : Lab.flights_lab -> Table.t list
+(** Heavy-hitter error (a) and F measure (b) across the four MaxEnt
+    configurations, coarse and fine. *)
+
+val compression : Config.t -> Table.t list
+(** Compressed-vs-uncompressed polynomial size per budget (Sec. 4.3's
+    closing numbers). *)
+
+val hierarchy : Config.t -> Table.t list
+(** Sec. 7 extension (not a paper figure): flat vs root-only vs refined
+    hierarchical summaries on city-level point queries. *)
+
+val ablation : Config.t -> Table.t list
+(** Design-choice ablation (not a paper figure): coordinate solves vs
+    entropic mirror descent, marginal vs uniform initialization. *)
+
+val build_costs : Lab.flights_lab -> Table.t list
+(** Statistics, term counts, and build seconds per summary (Sec. 5). *)

@@ -1,0 +1,228 @@
+(* Shared experiment setup: datasets, summaries, and baseline methods.
+
+   Figs. 5, 6, and 8 all compare the same nine methods over the same two
+   flights relations; this module builds them once.  The four MaxEnt
+   configurations follow the paper's Fig. 4:
+
+     No2D      no 2D statistics
+     Ent1&2    pairs 1 = (origin, distance), 2 = (dest, distance)
+     Ent3&4    pairs 3 = (fl_time, distance), 4 = (origin, dest)
+     Ent1&2&3  pairs 1, 2, 3
+
+   with the total budget B split evenly across a summary's pairs, and the
+   sampling baselines are a uniform sample plus one stratified sample per
+   pair, all at the same rate. *)
+
+open Edb_util
+open Edb_storage
+open Edb_workload
+module F = Edb_datagen.Flights
+module P = Edb_datagen.Particles
+
+let src = Logs.Src.create "entropydb.experiments" ~doc:"experiment harness"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+let pair1 = (F.origin, F.distance)
+let pair2 = (F.dest, F.distance)
+let pair3 = (F.fl_time, F.distance)
+let pair4 = (F.origin, F.dest)
+
+let pair_label (a, b) =
+  let name i =
+    match i with
+    | _ when i = F.fl_date -> "FL"
+    | _ when i = F.origin -> "OB"
+    | _ when i = F.dest -> "DB"
+    | _ when i = F.fl_time -> "ET"
+    | _ when i = F.distance -> "DT"
+    | _ -> "?"
+  in
+  name a ^ "&" ^ name b
+
+let composite rel (a, b) ~budget =
+  Edb_select.Heuristic.select Edb_select.Heuristic.Composite rel ~attr1:a
+    ~attr2:b ~budget
+
+(* Build a summary, halving the per-pair budget if the attribute topology
+   makes the compatible-set enumeration exceed the term cap. *)
+let rec build_summary ?(term_cap = 2_000_000) (config : Config.t) rel ~pairs
+    ~budget_per_pair =
+  let joints =
+    List.concat_map (fun p -> composite rel p ~budget:budget_per_pair) pairs
+  in
+  match
+    Entropydb_core.Summary.build ~solver_config:config.solver ~term_cap rel
+      ~joints
+  with
+  | summary -> summary
+  | exception Entropydb_core.Poly.Too_many_terms _ when budget_per_pair > 8 ->
+      Log.warn (fun m ->
+          m "term cap exceeded at %d buckets/pair; retrying with %d"
+            budget_per_pair (budget_per_pair / 2));
+      build_summary ~term_cap config rel ~pairs
+        ~budget_per_pair:(budget_per_pair / 2)
+
+type flights_method = {
+  fm_name : string;
+  fm_method : Methods.t;
+  fm_summary : Entropydb_core.Summary.t option;
+  fm_build_seconds : float;
+}
+
+type flights_lab = {
+  config : Config.t;
+  data : F.t;
+  coarse_methods : flights_method list;
+  fine_methods : flights_method list;
+}
+
+let maxent_configs (config : Config.t) =
+  let b = config.budget_total in
+  [
+    ("No2D", []);
+    ("Ent1&2", [ pair1; pair2 ]);
+    ("Ent3&4", [ pair3; pair4 ]);
+    ("Ent1&2&3", [ pair1; pair2; pair3 ]);
+  ]
+  |> List.map (fun (name, pairs) ->
+         let budget_per_pair =
+           match pairs with [] -> 0 | _ -> b / List.length pairs
+         in
+         (name, pairs, budget_per_pair))
+
+let build_flights_methods (config : Config.t) rel ~tag =
+  let rng = Prng.create ~seed:(config.seed + 100) () in
+  let samples =
+    let uni =
+      let s = Edb_sampling.Uniform.create rng ~rate:config.sample_rate rel in
+      {
+        fm_name = "Uni";
+        fm_method = Methods.of_sample ~name:"Uni" s;
+        fm_summary = None;
+        fm_build_seconds = 0.;
+      }
+    in
+    let strat i (a, b) =
+      let s =
+        Edb_sampling.Stratified.create rng ~rate:config.sample_rate
+          ~attrs:[ a; b ] rel
+      in
+      let name = Printf.sprintf "Strat%d" i in
+      {
+        fm_name = name;
+        fm_method = Methods.of_sample ~name s;
+        fm_summary = None;
+        fm_build_seconds = 0.;
+      }
+    in
+    [ uni; strat 1 pair1; strat 2 pair2; strat 3 pair3; strat 4 pair4 ]
+  in
+  let summaries =
+    List.map
+      (fun (name, pairs, budget_per_pair) ->
+        Log.info (fun m -> m "building %s summary %s..." tag name);
+        let summary, dt =
+          Timing.time (fun () ->
+              build_summary config rel ~pairs ~budget_per_pair)
+        in
+        Log.info (fun m -> m "built %s %s in %.1fs" tag name dt);
+        {
+          fm_name = name;
+          fm_method = Methods.of_summary ~name summary;
+          fm_summary = Some summary;
+          fm_build_seconds = dt;
+        })
+      (maxent_configs config)
+  in
+  samples @ summaries
+
+let flights_lab (config : Config.t) =
+  let data = F.generate ~rows:config.flights_rows ~seed:config.seed () in
+  {
+    config;
+    data;
+    coarse_methods = build_flights_methods config data.coarse ~tag:"coarse";
+    fine_methods = build_flights_methods config data.fine ~tag:"fine";
+  }
+
+let find_method lab_methods name =
+  match List.find_opt (fun m -> m.fm_name = name) lab_methods with
+  | Some m -> m
+  | None -> invalid_arg ("Lab.find_method: no method " ^ name)
+
+(* ------------------------------------------------------------------ *)
+(* Particles (Fig. 7)                                                  *)
+(* ------------------------------------------------------------------ *)
+
+type particles_lab = {
+  p_rel : Relation.t;
+  p_methods : flights_method list; (* Uni, Strat, EntNo2D, EntAll *)
+  p_snapshots : int;
+}
+
+let particles_lab (config : Config.t) ~snapshots =
+  let rel =
+    P.generate ~rows_per_snapshot:config.particles_rows_per_snapshot
+      ~snapshots ~seed:(config.seed + 7) ()
+  in
+  let rng = Prng.create ~seed:(config.seed + 200) () in
+  let uni =
+    let s = Edb_sampling.Uniform.create rng ~rate:config.sample_rate rel in
+    {
+      fm_name = "Uni";
+      fm_method = Methods.of_sample ~name:"Uni" s;
+      fm_summary = None;
+      fm_build_seconds = 0.;
+    }
+  in
+  let strat =
+    (* The paper stratifies on (density, grp). *)
+    let s =
+      Edb_sampling.Stratified.create rng ~rate:config.sample_rate
+        ~attrs:[ P.density; P.grp ] rel
+    in
+    {
+      fm_name = "Strat";
+      fm_method = Methods.of_sample ~name:"Strat" s;
+      fm_summary = None;
+      fm_build_seconds = 0.;
+    }
+  in
+  let no2d, t_no2d =
+    Timing.time (fun () ->
+        Entropydb_core.Summary.build ~solver_config:config.solver rel
+          ~joints:[])
+  in
+  (* EntAll: 2D statistics over the 5 most correlated pairs, excluding
+     snapshot (Sec. 6.3). *)
+  let pairs =
+    Edb_select.Pairs.select ~exclude:[ P.snapshot ]
+      ~strategy:Edb_select.Pairs.By_correlation ~budget:5 rel
+  in
+  let entall, t_entall =
+    Timing.time (fun () ->
+        build_summary config rel ~pairs
+          ~budget_per_pair:config.fig7_pair_budget)
+  in
+  {
+    p_rel = rel;
+    p_methods =
+      [
+        uni;
+        strat;
+        {
+          fm_name = "EntNo2D";
+          fm_method = Methods.of_summary ~name:"EntNo2D" no2d;
+          fm_summary = Some no2d;
+          fm_build_seconds = t_no2d;
+        };
+        {
+          fm_name = "EntAll";
+          fm_method = Methods.of_summary ~name:"EntAll" entall;
+          fm_summary = Some entall;
+          fm_build_seconds = t_entall;
+        };
+      ];
+    p_snapshots = snapshots;
+  }

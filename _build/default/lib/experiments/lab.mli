@@ -1,0 +1,67 @@
+(** Shared experiment setup: the flights and particles datasets, the four
+    MaxEnt summaries of the paper's Fig. 4, and the sampling baselines. *)
+
+open Edb_storage
+open Edb_workload
+
+val pair1 : int * int
+(** (origin, distance) *)
+
+val pair2 : int * int
+(** (dest, distance) *)
+
+val pair3 : int * int
+(** (fl_time, distance) *)
+
+val pair4 : int * int
+(** (origin, dest) *)
+
+val pair_label : int * int -> string
+(** Paper-style label, e.g. "ET&DT". *)
+
+val composite :
+  Relation.t -> int * int -> budget:int -> Edb_storage.Predicate.t list
+(** COMPOSITE statistics for one pair. *)
+
+val build_summary :
+  ?term_cap:int ->
+  Config.t ->
+  Relation.t ->
+  pairs:(int * int) list ->
+  budget_per_pair:int ->
+  Entropydb_core.Summary.t
+(** Build with COMPOSITE statistics on each pair, halving the per-pair
+    budget on {!Entropydb_core.Poly.Too_many_terms}. *)
+
+type flights_method = {
+  fm_name : string;
+  fm_method : Methods.t;
+  fm_summary : Entropydb_core.Summary.t option;  (** None for samples *)
+  fm_build_seconds : float;
+}
+
+type flights_lab = {
+  config : Config.t;
+  data : Edb_datagen.Flights.t;
+  coarse_methods : flights_method list;
+  fine_methods : flights_method list;
+}
+
+val maxent_configs : Config.t -> (string * (int * int) list * int) list
+(** The Fig. 4 summary configurations: name, pairs, buckets per pair. *)
+
+val flights_lab : Config.t -> flights_lab
+(** Builds all nine methods on both flights relations (the expensive shared
+    setup for Figs. 5, 6, 8). *)
+
+val find_method : flights_method list -> string -> flights_method
+
+type particles_lab = {
+  p_rel : Relation.t;
+  p_methods : flights_method list;
+  p_snapshots : int;
+}
+
+val particles_lab : Config.t -> snapshots:int -> particles_lab
+(** Uni, Strat(density,grp), EntNo2D, EntAll over the given number of
+    snapshots (Fig. 7 setup). *)

@@ -1,0 +1,1 @@
+lib/query/parser.ml: Ast Fmt Lexer List

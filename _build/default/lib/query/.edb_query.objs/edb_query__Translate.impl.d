@@ -1,0 +1,1 @@
+lib/query/translate.ml: Ast Domain Edb_storage Edb_util Fmt List Option Parser Predicate Ranges Result Schema

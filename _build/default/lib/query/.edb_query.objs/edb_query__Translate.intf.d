@@ -1,0 +1,1 @@
+lib/query/translate.mli: Ast Edb_storage Format Predicate Schema

@@ -1,0 +1,84 @@
+(* Abstract syntax of the supported query language.
+
+   EntropyDB answers linear queries (Sec. 3.1); the concrete language is
+   the fragment used throughout the paper's examples and evaluation:
+
+     SELECT COUNT( * ) FROM R WHERE A = 'v' AND B IN [lo, hi] ...
+     SELECT A, B, COUNT( * ) FROM R [WHERE ...] GROUP BY A, B
+       [ORDER BY cnt DESC] [LIMIT k]
+
+   Attribute names are resolved against a schema at translation time, not
+   parse time. *)
+
+type value = Vint of int | Vfloat of float | Vstr of string
+
+type condition =
+  | Eq of string * value (* A = v *)
+  | Neq of string * value (* A <> v *)
+  | Between of string * value * value (* A BETWEEN lo AND hi, inclusive *)
+  | In_set of string * value list (* A IN ('x', 'y', ...) *)
+
+type order = Desc | Asc
+
+(* The aggregate in the SELECT clause.  COUNT supports GROUP BY; SUM and
+   AVG are plain aggregates over one binned attribute (the weighted linear
+   queries of Sec. 3.1). *)
+type agg = Count | Sum of string | Avg of string
+
+type t = {
+  table : string;
+  agg : agg;
+  group_by : string list; (* [] for a plain aggregate *)
+  where : condition list list;
+      (* disjunctive normal form: OR of AND-conjunctions; [] = no WHERE *)
+  order : order option; (* ORDER BY the count column *)
+  limit : int option;
+}
+
+let count_query ?(table = "R") conditions =
+  {
+    table;
+    agg = Count;
+    group_by = [];
+    where = (match conditions with [] -> [] | _ -> [ conditions ]);
+    order = None;
+    limit = None;
+  }
+
+let pp_value ppf = function
+  | Vint i -> Fmt.int ppf i
+  | Vfloat f -> Fmt.float ppf f
+  | Vstr s -> Fmt.pf ppf "'%s'" s
+
+let pp_condition ppf = function
+  | Eq (a, v) -> Fmt.pf ppf "%s = %a" a pp_value v
+  | Neq (a, v) -> Fmt.pf ppf "%s <> %a" a pp_value v
+  | Between (a, lo, hi) ->
+      Fmt.pf ppf "%s IN [%a, %a]" a pp_value lo pp_value hi
+  | In_set (a, vs) ->
+      Fmt.pf ppf "%s IN (%a)" a Fmt.(list ~sep:comma pp_value) vs
+
+let pp_agg ppf = function
+  | Count -> Fmt.string ppf "COUNT(*)"
+  | Sum a -> Fmt.pf ppf "SUM(%s)" a
+  | Avg a -> Fmt.pf ppf "AVG(%s)" a
+
+let pp ppf t =
+  let pp_select ppf = function
+    | [] -> pp_agg ppf t.agg
+    | gs -> Fmt.pf ppf "%s, %a" (String.concat ", " gs) pp_agg t.agg
+  in
+  Fmt.pf ppf "SELECT %a FROM %s" pp_select t.group_by t.table;
+  if t.where <> [] then begin
+    let pp_conj ppf conds =
+      Fmt.(list ~sep:(any " AND ") pp_condition) ppf conds
+    in
+    Fmt.pf ppf " WHERE %a" Fmt.(list ~sep:(any " OR ") pp_conj) t.where
+  end;
+  if t.group_by <> [] then
+    Fmt.pf ppf " GROUP BY %s" (String.concat ", " t.group_by);
+  (match t.order with
+  | Some Desc -> Fmt.string ppf " ORDER BY cnt DESC"
+  | Some Asc -> Fmt.string ppf " ORDER BY cnt ASC"
+  | None -> ());
+  match t.limit with Some k -> Fmt.pf ppf " LIMIT %d" k | None -> ()

@@ -1,0 +1,34 @@
+(** Abstract syntax of the supported SQL fragment: conjunctive counting
+    queries with optional GROUP BY / ORDER BY count / LIMIT. *)
+
+type value = Vint of int | Vfloat of float | Vstr of string
+
+type condition =
+  | Eq of string * value
+  | Neq of string * value
+  | Between of string * value * value  (** inclusive range *)
+  | In_set of string * value list
+
+type order = Desc | Asc
+
+type agg = Count | Sum of string | Avg of string
+(** COUNT supports GROUP BY; SUM/AVG are plain aggregates over one binned
+    attribute. *)
+
+type t = {
+  table : string;
+  agg : agg;
+  group_by : string list;
+  where : condition list list;
+      (** disjunctive normal form: OR of conjunctions; [] = no WHERE *)
+  order : order option;
+  limit : int option;
+}
+
+val count_query : ?table:string -> condition list -> t
+(** Plain conjunctive count. *)
+
+val pp_agg : Format.formatter -> agg -> unit
+val pp_value : Format.formatter -> value -> unit
+val pp_condition : Format.formatter -> condition -> unit
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,183 @@
+(* Hand-written lexer for the query language.
+
+   Keywords are case-insensitive; identifiers keep their case.  Strings use
+   single quotes with '' as the escape for a literal quote.  Numbers are
+   ints or floats.  Position tracking is per-character offset, surfaced in
+   parse errors. *)
+
+type token =
+  | SELECT
+  | COUNT
+  | SUM
+  | AVG
+  | FROM
+  | WHERE
+  | GROUP
+  | BY
+  | ORDER
+  | LIMIT
+  | AND
+  | OR
+  | IN
+  | BETWEEN
+  | NEQ
+  | DESC
+  | ASC
+  | STAR
+  | LPAREN
+  | RPAREN
+  | LBRACKET
+  | RBRACKET
+  | COMMA
+  | EQUALS
+  | IDENT of string
+  | INT of int
+  | FLOAT of float
+  | STRING of string
+  | EOF
+
+type error = { pos : int; message : string }
+
+let pp_token ppf = function
+  | SELECT -> Fmt.string ppf "SELECT"
+  | COUNT -> Fmt.string ppf "COUNT"
+  | SUM -> Fmt.string ppf "SUM"
+  | AVG -> Fmt.string ppf "AVG"
+  | FROM -> Fmt.string ppf "FROM"
+  | WHERE -> Fmt.string ppf "WHERE"
+  | GROUP -> Fmt.string ppf "GROUP"
+  | BY -> Fmt.string ppf "BY"
+  | ORDER -> Fmt.string ppf "ORDER"
+  | LIMIT -> Fmt.string ppf "LIMIT"
+  | AND -> Fmt.string ppf "AND"
+  | OR -> Fmt.string ppf "OR"
+  | IN -> Fmt.string ppf "IN"
+  | BETWEEN -> Fmt.string ppf "BETWEEN"
+  | NEQ -> Fmt.string ppf "<>"
+  | DESC -> Fmt.string ppf "DESC"
+  | ASC -> Fmt.string ppf "ASC"
+  | STAR -> Fmt.string ppf "*"
+  | LPAREN -> Fmt.string ppf "("
+  | RPAREN -> Fmt.string ppf ")"
+  | LBRACKET -> Fmt.string ppf "["
+  | RBRACKET -> Fmt.string ppf "]"
+  | COMMA -> Fmt.string ppf ","
+  | EQUALS -> Fmt.string ppf "="
+  | IDENT s -> Fmt.pf ppf "identifier %s" s
+  | INT i -> Fmt.pf ppf "integer %d" i
+  | FLOAT f -> Fmt.pf ppf "float %g" f
+  | STRING s -> Fmt.pf ppf "string '%s'" s
+  | EOF -> Fmt.string ppf "end of input"
+
+let keyword_of_string s =
+  match String.uppercase_ascii s with
+  | "SELECT" -> Some SELECT
+  | "COUNT" -> Some COUNT
+  | "SUM" -> Some SUM
+  | "AVG" -> Some AVG
+  | "FROM" -> Some FROM
+  | "WHERE" -> Some WHERE
+  | "GROUP" -> Some GROUP
+  | "BY" -> Some BY
+  | "ORDER" -> Some ORDER
+  | "LIMIT" -> Some LIMIT
+  | "AND" -> Some AND
+  | "OR" -> Some OR
+  | "IN" -> Some IN
+  | "BETWEEN" -> Some BETWEEN
+  | "DESC" -> Some DESC
+  | "ASC" -> Some ASC
+  | _ -> None
+
+let is_ident_start c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9')
+let is_digit c = c >= '0' && c <= '9'
+
+(* Tokenize the whole input; each token is paired with its start offset. *)
+let tokenize input =
+  let n = String.length input in
+  let tokens = ref [] in
+  let error = ref None in
+  let pos = ref 0 in
+  let emit tok start = tokens := (tok, start) :: !tokens in
+  (try
+     while !pos < n && !error = None do
+       let c = input.[!pos] in
+       let start = !pos in
+       if c = ' ' || c = '\t' || c = '\n' || c = '\r' then incr pos
+       else if is_ident_start c then begin
+         let e = ref !pos in
+         while !e < n && is_ident_char input.[!e] do incr e done;
+         let word = String.sub input !pos (!e - !pos) in
+         pos := !e;
+         match keyword_of_string word with
+         | Some kw -> emit kw start
+         | None -> emit (IDENT word) start
+       end
+       else if is_digit c || (c = '-' && !pos + 1 < n && is_digit input.[!pos + 1])
+       then begin
+         let e = ref (!pos + 1) in
+         let seen_dot = ref false in
+         while
+           !e < n
+           && (is_digit input.[!e] || (input.[!e] = '.' && not !seen_dot))
+         do
+           if input.[!e] = '.' then seen_dot := true;
+           incr e
+         done;
+         let text = String.sub input !pos (!e - !pos) in
+         pos := !e;
+         if !seen_dot then emit (FLOAT (float_of_string text)) start
+         else emit (INT (int_of_string text)) start
+       end
+       else if c = '\'' then begin
+         let buf = Buffer.create 16 in
+         incr pos;
+         let closed = ref false in
+         while (not !closed) && !error = None do
+           if !pos >= n then
+             error := Some { pos = start; message = "unterminated string" }
+           else if input.[!pos] = '\'' then
+             if !pos + 1 < n && input.[!pos + 1] = '\'' then begin
+               Buffer.add_char buf '\'';
+               pos := !pos + 2
+             end
+             else begin
+               closed := true;
+               incr pos
+             end
+           else begin
+             Buffer.add_char buf input.[!pos];
+             incr pos
+           end
+         done;
+         if !closed then emit (STRING (Buffer.contents buf)) start
+       end
+       else begin
+         (match c with
+         | '<' when !pos + 1 < n && input.[!pos + 1] = '>' ->
+             incr pos;
+             emit NEQ start
+         | '*' -> emit STAR start
+         | '(' -> emit LPAREN start
+         | ')' -> emit RPAREN start
+         | '[' -> emit LBRACKET start
+         | ']' -> emit RBRACKET start
+         | ',' -> emit COMMA start
+         | '=' -> emit EQUALS start
+         | _ ->
+             error :=
+               Some
+                 {
+                   pos = start;
+                   message = Printf.sprintf "unexpected character %C" c;
+                 });
+         incr pos
+       end
+     done
+   with Failure msg -> error := Some { pos = !pos; message = msg });
+  match !error with
+  | Some e -> Error e
+  | None -> Ok (List.rev ((EOF, n) :: !tokens))

@@ -1,0 +1,40 @@
+(** Lexer for the query language: case-insensitive keywords,
+    single-quoted strings (with [''] escapes), integer and float literals. *)
+
+type token =
+  | SELECT
+  | COUNT
+  | SUM
+  | AVG
+  | FROM
+  | WHERE
+  | GROUP
+  | BY
+  | ORDER
+  | LIMIT
+  | AND
+  | OR
+  | IN
+  | BETWEEN
+  | NEQ
+  | DESC
+  | ASC
+  | STAR
+  | LPAREN
+  | RPAREN
+  | LBRACKET
+  | RBRACKET
+  | COMMA
+  | EQUALS
+  | IDENT of string
+  | INT of int
+  | FLOAT of float
+  | STRING of string
+  | EOF
+
+type error = { pos : int; message : string }
+
+val pp_token : Format.formatter -> token -> unit
+
+val tokenize : string -> ((token * int) list, error) result
+(** Tokens paired with their character offsets; always ends with [EOF]. *)

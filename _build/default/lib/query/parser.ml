@@ -1,0 +1,243 @@
+(* Recursive-descent parser for the query language.
+
+   Grammar (keywords case-insensitive; AND binds tighter than OR):
+
+     query     ::= SELECT select FROM IDENT [where] [group] [order] [limit]
+     select    ::= COUNT ( * ) | SUM ( IDENT ) | AVG ( IDENT )
+                 | IDENT (, IDENT)* , COUNT ( * )
+     where     ::= WHERE conj (OR conj)*
+     conj      ::= condition (AND condition)*
+     condition ::= IDENT = value
+                 | IDENT <> value
+                 | IDENT BETWEEN value AND value
+                 | IDENT IN [ value , value ]
+                 | IDENT IN ( value (, value)* )
+     group     ::= GROUP BY IDENT (, IDENT)*
+     order     ::= ORDER BY IDENT (DESC | ASC)      -- the count column
+     limit     ::= LIMIT INT
+     value     ::= INT | FLOAT | STRING *)
+
+type error = { pos : int; message : string }
+
+let pp_error ppf (e : error) =
+  Fmt.pf ppf "parse error at offset %d: %s" e.pos e.message
+
+type state = { mutable tokens : (Lexer.token * int) list }
+
+exception Parse_failure of error
+
+let fail pos message = raise (Parse_failure { pos; message })
+
+let peek st =
+  match st.tokens with [] -> (Lexer.EOF, 0) | (tok, pos) :: _ -> (tok, pos)
+
+let advance st =
+  match st.tokens with [] -> () | _ :: rest -> st.tokens <- rest
+
+let expect st expected =
+  let tok, pos = peek st in
+  if tok = expected then advance st
+  else
+    fail pos
+      (Fmt.str "expected %a but found %a" Lexer.pp_token expected
+         Lexer.pp_token tok)
+
+let ident st =
+  match peek st with
+  | Lexer.IDENT name, _ ->
+      advance st;
+      name
+  | tok, pos ->
+      fail pos (Fmt.str "expected an identifier, found %a" Lexer.pp_token tok)
+
+let value st =
+  match peek st with
+  | Lexer.INT i, _ ->
+      advance st;
+      Ast.Vint i
+  | Lexer.FLOAT f, _ ->
+      advance st;
+      Ast.Vfloat f
+  | Lexer.STRING s, _ ->
+      advance st;
+      Ast.Vstr s
+  | tok, pos -> fail pos (Fmt.str "expected a value, found %a" Lexer.pp_token tok)
+
+let count_star st =
+  expect st Lexer.COUNT;
+  expect st Lexer.LPAREN;
+  expect st Lexer.STAR;
+  expect st Lexer.RPAREN
+
+let agg_over st kind =
+  advance st;
+  expect st Lexer.LPAREN;
+  let attr = ident st in
+  expect st Lexer.RPAREN;
+  match kind with `Sum -> Ast.Sum attr | `Avg -> Ast.Avg attr
+
+(* select ::= COUNT(star) | SUM(ident) | AVG(ident)
+            | ident, ..., COUNT(star) *)
+let select_clause st =
+  match peek st with
+  | Lexer.COUNT, _ ->
+      count_star st;
+      (Ast.Count, [])
+  | Lexer.SUM, _ -> (agg_over st `Sum, [])
+  | Lexer.AVG, _ -> (agg_over st `Avg, [])
+  | _ ->
+      let rec idents acc =
+        let name = ident st in
+        expect st Lexer.COMMA;
+        match peek st with
+        | Lexer.COUNT, _ ->
+            count_star st;
+            List.rev (name :: acc)
+        | _ -> idents (name :: acc)
+      in
+      (Ast.Count, idents [])
+
+let condition st =
+  let attr = ident st in
+  match peek st with
+  | Lexer.EQUALS, _ ->
+      advance st;
+      Ast.Eq (attr, value st)
+  | Lexer.NEQ, _ ->
+      advance st;
+      Ast.Neq (attr, value st)
+  | Lexer.BETWEEN, _ ->
+      advance st;
+      let lo = value st in
+      expect st Lexer.AND;
+      let hi = value st in
+      Ast.Between (attr, lo, hi)
+  | Lexer.IN, _ -> (
+      advance st;
+      match peek st with
+      | Lexer.LBRACKET, _ ->
+          advance st;
+          let lo = value st in
+          expect st Lexer.COMMA;
+          let hi = value st in
+          expect st Lexer.RBRACKET;
+          Ast.Between (attr, lo, hi)
+      | Lexer.LPAREN, _ ->
+          advance st;
+          let rec values acc =
+            let v = value st in
+            match peek st with
+            | Lexer.COMMA, _ ->
+                advance st;
+                values (v :: acc)
+            | _ ->
+                expect st Lexer.RPAREN;
+                List.rev (v :: acc)
+          in
+          Ast.In_set (attr, values [])
+      | tok, pos ->
+          fail pos
+            (Fmt.str "expected [range] or (set) after IN, found %a"
+               Lexer.pp_token tok))
+  | tok, pos ->
+      fail pos (Fmt.str "expected =, <>, BETWEEN, or IN, found %a" Lexer.pp_token tok)
+
+(* where ::= conjunction (OR conjunction)*
+   conjunction ::= condition (AND condition)*
+   AND binds tighter than OR, as in SQL. *)
+let where_clause st =
+  match peek st with
+  | Lexer.WHERE, _ ->
+      advance st;
+      let rec conjunction acc =
+        let c = condition st in
+        match peek st with
+        | Lexer.AND, _ ->
+            advance st;
+            conjunction (c :: acc)
+        | _ -> List.rev (c :: acc)
+      in
+      let rec disjunction acc =
+        let conj = conjunction [] in
+        match peek st with
+        | Lexer.OR, _ ->
+            advance st;
+            disjunction (conj :: acc)
+        | _ -> List.rev (conj :: acc)
+      in
+      disjunction []
+  | _ -> []
+
+let group_clause st =
+  match peek st with
+  | Lexer.GROUP, _ ->
+      advance st;
+      expect st Lexer.BY;
+      let rec idents acc =
+        let name = ident st in
+        match peek st with
+        | Lexer.COMMA, _ ->
+            advance st;
+            idents (name :: acc)
+        | _ -> List.rev (name :: acc)
+      in
+      idents []
+  | _ -> []
+
+let order_clause st =
+  match peek st with
+  | Lexer.ORDER, _ ->
+      advance st;
+      expect st Lexer.BY;
+      let _count_col = ident st in
+      (match peek st with
+      | Lexer.DESC, _ ->
+          advance st;
+          Some Ast.Desc
+      | Lexer.ASC, _ ->
+          advance st;
+          Some Ast.Asc
+      | _ -> Some Ast.Desc)
+  | _ -> None
+
+let limit_clause st =
+  match peek st with
+  | Lexer.LIMIT, _ -> (
+      advance st;
+      match peek st with
+      | Lexer.INT k, _ ->
+          advance st;
+          Some k
+      | tok, pos ->
+          fail pos (Fmt.str "expected an integer, found %a" Lexer.pp_token tok))
+  | _ -> None
+
+let parse input =
+  match Lexer.tokenize input with
+  | Error (e : Lexer.error) -> Error { pos = e.pos; message = e.message }
+  | Ok tokens -> (
+      let st = { tokens } in
+      try
+        expect st Lexer.SELECT;
+        let agg, group_by_select = select_clause st in
+        expect st Lexer.FROM;
+        let table = ident st in
+        let where = where_clause st in
+        let group_by = group_clause st in
+        let order = order_clause st in
+        let limit = limit_clause st in
+        expect st Lexer.EOF;
+        (* The projected attributes and GROUP BY must agree when both are
+           present, and SUM/AVG do not group. *)
+        let group_by =
+          match (group_by_select, group_by) with
+          | [], g -> g
+          | g, [] -> g
+          | g1, g2 when g1 = g2 -> g1
+          | _, _ ->
+              fail 0 "SELECT attributes and GROUP BY attributes differ"
+        in
+        if agg <> Ast.Count && group_by <> [] then
+          fail 0 "SUM/AVG do not support GROUP BY";
+        Ok { Ast.table; agg; group_by; where; order; limit }
+      with Parse_failure e -> Error e)

@@ -1,0 +1,11 @@
+(** Recursive-descent parser for the query language. *)
+
+type error = { pos : int; message : string }
+
+val pp_error : Format.formatter -> error -> unit
+
+val parse : string -> (Ast.t, error) result
+(** Parses e.g.
+    [SELECT COUNT( * ) FROM R WHERE origin = 'CA' AND distance IN [5, 10]]
+    and
+    [SELECT a, b, COUNT( * ) FROM R GROUP BY a, b ORDER BY cnt DESC LIMIT 10]. *)

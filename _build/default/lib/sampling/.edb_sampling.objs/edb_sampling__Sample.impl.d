@@ -1,0 +1,1 @@
+lib/sampling/sample.ml: Array Edb_storage Edb_util Hashtbl List Option Predicate Ranges Relation Schema

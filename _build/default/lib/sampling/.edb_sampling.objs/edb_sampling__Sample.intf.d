@@ -1,0 +1,1 @@
+lib/sampling/sample.mli: Edb_storage Predicate Relation

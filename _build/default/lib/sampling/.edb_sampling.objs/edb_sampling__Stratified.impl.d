@@ -1,0 +1,1 @@
+lib/sampling/stratified.ml: Array Edb_storage Edb_util Float Hashtbl List Printf Prng Relation Sample Schema String

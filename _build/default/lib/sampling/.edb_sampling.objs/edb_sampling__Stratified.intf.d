@@ -1,0 +1,1 @@
+lib/sampling/stratified.mli: Edb_storage Edb_util Prng Relation Sample

@@ -1,0 +1,1 @@
+lib/sampling/uniform.ml: Array Edb_storage Edb_util Float Printf Prng Relation Sample

@@ -1,0 +1,1 @@
+lib/sampling/uniform.mli: Edb_storage Edb_util Prng Relation Sample

@@ -1,0 +1,78 @@
+(* Weighted samples and Horvitz–Thompson estimation.
+
+   Both baselines of the paper's evaluation — a uniform sample and
+   stratified samples over attribute pairs (Sec. 6.1) — reduce to a bag of
+   sampled rows with a per-row scale-up weight.  A count query is estimated
+   as the sum of the weights of the matching sampled rows, which is unbiased
+   whenever every source row's inclusion probability is the inverse of its
+   weight. *)
+
+open Edb_util
+open Edb_storage
+
+type t = {
+  data : Relation.t;
+  weights : float array; (* scale-up weight of each sampled row *)
+  source_cardinality : int;
+  description : string;
+}
+
+let create ~data ~weights ~source_cardinality ~description =
+  if Array.length weights <> Relation.cardinality data then
+    invalid_arg "Sample.create: weights/rows mismatch";
+  { data; weights; source_cardinality; description }
+
+let data t = t.data
+let description t = t.description
+let size t = Relation.cardinality t.data
+let source_cardinality t = t.source_cardinality
+
+let estimate_count t pred =
+  if Predicate.is_unsatisfiable pred then 0.
+  else
+    let restricted =
+      List.map
+        (fun i ->
+          match Predicate.restriction pred i with
+          | Some r -> (Relation.column t.data i, r)
+          | None -> assert false)
+        (Predicate.restricted_attrs pred)
+    in
+    let acc = ref 0. in
+    for row = 0 to Relation.cardinality t.data - 1 do
+      if List.for_all (fun (col, r) -> Ranges.mem col.(row) r) restricted then
+        acc := !acc +. t.weights.(row)
+    done;
+    !acc
+
+let estimate_group_count t ~attrs pred =
+  let schema = Relation.schema t.data in
+  let sizes = List.map (fun i -> Schema.domain_size schema i) attrs in
+  let cols = List.map (fun i -> Relation.column t.data i) attrs in
+  let restricted =
+    List.map
+      (fun i ->
+        match Predicate.restriction pred i with
+        | Some r -> (Relation.column t.data i, r)
+        | None -> assert false)
+      (Predicate.restricted_attrs pred)
+  in
+  let tbl = Hashtbl.create 256 in
+  for row = 0 to Relation.cardinality t.data - 1 do
+    if List.for_all (fun (col, r) -> Ranges.mem col.(row) r) restricted then begin
+      let key =
+        List.fold_left2 (fun acc col size -> (acc * size) + col.(row)) 0 cols sizes
+      in
+      let cur = Option.value (Hashtbl.find_opt tbl key) ~default:0. in
+      Hashtbl.replace tbl key (cur +. t.weights.(row))
+    end
+  done;
+  let decode key =
+    let rev_sizes = List.rev sizes in
+    let rec go key = function
+      | [] -> []
+      | size :: rest -> (key mod size) :: go (key / size) rest
+    in
+    List.rev (go key rev_sizes)
+  in
+  Hashtbl.fold (fun key w acc -> (decode key, w) :: acc) tbl []

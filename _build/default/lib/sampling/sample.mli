@@ -1,0 +1,29 @@
+(** Weighted samples with Horvitz–Thompson count estimation — the common
+    representation of the paper's uniform and stratified baselines. *)
+
+open Edb_storage
+
+type t
+
+val create :
+  data:Relation.t ->
+  weights:float array ->
+  source_cardinality:int ->
+  description:string ->
+  t
+(** Raises [Invalid_argument] if weights and rows disagree in length. *)
+
+val data : t -> Relation.t
+val description : t -> string
+val size : t -> int
+val source_cardinality : t -> int
+
+val estimate_count : t -> Predicate.t -> float
+(** Sum of matching rows' weights: unbiased when each source row's inclusion
+    probability is the inverse of its weight. *)
+
+val estimate_group_count :
+  t -> attrs:int list -> Predicate.t -> (int list * float) list
+(** Weighted GROUP BY estimate; groups absent from the sample are absent
+    from the result (samples cannot distinguish rare from nonexistent — the
+    contrast at the heart of the paper's F-measure experiment). *)

@@ -1,0 +1,114 @@
+(* Stratified sampling over attribute subsets (the paper's "StratN"
+   baselines, stratified on the same attribute pairs as the summaries' 2D
+   statistics).
+
+   Strata are the distinct value combinations of the stratification
+   attributes.  The total budget is [rate * n] rows.  Allocation follows
+   the standard small-group-guarantee scheme (as in BlinkDB-style
+   stratified samples): every stratum first receives
+   [min(stratum size, floor)] rows, and the remaining budget is spread
+   proportionally to the strata's remaining sizes.  Each sampled row is
+   weighted by [stratum size / stratum sample size], so count estimation
+   stays unbiased per stratum. *)
+
+open Edb_util
+open Edb_storage
+
+let allocate ~budget ~floor_per_stratum sizes =
+  let s = Array.length sizes in
+  let alloc = Array.make s 0 in
+  let floor_per_stratum =
+    (* If the guarantee alone overshoots the budget, degrade it gracefully
+       rather than fail; at least one row per stratum when possible. *)
+    if s * floor_per_stratum > budget then max 1 (budget / s)
+    else floor_per_stratum
+  in
+  let used = ref 0 in
+  Array.iteri
+    (fun i size ->
+      alloc.(i) <- min size floor_per_stratum;
+      used := !used + alloc.(i))
+    sizes;
+  let remaining = ref (budget - !used) in
+  if !remaining > 0 then begin
+    let capacity = Array.mapi (fun i size -> size - alloc.(i)) sizes in
+    let total_cap = Array.fold_left ( + ) 0 capacity in
+    if total_cap > 0 then begin
+      let budget0 = !remaining in
+      (* Proportional shares with floors; remainders handed out by largest
+         fractional part. *)
+      let shares =
+        Array.map
+          (fun c ->
+            float_of_int budget0 *. float_of_int c /. float_of_int total_cap)
+          capacity
+      in
+      let fracs = ref [] in
+      Array.iteri
+        (fun i sh ->
+          let base = min capacity.(i) (int_of_float sh) in
+          alloc.(i) <- alloc.(i) + base;
+          remaining := !remaining - base;
+          if alloc.(i) < sizes.(i) then
+            fracs := (sh -. Float.of_int (int_of_float sh), i) :: !fracs)
+        shares;
+      let by_frac = List.sort (fun (a, _) (b, _) -> compare b a) !fracs in
+      List.iter
+        (fun (_, i) ->
+          if !remaining > 0 && alloc.(i) < sizes.(i) then begin
+            alloc.(i) <- alloc.(i) + 1;
+            decr remaining
+          end)
+        by_frac
+    end
+  end;
+  alloc
+
+let create rng ~rate ~attrs ?(floor_per_stratum = 4) rel =
+  if not (rate > 0. && rate <= 1.) then
+    invalid_arg "Stratified.create: rate must be in (0, 1]";
+  if attrs = [] then invalid_arg "Stratified.create: no stratification attrs";
+  let schema = Relation.schema rel in
+  let n = Relation.cardinality rel in
+  let budget = max 1 (int_of_float (Float.round (rate *. float_of_int n))) in
+  let sizes_by_attr = List.map (fun i -> Schema.domain_size schema i) attrs in
+  let cols = List.map (fun i -> Relation.column rel i) attrs in
+  (* Bucket row indices per stratum. *)
+  let tbl : (int, int list ref) Hashtbl.t = Hashtbl.create 1024 in
+  for row = 0 to n - 1 do
+    let key =
+      List.fold_left2
+        (fun acc col size -> (acc * size) + col.(row))
+        0 cols sizes_by_attr
+    in
+    match Hashtbl.find_opt tbl key with
+    | Some l -> l := row :: !l
+    | None -> Hashtbl.add tbl key (ref [ row ])
+  done;
+  let strata = Hashtbl.fold (fun _ l acc -> Array.of_list !l :: acc) tbl [] in
+  let strata = Array.of_list strata in
+  let sizes = Array.map Array.length strata in
+  let alloc = allocate ~budget ~floor_per_stratum sizes in
+  let rows = ref [] and weights = ref [] in
+  Array.iteri
+    (fun i stratum ->
+      let k = alloc.(i) in
+      if k > 0 then begin
+        Prng.shuffle rng stratum;
+        let w = float_of_int sizes.(i) /. float_of_int k in
+        for j = 0 to k - 1 do
+          rows := stratum.(j) :: !rows;
+          weights := w :: !weights
+        done
+      end)
+    strata;
+  let rows = Array.of_list !rows and weights = Array.of_list !weights in
+  let names =
+    String.concat "," (List.map (fun i -> Schema.attr_name schema i) attrs)
+  in
+  Sample.create
+    ~data:(Relation.select_rows rel rows)
+    ~weights ~source_cardinality:n
+    ~description:
+      (Printf.sprintf "stratified(%s) %.2f%% (%d rows, %d strata)" names
+         (rate *. 100.) (Array.length rows) (Array.length strata))

@@ -1,0 +1,17 @@
+(** Stratified sampling over attribute subsets — the paper's "StratN"
+    baselines.  Strata are distinct value combinations of the given
+    attributes; every stratum is guaranteed [floor_per_stratum] rows (or its
+    full size) before the rest of the budget is spread proportionally. *)
+
+open Edb_util
+open Edb_storage
+
+val allocate : budget:int -> floor_per_stratum:int -> int array -> int array
+(** Exposed for testing: per-stratum sample counts given stratum sizes.
+    Never allocates more than a stratum's size; degrades the floor when the
+    guarantee alone exceeds the budget. *)
+
+val create :
+  Prng.t -> rate:float -> attrs:int list -> ?floor_per_stratum:int ->
+  Relation.t -> Sample.t
+(** Raises on rates outside (0, 1] or an empty attribute list. *)

@@ -1,0 +1,17 @@
+(* Uniform sampling without replacement (the paper's "Uni" baseline). *)
+
+open Edb_util
+open Edb_storage
+
+let create rng ~rate rel =
+  if not (rate > 0. && rate <= 1.) then
+    invalid_arg "Uniform.create: rate must be in (0, 1]";
+  let n = Relation.cardinality rel in
+  let k = max 1 (int_of_float (Float.round (rate *. float_of_int n))) in
+  let k = min k n in
+  let rows = Prng.sample_without_replacement rng ~n ~k in
+  let weight = float_of_int n /. float_of_int k in
+  Sample.create
+    ~data:(Relation.select_rows rel rows)
+    ~weights:(Array.make k weight) ~source_cardinality:n
+    ~description:(Printf.sprintf "uniform %.2f%% (%d rows)" (rate *. 100.) k)

@@ -1,0 +1,9 @@
+(** Uniform sampling without replacement — the paper's "Uni" baseline. *)
+
+open Edb_util
+open Edb_storage
+
+val create : Prng.t -> rate:float -> Relation.t -> Sample.t
+(** [create rng ~rate rel] draws [round (rate * n)] rows uniformly without
+    replacement; every row carries weight [n/k].  Raises on rates outside
+    (0, 1]. *)

@@ -1,0 +1,1 @@
+lib/select/correlation.ml: Array Edb_storage Histogram List Relation Schema

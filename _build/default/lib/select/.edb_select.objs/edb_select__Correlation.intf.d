@@ -1,0 +1,1 @@
+lib/select/correlation.mli: Edb_storage Relation

@@ -1,0 +1,1 @@
+lib/select/heuristic.ml: Edb_storage Edb_util Histogram Kdtree List Predicate Ranges Relation Schema

@@ -1,0 +1,1 @@
+lib/select/heuristic.mli: Edb_storage Predicate Relation

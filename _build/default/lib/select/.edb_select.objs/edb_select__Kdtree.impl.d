@@ -1,0 +1,1 @@
+lib/select/kdtree.ml: Array Edb_storage Float List

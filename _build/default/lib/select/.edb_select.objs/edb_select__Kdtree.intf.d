@@ -1,0 +1,1 @@
+lib/select/kdtree.mli: Edb_storage

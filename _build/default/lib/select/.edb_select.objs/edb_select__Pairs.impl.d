@@ -1,0 +1,1 @@
+lib/select/pairs.ml: Array Correlation Edb_storage Float List Relation Schema

@@ -1,0 +1,1 @@
+lib/select/pairs.mli: Edb_storage Relation

@@ -1,0 +1,95 @@
+(* Attribute correlation measurement (Sec. 4.3).
+
+   The statistic chooser ranks attribute pairs by correlation and skips
+   near-uniform attributes; the paper uses the chi-squared coefficient for
+   both.  We report the chi-squared statistic of independence per pair and
+   normalize it to Cramér's V so pairs with different domain sizes are
+   comparable. *)
+
+open Edb_storage
+
+(* Chi-squared statistic of independence for an attribute pair: compares
+   the 2D histogram with the product of the marginals. *)
+let chi2_pair rel ~attr1 ~attr2 =
+  let h = Histogram.d2 rel ~attr1 ~attr2 in
+  let rows = Histogram.rows h and cols = Histogram.cols h in
+  let row_sum = Array.make rows 0 and col_sum = Array.make cols 0 in
+  for i = 0 to rows - 1 do
+    for j = 0 to cols - 1 do
+      let c = Histogram.get h ~i ~j in
+      row_sum.(i) <- row_sum.(i) + c;
+      col_sum.(j) <- col_sum.(j) + c
+    done
+  done;
+  let n = float_of_int (Relation.cardinality rel) in
+  let acc = ref 0. in
+  for i = 0 to rows - 1 do
+    for j = 0 to cols - 1 do
+      let expected = float_of_int row_sum.(i) *. float_of_int col_sum.(j) /. n in
+      if expected > 0. then begin
+        let obs = float_of_int (Histogram.get h ~i ~j) in
+        acc := !acc +. (((obs -. expected) ** 2.) /. expected)
+      end
+    done
+  done;
+  !acc
+
+(* Cramér's V in [0, 1]: chi-squared normalized by n * (min(r,c) - 1).
+   Only non-empty rows/columns count toward the degrees of freedom, so
+   sparse active domains do not deflate the score. *)
+let cramers_v rel ~attr1 ~attr2 =
+  let h = Histogram.d2 rel ~attr1 ~attr2 in
+  let rows = Histogram.rows h and cols = Histogram.cols h in
+  let nonempty_rows = ref 0 and nonempty_cols = ref 0 in
+  for i = 0 to rows - 1 do
+    let any = ref false in
+    for j = 0 to cols - 1 do
+      if Histogram.get h ~i ~j > 0 then any := true
+    done;
+    if !any then incr nonempty_rows
+  done;
+  for j = 0 to cols - 1 do
+    let any = ref false in
+    for i = 0 to rows - 1 do
+      if Histogram.get h ~i ~j > 0 then any := true
+    done;
+    if !any then incr nonempty_cols
+  done;
+  let k = min !nonempty_rows !nonempty_cols in
+  if k <= 1 then 0.
+  else
+    let chi2 = chi2_pair rel ~attr1 ~attr2 in
+    let n = float_of_int (Relation.cardinality rel) in
+    sqrt (chi2 /. (n *. float_of_int (k - 1)))
+
+(* Chi-squared against the uniform distribution for one attribute,
+   normalized to [0, 1] like Cramér's V: 0 means uniform.  The paper skips
+   2D statistics on near-uniform attributes (fl_date). *)
+let uniformity_deviation rel ~attr =
+  let hist = Histogram.d1 rel ~attr in
+  let size = Array.length hist in
+  if size <= 1 then 0.
+  else begin
+    let n = float_of_int (Relation.cardinality rel) in
+    let expected = n /. float_of_int size in
+    let chi2 =
+      Array.fold_left
+        (fun acc c ->
+          acc +. (((float_of_int c -. expected) ** 2.) /. expected))
+        0. hist
+    in
+    sqrt (chi2 /. (n *. float_of_int (size - 1)))
+  end
+
+(* Rank all attribute pairs by Cramér's V, descending. *)
+let rank_pairs ?(exclude = []) rel =
+  let schema = Relation.schema rel in
+  let m = Schema.arity schema in
+  let pairs = ref [] in
+  for i = 0 to m - 1 do
+    for j = i + 1 to m - 1 do
+      if not (List.mem i exclude || List.mem j exclude) then
+        pairs := ((i, j), cramers_v rel ~attr1:i ~attr2:j) :: !pairs
+    done
+  done;
+  List.sort (fun (_, a) (_, b) -> compare b a) !pairs

@@ -1,0 +1,20 @@
+(** Attribute correlation for statistic selection (Sec. 4.3): chi-squared
+    independence scores normalized to Cramér's V, and per-attribute
+    uniformity checks. *)
+
+open Edb_storage
+
+val chi2_pair : Relation.t -> attr1:int -> attr2:int -> float
+(** Chi-squared statistic of independence over the pair's 2D histogram. *)
+
+val cramers_v : Relation.t -> attr1:int -> attr2:int -> float
+(** Cramér's V in [\[0, 1\]]; 0 = independent.  Degrees of freedom count
+    only non-empty rows/columns. *)
+
+val uniformity_deviation : Relation.t -> attr:int -> float
+(** Normalized chi-squared distance of an attribute's histogram from
+    uniform; near 0 means the MaxEnt uniformity assumption already fits. *)
+
+val rank_pairs : ?exclude:int list -> Relation.t -> ((int * int) * float) list
+(** All attribute pairs ranked by Cramér's V, descending, skipping pairs
+    that touch an excluded attribute. *)

@@ -1,0 +1,66 @@
+(* The three 2D-statistic selection heuristics of Sec. 4.3.
+
+   Given an attribute pair and a per-pair budget Bs, each heuristic returns
+   disjoint 2D predicates over the pair:
+
+   - LARGE single cell: the Bs most frequent cells, as point predicates;
+   - ZERO single cell: up to Bs empty cells (point predicates), topping up
+     with frequent cells if the pair has fewer empty cells than budget —
+     targets the MaxEnt model's "phantom tuple" false positives;
+   - COMPOSITE: a modified-KD-tree partition into Bs rectangles. *)
+
+open Edb_util
+open Edb_storage
+
+type kind = Large | Zero | Composite
+
+let kind_name = function
+  | Large -> "LARGE"
+  | Zero -> "ZERO"
+  | Composite -> "COMPOSITE"
+
+let cell_predicate ~arity ~attr1 ~attr2 (i, j) =
+  Predicate.point ~arity [ (attr1, i); (attr2, j) ]
+
+let large rel ~attr1 ~attr2 ~budget =
+  let arity = Schema.arity (Relation.schema rel) in
+  let h = Histogram.d2 rel ~attr1 ~attr2 in
+  let cells = Histogram.nonzero_cells h in
+  let sorted = List.sort (fun (_, a) (_, b) -> compare b a) cells in
+  List.filteri (fun k _ -> k < budget) sorted
+  |> List.map (fun (cell, _) -> cell_predicate ~arity ~attr1 ~attr2 cell)
+
+let zero rel ~attr1 ~attr2 ~budget =
+  let arity = Schema.arity (Relation.schema rel) in
+  let h = Histogram.d2 rel ~attr1 ~attr2 in
+  let zeros = Histogram.zero_cells h in
+  let chosen = List.filteri (fun k _ -> k < budget) zeros in
+  let deficit = budget - List.length chosen in
+  let filler =
+    if deficit <= 0 then []
+    else
+      Histogram.nonzero_cells h
+      |> List.sort (fun (_, a) (_, b) -> compare b a)
+      |> List.filteri (fun k _ -> k < deficit)
+      |> List.map fst
+  in
+  List.map (cell_predicate ~arity ~attr1 ~attr2) (chosen @ filler)
+
+let composite rel ~attr1 ~attr2 ~budget =
+  let arity = Schema.arity (Relation.schema rel) in
+  let h = Histogram.d2 rel ~attr1 ~attr2 in
+  Kdtree.of_histogram ~budget h
+  |> List.map (fun (r : Kdtree.rect) ->
+         Predicate.of_alist ~arity
+           [
+             (attr1, Ranges.interval r.i_lo r.i_hi);
+             (attr2, Ranges.interval r.j_lo r.j_hi);
+           ])
+
+let select kind rel ~attr1 ~attr2 ~budget =
+  if budget < 1 then invalid_arg "Heuristic.select: budget must be >= 1";
+  if attr1 = attr2 then invalid_arg "Heuristic.select: attributes must differ";
+  match kind with
+  | Large -> large rel ~attr1 ~attr2 ~budget
+  | Zero -> zero rel ~attr1 ~attr2 ~budget
+  | Composite -> composite rel ~attr1 ~attr2 ~budget

@@ -1,0 +1,15 @@
+(** The 2D-statistic selection heuristics of Sec. 4.3: LARGE single cell,
+    ZERO single cell, and COMPOSITE (modified KD-tree). *)
+
+open Edb_storage
+
+type kind = Large | Zero | Composite
+
+val kind_name : kind -> string
+
+val select :
+  kind -> Relation.t -> attr1:int -> attr2:int -> budget:int ->
+  Predicate.t list
+(** Up to [budget] pairwise-disjoint 2D predicates over the attribute pair,
+    ready to feed to {!Entropydb_core.Phi.of_relation}.  Raises on
+    non-positive budgets or equal attributes. *)

@@ -1,0 +1,144 @@
+(* The modified KD-tree behind the COMPOSITE heuristic (Sec. 4.3).
+
+   Partitions a 2D histogram into a budgeted number of disjoint rectangles.
+   Differences from a textbook KD-tree, per the paper:
+
+   - the split position is not the median: it is the boundary minimizing
+     the total within-half sum of squared deviations from the half's mean
+     cell count ("the value that has the lowest sum squared average value
+     difference"), so the leaves track regions of homogeneous density;
+   - splitting alternates between the two dimensions by node depth;
+   - growth stops when the leaf budget Bs is exhausted (we always split the
+     leaf with the largest current SSE next, so the budget goes where the
+     data is least homogeneous).
+
+   All rectangle aggregates come from 2D prefix sums over counts and
+   squared counts, making each candidate split O(1) to score. *)
+
+type rect = { i_lo : int; i_hi : int; j_lo : int; j_hi : int }
+
+type leaf = { rect : rect; depth : int; sse : float }
+
+type t = {
+  rows : int;
+  cols : int;
+  (* prefix.(i).(j) = sum of counts in [0,i) x [0,j); likewise squares. *)
+  prefix : float array array;
+  prefix_sq : float array array;
+  leaves : rect list;
+}
+
+let build_prefix get rows cols =
+  let p = Array.make_matrix (rows + 1) (cols + 1) 0. in
+  for i = 1 to rows do
+    for j = 1 to cols do
+      p.(i).(j) <-
+        get (i - 1) (j - 1) +. p.(i - 1).(j) +. p.(i).(j - 1)
+        -. p.(i - 1).(j - 1)
+    done
+  done;
+  p
+
+let rect_sum prefix r =
+  prefix.(r.i_hi + 1).(r.j_hi + 1)
+  -. prefix.(r.i_lo).(r.j_hi + 1)
+  -. prefix.(r.i_hi + 1).(r.j_lo)
+  +. prefix.(r.i_lo).(r.j_lo)
+
+let cells r = (r.i_hi - r.i_lo + 1) * (r.j_hi - r.j_lo + 1)
+
+(* Within-rectangle sum of squared deviations from the mean cell count:
+   sum c^2 - (sum c)^2 / #cells. *)
+let sse t r =
+  let s = rect_sum t.prefix r and s2 = rect_sum t.prefix_sq r in
+  Float.max 0. (s2 -. (s *. s /. float_of_int (cells r)))
+
+(* Best split of [r] along dimension [dim] (0 = rows/i, 1 = cols/j):
+   the cut minimizing children's combined SSE.  None if the dimension has a
+   single value. *)
+let best_split t r ~dim =
+  let lo, hi = if dim = 0 then (r.i_lo, r.i_hi) else (r.j_lo, r.j_hi) in
+  if lo >= hi then None
+  else begin
+    let best = ref None in
+    for cut = lo to hi - 1 do
+      let left, right =
+        if dim = 0 then
+          ({ r with i_hi = cut }, { r with i_lo = cut + 1 })
+        else ({ r with j_hi = cut }, { r with j_lo = cut + 1 })
+      in
+      let cost = sse t left +. sse t right in
+      match !best with
+      | Some (c, _, _, _) when c <= cost -> ()
+      | _ -> best := Some (cost, cut, left, right)
+    done;
+    !best
+  end
+
+let prepare get_count ~rows ~cols =
+  let getf i j = float_of_int (get_count i j) in
+  {
+    rows;
+    cols;
+    prefix = build_prefix getf rows cols;
+    prefix_sq = build_prefix (fun i j -> getf i j ** 2.) rows cols;
+    leaves = [];
+  }
+
+let partition ~budget get_count ~rows ~cols =
+  if budget < 1 then invalid_arg "Kdtree.partition: budget must be >= 1";
+  let t = prepare get_count ~rows ~cols in
+  let root =
+    { rect = { i_lo = 0; i_hi = rows - 1; j_lo = 0; j_hi = cols - 1 };
+      depth = 0;
+      sse = 0. }
+  in
+  let root = { root with sse = sse t root.rect } in
+  (* Leaves kept as a list; budgets are at most a few thousand, so a linear
+     scan for the max-SSE leaf per split is fine. *)
+  let leaves = ref [ root ] in
+  let num = ref 1 in
+  let continue = ref true in
+  while !num < budget && !continue do
+    (* Pick the splittable leaf with the largest SSE. *)
+    let candidate =
+      List.fold_left
+        (fun acc leaf ->
+          if cells leaf.rect <= 1 || leaf.sse <= 0. then acc
+          else
+            match acc with
+            | Some best when best.sse >= leaf.sse -> acc
+            | _ -> Some leaf)
+        None !leaves
+    in
+    match candidate with
+    | None -> continue := false
+    | Some leaf ->
+        (* Alternate dimensions by depth, falling back to the other
+           dimension when the preferred one is unsplittable. *)
+        let preferred = leaf.depth mod 2 in
+        let split =
+          match best_split t leaf.rect ~dim:preferred with
+          | Some s -> Some s
+          | None -> best_split t leaf.rect ~dim:(1 - preferred)
+        in
+        (match split with
+        | None ->
+            (* Unsplittable after all: mark it final by zeroing its SSE. *)
+            leaves :=
+              List.map
+                (fun l -> if l == leaf then { l with sse = 0. } else l)
+                !leaves
+        | Some (_, _, left, right) ->
+            let mk r = { rect = r; depth = leaf.depth + 1; sse = sse t r } in
+            leaves :=
+              mk left :: mk right :: List.filter (fun l -> l != leaf) !leaves;
+            incr num)
+  done;
+  List.map (fun l -> l.rect) !leaves
+
+let of_histogram ~budget h =
+  partition ~budget
+    (fun i j -> Edb_storage.Histogram.get h ~i ~j)
+    ~rows:(Edb_storage.Histogram.rows h)
+    ~cols:(Edb_storage.Histogram.cols h)

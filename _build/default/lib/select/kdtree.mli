@@ -1,0 +1,28 @@
+(** The modified KD-tree of the COMPOSITE heuristic (Sec. 4.3): partitions
+    a 2D histogram into [budget] disjoint rectangles, splitting the
+    highest-variance leaf at the cut that minimizes the children's summed
+    squared deviation from their mean cell counts (not the median). *)
+
+type rect = { i_lo : int; i_hi : int; j_lo : int; j_hi : int }
+
+val partition :
+  budget:int -> (int -> int -> int) -> rows:int -> cols:int -> rect list
+(** [partition ~budget get ~rows ~cols] splits the grid whose cell counts
+    are [get i j].  Returns at most [budget] rectangles that exactly tile
+    the grid (fewer when every leaf becomes a single cell or perfectly
+    homogeneous).  Raises on budgets below 1. *)
+
+val of_histogram : budget:int -> Edb_storage.Histogram.d2 -> rect list
+
+(** {2 Exposed for testing} *)
+
+type t
+(** Prefix-sum state over a grid. *)
+
+val prepare : (int -> int -> int) -> rows:int -> cols:int -> t
+
+val best_split : t -> rect -> dim:int -> (float * int * rect * rect) option
+(** [best_split t r ~dim] is the minimum-SSE cut of [r] along [dim]
+    (0 = rows, 1 = cols) as [(cost, cut, left, right)]; [None] when the
+    dimension has a single value.  This is the paper's Fig. 2a splitting
+    rule. *)

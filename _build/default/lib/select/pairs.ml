@@ -1,0 +1,89 @@
+(* Attribute-pair selection under a breadth budget Ba (Sec. 4.3).
+
+   Two strategies from the paper's discussion:
+
+   - correlation-first: walk pairs in decreasing correlation, accepting a
+     pair only if it brings at least one attribute not already covered by a
+     more correlated accepted pair;
+   - cover-first: prefer pairs that extend attribute coverage the most
+     (two new attributes beat one, which beats zero), breaking ties by
+     correlation — the paper's example of choosing AB and CD over AB and
+     BC, and the strategy its Sec. 6.4 experiments favor. *)
+
+open Edb_storage
+
+type strategy = By_correlation | By_cover
+
+let strategy_name = function
+  | By_correlation -> "correlation"
+  | By_cover -> "cover"
+
+let select ?(exclude = []) ~strategy ~budget rel =
+  if budget < 1 then invalid_arg "Pairs.select: budget must be >= 1";
+  let ranked = Correlation.rank_pairs ~exclude rel in
+  let m = Schema.arity (Relation.schema rel) in
+  let covered = Array.make m false in
+  let chosen = ref [] and count = ref 0 in
+  let accept ((a, b), _) =
+    chosen := (a, b) :: !chosen;
+    covered.(a) <- true;
+    covered.(b) <- true;
+    incr count
+  in
+  (match strategy with
+  | By_correlation ->
+      List.iter
+        (fun ((a, b), v) ->
+          if !count < budget && (not (covered.(a) && covered.(b))) && v > 0.
+          then accept ((a, b), v))
+        ranked
+  | By_cover ->
+      (* Pass 1: pairs introducing two new attributes; pass 2: one new
+         attribute; pass 3: fill by correlation alone. *)
+      List.iter
+        (fun ((a, b), v) ->
+          if !count < budget && (not covered.(a)) && (not covered.(b)) && v > 0.
+          then accept ((a, b), v))
+        ranked;
+      List.iter
+        (fun ((a, b), v) ->
+          if !count < budget && not (covered.(a) && covered.(b)) && v > 0. then
+            accept ((a, b), v))
+        ranked;
+      List.iter
+        (fun ((a, b), v) ->
+          if !count < budget && (not (List.mem (a, b) !chosen)) && v > 0. then
+            accept ((a, b), v))
+        ranked);
+  List.rev !chosen
+
+(* Divide a total budget B into Ba pairs x Bs buckets-per-pair. *)
+let split_budget ~total ~pairs =
+  if pairs < 1 then invalid_arg "Pairs.split_budget: pairs must be >= 1";
+  max 1 (total / pairs)
+
+(* Automatic breadth selection (the paper's Sec. 4.3 leaves Ba manual and
+   lists automation as future work).  Heuristic: keep pairs whose
+   correlation is both absolutely meaningful (>= min_v) and within a
+   factor of the strongest pair (>= rel_v * V_max) — the elbow of the
+   ranked correlation curve — then apply the cover strategy among the
+   survivors. *)
+let select_auto ?(exclude = []) ?(min_v = 0.05) ?(rel_v = 0.25)
+    ?(max_pairs = 4) rel =
+  let ranked = Correlation.rank_pairs ~exclude rel in
+  match ranked with
+  | [] -> []
+  | (_, v_max) :: _ when v_max <= 0. -> []
+  | (_, v_max) :: _ ->
+      let cutoff = Float.max min_v (rel_v *. v_max) in
+      let strong = List.filter (fun (_, v) -> v >= cutoff) ranked in
+      let budget = min max_pairs (List.length strong) in
+      if budget = 0 then []
+      else begin
+        (* Re-run the cover strategy restricted to the strong pairs by
+           excluding nothing and simply filtering its output. *)
+        let strong_set = List.map fst strong in
+        let chosen = select ~exclude ~strategy:By_cover ~budget:(List.length strong_set) rel in
+        List.filter (fun p -> List.mem p strong_set) chosen
+        |> List.filteri (fun i _ -> i < budget)
+      end

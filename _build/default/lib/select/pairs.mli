@@ -1,0 +1,31 @@
+(** Attribute-pair selection under a breadth budget Ba (Sec. 4.3):
+    correlation-first vs attribute-cover-first strategies. *)
+
+open Edb_storage
+
+type strategy = By_correlation | By_cover
+
+val strategy_name : strategy -> string
+
+val select :
+  ?exclude:int list -> strategy:strategy -> budget:int -> Relation.t ->
+  (int * int) list
+(** Up to [budget] attribute pairs, most useful first.  [exclude] removes
+    attributes (e.g. near-uniform ones like fl_date) from consideration.
+    Raises on non-positive budgets. *)
+
+val split_budget : total:int -> pairs:int -> int
+(** Bs = total / pairs (at least 1): buckets per chosen pair. *)
+
+val select_auto :
+  ?exclude:int list ->
+  ?min_v:float ->
+  ?rel_v:float ->
+  ?max_pairs:int ->
+  Relation.t ->
+  (int * int) list
+(** Automatic breadth (Ba) selection — the paper leaves Ba manual and
+    lists automation as future work.  Keeps pairs with Cramér's V at least
+    [min_v] (default 0.05) and at least [rel_v] (default 0.25) of the
+    strongest pair's, applies the cover strategy among them, and returns at
+    most [max_pairs] (default 4). *)

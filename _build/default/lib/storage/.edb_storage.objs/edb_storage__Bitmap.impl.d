@@ -1,0 +1,1 @@
+lib/storage/bitmap.ml: Array Bytes Char Edb_util Lazy List Predicate Ranges Relation Schema

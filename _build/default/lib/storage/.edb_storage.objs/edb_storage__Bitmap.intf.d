@@ -1,0 +1,1 @@
+lib/storage/bitmap.mli: Predicate Relation

@@ -1,0 +1,1 @@
+lib/storage/csv_io.ml: Array Domain Fmt Fun In_channel List Relation Schema String

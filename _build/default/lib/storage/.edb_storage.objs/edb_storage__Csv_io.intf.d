@@ -1,0 +1,1 @@
+lib/storage/csv_io.mli: Format Relation Schema

@@ -1,0 +1,1 @@
+lib/storage/domain.ml: Array Fmt Hashtbl Printf

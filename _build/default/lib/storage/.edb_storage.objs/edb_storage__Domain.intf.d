@@ -1,0 +1,1 @@
+lib/storage/domain.mli: Format

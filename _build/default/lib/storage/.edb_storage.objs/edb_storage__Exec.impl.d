@@ -1,0 +1,1 @@
+lib/storage/exec.ml: Array Domain Edb_util Hashtbl List Predicate Ranges Relation Schema

@@ -1,0 +1,1 @@
+lib/storage/exec.mli: Predicate Relation

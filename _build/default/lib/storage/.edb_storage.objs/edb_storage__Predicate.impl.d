@@ -1,0 +1,1 @@
+lib/storage/predicate.ml: Array Edb_util Fmt List Ranges Schema String

@@ -1,0 +1,1 @@
+lib/storage/predicate.mli: Edb_util Format Ranges Schema

@@ -1,0 +1,16 @@
+(** Bitmap indexes: one bitset per (attribute, value), answering
+    conjunctive counting queries by OR within attributes, AND across
+    attributes, and a final popcount.  Accelerates the exact ground-truth
+    engine on point-query workloads. *)
+
+type t
+
+val create : Relation.t -> t
+(** Builds all bitmaps in one pass per column; memory is
+    [#rows × Σ N_i / 63] words. *)
+
+val count : t -> Predicate.t -> int
+(** Same result as {!Exec.count}, evaluated on the index. *)
+
+val memory_words : t -> int
+(** Words held by the index (for reporting). *)

@@ -1,0 +1,93 @@
+(* CSV import/export for relations.
+
+   Two formats:
+   - index CSV: header of attribute names, then one row of value indices per
+     tuple.  Lossless round-trip for a known schema; used by the CLI to
+     materialize generated datasets.
+   - label CSV: the same rows rendered through [Domain.label] for human
+     inspection; not re-importable for binned domains (labels are ranges). *)
+
+let save_indices rel path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      let schema = Relation.schema rel in
+      output_string oc (String.concat "," (Schema.names schema));
+      output_char oc '\n';
+      Relation.iteri
+        (fun _ row ->
+          output_string oc
+            (String.concat "," (Array.to_list (Array.map string_of_int row)));
+          output_char oc '\n')
+        rel)
+
+let save_labels rel path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      let schema = Relation.schema rel in
+      output_string oc (String.concat "," (Schema.names schema));
+      output_char oc '\n';
+      Relation.iteri
+        (fun _ row ->
+          let cells =
+            Array.to_list
+              (Array.mapi (fun i v -> Domain.label (Schema.domain schema i) v) row)
+          in
+          output_string oc (String.concat "," cells);
+          output_char oc '\n')
+        rel)
+
+type error = { line : int; message : string }
+
+let pp_error ppf e = Fmt.pf ppf "line %d: %s" e.line e.message
+
+let load_indices schema path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let m = Schema.arity schema in
+      let err line message = Error { line; message } in
+      match In_channel.input_line ic with
+      | None -> err 1 "empty file"
+      | Some header ->
+          let names = String.split_on_char ',' header in
+          if names <> Schema.names schema then
+            err 1 "header does not match schema attribute names"
+          else begin
+            let b = Relation.builder schema in
+            let line = ref 1 in
+            let result = ref (Ok ()) in
+            (try
+               while !result = Ok () do
+                 match In_channel.input_line ic with
+                 | None -> raise Exit
+                 | Some s when String.trim s = "" -> incr line
+                 | Some s -> (
+                     incr line;
+                     let cells = String.split_on_char ',' s in
+                     if List.length cells <> m then
+                       result := err !line "wrong number of fields"
+                     else
+                       match
+                         List.map
+                           (fun c ->
+                             match int_of_string_opt (String.trim c) with
+                             | Some v -> v
+                             | None -> raise Not_found)
+                           cells
+                       with
+                       | values -> (
+                           try Relation.add_row b (Array.of_list values)
+                           with Invalid_argument msg -> result := err !line msg)
+                       | exception Not_found ->
+                           result := err !line "non-integer field")
+               done
+             with Exit -> ());
+            match !result with
+            | Ok () -> Ok (Relation.build b)
+            | Error e -> Error e
+          end)

@@ -1,0 +1,15 @@
+(** CSV import/export for relations. *)
+
+val save_indices : Relation.t -> string -> unit
+(** Lossless export: header of attribute names, rows of value indices. *)
+
+val save_labels : Relation.t -> string -> unit
+(** Human-readable export via {!Domain.label}. *)
+
+type error = { line : int; message : string }
+
+val pp_error : Format.formatter -> error -> unit
+
+val load_indices : Schema.t -> string -> (Relation.t, error) result
+(** Re-import an index CSV; validates the header against the schema and every
+    value against its domain. *)

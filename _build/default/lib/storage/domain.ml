@@ -1,0 +1,107 @@
+(* Active domains.
+
+   EntropyDB requires every attribute to have a discrete, ordered, finite
+   active domain (Sec. 3.1): categorical attributes enumerate their labels,
+   continuous attributes are bucketized into equi-width bins (the paper's
+   footnote 1 and Sec. 6.1).  A domain maps raw values to dense indices
+   [0 .. size), which is the representation used by columns, statistics,
+   and the polynomial. *)
+
+type spec =
+  | Categorical of string array
+  | Int_bins of { lo : int; hi : int; width : int }
+  | Float_bins of { lo : float; hi : float; bins : int }
+
+type t = {
+  spec : spec;
+  size : int;
+  label_index : (string, int) Hashtbl.t option; (* categorical lookup *)
+}
+
+let of_spec spec =
+  match spec with
+  | Categorical labels ->
+      let n = Array.length labels in
+      if n = 0 then invalid_arg "Domain.of_spec: empty categorical domain";
+      let tbl = Hashtbl.create (2 * n) in
+      Array.iteri
+        (fun i l ->
+          if Hashtbl.mem tbl l then
+            invalid_arg ("Domain.of_spec: duplicate label " ^ l);
+          Hashtbl.add tbl l i)
+        labels;
+      { spec; size = n; label_index = Some tbl }
+  | Int_bins { lo; hi; width } ->
+      if width <= 0 then invalid_arg "Domain.of_spec: non-positive bin width";
+      if hi < lo then invalid_arg "Domain.of_spec: hi < lo";
+      let size = ((hi - lo) / width) + 1 in
+      { spec; size; label_index = None }
+  | Float_bins { lo; hi; bins } ->
+      if bins <= 0 then invalid_arg "Domain.of_spec: non-positive bin count";
+      if not (hi > lo) then invalid_arg "Domain.of_spec: hi <= lo";
+      { spec; size = bins; label_index = None }
+
+let categorical labels = of_spec (Categorical labels)
+let int_bins ~lo ~hi ~width = of_spec (Int_bins { lo; hi; width })
+let float_bins ~lo ~hi ~bins = of_spec (Float_bins { lo; hi; bins })
+let size t = t.size
+let spec t = t.spec
+
+let index_of_label t l =
+  match t.label_index with
+  | None -> invalid_arg "Domain.index_of_label: not a categorical domain"
+  | Some tbl -> Hashtbl.find_opt tbl l
+
+let index_of_int t v =
+  match t.spec with
+  | Int_bins { lo; hi; width } ->
+      if v < lo || v > hi then None else Some ((v - lo) / width)
+  | Categorical _ | Float_bins _ ->
+      invalid_arg "Domain.index_of_int: not an integer-binned domain"
+
+let index_of_float t v =
+  match t.spec with
+  | Float_bins { lo; hi; bins } ->
+      if v < lo || v > hi then None
+      else
+        let w = (hi -. lo) /. float_of_int bins in
+        Some (min (bins - 1) (int_of_float ((v -. lo) /. w)))
+  | Categorical _ | Int_bins _ ->
+      invalid_arg "Domain.index_of_float: not a float-binned domain"
+
+let label t i =
+  if i < 0 || i >= t.size then invalid_arg "Domain.label: index out of range";
+  match t.spec with
+  | Categorical labels -> labels.(i)
+  | Int_bins { lo; width; _ } ->
+      if width = 1 then string_of_int (lo + (i * width))
+      else
+        Printf.sprintf "[%d,%d]" (lo + (i * width)) (lo + ((i + 1) * width) - 1)
+  | Float_bins { lo; hi; bins } ->
+      let w = (hi -. lo) /. float_of_int bins in
+      Printf.sprintf "[%.4g,%.4g)" (lo +. (float_of_int i *. w))
+        (lo +. (float_of_int (i + 1) *. w))
+
+(* Representative numeric value of a bin, used by SUM/AVG estimation: the
+   bin midpoint for binned domains.  Categorical domains have no numeric
+   reading. *)
+let bin_midpoint t i =
+  if i < 0 || i >= t.size then
+    invalid_arg "Domain.bin_midpoint: index out of range";
+  match t.spec with
+  | Categorical _ ->
+      invalid_arg "Domain.bin_midpoint: categorical domain has no numeric value"
+  | Int_bins { lo; width; _ } ->
+      float_of_int (lo + (i * width)) +. (float_of_int (width - 1) /. 2.)
+  | Float_bins { lo; hi; bins } ->
+      let w = (hi -. lo) /. float_of_int bins in
+      lo +. ((float_of_int i +. 0.5) *. w)
+
+let pp ppf t =
+  match t.spec with
+  | Categorical labels ->
+      Fmt.pf ppf "categorical(%d values)" (Array.length labels)
+  | Int_bins { lo; hi; width } ->
+      Fmt.pf ppf "int[%d..%d]/%d (%d bins)" lo hi width t.size
+  | Float_bins { lo; hi; bins } ->
+      Fmt.pf ppf "float[%g..%g] (%d bins)" lo hi bins

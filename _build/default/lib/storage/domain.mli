@@ -1,0 +1,44 @@
+(** Active domains: discrete, ordered, finite value sets per attribute.
+
+    Continuous attributes are bucketized into equi-width bins (paper
+    Sec. 6.1); categorical attributes enumerate explicit labels.  Domains
+    map raw values to dense indices [\[0, size)], the representation used by
+    columns, statistics, and the MaxEnt polynomial. *)
+
+type spec =
+  | Categorical of string array
+  | Int_bins of { lo : int; hi : int; width : int }
+  | Float_bins of { lo : float; hi : float; bins : int }
+
+type t
+
+val of_spec : spec -> t
+(** Raises [Invalid_argument] on empty/duplicate categorical labels or
+    degenerate bin parameters. *)
+
+val categorical : string array -> t
+val int_bins : lo:int -> hi:int -> width:int -> t
+val float_bins : lo:float -> hi:float -> bins:int -> t
+
+val size : t -> int
+(** Number of distinct active-domain values (bins). *)
+
+val spec : t -> spec
+
+val index_of_label : t -> string -> int option
+(** Categorical lookup; raises on non-categorical domains. *)
+
+val index_of_int : t -> int -> int option
+(** Bin index of a raw integer, [None] if outside [\[lo, hi\]].  Raises on
+    non-integer domains. *)
+
+val index_of_float : t -> float -> int option
+
+val label : t -> int -> string
+(** Human-readable label of a bin. *)
+
+val bin_midpoint : t -> int -> float
+(** Representative numeric value of a bin (its midpoint), for SUM/AVG
+    estimation.  Raises on categorical domains and out-of-range bins. *)
+
+val pp : Format.formatter -> t -> unit

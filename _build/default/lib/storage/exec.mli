@@ -1,0 +1,30 @@
+(** Exact query execution (ground truth) over columnar relations. *)
+
+val count : Relation.t -> Predicate.t -> int
+(** [COUNT WHERE pred] by a sequential scan of the restricted columns. *)
+
+val count_dnf : Relation.t -> Predicate.t list -> int
+(** Rows satisfying at least one of the predicates (OR semantics). *)
+
+val sum : Relation.t -> attr:int -> Predicate.t -> float
+(** [SUM(attr) WHERE pred] over bin midpoints ({!Domain.bin_midpoint});
+    raises on categorical attributes. *)
+
+val avg : Relation.t -> attr:int -> Predicate.t -> float option
+(** [AVG(attr) WHERE pred]; [None] when no row matches. *)
+
+val group_count :
+  ?pred:Predicate.t -> Relation.t -> attrs:int list -> (int list * int) list
+(** [GROUP BY attrs] counts, optionally filtered.  Each result pairs the
+    group's value indices (in [attrs] order) with its count.  Groups with
+    zero rows are absent. *)
+
+val top_k :
+  ?pred:Predicate.t -> Relation.t -> attrs:int list -> k:int ->
+  (int list * int) list
+(** The [k] most frequent groups, descending count. *)
+
+val bottom_k :
+  ?pred:Predicate.t -> Relation.t -> attrs:int list -> k:int ->
+  (int list * int) list
+(** The [k] least frequent {e existing} groups, ascending count. *)

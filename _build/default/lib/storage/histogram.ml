@@ -1,0 +1,67 @@
+(* Dense 1D and 2D histograms over domain indices.
+
+   The complete 1D statistics that every EntropyDB summary carries
+   (Sec. 3.1) and the 2D cell counts consumed by the statistic-selection
+   heuristics (Sec. 4.3) are exactly these histograms. *)
+
+type d2 = { rows : int; cols : int; counts : int array (* row-major *) }
+
+let d1 rel ~attr =
+  let schema = Relation.schema rel in
+  let size = Schema.domain_size schema attr in
+  let counts = Array.make size 0 in
+  let col = Relation.column rel attr in
+  Array.iter (fun v -> counts.(v) <- counts.(v) + 1) col;
+  counts
+
+let d2 rel ~attr1 ~attr2 =
+  let schema = Relation.schema rel in
+  let rows = Schema.domain_size schema attr1 in
+  let cols = Schema.domain_size schema attr2 in
+  let counts = Array.make (rows * cols) 0 in
+  let c1 = Relation.column rel attr1 and c2 = Relation.column rel attr2 in
+  let n = Relation.cardinality rel in
+  for r = 0 to n - 1 do
+    let idx = (c1.(r) * cols) + c2.(r) in
+    counts.(idx) <- counts.(idx) + 1
+  done;
+  { rows; cols; counts }
+
+let get h ~i ~j =
+  if i < 0 || i >= h.rows || j < 0 || j >= h.cols then
+    invalid_arg "Histogram.get: out of bounds";
+  h.counts.((i * h.cols) + j)
+
+let rows h = h.rows
+let cols h = h.cols
+let total h = Array.fold_left ( + ) 0 h.counts
+
+(* Sum of counts inside an inclusive rectangle — the value s_j of a 2D range
+   statistic. *)
+let rect_sum h ~i_lo ~i_hi ~j_lo ~j_hi =
+  let acc = ref 0 in
+  for i = max 0 i_lo to min (h.rows - 1) i_hi do
+    for j = max 0 j_lo to min (h.cols - 1) j_hi do
+      acc := !acc + h.counts.((i * h.cols) + j)
+    done
+  done;
+  !acc
+
+let nonzero_cells h =
+  let acc = ref [] in
+  for i = h.rows - 1 downto 0 do
+    for j = h.cols - 1 downto 0 do
+      let c = h.counts.((i * h.cols) + j) in
+      if c > 0 then acc := ((i, j), c) :: !acc
+    done
+  done;
+  !acc
+
+let zero_cells h =
+  let acc = ref [] in
+  for i = h.rows - 1 downto 0 do
+    for j = h.cols - 1 downto 0 do
+      if h.counts.((i * h.cols) + j) = 0 then acc := (i, j) :: !acc
+    done
+  done;
+  !acc

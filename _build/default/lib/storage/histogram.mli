@@ -1,0 +1,23 @@
+(** Dense 1D/2D histograms over domain indices; the source of EntropyDB's
+    1D statistics and of the 2D-statistic selection heuristics. *)
+
+type d2
+
+val d1 : Relation.t -> attr:int -> int array
+(** Per-value counts for one attribute; length = domain size. *)
+
+val d2 : Relation.t -> attr1:int -> attr2:int -> d2
+val get : d2 -> i:int -> j:int -> int
+val rows : d2 -> int
+val cols : d2 -> int
+val total : d2 -> int
+
+val rect_sum : d2 -> i_lo:int -> i_hi:int -> j_lo:int -> j_hi:int -> int
+(** Count inside an inclusive rectangle (clamped to the histogram bounds):
+    the target value [s_j] of a 2D range statistic. *)
+
+val nonzero_cells : d2 -> ((int * int) * int) list
+(** Cells with positive count, row-major order. *)
+
+val zero_cells : d2 -> (int * int) list
+(** Cells with zero count, row-major order (the ZERO heuristic's targets). *)

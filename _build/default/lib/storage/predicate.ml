@@ -1,0 +1,118 @@
+(* Conjunctive per-attribute predicates.
+
+   The paper's statistics and queries (Sec. 4.1 assumptions, Eq. 16) are
+   conjunctions pi = rho_1 AND ... AND rho_m where each rho_i constrains one
+   attribute to a set of domain values (a range, a point, or any union of
+   ranges).  We represent rho_i as a {!Edb_util.Ranges.t} over value
+   indices, with [None] meaning the attribute is unconstrained.  The same
+   type drives exact evaluation, statistic definitions, and the summary's
+   variable-zeroing query evaluation. *)
+
+open Edb_util
+
+type t = { arity : int; restrictions : Ranges.t option array }
+
+let tautology arity = { arity; restrictions = Array.make arity None }
+
+let of_alist ~arity pairs =
+  let p = tautology arity in
+  let restrictions = Array.copy p.restrictions in
+  List.iter
+    (fun (i, r) ->
+      if i < 0 || i >= arity then
+        invalid_arg "Predicate.of_alist: attribute index out of range";
+      restrictions.(i) <-
+        (match restrictions.(i) with
+        | None -> Some r
+        | Some r0 -> Some (Ranges.inter r0 r)))
+    pairs;
+  { arity; restrictions }
+
+let point ~arity pairs =
+  of_alist ~arity (List.map (fun (i, v) -> (i, Ranges.singleton v)) pairs)
+
+let arity t = t.arity
+let restriction t i = t.restrictions.(i)
+
+let restricted_attrs t =
+  let acc = ref [] in
+  for i = t.arity - 1 downto 0 do
+    if t.restrictions.(i) <> None then acc := i :: !acc
+  done;
+  !acc
+
+let restrict t i r =
+  let restrictions = Array.copy t.restrictions in
+  restrictions.(i) <-
+    (match restrictions.(i) with
+    | None -> Some r
+    | Some r0 -> Some (Ranges.inter r0 r));
+  { t with restrictions }
+
+let conj a b =
+  if a.arity <> b.arity then invalid_arg "Predicate.conj: arity mismatch";
+  let restrictions =
+    Array.init a.arity (fun i ->
+        match (a.restrictions.(i), b.restrictions.(i)) with
+        | None, r | r, None -> r
+        | Some ra, Some rb -> Some (Ranges.inter ra rb))
+  in
+  { arity = a.arity; restrictions }
+
+let is_unsatisfiable t =
+  Array.exists
+    (function Some r -> Ranges.is_empty r | None -> false)
+    t.restrictions
+
+let matches_row t row =
+  let ok = ref true in
+  let i = ref 0 in
+  while !ok && !i < t.arity do
+    (match t.restrictions.(!i) with
+    | Some r when not (Ranges.mem row.(!i) r) -> ok := false
+    | _ -> ());
+    incr i
+  done;
+  !ok
+
+(* The logical implication pi_j => rho used by the query-evaluation formula
+   (Sec. 4.2): a 1D point statistic on value [v] of attribute [i] implies
+   the query's restriction on [i] iff [v] is inside it. *)
+let implies_on_attr t ~attr ~value =
+  match t.restrictions.(attr) with None -> true | Some r -> Ranges.mem value r
+
+(* Number of tuples of the full cross-product space satisfying the
+   predicate; float because the space can exceed 2^63. *)
+let selectivity_count t schema =
+  let acc = ref 1. in
+  for i = 0 to t.arity - 1 do
+    let n =
+      match t.restrictions.(i) with
+      | None -> Schema.domain_size schema i
+      | Some r -> Ranges.cardinal r
+    in
+    acc := !acc *. float_of_int n
+  done;
+  !acc
+
+let equal a b =
+  a.arity = b.arity
+  && Array.for_all2
+       (fun x y ->
+         match (x, y) with
+         | None, None -> true
+         | Some rx, Some ry -> Ranges.equal rx ry
+         | _ -> false)
+       a.restrictions b.restrictions
+
+let pp ppf t =
+  let parts =
+    List.filter_map
+      (fun i ->
+        match t.restrictions.(i) with
+        | None -> None
+        | Some r -> Some (Fmt.str "A%d in %a" i Ranges.pp r))
+      (List.init t.arity (fun i -> i))
+  in
+  if parts = [] then Fmt.string ppf "true"
+  else Fmt.string ppf (String.concat " AND " parts)

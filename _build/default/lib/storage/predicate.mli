@@ -1,0 +1,46 @@
+(** Conjunctive per-attribute predicates over domain value indices.
+
+    A predicate constrains each attribute independently to a set of values
+    (union of ranges); [None] leaves the attribute unconstrained.  This is
+    exactly the query class of the paper (Eq. 16) and the statistic class of
+    Sec. 4.1. *)
+
+open Edb_util
+
+type t
+
+val tautology : int -> t
+(** The always-true predicate of the given arity. *)
+
+val of_alist : arity:int -> (int * Ranges.t) list -> t
+(** Conjunction of attribute restrictions; repeated attributes intersect. *)
+
+val point : arity:int -> (int * int) list -> t
+(** Point predicate [A_{i1} = v1 AND ...]. *)
+
+val arity : t -> int
+val restriction : t -> int -> Ranges.t option
+
+val restricted_attrs : t -> int list
+(** Indices of attributes with a restriction, ascending. *)
+
+val restrict : t -> int -> Ranges.t -> t
+(** Intersect one more restriction onto an attribute. *)
+
+val conj : t -> t -> t
+(** Conjunction (per-attribute intersection).  Raises on arity mismatch. *)
+
+val is_unsatisfiable : t -> bool
+(** True if some attribute's restriction is the empty set. *)
+
+val matches_row : t -> int array -> bool
+
+val implies_on_attr : t -> attr:int -> value:int -> bool
+(** Whether the 1D statistic [A_attr = value] logically implies this
+    predicate's restriction on [attr] (Sec. 4.2's [pi_j => rho] test). *)
+
+val selectivity_count : t -> Schema.t -> float
+(** Number of tuples of the cross-product space satisfying the predicate. *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,106 @@
+(* In-memory columnar relations.
+
+   Rows store the *domain index* of each attribute value (see {!Domain}),
+   one int array per column.  This is the ground-truth store the paper
+   summarizes: statistics are computed from it and query accuracy is
+   measured against it.  Cardinalities in the reproduction are a few
+   hundred thousand to a few million rows, for which dense int arrays and
+   sequential scans are fast and simple. *)
+
+type t = {
+  schema : Schema.t;
+  columns : int array array; (* columns.(attr).(row) = value index *)
+  cardinality : int;
+}
+
+type builder = {
+  b_schema : Schema.t;
+  mutable buffers : int array array;
+  mutable len : int;
+  mutable cap : int;
+}
+
+let builder ?(capacity = 1024) schema =
+  let m = Schema.arity schema in
+  let cap = max capacity 16 in
+  {
+    b_schema = schema;
+    buffers = Array.init m (fun _ -> Array.make cap 0);
+    len = 0;
+    cap;
+  }
+
+let grow b =
+  let cap' = 2 * b.cap in
+  b.buffers <-
+    Array.map
+      (fun col ->
+        let col' = Array.make cap' 0 in
+        Array.blit col 0 col' 0 b.len;
+        col')
+      b.buffers;
+  b.cap <- cap'
+
+let add_row b row =
+  let m = Schema.arity b.b_schema in
+  if Array.length row <> m then invalid_arg "Relation.add_row: arity mismatch";
+  Array.iteri
+    (fun i v ->
+      if v < 0 || v >= Schema.domain_size b.b_schema i then
+        invalid_arg
+          (Printf.sprintf "Relation.add_row: value %d out of domain for %s" v
+             (Schema.attr_name b.b_schema i)))
+    row;
+  if b.len = b.cap then grow b;
+  Array.iteri (fun i v -> b.buffers.(i).(b.len) <- v) row;
+  b.len <- b.len + 1
+
+let build b =
+  {
+    schema = b.b_schema;
+    columns = Array.map (fun col -> Array.sub col 0 b.len) b.buffers;
+    cardinality = b.len;
+  }
+
+let of_rows schema rows =
+  let b = builder ~capacity:(max 16 (List.length rows)) schema in
+  List.iter (add_row b) rows;
+  build b
+
+let schema t = t.schema
+let cardinality t = t.cardinality
+let column t i = t.columns.(i)
+let get t ~row ~attr = t.columns.(attr).(row)
+let row t r = Array.map (fun col -> col.(r)) t.columns
+
+let iteri f t =
+  for r = 0 to t.cardinality - 1 do
+    f r (row t r)
+  done
+
+(* Restriction to a subset of rows, used by the samplers. *)
+let select_rows t rows =
+  let k = Array.length rows in
+  {
+    schema = t.schema;
+    columns =
+      Array.map (fun col -> Array.init k (fun i -> col.(rows.(i)))) t.columns;
+    cardinality = k;
+  }
+
+(* Projection onto a subset of attributes (used by Fig. 2b's three-attribute
+   flights restriction). *)
+let project t attrs =
+  let attr_list =
+    List.map
+      (fun i -> Schema.attr (Schema.attr_name t.schema i) (Schema.domain t.schema i))
+      attrs
+  in
+  {
+    schema = Schema.create attr_list;
+    columns = Array.of_list (List.map (fun i -> Array.copy t.columns.(i)) attrs);
+    cardinality = t.cardinality;
+  }
+
+let pp ppf t =
+  Fmt.pf ppf "relation(%d rows, %d attrs)" t.cardinality (Schema.arity t.schema)

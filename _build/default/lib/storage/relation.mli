@@ -1,0 +1,41 @@
+(** In-memory columnar relations over binned domains.
+
+    Each cell stores the domain index of its value (see {!Domain}).  This
+    store provides the exact counts that EntropyDB summarizes and that the
+    evaluation harness uses as ground truth. *)
+
+type t
+
+(** {1 Construction} *)
+
+type builder
+
+val builder : ?capacity:int -> Schema.t -> builder
+
+val add_row : builder -> int array -> unit
+(** Raises [Invalid_argument] on arity mismatch or out-of-domain values. *)
+
+val build : builder -> t
+val of_rows : Schema.t -> int array list -> t
+
+(** {1 Access} *)
+
+val schema : t -> Schema.t
+val cardinality : t -> int
+
+val column : t -> int -> int array
+(** The raw column array; callers must not mutate it. *)
+
+val get : t -> row:int -> attr:int -> int
+val row : t -> int -> int array
+val iteri : (int -> int array -> unit) -> t -> unit
+
+val select_rows : t -> int array -> t
+(** New relation containing exactly the given row indices (with
+    repetition allowed), in order. *)
+
+val project : t -> int list -> t
+(** Projection onto the given attribute indices (bag semantics: no
+    deduplication, per the paper's ordered-bag instances). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,45 @@
+(* Relation schemas: named attributes, each with an active domain. *)
+
+type attr = { name : string; domain : Domain.t }
+
+type t = { attrs : attr array; by_name : (string, int) Hashtbl.t }
+
+let create attrs_list =
+  let attrs = Array.of_list attrs_list in
+  if Array.length attrs = 0 then invalid_arg "Schema.create: no attributes";
+  let by_name = Hashtbl.create 16 in
+  Array.iteri
+    (fun i a ->
+      if Hashtbl.mem by_name a.name then
+        invalid_arg ("Schema.create: duplicate attribute " ^ a.name);
+      Hashtbl.add by_name a.name i)
+    attrs;
+  { attrs; by_name }
+
+let attr name domain = { name; domain }
+let arity t = Array.length t.attrs
+let attr_name t i = t.attrs.(i).name
+let domain t i = t.attrs.(i).domain
+let domain_size t i = Domain.size t.attrs.(i).domain
+let find t name = Hashtbl.find_opt t.by_name name
+
+let find_exn t name =
+  match find t name with
+  | Some i -> i
+  | None -> invalid_arg ("Schema.find_exn: no attribute named " ^ name)
+
+let attributes t = Array.to_list t.attrs
+let names t = Array.to_list (Array.map (fun a -> a.name) t.attrs)
+
+(* Number of possible tuples |Tup| = prod_i N_i, as a float since it
+   overflows 63 bits for realistic schemas (paper Fig. 3: up to 3.3e10). *)
+let tuple_space_size t =
+  Array.fold_left (fun acc a -> acc *. float_of_int (Domain.size a.domain)) 1. t.attrs
+
+let pp ppf t =
+  Fmt.pf ppf "@[<v>%a@]"
+    Fmt.(
+      array ~sep:cut (fun ppf a ->
+          Fmt.pf ppf "%s : %a (%d values)" a.name Domain.pp a.domain
+            (Domain.size a.domain)))
+    t.attrs

@@ -1,0 +1,25 @@
+(** Relation schemas: an ordered list of named attributes with active
+    domains.  Attributes are referred to by dense index everywhere in the
+    engine; [find] translates names to indices at the query boundary. *)
+
+type attr = { name : string; domain : Domain.t }
+type t
+
+val create : attr list -> t
+(** Raises [Invalid_argument] on an empty list or duplicate names. *)
+
+val attr : string -> Domain.t -> attr
+val arity : t -> int
+val attr_name : t -> int -> string
+val domain : t -> int -> Domain.t
+val domain_size : t -> int -> int
+val find : t -> string -> int option
+val find_exn : t -> string -> int
+val attributes : t -> attr list
+val names : t -> string list
+
+val tuple_space_size : t -> float
+(** |Tup| = Π N_i, returned as float (it exceeds 2^63 for realistic
+    schemas). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/util/ranges.mli: Format

@@ -1,0 +1,49 @@
+(* Small numeric helpers shared across the solver, estimators, and metrics. *)
+
+let approx_eq ?(rtol = 1e-9) ?(atol = 1e-12) a b =
+  Float.abs (a -. b) <= atol +. (rtol *. Float.max (Float.abs a) (Float.abs b))
+
+let clamp ~lo ~hi x = Float.min hi (Float.max lo x)
+
+let safe_div ?(default = 0.) num den = if den = 0. then default else num /. den
+
+(* Kahan compensated summation: the polynomial evaluator and the metric
+   aggregators sum many values of mixed magnitude. *)
+let ksum arr =
+  let sum = ref 0. and c = ref 0. in
+  Array.iter
+    (fun x ->
+      let y = x -. !c in
+      let t = !sum +. y in
+      c := t -. !sum -. y;
+      sum := t)
+    arr;
+  !sum
+
+let mean arr =
+  let n = Array.length arr in
+  if n = 0 then 0. else ksum arr /. float_of_int n
+
+let variance arr =
+  let n = Array.length arr in
+  if n < 2 then 0.
+  else
+    let m = mean arr in
+    let acc = Array.fold_left (fun a x -> a +. ((x -. m) ** 2.)) 0. arr in
+    acc /. float_of_int (n - 1)
+
+let stddev arr = sqrt (variance arr)
+
+let quantile arr q =
+  let n = Array.length arr in
+  if n = 0 then invalid_arg "Floatx.quantile: empty";
+  if q < 0. || q > 1. then invalid_arg "Floatx.quantile: q outside [0,1]";
+  let sorted = Array.copy arr in
+  Array.sort compare sorted;
+  let pos = q *. float_of_int (n - 1) in
+  let i = int_of_float (Float.floor pos) in
+  let frac = pos -. float_of_int i in
+  if i + 1 >= n then sorted.(n - 1)
+  else sorted.(i) +. (frac *. (sorted.(i + 1) -. sorted.(i)))
+
+let median arr = quantile arr 0.5

@@ -1,0 +1,27 @@
+(** Numeric helpers: tolerant comparison, compensated summation, and basic
+    descriptive statistics used by the solver and the evaluation harness. *)
+
+val approx_eq : ?rtol:float -> ?atol:float -> float -> float -> bool
+(** Symmetric relative/absolute tolerance comparison. *)
+
+val clamp : lo:float -> hi:float -> float -> float
+
+val safe_div : ?default:float -> float -> float -> float
+(** [safe_div num den] is [num /. den], or [default] when [den = 0.]. *)
+
+val ksum : float array -> float
+(** Kahan compensated sum. *)
+
+val mean : float array -> float
+(** Arithmetic mean; [0.] on the empty array. *)
+
+val variance : float array -> float
+(** Unbiased sample variance; [0.] for fewer than two elements. *)
+
+val stddev : float array -> float
+
+val quantile : float array -> float -> float
+(** Linear-interpolation quantile of an unsorted array.  Raises on an empty
+    array or a quantile outside [\[0, 1\]]. *)
+
+val median : float array -> float

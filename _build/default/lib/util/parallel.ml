@@ -1,0 +1,48 @@
+(* Chunked parallel folds over index ranges, on OCaml 5 domains.
+
+   The paper's implementation parallelizes polynomial evaluation (Sec. 5,
+   Java parallel streams); here the polynomial's term loop is split into
+   contiguous chunks, each processed on its own domain, and the per-chunk
+   partial results are combined.  Chunk workers must be pure readers of
+   shared state — the polynomial guarantees that by refreshing caches
+   before spawning.
+
+   Domains are spawned per call.  Spawn cost is tens of microseconds, so
+   parallelism only pays off for folds over at least tens of thousands of
+   elements; callers gate on a threshold. *)
+
+let default_domains () =
+  match Sys.getenv_opt "EDB_DOMAINS" with
+  | Some s -> ( match int_of_string_opt s with Some n when n >= 1 -> n | _ -> 1)
+  | None -> 1
+
+(* [fold ~domains ~n ~chunk ~combine ~init] splits [0, n) into [domains]
+   contiguous chunks, computes [chunk ~lo ~hi] for each (hi exclusive) and
+   combines the results left to right, starting from [init].  With
+   [domains = 1] it runs in the calling domain. *)
+let fold ~domains ~n ~chunk ~combine ~init =
+  if n <= 0 then init
+  else if domains <= 1 || n < domains then combine init (chunk ~lo:0 ~hi:n)
+  else begin
+    let per = (n + domains - 1) / domains in
+    let bounds =
+      List.init domains (fun d ->
+          let lo = d * per in
+          let hi = min n (lo + per) in
+          (lo, hi))
+      |> List.filter (fun (lo, hi) -> lo < hi)
+    in
+    match bounds with
+    | [] -> init
+    | (lo0, hi0) :: rest ->
+        (* Spawn workers for the tail chunks, run the first chunk here. *)
+        let handles =
+          List.map
+            (fun (lo, hi) -> Domain.spawn (fun () -> chunk ~lo ~hi))
+            rest
+        in
+        let first = chunk ~lo:lo0 ~hi:hi0 in
+        List.fold_left
+          (fun acc h -> combine acc (Domain.join h))
+          (combine init first) handles
+  end

@@ -1,0 +1,19 @@
+(** Chunked parallel folds over index ranges on OCaml 5 domains (the
+    reproduction of the paper's parallel polynomial evaluation).  Chunk
+    workers must only read shared state. *)
+
+val default_domains : unit -> int
+(** Worker count from the [EDB_DOMAINS] environment variable; 1 (fully
+    sequential) when unset or invalid. *)
+
+val fold :
+  domains:int ->
+  n:int ->
+  chunk:(lo:int -> hi:int -> 'a) ->
+  combine:('a -> 'a -> 'a) ->
+  init:'a ->
+  'a
+(** [fold ~domains ~n ~chunk ~combine ~init] splits [\[0, n)] into
+    contiguous chunks ([hi] exclusive), evaluates them on separate domains
+    (the first in the calling domain), and combines left to right from
+    [init].  [domains <= 1] runs sequentially. *)

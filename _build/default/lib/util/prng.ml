@@ -1,0 +1,137 @@
+(* Deterministic pseudo-random number generation.
+
+   All randomness in EntropyDB flows through this module so that dataset
+   generation, sampling, and workload selection are reproducible from a
+   single integer seed.  The generator is SplitMix64 (Steele, Lea & Flood,
+   OOPSLA 2014): a tiny, fast, well-distributed 64-bit generator whose
+   streams can be split deterministically, which we use to give every
+   subsystem an independent stream derived from the master seed. *)
+
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let mix64 z =
+  let z = Int64.(mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L) in
+  let z = Int64.(mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL) in
+  Int64.(logxor z (shift_right_logical z 31))
+
+let next_int64 t =
+  t.state <- Int64.add t.state golden_gamma;
+  mix64 t.state
+
+let create ?(seed = 0x1234_5678) () = { state = mix64 (Int64.of_int seed) }
+let copy t = { state = t.state }
+
+let split t =
+  (* Derive an independent stream: the child is seeded from the parent's
+     output so advancing one does not perturb the other. *)
+  { state = next_int64 t }
+
+let bits53 t =
+  Int64.to_float (Int64.shift_right_logical (next_int64 t) 11)
+
+(* [int t bound] is uniform on [0, bound).  Uses rejection to avoid modulo
+   bias; for the bounds used here (domain sizes, row counts) the rejection
+   probability is negligible. *)
+let int t bound =
+  if bound <= 0 then invalid_arg "Prng.int: bound must be positive";
+  let bound64 = Int64.of_int bound in
+  let rec go () =
+    let r = Int64.shift_right_logical (next_int64 t) 1 in
+    let v = Int64.rem r bound64 in
+    if Int64.sub r v > Int64.sub (Int64.sub Int64.max_int bound64) 1L then go ()
+    else Int64.to_int v
+  in
+  go ()
+
+let int_in t lo hi =
+  if hi < lo then invalid_arg "Prng.int_in: empty range";
+  lo + int t (hi - lo + 1)
+
+let float t bound = bits53 t /. 9007199254740992.0 *. bound
+let unit_float t = bits53 t /. 9007199254740992.0
+let bool t = Int64.logand (next_int64 t) 1L = 1L
+
+let gaussian t ~mean ~stddev =
+  (* Box–Muller; one value per call keeps the stream position predictable. *)
+  let rec nonzero () =
+    let u = unit_float t in
+    if u > 0. then u else nonzero ()
+  in
+  let u1 = nonzero () and u2 = unit_float t in
+  mean +. (stddev *. sqrt (-2. *. log u1) *. cos (2. *. Float.pi *. u2))
+
+let shuffle t arr =
+  for i = Array.length arr - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- tmp
+  done
+
+let choose t arr =
+  if Array.length arr = 0 then invalid_arg "Prng.choose: empty array";
+  arr.(int t (Array.length arr))
+
+let sample_without_replacement t ~n ~k =
+  if k > n then invalid_arg "Prng.sample_without_replacement: k > n";
+  (* Reservoir sampling keeps memory at O(k) even for large [n]. *)
+  let res = Array.init k (fun i -> i) in
+  for i = k to n - 1 do
+    let j = int t (i + 1) in
+    if j < k then res.(j) <- i
+  done;
+  Array.sort compare res;
+  res
+
+(* Categorical distribution sampled in O(1) via Walker's alias method. *)
+module Categorical = struct
+  type dist = {
+    prob : float array; (* acceptance probability per bucket *)
+    alias : int array;  (* fallback bucket *)
+    n : int;
+  }
+
+  let create weights =
+    let n = Array.length weights in
+    if n = 0 then invalid_arg "Categorical.create: empty";
+    let total = Array.fold_left ( +. ) 0. weights in
+    if not (total > 0.) then invalid_arg "Categorical.create: zero total weight";
+    let scaled = Array.map (fun w -> w /. total *. float_of_int n) weights in
+    let prob = Array.make n 0. and alias = Array.make n 0 in
+    let small = Queue.create () and large = Queue.create () in
+    Array.iteri
+      (fun i p -> if p < 1. then Queue.add i small else Queue.add i large)
+      scaled;
+    while (not (Queue.is_empty small)) && not (Queue.is_empty large) do
+      let s = Queue.pop small and l = Queue.pop large in
+      prob.(s) <- scaled.(s);
+      alias.(s) <- l;
+      scaled.(l) <- scaled.(l) +. scaled.(s) -. 1.;
+      if scaled.(l) < 1. then Queue.add l small else Queue.add l large
+    done;
+    Queue.iter (fun i -> prob.(i) <- 1.) small;
+    Queue.iter (fun i -> prob.(i) <- 1.) large;
+    { prob; alias; n }
+
+  let sample d t =
+    let i = int t d.n in
+    if unit_float t < d.prob.(i) then i else d.alias.(i)
+end
+
+let zipf_weights ~n ~s = Array.init n (fun i -> 1. /. (float_of_int (i + 1) ** s))
+
+let zipf t ~n ~s =
+  (* Direct inverse-CDF sampling; adequate for the small [n] used by the
+     data generators.  For hot loops build a [Categorical.dist] instead. *)
+  let w = zipf_weights ~n ~s in
+  let total = Array.fold_left ( +. ) 0. w in
+  let x = float t total in
+  let rec go i acc =
+    if i = n - 1 then i
+    else
+      let acc = acc +. w.(i) in
+      if x < acc then i else go (i + 1) acc
+  in
+  go 0 0.

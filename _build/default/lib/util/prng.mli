@@ -1,0 +1,64 @@
+(** Deterministic pseudo-random number generation (SplitMix64).
+
+    Every stochastic component of EntropyDB (data generation, sampling,
+    workload selection) takes an explicit generator so that experiments are
+    reproducible from a single seed. *)
+
+type t
+(** Mutable generator state. *)
+
+val create : ?seed:int -> unit -> t
+(** [create ~seed ()] makes a fresh generator.  Equal seeds yield equal
+    streams. *)
+
+val copy : t -> t
+(** Independent copy at the current stream position. *)
+
+val split : t -> t
+(** [split t] derives a statistically independent child stream and advances
+    [t] by one step. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform on [\[0, bound)].  Raises [Invalid_argument] if
+    [bound <= 0]. *)
+
+val int_in : t -> int -> int -> int
+(** [int_in t lo hi] is uniform on the inclusive range [\[lo, hi\]]. *)
+
+val float : t -> float -> float
+(** [float t bound] is uniform on [\[0, bound)]. *)
+
+val unit_float : t -> float
+(** Uniform on [\[0, 1)]. *)
+
+val bool : t -> bool
+
+val gaussian : t -> mean:float -> stddev:float -> float
+(** One Box–Muller normal deviate. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher–Yates shuffle. *)
+
+val choose : t -> 'a array -> 'a
+(** Uniform element of a non-empty array. *)
+
+val sample_without_replacement : t -> n:int -> k:int -> int array
+(** [sample_without_replacement t ~n ~k] returns [k] distinct indices drawn
+    uniformly from [\[0, n)], sorted ascending. *)
+
+(** O(1) categorical sampling via Walker's alias method. *)
+module Categorical : sig
+  type dist
+
+  val create : float array -> dist
+  (** Build from non-negative weights (not necessarily normalized).  Raises
+      [Invalid_argument] on an empty or all-zero weight vector. *)
+
+  val sample : dist -> t -> int
+end
+
+val zipf_weights : n:int -> s:float -> float array
+(** Unnormalized Zipf weights [1/i^s] for ranks [1..n]. *)
+
+val zipf : t -> n:int -> s:float -> int
+(** Zipf-distributed rank in [\[0, n)] with exponent [s]. *)

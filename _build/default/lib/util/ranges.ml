@@ -1,0 +1,130 @@
+(* Sorted sets of disjoint integer intervals.
+
+   EntropyDB manipulates sets of *domain value indices* everywhere: the
+   projection of a multi-dimensional statistic onto an attribute, the
+   restriction a query places on an attribute, the per-attribute factors of
+   compressed polynomial terms.  These sets are unions of a few contiguous
+   runs, so we represent them as sorted arrays of disjoint inclusive
+   intervals.  All binary operations are linear merges. *)
+
+type t = (int * int) array
+(* Invariant: intervals [(lo, hi)] satisfy [lo <= hi], are sorted by [lo],
+   and are separated by gaps of at least one ([hi_i + 1 < lo_{i+1}]), i.e.
+   adjacent runs are coalesced. *)
+
+let empty : t = [||]
+let is_empty (r : t) = Array.length r = 0
+
+let interval lo hi : t =
+  if hi < lo then invalid_arg "Ranges.interval: hi < lo";
+  [| (lo, hi) |]
+
+let singleton v : t = [| (v, v) |]
+
+let normalize pairs : t =
+  let pairs = List.filter (fun (lo, hi) -> lo <= hi) pairs in
+  let sorted = List.sort compare pairs in
+  let rec merge acc = function
+    | [] -> List.rev acc
+    | (lo, hi) :: rest -> (
+        match acc with
+        | (plo, phi) :: acc' when lo <= phi + 1 ->
+            merge ((plo, max phi hi) :: acc') rest
+        | _ -> merge ((lo, hi) :: acc) rest)
+  in
+  Array.of_list (merge [] sorted)
+
+let of_intervals pairs = normalize pairs
+let of_list values = normalize (List.map (fun v -> (v, v)) values)
+
+let mem v (r : t) =
+  (* Binary search for the interval whose [lo] is the greatest <= v. *)
+  let n = Array.length r in
+  let rec go lo hi =
+    if lo > hi then false
+    else
+      let mid = (lo + hi) / 2 in
+      let a, b = r.(mid) in
+      if v < a then go lo (mid - 1)
+      else if v > b then go (mid + 1) hi
+      else true
+  in
+  go 0 (n - 1)
+
+let cardinal (r : t) =
+  Array.fold_left (fun acc (lo, hi) -> acc + hi - lo + 1) 0 r
+
+let min_elt (r : t) =
+  if is_empty r then invalid_arg "Ranges.min_elt: empty" else fst r.(0)
+
+let max_elt (r : t) =
+  if is_empty r then invalid_arg "Ranges.max_elt: empty"
+  else snd r.(Array.length r - 1)
+
+let inter (a : t) (b : t) : t =
+  let out = ref [] in
+  let i = ref 0 and j = ref 0 in
+  let na = Array.length a and nb = Array.length b in
+  while !i < na && !j < nb do
+    let alo, ahi = a.(!i) and blo, bhi = b.(!j) in
+    let lo = max alo blo and hi = min ahi bhi in
+    if lo <= hi then out := (lo, hi) :: !out;
+    if ahi < bhi then incr i else incr j
+  done;
+  Array.of_list (List.rev !out)
+
+let union (a : t) (b : t) : t =
+  normalize (Array.to_list a @ Array.to_list b)
+
+let diff (a : t) (b : t) : t =
+  (* a \ b by sweeping a's intervals against b's. *)
+  let out = ref [] in
+  let j = ref 0 in
+  let nb = Array.length b in
+  Array.iter
+    (fun (alo, ahi) ->
+      let cur = ref alo in
+      while !j < nb && snd b.(!j) < alo do incr j done;
+      let k = ref !j in
+      while !k < nb && fst b.(!k) <= ahi do
+        let blo, bhi = b.(!k) in
+        if blo > !cur then out := (!cur, min ahi (blo - 1)) :: !out;
+        cur := max !cur (bhi + 1);
+        if bhi <= ahi then incr k else k := nb
+      done;
+      if !cur <= ahi then out := (!cur, ahi) :: !out)
+    a;
+  normalize (List.rev !out)
+
+let complement ~size (r : t) = diff (interval 0 (size - 1)) r
+
+let disjoint a b = is_empty (inter a b)
+
+let subset a b =
+  (* a ⊆ b iff a \ b = ∅ *)
+  is_empty (diff a b)
+
+let equal (a : t) (b : t) = a = b
+
+let iter f (r : t) =
+  Array.iter
+    (fun (lo, hi) ->
+      for v = lo to hi do
+        f v
+      done)
+    r
+
+let fold f init (r : t) =
+  let acc = ref init in
+  iter (fun v -> acc := f !acc v) r;
+  !acc
+
+let to_list (r : t) = List.rev (fold (fun acc v -> v :: acc) [] r)
+let intervals (r : t) = Array.to_list r
+let num_intervals (r : t) = Array.length r
+
+let pp ppf (r : t) =
+  let pp_iv ppf (lo, hi) =
+    if lo = hi then Fmt.int ppf lo else Fmt.pf ppf "%d-%d" lo hi
+  in
+  Fmt.pf ppf "{%a}" Fmt.(array ~sep:(any ",") pp_iv) r

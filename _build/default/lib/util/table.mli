@@ -1,0 +1,26 @@
+(** Plain-text table rendering for the benchmark and experiment output. *)
+
+type align = Left | Right
+type t
+
+val create : title:string -> headers:string list -> ?aligns:align list -> unit -> t
+(** Column alignment defaults to [Right] for every column.  Raises if
+    [aligns] is given with a different length than [headers]. *)
+
+val add_row : t -> string list -> unit
+(** Raises [Invalid_argument] if the number of cells differs from the number
+    of headers. *)
+
+val addf_cell : ('a, unit, string) format -> 'a
+(** [Printf.sprintf] re-export for terse cell construction. *)
+
+val cell_float : ?prec:int -> float -> string
+val cell_int : int -> string
+
+val render : t -> string
+(** Title, rule, header, rule, rows — aligned with two-space gutters. *)
+
+val print : t -> unit
+
+val to_csv : t -> string
+(** RFC-4180-style CSV of header plus rows. *)

@@ -1,0 +1,23 @@
+(* Wall-clock timing for the experiment harness. *)
+
+let now_s () = Unix.gettimeofday ()
+
+let time f =
+  let t0 = now_s () in
+  let result = f () in
+  (result, now_s () -. t0)
+
+type stopwatch = { mutable started : float; mutable accumulated : float }
+
+let stopwatch () = { started = nan; accumulated = 0. }
+
+let start sw = sw.started <- now_s ()
+
+let stop sw =
+  if Float.is_nan sw.started then invalid_arg "Timing.stop: not started";
+  sw.accumulated <- sw.accumulated +. (now_s () -. sw.started);
+  sw.started <- nan
+
+let elapsed sw =
+  if Float.is_nan sw.started then sw.accumulated
+  else sw.accumulated +. (now_s () -. sw.started)

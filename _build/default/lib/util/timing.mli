@@ -1,0 +1,19 @@
+(** Wall-clock timing used by the experiment harness (Fig. 7 runtimes). *)
+
+val now_s : unit -> float
+(** Seconds since the epoch, sub-millisecond resolution. *)
+
+val time : (unit -> 'a) -> 'a * float
+(** [time f] runs [f] and returns its result with the elapsed seconds. *)
+
+type stopwatch
+
+val stopwatch : unit -> stopwatch
+val start : stopwatch -> unit
+
+val stop : stopwatch -> unit
+(** Accumulates the time since the matching [start].  Raises if not
+    running. *)
+
+val elapsed : stopwatch -> float
+(** Total accumulated seconds (including the currently running interval). *)

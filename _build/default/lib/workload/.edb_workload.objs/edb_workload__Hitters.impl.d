@@ -1,0 +1,1 @@
+lib/workload/hitters.ml: Edb_storage Edb_util Exec Hashtbl List Predicate Prng Relation Schema

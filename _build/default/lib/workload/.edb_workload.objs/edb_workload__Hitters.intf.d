@@ -1,0 +1,1 @@
+lib/workload/hitters.mli: Edb_storage Edb_util Predicate Prng Relation

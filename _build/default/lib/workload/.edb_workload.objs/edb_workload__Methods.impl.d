@@ -1,0 +1,1 @@
+lib/workload/methods.ml: Edb_sampling Edb_storage Entropydb_core Exec Option Predicate Summary

@@ -1,0 +1,1 @@
+lib/workload/methods.mli: Edb_sampling Edb_storage Entropydb_core Predicate Relation

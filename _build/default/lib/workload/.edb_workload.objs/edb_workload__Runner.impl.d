@@ -1,0 +1,1 @@
+lib/workload/runner.ml: Array Edb_util Float Floatx Hitters List Methods Metrics Timing

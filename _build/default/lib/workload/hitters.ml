@@ -1,0 +1,62 @@
+(* Query-value selection for the evaluation workloads (Sec. 6.2).
+
+   Every accuracy experiment in the paper selects, for a chosen attribute
+   set, the value combinations with the largest counts (heavy hitters), the
+   smallest non-zero counts (light hitters), and combinations that do not
+   occur at all (nonexistent/null values), then turns each into a point
+   counting query. *)
+
+open Edb_util
+open Edb_storage
+
+let to_predicate ~arity ~attrs values =
+  Predicate.point ~arity (List.combine attrs values)
+
+let heavy rel ~attrs ~k =
+  Exec.top_k rel ~attrs ~k |> List.map (fun (vs, c) -> (vs, c))
+
+let light rel ~attrs ~k = Exec.bottom_k rel ~attrs ~k
+
+(* Random value combinations with a zero true count.  Draws combinations
+   uniformly from the cross product and keeps the absent ones; requires the
+   cross product to actually contain empty cells (true for all the paper's
+   workloads, where existing combinations are a small fraction). *)
+let nonexistent rng rel ~attrs ~k =
+  let schema = Relation.schema rel in
+  let sizes = List.map (fun i -> Schema.domain_size schema i) attrs in
+  let existing = Hashtbl.create 1024 in
+  List.iter
+    (fun (vs, _) -> Hashtbl.replace existing vs ())
+    (Exec.group_count rel ~attrs);
+  let space =
+    List.fold_left (fun acc s -> acc *. float_of_int s) 1. sizes
+  in
+  let distinct = float_of_int (Hashtbl.length existing) in
+  if space -. distinct < float_of_int k then
+    invalid_arg "Hitters.nonexistent: not enough empty combinations";
+  let chosen = Hashtbl.create (2 * k) in
+  let out = ref [] and found = ref 0 in
+  while !found < k do
+    let vs = List.map (fun s -> Prng.int rng s) sizes in
+    if (not (Hashtbl.mem existing vs)) && not (Hashtbl.mem chosen vs) then begin
+      Hashtbl.add chosen vs ();
+      out := vs :: !out;
+      incr found
+    end
+  done;
+  List.rev !out
+
+type workload = {
+  attrs : int list;
+  heavy : (int list * int) list; (* values with true counts *)
+  light : (int list * int) list;
+  nulls : int list list;
+}
+
+let standard rng rel ~attrs ~num_hitters ~num_nulls =
+  {
+    attrs;
+    heavy = heavy rel ~attrs ~k:num_hitters;
+    light = light rel ~attrs ~k:num_hitters;
+    nulls = nonexistent rng rel ~attrs ~k:num_nulls;
+  }

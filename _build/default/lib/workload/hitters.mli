@@ -1,0 +1,31 @@
+(** Workload value selection (Sec. 6.2): heavy hitters, light hitters, and
+    nonexistent value combinations for a chosen attribute set. *)
+
+open Edb_util
+open Edb_storage
+
+val to_predicate : arity:int -> attrs:int list -> int list -> Predicate.t
+(** Point counting query for one value combination. *)
+
+val heavy : Relation.t -> attrs:int list -> k:int -> (int list * int) list
+(** The [k] most frequent combinations with their true counts. *)
+
+val light : Relation.t -> attrs:int list -> k:int -> (int list * int) list
+(** The [k] least frequent {e existing} combinations. *)
+
+val nonexistent : Prng.t -> Relation.t -> attrs:int list -> k:int -> int list list
+(** [k] distinct absent combinations drawn uniformly.  Raises if the cross
+    product has fewer than [k] empty cells. *)
+
+type workload = {
+  attrs : int list;
+  heavy : (int list * int) list;
+  light : (int list * int) list;
+  nulls : int list list;
+}
+
+val standard :
+  Prng.t -> Relation.t -> attrs:int list -> num_hitters:int -> num_nulls:int ->
+  workload
+(** The paper's standard mix: top [num_hitters], bottom [num_hitters], and
+    [num_nulls] absent combinations. *)

@@ -1,0 +1,31 @@
+(* A uniform "approximate answerer" interface over everything the
+   evaluation compares: exact scans, uniform and stratified samples, and
+   EntropyDB summaries.  The runner treats all of them identically and
+   measures per-query latency. *)
+
+open Edb_storage
+open Entropydb_core
+
+type t = { name : string; estimate : Predicate.t -> float }
+
+let name t = t.name
+let estimate t pred = t.estimate pred
+
+let exact rel =
+  { name = "Exact"; estimate = (fun p -> float_of_int (Exec.count rel p)) }
+
+let of_sample ?name (sample : Edb_sampling.Sample.t) =
+  {
+    name = Option.value name ~default:(Edb_sampling.Sample.description sample);
+    estimate = (fun p -> Edb_sampling.Sample.estimate_count sample p);
+  }
+
+(* Summaries answer with the paper's rounding policy (estimates below 0.5
+   count as 0) so the F-measure comparison matches Sec. 6.2. *)
+let of_summary ?name summary =
+  {
+    name = Option.value name ~default:"EntropyDB";
+    estimate = (fun p -> Summary.estimate_rounded summary p);
+  }
+
+let of_fn ~name estimate = { name; estimate }

@@ -1,0 +1,17 @@
+(** The uniform estimator interface the evaluation harness compares:
+    exact scans, samples, and summaries. *)
+
+open Edb_storage
+
+type t
+
+val name : t -> string
+val estimate : t -> Predicate.t -> float
+val exact : Relation.t -> t
+
+val of_sample : ?name:string -> Edb_sampling.Sample.t -> t
+
+val of_summary : ?name:string -> Entropydb_core.Summary.t -> t
+(** Applies the paper's rounding policy (< 0.5 → 0). *)
+
+val of_fn : name:string -> (Predicate.t -> float) -> t

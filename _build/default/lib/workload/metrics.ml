@@ -1,0 +1,53 @@
+(* Accuracy metrics from Sec. 6.2.
+
+   - Relative error |true - est| / (true + est): symmetric, bounded by 1,
+     and equal to 1 whenever exactly one side is zero (a missed value or a
+     phantom value scores maximally).  0/0 is a perfect answer, hence 0.
+   - F measure for distinguishing rare from nonexistent values:
+       precision = #{est > 0 on light hitters}
+                   / #{est > 0 on light hitters or nulls}
+       recall    = #{est > 0 on light hitters} / #light hitters
+       F         = 2 P R / (P + R). *)
+
+let rel_error ~truth ~est =
+  let t = Float.abs truth and e = Float.abs est in
+  if t +. e = 0. then 0. else Float.abs (truth -. est) /. (t +. e)
+
+let avg_rel_error pairs =
+  match pairs with
+  | [] -> 0.
+  | _ ->
+      let acc =
+        List.fold_left
+          (fun acc (truth, est) -> acc +. rel_error ~truth ~est)
+          0. pairs
+      in
+      acc /. float_of_int (List.length pairs)
+
+type classification = {
+  light_positive : int; (* light hitters with positive estimate *)
+  light_total : int;
+  null_positive : int; (* nulls wrongly estimated positive: phantoms *)
+  null_total : int;
+}
+
+let classify ~light_estimates ~null_estimates =
+  {
+    light_positive = List.length (List.filter (fun e -> e > 0.) light_estimates);
+    light_total = List.length light_estimates;
+    null_positive = List.length (List.filter (fun e -> e > 0.) null_estimates);
+    null_total = List.length null_estimates;
+  }
+
+let precision c =
+  let positives = c.light_positive + c.null_positive in
+  if positives = 0 then 0.
+  else float_of_int c.light_positive /. float_of_int positives
+
+let recall c =
+  if c.light_total = 0 then 0.
+  else float_of_int c.light_positive /. float_of_int c.light_total
+
+let f_measure c =
+  let p = precision c and r = recall c in
+  if p +. r = 0. then 0. else 2. *. p *. r /. (p +. r)

@@ -1,0 +1,24 @@
+(** Accuracy metrics from Sec. 6.2: symmetric relative error and the
+    F measure separating rare from nonexistent values. *)
+
+val rel_error : truth:float -> est:float -> float
+(** |true − est| / (true + est); 0 when both are 0, 1 when exactly one is. *)
+
+val avg_rel_error : (float * float) list -> float
+(** Mean relative error over (truth, estimate) pairs; 0 on []. *)
+
+type classification = {
+  light_positive : int;
+  light_total : int;
+  null_positive : int;
+  null_total : int;
+}
+
+val classify :
+  light_estimates:float list -> null_estimates:float list -> classification
+(** Positive = estimate strictly above 0 (summaries apply their own
+    rounding before this). *)
+
+val precision : classification -> float
+val recall : classification -> float
+val f_measure : classification -> float

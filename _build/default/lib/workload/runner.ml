@@ -1,0 +1,79 @@
+(* Experiment runner: evaluates a set of methods on a workload and collects
+   the exact numbers the paper's figures plot — average relative error per
+   method (Figs. 2b, 5, 7, 8a), F measures (Figs. 6, 8b), and per-query
+   latency (Fig. 7). *)
+
+open Edb_util
+
+type error_result = {
+  method_name : string;
+  avg_error : float;
+  errors : float array; (* per query, workload order *)
+  avg_seconds : float;
+  max_seconds : float;
+}
+
+(* Evaluate one method on point queries with known truths. *)
+let run_errors method_ ~arity ~attrs ~queries =
+  let times = Array.make (max 1 (List.length queries)) 0. in
+  let errors =
+    List.mapi
+      (fun idx (values, truth) ->
+        let pred = Hitters.to_predicate ~arity ~attrs values in
+        let est, dt = Timing.time (fun () -> Methods.estimate method_ pred) in
+        times.(idx) <- dt;
+        Metrics.rel_error ~truth:(float_of_int truth) ~est)
+      queries
+  in
+  let errors = Array.of_list errors in
+  {
+    method_name = Methods.name method_;
+    avg_error = Floatx.mean errors;
+    errors;
+    avg_seconds = Floatx.mean times;
+    max_seconds = Array.fold_left Float.max 0. times;
+  }
+
+let run_errors_all methods ~arity ~attrs ~queries =
+  List.map (fun m -> run_errors m ~arity ~attrs ~queries) methods
+
+type f_result = {
+  f_method : string;
+  f_measure : float;
+  f_precision : float;
+  f_recall : float;
+}
+
+(* F measure of one method on a light-hitters + nulls workload. *)
+let run_f method_ ~arity ~attrs ~light ~nulls =
+  let estimate values =
+    Methods.estimate method_ (Hitters.to_predicate ~arity ~attrs values)
+  in
+  let light_estimates = List.map (fun (values, _) -> estimate values) light in
+  let null_estimates = List.map estimate nulls in
+  let c = Metrics.classify ~light_estimates ~null_estimates in
+  {
+    f_method = Methods.name method_;
+    f_measure = Metrics.f_measure c;
+    f_precision = Metrics.precision c;
+    f_recall = Metrics.recall c;
+  }
+
+let run_f_all methods ~arity ~attrs ~light ~nulls =
+  List.map (fun m -> run_f m ~arity ~attrs ~light ~nulls) methods
+
+(* Error *differences* against a reference method, as plotted in Fig. 5
+   (positive bar = reference is better). *)
+let error_differences ~reference results =
+  let ref_result =
+    match
+      List.find_opt (fun r -> r.method_name = reference) results
+    with
+    | Some r -> r
+    | None -> invalid_arg ("Runner.error_differences: no method " ^ reference)
+  in
+  List.filter_map
+    (fun r ->
+      if r.method_name = reference then None
+      else Some (r.method_name, r.avg_error -. ref_result.avg_error))
+    results

@@ -1,0 +1,39 @@
+(** Experiment runner: per-method average relative error, F measure, and
+    latency over a workload — the quantities the paper's figures plot. *)
+
+type error_result = {
+  method_name : string;
+  avg_error : float;
+  errors : float array;
+  avg_seconds : float;
+  max_seconds : float;
+}
+
+val run_errors :
+  Methods.t -> arity:int -> attrs:int list -> queries:(int list * int) list ->
+  error_result
+(** [queries] pairs value combinations with their true counts. *)
+
+val run_errors_all :
+  Methods.t list -> arity:int -> attrs:int list ->
+  queries:(int list * int) list -> error_result list
+
+type f_result = {
+  f_method : string;
+  f_measure : float;
+  f_precision : float;
+  f_recall : float;
+}
+
+val run_f :
+  Methods.t -> arity:int -> attrs:int list ->
+  light:(int list * int) list -> nulls:int list list -> f_result
+
+val run_f_all :
+  Methods.t list -> arity:int -> attrs:int list ->
+  light:(int list * int) list -> nulls:int list list -> f_result list
+
+val error_differences :
+  reference:string -> error_result list -> (string * float) list
+(** Per-method [avg_error − reference's avg_error], as in Fig. 5 (positive
+    = reference wins).  Raises if the reference method is absent. *)

@@ -1,0 +1,1 @@
+test/test_datagen.ml: Alcotest Array Domain Edb_datagen Edb_select Edb_storage Exec Fun Lazy List Predicate Relation Schema

@@ -1,0 +1,1 @@
+test/test_query.ml: Alcotest Ast Domain Edb_query Edb_storage Edb_util Exec Fmt Lexer List Option Parser Predicate Prng Ranges Relation Schema String Translate

@@ -1,0 +1,1 @@
+test/test_sampling.ml: Alcotest Array Domain Edb_sampling Edb_storage Edb_util Exec Float Floatx Gen List Predicate Print Printf Prng QCheck QCheck_alcotest Relation Sample Schema Stratified Uniform

@@ -1,0 +1,1 @@
+test/test_storage.ml: Alcotest Array Bitmap Csv_io Domain Edb_storage Edb_util Exec Filename Fmt Fun Histogram List Option Predicate Printf Prng QCheck QCheck_alcotest Ranges Relation Schema Sys

@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Edb_util Float Floatx Fmt Fun List Parallel Printf Prng QCheck QCheck_alcotest Ranges String Table Timing

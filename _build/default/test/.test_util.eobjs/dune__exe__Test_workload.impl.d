@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Array Domain Edb_storage Edb_util Edb_workload Entropydb_core Exec Float Hitters List Methods Metrics Predicate Prng QCheck QCheck_alcotest Relation Runner Schema

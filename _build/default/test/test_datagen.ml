@@ -1,0 +1,184 @@
+(* Tests for the synthetic dataset generators: determinism, the paper's
+   Fig. 3 active-domain sizes, schema consistency between coarse and fine
+   flights, and — crucially — the correlation structure the experiments
+   rely on. *)
+
+open Edb_storage
+module F = Edb_datagen.Flights
+module P = Edb_datagen.Particles
+
+let flights = lazy (F.generate ~rows:30_000 ~seed:5 ())
+let particles = lazy (P.generate ~rows_per_snapshot:12_000 ~snapshots:3 ~seed:5 ())
+
+let test_flights_domain_sizes () =
+  let f = Lazy.force flights in
+  let cs = Relation.schema f.coarse and fs = Relation.schema f.fine in
+  (* Paper Fig. 3 (left). *)
+  Alcotest.(check int) "fl_date" 307 (Schema.domain_size cs F.fl_date);
+  Alcotest.(check int) "origin coarse" 54 (Schema.domain_size cs F.origin);
+  Alcotest.(check int) "dest coarse" 54 (Schema.domain_size cs F.dest);
+  Alcotest.(check int) "fl_time" 62 (Schema.domain_size cs F.fl_time);
+  Alcotest.(check int) "distance" 81 (Schema.domain_size cs F.distance);
+  Alcotest.(check int) "origin fine" 147 (Schema.domain_size fs F.origin);
+  Alcotest.(check int) "dest fine" 147 (Schema.domain_size fs F.dest);
+  Alcotest.(check bool) "coarse |Tup| ~ 4.5e9" true
+    (let s = Schema.tuple_space_size cs in
+     s > 4.4e9 && s < 4.6e9);
+  Alcotest.(check bool) "fine |Tup| ~ 3.3e10" true
+    (let s = Schema.tuple_space_size fs in
+     s > 3.2e10 && s < 3.4e10)
+
+let test_particles_domain_sizes () =
+  let rel = Lazy.force particles in
+  let s = Relation.schema rel in
+  (* Paper Fig. 3 (right). *)
+  List.iter2
+    (fun attr expected ->
+      Alcotest.(check int) (Schema.attr_name s attr) expected
+        (Schema.domain_size s attr))
+    [ P.density; P.mass; P.x; P.y; P.z; P.grp; P.ptype; P.snapshot ]
+    [ 58; 52; 21; 21; 21; 2; 3; 3 ];
+  Alcotest.(check bool) "|Tup| ~ 5.0e8" true
+    (let sz = Schema.tuple_space_size s in
+     sz > 4.9e8 && sz < 5.1e8)
+
+let test_flights_deterministic () =
+  let a = F.generate ~rows:2_000 ~seed:9 () in
+  let b = F.generate ~rows:2_000 ~seed:9 () in
+  Relation.iteri
+    (fun r row ->
+      Alcotest.(check (array int)) "same rows" row (Relation.row b.coarse r))
+    a.coarse;
+  let c = F.generate ~rows:2_000 ~seed:10 () in
+  let differs = ref false in
+  Relation.iteri
+    (fun r row -> if row <> Relation.row c.coarse r then differs := true)
+    a.coarse;
+  Alcotest.(check bool) "different seed differs" true !differs
+
+let test_flights_coarse_fine_consistent () =
+  (* The coarse relation is the fine relation with cities mapped onto their
+     states; dates, times, and distances must agree row by row. *)
+  let f = Lazy.force flights in
+  Relation.iteri
+    (fun r fine_row ->
+      let coarse_row = Relation.row f.coarse r in
+      Alcotest.(check int) "date" fine_row.(F.fl_date) coarse_row.(F.fl_date);
+      Alcotest.(check int) "time" fine_row.(F.fl_time) coarse_row.(F.fl_time);
+      Alcotest.(check int) "distance" fine_row.(F.distance)
+        coarse_row.(F.distance);
+      Alcotest.(check int) "origin state" f.city_state.(fine_row.(F.origin))
+        coarse_row.(F.origin);
+      Alcotest.(check int) "dest state" f.city_state.(fine_row.(F.dest))
+        coarse_row.(F.dest))
+    f.fine
+
+let test_flights_correlations () =
+  (* The experiments need (fl_time, distance), (origin, distance), and
+     (dest, distance) clearly more correlated than anything involving
+     fl_date (Sec. 6.2's pair selection). *)
+  let f = Lazy.force flights in
+  let v a b = Edb_select.Correlation.cramers_v f.coarse ~attr1:a ~attr2:b in
+  let time_dist = v F.fl_time F.distance in
+  let origin_dist = v F.origin F.distance in
+  let dest_dist = v F.dest F.distance in
+  let date_dist = v F.fl_date F.distance in
+  let date_origin = v F.fl_date F.origin in
+  (* At 30k rows the 307-value date attribute picks up sparse-sample noise
+     in Cramér's V, so compare with an additive margin rather than a
+     ratio. *)
+  Alcotest.(check bool) "time-dist strong" true (time_dist > 0.3);
+  Alcotest.(check bool) "origin-dist > date pairs" true
+    (origin_dist > date_dist +. 0.03);
+  Alcotest.(check bool) "dest-dist > date pairs" true
+    (dest_dist > date_origin +. 0.03)
+
+let test_flights_city_labels () =
+  (* City labels are unique, each city maps to a valid state, and each
+     state keeps at least one city bucket. *)
+  let f = Lazy.force flights in
+  let fs = Relation.schema f.fine in
+  let domain = Schema.domain fs F.origin in
+  let labels = List.init F.n_cities (fun c -> Domain.label domain c) in
+  Alcotest.(check int) "labels unique" F.n_cities
+    (List.length (List.sort_uniq compare labels));
+  Array.iter
+    (fun s ->
+      if s < 0 || s >= F.n_states then Alcotest.fail "invalid state mapping")
+    f.city_state;
+  let states_with_city = Array.make F.n_states false in
+  Array.iter (fun s -> states_with_city.(s) <- true) f.city_state;
+  Alcotest.(check bool) "every state has a city" true
+    (Array.for_all Fun.id states_with_city)
+
+let test_flights_date_near_uniform () =
+  let f = Lazy.force flights in
+  let dev =
+    Edb_select.Correlation.uniformity_deviation f.coarse ~attr:F.fl_date
+  in
+  Alcotest.(check bool) "fl_date near uniform" true (dev < 0.15)
+
+let test_particles_correlations () =
+  let rel = Lazy.force particles in
+  let v a b = Edb_select.Correlation.cramers_v rel ~attr1:a ~attr2:b in
+  (* Density must separate clustered from background particles, and mass
+     must track particle type — the correlations Sec. 6.3 stratifies and
+     summarizes on. *)
+  Alcotest.(check bool) "density-grp strong" true (v P.density P.grp > 0.3);
+  Alcotest.(check bool) "mass-type strong" true (v P.mass P.ptype > 0.3);
+  Alcotest.(check bool) "x-snapshot weak" true
+    (v P.x P.snapshot < v P.density P.grp)
+
+let test_particles_grp_fraction_grows () =
+  (* Structure formation: the clustered fraction grows with snapshots. *)
+  let rel = Lazy.force particles in
+  let arity = Schema.arity (Relation.schema rel) in
+  let frac snap =
+    let in_snap =
+      Exec.count rel (Predicate.point ~arity [ (P.snapshot, snap) ])
+    in
+    let clustered =
+      Exec.count rel
+        (Predicate.point ~arity [ (P.snapshot, snap); (P.grp, 1) ])
+    in
+    float_of_int clustered /. float_of_int in_snap
+  in
+  Alcotest.(check bool) "grows" true (frac 2 > frac 0)
+
+let test_particles_snapshot_bounds () =
+  (try
+     ignore (P.generate ~rows_per_snapshot:10 ~snapshots:4 ~seed:1 ());
+     Alcotest.fail "expected Invalid_argument"
+   with Invalid_argument _ -> ());
+  let rel = P.generate ~rows_per_snapshot:10 ~snapshots:1 ~seed:1 () in
+  Alcotest.(check int) "one snapshot rows" 10 (Relation.cardinality rel)
+
+let () =
+  Alcotest.run "entropydb-datagen"
+    [
+      ( "flights",
+        [
+          Alcotest.test_case "Fig 3 domain sizes" `Quick
+            test_flights_domain_sizes;
+          Alcotest.test_case "deterministic" `Quick test_flights_deterministic;
+          Alcotest.test_case "coarse/fine consistent" `Quick
+            test_flights_coarse_fine_consistent;
+          Alcotest.test_case "correlation structure" `Quick
+            test_flights_correlations;
+          Alcotest.test_case "fl_date near uniform" `Quick
+            test_flights_date_near_uniform;
+          Alcotest.test_case "city labels and state map" `Quick
+            test_flights_city_labels;
+        ] );
+      ( "particles",
+        [
+          Alcotest.test_case "Fig 3 domain sizes" `Quick
+            test_particles_domain_sizes;
+          Alcotest.test_case "correlation structure" `Quick
+            test_particles_correlations;
+          Alcotest.test_case "clustering grows over time" `Quick
+            test_particles_grp_fraction_grows;
+          Alcotest.test_case "snapshot bounds" `Quick
+            test_particles_snapshot_bounds;
+        ] );
+    ]

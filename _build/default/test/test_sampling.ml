@@ -1,0 +1,203 @@
+(* Tests for the sampling baselines: sizes and weights, stratified
+   allocation invariants (qcheck), per-stratum coverage, and statistical
+   unbiasedness of the Horvitz–Thompson estimators. *)
+
+open Edb_util
+open Edb_storage
+open Edb_sampling
+
+let schema2 () =
+  Schema.create
+    [
+      Schema.attr "g" (Domain.int_bins ~lo:0 ~hi:4 ~width:1);
+      Schema.attr "x" (Domain.int_bins ~lo:0 ~hi:9 ~width:1);
+    ]
+
+(* Skewed relation: stratum g has roughly 4^g rows, giving tiny and huge
+   strata. *)
+let skewed_relation rows seed =
+  let rng = Prng.create ~seed () in
+  let b = Relation.builder (schema2 ()) in
+  let weights = Array.init 5 (fun g -> 4. ** float_of_int g) in
+  let dist = Prng.Categorical.create weights in
+  for _ = 1 to rows do
+    Relation.add_row b [| Prng.Categorical.sample dist rng; Prng.int rng 10 |]
+  done;
+  Relation.build b
+
+(* ------------------------------------------------------------------ *)
+(* Uniform                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_uniform_size_and_weight () =
+  let rel = skewed_relation 10_000 1 in
+  let s = Uniform.create (Prng.create ~seed:2 ()) ~rate:0.01 rel in
+  Alcotest.(check int) "size" 100 (Sample.size s);
+  Alcotest.(check int) "source" 10_000 (Sample.source_cardinality s);
+  Alcotest.(check (float 1e-9)) "total weight = n" 10_000.
+    (Sample.estimate_count s (Predicate.tautology 2))
+
+let test_uniform_rejects_bad_rate () =
+  let rel = skewed_relation 100 1 in
+  Alcotest.check_raises "rate 0"
+    (Invalid_argument "Uniform.create: rate must be in (0, 1]") (fun () ->
+      ignore (Uniform.create (Prng.create ()) ~rate:0. rel))
+
+let test_uniform_unbiased () =
+  (* Average of many independent sample estimates approaches the truth. *)
+  let rel = skewed_relation 5_000 3 in
+  let pred = Predicate.point ~arity:2 [ (0, 3) ] in
+  let truth = float_of_int (Exec.count rel pred) in
+  let rng = Prng.create ~seed:4 () in
+  let reps = 300 in
+  let estimates =
+    Array.init reps (fun _ ->
+        Sample.estimate_count (Uniform.create rng ~rate:0.02 rel) pred)
+  in
+  let mean = Floatx.mean estimates in
+  (* 4-sigma tolerance on the mean of means. *)
+  let se = Floatx.stddev estimates /. sqrt (float_of_int reps) in
+  if Float.abs (mean -. truth) > (4. *. se) +. 1e-6 then
+    Alcotest.failf "biased: mean %.2f vs truth %.2f (se %.2f)" mean truth se
+
+(* ------------------------------------------------------------------ *)
+(* Stratified allocation (qcheck invariants)                           *)
+(* ------------------------------------------------------------------ *)
+
+let sizes_arb =
+  QCheck.(
+    make
+      ~print:Print.(pair (list int) (pair int int) |> fun p -> p)
+      Gen.(
+        pair
+          (list_size (int_range 1 12) (int_range 1 500))
+          (pair (int_range 1 300) (int_range 1 10))))
+
+let prop name f =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~count:500 ~name sizes_arb f)
+
+let allocation_props =
+  [
+    prop "never exceeds stratum size" (fun (sizes, (budget, floor_)) ->
+        let sizes = Array.of_list sizes in
+        let alloc =
+          Stratified.allocate ~budget ~floor_per_stratum:floor_ sizes
+        in
+        Array.for_all2 (fun a s -> a <= s) alloc sizes);
+    prop "never exceeds budget (when feasible)" (fun (sizes, (budget, floor_)) ->
+        let sizes = Array.of_list sizes in
+        let alloc =
+          Stratified.allocate ~budget ~floor_per_stratum:floor_ sizes
+        in
+        (* The degraded floor guarantees at most one row per stratum even
+           when budget < #strata; allow that slack. *)
+        Array.fold_left ( + ) 0 alloc <= max budget (Array.length sizes));
+    prop "non-negative" (fun (sizes, (budget, floor_)) ->
+        let sizes = Array.of_list sizes in
+        let alloc =
+          Stratified.allocate ~budget ~floor_per_stratum:floor_ sizes
+        in
+        Array.for_all (fun a -> a >= 0) alloc);
+    prop "small strata fully covered when budget allows"
+      (fun (sizes, (budget, floor_)) ->
+        let sizes = Array.of_list sizes in
+        let alloc =
+          Stratified.allocate ~budget ~floor_per_stratum:floor_ sizes
+        in
+        let n = Array.length sizes in
+        if n * floor_ <= budget then
+          Array.for_all2 (fun a s -> a >= min s floor_) alloc sizes
+        else true);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Stratified sampling                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_stratified_covers_small_strata () =
+  let rel = skewed_relation 10_000 5 in
+  let s =
+    Stratified.create (Prng.create ~seed:6 ()) ~rate:0.01 ~attrs:[ 0 ] rel
+  in
+  (* Every existing stratum value must appear in the sample — the whole
+     point of stratification (a 1% uniform sample would likely miss
+     stratum 0, which has ~30 rows). *)
+  for g = 0 to 4 do
+    let truth = Exec.count rel (Predicate.point ~arity:2 [ (0, g) ]) in
+    if truth > 0 then begin
+      let est =
+        Sample.estimate_count s (Predicate.point ~arity:2 [ (0, g) ])
+      in
+      if est <= 0. then Alcotest.failf "stratum %d missing from sample" g
+    end
+  done
+
+let test_stratified_per_stratum_totals () =
+  (* Within each stratum, the weighted sample total equals the stratum size
+     exactly (weights are size/alloc). *)
+  let rel = skewed_relation 8_000 7 in
+  let s =
+    Stratified.create (Prng.create ~seed:8 ()) ~rate:0.02 ~attrs:[ 0 ] rel
+  in
+  for g = 0 to 4 do
+    let pred = Predicate.point ~arity:2 [ (0, g) ] in
+    let truth = float_of_int (Exec.count rel pred) in
+    Alcotest.(check (float 1e-6))
+      (Printf.sprintf "stratum %d total" g)
+      truth
+      (Sample.estimate_count s pred)
+  done
+
+let test_stratified_group_estimate () =
+  let rel = skewed_relation 8_000 9 in
+  let s =
+    Stratified.create (Prng.create ~seed:10 ()) ~rate:0.02 ~attrs:[ 0 ] rel
+  in
+  let groups = Sample.estimate_group_count s ~attrs:[ 0 ] (Predicate.tautology 2) in
+  let total = List.fold_left (fun acc (_, w) -> acc +. w) 0. groups in
+  Alcotest.(check (float 1e-6)) "weighted group total = n" 8_000. total
+
+let test_stratified_rejects_empty_attrs () =
+  let rel = skewed_relation 100 1 in
+  Alcotest.check_raises "no attrs"
+    (Invalid_argument "Stratified.create: no stratification attrs") (fun () ->
+      ignore (Stratified.create (Prng.create ()) ~rate:0.1 ~attrs:[] rel))
+
+let test_sample_weights_length_guard () =
+  let rel = skewed_relation 100 1 in
+  Alcotest.check_raises "mismatch"
+    (Invalid_argument "Sample.create: weights/rows mismatch") (fun () ->
+      ignore
+        (Sample.create ~data:rel ~weights:[| 1. |] ~source_cardinality:100
+           ~description:"bad"))
+
+let () =
+  Alcotest.run "entropydb-sampling"
+    [
+      ( "uniform",
+        [
+          Alcotest.test_case "size and weight" `Quick
+            test_uniform_size_and_weight;
+          Alcotest.test_case "rejects bad rate" `Quick
+            test_uniform_rejects_bad_rate;
+          Alcotest.test_case "unbiased (statistical)" `Slow
+            test_uniform_unbiased;
+        ] );
+      ("allocation", allocation_props);
+      ( "stratified",
+        [
+          Alcotest.test_case "covers small strata" `Quick
+            test_stratified_covers_small_strata;
+          Alcotest.test_case "per-stratum totals exact" `Quick
+            test_stratified_per_stratum_totals;
+          Alcotest.test_case "group estimates" `Quick
+            test_stratified_group_estimate;
+          Alcotest.test_case "rejects empty attrs" `Quick
+            test_stratified_rejects_empty_attrs;
+        ] );
+      ( "sample",
+        [
+          Alcotest.test_case "weights length guard" `Quick
+            test_sample_weights_length_guard;
+        ] );
+    ]

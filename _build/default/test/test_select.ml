@@ -1,0 +1,362 @@
+(* Tests for statistic selection (Sec. 4.3): chi-squared / Cramér's V,
+   pair-selection strategies, the modified KD-tree (including the paper's
+   Fig. 2a split example), and the three heuristics. *)
+
+open Edb_util
+open Edb_storage
+open Edb_select
+
+let schema2 sizes =
+  Schema.create
+    (List.mapi
+       (fun i n ->
+         Schema.attr
+           (Printf.sprintf "a%d" i)
+           (Domain.int_bins ~lo:0 ~hi:(n - 1) ~width:1))
+       sizes)
+
+(* ------------------------------------------------------------------ *)
+(* Correlation                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_cramers_v_independent () =
+  (* Independent uniform attributes: V near 0. *)
+  let rng = Prng.create ~seed:1 () in
+  let schema = schema2 [ 6; 6 ] in
+  let b = Relation.builder schema in
+  for _ = 1 to 20_000 do
+    Relation.add_row b [| Prng.int rng 6; Prng.int rng 6 |]
+  done;
+  let rel = Relation.build b in
+  let v = Correlation.cramers_v rel ~attr1:0 ~attr2:1 in
+  Alcotest.(check bool) (Printf.sprintf "V=%.3f small" v) true (v < 0.05)
+
+let test_cramers_v_functional () =
+  (* A deterministic dependency: V = 1. *)
+  let rng = Prng.create ~seed:2 () in
+  let schema = schema2 [ 6; 6 ] in
+  let b = Relation.builder schema in
+  for _ = 1 to 5_000 do
+    let x = Prng.int rng 6 in
+    Relation.add_row b [| x; (x + 1) mod 6 |]
+  done;
+  let rel = Relation.build b in
+  Alcotest.(check (float 1e-6)) "V = 1" 1.
+    (Correlation.cramers_v rel ~attr1:0 ~attr2:1)
+
+let test_cramers_v_ordering () =
+  (* Noisy dependency sits between independent and functional. *)
+  let rng = Prng.create ~seed:3 () in
+  let schema = schema2 [ 6; 6; 6 ] in
+  let b = Relation.builder schema in
+  for _ = 1 to 20_000 do
+    let x = Prng.int rng 6 in
+    let noisy = if Prng.unit_float rng < 0.5 then x else Prng.int rng 6 in
+    Relation.add_row b [| x; noisy; Prng.int rng 6 |]
+  done;
+  let rel = Relation.build b in
+  let v01 = Correlation.cramers_v rel ~attr1:0 ~attr2:1 in
+  let v02 = Correlation.cramers_v rel ~attr1:0 ~attr2:2 in
+  Alcotest.(check bool) "dependent > independent" true (v01 > (2. *. v02) +. 0.1)
+
+let test_uniformity_deviation () =
+  let schema = schema2 [ 4 ] in
+  let uniform =
+    Relation.of_rows schema
+      (List.concat_map (fun v -> List.init 25 (fun _ -> [| v |])) [ 0; 1; 2; 3 ])
+  in
+  let skewed =
+    Relation.of_rows schema
+      (List.init 100 (fun i -> [| (if i < 97 then 0 else 1 + (i mod 3)) |]))
+  in
+  Alcotest.(check (float 1e-9)) "uniform = 0" 0.
+    (Correlation.uniformity_deviation uniform ~attr:0);
+  Alcotest.(check bool) "skewed > uniform" true
+    (Correlation.uniformity_deviation skewed ~attr:0 > 0.5)
+
+let test_rank_pairs_excludes () =
+  let rng = Prng.create ~seed:4 () in
+  let schema = schema2 [ 4; 4; 4 ] in
+  let b = Relation.builder schema in
+  for _ = 1 to 2_000 do
+    Relation.add_row b [| Prng.int rng 4; Prng.int rng 4; Prng.int rng 4 |]
+  done;
+  let rel = Relation.build b in
+  let ranked = Correlation.rank_pairs ~exclude:[ 1 ] rel in
+  Alcotest.(check int) "only (0,2)" 1 (List.length ranked);
+  Alcotest.(check bool) "pair is (0,2)" true (fst (List.hd ranked) = (0, 2))
+
+(* ------------------------------------------------------------------ *)
+(* Pair selection strategies                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* Four attributes where correlation ranks BC > AB > CD > AD.  The paper's
+   example: correlation-first picks BC then AB (sharing B); cover-first
+   picks BC then AD to span all four attributes. *)
+let corr_rel () =
+  let rng = Prng.create ~seed:5 () in
+  let schema = schema2 [ 5; 5; 5; 5 ] in
+  let b = Relation.builder schema in
+  let noisy x p = if Prng.unit_float rng < p then x else Prng.int rng 5 in
+  for _ = 1 to 30_000 do
+    let bv = Prng.int rng 5 in
+    let cv = noisy bv 0.9 in
+    let av = noisy bv 0.6 in
+    let dv = noisy cv 0.3 in
+    Relation.add_row b [| av; bv; cv; dv |]
+  done;
+  Relation.build b
+
+let test_strategy_correlation () =
+  let rel = corr_rel () in
+  let pairs = Pairs.select ~strategy:Pairs.By_correlation ~budget:2 rel in
+  (* Most correlated pair (1,2) first; second must add a new attribute. *)
+  Alcotest.(check bool) "BC first" true (List.hd pairs = (1, 2));
+  Alcotest.(check int) "two pairs" 2 (List.length pairs)
+
+let test_strategy_cover () =
+  let rel = corr_rel () in
+  let pairs = Pairs.select ~strategy:Pairs.By_cover ~budget:2 rel in
+  Alcotest.(check bool) "BC first" true (List.hd pairs = (1, 2));
+  (* The second pair must cover the remaining attributes 0 and 3. *)
+  Alcotest.(check bool) "covers A and D" true (List.nth pairs 1 = (0, 3))
+
+let test_select_auto () =
+  let rel = corr_rel () in
+  let pairs = Pairs.select_auto rel in
+  (* BC (V ~ 0.8) must survive; pure-noise pairs like AD-with-A must not
+     push the count past the strong set; output is bounded. *)
+  Alcotest.(check bool) "keeps the strongest pair" true
+    (List.mem (1, 2) pairs);
+  Alcotest.(check bool) "bounded" true (List.length pairs <= 4);
+  (* On an all-independent relation nothing survives the absolute floor. *)
+  let rng = Prng.create ~seed:44 () in
+  let schema = schema2 [ 5; 5; 5 ] in
+  let b = Relation.builder schema in
+  for _ = 1 to 30_000 do
+    Relation.add_row b [| Prng.int rng 5; Prng.int rng 5; Prng.int rng 5 |]
+  done;
+  let indep = Relation.build b in
+  Alcotest.(check (list (pair int int))) "independent -> none" []
+    (Pairs.select_auto indep)
+
+let test_split_budget () =
+  Alcotest.(check int) "even" 500 (Pairs.split_budget ~total:1500 ~pairs:3);
+  Alcotest.(check int) "floor 1" 1 (Pairs.split_budget ~total:2 ~pairs:5)
+
+(* ------------------------------------------------------------------ *)
+(* KD-tree                                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* The paper's Fig. 2a grid.  Cell counts (rows = u1'..u3', cols =
+   u1..u4):
+       2 10 10 10
+       1 10 10 10
+       1 12 10 10
+   The min-SSE vertical split separates column u1 (counts 2,1,1) from the
+   rest, whereas a median split would cut between u2 and u3. *)
+let fig2a = [| [| 2; 10; 10; 10 |]; [| 1; 10; 10; 10 |]; [| 1; 12; 10; 10 |] |]
+
+let test_fig2a_split () =
+  let t = Kdtree.prepare (fun i j -> fig2a.(i).(j)) ~rows:3 ~cols:4 in
+  let root = { Kdtree.i_lo = 0; i_hi = 2; j_lo = 0; j_hi = 3 } in
+  match Kdtree.best_split t root ~dim:1 with
+  | Some (_, cut, left, right) ->
+      Alcotest.(check int) "cut after column u1" 0 cut;
+      Alcotest.(check int) "left is one column" 0 left.Kdtree.j_hi;
+      Alcotest.(check int) "right starts at u2" 1 right.Kdtree.j_lo
+  | None -> Alcotest.fail "expected a split"
+
+let rects_tile ~rows ~cols rects =
+  (* Every cell covered exactly once. *)
+  let covered = Array.make_matrix rows cols 0 in
+  List.iter
+    (fun (r : Kdtree.rect) ->
+      for i = r.i_lo to r.i_hi do
+        for j = r.j_lo to r.j_hi do
+          covered.(i).(j) <- covered.(i).(j) + 1
+        done
+      done)
+    rects;
+  Array.for_all (fun row -> Array.for_all (fun c -> c = 1) row) covered
+
+let kd_arb =
+  QCheck.(
+    make
+      ~print:Print.(triple int int (list int))
+      Gen.(
+        triple (int_range 1 8) (int_range 1 8)
+          (list_size (return 64) (int_bound 30))))
+
+let prop name f =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~count:300 ~name kd_arb f)
+
+let kd_props =
+  [
+    prop "partition tiles the grid" (fun (rows, cols, cells) ->
+        let cells = Array.of_list cells in
+        let get i j = cells.(((i * cols) + j) mod Array.length cells) in
+        let rects = Kdtree.partition ~budget:6 get ~rows ~cols in
+        rects_tile ~rows ~cols rects);
+    prop "never exceeds budget" (fun (rows, cols, cells) ->
+        let cells = Array.of_list cells in
+        let get i j = cells.(((i * cols) + j) mod Array.length cells) in
+        List.length (Kdtree.partition ~budget:5 get ~rows ~cols) <= 5);
+    prop "budget 1 is the whole grid" (fun (rows, cols, cells) ->
+        let cells = Array.of_list cells in
+        let get i j = cells.(((i * cols) + j) mod Array.length cells) in
+        match Kdtree.partition ~budget:1 get ~rows ~cols with
+        | [ r ] ->
+            r.Kdtree.i_lo = 0 && r.i_hi = rows - 1 && r.j_lo = 0
+            && r.j_hi = cols - 1
+        | _ -> false);
+  ]
+
+let test_kdtree_budget_saturation () =
+  (* A fully heterogeneous grid can be split down to single cells. *)
+  let rects =
+    Kdtree.partition ~budget:100 (fun i j -> (i * 17) + (j * 31)) ~rows:4 ~cols:4
+  in
+  Alcotest.(check int) "16 single cells" 16 (List.length rects)
+
+let test_kdtree_homogeneous_stops () =
+  (* A constant grid has zero SSE everywhere: no split is useful. *)
+  let rects = Kdtree.partition ~budget:10 (fun _ _ -> 5) ~rows:4 ~cols:4 in
+  Alcotest.(check int) "single leaf" 1 (List.length rects)
+
+(* ------------------------------------------------------------------ *)
+(* Heuristics                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let heuristic_rel () =
+  let rng = Prng.create ~seed:7 () in
+  let schema = schema2 [ 8; 8 ] in
+  let b = Relation.builder schema in
+  for _ = 1 to 4_000 do
+    (* Mass concentrated in the top-left quadrant; bottom-right is empty. *)
+    let x = Prng.int rng 5 and y = Prng.int rng 5 in
+    Relation.add_row b [| x; y |]
+  done;
+  Relation.build b
+
+let test_large_heuristic () =
+  let rel = heuristic_rel () in
+  let preds = Heuristic.select Heuristic.Large rel ~attr1:0 ~attr2:1 ~budget:5 in
+  Alcotest.(check int) "budget respected" 5 (List.length preds);
+  (* Each predicate is a single cell, and together they cover the top-5
+     cells by count. *)
+  let h = Histogram.d2 rel ~attr1:0 ~attr2:1 in
+  let sorted =
+    List.sort (fun (_, a) (_, b) -> compare b a) (Histogram.nonzero_cells h)
+  in
+  let top5 = List.filteri (fun i _ -> i < 5) sorted |> List.map fst in
+  List.iter
+    (fun p ->
+      match (Predicate.restriction p 0, Predicate.restriction p 1) with
+      | Some r0, Some r1 ->
+          Alcotest.(check int) "single cell" 1 (Ranges.cardinal r0);
+          Alcotest.(check int) "single cell" 1 (Ranges.cardinal r1);
+          let cell = (Ranges.min_elt r0, Ranges.min_elt r1) in
+          Alcotest.(check bool) "is a top-5 cell" true (List.mem cell top5)
+      | _ -> Alcotest.fail "missing restriction")
+    preds
+
+let test_zero_heuristic () =
+  let rel = heuristic_rel () in
+  let preds = Heuristic.select Heuristic.Zero rel ~attr1:0 ~attr2:1 ~budget:10 in
+  Alcotest.(check int) "budget respected" 10 (List.length preds);
+  (* All chosen cells must be empty (39 zero cells exist, more than the
+     budget). *)
+  List.iter
+    (fun p -> Alcotest.(check int) "zero cell" 0 (Exec.count rel p))
+    preds
+
+let test_zero_heuristic_topup () =
+  (* With a budget above the number of empty cells, ZERO tops up with heavy
+     cells. *)
+  let schema = schema2 [ 2; 2 ] in
+  let rel =
+    Relation.of_rows schema [ [| 0; 0 |]; [| 0; 1 |]; [| 1; 0 |]; [| 0; 0 |] ]
+  in
+  (* Only (1,1) is empty. *)
+  let preds = Heuristic.select Heuristic.Zero rel ~attr1:0 ~attr2:1 ~budget:3 in
+  Alcotest.(check int) "3 statistics" 3 (List.length preds);
+  let zero_count =
+    List.length (List.filter (fun p -> Exec.count rel p = 0) preds)
+  in
+  Alcotest.(check int) "one zero cell" 1 zero_count
+
+let test_composite_heuristic_disjoint () =
+  let rel = heuristic_rel () in
+  let preds =
+    Heuristic.select Heuristic.Composite rel ~attr1:0 ~attr2:1 ~budget:12
+  in
+  Alcotest.(check bool) "within budget" true (List.length preds <= 12);
+  (* Rectangles tile the grid: pairwise disjoint and total selectivity =
+     64 cells. *)
+  let total =
+    List.fold_left
+      (fun acc p ->
+        acc +. Predicate.selectivity_count p (Relation.schema rel))
+      0. preds
+  in
+  Alcotest.(check (float 1e-9)) "covers all 64 cells" 64. total;
+  List.iteri
+    (fun i p ->
+      List.iteri
+        (fun k q ->
+          if i < k then
+            Alcotest.(check bool) "disjoint" true
+              (Predicate.is_unsatisfiable (Predicate.conj p q)))
+        preds)
+    preds
+
+let test_heuristic_validation () =
+  let rel = heuristic_rel () in
+  (try
+     ignore (Heuristic.select Heuristic.Large rel ~attr1:0 ~attr2:0 ~budget:5);
+     Alcotest.fail "expected Invalid_argument"
+   with Invalid_argument _ -> ());
+  try
+    ignore (Heuristic.select Heuristic.Large rel ~attr1:0 ~attr2:1 ~budget:0);
+    Alcotest.fail "expected Invalid_argument"
+  with Invalid_argument _ -> ()
+
+let () =
+  Alcotest.run "entropydb-select"
+    [
+      ( "correlation",
+        [
+          Alcotest.test_case "independent ~ 0" `Quick test_cramers_v_independent;
+          Alcotest.test_case "functional = 1" `Quick test_cramers_v_functional;
+          Alcotest.test_case "ordering" `Quick test_cramers_v_ordering;
+          Alcotest.test_case "uniformity deviation" `Quick
+            test_uniformity_deviation;
+          Alcotest.test_case "rank_pairs exclude" `Quick
+            test_rank_pairs_excludes;
+        ] );
+      ( "pairs",
+        [
+          Alcotest.test_case "correlation strategy" `Quick
+            test_strategy_correlation;
+          Alcotest.test_case "cover strategy" `Quick test_strategy_cover;
+          Alcotest.test_case "automatic breadth" `Quick test_select_auto;
+          Alcotest.test_case "split budget" `Quick test_split_budget;
+        ] );
+      ( "kdtree",
+        Alcotest.test_case "paper Fig 2a split" `Quick test_fig2a_split
+        :: Alcotest.test_case "saturates to single cells" `Quick
+             test_kdtree_budget_saturation
+        :: Alcotest.test_case "homogeneous grid stops" `Quick
+             test_kdtree_homogeneous_stops
+        :: kd_props );
+      ( "heuristics",
+        [
+          Alcotest.test_case "LARGE picks top cells" `Quick test_large_heuristic;
+          Alcotest.test_case "ZERO picks empty cells" `Quick test_zero_heuristic;
+          Alcotest.test_case "ZERO tops up" `Quick test_zero_heuristic_topup;
+          Alcotest.test_case "COMPOSITE tiles disjointly" `Quick
+            test_composite_heuristic_disjoint;
+          Alcotest.test_case "validation" `Quick test_heuristic_validation;
+        ] );
+    ]

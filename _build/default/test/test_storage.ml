@@ -1,0 +1,409 @@
+(* Tests for the storage substrate: domains, schemas, relations,
+   predicates, the exact query engine, histograms, and CSV I/O.  Exec and
+   Predicate are checked against naive reference implementations under
+   qcheck-generated relations and predicates. *)
+
+open Edb_util
+open Edb_storage
+
+(* ------------------------------------------------------------------ *)
+(* Domain                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_domain_categorical () =
+  let d = Domain.categorical [| "CA"; "NY"; "WA" |] in
+  Alcotest.(check int) "size" 3 (Domain.size d);
+  Alcotest.(check (option int)) "lookup" (Some 1) (Domain.index_of_label d "NY");
+  Alcotest.(check (option int)) "missing" None (Domain.index_of_label d "TX");
+  Alcotest.(check string) "label" "WA" (Domain.label d 2);
+  Alcotest.check_raises "duplicate labels"
+    (Invalid_argument "Domain.of_spec: duplicate label CA") (fun () ->
+      ignore (Domain.categorical [| "CA"; "CA" |]))
+
+let test_domain_int_bins () =
+  let d = Domain.int_bins ~lo:10 ~hi:29 ~width:5 in
+  Alcotest.(check int) "size" 4 (Domain.size d);
+  Alcotest.(check (option int)) "first bin" (Some 0) (Domain.index_of_int d 10);
+  Alcotest.(check (option int)) "second bin" (Some 1) (Domain.index_of_int d 15);
+  Alcotest.(check (option int)) "last bin" (Some 3) (Domain.index_of_int d 29);
+  Alcotest.(check (option int)) "below" None (Domain.index_of_int d 9);
+  Alcotest.(check (option int)) "above" None (Domain.index_of_int d 30)
+
+let test_domain_float_bins () =
+  let d = Domain.float_bins ~lo:0. ~hi:1. ~bins:4 in
+  Alcotest.(check int) "size" 4 (Domain.size d);
+  Alcotest.(check (option int)) "0.0" (Some 0) (Domain.index_of_float d 0.0);
+  Alcotest.(check (option int)) "0.49" (Some 1) (Domain.index_of_float d 0.49);
+  (* The top boundary belongs to the last bin, not a phantom bin. *)
+  Alcotest.(check (option int)) "1.0" (Some 3) (Domain.index_of_float d 1.0);
+  Alcotest.(check (option int)) "outside" None (Domain.index_of_float d 1.5)
+
+let test_domain_midpoints () =
+  let d = Domain.int_bins ~lo:10 ~hi:29 ~width:5 in
+  (* Bin 0 covers [10, 14]: midpoint 12. *)
+  Alcotest.(check (float 1e-9)) "int bin" 12. (Domain.bin_midpoint d 0);
+  let d1 = Domain.int_bins ~lo:0 ~hi:9 ~width:1 in
+  Alcotest.(check (float 1e-9)) "unit bin is its value" 7.
+    (Domain.bin_midpoint d1 7);
+  let f = Domain.float_bins ~lo:0. ~hi:1. ~bins:4 in
+  Alcotest.(check (float 1e-9)) "float bin" 0.375 (Domain.bin_midpoint f 1);
+  (try
+     ignore (Domain.bin_midpoint (Domain.categorical [| "x" |]) 0);
+     Alcotest.fail "expected Invalid_argument"
+   with Invalid_argument _ -> ())
+
+let test_domain_kind_mismatch () =
+  let d = Domain.categorical [| "x" |] in
+  (try
+     ignore (Domain.index_of_int d 0);
+     Alcotest.fail "expected Invalid_argument"
+   with Invalid_argument _ -> ())
+
+(* ------------------------------------------------------------------ *)
+(* Schema                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let schema3 () =
+  Schema.create
+    [
+      Schema.attr "a" (Domain.int_bins ~lo:0 ~hi:4 ~width:1);
+      Schema.attr "b" (Domain.int_bins ~lo:0 ~hi:3 ~width:1);
+      Schema.attr "c" (Domain.int_bins ~lo:0 ~hi:2 ~width:1);
+    ]
+
+let test_schema_basics () =
+  let s = schema3 () in
+  Alcotest.(check int) "arity" 3 (Schema.arity s);
+  Alcotest.(check (option int)) "find b" (Some 1) (Schema.find s "b");
+  Alcotest.(check (option int)) "find missing" None (Schema.find s "zz");
+  Alcotest.(check int) "domain size" 4 (Schema.domain_size s 1);
+  Alcotest.(check (float 1e-9)) "tuple space" 60. (Schema.tuple_space_size s);
+  Alcotest.check_raises "duplicate attrs"
+    (Invalid_argument "Schema.create: duplicate attribute x") (fun () ->
+      ignore
+        (Schema.create
+           [
+             Schema.attr "x" (Domain.categorical [| "1" |]);
+             Schema.attr "x" (Domain.categorical [| "2" |]);
+           ]))
+
+(* ------------------------------------------------------------------ *)
+(* Relation                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let random_relation ?(rows = 300) seed =
+  let schema = schema3 () in
+  let rng = Prng.create ~seed () in
+  let b = Relation.builder schema in
+  for _ = 1 to rows do
+    Relation.add_row b
+      [| Prng.int rng 5; Prng.int rng 4; Prng.int rng 3 |]
+  done;
+  Relation.build b
+
+let test_relation_builder () =
+  let rel = random_relation 1 in
+  Alcotest.(check int) "cardinality" 300 (Relation.cardinality rel);
+  let row = Relation.row rel 17 in
+  Alcotest.(check int) "consistent access" row.(1)
+    (Relation.get rel ~row:17 ~attr:1)
+
+let test_relation_validation () =
+  let schema = schema3 () in
+  let b = Relation.builder schema in
+  (try
+     Relation.add_row b [| 9; 0; 0 |];
+     Alcotest.fail "expected Invalid_argument"
+   with Invalid_argument _ -> ());
+  (try
+     Relation.add_row b [| 0; 0 |];
+     Alcotest.fail "expected arity error"
+   with Invalid_argument _ -> ())
+
+let test_relation_select_rows () =
+  let rel = random_relation 2 in
+  let sub = Relation.select_rows rel [| 5; 5; 10 |] in
+  Alcotest.(check int) "3 rows" 3 (Relation.cardinality sub);
+  Alcotest.(check (array int)) "row copied" (Relation.row rel 5)
+    (Relation.row sub 0);
+  Alcotest.(check (array int)) "repetition allowed" (Relation.row rel 5)
+    (Relation.row sub 1)
+
+let test_relation_project () =
+  let rel = random_relation 3 in
+  let proj = Relation.project rel [ 2; 0 ] in
+  Alcotest.(check int) "arity" 2 (Schema.arity (Relation.schema proj));
+  Alcotest.(check string) "attr order" "c"
+    (Schema.attr_name (Relation.schema proj) 0);
+  for r = 0 to 10 do
+    Alcotest.(check int) "values follow" (Relation.get rel ~row:r ~attr:2)
+      (Relation.get proj ~row:r ~attr:0)
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Predicate + Exec vs naive reference                                 *)
+(* ------------------------------------------------------------------ *)
+
+let pred_gen =
+  (* Random conjunctive predicate over schema3. *)
+  QCheck.Gen.(
+    let restriction size =
+      oneof
+        [
+          return None;
+          (pair (int_bound (size - 1)) (int_bound 2) >|= fun (lo, len) ->
+           Some (Ranges.interval lo (min (size - 1) (lo + len))));
+          (return (Some Ranges.empty));
+        ]
+    in
+    triple (restriction 5) (restriction 4) (restriction 3) >|= fun (a, b, c) ->
+    let pairs =
+      List.filter_map
+        (fun (i, r) -> Option.map (fun r -> (i, r)) r)
+        [ (0, a); (1, b); (2, c) ]
+    in
+    Predicate.of_alist ~arity:3 pairs)
+
+let pred_arb = QCheck.make ~print:(Fmt.str "%a" Predicate.pp) pred_gen
+
+let naive_count rel pred =
+  let c = ref 0 in
+  Relation.iteri (fun _ row -> if Predicate.matches_row pred row then incr c) rel;
+  !c
+
+let prop name arb f =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~count:300 ~name arb f)
+
+let exec_props =
+  let rel = random_relation 7 in
+  [
+    prop "count = naive scan" pred_arb (fun p ->
+        Exec.count rel p = naive_count rel p);
+    prop "count under conj <= both" QCheck.(pair pred_arb pred_arb)
+      (fun (p, q) ->
+        let c = Exec.count rel (Predicate.conj p q) in
+        c <= Exec.count rel p && c <= Exec.count rel q);
+    prop "group_count sums to count" pred_arb (fun p ->
+        let total =
+          List.fold_left
+            (fun acc (_, c) -> acc + c)
+            0
+            (Exec.group_count ~pred:p rel ~attrs:[ 0; 2 ])
+        in
+        total = Exec.count rel p);
+    prop "selectivity_count bounds" pred_arb (fun p ->
+        let s = Predicate.selectivity_count p (Relation.schema rel) in
+        s >= 0. && s <= 60.);
+  ]
+
+let test_predicate_basics () =
+  let p = Predicate.point ~arity:3 [ (0, 2); (2, 1) ] in
+  Alcotest.(check bool) "matches" true (Predicate.matches_row p [| 2; 3; 1 |]);
+  Alcotest.(check bool) "fails" false (Predicate.matches_row p [| 2; 3; 2 |]);
+  Alcotest.(check (list int)) "restricted attrs" [ 0; 2 ]
+    (Predicate.restricted_attrs p);
+  Alcotest.(check bool) "tautology matches" true
+    (Predicate.matches_row (Predicate.tautology 3) [| 0; 0; 0 |]);
+  let unsat = Predicate.restrict p 0 (Ranges.singleton 4) in
+  Alcotest.(check bool) "unsat" true (Predicate.is_unsatisfiable unsat)
+
+let test_predicate_conj_intersects () =
+  let p = Predicate.of_alist ~arity:2 [ (0, Ranges.interval 0 3) ] in
+  let q = Predicate.of_alist ~arity:2 [ (0, Ranges.interval 2 5) ] in
+  let pq = Predicate.conj p q in
+  match Predicate.restriction pq 0 with
+  | Some r ->
+      Alcotest.(check (list (pair int int))) "intersection" [ (2, 3) ]
+        (Ranges.intervals r)
+  | None -> Alcotest.fail "expected a restriction"
+
+let test_sum_avg () =
+  let rel = random_relation 19 in
+  (* Attribute 0 has unit-width bins starting at 0, so midpoint = index
+     and SUM over a predicate equals the sum of the column values. *)
+  let pred = Predicate.of_alist ~arity:3 [ (1, Ranges.interval 0 1) ] in
+  let reference = ref 0 and count = ref 0 in
+  Relation.iteri
+    (fun _ row ->
+      if Predicate.matches_row pred row then begin
+        reference := !reference + row.(0);
+        incr count
+      end)
+    rel;
+  Alcotest.(check (float 1e-9)) "sum" (float_of_int !reference)
+    (Exec.sum rel ~attr:0 pred);
+  (match Exec.avg rel ~attr:0 pred with
+  | Some avg ->
+      Alcotest.(check (float 1e-9)) "avg"
+        (float_of_int !reference /. float_of_int !count)
+        avg
+  | None -> Alcotest.fail "avg undefined");
+  (* Empty predicate: sum 0, avg undefined. *)
+  let empty = Predicate.of_alist ~arity:3 [ (0, Edb_util.Ranges.empty) ] in
+  Alcotest.(check (float 1e-9)) "empty sum" 0. (Exec.sum rel ~attr:0 empty);
+  Alcotest.(check bool) "empty avg" true (Exec.avg rel ~attr:0 empty = None)
+
+let test_group_by_and_topk () =
+  let schema =
+    Schema.create [ Schema.attr "g" (Domain.int_bins ~lo:0 ~hi:2 ~width:1) ]
+  in
+  let rel =
+    Relation.of_rows schema
+      (List.map (fun v -> [| v |]) [ 0; 0; 0; 1; 1; 2; 2; 2; 2 ])
+  in
+  let top = Exec.top_k rel ~attrs:[ 0 ] ~k:2 in
+  Alcotest.(check (list (pair (list int) int)))
+    "top 2"
+    [ ([ 2 ], 4); ([ 0 ], 3) ]
+    top;
+  let bottom = Exec.bottom_k rel ~attrs:[ 0 ] ~k:1 in
+  Alcotest.(check (list (pair (list int) int))) "bottom" [ ([ 1 ], 2) ] bottom
+
+(* ------------------------------------------------------------------ *)
+(* Histogram                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_histograms () =
+  let rel = random_relation 11 in
+  let h1 = Histogram.d1 rel ~attr:0 in
+  Alcotest.(check int) "1D total" 300 (Array.fold_left ( + ) 0 h1);
+  Array.iteri
+    (fun v c ->
+      Alcotest.(check int) "1D = point count" c
+        (Exec.count rel (Predicate.point ~arity:3 [ (0, v) ])))
+    h1;
+  let h2 = Histogram.d2 rel ~attr1:0 ~attr2:1 in
+  Alcotest.(check int) "2D total" 300 (Histogram.total h2);
+  for i = 0 to 4 do
+    for j = 0 to 3 do
+      Alcotest.(check int) "2D cell = point count"
+        (Exec.count rel (Predicate.point ~arity:3 [ (0, i); (1, j) ]))
+        (Histogram.get h2 ~i ~j)
+    done
+  done;
+  Alcotest.(check int) "rect_sum = range count"
+    (Exec.count rel
+       (Predicate.of_alist ~arity:3
+          [ (0, Ranges.interval 1 3); (1, Ranges.interval 0 1) ]))
+    (Histogram.rect_sum h2 ~i_lo:1 ~i_hi:3 ~j_lo:0 ~j_hi:1);
+  let nz = Histogram.nonzero_cells h2 and z = Histogram.zero_cells h2 in
+  Alcotest.(check int) "cells partition" 20 (List.length nz + List.length z)
+
+(* ------------------------------------------------------------------ *)
+(* Bitmap index                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let bitmap_props =
+  let rel = random_relation ~rows:500 23 in
+  let index = Bitmap.create rel in
+  [
+    prop "bitmap count = scan count" pred_arb (fun p ->
+        Bitmap.count index p = Exec.count rel p);
+  ]
+
+let test_bitmap_edge_sizes () =
+  (* Row counts around the 63-bit word boundary. *)
+  List.iter
+    (fun rows ->
+      let rel = random_relation ~rows 29 in
+      let index = Bitmap.create rel in
+      Alcotest.(check int)
+        (Printf.sprintf "tautology at %d rows" rows)
+        rows
+        (Bitmap.count index (Predicate.tautology 3));
+      let p = Predicate.point ~arity:3 [ (0, 1) ] in
+      Alcotest.(check int)
+        (Printf.sprintf "point at %d rows" rows)
+        (Exec.count rel p) (Bitmap.count index p))
+    [ 1; 62; 63; 64; 126; 127 ];
+  let rel = random_relation ~rows:10 31 in
+  let index = Bitmap.create rel in
+  Alcotest.(check bool) "memory accounted" true (Bitmap.memory_words index > 0)
+
+(* ------------------------------------------------------------------ *)
+(* CSV                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_csv_roundtrip () =
+  let rel = random_relation 13 in
+  let path = Filename.temp_file "edb" ".csv" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Csv_io.save_indices rel path;
+      match Csv_io.load_indices (Relation.schema rel) path with
+      | Error e -> Alcotest.failf "load failed: %a" Csv_io.pp_error e
+      | Ok rel' ->
+          Alcotest.(check int) "cardinality" (Relation.cardinality rel)
+            (Relation.cardinality rel');
+          Relation.iteri
+            (fun r row ->
+              Alcotest.(check (array int)) "row" row (Relation.row rel' r))
+            rel)
+
+let test_csv_bad_header () =
+  let path = Filename.temp_file "edb" ".csv" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let oc = open_out path in
+      output_string oc "x,y,z\n1,2,3\n";
+      close_out oc;
+      match Csv_io.load_indices (schema3 ()) path with
+      | Error { line = 1; _ } -> ()
+      | Error e -> Alcotest.failf "wrong error: %a" Csv_io.pp_error e
+      | Ok _ -> Alcotest.fail "expected header error")
+
+let test_csv_bad_value () =
+  let path = Filename.temp_file "edb" ".csv" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let oc = open_out path in
+      output_string oc "a,b,c\n1,2,2\n9,0,0\n";
+      close_out oc;
+      match Csv_io.load_indices (schema3 ()) path with
+      | Error { line = 3; _ } -> ()
+      | Error e -> Alcotest.failf "wrong error: %a" Csv_io.pp_error e
+      | Ok _ -> Alcotest.fail "expected out-of-domain error")
+
+let () =
+  Alcotest.run "entropydb-storage"
+    [
+      ( "domain",
+        [
+          Alcotest.test_case "categorical" `Quick test_domain_categorical;
+          Alcotest.test_case "int bins" `Quick test_domain_int_bins;
+          Alcotest.test_case "float bins" `Quick test_domain_float_bins;
+          Alcotest.test_case "bin midpoints" `Quick test_domain_midpoints;
+          Alcotest.test_case "kind mismatch" `Quick test_domain_kind_mismatch;
+        ] );
+      ("schema", [ Alcotest.test_case "basics" `Quick test_schema_basics ]);
+      ( "relation",
+        [
+          Alcotest.test_case "builder" `Quick test_relation_builder;
+          Alcotest.test_case "validation" `Quick test_relation_validation;
+          Alcotest.test_case "select_rows" `Quick test_relation_select_rows;
+          Alcotest.test_case "project" `Quick test_relation_project;
+        ] );
+      ( "predicate",
+        [
+          Alcotest.test_case "basics" `Quick test_predicate_basics;
+          Alcotest.test_case "conj intersects" `Quick
+            test_predicate_conj_intersects;
+        ] );
+      ( "exec",
+        Alcotest.test_case "group by / top-k" `Quick test_group_by_and_topk
+        :: Alcotest.test_case "sum / avg" `Quick test_sum_avg
+        :: exec_props );
+      ("histogram", [ Alcotest.test_case "1D/2D/rects" `Quick test_histograms ]);
+      ( "bitmap",
+        Alcotest.test_case "word-boundary sizes" `Quick test_bitmap_edge_sizes
+        :: bitmap_props );
+      ( "csv",
+        [
+          Alcotest.test_case "round trip" `Quick test_csv_roundtrip;
+          Alcotest.test_case "bad header" `Quick test_csv_bad_header;
+          Alcotest.test_case "bad value" `Quick test_csv_bad_value;
+        ] );
+    ]

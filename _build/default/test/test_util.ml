@@ -1,0 +1,352 @@
+(* Tests for the util substrate: PRNG, integer range sets, numeric
+   helpers, tables.  Ranges carries most of the polynomial's set algebra,
+   so it gets qcheck properties against a reference implementation over
+   explicit integer sets. *)
+
+open Edb_util
+
+(* ------------------------------------------------------------------ *)
+(* Prng                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_prng_deterministic () =
+  let a = Prng.create ~seed:7 () and b = Prng.create ~seed:7 () in
+  for _ = 1 to 100 do
+    Alcotest.(check int) "same stream" (Prng.int a 1000) (Prng.int b 1000)
+  done
+
+let test_prng_seed_sensitivity () =
+  let a = Prng.create ~seed:7 () and b = Prng.create ~seed:8 () in
+  let xs = List.init 20 (fun _ -> Prng.int a 1_000_000) in
+  let ys = List.init 20 (fun _ -> Prng.int b 1_000_000) in
+  Alcotest.(check bool) "different streams" true (xs <> ys)
+
+let test_prng_bounds () =
+  let rng = Prng.create ~seed:3 () in
+  for _ = 1 to 1000 do
+    let v = Prng.int rng 7 in
+    if v < 0 || v >= 7 then Alcotest.failf "out of bounds: %d" v;
+    let w = Prng.int_in rng 5 9 in
+    if w < 5 || w > 9 then Alcotest.failf "out of range: %d" w;
+    let f = Prng.unit_float rng in
+    if f < 0. || f >= 1. then Alcotest.failf "float out of range: %f" f
+  done
+
+let test_prng_int_rejects_nonpositive () =
+  let rng = Prng.create () in
+  Alcotest.check_raises "bound 0" (Invalid_argument "Prng.int: bound must be positive")
+    (fun () -> ignore (Prng.int rng 0))
+
+let test_prng_uniformity () =
+  (* Chi-squared smoke test: 10 buckets, 10k draws; the statistic should be
+     far below the 99.9% critical value (~27.9 for 9 dof). *)
+  let rng = Prng.create ~seed:12 () in
+  let counts = Array.make 10 0 in
+  let draws = 10_000 in
+  for _ = 1 to draws do
+    let v = Prng.int rng 10 in
+    counts.(v) <- counts.(v) + 1
+  done;
+  let expected = float_of_int draws /. 10. in
+  let chi2 =
+    Array.fold_left
+      (fun acc c -> acc +. (((float_of_int c -. expected) ** 2.) /. expected))
+      0. counts
+  in
+  if chi2 > 27.9 then Alcotest.failf "chi2 too high: %.2f" chi2
+
+let test_prng_split_independence () =
+  let parent = Prng.create ~seed:5 () in
+  let child = Prng.split parent in
+  let xs = List.init 20 (fun _ -> Prng.int parent 1_000_000) in
+  let ys = List.init 20 (fun _ -> Prng.int child 1_000_000) in
+  Alcotest.(check bool) "split streams differ" true (xs <> ys)
+
+let test_gaussian_moments () =
+  let rng = Prng.create ~seed:9 () in
+  let n = 20_000 in
+  let xs = Array.init n (fun _ -> Prng.gaussian rng ~mean:3. ~stddev:2.) in
+  let mean = Floatx.mean xs and sd = Floatx.stddev xs in
+  Alcotest.(check (float 0.1)) "mean" 3. mean;
+  Alcotest.(check (float 0.1)) "stddev" 2. sd
+
+let test_shuffle_permutation () =
+  let rng = Prng.create ~seed:4 () in
+  let arr = Array.init 50 Fun.id in
+  Prng.shuffle rng arr;
+  let sorted = Array.copy arr in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "is a permutation" (Array.init 50 Fun.id) sorted
+
+let test_sample_without_replacement () =
+  let rng = Prng.create ~seed:4 () in
+  let s = Prng.sample_without_replacement rng ~n:100 ~k:30 in
+  Alcotest.(check int) "size" 30 (Array.length s);
+  let distinct = List.sort_uniq compare (Array.to_list s) in
+  Alcotest.(check int) "distinct" 30 (List.length distinct);
+  Array.iter (fun v -> if v < 0 || v >= 100 then Alcotest.fail "out of range") s
+
+let test_categorical_frequencies () =
+  let rng = Prng.create ~seed:21 () in
+  let dist = Prng.Categorical.create [| 1.; 2.; 7. |] in
+  let counts = Array.make 3 0 in
+  let draws = 30_000 in
+  for _ = 1 to draws do
+    let v = Prng.Categorical.sample dist rng in
+    counts.(v) <- counts.(v) + 1
+  done;
+  let freq i = float_of_int counts.(i) /. float_of_int draws in
+  Alcotest.(check (float 0.02)) "p0" 0.1 (freq 0);
+  Alcotest.(check (float 0.02)) "p1" 0.2 (freq 1);
+  Alcotest.(check (float 0.02)) "p2" 0.7 (freq 2)
+
+let test_zipf_monotone () =
+  let rng = Prng.create ~seed:30 () in
+  let counts = Array.make 5 0 in
+  for _ = 1 to 20_000 do
+    let v = Prng.zipf rng ~n:5 ~s:1.2 in
+    counts.(v) <- counts.(v) + 1
+  done;
+  for i = 0 to 3 do
+    if counts.(i) <= counts.(i + 1) then
+      Alcotest.failf "zipf not decreasing at %d: %d <= %d" i counts.(i)
+        counts.(i + 1)
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Ranges: qcheck properties against explicit sets                     *)
+(* ------------------------------------------------------------------ *)
+
+let universe = 24
+
+let set_of_ranges r =
+  List.filter (fun v -> Ranges.mem v r) (List.init universe Fun.id)
+
+let ranges_gen =
+  (* A ranges value over [0, universe): random list of small intervals. *)
+  QCheck.Gen.(
+    list_size (int_bound 4)
+      (pair (int_bound (universe - 1)) (int_bound 5))
+    >|= fun pairs ->
+    Ranges.of_intervals
+      (List.map (fun (lo, len) -> (lo, min (universe - 1) (lo + len))) pairs))
+
+let ranges_arb =
+  QCheck.make ~print:(fun r -> Fmt.str "%a" Ranges.pp r) ranges_gen
+
+let prop name arb f =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~count:500 ~name arb f)
+
+let test_ranges_props =
+  [
+    prop "inter = set intersection" QCheck.(pair ranges_arb ranges_arb)
+      (fun (a, b) ->
+        set_of_ranges (Ranges.inter a b)
+        = List.filter (fun v -> Ranges.mem v b) (set_of_ranges a));
+    prop "union = set union" QCheck.(pair ranges_arb ranges_arb)
+      (fun (a, b) ->
+        set_of_ranges (Ranges.union a b)
+        = List.sort_uniq compare (set_of_ranges a @ set_of_ranges b));
+    prop "diff = set difference" QCheck.(pair ranges_arb ranges_arb)
+      (fun (a, b) ->
+        set_of_ranges (Ranges.diff a b)
+        = List.filter (fun v -> not (Ranges.mem v b)) (set_of_ranges a));
+    prop "complement twice is identity" ranges_arb (fun a ->
+        Ranges.equal (Ranges.complement ~size:universe
+             (Ranges.complement ~size:universe a)) a);
+    prop "cardinal matches" ranges_arb (fun a ->
+        Ranges.cardinal a = List.length (set_of_ranges a));
+    prop "subset iff diff empty" QCheck.(pair ranges_arb ranges_arb)
+      (fun (a, b) ->
+        Ranges.subset a b = List.for_all (fun v -> Ranges.mem v b) (set_of_ranges a));
+    prop "disjoint iff no common element" QCheck.(pair ranges_arb ranges_arb)
+      (fun (a, b) ->
+        Ranges.disjoint a b
+        = not (List.exists (fun v -> Ranges.mem v b) (set_of_ranges a)));
+    prop "normalization coalesces adjacent" ranges_arb (fun a ->
+        (* No two stored intervals touch or overlap. *)
+        let rec ok = function
+          | (_, h1) :: ((l2, _) :: _ as rest) -> h1 + 1 < l2 && ok rest
+          | _ -> true
+        in
+        ok (Ranges.intervals a));
+    prop "to_list sorted ascending" ranges_arb (fun a ->
+        let l = Ranges.to_list a in
+        l = List.sort_uniq compare l);
+  ]
+
+let test_ranges_basics () =
+  let r = Ranges.of_intervals [ (3, 5); (1, 2); (6, 8) ] in
+  Alcotest.(check (list (pair int int))) "coalesced" [ (1, 8) ]
+    (Ranges.intervals r);
+  Alcotest.(check bool) "mem" true (Ranges.mem 4 r);
+  Alcotest.(check bool) "not mem" false (Ranges.mem 0 r);
+  Alcotest.(check int) "cardinal" 8 (Ranges.cardinal r);
+  Alcotest.(check int) "min" 1 (Ranges.min_elt r);
+  Alcotest.(check int) "max" 8 (Ranges.max_elt r);
+  Alcotest.check_raises "empty min" (Invalid_argument "Ranges.min_elt: empty")
+    (fun () -> ignore (Ranges.min_elt Ranges.empty))
+
+let test_ranges_interval_validation () =
+  Alcotest.check_raises "hi < lo" (Invalid_argument "Ranges.interval: hi < lo")
+    (fun () -> ignore (Ranges.interval 5 4))
+
+(* ------------------------------------------------------------------ *)
+(* Floatx                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_floatx () =
+  Alcotest.(check bool) "approx_eq" true (Floatx.approx_eq 1.0 (1.0 +. 1e-12));
+  Alcotest.(check bool) "not approx_eq" false (Floatx.approx_eq 1.0 1.1);
+  Alcotest.(check (float 1e-9)) "clamp low" 0. (Floatx.clamp ~lo:0. ~hi:1. (-5.));
+  Alcotest.(check (float 1e-9)) "clamp high" 1. (Floatx.clamp ~lo:0. ~hi:1. 5.);
+  Alcotest.(check (float 1e-9)) "safe_div" 0. (Floatx.safe_div 1. 0.);
+  Alcotest.(check (float 1e-9)) "mean" 2. (Floatx.mean [| 1.; 2.; 3. |]);
+  Alcotest.(check (float 1e-9)) "variance" 1. (Floatx.variance [| 1.; 2.; 3. |]);
+  Alcotest.(check (float 1e-9)) "median" 2. (Floatx.median [| 3.; 1.; 2. |]);
+  Alcotest.(check (float 1e-9)) "quantile 0" 1. (Floatx.quantile [| 3.; 1.; 2. |] 0.);
+  Alcotest.(check (float 1e-9)) "quantile 1" 3. (Floatx.quantile [| 3.; 1.; 2. |] 1.)
+
+let test_ksum_precision () =
+  (* Kahan summation keeps the classic 1e16 + many small values stable. *)
+  let arr = Array.make 10_001 1. in
+  arr.(0) <- 1e16;
+  let naive = Array.fold_left ( +. ) 0. arr in
+  let kahan = Floatx.ksum arr in
+  Alcotest.(check bool) "kahan at least as accurate" true
+    (Float.abs (kahan -. (1e16 +. 10_000.))
+    <= Float.abs (naive -. (1e16 +. 10_000.)))
+
+(* ------------------------------------------------------------------ *)
+(* Parallel                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_parallel_fold_matches_sequential () =
+  let data = Array.init 10_000 (fun i -> (i * 37 mod 101) - 50) in
+  let chunk ~lo ~hi =
+    let acc = ref 0 in
+    for i = lo to hi - 1 do
+      acc := !acc + data.(i)
+    done;
+    !acc
+  in
+  let seq = chunk ~lo:0 ~hi:(Array.length data) in
+  List.iter
+    (fun domains ->
+      let par =
+        Parallel.fold ~domains ~n:(Array.length data) ~chunk
+          ~combine:( + ) ~init:0
+      in
+      Alcotest.(check int) (Printf.sprintf "%d domains" domains) seq par)
+    [ 1; 2; 3; 4; 7 ]
+
+let test_parallel_fold_edge_cases () =
+  let chunk ~lo ~hi = hi - lo in
+  Alcotest.(check int) "n = 0" 0
+    (Parallel.fold ~domains:4 ~n:0 ~chunk ~combine:( + ) ~init:0);
+  Alcotest.(check int) "n = 1" 1
+    (Parallel.fold ~domains:4 ~n:1 ~chunk ~combine:( + ) ~init:0);
+  Alcotest.(check int) "n < domains" 3
+    (Parallel.fold ~domains:8 ~n:3 ~chunk ~combine:( + ) ~init:0);
+  (* Chunks must exactly tile [0, n); collect bounds through the combine
+     path (chunk results, not shared mutation — workers run on separate
+     domains). *)
+  let pieces =
+    Parallel.fold ~domains:3 ~n:10
+      ~chunk:(fun ~lo ~hi -> [ (lo, hi) ])
+      ~combine:( @ ) ~init:[]
+  in
+  let covered = Array.make 10 0 in
+  List.iter
+    (fun (lo, hi) ->
+      for i = lo to hi - 1 do
+        covered.(i) <- covered.(i) + 1
+      done)
+    pieces;
+  Alcotest.(check bool) "tiles exactly once" true
+    (Array.for_all (fun c -> c = 1) covered)
+
+(* ------------------------------------------------------------------ *)
+(* Table                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_table_render () =
+  let t =
+    Table.create ~title:"T" ~headers:[ "a"; "bb" ]
+      ~aligns:[ Table.Left; Table.Right ] ()
+  in
+  Table.add_row t [ "x"; "1" ];
+  Table.add_row t [ "yy"; "22" ];
+  let out = Table.render t in
+  Alcotest.(check bool) "has title" true (String.length out > 0);
+  Alcotest.(check bool) "header present" true
+    (String.length out >= 1 && String.sub out 0 1 = "T");
+  Alcotest.check_raises "wrong arity"
+    (Invalid_argument "Table.add_row: wrong number of cells") (fun () ->
+      Table.add_row t [ "only-one" ])
+
+let test_table_csv () =
+  let t = Table.create ~title:"T" ~headers:[ "a"; "b" ] () in
+  Table.add_row t [ "x,y"; "plain" ];
+  let csv = Table.to_csv t in
+  Alcotest.(check string) "escapes commas" "a,b\n\"x,y\",plain\n" csv
+
+(* ------------------------------------------------------------------ *)
+(* Timing                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_stopwatch () =
+  let sw = Timing.stopwatch () in
+  Alcotest.(check (float 1e-9)) "zero" 0. (Timing.elapsed sw);
+  Timing.start sw;
+  Timing.stop sw;
+  Alcotest.(check bool) "accumulated >= 0" true (Timing.elapsed sw >= 0.);
+  Alcotest.check_raises "stop unstarted"
+    (Invalid_argument "Timing.stop: not started") (fun () -> Timing.stop sw)
+
+let () =
+  Alcotest.run "entropydb-util"
+    [
+      ( "prng",
+        [
+          Alcotest.test_case "deterministic" `Quick test_prng_deterministic;
+          Alcotest.test_case "seed sensitivity" `Quick test_prng_seed_sensitivity;
+          Alcotest.test_case "bounds" `Quick test_prng_bounds;
+          Alcotest.test_case "rejects non-positive bound" `Quick
+            test_prng_int_rejects_nonpositive;
+          Alcotest.test_case "uniformity (chi2)" `Quick test_prng_uniformity;
+          Alcotest.test_case "split independence" `Quick
+            test_prng_split_independence;
+          Alcotest.test_case "gaussian moments" `Quick test_gaussian_moments;
+          Alcotest.test_case "shuffle is permutation" `Quick
+            test_shuffle_permutation;
+          Alcotest.test_case "sample without replacement" `Quick
+            test_sample_without_replacement;
+          Alcotest.test_case "categorical frequencies" `Quick
+            test_categorical_frequencies;
+          Alcotest.test_case "zipf monotone" `Quick test_zipf_monotone;
+        ] );
+      ( "ranges",
+        Alcotest.test_case "basics" `Quick test_ranges_basics
+        :: Alcotest.test_case "interval validation" `Quick
+             test_ranges_interval_validation
+        :: test_ranges_props );
+      ( "floatx",
+        [
+          Alcotest.test_case "basics" `Quick test_floatx;
+          Alcotest.test_case "kahan precision" `Quick test_ksum_precision;
+        ] );
+      ( "parallel",
+        [
+          Alcotest.test_case "fold matches sequential" `Quick
+            test_parallel_fold_matches_sequential;
+          Alcotest.test_case "edge cases and tiling" `Quick
+            test_parallel_fold_edge_cases;
+        ] );
+      ( "table",
+        [
+          Alcotest.test_case "render" `Quick test_table_render;
+          Alcotest.test_case "csv escaping" `Quick test_table_csv;
+        ] );
+      ("timing", [ Alcotest.test_case "stopwatch" `Quick test_stopwatch ]);
+    ]

@@ -1,0 +1,220 @@
+(* Tests for the workload harness: hitter selection, the Sec. 6.2 metrics,
+   the method abstraction, and the experiment runner. *)
+
+open Edb_util
+open Edb_storage
+open Edb_workload
+
+let schema2 () =
+  Schema.create
+    [
+      Schema.attr "a" (Domain.int_bins ~lo:0 ~hi:4 ~width:1);
+      Schema.attr "b" (Domain.int_bins ~lo:0 ~hi:4 ~width:1);
+    ]
+
+(* A relation with known group counts: cell (i, j) occurs i + 5j times for
+   a few chosen cells; most of the 25 cells are empty. *)
+let known_rel () =
+  let rows = ref [] in
+  List.iter
+    (fun ((i, j), count) ->
+      for _ = 1 to count do
+        rows := [| i; j |] :: !rows
+      done)
+    [ ((0, 0), 30); ((1, 0), 20); ((2, 1), 10); ((3, 1), 2); ((4, 2), 1) ];
+  Relation.of_rows (schema2 ()) !rows
+
+(* ------------------------------------------------------------------ *)
+(* Metrics                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_rel_error_formula () =
+  Alcotest.(check (float 1e-9)) "exact" 0. (Metrics.rel_error ~truth:10. ~est:10.);
+  Alcotest.(check (float 1e-9)) "both zero" 0. (Metrics.rel_error ~truth:0. ~est:0.);
+  Alcotest.(check (float 1e-9)) "missed value" 1. (Metrics.rel_error ~truth:5. ~est:0.);
+  Alcotest.(check (float 1e-9)) "phantom value" 1. (Metrics.rel_error ~truth:0. ~est:5.);
+  Alcotest.(check (float 1e-9)) "half" (1. /. 3.)
+    (Metrics.rel_error ~truth:10. ~est:5.)
+
+let prop name arb f =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~count:500 ~name arb f)
+
+let rel_error_props =
+  let nonneg = QCheck.(map Float.abs (float_bound_exclusive 1e6)) in
+  [
+    prop "bounded in [0,1]" QCheck.(pair nonneg nonneg) (fun (t, e) ->
+        let err = Metrics.rel_error ~truth:t ~est:e in
+        err >= 0. && err <= 1.);
+    prop "symmetric" QCheck.(pair nonneg nonneg) (fun (t, e) ->
+        Float.abs
+          (Metrics.rel_error ~truth:t ~est:e -. Metrics.rel_error ~truth:e ~est:t)
+        < 1e-12);
+  ]
+
+let test_f_measure () =
+  (* 3 of 4 light hitters detected; 1 phantom among 4 nulls. *)
+  let c =
+    Metrics.classify
+      ~light_estimates:[ 1.; 2.; 0.; 3. ]
+      ~null_estimates:[ 0.; 0.; 5.; 0. ]
+  in
+  Alcotest.(check (float 1e-9)) "precision" 0.75 (Metrics.precision c);
+  Alcotest.(check (float 1e-9)) "recall" 0.75 (Metrics.recall c);
+  Alcotest.(check (float 1e-9)) "F" 0.75 (Metrics.f_measure c);
+  (* Degenerate cases. *)
+  let none = Metrics.classify ~light_estimates:[ 0.; 0. ] ~null_estimates:[ 0. ] in
+  Alcotest.(check (float 1e-9)) "no positives -> F 0" 0. (Metrics.f_measure none);
+  let perfect =
+    Metrics.classify ~light_estimates:[ 1.; 1. ] ~null_estimates:[ 0.; 0. ]
+  in
+  Alcotest.(check (float 1e-9)) "perfect F" 1. (Metrics.f_measure perfect)
+
+(* ------------------------------------------------------------------ *)
+(* Hitters                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_heavy_light () =
+  let rel = known_rel () in
+  let heavy = Hitters.heavy rel ~attrs:[ 0; 1 ] ~k:2 in
+  Alcotest.(check (list (pair (list int) int)))
+    "heavy" [ ([ 0; 0 ], 30); ([ 1; 0 ], 20) ] heavy;
+  let light = Hitters.light rel ~attrs:[ 0; 1 ] ~k:2 in
+  Alcotest.(check (list (pair (list int) int)))
+    "light" [ ([ 4; 2 ], 1); ([ 3; 1 ], 2) ] light
+
+let test_nonexistent () =
+  let rel = known_rel () in
+  let rng = Prng.create ~seed:3 () in
+  let nulls = Hitters.nonexistent rng rel ~attrs:[ 0; 1 ] ~k:10 in
+  Alcotest.(check int) "count" 10 (List.length nulls);
+  Alcotest.(check int) "distinct" 10 (List.length (List.sort_uniq compare nulls));
+  List.iter
+    (fun vs ->
+      let pred = Hitters.to_predicate ~arity:2 ~attrs:[ 0; 1 ] vs in
+      Alcotest.(check int) "truly absent" 0 (Exec.count rel pred))
+    nulls
+
+let test_nonexistent_exhaustion () =
+  let rel = known_rel () in
+  let rng = Prng.create ~seed:4 () in
+  (* 25 cells, 5 occupied: only 20 empty combinations exist. *)
+  try
+    ignore (Hitters.nonexistent rng rel ~attrs:[ 0; 1 ] ~k:21);
+    Alcotest.fail "expected Invalid_argument"
+  with Invalid_argument _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Methods + Runner                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_exact_method_zero_error () =
+  let rel = known_rel () in
+  let w =
+    Hitters.standard (Prng.create ~seed:5 ()) rel ~attrs:[ 0; 1 ]
+      ~num_hitters:3 ~num_nulls:5
+  in
+  let r =
+    Runner.run_errors (Methods.exact rel) ~arity:2 ~attrs:[ 0; 1 ]
+      ~queries:w.heavy
+  in
+  Alcotest.(check (float 1e-12)) "exact has zero error" 0. r.avg_error;
+  Alcotest.(check string) "name" "Exact" r.method_name
+
+let test_constant_method_error () =
+  (* A method that always answers 0 has error 1 on every non-empty query. *)
+  let rel = known_rel () in
+  let zero = Methods.of_fn ~name:"Zero" (fun _ -> 0.) in
+  let w =
+    Hitters.standard (Prng.create ~seed:6 ()) rel ~attrs:[ 0; 1 ]
+      ~num_hitters:3 ~num_nulls:5
+  in
+  let r = Runner.run_errors zero ~arity:2 ~attrs:[ 0; 1 ] ~queries:w.heavy in
+  Alcotest.(check (float 1e-12)) "all wrong" 1. r.avg_error;
+  let f = Runner.run_f zero ~arity:2 ~attrs:[ 0; 1 ] ~light:w.light ~nulls:w.nulls in
+  Alcotest.(check (float 1e-12)) "F = 0" 0. f.f_measure
+
+let test_error_differences () =
+  let results =
+    [
+      { Runner.method_name = "A"; avg_error = 0.5; errors = [||];
+        avg_seconds = 0.; max_seconds = 0. };
+      { Runner.method_name = "Ref"; avg_error = 0.2; errors = [||];
+        avg_seconds = 0.; max_seconds = 0. };
+      { Runner.method_name = "B"; avg_error = 0.1; errors = [||];
+        avg_seconds = 0.; max_seconds = 0. };
+    ]
+  in
+  let diffs = Runner.error_differences ~reference:"Ref" results in
+  Alcotest.(check (list (pair string (float 1e-9))))
+    "diffs" [ ("A", 0.3); ("B", -0.1) ] diffs;
+  Alcotest.check_raises "missing reference"
+    (Invalid_argument "Runner.error_differences: no method Nope") (fun () ->
+      ignore (Runner.error_differences ~reference:"Nope" results))
+
+(* The full pipeline with a real summary: exact beats the always-zero
+   method and the summary sits in between or better. *)
+let test_runner_with_summary () =
+  let rel = known_rel () in
+  let summary = Entropydb_core.Summary.build rel ~joints:[] in
+  let w =
+    Hitters.standard (Prng.create ~seed:8 ()) rel ~attrs:[ 0; 1 ]
+      ~num_hitters:3 ~num_nulls:5
+  in
+  let methods =
+    [ Methods.exact rel; Methods.of_summary summary;
+      Methods.of_fn ~name:"Zero" (fun _ -> 0.) ]
+  in
+  let rs = Runner.run_errors_all methods ~arity:2 ~attrs:[ 0; 1 ] ~queries:w.heavy in
+  match rs with
+  | [ exact; summ; zero ] ->
+      Alcotest.(check bool) "exact best" true (exact.avg_error <= summ.avg_error);
+      Alcotest.(check bool) "summary beats zero" true
+        (summ.avg_error < zero.avg_error)
+  | _ -> Alcotest.fail "wrong result arity"
+
+let test_to_predicate () =
+  let p = Hitters.to_predicate ~arity:3 ~attrs:[ 0; 2 ] [ 1; 3 ] in
+  Alcotest.(check bool) "matches" true (Predicate.matches_row p [| 1; 9; 3 |]);
+  Alcotest.(check bool) "rejects" false (Predicate.matches_row p [| 1; 9; 2 |])
+
+let test_runner_timing_fields () =
+  let rel = known_rel () in
+  let w =
+    Hitters.standard (Prng.create ~seed:9 ()) rel ~attrs:[ 0; 1 ]
+      ~num_hitters:3 ~num_nulls:3
+  in
+  let r =
+    Runner.run_errors (Methods.exact rel) ~arity:2 ~attrs:[ 0; 1 ]
+      ~queries:w.heavy
+  in
+  Alcotest.(check bool) "avg <= max" true (r.avg_seconds <= r.max_seconds +. 1e-12);
+  Alcotest.(check bool) "times non-negative" true (r.avg_seconds >= 0.);
+  Alcotest.(check int) "one error per query" (List.length w.heavy)
+    (Array.length r.errors)
+
+let () =
+  Alcotest.run "entropydb-workload"
+    [
+      ( "metrics",
+        Alcotest.test_case "rel_error formula" `Quick test_rel_error_formula
+        :: Alcotest.test_case "F measure" `Quick test_f_measure
+        :: rel_error_props );
+      ( "hitters",
+        [
+          Alcotest.test_case "heavy/light" `Quick test_heavy_light;
+          Alcotest.test_case "nonexistent" `Quick test_nonexistent;
+          Alcotest.test_case "nonexistent exhaustion" `Quick
+            test_nonexistent_exhaustion;
+          Alcotest.test_case "to_predicate" `Quick test_to_predicate;
+        ] );
+      ( "runner",
+        [
+          Alcotest.test_case "exact method zero error" `Quick
+            test_exact_method_zero_error;
+          Alcotest.test_case "constant method" `Quick test_constant_method_error;
+          Alcotest.test_case "error differences" `Quick test_error_differences;
+          Alcotest.test_case "summary in pipeline" `Quick
+            test_runner_with_summary;
+          Alcotest.test_case "timing fields" `Quick test_runner_timing_fields;
+        ] );
+    ]
