@@ -10,7 +10,13 @@
      SCALE=full dune exec bench/main.exe    # paper-sized budgets
 
    Experiments: fig2b fig3 fig4 fig5 fig6 fig7 fig8 compression ablation
-   hierarchy costs latency. *)
+   hierarchy costs latency loadgen.
+
+   `loadgen` starts an in-process edb_server on a temp Unix-domain socket
+   and drives it with concurrent client threads (EDB_CLIENTS, default 16;
+   EDB_REQS requests each, default 300), verifying every answer against
+   the in-process Summary.estimate and reporting throughput, tail
+   latency, and the admission-control behaviour under saturation. *)
 
 open Edb_util
 open Edb_experiments
@@ -134,6 +140,232 @@ let latency config =
   [ table ]
 
 (* ------------------------------------------------------------------ *)
+(* Server load generator                                               *)
+(* ------------------------------------------------------------------ *)
+
+(* Serving throughput and tail latency, the numbers the paper's
+   "interactive" claim is actually about once the summary lives in a
+   daemon instead of being rebuilt per invocation. *)
+let loadgen config =
+  let module Server = Edb_server.Server in
+  let module Client = Edb_server.Client in
+  (* Saturation-phase clients race server-side closes; EPIPE must surface
+     as write errors, not kill the benchmark. *)
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  let int_env name default =
+    match Sys.getenv_opt name with
+    | Some v -> ( match int_of_string_opt v with Some i -> i | None -> default)
+    | None -> default
+  in
+  let num_clients = int_env "EDB_CLIENTS" 16 in
+  let reqs_per_client = int_env "EDB_REQS" 300 in
+  let workers = int_env "EDB_WORKERS" (max 16 num_clients) in
+  (* A small but real summary: flights-coarse with one 2D pair. *)
+  let rel =
+    (Edb_datagen.Flights.generate ~rows:20_000 ~seed:config.Config.seed ())
+      .coarse
+  in
+  let pairs =
+    Edb_select.Pairs.select ~strategy:Edb_select.Pairs.By_cover ~budget:1 rel
+  in
+  let joints =
+    List.concat_map
+      (fun (a, b) ->
+        Edb_select.Heuristic.select Edb_select.Heuristic.Composite rel
+          ~attr1:a ~attr2:b ~budget:80)
+      pairs
+  in
+  let summary = Entropydb_core.Summary.build rel ~joints in
+  let dir = Filename.temp_file "edb-loadgen" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o700;
+  let summary_path = Filename.concat dir "flights.summary" in
+  Entropydb_core.Serialize.save summary summary_path;
+  (* Query pool: range counts over the flights schema, as SQL, with the
+     expected answer computed in-process. *)
+  let module F = Edb_datagen.Flights in
+  let schema = Edb_storage.Relation.schema rel in
+  let arity = Edb_storage.Schema.arity schema in
+  let rng = Prng.create ~seed:(config.Config.seed + 77) () in
+  let pool =
+    List.init 64 (fun _ ->
+        let span attr =
+          let size = Edb_storage.Schema.domain_size schema attr in
+          let lo = Prng.int rng size in
+          let hi = min (size - 1) (lo + 1 + Prng.int rng (size / 2)) in
+          (lo, hi)
+        in
+        let t_lo, t_hi = span F.fl_time in
+        let d_lo, d_hi = span F.distance in
+        let sql =
+          Printf.sprintf
+            "SELECT COUNT(*) FROM f WHERE fl_time IN [%d,%d] AND distance \
+             IN [%d,%d]"
+            t_lo t_hi d_lo d_hi
+        in
+        let predicate =
+          Edb_storage.Predicate.of_alist ~arity
+            [
+              (F.fl_time, Ranges.interval t_lo t_hi);
+              (F.distance, Ranges.interval d_lo d_hi);
+            ]
+        in
+        (sql, Entropydb_core.Summary.estimate summary predicate))
+  in
+  let pool = Array.of_list pool in
+  let socket = Filename.concat dir "edb.sock" in
+  let server =
+    Server.create
+      {
+        Server.default_config with
+        unix_socket = Some socket;
+        workers;
+        queue_depth = num_clients;
+      }
+  in
+  (match
+     Edb_server.Catalog.load (Server.catalog server) ~name:"flights"
+       ~path:summary_path
+   with
+  | Ok _ -> ()
+  | Error m -> failwith m);
+  Server.start server;
+  Printf.printf
+    "loadgen: %d clients x %d requests against %d workers on unix:%s\n%!"
+    num_clients reqs_per_client workers socket;
+  let wrong = Atomic.make 0 and failures = Atomic.make 0 in
+  let latencies =
+    Array.init num_clients (fun _ -> Array.make reqs_per_client nan)
+  in
+  let client_thread c =
+    match Client.connect (Client.Unix_socket socket) with
+    | Error m ->
+        Printf.eprintf "client %d: %s\n%!" c m;
+        Atomic.incr failures
+    | Ok conn ->
+        for k = 0 to reqs_per_client - 1 do
+          let sql, expected = pool.((c + (k * num_clients)) mod Array.length pool) in
+          let t0 = Timing.now_s () in
+          (match Client.query conn ~name:"flights" ~sql with
+          | Error m ->
+              Printf.eprintf "client %d: %s\n%!" c m;
+              Atomic.incr failures
+          | Ok payload -> (
+              match Client.estimate_of_payload payload with
+              | Some v
+                when Float.abs (v -. expected)
+                     <= 1e-9 *. (1. +. Float.abs expected) ->
+                  ()
+              | _ -> Atomic.incr wrong));
+          latencies.(c).(k) <- Timing.now_s () -. t0
+        done;
+        ignore (Client.quit conn)
+  in
+  let t0 = Timing.now_s () in
+  let threads =
+    List.init num_clients (fun c -> Thread.create client_thread c)
+  in
+  List.iter Thread.join threads;
+  let wall = Timing.now_s () -. t0 in
+  let all =
+    Array.concat (Array.to_list latencies)
+    |> Array.to_seq
+    |> Seq.filter (fun x -> not (Float.is_nan x))
+    |> Array.of_seq
+  in
+  Array.sort compare all;
+  let pct p =
+    if Array.length all = 0 then nan
+    else
+      all.(min (Array.length all - 1)
+             (int_of_float (p *. float_of_int (Array.length all))))
+  in
+  let total = num_clients * reqs_per_client in
+  (* Saturation phase: more clients than workers+queue admits; the excess
+     must be rejected fast with ERR busy, never queued indefinitely. *)
+  let sat_server =
+    Server.create
+      {
+        Server.default_config with
+        unix_socket = Some (Filename.concat dir "edb-sat.sock");
+        workers = 2;
+        queue_depth = 1;
+      }
+  in
+  (match
+     Edb_server.Catalog.load (Server.catalog sat_server) ~name:"flights"
+       ~path:summary_path
+   with
+  | Ok _ -> ()
+  | Error m -> failwith m);
+  Server.start sat_server;
+  let busy = Atomic.make 0 and served = Atomic.make 0 in
+  let sat_thread _ =
+    for _ = 1 to 20 do
+      match Client.connect (Client.Unix_socket (Filename.concat dir "edb-sat.sock")) with
+      | Error _ -> Atomic.incr busy (* connect refused under pressure *)
+      | Ok conn ->
+          (match Client.query conn ~name:"flights" ~sql:(fst pool.(0)) with
+          | Ok _ -> Atomic.incr served
+          | Error _ -> Atomic.incr busy);
+          Client.close conn
+    done
+  in
+  let sat_threads = List.init 12 (fun c -> Thread.create sat_thread c) in
+  List.iter Thread.join sat_threads;
+  Server.stop sat_server;
+  Server.wait sat_server;
+  (* Server-side view, then shut down. *)
+  let stats_lines =
+    match Client.connect (Client.Unix_socket socket) with
+    | Error _ -> []
+    | Ok conn ->
+        let lines =
+          match Client.stats conn with Ok l -> l | Error _ -> []
+        in
+        ignore (Client.quit conn);
+        lines
+  in
+  Server.stop server;
+  Server.wait server;
+  (try Sys.remove summary_path with Sys_error _ -> ());
+  (try Unix.rmdir dir with Unix.Unix_error _ -> ());
+  let table =
+    Table.create ~title:"Server load generation (edb_server over unix socket)"
+      ~headers:[ "metric"; "value" ]
+      ~aligns:[ Table.Left; Table.Right ] ()
+  in
+  let add k v = Table.add_row table [ k; v ] in
+  add "clients" (string_of_int num_clients);
+  add "requests" (string_of_int total);
+  add "wrong answers" (string_of_int (Atomic.get wrong));
+  add "transport failures" (string_of_int (Atomic.get failures));
+  add "wall time" (Printf.sprintf "%.2f s" wall);
+  add "throughput" (Printf.sprintf "%.0f req/s" (float_of_int total /. wall));
+  add "p50 latency" (Printf.sprintf "%.1f us" (pct 0.50 *. 1e6));
+  add "p95 latency" (Printf.sprintf "%.1f us" (pct 0.95 *. 1e6));
+  add "p99 latency" (Printf.sprintf "%.1f us" (pct 0.99 *. 1e6));
+  add "saturation served" (string_of_int (Atomic.get served));
+  add "saturation busy rejects" (string_of_int (Atomic.get busy));
+  let stats_table =
+    Table.create ~title:"Server-side STATS after the run"
+      ~headers:[ "stat"; "value" ]
+      ~aligns:[ Table.Left; Table.Right ] ()
+  in
+  List.iter
+    (fun line ->
+      match String.index_opt line ' ' with
+      | Some i ->
+          Table.add_row stats_table
+            [
+              String.sub line 0 i;
+              String.sub line (i + 1) (String.length line - i - 1);
+            ]
+      | None -> Table.add_row stats_table [ line; "" ])
+    stats_lines;
+  [ table; stats_table ]
+
+(* ------------------------------------------------------------------ *)
 (* Driver                                                              *)
 (* ------------------------------------------------------------------ *)
 
@@ -151,6 +383,7 @@ let experiments config =
     ("hierarchy", fun () -> Figures.hierarchy config);
     ("costs", fun () -> Figures.build_costs (get_lab config));
     ("latency", fun () -> latency config);
+    ("loadgen", fun () -> loadgen config);
   ]
 
 let () =

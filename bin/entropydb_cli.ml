@@ -5,6 +5,8 @@
      build       compute a MaxEnt summary from a dataset and save it
      query       answer SQL against a saved summary (optionally vs exact)
      info        inspect a saved summary
+     serve       run the resident summary server (lib/server)
+     client      talk to a running server
      experiment  regenerate one of the paper's figures
 
    The CLI works on the two built-in dataset families (flights, particles)
@@ -214,9 +216,19 @@ let build_cmd =
 (* query                                                               *)
 (* ------------------------------------------------------------------ *)
 
+let conjunctive_exn c =
+  match Edb_query.Translate.conjunctive c with
+  | Some p -> p
+  | None -> failwith "OR predicates are not supported with SUM/AVG/GROUP BY"
+
 let query_cmd =
   let run verbose summary_path sql exact_csv dataset =
     setup_logs verbose;
+    (* Everything under here may raise (bad summary files, SUM/AVG over OR,
+       categorical SUM via bin midpoints, >10 disjuncts in
+       inclusion-exclusion): turn any of it into a one-line diagnostic and
+       a non-zero exit instead of an uncaught exception. *)
+    try
     let summary = Entropydb_core.Serialize.load summary_path in
     let schema = Entropydb_core.Summary.schema summary in
     match Edb_query.Translate.compile_string schema sql with
@@ -225,7 +237,7 @@ let query_cmd =
         1
     | Ok ({ aggregate = Edb_query.Translate.Sum attr; _ } as c) ->
         let predicate =
-          Option.get (Edb_query.Translate.conjunctive c)
+          conjunctive_exn c
         in
         let est = Entropydb_core.Summary.estimate_sum summary ~attr predicate in
         let sd =
@@ -239,7 +251,7 @@ let query_cmd =
         | _ -> ());
         0
     | Ok ({ aggregate = Edb_query.Translate.Avg attr; _ } as c) ->
-        let predicate = Option.get (Edb_query.Translate.conjunctive c) in
+        let predicate = conjunctive_exn c in
         (match Entropydb_core.Summary.estimate_avg summary ~attr predicate with
         | Some est -> Printf.printf "estimate: %.4f\n" est
         | None -> Printf.printf "estimate: undefined (expected count 0)\n");
@@ -262,7 +274,7 @@ let query_cmd =
         | _ -> ());
         0
     | Ok ({ group_attrs; order; limit; _ } as c) ->
-        let predicate = Option.get (Edb_query.Translate.conjunctive c) in
+        let predicate = conjunctive_exn c in
         let groups =
           Entropydb_core.Summary.estimate_groups summary ~attrs:group_attrs
             predicate
@@ -296,6 +308,13 @@ let query_cmd =
               sd)
           groups;
         0
+    with
+    | Entropydb_core.Serialize.Format_error m ->
+        Fmt.epr "query error: %s: %s@." summary_path m;
+        1
+    | Sys_error m | Failure m | Invalid_argument m ->
+        Fmt.epr "query error: %s@." m;
+        1
   in
   let summary_t =
     Arg.(
@@ -472,6 +491,205 @@ let evaluate_cmd =
       $ buckets_t $ rate_t $ hitters_t)
 
 (* ------------------------------------------------------------------ *)
+(* serve / client                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let socket_t =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "socket" ] ~docv:"PATH" ~doc:"Unix-domain socket path.")
+
+let tcp_host_t =
+  Arg.(
+    value & opt string "127.0.0.1"
+    & info [ "tcp-host" ] ~docv:"HOST" ~doc:"TCP host (with --tcp-port).")
+
+let tcp_port_t =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "tcp-port" ] ~docv:"PORT" ~doc:"TCP port to listen/connect on.")
+
+let serve_cmd =
+  let run verbose socket tcp_host tcp_port workers queue deadline idle
+      catalog_capacity cache_capacity preload =
+    setup_logs verbose;
+    let tcp = Option.map (fun p -> (tcp_host, p)) tcp_port in
+    if socket = None && tcp = None then begin
+      Fmt.epr "serve: need --socket and/or --tcp-port@.";
+      2
+    end
+    else begin
+      let config =
+        {
+          Edb_server.Server.unix_socket = socket;
+          tcp;
+          workers;
+          queue_depth = queue;
+          request_deadline = deadline;
+          idle_timeout = idle;
+          catalog_capacity;
+          cache_capacity;
+        }
+      in
+      let server = Edb_server.Server.create config in
+      let catalog = Edb_server.Server.catalog server in
+      let bad_preload =
+        List.filter_map
+          (fun spec ->
+            match String.index_opt spec '=' with
+            | None -> Some (spec ^ ": expected NAME=PATH")
+            | Some i -> (
+                let name = String.sub spec 0 i in
+                let path =
+                  String.sub spec (i + 1) (String.length spec - i - 1)
+                in
+                match Edb_server.Catalog.load catalog ~name ~path with
+                | Ok _ ->
+                    Printf.printf "loaded %s from %s\n%!" name path;
+                    None
+                | Error m -> Some (name ^ ": " ^ m)))
+          preload
+      in
+      match bad_preload with
+      | _ :: _ ->
+          List.iter (fun m -> Fmt.epr "serve: %s@." m) bad_preload;
+          1
+      | [] ->
+          (* Blocks until SIGINT/SIGTERM, then drains and returns. *)
+          Edb_server.Server.run server;
+          0
+    end
+  in
+  let workers_t =
+    Arg.(
+      value & opt int Edb_server.Server.default_config.workers
+      & info [ "workers" ] ~docv:"N" ~doc:"Worker threads.")
+  in
+  let queue_t =
+    Arg.(
+      value & opt int Edb_server.Server.default_config.queue_depth
+      & info [ "queue" ] ~docv:"N"
+          ~doc:"Pending connections beyond the workers before ERR busy.")
+  in
+  let deadline_t =
+    Arg.(
+      value & opt float Edb_server.Server.default_config.request_deadline
+      & info [ "deadline" ] ~docv:"SECONDS"
+          ~doc:"Per-request deadline; 0 disables.")
+  in
+  let idle_t =
+    Arg.(
+      value & opt float Edb_server.Server.default_config.idle_timeout
+      & info [ "idle-timeout" ] ~docv:"SECONDS"
+          ~doc:"Close connections quiet for this long.")
+  in
+  let catalog_t =
+    Arg.(
+      value & opt int Edb_server.Server.default_config.catalog_capacity
+      & info [ "catalog-capacity" ] ~docv:"N"
+          ~doc:"Resident summaries (LRU beyond this).")
+  in
+  let cache_t =
+    Arg.(
+      value & opt int Edb_server.Server.default_config.cache_capacity
+      & info [ "cache-capacity" ] ~docv:"N"
+          ~doc:"Per-summary query-cache entries.")
+  in
+  let preload_t =
+    Arg.(
+      value & opt_all string []
+      & info [ "load" ] ~docv:"NAME=PATH"
+          ~doc:"Preload a summary into the catalog (repeatable).")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the resident summary server until SIGINT/SIGTERM (graceful \
+          drain).")
+    Term.(
+      const run $ verbose_t $ socket_t $ tcp_host_t $ tcp_port_t $ workers_t
+      $ queue_t $ deadline_t $ idle_t $ catalog_t $ cache_t $ preload_t)
+
+let client_cmd =
+  let run verbose socket tcp_host tcp_port timeout words =
+    setup_logs verbose;
+    let address =
+      match (socket, tcp_port) with
+      | Some path, _ -> Some (Edb_server.Client.Unix_socket path)
+      | None, Some port -> Some (Edb_server.Client.Tcp (tcp_host, port))
+      | None, None -> None
+    in
+    match address with
+    | None ->
+        Fmt.epr "client: need --socket or --tcp-port@.";
+        2
+    | Some address -> (
+        match Edb_server.Client.connect ~timeout address with
+        | Error m ->
+            Fmt.epr "client: %s@." m;
+            1
+        | Ok conn ->
+            let send line =
+              match Edb_server.Protocol.parse_request line with
+              | Error m ->
+                  Fmt.epr "bad request: %s@." m;
+                  (1, true)
+              | Ok request -> (
+                  match Edb_server.Client.request conn request with
+                  | Error m ->
+                      Fmt.epr "client: %s@." m;
+                      (1, false)
+                  | Ok (Edb_server.Protocol.Err { code; message }) ->
+                      Fmt.epr "ERR %s %s@." code message;
+                      (1, code <> Edb_server.Protocol.err_busy)
+                  | Ok (Edb_server.Protocol.Ok payload) ->
+                      List.iter print_endline payload;
+                      (0, request <> Edb_server.Protocol.Quit))
+            in
+            let rc =
+              match words with
+              | _ :: _ -> fst (send (String.concat " " words))
+              | [] ->
+                  (* REPL: one request per stdin line until EOF or QUIT. *)
+                  let rc = ref 0 in
+                  (try
+                     let continue = ref true in
+                     while !continue do
+                       let line = input_line stdin in
+                       if String.trim line <> "" then begin
+                         let code, keep = send line in
+                         rc := max !rc code;
+                         continue := keep
+                       end
+                     done
+                   with End_of_file -> ());
+                  !rc
+            in
+            Edb_server.Client.close conn;
+            rc)
+  in
+  let timeout_t =
+    Arg.(
+      value & opt float 30.
+      & info [ "timeout" ] ~docv:"SECONDS" ~doc:"Receive timeout.")
+  in
+  let words_t =
+    Arg.(
+      value & pos_all string []
+      & info [] ~docv:"REQUEST"
+          ~doc:
+            "Protocol request, e.g. $(b,QUERY flights SELECT COUNT( * ) \
+             ...); reads requests from stdin when omitted.")
+  in
+  Cmd.v
+    (Cmd.info "client" ~doc:"Send requests to a running summary server.")
+    Term.(
+      const run $ verbose_t $ socket_t $ tcp_host_t $ tcp_port_t $ timeout_t
+      $ words_t)
+
+(* ------------------------------------------------------------------ *)
 (* experiment                                                          *)
 (* ------------------------------------------------------------------ *)
 
@@ -533,6 +751,6 @@ let () =
     (Cmd.eval'
        (Cmd.group info
           [
-            generate_cmd; build_cmd; query_cmd; info_cmd; evaluate_cmd;
-            experiment_cmd;
+            generate_cmd; build_cmd; query_cmd; info_cmd; serve_cmd;
+            client_cmd; evaluate_cmd; experiment_cmd;
           ]))

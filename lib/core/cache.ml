@@ -9,7 +9,14 @@
    with their interval lists), so structurally equal predicates hit
    regardless of construction order.  Eviction is batched: when the table
    exceeds capacity, the least recently used ~10% of entries are dropped
-   in one sweep, keeping bookkeeping O(1) per query. *)
+   in one sweep, keeping bookkeeping O(1) per query.
+
+   A cache is shared by all worker threads serving one catalog entry
+   (lib/server), so every operation that touches the table or the
+   counters runs under the cache's mutex.  The summary evaluation on a
+   miss happens outside the lock: concurrent misses on the same key both
+   evaluate (the value is deterministic, so last-write-wins is safe) and
+   the lock is never held across polynomial work. *)
 
 open Edb_storage
 
@@ -21,9 +28,11 @@ type t = {
   summary : Summary.t;
   capacity : int;
   table : (key, entry) Hashtbl.t;
+  lock : Mutex.t;
   mutable tick : int;
   mutable hits : int;
   mutable misses : int;
+  mutable evictions : int;
 }
 
 let create ?(capacity = 4096) summary =
@@ -32,10 +41,16 @@ let create ?(capacity = 4096) summary =
     summary;
     capacity;
     table = Hashtbl.create (2 * capacity);
+    lock = Mutex.create ();
     tick = 0;
     hits = 0;
     misses = 0;
+    evictions = 0;
   }
+
+let with_lock t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
 
 let key_of_predicate pred : key =
   List.map
@@ -45,6 +60,7 @@ let key_of_predicate pred : key =
       | None -> assert false)
     (Predicate.restricted_attrs pred)
 
+(* Caller holds the lock. *)
 let evict t =
   (* Drop the oldest ~10% by last_used. *)
   let entries =
@@ -53,31 +69,54 @@ let evict t =
   let sorted = List.sort compare entries in
   let to_drop = max 1 (t.capacity / 10) in
   List.iteri
-    (fun i (_, k) -> if i < to_drop then Hashtbl.remove t.table k)
+    (fun i (_, k) ->
+      if i < to_drop then begin
+        Hashtbl.remove t.table k;
+        t.evictions <- t.evictions + 1
+      end)
     sorted
 
 let estimate t pred =
   let key = key_of_predicate pred in
-  t.tick <- t.tick + 1;
-  match Hashtbl.find_opt t.table key with
-  | Some entry ->
-      entry.last_used <- t.tick;
-      t.hits <- t.hits + 1;
-      entry.value
+  let cached =
+    with_lock t (fun () ->
+        t.tick <- t.tick + 1;
+        match Hashtbl.find_opt t.table key with
+        | Some entry ->
+            entry.last_used <- t.tick;
+            t.hits <- t.hits + 1;
+            Some entry.value
+        | None ->
+            t.misses <- t.misses + 1;
+            None)
+  in
+  match cached with
+  | Some value -> value
   | None ->
-      t.misses <- t.misses + 1;
       let value = Summary.estimate t.summary pred in
-      if Hashtbl.length t.table >= t.capacity then evict t;
-      Hashtbl.replace t.table key { value; last_used = t.tick };
+      with_lock t (fun () ->
+          if
+            (not (Hashtbl.mem t.table key))
+            && Hashtbl.length t.table >= t.capacity
+          then evict t;
+          Hashtbl.replace t.table key { value; last_used = t.tick });
       value
 
-type stats = { hits : int; misses : int; entries : int }
+type stats = { hits : int; misses : int; entries : int; evictions : int }
 
 let stats (t : t) =
-  { hits = t.hits; misses = t.misses; entries = Hashtbl.length t.table }
+  with_lock t (fun () ->
+      {
+        hits = t.hits;
+        misses = t.misses;
+        entries = Hashtbl.length t.table;
+        evictions = t.evictions;
+      })
 
 let clear t =
-  Hashtbl.reset t.table;
-  t.hits <- 0;
-  t.misses <- 0;
-  t.tick <- 0
+  with_lock t (fun () ->
+      Hashtbl.reset t.table;
+      t.hits <- 0;
+      t.misses <- 0;
+      t.evictions <- 0;
+      t.tick <- 0)

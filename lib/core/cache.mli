@@ -1,7 +1,11 @@
 (** LRU cache in front of a summary's count estimation — repeat queries
     from interactive front ends become hash lookups.  Keys are canonical
     predicate forms; eviction drops the least-recent ~10% when capacity is
-    reached. *)
+    reached.
+
+    Thread-safe: lookups, inserts, and counters are mutex-guarded, so one
+    cache may be shared by concurrent server workers.  The underlying
+    summary evaluation runs outside the lock. *)
 
 open Edb_storage
 
@@ -13,7 +17,7 @@ val create : ?capacity:int -> Summary.t -> t
 val estimate : t -> Predicate.t -> float
 (** Same value as {!Summary.estimate}; cached. *)
 
-type stats = { hits : int; misses : int; entries : int }
+type stats = { hits : int; misses : int; entries : int; evictions : int }
 
 val stats : t -> stats
 val clear : t -> unit

@@ -1,0 +1,148 @@
+(* The server's directory of resident summaries.
+
+   Summaries are built offline (`entropydb build`) and loaded by name from
+   disk via Core.Serialize.  The catalog keeps at most [capacity] of them
+   resident — an LRU over whole summaries, one level above the per-summary
+   query cache — because a deployment may serve many datasets whose
+   summaries together exceed memory even though each is tiny relative to
+   its base data.
+
+   Thread-safety: the table, LRU clock, and counters are mutex-guarded.
+   Deserialization (the expensive part) runs outside the lock, so a slow
+   LOAD never blocks queries against already-resident summaries; if two
+   threads race to load the same name, both deserialize and the later
+   insert wins, which is safe because summaries are immutable. *)
+
+open Entropydb_core
+
+type entry = {
+  name : string;
+  path : string;
+  summary : Summary.t;
+  cache : Cache.t;
+  mutable last_used : int;
+}
+
+type stats = {
+  resident : int;
+  capacity : int;
+  hits : int;
+  misses : int;
+  loads : int;
+  evictions : int;
+}
+
+type t = {
+  capacity : int;
+  cache_capacity : int;
+  table : (string, entry) Hashtbl.t;
+  lock : Mutex.t;
+  mutable tick : int;
+  mutable hits : int;
+  mutable misses : int;
+  mutable loads : int;
+  mutable evictions : int;
+}
+
+let create ?(capacity = 8) ?(cache_capacity = 4096) () =
+  if capacity < 1 then invalid_arg "Catalog.create: capacity must be positive";
+  {
+    capacity;
+    cache_capacity;
+    table = Hashtbl.create 16;
+    lock = Mutex.create ();
+    tick = 0;
+    hits = 0;
+    misses = 0;
+    loads = 0;
+    evictions = 0;
+  }
+
+let with_lock t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+(* Caller holds the lock. *)
+let evict_lru t =
+  while Hashtbl.length t.table > t.capacity do
+    let victim =
+      Hashtbl.fold
+        (fun _ e acc ->
+          match acc with
+          | Some best when best.last_used <= e.last_used -> acc
+          | _ -> Some e)
+        t.table None
+    in
+    match victim with
+    | None -> ()
+    | Some e ->
+        Hashtbl.remove t.table e.name;
+        t.evictions <- t.evictions + 1
+  done
+
+let load t ~name ~path =
+  match Serialize.load path with
+  | exception Serialize.Format_error m ->
+      Error (Printf.sprintf "%s: bad summary file: %s" path m)
+  | exception Sys_error m -> Error m
+  | summary ->
+      let entry =
+        {
+          name;
+          path;
+          summary;
+          cache = Cache.create ~capacity:t.cache_capacity summary;
+          last_used = 0;
+        }
+      in
+      with_lock t (fun () ->
+          t.tick <- t.tick + 1;
+          entry.last_used <- t.tick;
+          t.loads <- t.loads + 1;
+          Hashtbl.replace t.table name entry;
+          evict_lru t);
+      Ok entry
+
+let find t name =
+  with_lock t (fun () ->
+      t.tick <- t.tick + 1;
+      match Hashtbl.find_opt t.table name with
+      | Some entry ->
+          entry.last_used <- t.tick;
+          t.hits <- t.hits + 1;
+          Some entry
+      | None ->
+          t.misses <- t.misses + 1;
+          None)
+
+let evict t name =
+  with_lock t (fun () ->
+      if Hashtbl.mem t.table name then begin
+        Hashtbl.remove t.table name;
+        t.evictions <- t.evictions + 1;
+        true
+      end
+      else false)
+
+let entries t =
+  with_lock t (fun () ->
+      Hashtbl.fold (fun _ e acc -> e :: acc) t.table []
+      |> List.sort (fun a b -> compare a.name b.name))
+
+let cache_stats t =
+  List.fold_left
+    (fun (h, m, e) entry ->
+      let s = Cache.stats entry.cache in
+      (h + s.Cache.hits, m + s.Cache.misses, e + s.Cache.evictions))
+    (0, 0, 0) (entries t)
+
+let stats t =
+  with_lock t (fun () ->
+      {
+        resident = Hashtbl.length t.table;
+        capacity = t.capacity;
+        hits = t.hits;
+        misses = t.misses;
+        loads = t.loads;
+        evictions = t.evictions;
+      })

@@ -1,0 +1,53 @@
+(** Directory of resident summaries, keyed by name.
+
+    At most [capacity] summaries stay loaded (LRU eviction over whole
+    summaries); each resident summary is fronted by its own thread-safe
+    {!Entropydb_core.Cache}.  All operations are safe to call from
+    concurrent server workers; deserialization happens outside the lock. *)
+
+open Entropydb_core
+
+type entry = {
+  name : string;
+  path : string;
+  summary : Summary.t;
+  cache : Cache.t;
+  mutable last_used : int;  (** LRU clock value; managed by the catalog *)
+}
+
+type stats = {
+  resident : int;
+  capacity : int;
+  hits : int;  (** {!find} results that were resident *)
+  misses : int;
+  loads : int;
+  evictions : int;
+}
+
+type t
+
+val create : ?capacity:int -> ?cache_capacity:int -> unit -> t
+(** [capacity] bounds the resident set (default 8); [cache_capacity] sizes
+    each entry's query cache (default 4096).  Raises on non-positive
+    capacity. *)
+
+val load : t -> name:string -> path:string -> (entry, string) result
+(** Deserialize [path] and make it resident under [name], evicting the
+    least-recently-used entries beyond capacity.  Replaces any previous
+    summary of the same name. *)
+
+val find : t -> string -> entry option
+(** Resident lookup; bumps the entry's LRU position and the hit/miss
+    counters.  Never touches the disk. *)
+
+val evict : t -> string -> bool
+(** Drop a summary by name; [false] if it was not resident. *)
+
+val entries : t -> entry list
+(** Resident entries, sorted by name. *)
+
+val cache_stats : t -> int * int * int
+(** Summed (hits, misses, evictions) over all resident entries' query
+    caches. *)
+
+val stats : t -> stats

@@ -1,0 +1,119 @@
+(* Blocking client for the summary server.
+
+   One socket, synchronous request/response — exactly what the CLI, the
+   tests, and one load-generator thread need.  Every call is bounded by a
+   receive timeout so a wedged server yields an error, never a hang. *)
+
+type address = Unix_socket of string | Tcp of string * int
+
+type t = { fd : Unix.file_descr; ic : in_channel; timeout : float }
+
+let pp_address ppf = function
+  | Unix_socket p -> Format.fprintf ppf "unix:%s" p
+  | Tcp (h, p) -> Format.fprintf ppf "tcp:%s:%d" h p
+
+let connect ?(timeout = 30.) address =
+  match
+    let domain =
+      match address with
+      | Unix_socket _ -> Unix.PF_UNIX
+      | Tcp _ -> Unix.PF_INET
+    in
+    let fd = Unix.socket ~cloexec:true domain Unix.SOCK_STREAM 0 in
+    let addr =
+      match address with
+      | Unix_socket path -> Unix.ADDR_UNIX path
+      | Tcp (host, port) ->
+          let ip =
+            try (Unix.gethostbyname host).Unix.h_addr_list.(0)
+            with Not_found -> Unix.inet_addr_of_string host
+          in
+          Unix.ADDR_INET (ip, port)
+    in
+    (try Unix.connect fd addr
+     with e ->
+       (try Unix.close fd with Unix.Unix_error _ -> ());
+       raise e);
+    (try Unix.setsockopt_float fd Unix.SO_RCVTIMEO timeout
+     with Unix.Unix_error _ -> ());
+    { fd; ic = Unix.in_channel_of_descr fd; timeout }
+  with
+  | client -> Ok client
+  | exception Unix.Unix_error (e, _, _) ->
+      Error (Format.asprintf "connect %a: %s" pp_address address (Unix.error_message e))
+  | exception e -> Error (Printexc.to_string e)
+
+let close t =
+  try Unix.close t.fd with Unix.Unix_error _ | Sys_error _ -> ()
+
+let write_all t s =
+  let b = Bytes.of_string s in
+  let n = Bytes.length b in
+  let off = ref 0 in
+  while !off < n do
+    off := !off + Unix.write t.fd b !off (n - !off)
+  done
+
+let input_line_timeout t =
+  (* SO_RCVTIMEO makes the underlying read fail with EAGAIN, surfacing
+     from in_channel as Sys_error/Sys_blocked_io rather than blocking. *)
+  match input_line t.ic with
+  | line -> Ok line
+  | exception End_of_file -> Error "connection closed by server"
+  | exception Sys_blocked_io ->
+      Error (Printf.sprintf "timed out after %.1fs" t.timeout)
+  | exception Sys_error m -> Error m
+  | exception Unix.Unix_error (e, _, _) -> Error (Unix.error_message e)
+
+let request t req =
+  match write_all t (Protocol.print_request req ^ "\n") with
+  | exception Unix.Unix_error (e, _, _) -> Error (Unix.error_message e)
+  | exception Sys_error m -> Error m
+  | () -> (
+      match input_line_timeout t with
+      | Error _ as e -> e
+      | Ok header -> (
+          match Protocol.parse_header header with
+          | Error m -> Error ("bad response: " ^ m)
+          | Ok (Protocol.Error_line { code; message }) ->
+              Ok (Protocol.Err { code; message })
+          | Ok (Protocol.Payload k) ->
+              let rec gather acc i =
+                if i = 0 then Ok (Protocol.Ok (List.rev acc))
+                else
+                  match input_line_timeout t with
+                  | Error _ as e -> e
+                  | Ok line -> gather (line :: acc) (i - 1)
+              in
+              gather [] k))
+
+(* ------------------------------------------------------------------ *)
+(* Convenience wrappers                                                *)
+(* ------------------------------------------------------------------ *)
+
+let expect_ok = function
+  | Ok (Protocol.Ok payload) -> Ok payload
+  | Ok (Protocol.Err { code; message }) ->
+      Error (Printf.sprintf "%s: %s" code message)
+  | Error _ as e -> e
+
+let hello t = expect_ok (request t (Protocol.Hello Protocol.version))
+let ping t = expect_ok (request t Protocol.Ping)
+let list t = expect_ok (request t Protocol.List)
+let stats t = expect_ok (request t Protocol.Stats)
+let load t ~name ~path = expect_ok (request t (Protocol.Load { name; path }))
+let query t ~name ~sql = expect_ok (request t (Protocol.Query { name; sql }))
+
+let quit t =
+  let r = expect_ok (request t Protocol.Quit) in
+  close t;
+  r
+
+(* Pull "estimate <v>" out of a QUERY payload. *)
+let estimate_of_payload payload =
+  List.find_map
+    (fun line ->
+      match String.split_on_char ' ' line with
+      | [ "estimate"; v ] -> float_of_string_opt v
+      | _ -> None)
+    payload

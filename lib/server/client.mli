@@ -1,0 +1,34 @@
+(** Blocking summary-server client: one socket, synchronous
+    request/response, receive-timeout bounded.  Used by the CLI
+    ([entropydb client]), the tests, and each load-generator thread. *)
+
+type address = Unix_socket of string | Tcp of string * int
+
+type t
+
+val pp_address : Format.formatter -> address -> unit
+
+val connect : ?timeout:float -> address -> (t, string) result
+(** [timeout] (default 30 s) bounds every subsequent read. *)
+
+val close : t -> unit
+
+val request : t -> Protocol.request -> (Protocol.response, string) result
+(** [Error] is a transport failure (connect/read/write/timeout); protocol
+    errors come back as [Ok (Err _)]. *)
+
+(** {2 Convenience wrappers} — flatten protocol errors into [Error
+    "code: message"] and return the payload lines. *)
+
+val hello : t -> (string list, string) result
+val ping : t -> (string list, string) result
+val list : t -> (string list, string) result
+val stats : t -> (string list, string) result
+val load : t -> name:string -> path:string -> (string list, string) result
+val query : t -> name:string -> sql:string -> (string list, string) result
+
+val quit : t -> (string list, string) result
+(** Sends QUIT and closes the socket regardless of the reply. *)
+
+val estimate_of_payload : string list -> float option
+(** The value of the [estimate <v>] line of a QUERY payload, if any. *)

@@ -1,0 +1,229 @@
+(* Request execution: a parsed Protocol.request against the catalog.
+
+   This is the server's brain, kept free of sockets and threads so the
+   whole command surface is unit-testable in-process.  SQL handling
+   mirrors `entropydb query`: compile against the summary's schema, then
+   dispatch on aggregate/grouping.  Every failure mode — parse errors,
+   unknown summaries, unsupported query shapes, evaluation exceptions —
+   becomes a protocol error reply; nothing may escape as an exception,
+   because one request must never take down a worker or its connection.
+
+   Plain conjunctive COUNT queries (the interactive-exploration hot path)
+   go through the entry's shared Cache; everything else evaluates the
+   summary directly. *)
+
+open Edb_storage
+open Entropydb_core
+module T = Edb_query.Translate
+
+let float_str v = Printf.sprintf "%.17g" v
+
+let err code fmt =
+  Printf.ksprintf (fun message -> Protocol.Err { code; message }) fmt
+
+(* ------------------------------------------------------------------ *)
+(* SQL execution                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let group_lines summary schema (c : T.compiled) predicate =
+  let groups =
+    Summary.estimate_groups summary ~attrs:c.group_attrs predicate
+  in
+  let groups =
+    match c.order with
+    | Some Edb_query.Ast.Asc ->
+        List.sort (fun (_, a) (_, b) -> compare a b) groups
+    | _ -> List.sort (fun (_, a) (_, b) -> compare b a) groups
+  in
+  let groups =
+    match c.limit with
+    | Some k -> List.filteri (fun i _ -> i < k) groups
+    | None -> groups
+  in
+  List.map
+    (fun (values, est) ->
+      let labels =
+        List.map2
+          (fun attr v -> Domain.label (Schema.domain schema attr) v)
+          c.group_attrs values
+      in
+      let group_pred =
+        List.fold_left2
+          (fun p attr v ->
+            Predicate.restrict p attr (Edb_util.Ranges.singleton v))
+          predicate c.group_attrs values
+      in
+      let sd = Summary.stddev summary group_pred in
+      (* Labels go last: they may contain spaces. *)
+      Printf.sprintf "group %s %s %s" (float_str est) (float_str sd)
+        (String.concat "," labels))
+    groups
+
+let run_sql (entry : Catalog.entry) sql =
+  let summary = entry.Catalog.summary in
+  let schema = Summary.schema summary in
+  match T.compile_string schema sql with
+  | Error e -> err Protocol.err_parse "%s" e.T.message
+  | Ok c -> (
+      try
+        match c with
+        | { aggregate = T.Sum attr; _ } | { aggregate = T.Avg attr; _ }
+          when T.conjunctive c = None ->
+            err Protocol.err_unsupported
+              "SUM/AVG over OR predicates is not supported (attribute %s)"
+              (Schema.attr_name schema attr)
+        | { aggregate = T.Sum attr; _ } ->
+            let predicate = Option.get (T.conjunctive c) in
+            let est = Summary.estimate_sum summary ~attr predicate in
+            let sd = sqrt (Summary.variance_sum summary ~attr predicate) in
+            Protocol.Ok
+              [ "estimate " ^ float_str est; "stddev " ^ float_str sd ]
+        | { aggregate = T.Avg attr; _ } -> (
+            let predicate = Option.get (T.conjunctive c) in
+            match Summary.estimate_avg summary ~attr predicate with
+            | Some est -> Protocol.Ok [ "estimate " ^ float_str est ]
+            | None -> Protocol.Ok [ "estimate undefined" ])
+        | { group_attrs = []; disjuncts = [ predicate ]; _ } ->
+            (* The hot path: conjunctive COUNT through the shared cache. *)
+            let est = Cache.estimate entry.Catalog.cache predicate in
+            let sd = Summary.stddev summary predicate in
+            Protocol.Ok
+              [ "estimate " ^ float_str est; "stddev " ^ float_str sd ]
+        | { group_attrs = []; disjuncts; _ } ->
+            let est = Disjunction.estimate summary disjuncts in
+            let sd = Disjunction.stddev summary disjuncts in
+            Protocol.Ok
+              [ "estimate " ^ float_str est; "stddev " ^ float_str sd ]
+        | _ -> (
+            match T.conjunctive c with
+            | None ->
+                err Protocol.err_unsupported
+                  "GROUP BY over OR predicates is not supported"
+            | Some predicate ->
+                Protocol.Ok (group_lines summary schema c predicate))
+      with
+      | Invalid_argument m -> err Protocol.err_unsupported "%s" m
+      | e -> err Protocol.err_internal "%s" (Printexc.to_string e))
+
+let explain_sql (entry : Catalog.entry) sql =
+  let summary = entry.Catalog.summary in
+  let schema = Summary.schema summary in
+  match T.compile_string schema sql with
+  | Error e -> err Protocol.err_parse "%s" e.T.message
+  | Ok c ->
+      let aggregate =
+        match c.aggregate with
+        | T.Count -> "count"
+        | T.Sum a -> "sum " ^ Schema.attr_name schema a
+        | T.Avg a -> "avg " ^ Schema.attr_name schema a
+      in
+      let restricted p =
+        Predicate.restricted_attrs p
+        |> List.map (fun a ->
+               let r = Option.get (Predicate.restriction p a) in
+               Printf.sprintf "%s:%s" (Schema.attr_name schema a)
+                 (String.concat ","
+                    (List.map
+                       (fun (lo, hi) -> Printf.sprintf "%d-%d" lo hi)
+                       (Edb_util.Ranges.intervals r))))
+        |> String.concat " "
+      in
+      let cacheable =
+        c.aggregate = T.Count && c.group_attrs = []
+        && List.length c.disjuncts = 1
+      in
+      Protocol.Ok
+        ([
+           "aggregate " ^ aggregate;
+           Printf.sprintf "disjuncts %d" (List.length c.disjuncts);
+           Printf.sprintf "group_attrs %s"
+             (if c.group_attrs = [] then "-"
+              else
+                String.concat ","
+                  (List.map (Schema.attr_name schema) c.group_attrs));
+           Printf.sprintf "cacheable %b" cacheable;
+         ]
+        @ List.map (fun p -> "where " ^ restricted p) c.disjuncts)
+
+(* ------------------------------------------------------------------ *)
+(* STATS                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let stats_lines catalog metrics =
+  let m = Metrics.snapshot metrics in
+  let c = Catalog.stats catalog in
+  let ch, cm, ce = Catalog.cache_stats catalog in
+  let rate =
+    if ch + cm = 0 then 0. else float_of_int ch /. float_of_int (ch + cm)
+  in
+  [
+    Printf.sprintf "uptime_s %.1f" m.Metrics.uptime_s;
+    Printf.sprintf "connections %d" m.Metrics.connections;
+    Printf.sprintf "requests %d" m.Metrics.requests;
+    Printf.sprintf "errors %d" m.Metrics.errors;
+    Printf.sprintf "timeouts %d" m.Metrics.timeouts;
+    Printf.sprintf "rejects %d" m.Metrics.rejects;
+    Printf.sprintf "catalog_resident %d" c.Catalog.resident;
+    Printf.sprintf "catalog_capacity %d" c.Catalog.capacity;
+    Printf.sprintf "catalog_hits %d" c.Catalog.hits;
+    Printf.sprintf "catalog_misses %d" c.Catalog.misses;
+    Printf.sprintf "catalog_loads %d" c.Catalog.loads;
+    Printf.sprintf "catalog_evictions %d" c.Catalog.evictions;
+    Printf.sprintf "cache_hits %d" ch;
+    Printf.sprintf "cache_misses %d" cm;
+    Printf.sprintf "cache_evictions %d" ce;
+    Printf.sprintf "cache_hit_rate %.4f" rate;
+    Printf.sprintf "latency_count %d" m.Metrics.observations;
+    Printf.sprintf "latency_p50_us %.1f" m.Metrics.p50_us;
+    Printf.sprintf "latency_p95_us %.1f" m.Metrics.p95_us;
+    Printf.sprintf "latency_p99_us %.1f" m.Metrics.p99_us;
+    Printf.sprintf "latency_max_us %.1f" m.Metrics.max_us;
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Dispatch                                                            *)
+(* ------------------------------------------------------------------ *)
+
+type outcome = Keep | Close
+
+let handle ~catalog ~metrics (request : Protocol.request) :
+    Protocol.response * outcome =
+  match request with
+  | Protocol.Hello v ->
+      if v = Protocol.version then
+        (Protocol.Ok [ Protocol.version ^ " entropydb-server" ], Keep)
+      else
+        ( err Protocol.err_proto "unsupported protocol version %s (want %s)" v
+            Protocol.version,
+          Keep )
+  | Protocol.Ping -> (Protocol.Ok [ "pong" ], Keep)
+  | Protocol.Quit -> (Protocol.Ok [ "bye" ], Close)
+  | Protocol.List ->
+      let lines =
+        List.map
+          (fun (e : Catalog.entry) ->
+            Printf.sprintf "summary %s cardinality %d path %s" e.Catalog.name
+              (Summary.cardinality e.Catalog.summary)
+              e.Catalog.path)
+          (Catalog.entries catalog)
+      in
+      (Protocol.Ok lines, Keep)
+  | Protocol.Load { name; path } -> (
+      match Catalog.load catalog ~name ~path with
+      | Ok entry ->
+          ( Protocol.Ok
+              [
+                Printf.sprintf "loaded %s cardinality %d" name
+                  (Summary.cardinality entry.Catalog.summary);
+              ],
+            Keep )
+      | Error m -> (err Protocol.err_load "%s" m, Keep))
+  | Protocol.Stats -> (Protocol.Ok (stats_lines catalog metrics), Keep)
+  | Protocol.Query { name; sql } -> (
+      match Catalog.find catalog name with
+      | None -> (err Protocol.err_unknown "no summary named %s" name, Keep)
+      | Some entry -> (run_sql entry sql, Keep))
+  | Protocol.Explain { name; sql } -> (
+      match Catalog.find catalog name with
+      | None -> (err Protocol.err_unknown "no summary named %s" name, Keep)
+      | Some entry -> (explain_sql entry sql, Keep))

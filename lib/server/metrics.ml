@@ -1,0 +1,120 @@
+(* Server counters and latency distribution.
+
+   Counters are plain ints under one mutex (contention is negligible next
+   to polynomial evaluation).  Latency is a log-spaced histogram: bucket i
+   covers [10^(i/10), 10^((i+1)/10)) microseconds, i.e. ~26% resolution
+   per bucket over 1 µs .. 10 s in 70 buckets — the same design as
+   Prometheus-style histograms, constant memory, mergeable, and good
+   enough to read p50/p95/p99 off the cumulative counts.  Quantiles are
+   reported as the geometric midpoint of the covering bucket. *)
+
+type t = {
+  lock : Mutex.t;
+  started_at : float;
+  mutable requests : int;
+  mutable errors : int;
+  mutable timeouts : int;
+  mutable rejects : int;
+  mutable connections : int;
+  buckets : int array;
+  mutable observations : int;
+  mutable max_us : float;
+}
+
+let num_buckets = 70 (* 10^(70/10) µs = 10 s *)
+
+let create () =
+  {
+    lock = Mutex.create ();
+    started_at = Unix.gettimeofday ();
+    requests = 0;
+    errors = 0;
+    timeouts = 0;
+    rejects = 0;
+    connections = 0;
+    buckets = Array.make num_buckets 0;
+    observations = 0;
+    max_us = 0.;
+  }
+
+let with_lock t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+type counter = Requests | Errors | Timeouts | Rejects | Connections
+
+let incr t c =
+  with_lock t (fun () ->
+      match c with
+      | Requests -> t.requests <- t.requests + 1
+      | Errors -> t.errors <- t.errors + 1
+      | Timeouts -> t.timeouts <- t.timeouts + 1
+      | Rejects -> t.rejects <- t.rejects + 1
+      | Connections -> t.connections <- t.connections + 1)
+
+let bucket_of_us us =
+  if us <= 1. then 0
+  else
+    let i = int_of_float (10. *. log10 us) in
+    if i < 0 then 0 else if i >= num_buckets then num_buckets - 1 else i
+
+(* Geometric midpoint of bucket i's bounds 10^(i/10) .. 10^((i+1)/10). *)
+let bucket_mid_us i = 10. ** ((float_of_int i +. 0.5) /. 10.)
+
+let observe t seconds =
+  let us = seconds *. 1e6 in
+  with_lock t (fun () ->
+      let i = bucket_of_us us in
+      t.buckets.(i) <- t.buckets.(i) + 1;
+      t.observations <- t.observations + 1;
+      if us > t.max_us then t.max_us <- us)
+
+type snapshot = {
+  uptime_s : float;
+  requests : int;
+  errors : int;
+  timeouts : int;
+  rejects : int;
+  connections : int;
+  observations : int;
+  p50_us : float;
+  p95_us : float;
+  p99_us : float;
+  max_us : float;
+}
+
+(* Caller holds the lock. *)
+let quantile (t : t) q =
+  if t.observations = 0 then 0.
+  else begin
+    let rank = int_of_float (ceil (q *. float_of_int t.observations)) in
+    let rank = max 1 (min t.observations rank) in
+    let cum = ref 0 and answer = ref (bucket_mid_us (num_buckets - 1)) in
+    (try
+       Array.iteri
+         (fun i n ->
+           cum := !cum + n;
+           if !cum >= rank then begin
+             answer := bucket_mid_us i;
+             raise Exit
+           end)
+         t.buckets
+     with Exit -> ());
+    min !answer t.max_us
+  end
+
+let snapshot t =
+  with_lock t (fun () ->
+      {
+        uptime_s = Unix.gettimeofday () -. t.started_at;
+        requests = t.requests;
+        errors = t.errors;
+        timeouts = t.timeouts;
+        rejects = t.rejects;
+        connections = t.connections;
+        observations = t.observations;
+        p50_us = quantile t 0.50;
+        p95_us = quantile t 0.95;
+        p99_us = quantile t 0.99;
+        max_us = t.max_us;
+      })

@@ -1,0 +1,32 @@
+(** Mutex-guarded server counters and a log-bucketed latency histogram
+    (1 µs – 10 s, ~26% bucket resolution) with p50/p95/p99 readouts.
+    Everything is safe to call from any thread. *)
+
+type t
+
+val create : unit -> t
+
+type counter = Requests | Errors | Timeouts | Rejects | Connections
+
+val incr : t -> counter -> unit
+
+val observe : t -> float -> unit
+(** Record one request latency, in seconds. *)
+
+type snapshot = {
+  uptime_s : float;
+  requests : int;
+  errors : int;
+  timeouts : int;
+  rejects : int;
+  connections : int;
+  observations : int;  (** latencies recorded *)
+  p50_us : float;
+  p95_us : float;
+  p99_us : float;
+  max_us : float;
+}
+
+val snapshot : t -> snapshot
+(** Quantiles are the geometric midpoint of the covering histogram bucket,
+    clamped to the observed maximum; 0 when nothing was observed. *)

@@ -1,0 +1,156 @@
+(* Wire protocol of the summary-serving daemon.
+
+   Line-oriented and versioned: every request is a single LF-terminated
+   line, every response is either a single error line
+
+     ERR <code> <message...>
+
+   or an OK header announcing its payload length followed by exactly that
+   many payload lines
+
+     OK <k>
+     <payload line 1>
+     ...
+     <payload line k>
+
+   The framing makes the stream self-synchronizing (a reader always knows
+   how many lines to consume) and keeps the parser/printer pure — no
+   sockets anywhere in this module, so round-trip properties are plain
+   qcheck tests.  Keywords are case-insensitive on input and canonical
+   uppercase on output. *)
+
+let version = "EDB/1"
+
+type request =
+  | Hello of string  (** client's protocol version *)
+  | Query of { name : string; sql : string }
+  | Explain of { name : string; sql : string }
+  | List
+  | Load of { name : string; path : string }
+  | Stats
+  | Ping
+  | Quit
+
+type response = Ok of string list | Err of { code : string; message : string }
+
+(* Error codes the server emits; clients may switch on these. *)
+let err_busy = "busy"
+let err_parse = "parse"
+let err_proto = "proto"
+let err_unknown = "unknown-summary"
+let err_load = "load"
+let err_timeout = "timeout"
+let err_unsupported = "unsupported"
+let err_internal = "internal"
+
+(* ------------------------------------------------------------------ *)
+(* Requests                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let is_space c = c = ' ' || c = '\t'
+
+(* Split off the first space-delimited word; the remainder is trimmed of
+   leading whitespace only (payloads keep interior spacing). *)
+let split_word s =
+  let n = String.length s in
+  let i = ref 0 in
+  while !i < n && not (is_space s.[!i]) do
+    incr i
+  done;
+  let word = String.sub s 0 !i in
+  while !i < n && is_space s.[!i] do
+    incr i
+  done;
+  (word, String.sub s !i (n - !i))
+
+let valid_word w =
+  w <> "" && String.for_all (fun c -> c > ' ' && c <> '\x7f') w
+
+let parse_request line =
+  let line = String.trim line in
+  let keyword, rest = split_word line in
+  let name_and_rest what k =
+    let name, payload = split_word rest in
+    if not (valid_word name) then
+      Error (Printf.sprintf "%s needs a summary name" what)
+    else if payload = "" then
+      Error (Printf.sprintf "%s %s needs an argument" what name)
+    else k name payload
+  in
+  match String.uppercase_ascii keyword with
+  | "" -> Error "empty request"
+  | "HELLO" ->
+      if valid_word rest then Result.Ok (Hello rest)
+      else Error "HELLO needs a protocol version"
+  | "QUERY" -> name_and_rest "QUERY" (fun name sql -> Result.Ok (Query { name; sql }))
+  | "EXPLAIN" ->
+      name_and_rest "EXPLAIN" (fun name sql -> Result.Ok (Explain { name; sql }))
+  | "LOAD" ->
+      name_and_rest "LOAD" (fun name path ->
+          if valid_word path then Result.Ok (Load { name; path })
+          else Error "LOAD path must not contain whitespace")
+  | "LIST" ->
+      if rest = "" then Result.Ok List else Error "LIST takes no arguments"
+  | "STATS" ->
+      if rest = "" then Result.Ok Stats else Error "STATS takes no arguments"
+  | "PING" ->
+      if rest = "" then Result.Ok Ping else Error "PING takes no arguments"
+  | "QUIT" ->
+      if rest = "" then Result.Ok Quit else Error "QUIT takes no arguments"
+  | other -> Error (Printf.sprintf "unknown command %s" other)
+
+let print_request = function
+  | Hello v -> "HELLO " ^ v
+  | Query { name; sql } -> Printf.sprintf "QUERY %s %s" name sql
+  | Explain { name; sql } -> Printf.sprintf "EXPLAIN %s %s" name sql
+  | List -> "LIST"
+  | Load { name; path } -> Printf.sprintf "LOAD %s %s" name path
+  | Stats -> "STATS"
+  | Ping -> "PING"
+  | Quit -> "QUIT"
+
+(* ------------------------------------------------------------------ *)
+(* Responses                                                           *)
+(* ------------------------------------------------------------------ *)
+
+type header = Payload of int | Error_line of { code : string; message : string }
+
+let parse_header line =
+  let keyword, rest = split_word line in
+  match String.uppercase_ascii keyword with
+  | "OK" -> (
+      match int_of_string_opt (String.trim rest) with
+      | Some k when k >= 0 -> Result.Ok (Payload k)
+      | _ -> Error "OK header needs a non-negative payload line count")
+  | "ERR" ->
+      let code, message = split_word rest in
+      if valid_word code then Result.Ok (Error_line { code; message })
+      else Error "ERR needs an error code"
+  | _ -> Error (Printf.sprintf "bad response header %S" line)
+
+let print_response = function
+  | Ok payload -> Printf.sprintf "OK %d" (List.length payload) :: payload
+  | Err { code; message } ->
+      [ (if message = "" then "ERR " ^ code
+         else Printf.sprintf "ERR %s %s" code message) ]
+
+let parse_response lines =
+  match lines with
+  | [] -> Error "empty response"
+  | header :: payload -> (
+      match parse_header header with
+      | Error e -> Error e
+      | Result.Ok (Error_line { code; message }) ->
+          if payload = [] then Result.Ok (Err { code; message })
+          else Error "error responses carry no payload"
+      | Result.Ok (Payload k) ->
+          if List.length payload = k then Result.Ok (Ok payload)
+          else
+            Error
+              (Printf.sprintf "payload length mismatch: header %d, got %d" k
+                 (List.length payload)))
+
+let pp_response ppf = function
+  | Ok payload ->
+      Format.fprintf ppf "OK(%d lines)" (List.length payload)
+  | Err { code; message } -> Format.fprintf ppf "ERR %s %s" code message

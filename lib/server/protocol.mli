@@ -1,0 +1,54 @@
+(** Versioned, line-oriented wire protocol of the summary server.
+
+    Requests are single lines; responses are either one [ERR] line or an
+    [OK <k>] header followed by exactly [k] payload lines.  The parser and
+    printer are pure (no sockets), so protocol properties are unit-testable;
+    {!Server} and {!Client} only add framing over file descriptors. *)
+
+val version : string
+(** ["EDB/1"]. *)
+
+type request =
+  | Hello of string  (** client's protocol version *)
+  | Query of { name : string; sql : string }
+  | Explain of { name : string; sql : string }
+  | List
+  | Load of { name : string; path : string }
+  | Stats
+  | Ping
+  | Quit
+
+type response = Ok of string list | Err of { code : string; message : string }
+
+(** {2 Error codes} *)
+
+val err_busy : string
+val err_parse : string
+val err_proto : string
+val err_unknown : string
+val err_load : string
+val err_timeout : string
+val err_unsupported : string
+val err_internal : string
+
+(** {2 Requests} *)
+
+val parse_request : string -> (request, string) result
+(** Keywords are case-insensitive; summary names must be whitespace-free;
+    the SQL/path argument is the untrimmed rest of the line. *)
+
+val print_request : request -> string
+(** Canonical single-line form; [parse_request (print_request r) = Ok r]
+    for every representable request. *)
+
+(** {2 Responses} *)
+
+type header = Payload of int | Error_line of { code : string; message : string }
+
+val parse_header : string -> (header, string) result
+(** Classify the first line of a response: either how many payload lines
+    follow, or a complete error. *)
+
+val print_response : response -> string list
+val parse_response : string list -> (response, string) result
+val pp_response : Format.formatter -> response -> unit

@@ -1,0 +1,385 @@
+(* The resident daemon: listeners, worker pool, admission control.
+
+   Threading model: one accept thread multiplexes all listening sockets
+   (Unix-domain and/or TCP) with a short select timeout so it can observe
+   shutdown; accepted connections go into a bounded queue consumed by a
+   fixed pool of worker threads, each of which owns one connection at a
+   time for that connection's whole life.  When the queue is full the
+   accept thread replies `ERR busy` and closes immediately — saturation
+   degrades into fast rejections, never into unbounded queueing or a hang
+   (the admission-control half of the paper's "interactive" promise).
+
+   Timeouts: reads poll with a small select tick, so a worker blocked on
+   a quiet client notices both the idle deadline and a server shutdown
+   within a tick.  The per-request deadline is checked after evaluation —
+   OCaml compute can't be safely interrupted mid-polynomial, so an
+   overrunning query costs its own latency but is reported to the client
+   as `ERR timeout` and counted, keeping the contract observable.
+
+   Shutdown (`stop`, wired to SIGINT/SIGTERM by `run`): a single atomic
+   flag.  Signal handlers only set the flag — no locks, no allocation
+   hazards; the accept loop and every session loop poll it and drain:
+   in-flight requests complete, their replies are written, then
+   connections and listeners close and `wait`/`run` return. *)
+
+type config = {
+  unix_socket : string option;
+  tcp : (string * int) option;  (** bind host, port *)
+  workers : int;
+  queue_depth : int;  (** pending-connection bound beyond the workers *)
+  request_deadline : float;  (** seconds; <= 0 disables *)
+  idle_timeout : float;  (** seconds a connection may sit quiet *)
+  catalog_capacity : int;
+  cache_capacity : int;
+}
+
+let default_config =
+  {
+    unix_socket = None;
+    tcp = None;
+    workers = 8;
+    queue_depth = 16;
+    request_deadline = 10.;
+    idle_timeout = 60.;
+    catalog_capacity = 8;
+    cache_capacity = 4096;
+  }
+
+type t = {
+  config : config;
+  catalog : Catalog.t;
+  metrics : Metrics.t;
+  stopping : bool Atomic.t;
+  queue : Unix.file_descr Queue.t;
+  mutable busy_workers : int;  (* guarded by queue_lock *)
+  queue_lock : Mutex.t;
+  queue_nonempty : Condition.t;
+  mutable listeners : Unix.file_descr list;
+  mutable threads : Thread.t list;
+  mutable started : bool;
+}
+
+let tick = 0.25 (* seconds between shutdown-flag checks in blocking ops *)
+
+let log_src = Logs.Src.create "edb.server" ~doc:"EntropyDB summary server"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+let create ?catalog config =
+  if config.workers < 1 then invalid_arg "Server.create: workers must be >= 1";
+  if config.queue_depth < 0 then
+    invalid_arg "Server.create: queue_depth must be >= 0";
+  if config.unix_socket = None && config.tcp = None then
+    invalid_arg "Server.create: no listener configured";
+  let catalog =
+    match catalog with
+    | Some c -> c
+    | None ->
+        Catalog.create ~capacity:config.catalog_capacity
+          ~cache_capacity:config.cache_capacity ()
+  in
+  {
+    config;
+    catalog;
+    metrics = Metrics.create ();
+    stopping = Atomic.make false;
+    queue = Queue.create ();
+    busy_workers = 0;
+    queue_lock = Mutex.create ();
+    queue_nonempty = Condition.create ();
+    listeners = [];
+    threads = [];
+    started = false;
+  }
+
+let catalog t = t.catalog
+let metrics t = t.metrics
+
+(* ------------------------------------------------------------------ *)
+(* Socket I/O                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let write_all fd s =
+  let b = Bytes.of_string s in
+  let n = Bytes.length b in
+  let off = ref 0 in
+  try
+    while !off < n do
+      off := !off + Unix.write fd b !off (n - !off)
+    done;
+    true
+  with Unix.Unix_error _ | Sys_error _ -> false
+
+let send_response fd response =
+  write_all fd (String.concat "\n" (Protocol.print_response response) ^ "\n")
+
+(* Buffered line reader that polls the shutdown flag while waiting. *)
+type reader = { fd : Unix.file_descr; buf : Buffer.t }
+
+let make_reader fd = { fd; buf = Buffer.create 512 }
+
+type read_result = Line of string | Eof | Idle | Stopped
+
+let buffered_line r =
+  let s = Buffer.contents r.buf in
+  match String.index_opt s '\n' with
+  | None -> None
+  | Some i ->
+      Buffer.clear r.buf;
+      Buffer.add_substring r.buf s (i + 1) (String.length s - i - 1);
+      let line =
+        if i > 0 && s.[i - 1] = '\r' then String.sub s 0 (i - 1)
+        else String.sub s 0 i
+      in
+      Some line
+
+let read_line t r ~timeout =
+  let deadline = Unix.gettimeofday () +. timeout in
+  let chunk = Bytes.create 4096 in
+  let rec loop () =
+    match buffered_line r with
+    | Some line -> Line line
+    | None ->
+        if Atomic.get t.stopping then Stopped
+        else if Unix.gettimeofday () > deadline then Idle
+        else begin
+          match Unix.select [ r.fd ] [] [] tick with
+          | [], _, _ -> loop ()
+          | _ -> (
+              match Unix.read r.fd chunk 0 (Bytes.length chunk) with
+              | 0 -> Eof
+              | n ->
+                  Buffer.add_subbytes r.buf chunk 0 n;
+                  loop ()
+              | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK | EINTR), _, _)
+                ->
+                  loop ()
+              | exception (Unix.Unix_error _ | Sys_error _) -> Eof)
+          | exception Unix.Unix_error (EINTR, _, _) -> loop ()
+          | exception (Unix.Unix_error _ | Sys_error _) -> Eof
+        end
+  in
+  loop ()
+
+(* ------------------------------------------------------------------ *)
+(* Sessions                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let handle_request t line =
+  match Protocol.parse_request line with
+  | Error m ->
+      Metrics.incr t.metrics Metrics.Errors;
+      (Protocol.Err { code = Protocol.err_proto; message = m }, Handler.Keep)
+  | Ok request ->
+      let t0 = Unix.gettimeofday () in
+      let response, outcome =
+        Handler.handle ~catalog:t.catalog ~metrics:t.metrics request
+      in
+      let dt = Unix.gettimeofday () -. t0 in
+      Metrics.observe t.metrics dt;
+      let response =
+        if t.config.request_deadline > 0. && dt > t.config.request_deadline
+        then begin
+          Metrics.incr t.metrics Metrics.Timeouts;
+          Protocol.Err
+            {
+              code = Protocol.err_timeout;
+              message =
+                Printf.sprintf "request exceeded deadline (%.3fs > %.3fs)" dt
+                  t.config.request_deadline;
+            }
+        end
+        else response
+      in
+      (match response with
+      | Protocol.Err _ -> Metrics.incr t.metrics Metrics.Errors
+      | Protocol.Ok _ -> ());
+      (response, outcome)
+
+let session t fd =
+  Metrics.incr t.metrics Metrics.Connections;
+  let r = make_reader fd in
+  let rec loop () =
+    match read_line t r ~timeout:t.config.idle_timeout with
+    | Stopped | Eof -> ()
+    | Idle ->
+        ignore
+          (send_response fd
+             (Protocol.Err
+                { code = Protocol.err_timeout; message = "idle timeout" }))
+    | Line line when String.trim line = "" -> loop ()
+    | Line line ->
+        Metrics.incr t.metrics Metrics.Requests;
+        let response, outcome = handle_request t line in
+        let sent = send_response fd response in
+        if sent && outcome = Handler.Keep && not (Atomic.get t.stopping) then
+          loop ()
+  in
+  (try loop () with e -> Log.err (fun m -> m "session: %s" (Printexc.to_string e)));
+  try Unix.close fd with Unix.Unix_error _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Worker pool and admission                                           *)
+(* ------------------------------------------------------------------ *)
+
+let worker_loop t =
+  let rec next () =
+    Mutex.lock t.queue_lock;
+    let job =
+      let rec wait () =
+        if not (Queue.is_empty t.queue) then begin
+          t.busy_workers <- t.busy_workers + 1;
+          Some (Queue.pop t.queue)
+        end
+        else if Atomic.get t.stopping then None
+        else begin
+          Condition.wait t.queue_nonempty t.queue_lock;
+          wait ()
+        end
+      in
+      wait ()
+    in
+    Mutex.unlock t.queue_lock;
+    match job with
+    | Some fd ->
+        session t fd;
+        Mutex.lock t.queue_lock;
+        t.busy_workers <- t.busy_workers - 1;
+        Mutex.unlock t.queue_lock;
+        next ()
+    | None -> ()
+  in
+  next ()
+
+let reject t fd =
+  Metrics.incr t.metrics Metrics.Rejects;
+  ignore
+    (send_response fd
+       (Protocol.Err
+          { code = Protocol.err_busy; message = "server at capacity" }));
+  try Unix.close fd with Unix.Unix_error _ -> ()
+
+(* Admit while there is either a free worker or room in the pending queue;
+   otherwise reject immediately.  The in-flight population is therefore
+   bounded by workers + queue_depth connections. *)
+let admit t fd =
+  let admitted =
+    Mutex.lock t.queue_lock;
+    let in_flight = t.busy_workers + Queue.length t.queue in
+    let ok = in_flight < t.config.workers + t.config.queue_depth in
+    if ok then begin
+      Queue.push fd t.queue;
+      Condition.signal t.queue_nonempty
+    end;
+    Mutex.unlock t.queue_lock;
+    ok
+  in
+  if not admitted then reject t fd
+
+let accept_loop t =
+  let rec loop () =
+    if Atomic.get t.stopping then ()
+    else begin
+      (match Unix.select t.listeners [] [] tick with
+      | ready, _, _ ->
+          List.iter
+            (fun lfd ->
+              match Unix.accept ~cloexec:true lfd with
+              | fd, _ -> admit t fd
+              | exception Unix.Unix_error _ -> ())
+            ready
+      | exception Unix.Unix_error (EINTR, _, _) -> ()
+      | exception Unix.Unix_error _ -> Thread.delay tick);
+      loop ()
+    end
+  in
+  loop ()
+
+(* ------------------------------------------------------------------ *)
+(* Lifecycle                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let bind_unix path =
+  (match Unix.lstat path with
+  | { Unix.st_kind = Unix.S_SOCK; _ } -> Unix.unlink path (* stale socket *)
+  | _ -> failwith (path ^ " exists and is not a socket")
+  | exception Unix.Unix_error (ENOENT, _, _) -> ());
+  let fd = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind fd (Unix.ADDR_UNIX path);
+  Unix.listen fd 64;
+  fd
+
+let bind_tcp host port =
+  let addr =
+    try (Unix.gethostbyname host).Unix.h_addr_list.(0)
+    with Not_found -> Unix.inet_addr_of_string host
+  in
+  let fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.setsockopt fd Unix.SO_REUSEADDR true;
+  Unix.bind fd (Unix.ADDR_INET (addr, port));
+  Unix.listen fd 64;
+  fd
+
+let start t =
+  if t.started then invalid_arg "Server.start: already started";
+  t.started <- true;
+  let listeners =
+    (match t.config.unix_socket with
+    | Some path ->
+        Log.info (fun m -> m "listening on unix:%s" path);
+        [ bind_unix path ]
+    | None -> [])
+    @
+    match t.config.tcp with
+    | Some (host, port) ->
+        Log.info (fun m -> m "listening on tcp:%s:%d" host port);
+        [ bind_tcp host port ]
+    | None -> []
+  in
+  t.listeners <- listeners;
+  let workers =
+    List.init t.config.workers (fun _ -> Thread.create worker_loop t)
+  in
+  let acceptor = Thread.create accept_loop t in
+  t.threads <- acceptor :: workers
+
+let stop t = Atomic.set t.stopping true
+
+(* Normal-context teardown: wake sleeping workers, join everything, close
+   and unlink the listeners.  Runs after the stopping flag is set. *)
+let join_and_close t =
+  Mutex.lock t.queue_lock;
+  Condition.broadcast t.queue_nonempty;
+  Mutex.unlock t.queue_lock;
+  List.iter Thread.join t.threads;
+  t.threads <- [];
+  (* Reject connections that were queued but never picked up. *)
+  Queue.iter (fun fd -> reject t fd) t.queue;
+  Queue.clear t.queue;
+  List.iter (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ()) t.listeners;
+  t.listeners <- [];
+  match t.config.unix_socket with
+  | Some path -> ( try Unix.unlink path with Unix.Unix_error _ -> ())
+  | None -> ()
+
+let wait t =
+  while not (Atomic.get t.stopping) do
+    Thread.delay (tick /. 2.)
+  done;
+  join_and_close t
+
+let run t =
+  start t;
+  (* Handlers only flip the atomic flag: nothing signal-unsafe, and every
+     blocking loop polls the flag within one tick. *)
+  let handler = Sys.Signal_handle (fun _ -> stop t) in
+  let previous =
+    List.map
+      (fun s -> (s, Sys.signal s handler))
+      [ Sys.sigint; Sys.sigterm ]
+  in
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+   with Invalid_argument _ -> ());
+  wait t;
+  List.iter (fun (s, b) -> try Sys.set_signal s b with Invalid_argument _ -> ()) previous;
+  Log.info (fun m -> m "drained and stopped")

@@ -1,0 +1,51 @@
+(** The resident summary-serving daemon.
+
+    A fixed worker pool serves whole connections popped from a bounded
+    queue; connections beyond [workers + queue_depth] receive an immediate
+    [ERR busy] instead of queueing (admission control).  Reads poll a
+    shutdown flag, so [stop] — wired to SIGINT/SIGTERM by {!run} — drains
+    in-flight requests and returns within a fraction of a second plus the
+    longest running evaluation. *)
+
+type config = {
+  unix_socket : string option;
+  tcp : (string * int) option;  (** bind host, port *)
+  workers : int;
+  queue_depth : int;  (** pending-connection bound beyond the workers *)
+  request_deadline : float;
+      (** seconds; replies [ERR timeout] when an evaluation overruns
+          (checked after the fact — compute is not interrupted); <= 0
+          disables *)
+  idle_timeout : float;  (** seconds a connection may sit quiet *)
+  catalog_capacity : int;  (** resident summaries, when no catalog given *)
+  cache_capacity : int;  (** per-summary query-cache entries *)
+}
+
+val default_config : config
+(** 8 workers, queue 16, 10 s deadline, 60 s idle timeout, no listeners
+    (set at least one of [unix_socket] / [tcp]). *)
+
+type t
+
+val create : ?catalog:Catalog.t -> config -> t
+(** Raises [Invalid_argument] on a listener-less or worker-less config. *)
+
+val catalog : t -> Catalog.t
+val metrics : t -> Metrics.t
+
+val start : t -> unit
+(** Bind the listeners and spawn the accept and worker threads; returns
+    immediately.  Raises [Unix.Unix_error] if binding fails. *)
+
+val stop : t -> unit
+(** Request a graceful drain.  Async-signal-safe: only flips an atomic
+    flag.  Idempotent. *)
+
+val wait : t -> unit
+(** Block until [stop] has been called, then join all threads, close the
+    listeners, and unlink the Unix socket. *)
+
+val run : t -> unit
+(** [start], install SIGINT/SIGTERM handlers that call [stop] (and ignore
+    SIGPIPE), then [wait].  Returns after a clean drain, restoring the
+    previous signal dispositions. *)

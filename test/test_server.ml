@@ -1,0 +1,595 @@
+(* Tests for the serving subsystem (lib/server).
+
+   Layered like the subsystem itself: pure protocol round-trips as qcheck
+   properties, metrics/catalog/cache units (including concurrent hammering
+   of the shared cache), handler dispatch without sockets, and an
+   end-to-end smoke test that runs a real server on a Unix-domain socket
+   in a temp dir and checks wire answers against direct in-process
+   Summary.estimate calls — plus admission control, per-request deadlines,
+   and graceful drain. *)
+
+open Edb_util
+open Edb_storage
+open Entropydb_core
+open Edb_server
+
+(* ------------------------------------------------------------------ *)
+(* A tiny summary on disk                                              *)
+(* ------------------------------------------------------------------ *)
+
+let make_schema sizes =
+  Schema.create
+    (List.mapi
+       (fun i n ->
+         Schema.attr
+           (Printf.sprintf "a%d" i)
+           (Domain.int_bins ~lo:0 ~hi:(n - 1) ~width:1))
+       sizes)
+
+let small_relation ~seed sizes rows =
+  let schema = make_schema sizes in
+  let rng = Prng.create ~seed () in
+  let b = Relation.builder ~capacity:rows schema in
+  for _ = 1 to rows do
+    Relation.add_row b
+      (Array.init (List.length sizes) (fun i ->
+           Prng.int rng (Schema.domain_size schema i)))
+  done;
+  Relation.build b
+
+let small_summary ~seed () =
+  let rel = small_relation ~seed [ 6; 5; 4 ] 400 in
+  let joints =
+    [
+      Predicate.of_alist ~arity:3
+        [ (0, Ranges.interval 0 2); (1, Ranges.interval 1 3) ];
+      Predicate.of_alist ~arity:3
+        [ (0, Ranges.interval 3 5); (1, Ranges.interval 0 1) ];
+    ]
+  in
+  Summary.build
+    ~solver_config:{ Solver.default_config with log_every = 0 }
+    rel ~joints
+
+let temp_dir () =
+  let path = Filename.temp_file "edb-test-server" "" in
+  Sys.remove path;
+  Unix.mkdir path 0o700;
+  path
+
+let saved_summary dir name summary =
+  let path = Filename.concat dir (name ^ ".summary") in
+  Serialize.save summary path;
+  path
+
+(* ------------------------------------------------------------------ *)
+(* Protocol properties                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let word_gen =
+  QCheck.Gen.(
+    let word_char =
+      oneof [ char_range 'a' 'z'; char_range 'A' 'Z'; char_range '0' '9';
+              oneofl [ '-'; '_'; '.'; '/' ] ]
+    in
+    string_size ~gen:word_char (int_range 1 12))
+
+(* Rest-of-line payloads (SQL, error messages): printable, no newline, and
+   round-trip canonical, i.e. trimmed and single-spaced. *)
+let tail_gen =
+  QCheck.Gen.(
+    map
+      (fun words -> String.concat " " words)
+      (list_size (int_range 1 6) word_gen))
+
+let request_gen =
+  QCheck.Gen.(
+    oneof
+      [
+        map (fun v -> Protocol.Hello v) word_gen;
+        map2
+          (fun name sql -> Protocol.Query { name; sql })
+          word_gen tail_gen;
+        map2
+          (fun name sql -> Protocol.Explain { name; sql })
+          word_gen tail_gen;
+        return Protocol.List;
+        map2
+          (fun name path -> Protocol.Load { name; path })
+          word_gen word_gen;
+        return Protocol.Stats;
+        return Protocol.Ping;
+        return Protocol.Quit;
+      ])
+
+let request_arb =
+  QCheck.make ~print:Protocol.print_request request_gen
+
+let response_gen =
+  QCheck.Gen.(
+    oneof
+      [
+        map (fun lines -> Protocol.Ok lines) (list_size (int_range 0 5) tail_gen);
+        map2
+          (fun code message -> Protocol.Err { code; message })
+          word_gen tail_gen;
+      ])
+
+let response_arb =
+  QCheck.make
+    ~print:(fun r -> String.concat "\\n" (Protocol.print_response r))
+    response_gen
+
+let prop name arb f =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~count:500 ~name arb f)
+
+let request_roundtrip =
+  prop "request print/parse round-trip" request_arb (fun r ->
+      Protocol.parse_request (Protocol.print_request r) = Ok r)
+
+let response_roundtrip =
+  prop "response print/parse round-trip" response_arb (fun r ->
+      Protocol.parse_response (Protocol.print_response r) = Ok r)
+
+let test_protocol_negatives () =
+  let bad s =
+    match Protocol.parse_request s with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.failf "parsed %S" s
+  in
+  bad "";
+  bad "   ";
+  bad "FROBNICATE x";
+  bad "QUERY";
+  bad "QUERY onlyname";
+  bad "LIST extra";
+  bad "LOAD name path with spaces";
+  (match Protocol.parse_request "query flights SELECT COUNT(*) FROM f" with
+  | Ok (Protocol.Query { name = "flights"; sql }) ->
+      Alcotest.(check string) "sql tail" "SELECT COUNT(*) FROM f" sql
+  | _ -> Alcotest.fail "lowercase keyword should parse");
+  match Protocol.parse_header "garbage" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "bad header accepted"
+
+(* ------------------------------------------------------------------ *)
+(* Metrics                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_metrics_percentiles () =
+  let m = Metrics.create () in
+  (* 100 observations: 1ms .. 100ms. *)
+  for i = 1 to 100 do
+    Metrics.observe m (float_of_int i /. 1000.)
+  done;
+  Metrics.incr m Metrics.Requests;
+  Metrics.incr m Metrics.Rejects;
+  let s = Metrics.snapshot m in
+  Alcotest.(check int) "observations" 100 s.Metrics.observations;
+  Alcotest.(check int) "requests" 1 s.Metrics.requests;
+  Alcotest.(check int) "rejects" 1 s.Metrics.rejects;
+  Alcotest.(check bool) "p50 ordered" true (s.Metrics.p50_us <= s.Metrics.p95_us);
+  Alcotest.(check bool) "p95 ordered" true (s.Metrics.p95_us <= s.Metrics.p99_us);
+  Alcotest.(check bool) "p99 <= max" true (s.Metrics.p99_us <= s.Metrics.max_us);
+  (* Log-bucket resolution is ~26%: p50 should land within a bucket of the
+     true median (50 ms), p99 near 99 ms. *)
+  Alcotest.(check bool) "p50 ballpark" true
+    (s.Metrics.p50_us > 30_000. && s.Metrics.p50_us < 80_000.);
+  Alcotest.(check bool) "p99 ballpark" true
+    (s.Metrics.p99_us > 70_000. && s.Metrics.p99_us <= 100_000.);
+  Alcotest.(check (float 1.)) "max exact" 100_000. s.Metrics.max_us
+
+(* ------------------------------------------------------------------ *)
+(* Catalog                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_catalog_lru () =
+  let dir = temp_dir () in
+  let s1 = small_summary ~seed:11 () in
+  let s2 = small_summary ~seed:12 () in
+  let p1 = saved_summary dir "one" s1 in
+  let p2 = saved_summary dir "two" s2 in
+  let catalog = Catalog.create ~capacity:1 () in
+  (match Catalog.load catalog ~name:"one" ~path:p1 with
+  | Ok _ -> ()
+  | Error m -> Alcotest.fail m);
+  Alcotest.(check bool) "one resident" true (Catalog.find catalog "one" <> None);
+  (match Catalog.load catalog ~name:"two" ~path:p2 with
+  | Ok _ -> ()
+  | Error m -> Alcotest.fail m);
+  (* Capacity 1: loading two evicted one. *)
+  Alcotest.(check bool) "one evicted" true (Catalog.find catalog "one" = None);
+  Alcotest.(check bool) "two resident" true (Catalog.find catalog "two" <> None);
+  let st = Catalog.stats catalog in
+  Alcotest.(check int) "resident" 1 st.Catalog.resident;
+  Alcotest.(check int) "loads" 2 st.Catalog.loads;
+  Alcotest.(check int) "evictions" 1 st.Catalog.evictions;
+  Alcotest.(check int) "hits" 2 st.Catalog.hits;
+  Alcotest.(check int) "misses" 1 st.Catalog.misses;
+  (match Catalog.load catalog ~name:"bad" ~path:(Filename.concat dir "nope") with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "loaded a missing file");
+  Alcotest.(check bool) "evict by name" true (Catalog.evict catalog "two");
+  Alcotest.(check bool) "evict missing" false (Catalog.evict catalog "two")
+
+(* ------------------------------------------------------------------ *)
+(* Cache under concurrency (satellite: Core.Cache thread safety)       *)
+(* ------------------------------------------------------------------ *)
+
+let test_cache_concurrent () =
+  let summary = small_summary ~seed:21 () in
+  let cache = Cache.create ~capacity:32 summary in
+  let schema = Summary.schema summary in
+  let arity = Schema.arity schema in
+  (* Mixed-radix indexing over the [6;5;4] domains keeps all 64 predicates
+     distinct, so a capacity-32 cache must evict. *)
+  let queries =
+    List.init 64 (fun k ->
+        Predicate.of_alist ~arity
+          [
+            (0, Ranges.interval 0 (k mod 6));
+            (1, Ranges.interval (k / 6 mod 5) 4);
+            (2, Ranges.interval 0 (k / 30 mod 4));
+          ])
+  in
+  let expected = List.map (Summary.estimate summary) queries in
+  let mismatches = Atomic.make 0 in
+  let thread _ =
+    for _ = 1 to 50 do
+      List.iter2
+        (fun q e ->
+          if Float.abs (Cache.estimate cache q -. e) > 1e-12 then
+            Atomic.incr mismatches)
+        queries expected
+    done
+  in
+  let threads = List.init 8 (fun i -> Thread.create thread i) in
+  List.iter Thread.join threads;
+  Alcotest.(check int) "no mismatches" 0 (Atomic.get mismatches);
+  let s = Cache.stats cache in
+  Alcotest.(check bool) "bounded" true (s.Cache.entries <= 32);
+  Alcotest.(check bool) "evictions counted" true (s.Cache.evictions > 0);
+  Alcotest.(check int) "all lookups accounted" (8 * 50 * 64)
+    (s.Cache.hits + s.Cache.misses)
+
+(* ------------------------------------------------------------------ *)
+(* Handler (no sockets)                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_handler_dispatch () =
+  let dir = temp_dir () in
+  let summary = small_summary ~seed:31 () in
+  let path = saved_summary dir "s" summary in
+  let catalog = Catalog.create () in
+  let metrics = Metrics.create () in
+  let handle r = fst (Handler.handle ~catalog ~metrics r) in
+  (match handle (Protocol.Query { name = "s"; sql = "SELECT COUNT(*) FROM f" }) with
+  | Protocol.Err { code; _ } ->
+      Alcotest.(check string) "unknown summary" Protocol.err_unknown code
+  | _ -> Alcotest.fail "expected unknown-summary");
+  (match handle (Protocol.Load { name = "s"; path }) with
+  | Protocol.Ok _ -> ()
+  | Protocol.Err { message; _ } -> Alcotest.fail message);
+  (match handle (Protocol.Query { name = "s"; sql = "SELEKT garbage" }) with
+  | Protocol.Err { code; _ } ->
+      Alcotest.(check string) "parse error code" Protocol.err_parse code
+  | _ -> Alcotest.fail "expected parse error");
+  (match
+     handle (Protocol.Query { name = "s"; sql = "SELECT COUNT(*) FROM f WHERE a0 IN [1,3]" })
+   with
+  | Protocol.Ok payload ->
+      let v = Option.get (Client.estimate_of_payload payload) in
+      let q = Predicate.of_alist ~arity:3 [ (0, Ranges.interval 1 3) ] in
+      Alcotest.(check (float 1e-9)) "query value" (Summary.estimate summary q) v
+  | Protocol.Err { message; _ } -> Alcotest.fail message);
+  (match handle (Protocol.Explain { name = "s"; sql = "SELECT COUNT(*) FROM f WHERE a0 = 1" }) with
+  | Protocol.Ok payload ->
+      Alcotest.(check bool) "explain mentions cacheable" true
+        (List.exists (fun l -> l = "cacheable true") payload)
+  | Protocol.Err { message; _ } -> Alcotest.fail message);
+  match handle Protocol.Stats with
+  | Protocol.Ok lines ->
+      Alcotest.(check bool) "stats has requests line" true
+        (List.exists
+           (fun l -> String.length l >= 8 && String.sub l 0 8 = "requests")
+           lines)
+  | Protocol.Err { message; _ } -> Alcotest.fail message
+
+(* ------------------------------------------------------------------ *)
+(* End-to-end over a Unix-domain socket                                *)
+(* ------------------------------------------------------------------ *)
+
+let with_server ?(workers = 4) ?(queue_depth = 4) ?(request_deadline = 10.)
+    ?catalog dir f =
+  let socket = Filename.concat dir "edb.sock" in
+  let server =
+    Server.create ?catalog
+      {
+        Server.default_config with
+        unix_socket = Some socket;
+        workers;
+        queue_depth;
+        request_deadline;
+        idle_timeout = 10.;
+      }
+  in
+  Server.start server;
+  Fun.protect
+    ~finally:(fun () ->
+      Server.stop server;
+      Server.wait server)
+    (fun () -> f server socket)
+
+let connect_exn socket =
+  match Client.connect ~timeout:10. (Client.Unix_socket socket) with
+  | Ok c -> c
+  | Error m -> Alcotest.failf "connect: %s" m
+
+let test_e2e_smoke () =
+  let dir = temp_dir () in
+  let summary = small_summary ~seed:41 () in
+  let path = saved_summary dir "flights" summary in
+  with_server dir (fun server socket ->
+      let c = connect_exn socket in
+      (match Client.hello c with
+      | Ok _ -> ()
+      | Error m -> Alcotest.fail m);
+      (match Client.load c ~name:"flights" ~path with
+      | Ok _ -> ()
+      | Error m -> Alcotest.fail m);
+      (match Client.list c with
+      | Ok [ line ] ->
+          Alcotest.(check bool) "list line" true
+            (String.length line > 0
+            && String.sub line 0 15 = "summary flights")
+      | Ok l -> Alcotest.failf "unexpected LIST payload (%d lines)" (List.length l)
+      | Error m -> Alcotest.fail m);
+      (* Wire answers must equal in-process answers exactly (%.17g
+         round-trips doubles). *)
+      let arity = Schema.arity (Summary.schema summary) in
+      for k = 0 to 19 do
+        let q =
+          Predicate.of_alist ~arity
+            [
+              (0, Ranges.interval (k mod 3) (3 + (k mod 3)));
+              (2, Ranges.interval 0 (k mod 4));
+            ]
+        in
+        let sql =
+          Printf.sprintf
+            "SELECT COUNT(*) FROM f WHERE a0 IN [%d,%d] AND a2 IN [0,%d]"
+            (k mod 3)
+            (3 + (k mod 3))
+            (k mod 4)
+        in
+        match Client.query c ~name:"flights" ~sql with
+        | Error m -> Alcotest.fail m
+        | Ok payload ->
+            let v = Option.get (Client.estimate_of_payload payload) in
+            Alcotest.(check (float 0.))
+              ("wire = in-process for " ^ sql)
+              (Summary.estimate summary q)
+              v
+      done;
+      (* OR query and SUM exercise the non-cached paths end to end. *)
+      (match
+         Client.query c ~name:"flights"
+           ~sql:"SELECT COUNT(*) FROM f WHERE a0 = 1 OR a1 = 2"
+       with
+      | Ok payload ->
+          let v = Option.get (Client.estimate_of_payload payload) in
+          let expected =
+            Disjunction.estimate summary
+              [
+                Predicate.of_alist ~arity [ (0, Ranges.singleton 1) ];
+                Predicate.of_alist ~arity [ (1, Ranges.singleton 2) ];
+              ]
+          in
+          Alcotest.(check (float 0.)) "OR query" expected v
+      | Error m -> Alcotest.fail m);
+      (match
+         Client.query c ~name:"flights"
+           ~sql:"SELECT SUM(a2) FROM f WHERE a0 IN [0,4]"
+       with
+      | Ok payload ->
+          Alcotest.(check bool) "sum answered" true
+            (Client.estimate_of_payload payload <> None)
+      | Error m -> Alcotest.fail m);
+      (* Malformed SQL: ERR parse, and the connection survives. *)
+      (match Client.query c ~name:"flights" ~sql:"SELECT COUNT(*) FORM f" with
+      | Error m ->
+          Alcotest.(check bool) "parse error code" true
+            (String.length m >= 5 && String.sub m 0 5 = "parse")
+      | Ok _ -> Alcotest.fail "malformed SQL accepted");
+      (match Client.ping c with
+      | Ok [ "pong" ] -> ()
+      | _ -> Alcotest.fail "connection should survive a parse error");
+      (* STATS over the wire after traffic. *)
+      (match Client.stats c with
+      | Ok lines ->
+          let find key =
+            List.find_map
+              (fun l ->
+                match String.split_on_char ' ' l with
+                | [ k; v ] when k = key -> Some v
+                | _ -> None)
+              lines
+          in
+          Alcotest.(check bool) "requests counted" true
+            (match find "requests" with
+            | Some v -> int_of_string v > 20
+            | None -> false);
+          Alcotest.(check bool) "latency percentiles present" true
+            (find "latency_p50_us" <> None
+            && find "latency_p95_us" <> None
+            && find "latency_p99_us" <> None);
+          Alcotest.(check bool) "cache hit rate present" true
+            (find "cache_hit_rate" <> None)
+      | Error m -> Alcotest.fail m);
+      (match Client.quit c with
+      | Ok [ "bye" ] -> ()
+      | Ok _ | Error _ -> Alcotest.fail "QUIT should answer bye");
+      ignore server)
+
+let test_e2e_concurrent_clients () =
+  let dir = temp_dir () in
+  let summary = small_summary ~seed:51 () in
+  let path = saved_summary dir "s" summary in
+  let catalog = Catalog.create () in
+  (match Catalog.load catalog ~name:"s" ~path with
+  | Ok _ -> ()
+  | Error m -> Alcotest.fail m);
+  let arity = Schema.arity (Summary.schema summary) in
+  let pool =
+    Array.init 16 (fun k ->
+        let sql =
+          Printf.sprintf "SELECT COUNT(*) FROM f WHERE a1 IN [%d,%d]" (k mod 4)
+            (min 4 ((k mod 4) + 2))
+        in
+        let q =
+          Predicate.of_alist ~arity
+            [ (1, Ranges.interval (k mod 4) (min 4 ((k mod 4) + 2))) ]
+        in
+        (sql, Summary.estimate summary q))
+  in
+  with_server ~workers:8 ~queue_depth:16 ~catalog dir (fun _ socket ->
+      let wrong = Atomic.make 0 and failed = Atomic.make 0 in
+      let client i =
+        match Client.connect ~timeout:10. (Client.Unix_socket socket) with
+        | Error _ -> Atomic.incr failed
+        | Ok c ->
+            for k = 0 to 49 do
+              let sql, expected = pool.((i + k) mod Array.length pool) in
+              match Client.query c ~name:"s" ~sql with
+              | Error _ -> Atomic.incr failed
+              | Ok payload -> (
+                  match Client.estimate_of_payload payload with
+                  | Some v when Float.abs (v -. expected) <= 1e-12 -> ()
+                  | _ -> Atomic.incr wrong)
+            done;
+            ignore (Client.quit c)
+      in
+      let threads = List.init 16 (fun i -> Thread.create client i) in
+      List.iter Thread.join threads;
+      Alcotest.(check int) "no transport failures" 0 (Atomic.get failed);
+      Alcotest.(check int) "no wrong answers" 0 (Atomic.get wrong))
+
+let test_e2e_busy () =
+  let dir = temp_dir () in
+  let summary = small_summary ~seed:61 () in
+  let path = saved_summary dir "s" summary in
+  let catalog = Catalog.create () in
+  (match Catalog.load catalog ~name:"s" ~path with
+  | Ok _ -> ()
+  | Error m -> Alcotest.fail m);
+  with_server ~workers:1 ~queue_depth:0 ~catalog dir (fun server socket ->
+      (* First connection occupies the only worker for its lifetime. *)
+      let c1 = connect_exn socket in
+      (match Client.ping c1 with
+      | Ok _ -> ()
+      | Error m -> Alcotest.fail m);
+      (* Second concurrent connection must be rejected immediately. *)
+      let c2 = connect_exn socket in
+      (match Client.ping c2 with
+      | Error m ->
+          Alcotest.(check bool) ("busy reject: " ^ m) true
+            (String.length m >= 4 && String.sub m 0 4 = "busy")
+      | Ok _ -> Alcotest.fail "expected ERR busy");
+      Client.close c2;
+      let rejects = (Metrics.snapshot (Server.metrics server)).Metrics.rejects in
+      Alcotest.(check bool) "reject counted" true (rejects >= 1);
+      (* Releasing the worker restores service. *)
+      ignore (Client.quit c1);
+      let c3 = connect_exn socket in
+      (match Client.ping c3 with
+      | Ok [ "pong" ] -> ()
+      | Ok _ | Error _ -> Alcotest.fail "service should recover after QUIT");
+      ignore (Client.quit c3))
+
+let test_e2e_deadline () =
+  let dir = temp_dir () in
+  let summary = small_summary ~seed:71 () in
+  let path = saved_summary dir "s" summary in
+  let catalog = Catalog.create () in
+  (match Catalog.load catalog ~name:"s" ~path with
+  | Ok _ -> ()
+  | Error m -> Alcotest.fail m);
+  (* An impossible deadline: every evaluated request must answer ERR
+     timeout (and still answer, not hang). *)
+  with_server ~request_deadline:1e-9 ~catalog dir (fun server socket ->
+      let c = connect_exn socket in
+      (match Client.query c ~name:"s" ~sql:"SELECT COUNT(*) FROM f WHERE a0 = 1" with
+      | Error m ->
+          Alcotest.(check bool) ("timeout reject: " ^ m) true
+            (String.length m >= 7 && String.sub m 0 7 = "timeout")
+      | Ok _ -> Alcotest.fail "expected ERR timeout");
+      ignore (Client.quit c);
+      let timeouts =
+        (Metrics.snapshot (Server.metrics server)).Metrics.timeouts
+      in
+      Alcotest.(check bool) "timeout counted" true (timeouts >= 1))
+
+let test_e2e_drain () =
+  let dir = temp_dir () in
+  let summary = small_summary ~seed:81 () in
+  let path = saved_summary dir "s" summary in
+  let catalog = Catalog.create () in
+  (match Catalog.load catalog ~name:"s" ~path with
+  | Ok _ -> ()
+  | Error m -> Alcotest.fail m);
+  let socket = Filename.concat dir "edb.sock" in
+  let server =
+    Server.create ~catalog
+      {
+        Server.default_config with
+        unix_socket = Some socket;
+        workers = 2;
+        queue_depth = 2;
+      }
+  in
+  Server.start server;
+  let c = connect_exn socket in
+  (match Client.query c ~name:"s" ~sql:"SELECT COUNT(*) FROM f WHERE a0 = 2" with
+  | Ok _ -> ()
+  | Error m -> Alcotest.fail m);
+  (* stop() while a connection is open: wait() must return (drain), the
+     socket must be unlinked, and the open connection must be closed. *)
+  Server.stop server;
+  let (), dt = Timing.time (fun () -> Server.wait server) in
+  Alcotest.(check bool) "drain is prompt" true (dt < 5.);
+  Alcotest.(check bool) "socket unlinked" true (not (Sys.file_exists socket));
+  (match Client.ping c with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "connection should be closed after drain");
+  Client.close c
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  (* Writes to sockets the peer already closed (drain test, busy test) must
+     surface as EPIPE errors, not kill the test process. *)
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  Alcotest.run "server"
+    [
+      ( "protocol",
+        [
+          request_roundtrip;
+          response_roundtrip;
+          Alcotest.test_case "negatives and framing" `Quick
+            test_protocol_negatives;
+        ] );
+      ("metrics", [ Alcotest.test_case "percentiles" `Quick test_metrics_percentiles ]);
+      ("catalog", [ Alcotest.test_case "LRU + accounting" `Quick test_catalog_lru ]);
+      ( "cache",
+        [ Alcotest.test_case "concurrent hammering" `Quick test_cache_concurrent ] );
+      ("handler", [ Alcotest.test_case "dispatch" `Quick test_handler_dispatch ]);
+      ( "end-to-end",
+        [
+          Alcotest.test_case "smoke over unix socket" `Quick test_e2e_smoke;
+          Alcotest.test_case "16 concurrent clients" `Quick
+            test_e2e_concurrent_clients;
+          Alcotest.test_case "admission control (ERR busy)" `Quick test_e2e_busy;
+          Alcotest.test_case "request deadline" `Quick test_e2e_deadline;
+          Alcotest.test_case "graceful drain" `Quick test_e2e_drain;
+        ] );
+    ]
