@@ -10,7 +10,12 @@
      SCALE=full dune exec bench/main.exe    # paper-sized budgets
 
    Experiments: fig2b fig3 fig4 fig5 fig6 fig7 fig8 compression ablation
-   hierarchy costs latency loadgen.
+   hierarchy costs latency loadgen shardscale.
+
+   Every experiment also writes a machine-readable BENCH_<name>.json next
+   to the printed tables (wall time, the tables themselves, and any
+   experiment-specific numbers), so the perf trajectory is comparable
+   across commits.
 
    `loadgen` starts an in-process edb_server on a temp Unix-domain socket
    and drives it with concurrent client threads (EDB_CLIENTS, default 16;
@@ -366,6 +371,180 @@ let loadgen config =
   [ table; stats_table ]
 
 (* ------------------------------------------------------------------ *)
+(* Sharded build scaling                                               *)
+(* ------------------------------------------------------------------ *)
+
+(* Experiments may push extra machine-readable numbers here; the driver
+   merges them into the experiment's BENCH_<name>.json and clears the
+   list between experiments. *)
+let extra_json : (string * Json.t) list ref = ref []
+
+(* Build-time speedup and query fidelity of edb_shard vs. the flat
+   summary, over shard counts.  Each shard's polynomial has the same
+   statistics as the flat one, so sequential sharded build costs ~k flat
+   builds; the interesting number is the parallel speedup (domains > 1
+   vs. the identical build at domains = 1) and that query answers stay
+   put: k = 1 must match flat bitwise, larger k within the model's own
+   noise. *)
+let shardscale config =
+  let domains = Parallel.default_domains () in
+  let cores = Domain.recommended_domain_count () in
+  let rel =
+    (Edb_datagen.Flights.generate ~rows:config.Config.flights_rows
+       ~seed:config.Config.seed ())
+      .coarse
+  in
+  let n = Edb_storage.Relation.cardinality rel in
+  let pairs =
+    Edb_select.Pairs.select ~strategy:Edb_select.Pairs.By_cover ~budget:2 rel
+  in
+  let buckets = List.hd config.Config.fig2b_budgets in
+  let joints =
+    List.concat_map
+      (fun (a, b) ->
+        Edb_select.Heuristic.select Edb_select.Heuristic.Composite rel
+          ~attr1:a ~attr2:b ~budget:buckets)
+      pairs
+  in
+  let solver_config = config.Config.solver in
+  Printf.printf
+    "shardscale: %d rows, %d joint statistics, %d domains (EDB_DOMAINS \
+     clamped to %d cores)\n%!"
+    n (List.length joints) domains cores;
+  let flat, flat_s =
+    Timing.time (fun () ->
+        Entropydb_core.Summary.build ~solver_config rel ~joints)
+  in
+  Printf.printf "flat build: %.2fs\n%!" flat_s;
+  (* Query pool: random conjunctive ranges over the selected pairs'
+     attributes, exact answers by scan. *)
+  let schema = Edb_storage.Relation.schema rel in
+  let arity = Edb_storage.Schema.arity schema in
+  let rng = Prng.create ~seed:(config.Config.seed + 41) () in
+  let queries =
+    List.init 32 (fun _ ->
+        let attrs =
+          let a, b = List.nth pairs (Prng.int rng (List.length pairs)) in
+          [ a; b ]
+        in
+        Edb_storage.Predicate.of_alist ~arity
+          (List.map
+             (fun attr ->
+               let size = Edb_storage.Schema.domain_size schema attr in
+               let lo = Prng.int rng size in
+               let hi = min (size - 1) (lo + 1 + Prng.int rng (size / 2)) in
+               (attr, Ranges.interval lo hi))
+             attrs))
+  in
+  let exact =
+    List.map (fun q -> float_of_int (Edb_storage.Exec.count rel q)) queries
+  in
+  let flat_answers =
+    List.map (fun q -> Entropydb_core.Summary.estimate flat q) queries
+  in
+  let table =
+    Table.create
+      ~title:
+        (Printf.sprintf
+           "Sharded build scaling (flights-coarse, %d rows, %d domains; \
+            flat build %.2fs)"
+           n domains flat_s)
+      ~headers:
+        [
+          "shards"; "seq build"; "par build"; "speedup"; "query";
+          "rel err vs exact"; "max dev vs flat";
+        ]
+      ~aligns:
+        [
+          Table.Right; Table.Right; Table.Right; Table.Right; Table.Right;
+          Table.Right; Table.Right;
+        ]
+      ()
+  in
+  let points =
+    List.map
+      (fun shards ->
+        let seq, seq_s =
+          Timing.time (fun () ->
+              Edb_shard.Builder.build ~solver_config ~domains:1 rel ~shards
+                ~strategy:Edb_shard.Partition.Rows ~joints)
+        in
+        let par, par_s =
+          Timing.time (fun () ->
+              Edb_shard.Builder.build ~solver_config ~domains rel ~shards
+                ~strategy:Edb_shard.Partition.Rows ~joints)
+        in
+        (* The build is deterministic across domain counts; estimates of
+           the two builds must agree bitwise.  Check it here, every run. *)
+        List.iter
+          (fun q ->
+            let a = Edb_shard.Sharded.estimate seq q
+            and b = Edb_shard.Sharded.estimate par q in
+            if a <> b then
+              failwith
+                (Printf.sprintf
+                   "shardscale: nondeterministic build at k=%d (%.17g vs \
+                    %.17g)"
+                   shards a b))
+          queries;
+        let answers, query_s =
+          Timing.time (fun () ->
+              List.map (fun q -> Edb_shard.Sharded.estimate par q) queries)
+        in
+        let per_query_us =
+          query_s /. float_of_int (List.length queries) *. 1e6
+        in
+        (* Median, not mean: random range queries include near-empty ones
+           whose relative error explodes and would swamp the average. *)
+        let rel_err =
+          Floatx.median
+            (Array.of_list
+               (List.map2
+                  (fun est ex -> Float.abs (est -. ex) /. max 1. ex)
+                  answers exact))
+        in
+        let max_dev =
+          List.fold_left2
+            (fun acc est fl ->
+              Float.max acc (Float.abs (est -. fl) /. max 1. fl))
+            0. answers flat_answers
+        in
+        let speedup = seq_s /. par_s in
+        Table.add_row table
+          [
+            string_of_int shards;
+            Printf.sprintf "%.2f s" seq_s;
+            Printf.sprintf "%.2f s" par_s;
+            Printf.sprintf "%.2fx" speedup;
+            Printf.sprintf "%.1f us" per_query_us;
+            Printf.sprintf "%.4f" rel_err;
+            (if max_dev = 0. then "0 (bitwise)"
+             else Printf.sprintf "%.4f" max_dev);
+          ];
+        Json.Obj
+          [
+            ("shards", Json.Int shards);
+            ("build_seq_s", Json.Float seq_s);
+            ("build_par_s", Json.Float par_s);
+            ("speedup", Json.Float speedup);
+            ("query_us", Json.Float per_query_us);
+            ("rel_err_vs_exact", Json.Float rel_err);
+            ("max_dev_vs_flat", Json.Float max_dev);
+          ])
+      [ 1; 2; 4; 8 ]
+  in
+  extra_json :=
+    [
+      ("rows", Json.Int n);
+      ("domains", Json.Int domains);
+      ("cores", Json.Int cores);
+      ("joint_statistics", Json.Int (List.length joints));
+      ("flat_build_s", Json.Float flat_s);
+      ("shard_points", Json.List points);
+    ];
+  [ table ]
+
+(* ------------------------------------------------------------------ *)
 (* Driver                                                              *)
 (* ------------------------------------------------------------------ *)
 
@@ -384,6 +563,7 @@ let experiments config =
     ("costs", fun () -> Figures.build_costs (get_lab config));
     ("latency", fun () -> latency config);
     ("loadgen", fun () -> loadgen config);
+    ("shardscale", fun () -> shardscale config);
   ]
 
 let () =
@@ -408,8 +588,20 @@ let () =
           exit 1
       | Some run ->
           Printf.printf "\n================ %s ================\n%!" name;
+          extra_json := [];
           let tables, dt = Timing.time run in
           print_tables tables;
-          Printf.printf "[%s done in %.1fs]\n%!" name dt)
+          let json_path = Printf.sprintf "BENCH_%s.json" name in
+          Json.write_file json_path
+            (Json.Obj
+               ([
+                  ("experiment", Json.Str name);
+                  ("scale", Json.Str (Config.scale_name config));
+                  ("seed", Json.Int config.Config.seed);
+                  ("wall_s", Json.Float dt);
+                  ("tables", Json.List (List.map Table.to_json tables));
+                ]
+               @ !extra_json));
+          Printf.printf "[%s done in %.1fs; wrote %s]\n%!" name dt json_path)
     requested;
   Printf.printf "\nTotal: %.1fs\n" (Timing.now_s () -. t0)

@@ -3,6 +3,8 @@
    Subcommands:
      generate    materialize a synthetic dataset as CSV
      build       compute a MaxEnt summary from a dataset and save it
+                 (--shards k builds a partitioned summary in parallel;
+                  `summarize` is the same command under the paper's name)
      query       answer SQL against a saved summary (optionally vs exact)
      info        inspect a saved summary
      serve       run the resident summary server (lib/server)
@@ -128,10 +130,14 @@ let heuristic_conv =
   let print ppf k = Fmt.string ppf (Edb_select.Heuristic.kind_name k) in
   Arg.conv (parse, print)
 
-let build_cmd =
+let build_cmd_named cmd_name ~doc =
   let run verbose dataset input rows seed output pairs buckets heuristic
-      sweeps =
+      sweeps shards shard_by =
     setup_logs verbose;
+    if shards < 1 then begin
+      Fmt.epr "%s: --shards must be at least 1@." cmd_name;
+      exit 2
+    end;
     let rel =
       match input with
       | Some path -> load_relation dataset path
@@ -155,14 +161,49 @@ let build_cmd =
     let solver_config =
       { Entropydb_core.Solver.default_config with max_sweeps = sweeps }
     in
-    let summary =
-      Entropydb_core.Summary.build ~solver_config rel ~joints
-    in
-    let report = Entropydb_core.Summary.solver_report summary in
-    Printf.printf "solved in %d sweeps, %.1fs (max rel err %.2e)\n"
-      report.sweeps report.seconds report.max_rel_error;
-    Entropydb_core.Serialize.save summary output;
-    Printf.printf "summary written to %s\n" output;
+    if shards = 1 then begin
+      (* A single shard is just the flat summary; save the flat format so
+         older readers keep working. *)
+      let summary = Entropydb_core.Summary.build ~solver_config rel ~joints in
+      let report = Entropydb_core.Summary.solver_report summary in
+      Printf.printf "solved in %d sweeps, %.1fs (max rel err %.2e)\n"
+        report.sweeps report.seconds report.max_rel_error;
+      Entropydb_core.Serialize.save summary output;
+      Printf.printf "summary written to %s\n" output
+    end
+    else begin
+      let strategy =
+        match shard_by with
+        | "rows" -> Edb_shard.Partition.Rows
+        | name -> (
+            match Schema.find schema name with
+            | Some attr -> Edb_shard.Partition.By_attr attr
+            | None ->
+                Fmt.epr "%s: --shard-by %s: no such attribute (use \"rows\" \
+                         or an attribute name)@."
+                  cmd_name name;
+                exit 2)
+      in
+      let solver_config =
+        { solver_config with log_every = 0 } (* domains share stdout *)
+      in
+      let sharded, build_s =
+        Edb_util.Timing.time (fun () ->
+            Edb_shard.Builder.build ~solver_config rel ~shards ~strategy
+              ~joints)
+      in
+      List.iteri
+        (fun i (r : Entropydb_core.Solver.report) ->
+          Printf.printf "shard %d: %d sweeps, %.1fs (max rel err %.2e)\n" i
+            r.sweeps r.seconds r.max_rel_error)
+        (Edb_shard.Sharded.solver_reports sharded);
+      Printf.printf "built %d shards in %.1fs (%d domains)\n" shards build_s
+        (Edb_util.Parallel.default_domains ());
+      Edb_shard.Store.save sharded output;
+      Printf.printf "sharded summary (%s) written to %s\n"
+        (Edb_shard.Sharded.strategy sharded)
+        output
+    end;
     0
   in
   let input_t =
@@ -206,11 +247,36 @@ let build_cmd =
       value & opt int 30
       & info [ "sweeps" ] ~docv:"N" ~doc:"Maximum solver sweeps.")
   in
-  Cmd.v
-    (Cmd.info "build" ~doc:"Compute and save a MaxEnt summary.")
+  let shards_t =
+    Arg.(
+      value & opt int 1
+      & info [ "shards" ] ~docv:"K"
+          ~doc:
+            "Partition the relation into $(docv) shards and build one \
+             summary per shard, in parallel over OCaml domains \
+             ($(b,EDB_DOMAINS)).  1 (the default) writes the flat format.")
+  in
+  let shard_by_t =
+    Arg.(
+      value & opt string "rows"
+      & info [ "shard-by" ] ~docv:"ATTR|rows"
+          ~doc:
+            "Partitioning key: $(b,rows) (contiguous row ranges) or an \
+             attribute name (hash of that attribute's value).")
+  in
+  Cmd.v (Cmd.info cmd_name ~doc)
     Term.(
       const run $ verbose_t $ dataset_t $ input_t $ rows_t $ seed_t $ output_t
-      $ pairs_t $ buckets_t $ heuristic_t $ sweeps_t)
+      $ pairs_t $ buckets_t $ heuristic_t $ sweeps_t $ shards_t $ shard_by_t)
+
+let build_cmd =
+  build_cmd_named "build" ~doc:"Compute and save a MaxEnt summary."
+
+let summarize_cmd =
+  (* The paper's verb for the same operation; kept as a first-class alias
+     so scripts can say `entropydb summarize --shards 4`. *)
+  build_cmd_named "summarize"
+    ~doc:"Compute and save a MaxEnt summary (alias of $(b,build))."
 
 (* ------------------------------------------------------------------ *)
 (* query                                                               *)
@@ -229,8 +295,10 @@ let query_cmd =
        inclusion-exclusion): turn any of it into a one-line diagnostic and
        a non-zero exit instead of an uncaught exception. *)
     try
-    let summary = Entropydb_core.Serialize.load summary_path in
-    let schema = Entropydb_core.Summary.schema summary in
+    (* Store.load sniffs the magic, so this accepts flat summaries and
+       sharded manifests alike; a flat file is a single-shard view. *)
+    let summary = Edb_shard.Store.load summary_path in
+    let schema = Edb_shard.Sharded.schema summary in
     match Edb_query.Translate.compile_string schema sql with
     | Error e ->
         Fmt.epr "query error: %a@." Edb_query.Translate.pp_error e;
@@ -239,9 +307,9 @@ let query_cmd =
         let predicate =
           conjunctive_exn c
         in
-        let est = Entropydb_core.Summary.estimate_sum summary ~attr predicate in
+        let est = Edb_shard.Sharded.estimate_sum summary ~attr predicate in
         let sd =
-          sqrt (Entropydb_core.Summary.variance_sum summary ~attr predicate)
+          sqrt (Edb_shard.Sharded.variance_sum summary ~attr predicate)
         in
         Printf.printf "estimate: %.2f +/- %.2f\n" est sd;
         (match (exact_csv, dataset) with
@@ -252,7 +320,7 @@ let query_cmd =
         0
     | Ok ({ aggregate = Edb_query.Translate.Avg attr; _ } as c) ->
         let predicate = conjunctive_exn c in
-        (match Entropydb_core.Summary.estimate_avg summary ~attr predicate with
+        (match Edb_shard.Sharded.estimate_avg summary ~attr predicate with
         | Some est -> Printf.printf "estimate: %.4f\n" est
         | None -> Printf.printf "estimate: undefined (expected count 0)\n");
         (match (exact_csv, dataset) with
@@ -264,8 +332,8 @@ let query_cmd =
         | _ -> ());
         0
     | Ok { disjuncts; group_attrs = []; _ } ->
-        let est = Entropydb_core.Disjunction.estimate summary disjuncts in
-        let sd = Entropydb_core.Disjunction.stddev summary disjuncts in
+        let est = Edb_shard.Sharded.estimate_disjuncts summary disjuncts in
+        let sd = Edb_shard.Sharded.stddev_disjuncts summary disjuncts in
         Printf.printf "estimate: %.2f +/- %.2f\n" est sd;
         (match (exact_csv, dataset) with
         | Some path, Some ds ->
@@ -276,7 +344,7 @@ let query_cmd =
     | Ok ({ group_attrs; order; limit; _ } as c) ->
         let predicate = conjunctive_exn c in
         let groups =
-          Entropydb_core.Summary.estimate_groups summary ~attrs:group_attrs
+          Edb_shard.Sharded.estimate_groups summary ~attrs:group_attrs
             predicate
         in
         let groups =
@@ -303,7 +371,7 @@ let query_cmd =
                   Predicate.restrict p attr (Edb_util.Ranges.singleton v))
                 predicate group_attrs values
             in
-            let sd = Entropydb_core.Summary.stddev summary group_pred in
+            let sd = Edb_shard.Sharded.stddev summary group_pred in
             Printf.printf "%s: %.2f +/- %.2f\n" (String.concat ", " labels) est
               sd)
           groups;
@@ -353,16 +421,41 @@ let query_cmd =
 let info_cmd =
   let run verbose summary_path =
     setup_logs verbose;
-    let summary = Entropydb_core.Serialize.load summary_path in
-    let schema = Entropydb_core.Summary.schema summary in
-    Printf.printf "cardinality: %d\n" (Entropydb_core.Summary.cardinality summary);
-    Fmt.pr "schema:@.%a@." Schema.pp schema;
-    Fmt.pr "%a@." Entropydb_core.Summary.pp_size_report
-      (Entropydb_core.Summary.size_report summary);
-    let report = Entropydb_core.Summary.solver_report summary in
-    Printf.printf "solver: %d sweeps, converged=%b, max rel err %.2e\n"
-      report.sweeps report.converged report.max_rel_error;
-    0
+    try
+      let summary = Edb_shard.Store.load summary_path in
+      let schema = Edb_shard.Sharded.schema summary in
+      let k = Edb_shard.Sharded.num_shards summary in
+      Printf.printf "format: %s\n"
+        (match Entropydb_core.Serialize.detect summary_path with
+        | Entropydb_core.Serialize.Flat -> "flat"
+        | Entropydb_core.Serialize.Sharded -> "sharded manifest");
+      Printf.printf "shards: %d (%s)\n" k (Edb_shard.Sharded.strategy summary);
+      Printf.printf "cardinality: %d%s\n"
+        (Edb_shard.Sharded.cardinality summary)
+        (if k = 1 then ""
+         else
+           Printf.sprintf " (per shard: %s)"
+             (String.concat ", "
+                (List.map string_of_int
+                   (Edb_shard.Sharded.cardinalities summary))));
+      Fmt.pr "schema:@.%a@." Schema.pp schema;
+      Fmt.pr "%a@." Entropydb_core.Summary.pp_size_report
+        (Edb_shard.Sharded.size_report summary);
+      List.iteri
+        (fun i (report : Entropydb_core.Solver.report) ->
+          Printf.printf
+            "solver%s: %d sweeps, converged=%b, max rel err %.2e\n"
+            (if k = 1 then "" else Printf.sprintf " (shard %d)" i)
+            report.sweeps report.converged report.max_rel_error)
+        (Edb_shard.Sharded.solver_reports summary);
+      0
+    with
+    | Entropydb_core.Serialize.Format_error m ->
+        Fmt.epr "info error: %s: %s@." summary_path m;
+        1
+    | Sys_error m ->
+        Fmt.epr "info error: %s@." m;
+        1
   in
   let summary_t =
     Arg.(
@@ -751,6 +844,6 @@ let () =
     (Cmd.eval'
        (Cmd.group info
           [
-            generate_cmd; build_cmd; query_cmd; info_cmd; serve_cmd;
-            client_cmd; evaluate_cmd; experiment_cmd;
+            generate_cmd; build_cmd; summarize_cmd; query_cmd; info_cmd;
+            serve_cmd; client_cmd; evaluate_cmd; experiment_cmd;
           ]))

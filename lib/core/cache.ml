@@ -25,7 +25,7 @@ type key = (int * (int * int) list) list
 type entry = { value : float; mutable last_used : int }
 
 type t = {
-  summary : Summary.t;
+  eval : Predicate.t -> float;
   capacity : int;
   table : (key, entry) Hashtbl.t;
   lock : Mutex.t;
@@ -35,10 +35,12 @@ type t = {
   mutable evictions : int;
 }
 
-let create ?(capacity = 4096) summary =
+(* The cache only needs a pure estimator, not a whole summary; sharded
+   summaries (lib/shard) reuse it through this entry point. *)
+let of_fn ?(capacity = 4096) eval =
   if capacity < 1 then invalid_arg "Cache.create: capacity must be positive";
   {
-    summary;
+    eval;
     capacity;
     table = Hashtbl.create (2 * capacity);
     lock = Mutex.create ();
@@ -47,6 +49,8 @@ let create ?(capacity = 4096) summary =
     misses = 0;
     evictions = 0;
   }
+
+let create ?capacity summary = of_fn ?capacity (Summary.estimate summary)
 
 let with_lock t f =
   Mutex.lock t.lock;
@@ -93,7 +97,7 @@ let estimate t pred =
   match cached with
   | Some value -> value
   | None ->
-      let value = Summary.estimate t.summary pred in
+      let value = t.eval pred in
       with_lock t (fun () ->
           if
             (not (Hashtbl.mem t.table key))

@@ -14,6 +14,11 @@ type t
 val create : ?capacity:int -> Summary.t -> t
 (** Default capacity 4096 entries.  Raises on non-positive capacities. *)
 
+val of_fn : ?capacity:int -> (Predicate.t -> float) -> t
+(** Cache an arbitrary pure estimator (e.g. a sharded summary's fan-out
+    estimate).  The function must be deterministic and safe to call from
+    concurrent threads; it runs outside the cache's lock. *)
+
 val estimate : t -> Predicate.t -> float
 (** Same value as {!Summary.estimate}; cached. *)
 

@@ -411,7 +411,11 @@ let create ?(term_cap = 2_000_000) phi =
     Array.map
       (fun s ->
         match Statistic.kind s with
-        | Statistic.Marginal _ -> Statistic.target s /. n
+        (* n = 0 (an empty shard of a partitioned relation): every target
+           is 0, so seed the variables at 0 rather than 0/0 = nan; the
+           degenerate model answers every query with 0 via the P <= 0
+           guards below. *)
+        | Statistic.Marginal _ -> if n > 0. then Statistic.target s /. n else 0.
         | Statistic.Joint _ -> 1.)
       (Phi.stats phi)
   in
@@ -540,7 +544,8 @@ let reinit t strategy =
       let j = Statistic.id s in
       t.alpha.(j) <-
         (match (Statistic.kind s, strategy) with
-        | Statistic.Marginal _, `Marginals -> Statistic.target s /. n
+        | Statistic.Marginal _, `Marginals ->
+            if n > 0. then Statistic.target s /. n else 0.
         | _, _ -> 1.))
     (Phi.stats t.phi);
   refresh t

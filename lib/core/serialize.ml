@@ -89,3 +89,122 @@ let load ?term_cap path =
       Array.iteri (fun j a -> Poly.set_alpha poly j a) payload.p_alpha;
       Poly.refresh poly;
       Summary.of_solved_poly ~poly ~report:payload.p_report)
+
+(* ------------------------------------------------------------------ *)
+(* Sharded manifests                                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* A sharded summary (lib/shard) persists as one manifest file plus one
+   flat summary file per shard.  The manifest is deliberately *not*
+   Marshal: plain length-prefixed fields keep every corruption mode (bad
+   magic, truncation, shard-count mismatch, trailing garbage) detectable
+   as a Format_error instead of a segfault or silent misread.
+
+   Layout: magic (10 bytes, shares the flat prefix but a distinct tag
+   byte) | version | strategy string | shard count k | k shard file
+   names, each relative to the manifest's directory. *)
+
+let sharded_magic = "ENTROPYDB\x02"
+let sharded_version = 1
+let max_shards = 100_000
+let max_name_len = 4096
+
+type format = Flat | Sharded
+
+let read_magic ic =
+  try really_input_string ic (String.length magic)
+  with End_of_file -> raise (Format_error "truncated file")
+
+let detect path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let buf = read_magic ic in
+      if buf = magic then Flat
+      else if buf = sharded_magic then Sharded
+      else raise (Format_error "bad magic"))
+
+let output_str oc s =
+  output_binary_int oc (String.length s);
+  output_string oc s
+
+let input_int ic what =
+  try input_binary_int ic
+  with End_of_file -> raise (Format_error ("truncated " ^ what))
+
+let input_str ic ~max what =
+  let len = input_int ic what in
+  if len < 0 || len > max then
+    raise (Format_error (Printf.sprintf "implausible %s length %d" what len));
+  try really_input_string ic len
+  with End_of_file -> raise (Format_error ("truncated " ^ what))
+
+let shard_file_name path i =
+  Printf.sprintf "%s.shard%d" (Filename.basename path) i
+
+let save_sharded ~strategy summaries path =
+  let k = Array.length summaries in
+  if k < 1 then invalid_arg "Serialize.save_sharded: no shards";
+  let dir = Filename.dirname path in
+  let names = Array.to_list (Array.init k (shard_file_name path)) in
+  List.iteri
+    (fun i name -> save summaries.(i) (Filename.concat dir name))
+    names;
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc sharded_magic;
+      output_binary_int oc sharded_version;
+      output_str oc strategy;
+      output_binary_int oc k;
+      List.iter (output_str oc) names)
+
+let load_sharded ?term_cap path =
+  let strategy, names =
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () ->
+        let buf = read_magic ic in
+        if buf <> sharded_magic then raise (Format_error "bad magic");
+        let v = input_int ic "header" in
+        if v <> sharded_version then
+          raise
+            (Format_error (Printf.sprintf "unsupported manifest version %d" v));
+        let strategy = input_str ic ~max:max_name_len "strategy" in
+        let k = input_int ic "shard count" in
+        if k < 1 || k > max_shards then
+          raise (Format_error (Printf.sprintf "implausible shard count %d" k));
+        let names =
+          List.init k (fun _ -> input_str ic ~max:max_name_len "shard name")
+        in
+        (* The recorded count and the name list must tile the file exactly;
+           leftover bytes mean the count field and the list disagree. *)
+        (match input_char ic with
+        | _ -> raise (Format_error "shard-count mismatch (trailing bytes)")
+        | exception End_of_file -> ());
+        (strategy, names))
+  in
+  let dir = Filename.dirname path in
+  let shards =
+    List.map
+      (fun name ->
+        let file = Filename.concat dir name in
+        if not (Sys.file_exists file) then
+          raise
+            (Format_error
+               (Printf.sprintf "shard-count mismatch: missing shard file %s"
+                  name));
+        load ?term_cap file)
+      names
+  in
+  let shards = Array.of_list shards in
+  let schema0 = Summary.schema shards.(0) in
+  Array.iter
+    (fun s ->
+      if Stdlib.compare (Summary.schema s) schema0 <> 0 then
+        raise (Format_error "shard schema mismatch"))
+    shards;
+  (strategy, shards)

@@ -1,5 +1,7 @@
-(** Summary persistence: one versioned binary file per summary, sized
-    O(#statistics).  The compressed polynomial is rebuilt on load. *)
+(** Summary persistence: one versioned binary file per flat summary,
+    sized O(#statistics), plus a versioned manifest format for sharded
+    summaries (one manifest referencing k flat per-shard files).  The
+    compressed polynomial is rebuilt on load. *)
 
 exception Format_error of string
 
@@ -8,3 +10,29 @@ val save : Summary.t -> string -> unit
 val load : ?term_cap:int -> string -> Summary.t
 (** Raises {!Format_error} on bad magic, version, or payload shape, and
     like {!Poly.create} if the rebuilt polynomial exceeds [term_cap]. *)
+
+(** {2 Sharded manifests}
+
+    A sharded summary persists as one manifest file (magic, version,
+    partitioning-strategy tag, shard count, per-shard file names) next to
+    one flat summary file per shard, named [<base>.shard<i>].  Shard
+    files are referenced relative to the manifest's directory, so the
+    whole group moves together. *)
+
+type format = Flat | Sharded
+
+val detect : string -> format
+(** Classify a summary file by magic; {!Format_error} when it is
+    neither.  Reads only the header. *)
+
+val save_sharded : strategy:string -> Summary.t array -> string -> unit
+(** Write the per-shard files and then the manifest at [path].
+    [strategy] is an opaque tag (e.g. ["rows"] or ["attr:origin"]) stored
+    for provenance.  Raises [Invalid_argument] on an empty array. *)
+
+val load_sharded : ?term_cap:int -> string -> string * Summary.t array
+(** Load a manifest and all its shards; returns the strategy tag and the
+    shard summaries in manifest order.  Raises {!Format_error} on bad
+    magic, unsupported version, truncated fields, a shard count that
+    disagrees with the name list or the files on disk, per-shard
+    corruption, or a schema mismatch between shards — never a crash. *)

@@ -188,7 +188,28 @@ let solve_multiplicative config poly =
     seconds = Edb_util.Timing.now_s () -. t0;
   }
 
+(* An empty relation (n = 0, e.g. an empty shard of a partitioned build)
+   has every target at 0: pin all variables to 0 and report immediate
+   convergence instead of running sweeps against a degenerate dual (the
+   divergence detector would otherwise fire on P = 0). *)
+let solve_empty poly =
+  let phi = Poly.phi poly in
+  let t0 = Edb_util.Timing.now_s () in
+  for j = 0 to Phi.num_stats phi - 1 do
+    Poly.set_alpha poly j 0.
+  done;
+  Poly.refresh poly;
+  {
+    sweeps = 0;
+    converged = true;
+    max_rel_error = 0.;
+    dual_trace = [];
+    seconds = Edb_util.Timing.now_s () -. t0;
+  }
+
 let solve ?(config = default_config) poly =
-  match config.algorithm with
-  | Coordinate -> solve_coordinate config poly
-  | Multiplicative -> solve_multiplicative config poly
+  if Phi.n (Poly.phi poly) = 0 then solve_empty poly
+  else
+    match config.algorithm with
+    | Coordinate -> solve_coordinate config poly
+    | Multiplicative -> solve_multiplicative config poly

@@ -1,11 +1,13 @@
 (* The server's directory of resident summaries.
 
-   Summaries are built offline (`entropydb build`) and loaded by name from
-   disk via Core.Serialize.  The catalog keeps at most [capacity] of them
-   resident — an LRU over whole summaries, one level above the per-summary
-   query cache — because a deployment may serve many datasets whose
-   summaries together exceed memory even though each is tiny relative to
-   its base data.
+   Summaries are built offline (`entropydb build`/`summarize`) and loaded
+   by name from disk — flat files and sharded manifests alike, sniffed by
+   magic (Edb_shard.Store), so clients never care how a summary was
+   partitioned.  The catalog keeps at most [capacity] of them resident —
+   an LRU over whole summaries, one level above the per-summary query
+   cache — because a deployment may serve many datasets whose summaries
+   together exceed memory even though each is tiny relative to its base
+   data.
 
    Thread-safety: the table, LRU clock, and counters are mutex-guarded.
    Deserialization (the expensive part) runs outside the lock, so a slow
@@ -18,7 +20,7 @@ open Entropydb_core
 type entry = {
   name : string;
   path : string;
-  summary : Summary.t;
+  summary : Edb_shard.Sharded.t;
   cache : Cache.t;
   mutable last_used : int;
 }
@@ -26,6 +28,7 @@ type entry = {
 type stats = {
   resident : int;
   capacity : int;
+  shards : int;
   hits : int;
   misses : int;
   loads : int;
@@ -81,7 +84,7 @@ let evict_lru t =
   done
 
 let load t ~name ~path =
-  match Serialize.load path with
+  match Edb_shard.Store.load path with
   | exception Serialize.Format_error m ->
       Error (Printf.sprintf "%s: bad summary file: %s" path m)
   | exception Sys_error m -> Error m
@@ -91,7 +94,9 @@ let load t ~name ~path =
           name;
           path;
           summary;
-          cache = Cache.create ~capacity:t.cache_capacity summary;
+          cache =
+            Cache.of_fn ~capacity:t.cache_capacity
+              (Edb_shard.Sharded.estimate summary);
           last_used = 0;
         }
       in
@@ -141,6 +146,10 @@ let stats t =
       {
         resident = Hashtbl.length t.table;
         capacity = t.capacity;
+        shards =
+          Hashtbl.fold
+            (fun _ e acc -> acc + Edb_shard.Sharded.num_shards e.summary)
+            t.table 0;
         hits = t.hits;
         misses = t.misses;
         loads = t.loads;

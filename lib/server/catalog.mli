@@ -1,7 +1,8 @@
 (** Directory of resident summaries, keyed by name.
 
     At most [capacity] summaries stay loaded (LRU eviction over whole
-    summaries); each resident summary is fronted by its own thread-safe
+    summaries); each resident summary — flat or sharded, loaded
+    transparently by magic — is fronted by its own thread-safe
     {!Entropydb_core.Cache}.  All operations are safe to call from
     concurrent server workers; deserialization happens outside the lock. *)
 
@@ -10,7 +11,8 @@ open Entropydb_core
 type entry = {
   name : string;
   path : string;
-  summary : Summary.t;
+  summary : Edb_shard.Sharded.t;
+      (** flat files load as single-shard views *)
   cache : Cache.t;
   mutable last_used : int;  (** LRU clock value; managed by the catalog *)
 }
@@ -18,6 +20,7 @@ type entry = {
 type stats = {
   resident : int;
   capacity : int;
+  shards : int;  (** total resident shards across all entries *)
   hits : int;  (** {!find} results that were resident *)
   misses : int;
   loads : int;
@@ -32,9 +35,9 @@ val create : ?capacity:int -> ?cache_capacity:int -> unit -> t
     capacity. *)
 
 val load : t -> name:string -> path:string -> (entry, string) result
-(** Deserialize [path] and make it resident under [name], evicting the
-    least-recently-used entries beyond capacity.  Replaces any previous
-    summary of the same name. *)
+(** Deserialize [path] (flat summary or sharded manifest) and make it
+    resident under [name], evicting the least-recently-used entries
+    beyond capacity.  Replaces any previous summary of the same name. *)
 
 val find : t -> string -> entry option
 (** Resident lookup; bumps the entry's LRU position and the hit/miss

@@ -14,6 +14,7 @@
 
 open Edb_storage
 open Entropydb_core
+module Sharded = Edb_shard.Sharded
 module T = Edb_query.Translate
 
 let float_str v = Printf.sprintf "%.17g" v
@@ -27,7 +28,7 @@ let err code fmt =
 
 let group_lines summary schema (c : T.compiled) predicate =
   let groups =
-    Summary.estimate_groups summary ~attrs:c.group_attrs predicate
+    Sharded.estimate_groups summary ~attrs:c.group_attrs predicate
   in
   let groups =
     match c.order with
@@ -53,7 +54,7 @@ let group_lines summary schema (c : T.compiled) predicate =
             Predicate.restrict p attr (Edb_util.Ranges.singleton v))
           predicate c.group_attrs values
       in
-      let sd = Summary.stddev summary group_pred in
+      let sd = Sharded.stddev summary group_pred in
       (* Labels go last: they may contain spaces. *)
       Printf.sprintf "group %s %s %s" (float_str est) (float_str sd)
         (String.concat "," labels))
@@ -61,7 +62,7 @@ let group_lines summary schema (c : T.compiled) predicate =
 
 let run_sql (entry : Catalog.entry) sql =
   let summary = entry.Catalog.summary in
-  let schema = Summary.schema summary in
+  let schema = Sharded.schema summary in
   match T.compile_string schema sql with
   | Error e -> err Protocol.err_parse "%s" e.T.message
   | Ok c -> (
@@ -74,24 +75,24 @@ let run_sql (entry : Catalog.entry) sql =
               (Schema.attr_name schema attr)
         | { aggregate = T.Sum attr; _ } ->
             let predicate = Option.get (T.conjunctive c) in
-            let est = Summary.estimate_sum summary ~attr predicate in
-            let sd = sqrt (Summary.variance_sum summary ~attr predicate) in
+            let est = Sharded.estimate_sum summary ~attr predicate in
+            let sd = sqrt (Sharded.variance_sum summary ~attr predicate) in
             Protocol.Ok
               [ "estimate " ^ float_str est; "stddev " ^ float_str sd ]
         | { aggregate = T.Avg attr; _ } -> (
             let predicate = Option.get (T.conjunctive c) in
-            match Summary.estimate_avg summary ~attr predicate with
+            match Sharded.estimate_avg summary ~attr predicate with
             | Some est -> Protocol.Ok [ "estimate " ^ float_str est ]
             | None -> Protocol.Ok [ "estimate undefined" ])
         | { group_attrs = []; disjuncts = [ predicate ]; _ } ->
             (* The hot path: conjunctive COUNT through the shared cache. *)
             let est = Cache.estimate entry.Catalog.cache predicate in
-            let sd = Summary.stddev summary predicate in
+            let sd = Sharded.stddev summary predicate in
             Protocol.Ok
               [ "estimate " ^ float_str est; "stddev " ^ float_str sd ]
         | { group_attrs = []; disjuncts; _ } ->
-            let est = Disjunction.estimate summary disjuncts in
-            let sd = Disjunction.stddev summary disjuncts in
+            let est = Sharded.estimate_disjuncts summary disjuncts in
+            let sd = Sharded.stddev_disjuncts summary disjuncts in
             Protocol.Ok
               [ "estimate " ^ float_str est; "stddev " ^ float_str sd ]
         | _ -> (
@@ -107,7 +108,7 @@ let run_sql (entry : Catalog.entry) sql =
 
 let explain_sql (entry : Catalog.entry) sql =
   let summary = entry.Catalog.summary in
-  let schema = Summary.schema summary in
+  let schema = Sharded.schema summary in
   match T.compile_string schema sql with
   | Error e -> err Protocol.err_parse "%s" e.T.message
   | Ok c ->
@@ -165,6 +166,7 @@ let stats_lines catalog metrics =
     Printf.sprintf "rejects %d" m.Metrics.rejects;
     Printf.sprintf "catalog_resident %d" c.Catalog.resident;
     Printf.sprintf "catalog_capacity %d" c.Catalog.capacity;
+    Printf.sprintf "catalog_shards %d" c.Catalog.shards;
     Printf.sprintf "catalog_hits %d" c.Catalog.hits;
     Printf.sprintf "catalog_misses %d" c.Catalog.misses;
     Printf.sprintf "catalog_loads %d" c.Catalog.loads;
@@ -202,8 +204,10 @@ let handle ~catalog ~metrics (request : Protocol.request) :
       let lines =
         List.map
           (fun (e : Catalog.entry) ->
-            Printf.sprintf "summary %s cardinality %d path %s" e.Catalog.name
-              (Summary.cardinality e.Catalog.summary)
+            Printf.sprintf "summary %s cardinality %d shards %d path %s"
+              e.Catalog.name
+              (Sharded.cardinality e.Catalog.summary)
+              (Sharded.num_shards e.Catalog.summary)
               e.Catalog.path)
           (Catalog.entries catalog)
       in
@@ -213,8 +217,9 @@ let handle ~catalog ~metrics (request : Protocol.request) :
       | Ok entry ->
           ( Protocol.Ok
               [
-                Printf.sprintf "loaded %s cardinality %d" name
-                  (Summary.cardinality entry.Catalog.summary);
+                Printf.sprintf "loaded %s cardinality %d shards %d" name
+                  (Sharded.cardinality entry.Catalog.summary)
+                  (Sharded.num_shards entry.Catalog.summary);
               ],
             Keep )
       | Error m -> (err Protocol.err_load "%s" m, Keep))

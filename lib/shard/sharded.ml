@@ -1,0 +1,130 @@
+(* A partitioned MaxEnt summary: k per-shard summaries answering as one.
+
+   Every estimator fans the query out to all shards and combines the
+   per-shard answers.  The combination is *exact*, not approximate: a
+   COUNT over a horizontally partitioned relation is a sum of independent
+   linear queries, so expectations add by linearity (Sec. 4.2's E[<q,I>]
+   applied per shard) and variances add because the per-shard MaxEnt
+   models are independent distributions.  The only approximation anywhere
+   is the per-shard model itself — exactly as for a flat summary.
+
+   Per-shard answers are combined left to right in shard order, so a
+   sharded summary's answers are deterministic and, at k = 1, bitwise
+   identical to the flat summary's. *)
+
+open Entropydb_core
+
+type t = {
+  shards : Summary.t array;
+  strategy : string; (* provenance tag, e.g. "rows", "attr:origin", "flat" *)
+}
+
+let create ?(strategy = "rows") shards =
+  if Array.length shards = 0 then invalid_arg "Sharded.create: no shards";
+  let schema0 = Summary.schema shards.(0) in
+  Array.iter
+    (fun s ->
+      if Stdlib.compare (Summary.schema s) schema0 <> 0 then
+        invalid_arg "Sharded.create: shard schema mismatch")
+    shards;
+  { shards; strategy }
+
+let of_flat summary = { shards = [| summary |]; strategy = "flat" }
+let shards t = t.shards
+let num_shards t = Array.length t.shards
+let strategy t = t.strategy
+let schema t = Summary.schema t.shards.(0)
+
+let cardinality t =
+  Array.fold_left (fun acc s -> acc + Summary.cardinality s) 0 t.shards
+
+let cardinalities t = Array.to_list (Array.map Summary.cardinality t.shards)
+let solver_reports t = Array.to_list (Array.map Summary.solver_report t.shards)
+
+(* Left-to-right sum over shards; starting from 0. keeps k = 1 bitwise
+   equal to the flat answer (0. +. x = x for the non-negative estimates
+   involved here). *)
+let sum_over t f = Array.fold_left (fun acc s -> acc +. f s) 0. t.shards
+
+let estimate t query = sum_over t (fun s -> Summary.estimate s query)
+
+let estimate_rounded t query =
+  let e = estimate t query in
+  if e < 0.5 then 0. else e
+
+let variance t query = sum_over t (fun s -> Summary.variance s query)
+let stddev t query = sqrt (variance t query)
+
+let estimate_sum t ~attr ?weights query =
+  sum_over t (fun s -> Summary.estimate_sum s ~attr ?weights query)
+
+let variance_sum t ~attr ?weights query =
+  sum_over t (fun s -> Summary.variance_sum s ~attr ?weights query)
+
+let estimate_avg t ~attr query =
+  let count = estimate t query in
+  if count <= 0. then None else Some (estimate_sum t ~attr query /. count)
+
+(* Disjunctions: inclusion–exclusion is itself a linear combination of
+   conjunctive counts, so it distributes over shards like any other
+   linear query. *)
+let estimate_disjuncts t disjuncts =
+  sum_over t (fun s -> Disjunction.estimate s disjuncts)
+
+let variance_disjuncts t disjuncts =
+  sum_over t (fun s -> Disjunction.variance s disjuncts)
+
+let stddev_disjuncts t disjuncts = sqrt (variance_disjuncts t disjuncts)
+
+(* GROUP BY: every shard enumerates the same group keys in the same order
+   (the enumeration is driven by the schema's domains and the query's
+   restrictions, not by data), so the per-shard lists merge key by key.
+   Shard 0's key order is kept. *)
+let estimate_groups t ~attrs query =
+  let base = Summary.estimate_groups t.shards.(0) ~attrs query in
+  if Array.length t.shards = 1 then base
+  else begin
+    let totals = Hashtbl.create (List.length base) in
+    List.iter (fun (key, v) -> Hashtbl.replace totals key v) base;
+    for i = 1 to Array.length t.shards - 1 do
+      List.iter
+        (fun (key, v) ->
+          match Hashtbl.find_opt totals key with
+          | Some acc -> Hashtbl.replace totals key (acc +. v)
+          | None -> Hashtbl.replace totals key v)
+        (Summary.estimate_groups t.shards.(i) ~attrs query)
+    done;
+    List.map (fun (key, _) -> (key, Hashtbl.find totals key)) base
+  end
+
+(* Same selection policy as {!Summary.top_k_groups} so k = 1 matches the
+   flat summary exactly, ties included. *)
+let top_k_groups t ~attrs ~k query =
+  let groups = estimate_groups t ~attrs query in
+  let sorted = List.sort (fun (_, a) (_, b) -> compare b a) groups in
+  List.filteri (fun i _ -> i < k) sorted
+
+let size_report t =
+  Array.fold_left
+    (fun (acc : Summary.size_report) s ->
+      let r = Summary.size_report s in
+      {
+        Summary.num_statistics = acc.num_statistics + r.num_statistics;
+        num_marginals = acc.num_marginals + r.num_marginals;
+        num_terms = acc.num_terms + r.num_terms;
+        num_groups = acc.num_groups + r.num_groups;
+        uncompressed_monomials =
+          acc.uncompressed_monomials +. r.uncompressed_monomials;
+      })
+    {
+      Summary.num_statistics = 0;
+      num_marginals = 0;
+      num_terms = 0;
+      num_groups = 0;
+      uncompressed_monomials = 0.;
+    }
+    t.shards
+
+let pp ppf t =
+  Fmt.pf ppf "sharded(%d shard(s), %s, %d rows)" (num_shards t) t.strategy
+    (cardinality t)

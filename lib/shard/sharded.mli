@@ -1,0 +1,75 @@
+(** Partitioned MaxEnt summaries answering as one.
+
+    A value of type {!t} wraps k per-shard {!Entropydb_core.Summary.t}
+    values over the same schema and implements the full estimator
+    surface by fanning each query out to every shard and combining
+    exactly: expectations add by linearity of expectation, variances add
+    by independence of the per-shard models.  Sharding introduces zero
+    additional approximation beyond the per-shard models themselves; at
+    k = 1 every answer is bitwise identical to the flat summary's. *)
+
+open Edb_storage
+open Entropydb_core
+
+type t
+
+val create : ?strategy:string -> Summary.t array -> t
+(** Wrap per-shard summaries (shard order is preserved and significant).
+    [strategy] is a provenance tag, default ["rows"].  Raises
+    [Invalid_argument] on an empty array or a schema mismatch. *)
+
+val of_flat : Summary.t -> t
+(** A single-shard view of a flat summary (strategy ["flat"]); answers
+    are bitwise identical to the wrapped summary's. *)
+
+val shards : t -> Summary.t array
+(** The per-shard summaries, in shard order; callers must not mutate. *)
+
+val num_shards : t -> int
+val strategy : t -> string
+val schema : t -> Schema.t
+
+val cardinality : t -> int
+(** Total rows across shards. *)
+
+val cardinalities : t -> int list
+(** Per-shard rows, in shard order. *)
+
+val solver_reports : t -> Solver.report list
+
+(** {1 Estimators — the {!Entropydb_core.Summary} surface, shard-exact} *)
+
+val estimate : t -> Predicate.t -> float
+val estimate_rounded : t -> Predicate.t -> float
+val variance : t -> Predicate.t -> float
+val stddev : t -> Predicate.t -> float
+
+val estimate_sum :
+  t -> attr:int -> ?weights:(int -> float) -> Predicate.t -> float
+
+val variance_sum :
+  t -> attr:int -> ?weights:(int -> float) -> Predicate.t -> float
+
+val estimate_avg : t -> attr:int -> Predicate.t -> float option
+(** Total expected SUM over total expected COUNT; [None] when the
+    expected count is 0. *)
+
+val estimate_groups :
+  t -> attrs:int list -> Predicate.t -> (int list * float) list
+(** Group keys appear in shard 0's enumeration order (identical to the
+    flat summary's order: enumeration is schema-driven). *)
+
+val top_k_groups :
+  t -> attrs:int list -> k:int -> Predicate.t -> (int list * float) list
+
+val estimate_disjuncts : t -> Predicate.t list -> float
+(** Inclusion–exclusion COUNT over a disjunction of conjunctive
+    predicates; raises like {!Entropydb_core.Disjunction.estimate}. *)
+
+val variance_disjuncts : t -> Predicate.t list -> float
+val stddev_disjuncts : t -> Predicate.t list -> float
+
+val size_report : t -> Summary.size_report
+(** Aggregate over shards (fields summed). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,20 @@
+(* Transparent persistence for sharded summaries.
+
+   Save always writes the manifest format (Core.Serialize.save_sharded),
+   even at k = 1, so the partitioning strategy survives round trips.
+   Load sniffs the magic: flat files come back as a single-shard view,
+   manifests as the full shard group — callers never need to know which
+   format a path holds. *)
+
+open Entropydb_core
+
+let save sharded path =
+  Serialize.save_sharded ~strategy:(Sharded.strategy sharded)
+    (Sharded.shards sharded) path
+
+let load ?term_cap path =
+  match Serialize.detect path with
+  | Serialize.Flat -> Sharded.of_flat (Serialize.load ?term_cap path)
+  | Serialize.Sharded ->
+      let strategy, shards = Serialize.load_sharded ?term_cap path in
+      Sharded.create ~strategy shards

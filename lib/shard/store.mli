@@ -1,0 +1,11 @@
+(** Transparent persistence: load any summary file — flat or sharded
+    manifest — as a {!Sharded.t}. *)
+
+val save : Sharded.t -> string -> unit
+(** Write the manifest plus per-shard files
+    (see {!Entropydb_core.Serialize.save_sharded}). *)
+
+val load : ?term_cap:int -> string -> Sharded.t
+(** Sniff the file's magic and load either format; a flat file becomes a
+    single-shard view.  Raises {!Entropydb_core.Serialize.Format_error}
+    like the underlying loaders. *)

@@ -1,0 +1,17 @@
+(** Minimal JSON emission for machine-readable benchmark artifacts
+    ([BENCH_<name>.json]).  Emission only; no parser. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float  (** non-finite values emit as [null] *)
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Compact (single-line) rendering. *)
+
+val write_file : string -> t -> unit
+(** [write_file path v] writes [to_string v] plus a trailing newline. *)

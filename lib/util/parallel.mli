@@ -3,8 +3,10 @@
     workers must only read shared state. *)
 
 val default_domains : unit -> int
-(** Worker count from the [EDB_DOMAINS] environment variable; 1 (fully
-    sequential) when unset or invalid. *)
+(** Worker count from the [EDB_DOMAINS] environment variable, clamped to
+    [Domain.recommended_domain_count ()] (oversubscribing domains only
+    adds GC-barrier stalls); 1 (fully sequential) when unset or
+    invalid. *)
 
 val fold :
   domains:int ->

@@ -33,6 +33,22 @@ let addf_cell fmt = Printf.sprintf fmt
 let cell_float ?(prec = 3) v = Printf.sprintf "%.*f" prec v
 let cell_int v = string_of_int v
 
+let title t = t.title
+let headers t = t.headers
+let rows t = List.rev t.rows
+
+let to_json t =
+  Json.Obj
+    [
+      ("title", Json.Str t.title);
+      ("headers", Json.List (List.map (fun h -> Json.Str h) t.headers));
+      ( "rows",
+        Json.List
+          (List.map
+             (fun row -> Json.List (List.map (fun c -> Json.Str c) row))
+             (rows t)) );
+    ]
+
 let render t =
   let rows = List.rev t.rows in
   let all = t.headers :: rows in

@@ -17,6 +17,18 @@ val addf_cell : ('a, unit, string) format -> 'a
 val cell_float : ?prec:int -> float -> string
 val cell_int : int -> string
 
+(** {2 Accessors} *)
+
+val title : t -> string
+val headers : t -> string list
+
+val rows : t -> string list list
+(** Rows in insertion order. *)
+
+val to_json : t -> Json.t
+(** [{title; headers; rows}] — the machine-readable twin of {!render},
+    used for the bench harness's [BENCH_<name>.json] artifacts. *)
+
 val render : t -> string
 (** Title, rule, header, rule, rows — aligned with two-space gutters. *)
 

@@ -851,6 +851,161 @@ let test_serialize_bad_magic () =
       with Serialize.Format_error _ -> ())
 
 (* ------------------------------------------------------------------ *)
+(* Sharded manifests                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let quiet_config = { Solver.default_config with log_every = 0 }
+
+let manifest_temp_dir () =
+  let path = Filename.temp_file "entropydb-manifest" "" in
+  Sys.remove path;
+  Unix.mkdir path 0o700;
+  path
+
+let manifest_rm_rf dir =
+  Array.iter
+    (fun f -> try Sys.remove (Filename.concat dir f) with Sys_error _ -> ())
+    (Sys.readdir dir);
+  try Unix.rmdir dir with Unix.Unix_error _ -> ()
+
+(* k same-schema summaries over contiguous row ranges of one random
+   relation — what lib/shard produces, built here without it so this
+   test exercises Serialize alone. *)
+let manifest_summaries seed k =
+  let rng = Prng.create ~seed () in
+  let schema = make_schema [ 5; 4; 3 ] in
+  let rel = random_relation rng schema (60 + Prng.int rng 200) in
+  let n = Relation.cardinality rel in
+  let joints =
+    [
+      Predicate.of_alist ~arity:3
+        [ (0, Ranges.interval 0 2); (1, Ranges.interval 1 3) ];
+    ]
+  in
+  ( schema,
+    Array.init k (fun s ->
+        let lo = s * n / k and hi = (s + 1) * n / k in
+        let part =
+          Relation.select_rows rel (Array.init (hi - lo) (fun i -> lo + i))
+        in
+        Summary.build ~solver_config:quiet_config part ~joints) )
+
+let sharded_manifest_roundtrip =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:8 ~name:"sharded manifest round-trip"
+       QCheck.(pair (int_range 0 10_000) (int_range 1 3))
+       (fun (seed, k) ->
+         let schema, summaries = manifest_summaries seed k in
+         let dir = manifest_temp_dir () in
+         Fun.protect
+           ~finally:(fun () -> manifest_rm_rf dir)
+           (fun () ->
+             let path = Filename.concat dir "s.edb" in
+             Serialize.save_sharded ~strategy:"rows" summaries path;
+             if Serialize.detect path <> Serialize.Sharded then false
+             else begin
+               let strategy, loaded = Serialize.load_sharded path in
+               strategy = "rows"
+               && Array.length loaded = k
+               && begin
+                    let rng = Prng.create ~seed:(seed + 1) () in
+                    let ok = ref true in
+                    for _ = 1 to 10 do
+                      let q = random_query rng schema in
+                      Array.iteri
+                        (fun i s ->
+                          let a = Summary.estimate s q
+                          and b = Summary.estimate loaded.(i) q in
+                          if Float.abs (a -. b) > 1e-6 then ok := false)
+                        summaries
+                    done;
+                    !ok
+                  end
+             end)))
+
+let manifest_summary_other_schema () =
+  let rng = Prng.create ~seed:654 () in
+  let schema = make_schema [ 3; 3 ] in
+  let rel = random_relation rng schema 50 in
+  Summary.build ~solver_config:quiet_config rel ~joints:[]
+
+(* Every corruption mode of the manifest itself must surface as
+   Format_error — never an unhandled exception and never a bogus load.
+   The manifest is plain length-prefixed binary, so each field can be
+   attacked precisely. *)
+let test_sharded_manifest_corruption () =
+  let _, summaries = manifest_summaries 987 2 in
+  let dir = manifest_temp_dir () in
+  Fun.protect
+    ~finally:(fun () -> manifest_rm_rf dir)
+    (fun () ->
+      let path = Filename.concat dir "s.edb" in
+      Serialize.save_sharded ~strategy:"rows" summaries path;
+      let original = In_channel.with_open_bin path In_channel.input_all in
+      let len = String.length original in
+      let write bytes =
+        Out_channel.with_open_bin path (fun oc ->
+            Out_channel.output_string oc bytes)
+      in
+      let expect_format_error what =
+        match Serialize.load_sharded path with
+        | exception Serialize.Format_error _ -> ()
+        | exception e ->
+            Alcotest.failf "%s raised %s" what (Printexc.to_string e)
+        | _ -> Alcotest.failf "%s loaded successfully" what
+      in
+      (* Bad magic: flip the version tag byte so it is neither format. *)
+      let bad = Bytes.of_string original in
+      Bytes.set bad 9 '\x07';
+      write (Bytes.to_string bad);
+      (match Serialize.detect path with
+      | exception Serialize.Format_error _ -> ()
+      | _ -> Alcotest.fail "detect accepted bad magic");
+      expect_format_error "bad magic";
+      (* Truncation at every prefix. *)
+      for cut = 0 to len - 1 do
+        write (String.sub original 0 cut);
+        expect_format_error (Printf.sprintf "truncation at %d" cut)
+      done;
+      (* Shard-count field vs. name list: the count lives right after the
+         strategy string ("rows"), big-endian at offset 10+4+4+4.  Too
+         large reads past the names; too small leaves trailing bytes.
+         Both are count/list disagreements and must fail. *)
+      let count_off = 10 + 4 + 4 + String.length "rows" in
+      let patch_count v =
+        let b = Bytes.of_string original in
+        Bytes.set b count_off (Char.chr ((v lsr 24) land 0xff));
+        Bytes.set b (count_off + 1) (Char.chr ((v lsr 16) land 0xff));
+        Bytes.set b (count_off + 2) (Char.chr ((v lsr 8) land 0xff));
+        Bytes.set b (count_off + 3) (Char.chr (v land 0xff));
+        write (Bytes.to_string b)
+      in
+      patch_count 3;
+      expect_format_error "count too large";
+      patch_count 1;
+      expect_format_error "count too small";
+      patch_count 0;
+      expect_format_error "count zero";
+      patch_count 2_000_000;
+      expect_format_error "implausible count";
+      (* Restore the manifest; now attack the shard files. *)
+      write original;
+      let shard1 = Filename.concat dir "s.edb.shard1" in
+      let shard1_bytes = In_channel.with_open_bin shard1 In_channel.input_all in
+      Sys.remove shard1;
+      expect_format_error "missing shard file";
+      (* A shard whose schema disagrees with shard 0. *)
+      Serialize.save (manifest_summary_other_schema ()) shard1;
+      expect_format_error "shard schema mismatch";
+      (* Restored intact, it loads again. *)
+      Out_channel.with_open_bin shard1 (fun oc ->
+          Out_channel.output_string oc shard1_bytes);
+      match Serialize.load_sharded path with
+      | strategy, loaded ->
+          Alcotest.(check string) "strategy back" "rows" strategy;
+          Alcotest.(check int) "both shards back" 2 (Array.length loaded))
+
+(* ------------------------------------------------------------------ *)
 (* Possible-world sampling                                             *)
 (* ------------------------------------------------------------------ *)
 
@@ -1211,6 +1366,9 @@ let () =
         [
           Alcotest.test_case "round-trip" `Quick test_serialize_roundtrip;
           Alcotest.test_case "bad magic" `Quick test_serialize_bad_magic;
+          sharded_manifest_roundtrip;
+          Alcotest.test_case "sharded manifest corruption" `Quick
+            test_sharded_manifest_corruption;
           Alcotest.test_case "fuzz truncation/corruption" `Quick
             test_serialize_fuzz;
         ] );

@@ -295,6 +295,70 @@ let test_handler_dispatch () =
            lines)
   | Protocol.Err { message; _ } -> Alcotest.fail message
 
+(* Sharded summaries must be served transparently: same protocol, same
+   answers as querying the Sharded value in-process, with shard counts
+   surfaced in LOAD/LIST/STATS. *)
+let test_handler_sharded () =
+  let contains line needle =
+    let ll = String.length line and nl = String.length needle in
+    let rec go i = i + nl <= ll && (String.sub line i nl = needle || go (i + 1)) in
+    go 0
+  in
+  let dir = temp_dir () in
+  let rel = small_relation ~seed:71 [ 6; 5; 4 ] 400 in
+  let joints =
+    [
+      Predicate.of_alist ~arity:3
+        [ (0, Ranges.interval 0 2); (1, Ranges.interval 1 3) ];
+    ]
+  in
+  let sh =
+    Edb_shard.Builder.build
+      ~solver_config:{ Solver.default_config with log_every = 0 }
+      rel ~shards:2 ~strategy:Edb_shard.Partition.Rows ~joints
+  in
+  let path = Filename.concat dir "sharded.edb" in
+  Edb_shard.Store.save sh path;
+  let catalog = Catalog.create () in
+  let metrics = Metrics.create () in
+  let handle r = fst (Handler.handle ~catalog ~metrics r) in
+  (match handle (Protocol.Load { name = "sh"; path }) with
+  | Protocol.Ok [ line ] ->
+      Alcotest.(check bool) "LOAD reports shards" true
+        (contains line "shards 2")
+  | Protocol.Ok l -> Alcotest.failf "LOAD: %d lines" (List.length l)
+  | Protocol.Err { message; _ } -> Alcotest.fail message);
+  (match handle Protocol.List with
+  | Protocol.Ok [ line ] ->
+      Alcotest.(check bool) "LIST reports shards" true
+        (contains line "shards 2")
+  | Protocol.Ok l -> Alcotest.failf "LIST: %d lines" (List.length l)
+  | Protocol.Err { message; _ } -> Alcotest.fail message);
+  (match
+     handle
+       (Protocol.Query
+          { name = "sh"; sql = "SELECT COUNT(*) FROM f WHERE a0 IN [1,3]" })
+   with
+  | Protocol.Ok payload ->
+      let v = Option.get (Client.estimate_of_payload payload) in
+      let q = Predicate.of_alist ~arity:3 [ (0, Ranges.interval 1 3) ] in
+      Alcotest.(check (float 1e-9))
+        "wire answer = in-process fan-out"
+        (Edb_shard.Sharded.estimate sh q)
+        v
+  | Protocol.Err { message; _ } -> Alcotest.fail message);
+  (match
+     handle (Protocol.Query { name = "sh"; sql = "SELECT COUNT(*) FROM f GROUP BY a1" })
+   with
+  | Protocol.Ok lines ->
+      Alcotest.(check int) "one group line per a1 value" 5 (List.length lines)
+  | Protocol.Err { message; _ } -> Alcotest.fail message);
+  match handle Protocol.Stats with
+  | Protocol.Ok lines ->
+      Alcotest.(check bool) "STATS reports resident shard total" true
+        (List.mem "catalog_shards 2" lines)
+  | Protocol.Err { message; _ } -> Alcotest.fail message
+
 (* ------------------------------------------------------------------ *)
 (* End-to-end over a Unix-domain socket                                *)
 (* ------------------------------------------------------------------ *)
@@ -582,7 +646,11 @@ let () =
       ("catalog", [ Alcotest.test_case "LRU + accounting" `Quick test_catalog_lru ]);
       ( "cache",
         [ Alcotest.test_case "concurrent hammering" `Quick test_cache_concurrent ] );
-      ("handler", [ Alcotest.test_case "dispatch" `Quick test_handler_dispatch ]);
+      ( "handler",
+        [
+          Alcotest.test_case "dispatch" `Quick test_handler_dispatch;
+          Alcotest.test_case "sharded summary" `Quick test_handler_sharded;
+        ] );
       ( "end-to-end",
         [
           Alcotest.test_case "smoke over unix socket" `Quick test_e2e_smoke;

@@ -266,6 +266,42 @@ let test_parallel_fold_edge_cases () =
   Alcotest.(check bool) "tiles exactly once" true
     (Array.for_all (fun c -> c = 1) covered)
 
+(* The sharded builder (lib/shard) folds per-shard summaries with a
+   list-concat combine and relies on fold combining chunk results left to
+   right whatever the domain count.  Guard that invariant as properties:
+   any chunking of a sum of small-integer-valued floats (whose partial
+   sums are exact, so reassociation cannot show through) and any chunking
+   of an index enumeration must reproduce the sequential answer bit for
+   bit. *)
+
+let parallel_props =
+  let fold_sum data domains =
+    Parallel.fold ~domains ~n:(Array.length data)
+      ~chunk:(fun ~lo ~hi ->
+        let acc = ref 0. in
+        for i = lo to hi - 1 do
+          acc := !acc +. data.(i)
+        done;
+        !acc)
+      ~combine:( +. ) ~init:0.
+  in
+  [
+    prop "float-sum fold identical across domains 1/2/8"
+      QCheck.(list_of_size Gen.(int_range 0 300) (int_range (-1000) 1000))
+      (fun ints ->
+        let data = Array.of_list (List.map float_of_int ints) in
+        let seq = fold_sum data 1 in
+        (* Exact float equality is the point of the property. *)
+        Float.equal seq (fold_sum data 2) && Float.equal seq (fold_sum data 8));
+    prop "list-concat fold preserves index order"
+      QCheck.(pair (int_range 0 100) (int_range 1 10))
+      (fun (n, domains) ->
+        Parallel.fold ~domains ~n
+          ~chunk:(fun ~lo ~hi -> List.init (hi - lo) (fun i -> lo + i))
+          ~combine:( @ ) ~init:[]
+        = List.init n Fun.id);
+  ]
+
 (* ------------------------------------------------------------------ *)
 (* Table                                                               *)
 (* ------------------------------------------------------------------ *)
@@ -342,7 +378,8 @@ let () =
             test_parallel_fold_matches_sequential;
           Alcotest.test_case "edge cases and tiling" `Quick
             test_parallel_fold_edge_cases;
-        ] );
+        ]
+        @ parallel_props );
       ( "table",
         [
           Alcotest.test_case "render" `Quick test_table_render;
