@@ -10,7 +10,7 @@
      SCALE=full dune exec bench/main.exe    # paper-sized budgets
 
    Experiments: fig2b fig3 fig4 fig5 fig6 fig7 fig8 compression ablation
-   hierarchy costs latency loadgen shardscale.
+   hierarchy costs latency loadgen shardscale groupby.
 
    Every experiment also writes a machine-readable BENCH_<name>.json next
    to the printed tables (wall time, the tables themselves, and any
@@ -545,6 +545,168 @@ let shardscale config =
   [ table ]
 
 (* ------------------------------------------------------------------ *)
+(* Batched GROUP BY kernel                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* Speedup of the single-pass batched GROUP BY kernel
+   (Poly.eval_restricted_by_value, surfaced as Summary.estimate_groups)
+   over the naive one-full-evaluation-per-cell path it replaced, on the
+   flights FINE relation grouped by origin (147 cities — the >= 100-value
+   attribute the interactive dashboards of Sec. 1 sweep).  Also asserts,
+   every run: batched agrees with naive to <= 1e-9 relative per cell;
+   the k = 1 sharded answer (estimates AND stddevs) is bitwise equal to
+   flat; and the multi-domain evaluation agrees with single-domain to
+   <= 1e-9.  Timings are recorded, never asserted — CI boxes are noisy,
+   correctness is not. *)
+let groupby config =
+  let int_env name default =
+    match Sys.getenv_opt name with
+    | Some v -> ( match int_of_string_opt v with Some i -> i | None -> default)
+    | None -> default
+  in
+  let rows = int_env "EDB_GROUPBY_ROWS" (min config.Config.flights_rows 30_000) in
+  let naive_iters = max 1 (int_env "EDB_GROUPBY_ITERS" 3) in
+  let batched_iters = naive_iters * 20 in
+  let module F = Edb_datagen.Flights in
+  let rel = (F.generate ~rows ~seed:config.Config.seed ()).fine in
+  let schema = Edb_storage.Relation.schema rel in
+  let arity = Edb_storage.Schema.arity schema in
+  let budget = List.hd config.Config.fig2b_budgets in
+  (* A joint over (origin, distance) puts the grouping attribute inside a
+     statistic group, exercising the kernel's scatter path, not just the
+     free-attribute fast path. *)
+  let joints =
+    Edb_select.Heuristic.select Edb_select.Heuristic.Composite rel
+      ~attr1:F.origin ~attr2:F.distance ~budget
+  in
+  let flat =
+    Entropydb_core.Summary.build ~solver_config:config.Config.solver rel
+      ~joints
+  in
+  let n_cities = Edb_storage.Schema.domain_size schema F.origin in
+  let query =
+    Edb_storage.Predicate.of_alist ~arity
+      [ (F.distance, Ranges.interval 5 45) ]
+  in
+  Printf.printf
+    "groupby: %d rows, %d joint statistics, GROUP BY origin (%d values)\n%!"
+    rows (List.length joints) n_cities;
+  (* Naive path: what Summary.estimate_groups did before the batched
+     kernel — one full restricted evaluation per group cell. *)
+  let naive () =
+    List.init n_cities (fun v ->
+        ( [ v ],
+          Entropydb_core.Summary.estimate flat
+            (Edb_storage.Predicate.restrict query F.origin
+               (Ranges.singleton v)) ))
+  in
+  let batched () =
+    Entropydb_core.Summary.estimate_groups flat ~attrs:[ F.origin ] query
+  in
+  let naive_cells = naive () in
+  let batched_cells = batched () in
+  let rel_err a b =
+    let d = Float.abs (a -. b) in
+    if d = 0. then 0. else d /. Float.max 1e-300 (Float.max (Float.abs a) (Float.abs b))
+  in
+  let max_rel =
+    List.fold_left2
+      (fun acc (ka, a) (kb, b) ->
+        if ka <> kb then failwith "groupby: cell order mismatch";
+        Float.max acc (rel_err a b))
+      0. naive_cells batched_cells
+  in
+  if max_rel > 1e-9 then
+    failwith
+      (Printf.sprintf "groupby: batched vs naive disagreement %.3g" max_rel);
+  (* k = 1 sharded must be bitwise flat, stddevs included. *)
+  let flat_triples =
+    Entropydb_core.Summary.estimate_groups_with_stddev flat
+      ~attrs:[ F.origin ] query
+  in
+  let sharded_triples =
+    Edb_shard.Sharded.estimate_groups_with_stddev
+      (Edb_shard.Sharded.of_flat flat)
+      ~attrs:[ F.origin ] query
+  in
+  List.iter2
+    (fun (ka, ea, sa) (kb, eb, sb) ->
+      if ka <> kb || ea <> eb || sa <> sb then
+        failwith "groupby: k=1 sharded differs from flat (not bitwise)")
+    flat_triples sharded_triples;
+  (* Multi-domain evaluation must agree with single-domain to <= 1e-9
+     (chunk boundaries reassociate float sums, so not bitwise).  Forced
+     to at least 2 worker domains even on single-core boxes: this is a
+     correctness pass, so oversubscription is harmless. *)
+  let domains = Parallel.default_domains () in
+  let par_domains = max 2 domains in
+  Entropydb_core.Poly.set_parallelism ~threshold:1 par_domains;
+  let par_cells =
+    Fun.protect
+      ~finally:(fun () ->
+        Entropydb_core.Poly.set_parallelism ~threshold:30_000 domains)
+      batched
+  in
+  let par_max_rel =
+    List.fold_left2
+      (fun acc (_, a) (_, b) -> Float.max acc (rel_err a b))
+      0. batched_cells par_cells
+  in
+  if par_max_rel > 1e-9 then
+    failwith
+      (Printf.sprintf "groupby: %d-domain vs 1-domain disagreement %.3g"
+         par_domains par_max_rel);
+  (* Timings. *)
+  let time_iters iters f =
+    let _, s =
+      Timing.time (fun () ->
+          for _ = 1 to iters do
+            ignore (Sys.opaque_identity (f ()))
+          done)
+    in
+    s /. float_of_int iters
+  in
+  let naive_s = time_iters naive_iters naive in
+  let batched_s = time_iters batched_iters batched in
+  let speedup = naive_s /. batched_s in
+  let terms = Entropydb_core.Poly.num_terms (Entropydb_core.Summary.poly flat) in
+  let table =
+    Table.create
+      ~title:
+        (Printf.sprintf
+           "Batched GROUP BY kernel (flights-fine, %d rows, %d terms, GROUP \
+            BY origin = %d cells)"
+           rows terms n_cities)
+      ~headers:[ "metric"; "value" ]
+      ~aligns:[ Table.Left; Table.Right ] ()
+  in
+  let add k v = Table.add_row table [ k; v ] in
+  add "naive per-cell GROUP BY" (Printf.sprintf "%.3f ms" (naive_s *. 1e3));
+  add "batched GROUP BY" (Printf.sprintf "%.3f ms" (batched_s *. 1e3));
+  add "speedup" (Printf.sprintf "%.1fx" speedup);
+  add "max rel err batched vs naive" (Printf.sprintf "%.3g" max_rel);
+  add "k=1 sharded vs flat" "0 (bitwise, incl. stddev)";
+  add
+    (Printf.sprintf "max rel err %d-domain vs 1-domain" par_domains)
+    (Printf.sprintf "%.3g" par_max_rel);
+  extra_json :=
+    [
+      ("rows", Json.Int rows);
+      ("group_values", Json.Int n_cities);
+      ("terms", Json.Int terms);
+      ("joint_statistics", Json.Int (List.length joints));
+      ("naive_s", Json.Float naive_s);
+      ("batched_s", Json.Float batched_s);
+      ("speedup", Json.Float speedup);
+      ("max_rel_err_batched_vs_naive", Json.Float max_rel);
+      ("k1_sharded_bitwise", Json.Bool true);
+      ("domains", Json.Int domains);
+      ("par_domains", Json.Int par_domains);
+      ("max_rel_err_multi_domain", Json.Float par_max_rel);
+    ];
+  [ table ]
+
+(* ------------------------------------------------------------------ *)
 (* Driver                                                              *)
 (* ------------------------------------------------------------------ *)
 
@@ -564,6 +726,7 @@ let experiments config =
     ("latency", fun () -> latency config);
     ("loadgen", fun () -> loadgen config);
     ("shardscale", fun () -> shardscale config);
+    ("groupby", fun () -> groupby config);
   ]
 
 let () =

@@ -343,15 +343,26 @@ let query_cmd =
         0
     | Ok ({ group_attrs; order; limit; _ } as c) ->
         let predicate = conjunctive_exn c in
+        (* One batched evaluation yields estimates and stddevs for every
+           group cell — no per-cell re-evaluation. *)
         let groups =
-          Edb_shard.Sharded.estimate_groups summary ~attrs:group_attrs
-            predicate
+          Edb_shard.Sharded.estimate_groups_with_stddev summary
+            ~attrs:group_attrs predicate
         in
         let groups =
           match order with
           | Some Edb_query.Ast.Asc ->
-              List.sort (fun (_, a) (_, b) -> compare a b) groups
-          | _ -> List.sort (fun (_, a) (_, b) -> compare b a) groups
+              List.sort
+                (fun (ka, a, _) (kb, b, _) ->
+                  let o = Float.compare a b in
+                  if o <> 0 then o else Stdlib.compare ka kb)
+                groups
+          | _ ->
+              List.sort
+                (fun (ka, a, _) (kb, b, _) ->
+                  let o = Float.compare b a in
+                  if o <> 0 then o else Stdlib.compare ka kb)
+                groups
         in
         let groups =
           match limit with
@@ -359,19 +370,12 @@ let query_cmd =
           | None -> groups
         in
         List.iter
-          (fun (values, est) ->
+          (fun (values, est, sd) ->
             let labels =
               List.map2
                 (fun attr v -> Domain.label (Schema.domain schema attr) v)
                 group_attrs values
             in
-            let group_pred =
-              List.fold_left2
-                (fun p attr v ->
-                  Predicate.restrict p attr (Edb_util.Ranges.singleton v))
-                predicate group_attrs values
-            in
-            let sd = Edb_shard.Sharded.stddev summary group_pred in
             Printf.printf "%s: %.2f +/- %.2f\n" (String.concat ", " labels) est
               sd)
           groups;

@@ -6,10 +6,12 @@
    the polynomial evaluation turns repeat queries into hash lookups.
 
    Keys are the canonical form of the predicate (restricted attributes
-   with their interval lists), so structurally equal predicates hit
-   regardless of construction order.  Eviction is batched: when the table
-   exceeds capacity, the least recently used ~10% of entries are dropped
-   in one sweep, keeping bookkeeping O(1) per query.
+   with their interval lists), tagged by query shape: plain COUNTs and
+   GROUP BYs live in the same table under distinct constructors, so a
+   grouped result can never collide with a scalar one over the same
+   predicate.  Eviction is batched: when the table exceeds capacity, the
+   least recently used ~10% of entries are dropped in one sweep, keeping
+   bookkeeping O(1) per query.
 
    A cache is shared by all worker threads serving one catalog entry
    (lib/server), so every operation that touches the table or the
@@ -20,12 +22,15 @@
 
 open Edb_storage
 
-type key = (int * (int * int) list) list
+type pred_key = (int * (int * int) list) list
+type key = Count of pred_key | Grouped of int list * pred_key
+type result = Scalar of float | Groups of (int list * float * float) list
 
-type entry = { value : float; mutable last_used : int }
+type entry = { value : result; mutable last_used : int }
 
 type t = {
   eval : Predicate.t -> float;
+  eval_groups : (attrs:int list -> Predicate.t -> (int list * float * float) list) option;
   capacity : int;
   table : (key, entry) Hashtbl.t;
   lock : Mutex.t;
@@ -35,12 +40,13 @@ type t = {
   mutable evictions : int;
 }
 
-(* The cache only needs a pure estimator, not a whole summary; sharded
+(* The cache only needs pure estimators, not a whole summary; sharded
    summaries (lib/shard) reuse it through this entry point. *)
-let of_fn ?(capacity = 4096) eval =
+let of_fn ?(capacity = 4096) ?groups eval =
   if capacity < 1 then invalid_arg "Cache.create: capacity must be positive";
   {
     eval;
+    eval_groups = groups;
     capacity;
     table = Hashtbl.create (2 * capacity);
     lock = Mutex.create ();
@@ -50,13 +56,17 @@ let of_fn ?(capacity = 4096) eval =
     evictions = 0;
   }
 
-let create ?capacity summary = of_fn ?capacity (Summary.estimate summary)
+let create ?capacity summary =
+  of_fn ?capacity
+    ~groups:(fun ~attrs pred ->
+      Summary.estimate_groups_with_stddev summary ~attrs pred)
+    (Summary.estimate summary)
 
 let with_lock t f =
   Mutex.lock t.lock;
   Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
 
-let key_of_predicate pred : key =
+let key_of_predicate pred : pred_key =
   List.map
     (fun i ->
       match Predicate.restriction pred i with
@@ -66,11 +76,13 @@ let key_of_predicate pred : key =
 
 (* Caller holds the lock. *)
 let evict t =
-  (* Drop the oldest ~10% by last_used. *)
+  (* Drop the oldest ~10% by last_used.  Ticks are unique, so sorting on
+     the int alone is total — no need to drag the (structurally large)
+     keys through the comparator. *)
   let entries =
     Hashtbl.fold (fun k e acc -> (e.last_used, k) :: acc) t.table []
   in
-  let sorted = List.sort compare entries in
+  let sorted = List.sort (fun (a, _) (b, _) -> Int.compare a b) entries in
   let to_drop = max 1 (t.capacity / 10) in
   List.iteri
     (fun i (_, k) ->
@@ -80,8 +92,9 @@ let evict t =
       end)
     sorted
 
-let estimate t pred =
-  let key = key_of_predicate pred in
+(* Shared LRU protocol: locked lookup, evaluation outside the lock on a
+   miss, locked insert-with-evict. *)
+let cached t key compute =
   let cached =
     with_lock t (fun () ->
         t.tick <- t.tick + 1;
@@ -97,7 +110,7 @@ let estimate t pred =
   match cached with
   | Some value -> value
   | None ->
-      let value = t.eval pred in
+      let value = compute () in
       with_lock t (fun () ->
           if
             (not (Hashtbl.mem t.table key))
@@ -105,6 +118,20 @@ let estimate t pred =
           then evict t;
           Hashtbl.replace t.table key { value; last_used = t.tick });
       value
+
+let estimate t pred =
+  match cached t (Count (key_of_predicate pred)) (fun () -> Scalar (t.eval pred)) with
+  | Scalar v -> v
+  | Groups _ -> assert false (* Count keys only ever hold Scalar values *)
+
+let estimate_groups t ~attrs pred =
+  match t.eval_groups with
+  | None -> invalid_arg "Cache.estimate_groups: no grouped evaluator"
+  | Some eval_groups -> (
+      let key = Grouped (attrs, key_of_predicate pred) in
+      match cached t key (fun () -> Groups (eval_groups ~attrs pred)) with
+      | Groups g -> g
+      | Scalar _ -> assert false)
 
 type stats = { hits : int; misses : int; entries : int; evictions : int }
 

@@ -1,7 +1,9 @@
-(** LRU cache in front of a summary's count estimation — repeat queries
-    from interactive front ends become hash lookups.  Keys are canonical
-    predicate forms; eviction drops the least-recent ~10% when capacity is
-    reached.
+(** LRU cache in front of a summary's estimators — repeat queries from
+    interactive front ends become hash lookups.  Keys are canonical
+    predicate forms tagged by query shape (plain COUNT vs GROUP BY with
+    its grouping attributes), so grouped and scalar results over the
+    same predicate never collide; eviction drops the least-recent ~10%
+    when capacity is reached.
 
     Thread-safe: lookups, inserts, and counters are mutex-guarded, so one
     cache may be shared by concurrent server workers.  The underlying
@@ -12,15 +14,28 @@ open Edb_storage
 type t
 
 val create : ?capacity:int -> Summary.t -> t
-(** Default capacity 4096 entries.  Raises on non-positive capacities. *)
+(** Default capacity 4096 entries.  Raises on non-positive capacities.
+    Serves both {!estimate} and {!estimate_groups}. *)
 
-val of_fn : ?capacity:int -> (Predicate.t -> float) -> t
-(** Cache an arbitrary pure estimator (e.g. a sharded summary's fan-out
-    estimate).  The function must be deterministic and safe to call from
-    concurrent threads; it runs outside the cache's lock. *)
+val of_fn :
+  ?capacity:int ->
+  ?groups:(attrs:int list -> Predicate.t -> (int list * float * float) list) ->
+  (Predicate.t -> float) ->
+  t
+(** Cache arbitrary pure estimators (e.g. a sharded summary's fan-out
+    estimates).  The functions must be deterministic and safe to call
+    from concurrent threads; they run outside the cache's lock.  When
+    [groups] is omitted, {!estimate_groups} raises [Invalid_argument]. *)
 
 val estimate : t -> Predicate.t -> float
 (** Same value as {!Summary.estimate}; cached. *)
+
+val estimate_groups :
+  t -> attrs:int list -> Predicate.t -> (int list * float * float) list
+(** Same value as {!Summary.estimate_groups_with_stddev}; cached under a
+    key combining the grouping attributes with the canonical predicate.
+    Raises [Invalid_argument] if the cache was built without a grouped
+    evaluator. *)
 
 type stats = { hits : int; misses : int; entries : int; evictions : int }
 

@@ -645,30 +645,154 @@ let set_parallelism ?threshold n =
   | Some th -> parallel_threshold := max 1 th
   | None -> ()
 
+(* A_i restricted to the query's value set (the full sum when the query
+   leaves attribute [i] free). *)
+let restricted_attr_sum t query i =
+  match Predicate.restriction query i with
+  | None -> t.attr_sums.(i)
+  | Some r -> range_sum t ~attr:i r
+
+(* Q_g under the query's restrictions: the per-group part of restricted
+   evaluation, shared by [eval_restricted] and the batched GROUP BY
+   kernel below. *)
+let restricted_group_q t query g =
+  let restricted_a = Array.map (restricted_attr_sum t query) g.g_attrs in
+  let num_masks = Array.length g.mask_bits in
+  let term_masses ~lo ~hi =
+    let local = Array.make num_masks 0. in
+    for ti = lo to hi - 1 do
+      let term = g.g_terms.(ti) in
+      let f = ref term.dprod in
+      (try
+         Array.iteri
+           (fun pos i ->
+             let factor =
+               match Predicate.restriction query i with
+               | None -> term.factors.(pos)
+               | Some qr ->
+                   range_sum t ~attr:i (Ranges.inter term.t_restr.(pos) qr)
+             in
+             if factor = 0. then raise Exit;
+             f := !f *. factor)
+           term.t_attrs
+       with Exit -> f := 0.);
+      local.(term.t_mask) <- local.(term.t_mask) +. !f
+    done;
+    local
+  in
+  let n_terms = Array.length g.g_terms in
+  let domains = if n_terms >= !parallel_threshold then !parallelism else 1 in
+  let msum =
+    Parallel.fold ~domains ~n:n_terms ~chunk:term_masses
+      ~combine:(fun a b ->
+        Array.iteri (fun k v -> a.(k) <- a.(k) +. v) b;
+        a)
+      ~init:(Array.make num_masks 0.)
+  in
+  let q = ref 0. in
+  Array.iteri
+    (fun k bits ->
+      if msum.(k) <> 0. then begin
+        let outer = ref 1. in
+        Array.iteri
+          (fun li _ ->
+            if bits land (1 lsl li) = 0 then
+              outer := !outer *. restricted_a.(li))
+          g.g_attrs;
+        q := !q +. (msum.(k) *. !outer)
+      end)
+    g.mask_bits;
+  (* Q_g is a sum of non-negative monomials; clamp the tiny negative
+     values floating-point cancellation can produce. *)
+  Float.max 0. !q
+
 (* P with every 1D variable outside the query's per-attribute restrictions
    set to 0.  Nothing is rebuilt: restricted attribute sums and term
    factors are recomputed from prefix sums over the current alpha. *)
 let eval_restricted t query =
   ensure_prefix t;
-  let restricted_attr_sum i =
-    match Predicate.restriction query i with
-    | None -> t.attr_sums.(i)
-    | Some r -> range_sum t ~attr:i r
-  in
   let acc = ref 1. in
-  Array.iter (fun i -> acc := !acc *. restricted_attr_sum i) t.free_attrs;
   Array.iter
-    (fun g ->
-      let restricted_a = Array.map restricted_attr_sum g.g_attrs in
-      let num_masks = Array.length g.mask_bits in
-      let term_masses ~lo ~hi =
-        let local = Array.make num_masks 0. in
-        for ti = lo to hi - 1 do
-          let term = g.g_terms.(ti) in
-          let f = ref term.dprod in
-          (try
-             Array.iteri
-               (fun pos i ->
+    (fun i -> acc := !acc *. restricted_attr_sum t query i)
+    t.free_attrs;
+  Array.iter (fun g -> acc := !acc *. restricted_group_q t query g) t.groups;
+  !acc
+
+(* Batched GROUP BY kernel: restricted P for *all* cells of a grouping
+   attribute in one pass over the terms.
+
+   Every monomial contains exactly one marginal variable of [attr], so
+   the cell for value v is P[query restricted, attr restricted to {v}]
+   and the attribute's own contribution to each monomial is the single
+   factor alpha_{attr,v}:
+
+   - [attr] free (not in any group): every cell shares the same product
+     of the other restricted factors; the cell value is that product
+     times alpha_{attr,v}.
+   - [attr] in group g: a term of g either leaves [attr] unmasked — its
+     restricted mass enters every cell through alpha_{attr,v} times the
+     mask's outer product over the *other* group attributes — or
+     restricts [attr] at some position, in which case its remaining
+     product scatters into exactly the cells of t_restr ∩ query.
+
+   Total cost O(terms + Σ|t_restr ∩ query| + #masks·|g_attrs| + N_attr)
+   instead of the per-cell scan's O(N_attr × terms).  Cells outside the
+   query's restriction on [attr] are 0.  Each cell's Q_g gets the same
+   cancellation clamp as [eval_restricted], so cell values match the
+   per-cell path up to float reassociation. *)
+let eval_restricted_by_value t query ~attr =
+  ensure_prefix t;
+  let size = Schema.domain_size t.schema attr in
+  let out = Array.make size 0. in
+  let q_attr = Predicate.restriction query attr in
+  let alpha_of v = t.alpha.(Phi.marginal_id t.phi ~attr ~value:v) in
+  let each_value f =
+    match q_attr with
+    | None -> for v = 0 to size - 1 do f v done
+    | Some r -> Ranges.iter f r
+  in
+  let gi = t.group_of_attr.(attr) in
+  (* Factors not involving [attr], shared by every cell. *)
+  let base = ref 1. in
+  Array.iter
+    (fun i -> if i <> attr then base := !base *. restricted_attr_sum t query i)
+    t.free_attrs;
+  Array.iteri
+    (fun gj g -> if gj <> gi then base := !base *. restricted_group_q t query g)
+    t.groups;
+  let base = !base in
+  if gi < 0 then each_value (fun v -> out.(v) <- base *. alpha_of v)
+  else begin
+    let g = t.groups.(gi) in
+    let li = local_of g attr in
+    let num_masks = Array.length g.mask_bits in
+    (* Per-mask outer products over the group's other attributes;
+       [attr]'s own factor is applied per cell. *)
+    let coef =
+      Array.map
+        (fun bits ->
+          let outer = ref 1. in
+          Array.iteri
+            (fun li' attr' ->
+              if li' <> li && bits land (1 lsl li') = 0 then
+                outer := !outer *. restricted_attr_sum t query attr')
+            g.g_attrs;
+          !outer)
+        g.mask_bits
+    in
+    let chunk ~lo ~hi =
+      let msum = Array.make num_masks 0. in
+      let scatter = Array.make size 0. in
+      for ti = lo to hi - 1 do
+        let term = g.g_terms.(ti) in
+        let attr_pos = ref (-1) in
+        Array.iteri (fun pos i -> if i = attr then attr_pos := pos) term.t_attrs;
+        let attr_pos = !attr_pos in
+        let f = ref term.dprod in
+        (try
+           Array.iteri
+             (fun pos i ->
+               if pos <> attr_pos then begin
                  let factor =
                    match Predicate.restriction query i with
                    | None -> term.factors.(pos)
@@ -676,42 +800,52 @@ let eval_restricted t query =
                        range_sum t ~attr:i (Ranges.inter term.t_restr.(pos) qr)
                  in
                  if factor = 0. then raise Exit;
-                 f := !f *. factor)
-               term.t_attrs
-           with Exit -> f := 0.);
-          local.(term.t_mask) <- local.(term.t_mask) +. !f
-        done;
-        local
-      in
-      let n_terms = Array.length g.g_terms in
-      let domains =
-        if n_terms >= !parallel_threshold then !parallelism else 1
-      in
-      let msum =
-        Parallel.fold ~domains ~n:n_terms ~chunk:term_masses
-          ~combine:(fun a b ->
-            Array.iteri (fun k v -> a.(k) <- a.(k) +. v) b;
-            a)
-          ~init:(Array.make num_masks 0.)
-      in
-      let q = ref 0. in
-      Array.iteri
-        (fun k bits ->
-          if msum.(k) <> 0. then begin
-            let outer = ref 1. in
-            Array.iteri
-              (fun li _ ->
-                if bits land (1 lsl li) = 0 then
-                  outer := !outer *. restricted_a.(li))
-              g.g_attrs;
-            q := !q +. (msum.(k) *. !outer)
-          end)
-        g.mask_bits;
-      (* Q_g is a sum of non-negative monomials; clamp the tiny negative
-         values floating-point cancellation can produce. *)
-      acc := !acc *. Float.max 0. !q)
-    t.groups;
-  !acc
+                 f := !f *. factor
+               end)
+             term.t_attrs
+         with Exit -> f := 0.);
+        if !f <> 0. then
+          if attr_pos < 0 then msum.(term.t_mask) <- msum.(term.t_mask) +. !f
+          else begin
+            let vr =
+              match q_attr with
+              | None -> term.t_restr.(attr_pos)
+              | Some qr -> Ranges.inter term.t_restr.(attr_pos) qr
+            in
+            let w = !f *. coef.(term.t_mask) in
+            List.iter
+              (fun (vlo, vhi) ->
+                for v = vlo to vhi do
+                  scatter.(v) <- scatter.(v) +. w
+                done)
+              (Ranges.intervals vr)
+          end
+      done;
+      (msum, scatter)
+    in
+    let n_terms = Array.length g.g_terms in
+    let domains = if n_terms >= !parallel_threshold then !parallelism else 1 in
+    let msum, scatter =
+      Parallel.fold ~domains ~n:n_terms ~chunk
+        ~combine:(fun (ma, sa) (mb, sb) ->
+          Array.iteri (fun k v -> ma.(k) <- ma.(k) +. v) mb;
+          Array.iteri (fun v x -> sa.(v) <- sa.(v) +. x) sb;
+          (ma, sa))
+        ~init:(Array.make num_masks 0., Array.make size 0.)
+    in
+    (* Masses of the terms leaving [attr] unmasked, with their outer
+       products; these enter every cell through alpha_{attr,v}. *)
+    let scalar = ref 0. in
+    Array.iteri
+      (fun k bits ->
+        if bits land (1 lsl li) = 0 && msum.(k) <> 0. then
+          scalar := !scalar +. (msum.(k) *. coef.(k)))
+      g.mask_bits;
+    let scalar = !scalar in
+    each_value (fun v ->
+        out.(v) <- base *. Float.max 0. (alpha_of v *. (scalar +. scatter.(v))))
+  end;
+  out
 
 (* Weighted evaluation: sum over tuples satisfying [query] of
    prod_i w_i(t_i) * monomial(t), for product-form per-tuple weights.
@@ -724,7 +858,12 @@ let eval_weighted t query ~weights =
   ensure_prefix t;
   (* Per-attribute prefix sums of weighted alphas; [weights] gives a
      weight function for the attributes it covers, all others weigh 1 and
-     reuse the cached prefixes. *)
+     reuse the cached prefixes.  [all_nonneg] records whether every
+     weighted alpha stayed >= 0 (unweighted alphas always are): exactly
+     then every monomial of the weighted sum is non-negative and each
+     group value may be clamped at 0 like [eval_restricted]'s, so
+     floating-point cancellation cannot flip a SUM estimate's sign. *)
+  let all_nonneg = ref true in
   let prefix_of =
     let overridden = Hashtbl.create 4 in
     List.iter
@@ -732,9 +871,9 @@ let eval_weighted t query ~weights =
         let size = Schema.domain_size t.schema attr in
         let pre = Array.make (size + 1) 0. in
         for v = 0 to size - 1 do
-          pre.(v + 1) <-
-            pre.(v)
-            +. (t.alpha.(Phi.marginal_id t.phi ~attr ~value:v) *. w v)
+          let wa = t.alpha.(Phi.marginal_id t.phi ~attr ~value:v) *. w v in
+          if wa < 0. then all_nonneg := false;
+          pre.(v + 1) <- pre.(v) +. wa
         done;
         Hashtbl.replace overridden attr pre)
       weights;
@@ -795,7 +934,11 @@ let eval_weighted t query ~weights =
             q := !q +. (msum.(k) *. !outer)
           end)
         g.mask_bits;
-      acc := !acc *. !q)
+      (* With non-negative weights Q_g is a sum of non-negative monomials
+         exactly as in [eval_restricted]; apply the same cancellation
+         clamp.  Genuinely signed weights keep their sign. *)
+      let q = if !all_nonneg then Float.max 0. !q else !q in
+      acc := !acc *. q)
     t.groups;
   !acc
 

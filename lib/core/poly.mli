@@ -67,6 +67,16 @@ val eval_restricted : t -> Predicate.t -> float
     the optimized query evaluation of Sec. 4.2.  No rebuilding.  Groups
     above 30k terms are evaluated with {!set_parallelism} domains. *)
 
+val eval_restricted_by_value : t -> Predicate.t -> attr:int -> float array
+(** Batched GROUP BY kernel: element [v] of the result equals
+    [eval_restricted t (Predicate.restrict query attr (singleton v))]
+    (up to float reassociation, ≤ 1e-9 relative), for {e every} value of
+    [attr]'s domain, computed in one pass over the terms instead of one
+    scan per value.  Values outside the query's restriction on [attr]
+    are 0.  Cost: O(terms + Σ|projection ∩ query| + domain size) —
+    independent of the number of group cells.  Same parallelism gating
+    as {!eval_restricted}. *)
+
 val set_parallelism : ?threshold:int -> int -> unit
 (** Worker domains for restricted evaluation over large groups (default:
     the [EDB_DOMAINS] environment variable, else 1).  [threshold] is the
@@ -82,8 +92,10 @@ val eval_weighted :
     [Π_i w_i(t_i) · monomial(t)], for product-form weights: [weights]
     maps an attribute to a per-value weight, absent attributes weigh 1.
     Computed by substituting α_{i,v} ↦ α_{i,v}·w_i(v) — no restructuring.
-    With all weights 1 this equals {!eval_restricted} (up to the
-    non-negativity clamp, which weighted sums must not apply). *)
+    When every weighted variable is non-negative (the SUM/AVG midpoint
+    case), each group value gets the same cancellation clamp as
+    {!eval_restricted}, so tiny negative totals cannot flip an
+    estimate's sign; genuinely signed weights are left unclamped. *)
 
 val estimate_weighted :
   t -> Predicate.t -> weights:(int * (int -> float)) list -> float

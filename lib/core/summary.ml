@@ -98,37 +98,108 @@ let variance_sum t ~attr ?weights query =
     in
     Float.max 0. (float_of_int t.n *. (mean_w2 -. (mean_w ** 2.)))
 
-(* GROUP BY estimation: one linear query per group (the paper's Sec. 3.1
-   reading of GROUP BY + ORDER BY ... LIMIT).  Enumerates the cross product
-   of the grouping attributes' (restricted) domains; intended for the small
-   group-bys of interactive exploration. *)
-let estimate_groups t ~attrs query =
-  let rec go chosen = function
-    | [] ->
-        let chosen = List.rev chosen in
-        let q =
-          List.fold_left
-            (fun q (i, v) ->
-              Predicate.restrict q i (Edb_util.Ranges.singleton v))
-            query chosen
-        in
-        [ (List.map snd chosen, estimate t q) ]
-    | attr :: rest ->
-        let size = Schema.domain_size t.schema attr in
-        let candidates =
-          match Predicate.restriction query attr with
-          | None -> List.init size Fun.id
-          | Some r -> Edb_util.Ranges.to_list r
-        in
-        List.concat_map
-          (fun v -> go ((attr, v) :: chosen) rest)
-          candidates
+(* GROUP BY estimation (the paper's Sec. 3.1 reading of GROUP BY +
+   ORDER BY ... LIMIT).  The grouping attribute with the widest
+   (restricted) candidate set is answered by the batched kernel
+   {!Poly.eval_restricted_by_value} — one term pass for all of its
+   values — and the cross product of the remaining attributes is
+   enumerated around it, so a d-attribute GROUP BY costs
+   Π_{i≠pivot}|D_i| kernel passes instead of Π_i|D_i| full scans.
+   Each cell's restricted P also yields its binomial p, so the
+   per-group variance is free.  Cells are emitted in the nested
+   enumeration order of [attrs] (lexicographic in the group key). *)
+let estimate_groups_with_variance t ~attrs query =
+  let n = float_of_int t.n in
+  let p_total = Poly.p t.poly in
+  let cell r =
+    if p_total <= 0. then (0., 0.)
+    else
+      let est = n *. r /. p_total in
+      let p = Edb_util.Floatx.clamp ~lo:0. ~hi:1. (r /. p_total) in
+      (est, n *. p *. (1. -. p))
   in
-  go [] attrs
+  match attrs with
+  | [] ->
+      let r =
+        if Predicate.is_unsatisfiable query then 0.
+        else Poly.eval_restricted t.poly query
+      in
+      let est, var = cell r in
+      [ ([], est, var) ]
+  | _ ->
+      let attr_arr = Array.of_list attrs in
+      let cand =
+        Array.map
+          (fun attr ->
+            match Predicate.restriction query attr with
+            | None -> Array.init (Schema.domain_size t.schema attr) Fun.id
+            | Some r -> Array.of_list (Edb_util.Ranges.to_list r))
+          attr_arr
+      in
+      let pivot = ref 0 in
+      Array.iteri
+        (fun i c ->
+          if Array.length c > Array.length cand.(!pivot) then pivot := i)
+        cand;
+      let pivot = !pivot in
+      let d = Array.length attr_arr in
+      let chosen = Array.make d 0 in
+      let cells = ref [] in
+      let rec combos i =
+        if i = d then begin
+          let q = ref query in
+          for j = 0 to d - 1 do
+            if j <> pivot then
+              q :=
+                Predicate.restrict !q attr_arr.(j)
+                  (Edb_util.Ranges.singleton chosen.(j))
+          done;
+          let vec =
+            Poly.eval_restricted_by_value t.poly !q ~attr:attr_arr.(pivot)
+          in
+          Array.iter
+            (fun v ->
+              chosen.(pivot) <- v;
+              cells := (Array.to_list chosen, vec.(v)) :: !cells)
+            cand.(pivot)
+        end
+        else if i = pivot then combos (i + 1)
+        else
+          Array.iter
+            (fun v ->
+              chosen.(i) <- v;
+              combos (i + 1))
+            cand.(i)
+      in
+      combos 0;
+      (* Candidate sets are ascending, so lexicographic key order is the
+         nested enumeration order of [attrs]. *)
+      List.sort (fun (a, _) (b, _) -> compare a b) !cells
+      |> List.map (fun (key, r) ->
+             let est, var = cell r in
+             (key, est, var))
+
+let estimate_groups_with_stddev t ~attrs query =
+  List.map
+    (fun (key, est, var) -> (key, est, sqrt var))
+    (estimate_groups_with_variance t ~attrs query)
+
+let estimate_groups t ~attrs query =
+  List.map
+    (fun (key, est, _) -> (key, est))
+    (estimate_groups_with_variance t ~attrs query)
+
+(* Descending by estimate under the NaN-safe total order of
+   [Float.compare], ties broken by group key — so top-k selection is
+   total and deterministic (and identical across flat and sharded
+   summaries). *)
+let group_order (ka, a) (kb, b) =
+  let c = Float.compare b a in
+  if c <> 0 then c else Stdlib.compare ka kb
 
 let top_k_groups t ~attrs ~k query =
   let groups = estimate_groups t ~attrs query in
-  let sorted = List.sort (fun (_, a) (_, b) -> compare b a) groups in
+  let sorted = List.sort group_order groups in
   List.filteri (fun i _ -> i < k) sorted
 
 type size_report = {

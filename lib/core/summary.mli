@@ -65,12 +65,29 @@ val variance_sum :
 
 val estimate_groups :
   t -> attrs:int list -> Predicate.t -> (int list * float) list
-(** GROUP BY estimate: one linear query per combination of the grouping
-    attributes' values (restricted by the query's predicate). *)
+(** GROUP BY estimate: one cell per combination of the grouping
+    attributes' values (restricted by the query's predicate), in
+    ascending group-key order.  The widest grouping attribute is
+    answered by the batched kernel {!Poly.eval_restricted_by_value} —
+    one term pass for all of its values — instead of one full scan per
+    cell. *)
+
+val estimate_groups_with_variance :
+  t -> attrs:int list -> Predicate.t -> (int list * float * float) list
+(** [estimate_groups] plus each cell's Var[⟨q,I⟩] = n·p·(1−p): the
+    kernel yields every cell's restricted P, so the binomial p (and
+    hence the variance) costs nothing extra. *)
+
+val estimate_groups_with_stddev :
+  t -> attrs:int list -> Predicate.t -> (int list * float * float) list
+(** [estimate_groups_with_variance] with the variance replaced by its
+    square root. *)
 
 val top_k_groups :
   t -> attrs:int list -> k:int -> Predicate.t -> (int list * float) list
-(** The paper's GROUP BY ... ORDER BY count DESC LIMIT k example. *)
+(** The paper's GROUP BY ... ORDER BY count DESC LIMIT k example.
+    Ordering is total and deterministic: descending estimate under
+    [Float.compare] (NaN-safe), ties broken by ascending group key. *)
 
 type size_report = {
   num_statistics : int;

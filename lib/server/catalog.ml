@@ -96,6 +96,9 @@ let load t ~name ~path =
           summary;
           cache =
             Cache.of_fn ~capacity:t.cache_capacity
+              ~groups:(fun ~attrs pred ->
+                Edb_shard.Sharded.estimate_groups_with_stddev summary ~attrs
+                  pred)
               (Edb_shard.Sharded.estimate summary);
           last_used = 0;
         }

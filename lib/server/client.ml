@@ -65,27 +65,37 @@ let input_line_timeout t =
   | exception Sys_error m -> Error m
   | exception Unix.Unix_error (e, _, _) -> Error (Unix.error_message e)
 
+let read_response t =
+  match input_line_timeout t with
+  | Error _ as e -> e
+  | Ok header -> (
+      match Protocol.parse_header header with
+      | Error m -> Error ("bad response: " ^ m)
+      | Ok (Protocol.Error_line { code; message }) ->
+          Ok (Protocol.Err { code; message })
+      | Ok (Protocol.Payload k) ->
+          let rec gather acc i =
+            if i = 0 then Ok (Protocol.Ok (List.rev acc))
+            else
+              match input_line_timeout t with
+              | Error _ as e -> e
+              | Ok line -> gather (line :: acc) (i - 1)
+          in
+          gather [] k)
+
 let request t req =
   match write_all t (Protocol.print_request req ^ "\n") with
-  | exception Unix.Unix_error (e, _, _) -> Error (Unix.error_message e)
-  | exception Sys_error m -> Error m
-  | () -> (
-      match input_line_timeout t with
-      | Error _ as e -> e
-      | Ok header -> (
-          match Protocol.parse_header header with
-          | Error m -> Error ("bad response: " ^ m)
-          | Ok (Protocol.Error_line { code; message }) ->
-              Ok (Protocol.Err { code; message })
-          | Ok (Protocol.Payload k) ->
-              let rec gather acc i =
-                if i = 0 then Ok (Protocol.Ok (List.rev acc))
-                else
-                  match input_line_timeout t with
-                  | Error _ as e -> e
-                  | Ok line -> gather (line :: acc) (i - 1)
-              in
-              gather [] k))
+  | () -> read_response t
+  | exception Unix.Unix_error (e, _, _) -> (
+      (* The server may have already replied and closed the connection —
+         admission control sends ERR busy before our request hits the
+         wire, making the write fail with EPIPE.  The reject line is
+         still readable, and it is the better diagnostic. *)
+      match read_response t with
+      | Ok _ as r -> r
+      | Error _ -> Error (Unix.error_message e))
+  | exception Sys_error m -> (
+      match read_response t with Ok _ as r -> r | Error _ -> Error m)
 
 (* ------------------------------------------------------------------ *)
 (* Convenience wrappers                                                *)

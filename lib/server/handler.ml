@@ -8,9 +8,9 @@
    becomes a protocol error reply; nothing may escape as an exception,
    because one request must never take down a worker or its connection.
 
-   Plain conjunctive COUNT queries (the interactive-exploration hot path)
-   go through the entry's shared Cache; everything else evaluates the
-   summary directly. *)
+   Plain conjunctive COUNT queries and conjunctive GROUP BYs (the
+   interactive-exploration hot paths) go through the entry's shared
+   Cache; everything else evaluates the summary directly. *)
 
 open Edb_storage
 open Entropydb_core
@@ -26,15 +26,27 @@ let err code fmt =
 (* SQL execution                                                       *)
 (* ------------------------------------------------------------------ *)
 
-let group_lines summary schema (c : T.compiled) predicate =
+(* One cached batched evaluation yields every group's estimate AND its
+   stddev (the kernel exposes each cell's restricted P), so there is no
+   per-group re-evaluation here at all. *)
+let group_lines (entry : Catalog.entry) schema (c : T.compiled) predicate =
   let groups =
-    Sharded.estimate_groups summary ~attrs:c.group_attrs predicate
+    Cache.estimate_groups entry.Catalog.cache ~attrs:c.group_attrs predicate
   in
   let groups =
     match c.order with
     | Some Edb_query.Ast.Asc ->
-        List.sort (fun (_, a) (_, b) -> compare a b) groups
-    | _ -> List.sort (fun (_, a) (_, b) -> compare b a) groups
+        List.sort
+          (fun (ka, a, _) (kb, b, _) ->
+            let o = Float.compare a b in
+            if o <> 0 then o else Stdlib.compare ka kb)
+          groups
+    | _ ->
+        List.sort
+          (fun (ka, a, _) (kb, b, _) ->
+            let o = Float.compare b a in
+            if o <> 0 then o else Stdlib.compare ka kb)
+          groups
   in
   let groups =
     match c.limit with
@@ -42,19 +54,12 @@ let group_lines summary schema (c : T.compiled) predicate =
     | None -> groups
   in
   List.map
-    (fun (values, est) ->
+    (fun (values, est, sd) ->
       let labels =
         List.map2
           (fun attr v -> Domain.label (Schema.domain schema attr) v)
           c.group_attrs values
       in
-      let group_pred =
-        List.fold_left2
-          (fun p attr v ->
-            Predicate.restrict p attr (Edb_util.Ranges.singleton v))
-          predicate c.group_attrs values
-      in
-      let sd = Sharded.stddev summary group_pred in
       (* Labels go last: they may contain spaces. *)
       Printf.sprintf "group %s %s %s" (float_str est) (float_str sd)
         (String.concat "," labels))
@@ -101,7 +106,7 @@ let run_sql (entry : Catalog.entry) sql =
                 err Protocol.err_unsupported
                   "GROUP BY over OR predicates is not supported"
             | Some predicate ->
-                Protocol.Ok (group_lines summary schema c predicate))
+                Protocol.Ok (group_lines entry schema c predicate))
       with
       | Invalid_argument m -> err Protocol.err_unsupported "%s" m
       | e -> err Protocol.err_internal "%s" (Printexc.to_string e))
@@ -129,10 +134,9 @@ let explain_sql (entry : Catalog.entry) sql =
                        (Edb_util.Ranges.intervals r))))
         |> String.concat " "
       in
-      let cacheable =
-        c.aggregate = T.Count && c.group_attrs = []
-        && List.length c.disjuncts = 1
-      in
+      (* Conjunctive COUNTs and conjunctive GROUP BYs both go through the
+         entry's cache; disjunctions and SUM/AVG do not. *)
+      let cacheable = c.aggregate = T.Count && List.length c.disjuncts = 1 in
       Protocol.Ok
         ([
            "aggregate " ^ aggregate;

@@ -76,32 +76,59 @@ let variance_disjuncts t disjuncts =
 
 let stddev_disjuncts t disjuncts = sqrt (variance_disjuncts t disjuncts)
 
-(* GROUP BY: every shard enumerates the same group keys in the same order
-   (the enumeration is driven by the schema's domains and the query's
-   restrictions, not by data), so the per-shard lists merge key by key.
-   Shard 0's key order is kept. *)
-let estimate_groups t ~attrs query =
-  let base = Summary.estimate_groups t.shards.(0) ~attrs query in
-  if Array.length t.shards = 1 then base
-  else begin
-    let totals = Hashtbl.create (List.length base) in
-    List.iter (fun (key, v) -> Hashtbl.replace totals key v) base;
-    for i = 1 to Array.length t.shards - 1 do
-      List.iter
-        (fun (key, v) ->
-          match Hashtbl.find_opt totals key with
-          | Some acc -> Hashtbl.replace totals key (acc +. v)
-          | None -> Hashtbl.replace totals key v)
-        (Summary.estimate_groups t.shards.(i) ~attrs query)
-    done;
-    List.map (fun (key, _) -> (key, Hashtbl.find totals key)) base
-  end
+(* GROUP BY: every shard enumerates the same group keys in the same
+   ascending order (the enumeration is driven by the schema's domains and
+   the query's restrictions, not by data), so the per-shard vectors merge
+   positionally.  Shards are evaluated concurrently on OCaml 5 domains;
+   [Parallel.fold] combines chunks left to right — shard order — so the
+   merge is deterministic, and at k = 1 shard 0's vector is returned
+   untouched (bitwise equal to the flat summary's). *)
+let estimate_groups_with_variance t ~attrs query =
+  let k = Array.length t.shards in
+  let eval i =
+    Summary.estimate_groups_with_variance t.shards.(i) ~attrs query
+  in
+  if k = 1 then eval 0
+  else
+    let per_shard =
+      Edb_util.Parallel.fold
+        ~domains:(min k (Edb_util.Parallel.default_domains ()))
+        ~n:k
+        ~chunk:(fun ~lo ~hi -> List.init (hi - lo) (fun i -> eval (lo + i)))
+        ~combine:( @ ) ~init:[]
+    in
+    match per_shard with
+    | [] -> []
+    | base :: rest ->
+        List.fold_left
+          (fun acc shard ->
+            List.map2
+              (fun (key, e, v) (_, e', v') -> (key, e +. e', v +. v'))
+              acc shard)
+          base rest
 
-(* Same selection policy as {!Summary.top_k_groups} so k = 1 matches the
+let estimate_groups_with_stddev t ~attrs query =
+  List.map
+    (fun (key, e, v) -> (key, e, sqrt v))
+    (estimate_groups_with_variance t ~attrs query)
+
+let estimate_groups t ~attrs query =
+  List.map
+    (fun (key, e, _) -> (key, e))
+    (estimate_groups_with_variance t ~attrs query)
+
+(* Same selection policy as {!Summary.top_k_groups} — descending
+   [Float.compare] with a group-key tie-break — so every k matches the
    flat summary exactly, ties included. *)
 let top_k_groups t ~attrs ~k query =
   let groups = estimate_groups t ~attrs query in
-  let sorted = List.sort (fun (_, a) (_, b) -> compare b a) groups in
+  let sorted =
+    List.sort
+      (fun (ka, a) (kb, b) ->
+        let c = Float.compare b a in
+        if c <> 0 then c else Stdlib.compare ka kb)
+      groups
+  in
   List.filteri (fun i _ -> i < k) sorted
 
 let size_report t =

@@ -56,11 +56,27 @@ val estimate_avg : t -> attr:int -> Predicate.t -> float option
 
 val estimate_groups :
   t -> attrs:int list -> Predicate.t -> (int list * float) list
-(** Group keys appear in shard 0's enumeration order (identical to the
-    flat summary's order: enumeration is schema-driven). *)
+(** Group keys appear in ascending key order (identical to the flat
+    summary's order: enumeration is schema-driven).  Shards are
+    evaluated concurrently on OCaml 5 domains and combined in shard
+    order, so answers are deterministic; at k = 1 the flat summary's
+    vector is returned bitwise unchanged. *)
+
+val estimate_groups_with_variance :
+  t -> attrs:int list -> Predicate.t -> (int list * float * float) list
+(** [estimate_groups] plus each cell's variance (per-shard variances
+    add by independence of the shard models). *)
+
+val estimate_groups_with_stddev :
+  t -> attrs:int list -> Predicate.t -> (int list * float * float) list
+(** [estimate_groups_with_variance] with the summed variance replaced
+    by its square root. *)
 
 val top_k_groups :
   t -> attrs:int list -> k:int -> Predicate.t -> (int list * float) list
+(** Deterministic total order: descending estimate under
+    [Float.compare], ties broken by ascending group key — the same
+    policy as {!Entropydb_core.Summary.top_k_groups}. *)
 
 val estimate_disjuncts : t -> Predicate.t list -> float
 (** Inclusion–exclusion COUNT over a disjunction of conjunctive

@@ -579,6 +579,128 @@ let test_estimate_groups () =
       Alcotest.(check (float 1e-9)) "top is the max" max_group best
   | [], _ -> ())
 
+(* The batched GROUP BY kernel must agree with one restricted evaluation
+   per value — on arbitrary (unsolved) variable assignments, for every
+   attribute, sequentially and under domain chunking. *)
+let batched_kernel_matches_per_value =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:12 ~name:"batched kernel = per-value eval"
+       QCheck.(int_range 0 10_000)
+       (fun seed ->
+         let case = random_case seed in
+         let phi = Phi.of_relation case.rel ~joints:case.joints in
+         let poly = Poly.create phi in
+         let rng = Prng.create ~seed:(seed + 7) () in
+         randomize_alphas rng poly phi;
+         let schema = Phi.schema phi in
+         let arity = Schema.arity schema in
+         let check () =
+           for _ = 1 to 4 do
+             let q = random_query rng schema in
+             let attr = Prng.int rng arity in
+             let vec = Poly.eval_restricted_by_value poly q ~attr in
+             let allowed =
+               match Predicate.restriction q attr with
+               | None -> List.init (Schema.domain_size schema attr) Fun.id
+               | Some r -> Ranges.to_list r
+             in
+             Array.iteri
+               (fun v bv ->
+                 if List.mem v allowed then begin
+                   let direct =
+                     Poly.eval_restricted poly
+                       (Predicate.restrict q attr (Ranges.singleton v))
+                   in
+                   if not (Floatx.approx_eq ~rtol:1e-9 ~atol:1e-12 direct bv)
+                   then
+                     QCheck.Test.fail_reportf
+                       "%s: attr %d value %d: batched %.12g vs direct %.12g"
+                       case.descr attr v bv direct
+                 end
+                 else if bv <> 0. then
+                   QCheck.Test.fail_reportf
+                     "%s: attr %d value %d outside restriction: %.12g"
+                     case.descr attr v bv)
+               vec
+           done
+         in
+         Poly.set_parallelism ~threshold:30_000 1;
+         check ();
+         Poly.set_parallelism ~threshold:1 4;
+         Fun.protect
+           ~finally:(fun () -> Poly.set_parallelism ~threshold:30_000 1)
+           check;
+         true))
+
+(* Summary.estimate_groups (batched, flat and k = 1 sharded) must match
+   the naive one-estimate-per-cell enumeration it replaced, keys, order,
+   variances, and all. *)
+let test_estimate_groups_matches_naive () =
+  let case = random_case 903 in
+  let phi = Phi.of_relation case.rel ~joints:case.joints in
+  let summary =
+    Summary.of_phi ~solver_config:{ Solver.default_config with log_every = 0 }
+      phi
+  in
+  let schema = Phi.schema phi in
+  let arity = Schema.arity schema in
+  let sharded = Edb_shard.Sharded.of_flat summary in
+  let rng = Prng.create ~seed:904 () in
+  for _ = 1 to 6 do
+    let q = random_query rng schema in
+    let attrs =
+      List.filter (fun _ -> Prng.unit_float rng < 0.5) (List.init arity Fun.id)
+    in
+    let attrs = if attrs = [] then [ Prng.int rng arity ] else attrs in
+    (* The pre-kernel implementation, verbatim: nested enumeration with a
+       full estimate per cell. *)
+    let rec naive chosen = function
+      | [] ->
+          let chosen = List.rev chosen in
+          let nq =
+            List.fold_left
+              (fun nq (i, v) -> Predicate.restrict nq i (Ranges.singleton v))
+              q chosen
+          in
+          [ (List.map snd chosen, Summary.estimate summary nq, nq) ]
+      | attr :: rest ->
+          let candidates =
+            match Predicate.restriction q attr with
+            | None -> List.init (Schema.domain_size schema attr) Fun.id
+            | Some r -> Ranges.to_list r
+          in
+          List.concat_map
+            (fun v -> naive ((attr, v) :: chosen) rest)
+            candidates
+    in
+    let expected = naive [] attrs in
+    let batched = Summary.estimate_groups_with_variance summary ~attrs q in
+    Alcotest.(check int)
+      "same cell count" (List.length expected) (List.length batched);
+    List.iter2
+      (fun (key, est, nq) (key', est', var') ->
+        Alcotest.(check (list int)) "same key order" key key';
+        if not (Floatx.approx_eq ~rtol:1e-9 ~atol:1e-9 est est') then
+          Alcotest.failf "%s: cell estimate %.12g vs naive %.12g" case.descr
+            est' est;
+        let var = Summary.variance summary nq in
+        if not (Floatx.approx_eq ~rtol:1e-9 ~atol:1e-9 var var') then
+          Alcotest.failf "%s: cell variance %.12g vs naive %.12g" case.descr
+            var' var)
+      expected batched;
+    (* k = 1 sharded must be bitwise identical to flat. *)
+    let triples = Summary.estimate_groups_with_stddev summary ~attrs q in
+    let sharded_triples =
+      Edb_shard.Sharded.estimate_groups_with_stddev sharded ~attrs q
+    in
+    List.iter2
+      (fun (ka, ea, sa) (kb, eb, sb) ->
+        if ka <> kb || ea <> eb || sa <> sb then
+          Alcotest.failf "%s: k=1 sharded group-by differs from flat"
+            case.descr)
+      triples sharded_triples
+  done
+
 (* Estimate invariants on solved models: bounds and monotonicity. *)
 let test_estimate_invariants () =
   for seed = 800 to 805 do
@@ -669,6 +791,76 @@ let test_cache_eviction () =
     ignore (Cache.estimate cache q)
   done;
   Alcotest.(check bool) "bounded" true ((Cache.stats cache).entries <= 16)
+
+(* A grouped result and a plain COUNT over the *same* predicate must live
+   under distinct keys — and distinct grouping-attribute lists must not
+   collide either. *)
+let test_cache_grouped_no_collision () =
+  let case = random_case 703 in
+  let phi = Phi.of_relation case.rel ~joints:case.joints in
+  let summary =
+    Summary.of_phi ~solver_config:{ Solver.default_config with log_every = 0 }
+      phi
+  in
+  let cache = Cache.create ~capacity:64 summary in
+  let rng = Prng.create ~seed:704 () in
+  let q = random_query rng (Phi.schema phi) in
+  let count = Cache.estimate cache q in
+  let g0 = Cache.estimate_groups cache ~attrs:[ 0 ] q in
+  let g1 = Cache.estimate_groups cache ~attrs:[ 1 ] q in
+  let s = Cache.stats cache in
+  Alcotest.(check int) "three distinct entries" 3 s.entries;
+  Alcotest.(check int) "three misses, no collisions" 3 s.misses;
+  Alcotest.(check int) "no hits yet" 0 s.hits;
+  (* Repeats hit, and return the exact first-computed values. *)
+  Alcotest.(check bool) "count hit" true (count = Cache.estimate cache q);
+  Alcotest.(check bool)
+    "grouped hit" true
+    (g0 = Cache.estimate_groups cache ~attrs:[ 0 ] q);
+  Alcotest.(check bool)
+    "other attrs hit" true
+    (g1 = Cache.estimate_groups cache ~attrs:[ 1 ] q);
+  let s' = Cache.stats cache in
+  Alcotest.(check int) "three hits" 3 s'.hits;
+  Alcotest.(check int) "still three entries" 3 s'.entries;
+  (* Cached grouped values equal the uncached evaluation. *)
+  Alcotest.(check bool)
+    "grouped = summary" true
+    (g0 = Summary.estimate_groups_with_stddev summary ~attrs:[ 0 ] q);
+  (* Without a grouped evaluator the grouped entry point refuses. *)
+  let plain = Cache.of_fn (fun _ -> 0.) in
+  match Cache.estimate_groups plain ~attrs:[ 0 ] q with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected Invalid_argument without grouped evaluator"
+
+(* Eviction must drop exactly the least-recently-used entries: recency is
+   ticked on hits, not just inserts. *)
+let test_cache_eviction_order () =
+  let pred k = Predicate.of_alist ~arity:1 [ (0, Ranges.interval 0 k) ] in
+  let cache = Cache.of_fn ~capacity:10 (fun _ -> 0.) in
+  (* Fill to capacity: q0..q9, inserted in order. *)
+  for k = 0 to 9 do
+    ignore (Cache.estimate cache (pred k))
+  done;
+  (* Touch q0..q8, leaving q9 as the LRU entry despite being newest-inserted. *)
+  for k = 0 to 8 do
+    ignore (Cache.estimate cache (pred k))
+  done;
+  let before = Cache.stats cache in
+  Alcotest.(check int) "full" 10 before.entries;
+  Alcotest.(check int) "warm-up hits" 9 before.hits;
+  (* One more insert evicts capacity/10 = 1 entry: q9, the LRU. *)
+  ignore (Cache.estimate cache (pred 10));
+  let after = Cache.stats cache in
+  Alcotest.(check int) "one eviction" 1 after.evictions;
+  Alcotest.(check int) "entries bounded" 10 after.entries;
+  (* q0 survived (hit); q9 was evicted (miss). *)
+  ignore (Cache.estimate cache (pred 0));
+  Alcotest.(check int) "LRU-protected entry hits" (after.hits + 1)
+    (Cache.stats cache).hits;
+  ignore (Cache.estimate cache (pred 9));
+  Alcotest.(check int) "evicted entry misses" (after.misses + 1)
+    (Cache.stats cache).misses
 
 (* Variance calibration: the closed-form Var = n p (1-p) must match the
    empirical variance of counts over many sampled possible worlds.  A
@@ -1354,6 +1546,9 @@ let () =
           Alcotest.test_case "estimate bounds and monotonicity" `Quick
             test_estimate_invariants;
           Alcotest.test_case "group-by estimation" `Quick test_estimate_groups;
+          batched_kernel_matches_per_value;
+          Alcotest.test_case "batched group-by = naive per-cell" `Quick
+            test_estimate_groups_matches_naive;
         ] );
       ( "cache",
         [
@@ -1361,6 +1556,10 @@ let () =
             test_cache_transparent;
           Alcotest.test_case "eviction bounds entries" `Quick
             test_cache_eviction;
+          Alcotest.test_case "grouped and COUNT keys never collide" `Quick
+            test_cache_grouped_no_collision;
+          Alcotest.test_case "eviction drops exactly the LRU" `Quick
+            test_cache_eviction_order;
         ] );
       ( "serialize",
         [

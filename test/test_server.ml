@@ -347,12 +347,41 @@ let test_handler_sharded () =
         (Edb_shard.Sharded.estimate sh q)
         v
   | Protocol.Err { message; _ } -> Alcotest.fail message);
-  (match
-     handle (Protocol.Query { name = "sh"; sql = "SELECT COUNT(*) FROM f GROUP BY a1" })
-   with
+  let groupby_sql = "SELECT COUNT(*) FROM f GROUP BY a1" in
+  (match handle (Protocol.Query { name = "sh"; sql = groupby_sql }) with
   | Protocol.Ok lines ->
-      Alcotest.(check int) "one group line per a1 value" 5 (List.length lines)
+      Alcotest.(check int) "one group line per a1 value" 5 (List.length lines);
+      (* Estimates and stddevs come from the batched grouped path; they
+         must equal the in-process fan-out's answers. *)
+      let expected =
+        Edb_shard.Sharded.estimate_groups_with_stddev sh ~attrs:[ 1 ]
+          (Predicate.tautology 3)
+        (* The handler's default order: estimate descending, key-broken. *)
+        |> List.sort (fun (ka, a, _) (kb, b, _) ->
+               let o = Float.compare b a in
+               if o <> 0 then o else Stdlib.compare ka kb)
+      in
+      List.iter2
+        (fun line (_, est, sd) ->
+          match String.split_on_char ' ' line with
+          | "group" :: e :: s :: _ ->
+              Alcotest.(check (float 1e-9)) "group estimate" est
+                (float_of_string e);
+              Alcotest.(check (float 1e-9)) "group stddev" sd
+                (float_of_string s)
+          | _ -> Alcotest.failf "malformed group line: %s" line)
+        lines expected
   | Protocol.Err { message; _ } -> Alcotest.fail message);
+  (* The GROUP BY went through the entry's cache: a repeat is a hit. *)
+  let entry = Option.get (Catalog.find catalog "sh") in
+  let before = (Cache.stats entry.Catalog.cache).Cache.hits in
+  (match handle (Protocol.Query { name = "sh"; sql = groupby_sql }) with
+  | Protocol.Ok lines ->
+      Alcotest.(check int) "same group count on repeat" 5 (List.length lines)
+  | Protocol.Err { message; _ } -> Alcotest.fail message);
+  Alcotest.(check int)
+    "repeated GROUP BY hits the cache" (before + 1)
+    (Cache.stats entry.Catalog.cache).Cache.hits;
   match handle Protocol.Stats with
   | Protocol.Ok lines ->
       Alcotest.(check bool) "STATS reports resident shard total" true

@@ -169,7 +169,16 @@ let test_k1_matches_flat () =
   Alcotest.(check (list (pair (list int) (float 0.))))
     "top-k"
     (Summary.top_k_groups flat ~attrs:[ 1 ] ~k:3 q)
-    (Sharded.top_k_groups sh ~attrs:[ 1 ] ~k:3 q)
+    (Sharded.top_k_groups sh ~attrs:[ 1 ] ~k:3 q);
+  (* The grouped-with-uncertainty surface must also be bitwise at k = 1 —
+     the handler serves its stddevs straight from this path. *)
+  List.iter2
+    (fun (ka, ea, sa) (kb, eb, sb) ->
+      Alcotest.(check (list int)) "stddev key" ka kb;
+      Alcotest.(check (float 0.)) "group estimate" ea eb;
+      Alcotest.(check (float 0.)) "group stddev" sa sb)
+    (Summary.estimate_groups_with_stddev flat ~attrs:[ 1 ] q)
+    (Sharded.estimate_groups_with_stddev sh ~attrs:[ 1 ] q)
 
 let test_fanout_equals_per_shard_sums () =
   let rel = fixture_rel () in
@@ -227,6 +236,23 @@ let test_fanout_equals_per_shard_sums () =
           in
           Alcotest.(check (float 1e-9)) "group value" expected v)
         merged;
+      (* Grouped estimates and variances add across shards exactly like
+         the scalar fan-out does (the kernel reassociates float sums, so
+         relative, not bitwise). *)
+      List.iter
+        (fun (key, est, var) ->
+          let group_pred =
+            Predicate.restrict q 0 (Ranges.singleton (List.hd key))
+          in
+          let exp_var = sum (fun s -> Summary.variance s group_pred) in
+          if not (Floatx.approx_eq ~rtol:1e-9 ~atol:1e-9 exp_var var) then
+            Alcotest.failf "group variance %.12g vs per-shard sum %.12g" var
+              exp_var;
+          let exp_est = Sharded.estimate sh group_pred in
+          if not (Floatx.approx_eq ~rtol:1e-9 ~atol:1e-9 exp_est est) then
+            Alcotest.failf "group estimate %.12g vs scalar fan-out %.12g" est
+              exp_est)
+        (Sharded.estimate_groups_with_variance sh ~attrs:[ 0 ] q);
       (* Total cardinality: tautology estimates n exactly-ish because
          each shard's model preserves its own row count. *)
       Alcotest.(check (float 1e-3))
