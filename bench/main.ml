@@ -707,6 +707,62 @@ let groupby config =
   [ table ]
 
 (* ------------------------------------------------------------------ *)
+(* check: the edb_check oracle battery as a budgeted experiment        *)
+(* ------------------------------------------------------------------ *)
+
+(* Runs the differential/metamorphic harness (lib/check) and records its
+   throughput and worst exact-tier deviation.  Budget via EDB_CHECK_BUDGET
+   (smoke | default | deep, default smoke).  Any finding is a correctness
+   bug, so the experiment fails loud rather than writing a green JSON. *)
+let check config =
+  let budget =
+    match Sys.getenv_opt "EDB_CHECK_BUDGET" with
+    | None -> Edb_check.Sweep.Smoke
+    | Some s -> (
+        match Edb_check.Sweep.budget_of_string s with
+        | Ok b -> b
+        | Error e -> failwith ("EDB_CHECK_BUDGET: " ^ e))
+  in
+  let oracle_config =
+    { Edb_check.Oracle.default with Edb_check.Oracle.server = true }
+  in
+  let outcome, wall_s =
+    Timing.time (fun () ->
+        Edb_check.Sweep.run ~config:oracle_config
+          ~base_seed:config.Config.seed budget)
+  in
+  let num_findings = List.length outcome.Edb_check.Sweep.findings in
+  let table =
+    Table.create
+      ~title:
+        (Printf.sprintf "Correctness harness (budget %s, base seed %d)"
+           (Edb_check.Sweep.budget_name budget)
+           config.Config.seed)
+      ~headers:[ "metric"; "value" ]
+      ~aligns:[ Table.Left; Table.Right ] ()
+  in
+  let add k v = Table.add_row table [ k; v ] in
+  add "cases" (string_of_int outcome.Edb_check.Sweep.cases);
+  add "assertions" (string_of_int outcome.Edb_check.Sweep.checks_run);
+  add "findings" (string_of_int num_findings);
+  add "max exact sigma"
+    (Printf.sprintf "%.2f" outcome.Edb_check.Sweep.max_exact_sigma);
+  add "assertions / s"
+    (Printf.sprintf "%.0f"
+       (float_of_int outcome.Edb_check.Sweep.checks_run /. wall_s));
+  extra_json :=
+    [
+      ("budget", Json.Str (Edb_check.Sweep.budget_name budget));
+      ("outcome", Edb_check.Sweep.outcome_json outcome);
+    ];
+  if num_findings > 0 then (
+    Edb_check.Sweep.print_outcome outcome;
+    failwith
+      (Printf.sprintf "check: %d correctness findings — see repro lines above"
+         num_findings));
+  [ table ]
+
+(* ------------------------------------------------------------------ *)
 (* Driver                                                              *)
 (* ------------------------------------------------------------------ *)
 
@@ -727,6 +783,7 @@ let experiments config =
     ("loadgen", fun () -> loadgen config);
     ("shardscale", fun () -> shardscale config);
     ("groupby", fun () -> groupby config);
+    ("check", fun () -> check config);
   ]
 
 let () =

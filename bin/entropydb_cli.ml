@@ -9,6 +9,7 @@
      info        inspect a saved summary
      serve       run the resident summary server (lib/server)
      client      talk to a running server
+     check       run the correctness oracle battery over random cases
      experiment  regenerate one of the paper's figures
 
    The CLI works on the two built-in dataset families (flights, particles)
@@ -480,7 +481,6 @@ let evaluate_cmd =
     setup_logs verbose;
     let rel = generate_relation dataset ~rows ~seed in
     let schema = Relation.schema rel in
-    let arity = Schema.arity schema in
     (* Methods: EntropyDB (COMPOSITE on cover-selected pairs) vs a uniform
        sample of the same configured rate. *)
     let chosen =
@@ -500,11 +500,14 @@ let evaluate_cmd =
     in
     Printf.printf "summary built in %.1fs (%d joint statistics)\n%!" build_s
       (List.length joints);
-    let rng = Edb_util.Prng.create ~seed:(seed + 1) () in
+    (* The sampler gets its own stream; workload streams are derived per
+       attribute set inside [Runner.run_standard], so no state is shared
+       between the baseline and the workloads (or between workloads). *)
+    let sample_rng = Edb_util.Prng.create ~seed:(seed + 2) () in
     let methods =
       [
         Edb_workload.Methods.of_sample
-          (Edb_sampling.Uniform.create rng ~rate rel);
+          (Edb_sampling.Uniform.create sample_rng ~rate rel);
         Edb_workload.Methods.of_summary summary;
       ]
     in
@@ -525,22 +528,13 @@ let evaluate_cmd =
           Printf.sprintf "%s,%s" (Schema.attr_name schema a)
             (Schema.attr_name schema b)
         in
-        let w =
-          Edb_workload.Hitters.standard rng rel ~attrs ~num_hitters:hitters
-            ~num_nulls:hitters
+        let report =
+          Edb_workload.Runner.run_standard ~seed:(seed + 1) rel methods
+            ~attrs ~num_hitters:hitters ~num_nulls:hitters
         in
-        let heavy =
-          Edb_workload.Runner.run_errors_all methods ~arity ~attrs
-            ~queries:w.heavy
-        in
-        let light =
-          Edb_workload.Runner.run_errors_all methods ~arity ~attrs
-            ~queries:w.light
-        in
-        let fs =
-          Edb_workload.Runner.run_f_all methods ~arity ~attrs ~light:w.light
-            ~nulls:w.nulls
-        in
+        let heavy = report.Edb_workload.Runner.heavy in
+        let light = report.Edb_workload.Runner.light in
+        let fs = report.Edb_workload.Runner.f in
         List.iter2
           (fun ((h : Edb_workload.Runner.error_result),
                 (l : Edb_workload.Runner.error_result))
@@ -787,6 +781,72 @@ let client_cmd =
       $ words_t)
 
 (* ------------------------------------------------------------------ *)
+(* check                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let check_cmd =
+  let run verbose budget base_seed replay mutate =
+    setup_logs verbose;
+    (* The sweep spins a server per case; its connection chatter is noise
+       here unless the user asked for it. *)
+    if not verbose then Logs.set_level (Some Logs.Warning);
+    (match mutate with
+    | None -> ()
+    | Some "clamp" ->
+        (* Plant a known estimator bug: a positive cancellation floor.
+           The sweep must then report findings (exit 1). *)
+        Entropydb_core.Poly.set_cancellation_floor 0.05
+    | Some other ->
+        Fmt.epr "unknown mutation %s (available: clamp)@." other;
+        exit 2);
+    let config = { Edb_check.Oracle.default with server = true } in
+    let outcome =
+      match replay with
+      | Some seed -> Edb_check.Sweep.replay ~config seed
+      | None -> (
+          match Edb_check.Sweep.budget_of_string budget with
+          | Error m ->
+              Fmt.epr "%s@." m;
+              exit 2
+          | Ok b -> Edb_check.Sweep.run ~config ~base_seed b)
+    in
+    Edb_check.Sweep.print_outcome outcome;
+    if outcome.Edb_check.Sweep.findings = [] then 0 else 1
+  in
+  let budget_t =
+    Arg.(
+      value & opt string "default"
+      & info [ "budget" ] ~docv:"LEVEL"
+          ~doc:"Sweep size: smoke (12 cases), default (48), or deep (200).")
+  in
+  let base_seed_t =
+    Arg.(
+      value & opt int 1000
+      & info [ "seed" ] ~docv:"N" ~doc:"Base seed of the sweep.")
+  in
+  let replay_t =
+    Arg.(
+      value & opt (some int) None
+      & info [ "replay" ] ~docv:"SEED"
+          ~doc:"Re-run the full oracle battery on one seed (the repro \
+                line of a previous failure) instead of a sweep.")
+  in
+  let mutate_t =
+    Arg.(
+      value & opt (some string) None
+      & info [ "mutate" ] ~docv:"NAME"
+          ~doc:"Plant a known bug before checking (self-test of the \
+                harness).  Available: $(b,clamp), a positive cancellation \
+                floor in the polynomial evaluator.")
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:"Cross-check every answer path with the correctness oracle \
+             battery (differential, metamorphic, and exact tiers).")
+    Term.(
+      const run $ verbose_t $ budget_t $ base_seed_t $ replay_t $ mutate_t)
+
+(* ------------------------------------------------------------------ *)
 (* experiment                                                          *)
 (* ------------------------------------------------------------------ *)
 
@@ -849,5 +909,5 @@ let () =
        (Cmd.group info
           [
             generate_cmd; build_cmd; summarize_cmd; query_cmd; info_cmd;
-            serve_cmd; client_cmd; evaluate_cmd; experiment_cmd;
+            serve_cmd; client_cmd; evaluate_cmd; check_cmd; experiment_cmd;
           ]))

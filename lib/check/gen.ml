@@ -1,0 +1,116 @@
+(* Case generation: every random choice flows from the spec's seed
+   through fixed-purpose streams, so a case is a pure function of its
+   spec and a spec is a pure function of its seed. *)
+
+open Edb_util
+open Edb_storage
+
+type data_mode = Product | Mixture
+
+type spec = {
+  seed : int;
+  sizes : int list;
+  rows : int;
+  mode : data_mode;
+  with_joints : bool;
+  shards : int;
+  shard_by : [ `Rows | `Attr of int ];
+}
+
+let spec_of_seed seed =
+  let rng = Prng.create ~seed () in
+  let arity = Prng.int_in rng 2 4 in
+  let sizes = List.init arity (fun _ -> Prng.int_in rng 2 8) in
+  let rows = Prng.int_in rng 30 400 in
+  let mode = if Prng.unit_float rng < 0.5 then Product else Mixture in
+  let with_joints = Prng.unit_float rng < 0.6 in
+  let shards = Prng.int_in rng 1 3 in
+  let shard_by =
+    if Prng.unit_float rng < 0.7 then `Rows else `Attr (Prng.int rng arity)
+  in
+  { seed; sizes; rows; mode; with_joints; shards; shard_by }
+
+let pp_spec ppf s =
+  Fmt.pf ppf
+    "seed=%d sizes=[%s] rows=%d mode=%s joints=%b shards=%d shard_by=%s"
+    s.seed
+    (String.concat ";" (List.map string_of_int s.sizes))
+    s.rows
+    (match s.mode with Product -> "product" | Mixture -> "mixture")
+    s.with_joints s.shards
+    (match s.shard_by with
+    | `Rows -> "rows"
+    | `Attr i -> Printf.sprintf "attr:%d" i)
+
+(* One disjoint family of two 2D range statistics over attributes 0 and 1
+   (every generated schema has arity >= 2 and domain sizes >= 2). *)
+let joints spec schema =
+  if not spec.with_joints then []
+  else begin
+    let arity = Schema.arity schema in
+    let sa = Schema.domain_size schema 0 in
+    let sb = Schema.domain_size schema 1 in
+    let ha = (sa - 1) / 2 in
+    let hb = (sb - 1) / 2 in
+    [
+      Predicate.of_alist ~arity
+        [ (0, Ranges.interval 0 ha); (1, Ranges.interval 0 hb) ];
+      Predicate.of_alist ~arity
+        [
+          (0, Ranges.interval (ha + 1) (sa - 1));
+          (1, Ranges.interval (hb + 1) (sb - 1));
+        ];
+    ]
+  end
+
+let random_range rng size =
+  let r = Prng.unit_float rng in
+  if r < 0.4 || size = 1 then Ranges.singleton (Prng.int rng size)
+  else if r < 0.8 then begin
+    let lo = Prng.int rng size in
+    let hi = Prng.int_in rng lo (size - 1) in
+    Ranges.interval lo hi
+  end
+  else
+    Ranges.union
+      (Ranges.singleton (Prng.int rng size))
+      (Ranges.singleton (Prng.int rng size))
+
+let random_predicate rng schema =
+  let arity = Schema.arity schema in
+  let pairs =
+    List.filter_map
+      (fun i ->
+        if Prng.unit_float rng < 0.55 then
+          Some (i, random_range rng (Schema.domain_size schema i))
+        else None)
+      (List.init arity Fun.id)
+  in
+  Predicate.of_alist ~arity pairs
+
+(* Distinct derived streams so adding queries never perturbs the
+   disjunction workload and vice versa. *)
+let stream spec salt = Prng.create ~seed:(spec.seed + salt) ()
+
+let num_queries = 6
+
+let queries spec schema =
+  let rng = stream spec 0x51ab in
+  List.init num_queries (fun _ -> random_predicate rng schema)
+
+let group_attr_sets spec schema =
+  let rng = stream spec 0x77cd in
+  let arity = Schema.arity schema in
+  let one = [ Prng.int rng arity ] in
+  if arity < 2 then [ one ]
+  else begin
+    let a = Prng.int rng arity in
+    let b = (a + 1 + Prng.int rng (arity - 1)) mod arity in
+    [ one; [ a; b ] ]
+  end
+
+let disjunctions spec schema =
+  let rng = stream spec 0x1c39 in
+  List.init 3 (fun _ ->
+      let d = Prng.int_in rng 2 3 in
+      List.init d (fun _ -> random_predicate rng schema))

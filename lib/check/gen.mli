@@ -1,0 +1,48 @@
+(** Seed-deterministic generation of harness cases.
+
+    A {!spec} fully determines a case: the relation (via
+    {!Edb_datagen.Synthetic}), the build configuration (joint statistics,
+    shard count and strategy), and the query workload.  [spec_of_seed]
+    derives every field from one integer, so a failure replays from its
+    seed alone; the shrinker mutates fields directly and rebuilds. *)
+
+open Edb_util
+open Edb_storage
+
+type data_mode = Product | Mixture
+
+type spec = {
+  seed : int;
+  sizes : int list;  (** per-attribute domain sizes, arity = length *)
+  rows : int;
+  mode : data_mode;
+  with_joints : bool;  (** add a disjoint family of 2D statistics *)
+  shards : int;
+  shard_by : [ `Rows | `Attr of int ];
+}
+
+val spec_of_seed : int -> spec
+(** Arity 2–4, domain sizes 2–8, 30–400 rows; |Tup| stays well under
+    {!Entropydb_core.Bruteforce}'s enumeration cap, so the exact oracle
+    is always available. *)
+
+val pp_spec : Format.formatter -> spec -> unit
+
+val joints : spec -> Schema.t -> Predicate.t list
+(** The spec's joint statistics: two disjoint 2D range predicates over
+    attributes 0 and 1 when [with_joints] (empty otherwise). *)
+
+val queries : spec -> Schema.t -> Predicate.t list
+(** The case's conjunctive query workload (a fixed count of random
+    predicates: points, ranges, and unions, roughly half the attributes
+    restricted each). *)
+
+val group_attr_sets : spec -> Schema.t -> int list list
+(** Grouping-attribute sets for the GROUP BY checks (one single-attribute
+    and one two-attribute set when the arity allows). *)
+
+val disjunctions : spec -> Schema.t -> Predicate.t list list
+(** Disjunctive workload: lists of 2–3 conjunctive disjuncts. *)
+
+val random_predicate : Prng.t -> Schema.t -> Predicate.t
+(** One random conjunctive predicate (exposed for tests). *)

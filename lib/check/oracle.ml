@@ -1,0 +1,745 @@
+(* The oracle battery.  Each check is a named function over a built case;
+   failures accumulate as findings instead of raising, so one bad case
+   reports every violated invariant at once and the shrinker can re-run a
+   single named check cheaply. *)
+
+open Edb_util
+open Edb_storage
+open Entropydb_core
+
+type tier = Exact | Differential | Metamorphic
+
+let tier_name = function
+  | Exact -> "exact"
+  | Differential -> "differential"
+  | Metamorphic -> "metamorphic"
+
+type config = {
+  z : float;
+  exact_atol : float;
+  rtol_hard : float;
+  rtol_bf : float;
+  server : bool;
+}
+
+let default =
+  { z = 6.; exact_atol = 3.; rtol_hard = 1e-9; rtol_bf = 1e-6; server = false }
+
+type finding = { check : string; tier : tier; seed : int; detail : string }
+
+type result = {
+  findings : finding list;
+  checks_run : int;
+  max_exact_sigma : float;
+}
+
+type ctx = {
+  cfg : config;
+  case : Case.t;
+  mutable findings : finding list;
+  mutable checks : int;
+  mutable max_sigma : float;
+  mutable bf : (Bruteforce.t * float array) option;
+}
+
+let fail ctx ~check ~tier fmt =
+  Fmt.kstr
+    (fun detail ->
+      ctx.findings <-
+        { check; tier; seed = ctx.case.Case.spec.Gen.seed; detail }
+        :: ctx.findings)
+    fmt
+
+let tally ctx = ctx.checks <- ctx.checks + 1
+let nf ctx = float_of_int (Summary.cardinality ctx.case.Case.summary)
+
+(* Tolerance for paths that compute the same quantity with a different
+   summation order: relative in the magnitudes, absolute in the
+   cardinality (cancellation near zero is benign at the n-th digit). *)
+let approx ctx a b =
+  Floatx.approx_eq ~rtol:ctx.cfg.rtol_hard
+    ~atol:(ctx.cfg.rtol_hard *. (nf ctx +. 1.))
+    a b
+
+let slack ctx = ctx.cfg.rtol_hard *. (nf ctx +. 1.)
+
+let bruteforce ctx =
+  match ctx.bf with
+  | Some pair -> pair
+  | None ->
+      let poly = Summary.poly ctx.case.Case.summary in
+      let pair = (Bruteforce.create (Poly.phi poly), Poly.alphas poly) in
+      ctx.bf <- Some pair;
+      pair
+
+let schema ctx = Relation.schema ctx.case.Case.rel
+
+(* The predicate with one attribute's restriction removed. *)
+let widen q i =
+  let arity = Predicate.arity q in
+  Predicate.of_alist ~arity
+    (List.filter_map
+       (fun j ->
+         if j = i then None
+         else Option.map (fun r -> (j, r)) (Predicate.restriction q j))
+       (List.init arity Fun.id))
+
+(* Split a query's (possibly implicit) restriction on [i] into two
+   nonempty halves; None when it has fewer than two values. *)
+let split_restriction ctx q i =
+  let r =
+    match Predicate.restriction q i with
+    | Some r -> r
+    | None -> Ranges.interval 0 (Schema.domain_size (schema ctx) i - 1)
+  in
+  let vs = Ranges.to_list r in
+  if List.length vs < 2 then None
+  else begin
+    let k = List.length vs / 2 in
+    let lo = List.filteri (fun idx _ -> idx < k) vs in
+    let hi = List.filteri (fun idx _ -> idx >= k) vs in
+    Some (Ranges.of_list lo, Ranges.of_list hi)
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Differential tier                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let c_bruteforce_estimate ctx =
+  let bf, alphas = bruteforce ctx in
+  let s = ctx.case.Case.summary in
+  List.iter
+    (fun q ->
+      tally ctx;
+      let fast = Summary.estimate s q in
+      let slow = Bruteforce.estimate bf alphas q in
+      if not (Floatx.approx_eq ~rtol:ctx.cfg.rtol_bf ~atol:1e-6 fast slow)
+      then
+        fail ctx ~check:"bruteforce-estimate" ~tier:Differential
+          "poly %.12g vs enumeration %.12g on %a" fast slow Predicate.pp q)
+    ctx.case.Case.queries
+
+let c_bruteforce_variance ctx =
+  let bf, alphas = bruteforce ctx in
+  let s = ctx.case.Case.summary in
+  let n = nf ctx in
+  let probs = Bruteforce.tuple_probabilities bf alphas in
+  List.iter
+    (fun q ->
+      tally ctx;
+      let fast = Summary.variance s q in
+      let p = ref 0. in
+      Array.iteri
+        (fun idx pr ->
+          if Predicate.matches_row q (Bruteforce.tuple bf idx) then
+            p := !p +. pr)
+        probs;
+      let p = Floatx.clamp ~lo:0. ~hi:1. !p in
+      let slow = n *. p *. (1. -. p) in
+      if not (Floatx.approx_eq ~rtol:ctx.cfg.rtol_bf ~atol:1e-6 fast slow)
+      then
+        fail ctx ~check:"bruteforce-variance" ~tier:Differential
+          "variance %.12g vs enumeration %.12g on %a" fast slow Predicate.pp q)
+    ctx.case.Case.queries
+
+let c_bruteforce_sum ctx =
+  let bf, alphas = bruteforce ctx in
+  let s = ctx.case.Case.summary in
+  let sch = schema ctx in
+  let attr = 0 in
+  let domain = Schema.domain sch attr in
+  let w v = Domain.bin_midpoint domain v in
+  let p_total = Bruteforce.p bf alphas in
+  List.iter
+    (fun q ->
+      tally ctx;
+      let fast = Summary.estimate_sum s ~attr q in
+      let slow =
+        nf ctx *. Bruteforce.eval_weighted bf alphas q ~weights:[ (attr, w) ]
+        /. p_total
+      in
+      if not (Floatx.approx_eq ~rtol:ctx.cfg.rtol_bf ~atol:1e-6 fast slow)
+      then
+        fail ctx ~check:"bruteforce-sum" ~tier:Differential
+          "SUM(a0) %.12g vs enumeration %.12g on %a" fast slow Predicate.pp q)
+    ctx.case.Case.queries
+
+let c_flat_vs_k1 ctx =
+  let s = ctx.case.Case.summary in
+  let k1 = Edb_shard.Sharded.of_flat s in
+  List.iter
+    (fun q ->
+      tally ctx;
+      let a = Summary.estimate s q and b = Edb_shard.Sharded.estimate k1 q in
+      if a <> b then
+        fail ctx ~check:"flat-vs-k1" ~tier:Differential
+          "estimate not bitwise: flat %.17g vs k=1 %.17g on %a" a b
+          Predicate.pp q;
+      tally ctx;
+      let va = Summary.variance s q and vb = Edb_shard.Sharded.variance k1 q in
+      if va <> vb then
+        fail ctx ~check:"flat-vs-k1" ~tier:Differential
+          "variance not bitwise: flat %.17g vs k=1 %.17g on %a" va vb
+          Predicate.pp q)
+    ctx.case.Case.queries;
+  let attrs = List.hd (Gen.group_attr_sets ctx.case.Case.spec (schema ctx)) in
+  let q = List.hd ctx.case.Case.queries in
+  tally ctx;
+  if
+    Summary.estimate_groups_with_stddev s ~attrs q
+    <> Edb_shard.Sharded.estimate_groups_with_stddev k1 ~attrs q
+  then
+    fail ctx ~check:"flat-vs-k1" ~tier:Differential
+      "GROUP BY cells not bitwise at k=1 (attrs %a) on %a"
+      Fmt.(Dump.list int)
+      attrs Predicate.pp q
+
+let c_shard_additivity ctx =
+  let sh = ctx.case.Case.sharded in
+  let shards = Edb_shard.Sharded.shards sh in
+  List.iter
+    (fun q ->
+      tally ctx;
+      let fan = Edb_shard.Sharded.estimate sh q in
+      let sum =
+        Array.fold_left (fun acc s -> acc +. Summary.estimate s q) 0. shards
+      in
+      if not (approx ctx fan sum) then
+        fail ctx ~check:"shard-additivity" ~tier:Differential
+          "fan-out %.12g vs per-shard sum %.12g (k=%d) on %a" fan sum
+          (Array.length shards) Predicate.pp q)
+    ctx.case.Case.queries;
+  List.iter
+    (fun d ->
+      tally ctx;
+      let fan = Edb_shard.Sharded.estimate_disjuncts sh d in
+      let sum =
+        Array.fold_left
+          (fun acc s -> acc +. Disjunction.estimate s d)
+          0. shards
+      in
+      if not (approx ctx fan sum) then
+        fail ctx ~check:"shard-additivity" ~tier:Differential
+          "disjunction fan-out %.12g vs per-shard sum %.12g" fan sum)
+    (Gen.disjunctions ctx.case.Case.spec (schema ctx))
+
+let naive_groups s ~attrs q =
+  let sch = Summary.schema s in
+  let values attr =
+    match Predicate.restriction q attr with
+    | Some r -> Ranges.to_list r
+    | None -> List.init (Schema.domain_size sch attr) Fun.id
+  in
+  let rec keys = function
+    | [] -> [ [] ]
+    | a :: rest ->
+        let tails = keys rest in
+        List.concat_map
+          (fun v -> List.map (fun t -> v :: t) tails)
+          (values a)
+  in
+  List.map
+    (fun key ->
+      let cell_q =
+        List.fold_left2
+          (fun acc attr v -> Predicate.restrict acc attr (Ranges.singleton v))
+          q attrs key
+      in
+      (key, Summary.estimate s cell_q))
+    (keys attrs)
+
+let c_groupby_batched_vs_naive ctx =
+  let s = ctx.case.Case.summary in
+  let sets = Gen.group_attr_sets ctx.case.Case.spec (schema ctx) in
+  let queries = List.filteri (fun i _ -> i < 3) ctx.case.Case.queries in
+  List.iter
+    (fun attrs ->
+      List.iter
+        (fun q ->
+          tally ctx;
+          let batched = Summary.estimate_groups s ~attrs q in
+          let naive = naive_groups s ~attrs q in
+          if List.length batched <> List.length naive then
+            fail ctx ~check:"groupby-batched-vs-naive" ~tier:Differential
+              "cell count %d vs %d (attrs %a) on %a" (List.length batched)
+              (List.length naive)
+              Fmt.(Dump.list int)
+              attrs Predicate.pp q
+          else
+            List.iter2
+              (fun (bk, bv) (nk, nv) ->
+                if bk <> nk then
+                  fail ctx ~check:"groupby-batched-vs-naive"
+                    ~tier:Differential "cell key %a vs %a on %a"
+                    Fmt.(Dump.list int)
+                    bk
+                    Fmt.(Dump.list int)
+                    nk Predicate.pp q
+                else if not (approx ctx bv nv) then
+                  fail ctx ~check:"groupby-batched-vs-naive"
+                    ~tier:Differential
+                    "cell %a: batched %.12g vs per-cell %.12g on %a"
+                    Fmt.(Dump.list int)
+                    bk bv nv Predicate.pp q)
+              batched naive)
+        queries)
+    sets
+
+let temp_dir () =
+  let path = Filename.temp_file "edb-check" "" in
+  Sys.remove path;
+  Unix.mkdir path 0o700;
+  path
+
+let rec rm_rf path =
+  match Unix.lstat path with
+  | { Unix.st_kind = Unix.S_DIR; _ } ->
+      Array.iter (fun e -> rm_rf (Filename.concat path e)) (Sys.readdir path);
+      Unix.rmdir path
+  | _ -> Sys.remove path
+  | exception Unix.Unix_error _ -> ()
+
+let c_serialize_roundtrip ctx =
+  let s = ctx.case.Case.summary in
+  let dir = temp_dir () in
+  Fun.protect
+    ~finally:(fun () -> rm_rf dir)
+    (fun () ->
+      let flat_path = Filename.concat dir "flat.summary" in
+      Serialize.save s flat_path;
+      let s' = Serialize.load flat_path in
+      let sh_path = Filename.concat dir "sharded.summary" in
+      Edb_shard.Store.save ctx.case.Case.sharded sh_path;
+      let sh' = Edb_shard.Store.load sh_path in
+      List.iter
+        (fun q ->
+          tally ctx;
+          let a = Summary.estimate s q and b = Summary.estimate s' q in
+          if a <> b then
+            fail ctx ~check:"serialize-roundtrip" ~tier:Differential
+              "flat reload not bitwise: %.17g vs %.17g on %a" a b Predicate.pp
+              q;
+          tally ctx;
+          let a = Edb_shard.Sharded.estimate ctx.case.Case.sharded q in
+          let b = Edb_shard.Sharded.estimate sh' q in
+          if a <> b then
+            fail ctx ~check:"serialize-roundtrip" ~tier:Differential
+              "sharded reload not bitwise: %.17g vs %.17g on %a" a b
+              Predicate.pp q)
+        ctx.case.Case.queries)
+
+let c_cache_vs_uncached ctx =
+  let s = ctx.case.Case.summary in
+  let cache = Cache.create s in
+  List.iter
+    (fun q ->
+      tally ctx;
+      let direct = Summary.estimate s q in
+      let miss = Cache.estimate cache q in
+      let hit = Cache.estimate cache q in
+      if miss <> direct || hit <> direct then
+        fail ctx ~check:"cache-vs-uncached" ~tier:Differential
+          "cache %.17g/%.17g vs direct %.17g on %a" miss hit direct
+          Predicate.pp q)
+    ctx.case.Case.queries;
+  let attrs = List.hd (Gen.group_attr_sets ctx.case.Case.spec (schema ctx)) in
+  let q = List.hd ctx.case.Case.queries in
+  tally ctx;
+  let direct = Summary.estimate_groups_with_stddev s ~attrs q in
+  if
+    Cache.estimate_groups cache ~attrs q <> direct
+    || Cache.estimate_groups cache ~attrs q <> direct
+  then
+    fail ctx ~check:"cache-vs-uncached" ~tier:Differential
+      "cached GROUP BY differs from direct on %a" Predicate.pp q
+
+(* SQL rendering for the server path: only single-interval conjunctive
+   restrictions are expressible in the query language's fragment. *)
+let sql_of_query sch q =
+  let arity = Schema.arity sch in
+  let rec clauses i acc =
+    if i = arity then Some (List.rev acc)
+    else
+      match Predicate.restriction q i with
+      | None -> clauses (i + 1) acc
+      | Some r -> (
+          match Ranges.intervals r with
+          | [ (lo, hi) ] when lo = hi ->
+              clauses (i + 1)
+                (Printf.sprintf "%s = %d" (Schema.attr_name sch i) lo :: acc)
+          | [ (lo, hi) ] ->
+              clauses (i + 1)
+                (Printf.sprintf "%s IN [%d, %d]" (Schema.attr_name sch i) lo
+                   hi
+                :: acc)
+          | _ -> None)
+  in
+  Option.map
+    (fun cs ->
+      match cs with
+      | [] -> "SELECT COUNT(*) FROM R"
+      | _ -> "SELECT COUNT(*) FROM R WHERE " ^ String.concat " AND " cs)
+    (clauses 0 [])
+
+let c_server_vs_library ctx =
+  if not ctx.cfg.server then ()
+  else begin
+    let s = ctx.case.Case.summary in
+    let dir = temp_dir () in
+    Fun.protect
+      ~finally:(fun () -> rm_rf dir)
+      (fun () ->
+        let path = Filename.concat dir "case.summary" in
+        Serialize.save s path;
+        let socket = Filename.concat dir "edb.sock" in
+        let server =
+          Edb_server.Server.create
+            {
+              Edb_server.Server.default_config with
+              unix_socket = Some socket;
+              workers = 2;
+              queue_depth = 4;
+              request_deadline = 30.;
+              idle_timeout = 10.;
+            }
+        in
+        Edb_server.Server.start server;
+        Fun.protect
+          ~finally:(fun () ->
+            Edb_server.Server.stop server;
+            Edb_server.Server.wait server)
+          (fun () ->
+            match
+              Edb_server.Client.connect ~timeout:10.
+                (Edb_server.Client.Unix_socket socket)
+            with
+            | Error m ->
+                fail ctx ~check:"server-vs-library" ~tier:Differential
+                  "connect failed: %s" m
+            | Ok conn ->
+                Fun.protect
+                  ~finally:(fun () -> Edb_server.Client.close conn)
+                  (fun () ->
+                    match
+                      Edb_server.Client.load conn ~name:"case" ~path
+                    with
+                    | Error m ->
+                        fail ctx ~check:"server-vs-library" ~tier:Differential
+                          "LOAD failed: %s" m
+                    | Ok _ ->
+                        List.iter
+                          (fun q ->
+                            match sql_of_query (schema ctx) q with
+                            | None -> ()
+                            | Some sql -> (
+                                tally ctx;
+                                let lib = Summary.estimate s q in
+                                match
+                                  Edb_server.Client.query conn ~name:"case"
+                                    ~sql
+                                with
+                                | Error m ->
+                                    fail ctx ~check:"server-vs-library"
+                                      ~tier:Differential "%s failed: %s" sql m
+                                | Ok payload -> (
+                                    match
+                                      Edb_server.Client.estimate_of_payload
+                                        payload
+                                    with
+                                    | None ->
+                                        fail ctx ~check:"server-vs-library"
+                                          ~tier:Differential
+                                          "%s: no estimate line" sql
+                                    | Some v ->
+                                        (* %.17g round-trips exactly, so
+                                           the wire answer must equal the
+                                           library's bitwise. *)
+                                        if v <> lib then
+                                          fail ctx ~check:"server-vs-library"
+                                            ~tier:Differential
+                                            "%s: wire %.17g vs library %.17g"
+                                            sql v lib)))
+                          ctx.case.Case.queries)))
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Metamorphic tier                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let c_widening_monotonic ctx =
+  let s = ctx.case.Case.summary in
+  List.iter
+    (fun q ->
+      match Predicate.restricted_attrs q with
+      | [] -> ()
+      | i :: _ ->
+          tally ctx;
+          let narrow = Summary.estimate s q in
+          let wide = Summary.estimate s (widen q i) in
+          if wide < narrow -. slack ctx then
+            fail ctx ~check:"widening-monotonic" ~tier:Metamorphic
+              "widening attr %d shrank the estimate: %.12g -> %.12g on %a" i
+              narrow wide Predicate.pp q)
+    ctx.case.Case.queries
+
+let c_groupby_total ctx =
+  let s = ctx.case.Case.summary in
+  let sets = Gen.group_attr_sets ctx.case.Case.spec (schema ctx) in
+  List.iter
+    (fun attrs ->
+      List.iter
+        (fun q ->
+          tally ctx;
+          let total = Summary.estimate s q in
+          let cells =
+            List.fold_left
+              (fun acc (_, v) -> acc +. v)
+              0.
+              (Summary.estimate_groups s ~attrs q)
+          in
+          if not (approx ctx total cells) then
+            fail ctx ~check:"groupby-total" ~tier:Metamorphic
+              "cells sum to %.12g but estimate is %.12g (attrs %a) on %a"
+              cells total
+              Fmt.(Dump.list int)
+              attrs Predicate.pp q)
+        ctx.case.Case.queries)
+    sets
+
+let c_partition_additivity ctx =
+  let s = ctx.case.Case.summary in
+  let arity = Schema.arity (schema ctx) in
+  List.iteri
+    (fun idx q ->
+      let i = idx mod arity in
+      match split_restriction ctx q i with
+      | None -> ()
+      | Some (lo, hi) ->
+          tally ctx;
+          let whole = Summary.estimate s q in
+          let parts =
+            Summary.estimate s (Predicate.restrict q i lo)
+            +. Summary.estimate s (Predicate.restrict q i hi)
+          in
+          if not (approx ctx whole parts) then
+            fail ctx ~check:"partition-additivity" ~tier:Metamorphic
+              "attr %d halves sum to %.12g but whole is %.12g on %a" i parts
+              whole Predicate.pp q)
+    ctx.case.Case.queries
+
+let c_conj_idempotent ctx =
+  let s = ctx.case.Case.summary in
+  List.iter
+    (fun q ->
+      tally ctx;
+      let qq = Predicate.conj q q in
+      if not (Predicate.equal qq q) then
+        fail ctx ~check:"conj-idempotent" ~tier:Metamorphic
+          "conj q q <> q structurally on %a" Predicate.pp q
+      else begin
+        let a = Summary.estimate s q and b = Summary.estimate s qq in
+        if a <> b then
+          fail ctx ~check:"conj-idempotent" ~tier:Metamorphic
+            "conj q q evaluates to %.17g vs %.17g on %a" b a Predicate.pp q
+      end)
+    ctx.case.Case.queries
+
+(* Sec. 4.2 zeroes the variables of excluded values; a query excluding
+   an attribute's whole domain must therefore evaluate to exactly 0.
+   This is the check a corrupted cancellation clamp cannot pass: a
+   positive floor leaves a group's restricted value at the floor even
+   when every term is zeroed. *)
+let c_unsat_zero ctx =
+  let s = ctx.case.Case.summary in
+  let arity = Schema.arity (schema ctx) in
+  for i = 0 to arity - 1 do
+    tally ctx;
+    let q = Predicate.of_alist ~arity [ (i, Ranges.empty) ] in
+    let est = Summary.estimate s q in
+    if est <> 0. then
+      fail ctx ~check:"unsat-zero" ~tier:Metamorphic
+        "emptying attr %d yields %.12g, expected exactly 0" i est
+  done;
+  List.iteri
+    (fun idx q ->
+      tally ctx;
+      let i = idx mod arity in
+      let est = Summary.estimate s (Predicate.restrict q i Ranges.empty) in
+      if est <> 0. then
+        fail ctx ~check:"unsat-zero" ~tier:Metamorphic
+          "emptying attr %d of %a yields %.12g, expected exactly 0" i
+          Predicate.pp q est)
+    ctx.case.Case.queries
+
+let c_tautology_n ctx =
+  let s = ctx.case.Case.summary in
+  tally ctx;
+  let est = Summary.estimate s (Predicate.tautology (Predicate.arity (List.hd ctx.case.Case.queries))) in
+  if not (approx ctx est (nf ctx)) then
+    fail ctx ~check:"tautology-n" ~tier:Metamorphic
+      "E[true] = %.12g but n = %g" est (nf ctx)
+
+let c_disjunction_singleton ctx =
+  let s = ctx.case.Case.summary in
+  List.iter
+    (fun q ->
+      tally ctx;
+      let d = Disjunction.estimate s [ q ] in
+      let e = Summary.estimate s q in
+      if not (approx ctx d e) then
+        fail ctx ~check:"disjunction-singleton" ~tier:Metamorphic
+          "OR of one: %.12g vs estimate %.12g on %a" d e Predicate.pp q)
+    ctx.case.Case.queries
+
+let c_disjunction_disjoint ctx =
+  let s = ctx.case.Case.summary in
+  List.iteri
+    (fun idx q ->
+      let i = idx mod Schema.arity (schema ctx) in
+      match split_restriction ctx q i with
+      | None -> ()
+      | Some (lo, hi) ->
+          tally ctx;
+          let d =
+            Disjunction.estimate s
+              [ Predicate.restrict q i lo; Predicate.restrict q i hi ]
+          in
+          let e = Summary.estimate s q in
+          if not (approx ctx d e) then
+            fail ctx ~check:"disjunction-disjoint" ~tier:Metamorphic
+              "disjoint OR %.12g vs whole %.12g (attr %d) on %a" d e i
+              Predicate.pp q)
+    ctx.case.Case.queries
+
+let c_disjunction_bounds ctx =
+  let s = ctx.case.Case.summary in
+  let arity = Schema.arity (schema ctx) in
+  let taut = Predicate.tautology arity in
+  let unsat = Predicate.of_alist ~arity [ (0, Ranges.empty) ] in
+  List.iter
+    (fun d ->
+      tally ctx;
+      let est = Disjunction.estimate s d in
+      let each = List.map (Summary.estimate s) d in
+      let upper = List.fold_left ( +. ) 0. each in
+      let lower = List.fold_left Float.max 0. each in
+      if est > upper +. slack ctx || est < lower -. slack ctx then
+        fail ctx ~check:"disjunction-bounds" ~tier:Metamorphic
+          "OR estimate %.12g outside union bounds [%.12g, %.12g]" est lower
+          upper;
+      let p = Disjunction.probability s d in
+      tally ctx;
+      if p < 0. || p > 1. then
+        fail ctx ~check:"disjunction-bounds" ~tier:Metamorphic
+          "P[union] = %.12g outside [0, 1]" p;
+      match d with
+      | q :: _ ->
+          tally ctx;
+          let with_unsat = Disjunction.estimate s [ q; unsat ] in
+          let alone = Disjunction.estimate s [ q ] in
+          if not (approx ctx with_unsat alone) then
+            fail ctx ~check:"disjunction-bounds" ~tier:Metamorphic
+              "OR with unsatisfiable clause %.12g vs alone %.12g" with_unsat
+              alone;
+          tally ctx;
+          let with_taut = Disjunction.estimate s [ q; taut ] in
+          if not (approx ctx with_taut (nf ctx)) then
+            fail ctx ~check:"disjunction-bounds" ~tier:Metamorphic
+              "OR with tautology %.12g vs n = %g" with_taut (nf ctx)
+      | [] -> ())
+    (Gen.disjunctions ctx.case.Case.spec (schema ctx))
+
+(* ------------------------------------------------------------------ *)
+(* Exact tier                                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* Only sound on product-mode data: there the MaxEnt family contains the
+   generating distribution, so the estimate's deviation from the sample
+   count is on the scale of the model's own stddev.  On mixture data
+   without covering joints, deviations are model error, not bugs. *)
+let c_exact_count ctx =
+  if ctx.case.Case.spec.Gen.mode <> Gen.Product then ()
+  else begin
+    let s = ctx.case.Case.summary in
+    List.iter
+      (fun q ->
+        tally ctx;
+        let est = Summary.estimate s q in
+        let exact = float_of_int (Exec.count ctx.case.Case.rel q) in
+        let sd = Summary.stddev s q in
+        let sigma = Float.abs (est -. exact) /. (sd +. 1.) in
+        ctx.max_sigma <- Float.max ctx.max_sigma sigma;
+        if
+          Float.abs (est -. exact)
+          > (ctx.cfg.z *. (sd +. 1.)) +. ctx.cfg.exact_atol
+        then
+          fail ctx ~check:"exact-count" ~tier:Exact
+            "estimate %.6g vs exact %g is %.1f sigma (stddev %.4g) on %a" est
+            exact sigma sd Predicate.pp q)
+      ctx.case.Case.queries
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Battery                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let checks : (string * tier * (ctx -> unit)) list =
+  [
+    ("bruteforce-estimate", Differential, c_bruteforce_estimate);
+    ("bruteforce-variance", Differential, c_bruteforce_variance);
+    ("bruteforce-sum", Differential, c_bruteforce_sum);
+    ("flat-vs-k1", Differential, c_flat_vs_k1);
+    ("shard-additivity", Differential, c_shard_additivity);
+    ("groupby-batched-vs-naive", Differential, c_groupby_batched_vs_naive);
+    ("serialize-roundtrip", Differential, c_serialize_roundtrip);
+    ("cache-vs-uncached", Differential, c_cache_vs_uncached);
+    ("server-vs-library", Differential, c_server_vs_library);
+    ("widening-monotonic", Metamorphic, c_widening_monotonic);
+    ("groupby-total", Metamorphic, c_groupby_total);
+    ("partition-additivity", Metamorphic, c_partition_additivity);
+    ("conj-idempotent", Metamorphic, c_conj_idempotent);
+    ("unsat-zero", Metamorphic, c_unsat_zero);
+    ("tautology-n", Metamorphic, c_tautology_n);
+    ("disjunction-singleton", Metamorphic, c_disjunction_singleton);
+    ("disjunction-disjoint", Metamorphic, c_disjunction_disjoint);
+    ("disjunction-bounds", Metamorphic, c_disjunction_bounds);
+    ("exact-count", Exact, c_exact_count);
+  ]
+
+let check_names = List.map (fun (n, _, _) -> n) checks
+
+let run ?only cfg (spec : Gen.spec) =
+  match Case.build spec with
+  | exception e ->
+      {
+        findings =
+          [
+            {
+              check = "build";
+              tier = Differential;
+              seed = spec.Gen.seed;
+              detail = "build raised: " ^ Printexc.to_string e;
+            };
+          ];
+        checks_run = 1;
+        max_exact_sigma = 0.;
+      }
+  | case ->
+      let ctx =
+        { cfg; case; findings = []; checks = 0; max_sigma = 0.; bf = None }
+      in
+      List.iter
+        (fun (name, tier, f) ->
+          match only with
+          | Some o when o <> name -> ()
+          | _ -> (
+              try f ctx
+              with e ->
+                fail ctx ~check:name ~tier "check raised: %s"
+                  (Printexc.to_string e)))
+        checks;
+      {
+        findings = List.rev ctx.findings;
+        checks_run = ctx.checks;
+        max_exact_sigma = ctx.max_sigma;
+      }

@@ -1,0 +1,40 @@
+open Edb_util
+
+let repro_line (spec : Gen.spec) =
+  Printf.sprintf "entropydb check --replay %d" spec.Gen.seed
+
+let pp_finding ppf ((spec : Gen.spec), (f : Oracle.finding)) =
+  Fmt.pf ppf "@[<v 2>FAIL %s [%s] (seed %d)@,%s@,shrunk to: %a@,repro: %s@]"
+    f.Oracle.check
+    (Oracle.tier_name f.Oracle.tier)
+    f.Oracle.seed f.Oracle.detail Gen.pp_spec spec (repro_line spec)
+
+let spec_json (s : Gen.spec) =
+  Json.Obj
+    [
+      ("seed", Json.Int s.Gen.seed);
+      ("sizes", Json.List (List.map (fun n -> Json.Int n) s.sizes));
+      ("rows", Json.Int s.rows);
+      ( "mode",
+        Json.Str
+          (match s.mode with Gen.Product -> "product" | Gen.Mixture -> "mixture")
+      );
+      ("with_joints", Json.Bool s.with_joints);
+      ("shards", Json.Int s.shards);
+      ( "shard_by",
+        Json.Str
+          (match s.shard_by with
+          | `Rows -> "rows"
+          | `Attr i -> Printf.sprintf "attr:%d" i) );
+    ]
+
+let finding_json ((spec : Gen.spec), (f : Oracle.finding)) =
+  Json.Obj
+    [
+      ("check", Json.Str f.Oracle.check);
+      ("tier", Json.Str (Oracle.tier_name f.Oracle.tier));
+      ("seed", Json.Int f.Oracle.seed);
+      ("detail", Json.Str f.Oracle.detail);
+      ("shrunk_spec", spec_json spec);
+      ("repro", Json.Str (repro_line spec));
+    ]

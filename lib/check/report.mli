@@ -1,0 +1,14 @@
+(** Rendering findings for humans (terminal) and machines (JSON, for the
+    [BENCH_check.json] artifact). *)
+
+open Edb_util
+
+val repro_line : Gen.spec -> string
+(** The one-liner that reproduces a failing case:
+    ["entropydb check --replay <seed>"]. *)
+
+val pp_finding : Format.formatter -> Gen.spec * Oracle.finding -> unit
+(** Shrunk spec + finding, with the repro line. *)
+
+val spec_json : Gen.spec -> Json.t
+val finding_json : Gen.spec * Oracle.finding -> Json.t

@@ -1,0 +1,59 @@
+(* Greedy descent over spec mutations.  Each candidate strictly reduces
+   some size measure, so accepting one never enlarges the case; the fuel
+   bound caps the total number of oracle re-runs. *)
+
+let still_fails cfg ~check spec =
+  let r = Oracle.run ~only:check cfg spec in
+  List.exists (fun (f : Oracle.finding) -> f.check = check) r.Oracle.findings
+
+(* Size-reducing candidate mutations of a spec, in preference order:
+   the earlier ones remove whole subsystems from the repro. *)
+let candidates (s : Gen.spec) =
+  let open Gen in
+  let halve_rows =
+    if s.rows > 10 then [ { s with rows = Stdlib.max 10 (s.rows / 2) } ]
+    else []
+  in
+  let drop_shards =
+    if s.shards > 1 || s.shard_by <> `Rows then
+      [ { s with shards = 1; shard_by = `Rows } ]
+    else []
+  in
+  let drop_joints = if s.with_joints then [ { s with with_joints = false } ] else [] in
+  let to_product = if s.mode <> Product then [ { s with mode = Product } ] else [] in
+  let drop_attr =
+    if List.length s.sizes > 2 then begin
+      let sizes = List.filteri (fun i _ -> i < List.length s.sizes - 1) s.sizes in
+      let shard_by =
+        match s.shard_by with
+        | `Attr i when i >= List.length sizes -> `Rows
+        | sb -> sb
+      in
+      [ { s with sizes; shard_by } ]
+    end
+    else []
+  in
+  let halve_domains =
+    if List.exists (fun n -> n > 2) s.sizes then
+      [ { s with sizes = List.map (fun n -> Stdlib.max 2 (n / 2)) s.sizes } ]
+    else []
+  in
+  drop_shards @ drop_joints @ to_product @ halve_rows @ drop_attr
+  @ halve_domains
+
+let minimize cfg ~check spec =
+  let fuel = ref 40 in
+  let rec go spec =
+    if !fuel <= 0 then spec
+    else
+      match
+        List.find_opt
+          (fun c ->
+            decr fuel;
+            !fuel >= 0 && still_fails cfg ~check c)
+          (candidates spec)
+      with
+      | Some smaller -> go smaller
+      | None -> spec
+  in
+  go spec

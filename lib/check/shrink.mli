@@ -1,0 +1,11 @@
+(** Greedy spec minimization: once a check fails, shrink the case to the
+    smallest spec that still fails the {e same} check, so the repro line
+    in the report is as readable as possible. *)
+
+val minimize : Oracle.config -> check:string -> Gen.spec -> Gen.spec
+(** Repeatedly tries size-reducing mutations of the spec (fewer rows,
+    one shard, no joints, product data, fewer attributes, smaller
+    domains), keeping a mutation whenever {!Oracle.run} restricted to
+    [check] still reports a finding for it.  Deterministic; bounded by a
+    fixed fuel, so it terminates even when every mutation keeps
+    failing. *)

@@ -1,0 +1,67 @@
+open Edb_util
+
+type budget = Smoke | Default | Deep
+
+let budget_of_string = function
+  | "smoke" -> Ok Smoke
+  | "default" -> Ok Default
+  | "deep" -> Ok Deep
+  | s -> Error (Printf.sprintf "unknown budget %S (smoke|default|deep)" s)
+
+let budget_name = function
+  | Smoke -> "smoke"
+  | Default -> "default"
+  | Deep -> "deep"
+
+let cases_of_budget = function Smoke -> 12 | Default -> 48 | Deep -> 200
+
+type outcome = {
+  cases : int;
+  checks_run : int;
+  findings : (Gen.spec * Oracle.finding) list;
+  max_exact_sigma : float;
+}
+
+let run_seeds ?(config = Oracle.default) seeds =
+  let outcome =
+    List.fold_left
+      (fun acc seed ->
+        let spec = Gen.spec_of_seed seed in
+        let r = Oracle.run config spec in
+        let shrunk =
+          List.map
+            (fun (f : Oracle.finding) ->
+              (Shrink.minimize config ~check:f.Oracle.check spec, f))
+            r.Oracle.findings
+        in
+        {
+          cases = acc.cases + 1;
+          checks_run = acc.checks_run + r.Oracle.checks_run;
+          findings = acc.findings @ shrunk;
+          max_exact_sigma =
+            Float.max acc.max_exact_sigma r.Oracle.max_exact_sigma;
+        })
+      { cases = 0; checks_run = 0; findings = []; max_exact_sigma = 0. }
+      seeds
+  in
+  outcome
+
+let run ?config ?(base_seed = 1000) budget =
+  run_seeds ?config (List.init (cases_of_budget budget) (fun i -> base_seed + i))
+
+let replay ?config seed = run_seeds ?config [ seed ]
+
+let print_outcome o =
+  List.iter (fun pair -> Fmt.pr "%a@." Report.pp_finding pair) o.findings;
+  Fmt.pr "check: %d cases, %d assertions, %d findings, max exact sigma %.2f@."
+    o.cases o.checks_run (List.length o.findings) o.max_exact_sigma
+
+let outcome_json o =
+  Json.Obj
+    [
+      ("cases", Json.Int o.cases);
+      ("checks_run", Json.Int o.checks_run);
+      ("num_findings", Json.Int (List.length o.findings));
+      ("findings", Json.List (List.map Report.finding_json o.findings));
+      ("max_exact_sigma", Json.Float o.max_exact_sigma);
+    ]

@@ -1,0 +1,38 @@
+(** Budgeted sweeps over seeded cases: the harness's top-level driver,
+    shared by [entropydb check], the bench [check] experiment, and the
+    test suite. *)
+
+open Edb_util
+
+type budget = Smoke | Default | Deep
+
+val budget_of_string : string -> (budget, string) result
+val budget_name : budget -> string
+
+val cases_of_budget : budget -> int
+(** Smoke: 12 cases (CI), Default: 48, Deep: 200. *)
+
+type outcome = {
+  cases : int;  (** specs exercised *)
+  checks_run : int;  (** individual assertions across all cases *)
+  findings : (Gen.spec * Oracle.finding) list;
+      (** each paired with its shrunk spec *)
+  max_exact_sigma : float;
+      (** worst exact-tier deviation observed, in model stddevs —
+          headroom against the [z] tolerance *)
+}
+
+val run_seeds : ?config:Oracle.config -> int list -> outcome
+(** Run the full battery on each seed's spec; shrink every finding. *)
+
+val run : ?config:Oracle.config -> ?base_seed:int -> budget -> outcome
+(** [run_seeds] on [base_seed .. base_seed + cases - 1] (base defaults
+    to 1000). *)
+
+val replay : ?config:Oracle.config -> int -> outcome
+(** Re-run one seed — the target of a report's repro line. *)
+
+val print_outcome : outcome -> unit
+(** Human-readable summary + findings on stdout. *)
+
+val outcome_json : outcome -> Json.t

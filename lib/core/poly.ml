@@ -645,6 +645,12 @@ let set_parallelism ?threshold n =
   | Some th -> parallel_threshold := max 1 th
   | None -> ()
 
+(* Floor of the cancellation clamp on restricted group values.  0 in
+   production; the correctness harness raises it to plant a detectable
+   estimator bug (entropydb check --mutate clamp). *)
+let cancellation_floor = ref 0.
+let set_cancellation_floor f = cancellation_floor := f
+
 (* A_i restricted to the query's value set (the full sum when the query
    leaves attribute [i] free). *)
 let restricted_attr_sum t query i =
@@ -703,8 +709,9 @@ let restricted_group_q t query g =
       end)
     g.mask_bits;
   (* Q_g is a sum of non-negative monomials; clamp the tiny negative
-     values floating-point cancellation can produce. *)
-  Float.max 0. !q
+     values floating-point cancellation can produce.  The floor is 0 in
+     production; [set_cancellation_floor] raises it for fault injection. *)
+  Float.max !cancellation_floor !q
 
 (* P with every 1D variable outside the query's per-attribute restrictions
    set to 0.  Nothing is rebuilt: restricted attribute sums and term
@@ -843,7 +850,10 @@ let eval_restricted_by_value t query ~attr =
       g.mask_bits;
     let scalar = !scalar in
     each_value (fun v ->
-        out.(v) <- base *. Float.max 0. (alpha_of v *. (scalar +. scatter.(v))))
+        out.(v) <-
+          base
+          *. Float.max !cancellation_floor
+               (alpha_of v *. (scalar +. scatter.(v))))
   end;
   out
 

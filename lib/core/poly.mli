@@ -83,6 +83,13 @@ val set_parallelism : ?threshold:int -> int -> unit
     minimum group term count for parallel evaluation (default 30,000;
     overridable for testing). *)
 
+val set_cancellation_floor : float -> unit
+(** Floor of the cancellation clamp applied to restricted group values
+    (default 0, the correct value).  Exists solely for fault injection:
+    the correctness harness ([entropydb check --mutate clamp]) raises it
+    to plant a known estimator bug and assert that the oracle battery
+    catches it.  Never set this in production code. *)
+
 val estimate : t -> Predicate.t -> float
 (** E[⟨q, I⟩] = n·P\[zeroed\]/P for a conjunctive counting query. *)
 

@@ -1,0 +1,30 @@
+(** Seeded random relations for the correctness harness ([lib/check]).
+
+    Schemas are small and integer-binned (raw value = bin index), and
+    rows are drawn either from a product of independent per-attribute
+    categorical distributions or from a small mixture of such products
+    (which introduces correlation and so exercises joint statistics).
+
+    Distribution parameters are drawn {e before} any row, and rows are
+    drawn sequentially, so generating with a smaller [rows] yields a
+    prefix of the longer relation — the property the harness's shrinker
+    relies on when it halves the row count of a failing case. *)
+
+open Edb_storage
+
+type mode =
+  | Product  (** independent attributes: one product component *)
+  | Mixture of int
+      (** the given number (>= 2) of product components, mixed *)
+
+val schema : sizes:int list -> Schema.t
+(** Attributes [a0], [a1], ... where attribute [i] has the integer
+    domain [{0, ..., size_i - 1}] (bins of width 1, so a raw integer
+    equals its bin index).  Raises [Invalid_argument] on an empty list
+    or a size below 1. *)
+
+val generate :
+  sizes:int list -> rows:int -> mode:mode -> seed:int -> Relation.t
+(** A relation over [schema ~sizes] with [rows] rows.  Equal arguments
+    yield equal relations; [generate ~rows:n] is a row-prefix of
+    [generate ~rows:m] for [n <= m] with the other arguments equal. *)

@@ -48,7 +48,11 @@ let count_query ?(table = "R") conditions =
 let pp_value ppf = function
   | Vint i -> Fmt.int ppf i
   | Vfloat f -> Fmt.float ppf f
-  | Vstr s -> Fmt.pf ppf "'%s'" s
+  | Vstr s ->
+      (* The lexer reads '' inside a string literal as one quote, so
+         printing must double them or the output would not re-parse. *)
+      Fmt.pf ppf "'%s'"
+        (String.concat "''" (String.split_on_char '\'' s))
 
 let pp_condition ppf = function
   | Eq (a, v) -> Fmt.pf ppf "%s = %a" a pp_value v

@@ -13,7 +13,7 @@
                  | IDENT IN [ value , value ]
                  | IDENT IN ( value (, value)* )
      group     ::= GROUP BY IDENT (, IDENT)*
-     order     ::= ORDER BY IDENT (DESC | ASC)      -- the count column
+     order     ::= ORDER BY (IDENT | COUNT ( * )) (DESC | ASC)
      limit     ::= LIMIT INT
      value     ::= INT | FLOAT | STRING *)
 
@@ -189,7 +189,15 @@ let order_clause st =
   | Lexer.ORDER, _ ->
       advance st;
       expect st Lexer.BY;
-      let _count_col = ident st in
+      (* The sort key is always the aggregate; accept either a column
+         alias or the literal COUNT ( * ) spelling. *)
+      (match peek st with
+      | Lexer.COUNT, _ ->
+          advance st;
+          expect st Lexer.LPAREN;
+          expect st Lexer.STAR;
+          expect st Lexer.RPAREN
+      | _ -> ignore (ident st));
       (match peek st with
       | Lexer.DESC, _ ->
           advance st;

@@ -29,10 +29,45 @@ let conjunctive c = match c.disjuncts with [ p ] -> Some p | _ -> None
 
 let err fmt = Fmt.kstr (fun message -> Error { message }) fmt
 
+(* Levenshtein distance, case-insensitive: typo suggestions should treat
+   "State" and "state" as one edit apart from "sttae", not four. *)
+let edit_distance a b =
+  let a = String.lowercase_ascii a and b = String.lowercase_ascii b in
+  let la = String.length a and lb = String.length b in
+  let prev = Array.init (lb + 1) Fun.id in
+  let curr = Array.make (lb + 1) 0 in
+  for i = 1 to la do
+    curr.(0) <- i;
+    for j = 1 to lb do
+      let cost = if a.[i - 1] = b.[j - 1] then 0 else 1 in
+      curr.(j) <-
+        min (min (prev.(j) + 1) (curr.(j - 1) + 1)) (prev.(j - 1) + cost)
+    done;
+    Array.blit curr 0 prev 0 (lb + 1)
+  done;
+  prev.(lb)
+
+let suggestion schema name =
+  let best =
+    List.fold_left
+      (fun acc cand ->
+        let d = edit_distance name cand in
+        match acc with
+        | Some (_, bd) when bd <= d -> acc
+        | _ -> Some (cand, d))
+      None (Schema.names schema)
+  in
+  match best with
+  | Some (cand, d) when d <= max 2 (String.length name / 3) -> Some cand
+  | _ -> None
+
 let resolve_attr schema name =
   match Schema.find schema name with
   | Some i -> Ok i
-  | None -> err "unknown attribute %s" name
+  | None -> (
+      match suggestion schema name with
+      | Some cand -> err "unknown attribute %s (did you mean %s?)" name cand
+      | None -> err "unknown attribute %s" name)
 
 (* Map one raw value to its domain index; None when outside the domain. *)
 let value_index schema attr (v : Ast.value) =

@@ -77,3 +77,30 @@ let error_differences ~reference results =
       if r.method_name = reference then None
       else Some (r.method_name, r.avg_error -. ref_result.avg_error))
     results
+
+type standard_report = {
+  report_attrs : int list;
+  workload : Hitters.workload;
+  heavy : error_result list;
+  light : error_result list;
+  f : f_result list;
+}
+
+let run_standard ~seed rel methods ~attrs ~num_hitters ~num_nulls =
+  (* Mix the attribute set into the seed so every set gets its own
+     stream: evaluation order and shared-rng drift cannot change a
+     workload. *)
+  let rng =
+    Prng.create
+      ~seed:(List.fold_left (fun acc i -> (acc * 31) + i + 1) seed attrs)
+      ()
+  in
+  let arity = Edb_storage.Schema.arity (Edb_storage.Relation.schema rel) in
+  let w = Hitters.standard rng rel ~attrs ~num_hitters ~num_nulls in
+  {
+    report_attrs = attrs;
+    workload = w;
+    heavy = run_errors_all methods ~arity ~attrs ~queries:w.Hitters.heavy;
+    light = run_errors_all methods ~arity ~attrs ~queries:w.Hitters.light;
+    f = run_f_all methods ~arity ~attrs ~light:w.Hitters.light ~nulls:w.Hitters.nulls;
+  }

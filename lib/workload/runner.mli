@@ -37,3 +37,26 @@ val error_differences :
   reference:string -> error_result list -> (string * float) list
 (** Per-method [avg_error − reference's avg_error], as in Fig. 5 (positive
     = reference wins).  Raises if the reference method is absent. *)
+
+type standard_report = {
+  report_attrs : int list;
+  workload : Hitters.workload;  (** the generated workload itself *)
+  heavy : error_result list;  (** one per method, input order *)
+  light : error_result list;
+  f : f_result list;
+}
+
+val run_standard :
+  seed:int ->
+  Edb_storage.Relation.t ->
+  Methods.t list ->
+  attrs:int list ->
+  num_hitters:int ->
+  num_nulls:int ->
+  standard_report
+(** Build the standard workload ({!Hitters.standard}) for [attrs] and
+    evaluate every method on it.  The workload's PRNG is derived from
+    [seed] {e and} [attrs], so each attribute set's workload is a pure
+    function of the two — independent of how many streams any other
+    caller consumed first (running attribute sets in a different order,
+    or skipping one, changes nothing else). *)

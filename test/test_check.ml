@@ -1,0 +1,170 @@
+(* Tests of the correctness harness itself (lib/check): generation is
+   deterministic, clean code sweeps clean, a planted estimator bug is
+   caught and shrunk, and the repro line's replay reproduces it. *)
+
+open Edb_check
+
+(* ------------------------------------------------------------------ *)
+(* Generation determinism                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_spec_deterministic () =
+  for seed = 0 to 20 do
+    Alcotest.(check bool)
+      "spec_of_seed is a pure function" true
+      (Gen.spec_of_seed seed = Gen.spec_of_seed seed)
+  done;
+  Alcotest.(check bool)
+    "different seeds differ" true
+    (Gen.spec_of_seed 1 <> Gen.spec_of_seed 2)
+
+let test_workload_streams_independent () =
+  (* Queries, grouping sets, and disjunctions come from separate derived
+     streams: drawing one workload must not perturb another. *)
+  let spec = Gen.spec_of_seed 7 in
+  let schema =
+    Edb_storage.Relation.schema (Case.build spec).Case.rel
+  in
+  let qs = Gen.queries spec schema in
+  ignore (Gen.disjunctions spec schema);
+  ignore (Gen.group_attr_sets spec schema);
+  Alcotest.(check bool)
+    "query stream unperturbed" true
+    (List.for_all2 Edb_storage.Predicate.equal qs (Gen.queries spec schema))
+
+let test_synthetic_prefix_stable () =
+  (* Growing a relation keeps the shared prefix bitwise identical, so a
+     shrink step that halves rows reuses the same leading data. *)
+  let sizes = [ 5; 3; 4 ] in
+  let small =
+    Edb_datagen.Synthetic.generate ~sizes ~rows:40
+      ~mode:(Edb_datagen.Synthetic.Mixture 2) ~seed:99
+  in
+  let large =
+    Edb_datagen.Synthetic.generate ~sizes ~rows:80
+      ~mode:(Edb_datagen.Synthetic.Mixture 2) ~seed:99
+  in
+  for i = 0 to Edb_storage.Relation.cardinality small - 1 do
+    Alcotest.(check (array int))
+      (Printf.sprintf "row %d" i)
+      (Edb_storage.Relation.row small i)
+      (Edb_storage.Relation.row large i)
+  done
+
+(* ------------------------------------------------------------------ *)
+(* The oracle battery on correct code                                  *)
+(* ------------------------------------------------------------------ *)
+
+let server_config = { Oracle.default with Oracle.server = true }
+
+let test_clean_sweep () =
+  let outcome = Sweep.run_seeds ~config:server_config [ 2000; 2001; 2002 ] in
+  Alcotest.(check int) "cases" 3 outcome.Sweep.cases;
+  Alcotest.(check bool) "assertions ran" true (outcome.Sweep.checks_run > 100);
+  (match outcome.Sweep.findings with
+  | [] -> ()
+  | (_, f) :: _ ->
+      Alcotest.failf "unexpected finding: %s [%s] %s" f.Oracle.check
+        (Oracle.tier_name f.Oracle.tier)
+        f.Oracle.detail);
+  Alcotest.(check bool)
+    "exact tier within tolerance" true
+    (outcome.Sweep.max_exact_sigma < Oracle.default.Oracle.z)
+
+let test_replay_deterministic () =
+  let a = Sweep.replay 2003 in
+  let b = Sweep.replay 2003 in
+  Alcotest.(check int) "same assertion count" a.Sweep.checks_run
+    b.Sweep.checks_run;
+  Alcotest.(check bool)
+    "same findings" true
+    (a.Sweep.findings = b.Sweep.findings);
+  Alcotest.(check (float 0.))
+    "same worst sigma" a.Sweep.max_exact_sigma b.Sweep.max_exact_sigma
+
+(* ------------------------------------------------------------------ *)
+(* Fault injection: the harness must catch a planted bug               *)
+(* ------------------------------------------------------------------ *)
+
+let with_clamp_mutation f =
+  Entropydb_core.Poly.set_cancellation_floor 0.05;
+  Fun.protect
+    ~finally:(fun () -> Entropydb_core.Poly.set_cancellation_floor 0.)
+    f
+
+let test_mutation_caught_and_shrunk () =
+  let seeds = [ 1000; 1001; 1002; 1003; 1004; 1005 ] in
+  let outcome =
+    with_clamp_mutation (fun () ->
+        let outcome = Sweep.run_seeds seeds in
+        (match outcome.Sweep.findings with
+        | [] -> Alcotest.fail "planted clamp bug was not detected"
+        | findings ->
+            List.iter
+              (fun ((shrunk : Gen.spec), (f : Oracle.finding)) ->
+                let original = Gen.spec_of_seed f.Oracle.seed in
+                Alcotest.(check bool)
+                  "shrunk case is no larger" true
+                  (shrunk.Gen.rows <= original.Gen.rows
+                  && shrunk.Gen.shards <= original.Gen.shards
+                  && List.length shrunk.Gen.sizes
+                     <= List.length original.Gen.sizes);
+                (* The shrunk spec still fails the same check (while the
+                   bug is in place) — the point of printing it. *)
+                let r = Oracle.run ~only:f.Oracle.check Oracle.default shrunk in
+                Alcotest.(check bool)
+                  (Printf.sprintf "shrunk spec still fails %s" f.Oracle.check)
+                  true
+                  (List.exists
+                     (fun (g : Oracle.finding) ->
+                       g.Oracle.check = f.Oracle.check)
+                     r.Oracle.findings))
+              findings);
+        outcome)
+  in
+  (* The repro line's replay reproduces the failure... *)
+  let seed = (snd (List.hd outcome.Sweep.findings)).Oracle.seed in
+  let replayed = with_clamp_mutation (fun () -> Sweep.replay seed) in
+  Alcotest.(check bool)
+    "replay reproduces" true
+    (replayed.Sweep.findings <> []);
+  (* ... and with the bug removed the very same seeds are clean (the
+     findings really were the mutation's doing). *)
+  let clean = Sweep.run_seeds seeds in
+  Alcotest.(check bool) "clean without mutation" true (clean.Sweep.findings = [])
+
+let test_report_shapes () =
+  let spec = Gen.spec_of_seed 5 in
+  Alcotest.(check string)
+    "repro line" "entropydb check --replay 5" (Report.repro_line spec);
+  match Report.spec_json spec with
+  | Edb_util.Json.Obj fields ->
+      Alcotest.(check bool)
+        "spec json has seed" true
+        (List.mem_assoc "seed" fields)
+  | _ -> Alcotest.fail "spec_json must be an object"
+
+let () =
+  Alcotest.run "entropydb-check"
+    [
+      ( "generation",
+        [
+          Alcotest.test_case "spec determinism" `Quick test_spec_deterministic;
+          Alcotest.test_case "independent workload streams" `Quick
+            test_workload_streams_independent;
+          Alcotest.test_case "synthetic prefix stability" `Quick
+            test_synthetic_prefix_stable;
+        ] );
+      ( "oracle",
+        [
+          Alcotest.test_case "clean sweep" `Quick test_clean_sweep;
+          Alcotest.test_case "replay determinism" `Quick
+            test_replay_deterministic;
+          Alcotest.test_case "report shapes" `Quick test_report_shapes;
+        ] );
+      ( "fault-injection",
+        [
+          Alcotest.test_case "clamp mutation caught and shrunk" `Slow
+            test_mutation_caught_and_shrunk;
+        ] );
+    ]

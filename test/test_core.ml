@@ -1473,6 +1473,131 @@ let test_hierarchy_validation () =
         ~refine:(`Buckets [ 7 ]))
 
 (* ------------------------------------------------------------------ *)
+(* Edge cases: degenerate clauses, single-bucket domains               *)
+(* ------------------------------------------------------------------ *)
+
+let test_disjunction_edge_clauses () =
+  let schema = make_schema [ 5; 4 ] in
+  let rng = Prng.create ~seed:420 () in
+  let rel = random_relation rng schema 300 in
+  let summary =
+    Summary.of_phi ~solver_config:quiet (Phi.of_relation rel ~joints:[])
+  in
+  let n = float_of_int (Summary.cardinality summary) in
+  let q = Predicate.of_alist ~arity:2 [ (0, Ranges.interval 1 3) ] in
+  let unsat = Predicate.of_alist ~arity:2 [ (1, Ranges.empty) ] in
+  (* An unsatisfiable clause contributes exactly nothing: alone and as a
+     disjunct (its intersections with the others are unsatisfiable too,
+     so the whole inclusion–exclusion sum for it collapses). *)
+  Alcotest.(check (float 1e-9))
+    "unsat alone" 0.
+    (Disjunction.estimate summary [ unsat ]);
+  Alcotest.(check (float 1e-9))
+    "unsat clause drops out"
+    (Disjunction.estimate summary [ q ])
+    (Disjunction.estimate summary [ q; unsat ]);
+  (* A clause explicitly enumerating an attribute's whole domain is the
+     tautology in disguise; with any other clause it absorbs the union. *)
+  let full = Predicate.of_alist ~arity:2 [ (0, Ranges.interval 0 4) ] in
+  Alcotest.(check (float 1e-6))
+    "explicit full-domain clause = n" n
+    (Disjunction.estimate summary [ full ]);
+  Alcotest.(check (float 1e-6))
+    "full-domain clause absorbs" n
+    (Disjunction.estimate summary [ q; full ]);
+  Alcotest.(check (float 1e-9))
+    "singleton OR = plain estimate"
+    (Summary.estimate summary q)
+    (Disjunction.estimate summary [ q ])
+
+let test_single_bucket_attribute () =
+  (* A degenerate attribute whose active domain has exactly one value:
+     restricting to it is a no-op, excluding it empties the relation,
+     and grouping by it yields the one total cell. *)
+  let schema = make_schema [ 1; 4 ] in
+  let rng = Prng.create ~seed:421 () in
+  let rel = random_relation rng schema 200 in
+  let summary =
+    Summary.of_phi ~solver_config:quiet (Phi.of_relation rel ~joints:[])
+  in
+  let n = float_of_int (Summary.cardinality summary) in
+  Alcotest.(check (float 1e-6))
+    "restricting to the only value = n" n
+    (Summary.estimate summary (Predicate.point ~arity:2 [ (0, 0) ]));
+  Alcotest.(check (float 1e-9))
+    "excluding the only value = 0" 0.
+    (Summary.estimate summary
+       (Predicate.of_alist ~arity:2 [ (0, Ranges.empty) ]));
+  (* Marginal-only model: restrictions on the other attribute stay exact. *)
+  let q =
+    Predicate.of_alist ~arity:2
+      [ (0, Ranges.singleton 0); (1, Ranges.interval 1 2) ]
+  in
+  Alcotest.(check (float 0.5))
+    "1D restriction exact"
+    (float_of_int (Exec.count rel q))
+    (Summary.estimate summary q);
+  (match Summary.estimate_groups summary ~attrs:[ 0 ] (Predicate.tautology 2) with
+  | [ ([ 0 ], total) ] ->
+      Alcotest.(check (float 1e-6)) "one group cell = n" n total
+  | cells -> Alcotest.failf "expected one cell, got %d" (List.length cells));
+  Alcotest.(check (float 1e-9))
+    "disjunction over the degenerate schema"
+    (Summary.estimate summary q)
+    (Disjunction.estimate summary [ q ])
+
+let test_hierarchy_edges () =
+  let schema = make_schema [ 6; 3 ] in
+  let rng = Prng.create ~seed:422 () in
+  let rel = random_relation rng schema 250 in
+  (* Top_k 0: a legal request for no refinement at all. *)
+  let h0 =
+    Hierarchy.build ~solver_config:quiet rel ~attr:0 ~boundaries:[| 0; 3 |]
+      ~refine:(`Top_k 0)
+  in
+  Alcotest.(check int) "Top_k 0 refines nothing" 0 (Hierarchy.num_refined h0);
+  Alcotest.(check (float 0.5))
+    "unrefined mass" 250.
+    (Hierarchy.estimate h0 (Predicate.tautology 2));
+  (* One bucket covering the whole domain, refined: every drill query is
+     answered by the sub-summary, so the hierarchy matches a flat build. *)
+  let h1 =
+    Hierarchy.build ~solver_config:quiet rel ~attr:0 ~boundaries:[| 0 |]
+      ~refine:(`Buckets [ 0 ])
+  in
+  Alcotest.(check int) "single refined bucket" 1 (Hierarchy.num_refined h1);
+  let flat =
+    Summary.of_phi ~solver_config:quiet (Phi.of_relation rel ~joints:[])
+  in
+  let qrng = Prng.create ~seed:423 () in
+  for _ = 1 to 10 do
+    let q = random_query qrng schema in
+    Alcotest.(check (float 1e-3))
+      "one refined bucket = flat"
+      (Summary.estimate flat q)
+      (Hierarchy.estimate h1 q)
+  done;
+  (* Same single bucket left unrefined: total mass must still be exact. *)
+  let h2 =
+    Hierarchy.build ~solver_config:quiet rel ~attr:0 ~boundaries:[| 0 |]
+      ~refine:(`Buckets [])
+  in
+  Alcotest.(check (float 0.5))
+    "single coarse bucket mass" 250.
+    (Hierarchy.estimate h2 (Predicate.tautology 2));
+  (* Degenerate drill attribute with a single value. *)
+  let schema1 = make_schema [ 1; 4 ] in
+  let rel1 = random_relation rng schema1 150 in
+  let h3 =
+    Hierarchy.build ~solver_config:quiet rel1 ~attr:0 ~boundaries:[| 0 |]
+      ~refine:(`Top_k 1)
+  in
+  Alcotest.(check int) "degenerate drill refined" 1 (Hierarchy.num_refined h3);
+  Alcotest.(check (float 0.5))
+    "degenerate drill mass" 150.
+    (Hierarchy.estimate h3 (Predicate.tautology 2))
+
+(* ------------------------------------------------------------------ *)
 (* Compression accounting                                              *)
 (* ------------------------------------------------------------------ *)
 
@@ -1590,6 +1715,10 @@ let () =
             test_disjunction_inclusion_exclusion;
           Alcotest.test_case "guards and identities" `Quick
             test_disjunction_guards;
+          Alcotest.test_case "degenerate clauses" `Quick
+            test_disjunction_edge_clauses;
+          Alcotest.test_case "single-bucket attribute" `Quick
+            test_single_bucket_attribute;
         ] );
       ( "hierarchy",
         [
@@ -1599,6 +1728,7 @@ let () =
           Alcotest.test_case "refinement recovers in-bucket skew" `Quick
             test_hierarchy_refinement_helps;
           Alcotest.test_case "validation" `Quick test_hierarchy_validation;
+          Alcotest.test_case "edge configurations" `Quick test_hierarchy_edges;
         ] );
       ( "compression",
         [

@@ -91,7 +91,16 @@ let test_parse_group_by () =
   in
   Alcotest.(check (list string)) "group" [ "a"; "b" ] ast.Ast.group_by;
   Alcotest.(check bool) "desc" true (ast.order = Some Ast.Desc);
-  Alcotest.(check (option int)) "limit" (Some 10) ast.limit
+  Alcotest.(check (option int)) "limit" (Some 10) ast.limit;
+  (* The sort key can also be spelled as the aggregate itself. *)
+  let ast = parse_ok "SELECT a, COUNT(*) FROM r GROUP BY a ORDER BY COUNT(*)" in
+  Alcotest.(check bool)
+    "COUNT(*) sort key, default desc" true
+    (ast.order = Some Ast.Desc);
+  let ast =
+    parse_ok "SELECT a, COUNT(*) FROM r GROUP BY a ORDER BY COUNT(*) ASC"
+  in
+  Alcotest.(check bool) "COUNT(*) asc" true (ast.order = Some Ast.Asc)
 
 let test_parse_aggregates () =
   let sum = parse_ok "SELECT SUM(delay) FROM r WHERE state = 'CA'" in
@@ -185,6 +194,97 @@ let test_parse_pp_roundtrip () =
       "SELECT COUNT(*) FROM r WHERE a <> 5 AND b IN [1, 2]";
     ]
 
+(* Property version of the round-trip: generated ASTs (covering escaped
+   strings, negative and fractional literals, every condition form, and
+   AND/OR precedence) survive printing and re-parsing unchanged.  The
+   generator stays inside the printable fragment of the AST: identifiers
+   avoid keywords, floats are never integral ([Fmt.float] prints 3.0 as
+   "3", which re-lexes as an INT), conjunctions are nonempty, and
+   ORDER/LIMIT appear only with GROUP BY — exactly the shapes [Ast.pp]
+   can render as parseable text. *)
+
+let ast_gen =
+  QCheck.Gen.(
+    let ident =
+      oneofl [ "alpha"; "beta"; "gamma"; "delta_x"; "Z9"; "fl_date" ]
+    in
+    let value =
+      frequency
+        [
+          (3, map (fun i -> Ast.Vint i) (int_range (-1000) 1000));
+          ( 2,
+            map2
+              (fun k q -> Ast.Vfloat (float_of_int k +. (0.25 *. float_of_int q)))
+              (int_range (-20) 20) (oneofl [ 1; 2; 3 ]) );
+          ( 2,
+            map
+              (fun cs -> Ast.Vstr (String.concat "" cs))
+              (list_size (int_range 0 8)
+                 (oneofl [ "a"; "B"; "7"; " "; "'"; "%"; "_"; "O'Hare" ])) );
+        ]
+    in
+    let condition =
+      frequency
+        [
+          (3, map2 (fun a v -> Ast.Eq (a, v)) ident value);
+          (2, map2 (fun a v -> Ast.Neq (a, v)) ident value);
+          (2, map3 (fun a lo hi -> Ast.Between (a, lo, hi)) ident value value);
+          ( 2,
+            map2
+              (fun a vs -> Ast.In_set (a, vs))
+              ident
+              (list_size (int_range 1 3) value) );
+        ]
+    in
+    let where = list_size (int_range 0 3) (list_size (int_range 1 3) condition) in
+    let grouped =
+      (* COUNT with GROUP BY; the select list mirrors the group list. *)
+      let* gs =
+        oneof [ map (fun a -> [ a ]) ident; oneofl [ [ "alpha"; "beta" ] ] ]
+      in
+      let* order = oneofl [ None; Some Ast.Desc; Some Ast.Asc ] in
+      let* limit = oneof [ return None; map Option.some (int_range 0 50) ] in
+      let* w = where in
+      return
+        { Ast.table = "r"; agg = Ast.Count; group_by = gs; where = w; order; limit }
+    in
+    let plain =
+      let* agg =
+        oneof
+          [
+            return Ast.Count;
+            map (fun a -> Ast.Sum a) ident;
+            map (fun a -> Ast.Avg a) ident;
+          ]
+      in
+      let* w = where in
+      return
+        {
+          Ast.table = "r";
+          agg;
+          group_by = [];
+          where = w;
+          order = None;
+          limit = None;
+        }
+    in
+    frequency [ (2, plain); (1, grouped) ])
+
+let test_pp_roundtrip_generated =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:1000 ~name:"generated AST pp round-trip"
+       (QCheck.make ~print:(Fmt.str "%a" Ast.pp) ast_gen)
+       (fun ast ->
+         let rendered = Fmt.str "%a" Ast.pp ast in
+         match Parser.parse rendered with
+         | Error e ->
+             QCheck.Test.fail_reportf "did not re-parse: %s (%a)" rendered
+               Parser.pp_error e
+         | Ok ast' ->
+             if ast <> ast' then
+               QCheck.Test.fail_reportf "round-trip changed: %s" rendered
+             else true))
+
 (* ------------------------------------------------------------------ *)
 (* Translation                                                         *)
 (* ------------------------------------------------------------------ *)
@@ -252,6 +352,32 @@ let test_translate_errors () =
       "SELECT COUNT(*) FROM r WHERE delay = 'five'";
       "SELECT nosuch, COUNT(*) FROM r GROUP BY nosuch";
     ]
+
+let test_translate_unknown_attr_suggestion () =
+  let expect_error input pred descr =
+    match Translate.compile_string (schema ()) input with
+    | Error e ->
+        let msg = Fmt.str "%a" Translate.pp_error e in
+        Alcotest.(check bool) (descr ^ ": " ^ msg) true (pred msg)
+    | Ok _ -> Alcotest.failf "expected compile error: %s" input
+  in
+  let contains ~sub s =
+    let n = String.length sub in
+    let rec go i = i + n <= String.length s && (String.sub s i n = sub || go (i + 1)) in
+    go 0
+  in
+  (* A one-letter typo of "state" points at the real attribute... *)
+  expect_error "SELECT COUNT(*) FROM r WHERE sttae = 'CA'"
+    (fun m -> contains ~sub:"sttae" m && contains ~sub:"did you mean state?" m)
+    "typo suggests";
+  (* ... a case slip likewise... *)
+  expect_error "SELECT COUNT(*) FROM r WHERE Delay = 3"
+    (fun m -> contains ~sub:"did you mean delay?" m)
+    "case slip suggests";
+  (* ... but an unrelated name gets no far-fetched suggestion. *)
+  expect_error "SELECT COUNT(*) FROM r WHERE quxblarg = 1"
+    (fun m -> not (contains ~sub:"did you mean" m))
+    "no suggestion when nothing is close"
 
 let test_translate_aggregates () =
   let c = compile_ok "SELECT SUM(delay) FROM r" in
@@ -332,6 +458,7 @@ let () =
             test_parse_group_by_mismatch;
           Alcotest.test_case "syntax errors" `Quick test_parse_errors;
           Alcotest.test_case "pp round-trip" `Quick test_parse_pp_roundtrip;
+          test_pp_roundtrip_generated;
         ] );
       ( "translate",
         [
@@ -340,6 +467,8 @@ let () =
           Alcotest.test_case "float binning" `Quick test_translate_float;
           Alcotest.test_case "out of domain" `Quick test_translate_out_of_domain;
           Alcotest.test_case "errors" `Quick test_translate_errors;
+          Alcotest.test_case "unknown attribute suggestion" `Quick
+            test_translate_unknown_attr_suggestion;
           Alcotest.test_case "aggregates" `Quick test_translate_aggregates;
           Alcotest.test_case "OR" `Quick test_translate_or;
           Alcotest.test_case "<> complement" `Quick test_translate_neq;

@@ -177,6 +177,45 @@ let test_to_predicate () =
   Alcotest.(check bool) "matches" true (Predicate.matches_row p [| 1; 9; 3 |]);
   Alcotest.(check bool) "rejects" false (Predicate.matches_row p [| 1; 9; 2 |])
 
+(* run_standard's workload is a pure function of (seed, attrs): repeat
+   runs agree bitwise, other attribute sets and consumed streams do not
+   interfere, and a different seed actually changes the nulls. *)
+let test_run_standard_deterministic () =
+  let rel = known_rel () in
+  let methods = [ Methods.exact rel; Methods.of_fn ~name:"Zero" (fun _ -> 0.) ] in
+  let run () =
+    Runner.run_standard ~seed:42 rel methods ~attrs:[ 0; 1 ] ~num_hitters:3
+      ~num_nulls:5
+  in
+  let strip (r : Runner.standard_report) =
+    (* Timing fields are wall-clock; compare everything else. *)
+    let errs (e : Runner.error_result) = (e.method_name, e.errors) in
+    ( r.report_attrs,
+      r.workload,
+      List.map errs r.heavy,
+      List.map errs r.light,
+      r.f )
+  in
+  let a = run () in
+  Alcotest.(check bool) "repeat run identical" true (strip a = strip (run ()));
+  (* Consuming other workload streams in between must not perturb it. *)
+  ignore
+    (Runner.run_standard ~seed:42 rel methods ~attrs:[ 1 ] ~num_hitters:2
+       ~num_nulls:1);
+  ignore
+    (Hitters.standard
+       (Prng.create ~seed:42 ())
+       rel ~attrs:[ 0; 1 ] ~num_hitters:2 ~num_nulls:2);
+  Alcotest.(check bool) "unperturbed by other streams" true
+    (strip a = strip (run ()));
+  let b =
+    Runner.run_standard ~seed:43 rel methods ~attrs:[ 0; 1 ] ~num_hitters:3
+      ~num_nulls:5
+  in
+  (* Hitters are data-derived either way; the random part is the nulls. *)
+  Alcotest.(check bool) "seed matters" true
+    (a.workload.Hitters.nulls <> b.workload.Hitters.nulls)
+
 let test_runner_timing_fields () =
   let rel = known_rel () in
   let w =
@@ -215,6 +254,8 @@ let () =
           Alcotest.test_case "error differences" `Quick test_error_differences;
           Alcotest.test_case "summary in pipeline" `Quick
             test_runner_with_summary;
+          Alcotest.test_case "run_standard deterministic" `Quick
+            test_run_standard_deterministic;
           Alcotest.test_case "timing fields" `Quick test_runner_timing_fields;
         ] );
     ]
