@@ -763,6 +763,163 @@ let check config =
   [ table ]
 
 (* ------------------------------------------------------------------ *)
+(* obs: observability overhead and telemetry                           *)
+(* ------------------------------------------------------------------ *)
+
+(* Three numbers back edb_obs's contract, recorded to BENCH_obs.json so
+   the trajectory is watchable across commits:
+   (1) disabled-mode [with_span] cost on a real query body — the ratio
+       the test suite bounds loosely is measured precisely here;
+   (2) solver sweeps-to-tolerance from the [on_sweep] stream;
+   (3) enabled-mode event volume over a query workload, exported as a
+       sample Chrome trace (BENCH_obs_trace.json — loadable in
+       chrome://tracing or ui.perfetto.dev). *)
+let obs config =
+  let module Obs = Edb_obs.Obs in
+  let module Trace = Edb_obs.Trace in
+  let rows = min config.Config.flights_rows 60_000 in
+  let rel =
+    (Edb_datagen.Flights.generate ~rows ~seed:config.Config.seed ()).coarse
+  in
+  let pairs =
+    Edb_select.Pairs.select ~strategy:Edb_select.Pairs.By_cover ~budget:2 rel
+  in
+  let buckets = List.hd config.Config.fig2b_budgets in
+  let joints =
+    List.concat_map
+      (fun (a, b) ->
+        Edb_select.Heuristic.select Edb_select.Heuristic.Composite rel
+          ~attr1:a ~attr2:b ~budget:buckets)
+      pairs
+  in
+  (* (2) Build with the sweep-telemetry stream attached. *)
+  let sweeps = ref [] in
+  let summary, build_s =
+    Timing.time (fun () ->
+        Entropydb_core.Summary.build ~solver_config:config.Config.solver rel
+          ~joints
+          ~on_sweep:(fun st -> sweeps := st :: !sweeps))
+  in
+  let sweeps = List.rev !sweeps in
+  let report = Entropydb_core.Summary.solver_report summary in
+  (* Query pool: random conjunctive ranges over the selected pairs. *)
+  let schema = Edb_storage.Relation.schema rel in
+  let arity = Edb_storage.Schema.arity schema in
+  let rng = Prng.create ~seed:(config.Config.seed + 57) () in
+  let queries =
+    List.init 64 (fun _ ->
+        let a, b = List.nth pairs (Prng.int rng (List.length pairs)) in
+        Edb_storage.Predicate.of_alist ~arity
+          (List.map
+             (fun attr ->
+               let size = Edb_storage.Schema.domain_size schema attr in
+               let lo = Prng.int rng size in
+               let hi = min (size - 1) (lo + 1 + Prng.int rng (size / 2)) in
+               (attr, Ranges.interval lo hi))
+             [ a; b ]))
+  in
+  let run_workload () =
+    List.iter (fun q -> ignore (Entropydb_core.Summary.estimate summary q))
+      queries
+  in
+  (* (1) Disabled-span overhead on the real query body: the same
+     workload bare vs with every estimate wrapped in a (disabled)
+     span.  Best-of-5 of many repetitions each to shed scheduler
+     noise. *)
+  let was_enabled = Trace.enabled () in
+  Trace.set_enabled false;
+  let reps = 20 in
+  let timed f =
+    let t0 = Timing.now_s () in
+    for _ = 1 to reps do
+      f ()
+    done;
+    Timing.now_s () -. t0
+  in
+  let spanned_workload () =
+    List.iter
+      (fun q ->
+        Obs.with_span "bench.query" (fun () ->
+            ignore (Entropydb_core.Summary.estimate summary q)))
+      queries
+  in
+  run_workload ();
+  spanned_workload ();
+  let best f = List.fold_left min infinity (List.init 5 (fun _ -> timed f)) in
+  let bare_s = best (fun () -> run_workload ()) in
+  let span_s = best (fun () -> spanned_workload ()) in
+  let overhead = (span_s -. bare_s) /. bare_s in
+  (* (3) Enabled tracing over the workload; export the sample trace. *)
+  Trace.set_enabled true;
+  Trace.clear ();
+  run_workload ();
+  let events = Trace.events () in
+  let count name =
+    List.length
+      (List.filter (fun (e : Trace.event) -> e.Trace.name = name) events)
+  in
+  let poly_spans = count "poly.eval_restricted" in
+  let trace_path = "BENCH_obs_trace.json" in
+  Trace.write_file trace_path;
+  let traced = Trace.total () and trace_dropped = Trace.dropped () in
+  Trace.clear ();
+  Trace.set_enabled was_enabled;
+  let nq = List.length queries in
+  let table =
+    Table.create
+      ~title:
+        (Printf.sprintf
+           "Observability (flights-coarse, %d rows, %d queries x %d reps)"
+           rows nq reps)
+      ~headers:[ "metric"; "value" ]
+      ~aligns:[ Table.Left; Table.Right ] ()
+  in
+  let add k v = Table.add_row table [ k; v ] in
+  add "build" (Printf.sprintf "%.2f s" build_s);
+  add "solver sweeps" (string_of_int report.sweeps);
+  add "solver converged" (string_of_bool report.converged);
+  add "final dual"
+    (match List.rev sweeps with
+    | last :: _ -> Printf.sprintf "%.6g" last.Entropydb_core.Solver.dual
+    | [] -> "-");
+  add "bare workload" (Printf.sprintf "%.2f ms" (bare_s *. 1e3));
+  add "disabled-span workload" (Printf.sprintf "%.2f ms" (span_s *. 1e3));
+  add "disabled-span overhead" (Printf.sprintf "%+.2f %%" (overhead *. 100.));
+  add "traced events" (string_of_int traced);
+  add "trace dropped" (string_of_int trace_dropped);
+  add "poly.eval spans" (string_of_int poly_spans);
+  extra_json :=
+    [
+      ("rows", Json.Int rows);
+      ("queries", Json.Int nq);
+      ("reps", Json.Int reps);
+      ("solver_sweeps", Json.Int report.sweeps);
+      ("solver_converged", Json.Bool report.converged);
+      ("solver_max_rel_error", Json.Float report.max_rel_error);
+      ( "sweep_stats",
+        Json.List
+          (List.map
+             (fun (st : Entropydb_core.Solver.sweep_stat) ->
+               Json.Obj
+                 [
+                   ("sweep", Json.Int st.sweep);
+                   ("dual", Json.Float st.dual);
+                   ("max_rel_error", Json.Float st.sweep_max_rel_error);
+                   ("max_step", Json.Float st.max_step);
+                   ("elapsed_s", Json.Float st.elapsed_s);
+                 ])
+             sweeps) );
+      ("bare_s", Json.Float bare_s);
+      ("disabled_span_s", Json.Float span_s);
+      ("disabled_span_overhead", Json.Float overhead);
+      ("traced_events", Json.Int traced);
+      ("trace_dropped", Json.Int trace_dropped);
+      ("poly_eval_spans", Json.Int poly_spans);
+      ("trace_artifact", Json.Str trace_path);
+    ];
+  [ table ]
+
+(* ------------------------------------------------------------------ *)
 (* Driver                                                              *)
 (* ------------------------------------------------------------------ *)
 
@@ -783,6 +940,7 @@ let experiments config =
     ("loadgen", fun () -> loadgen config);
     ("shardscale", fun () -> shardscale config);
     ("groupby", fun () -> groupby config);
+    ("obs", fun () -> obs config);
     ("check", fun () -> check config);
   ]
 

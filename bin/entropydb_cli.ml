@@ -83,6 +83,33 @@ let dataset_t =
 let seed_t =
   Arg.(value & opt int 1 & info [ "seed" ] ~docv:"N" ~doc:"Random seed.")
 
+let trace_out_t =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace-out" ] ~docv:"FILE"
+        ~doc:
+          "Enable span tracing for this run and write a Chrome trace_event \
+           JSON file on completion (open in chrome://tracing or \
+           ui.perfetto.dev).")
+
+(* Tracing can also be forced on by EDB_TRACE=1; --trace-out additionally
+   picks where the ring buffer's contents land when the command ends. *)
+let with_trace trace_out f =
+  match trace_out with
+  | None -> f ()
+  | Some path ->
+      Edb_obs.Obs.set_enabled true;
+      Fun.protect
+        ~finally:(fun () ->
+          Edb_obs.Trace.write_file path;
+          Printf.printf "trace written to %s (%d events%s)\n" path
+            (List.length (Edb_obs.Trace.events ()))
+            (let d = Edb_obs.Trace.dropped () in
+             if d > 0 then Printf.sprintf ", %d dropped to wraparound" d
+             else ""))
+        f
+
 (* ------------------------------------------------------------------ *)
 (* generate                                                            *)
 (* ------------------------------------------------------------------ *)
@@ -133,12 +160,13 @@ let heuristic_conv =
 
 let build_cmd_named cmd_name ~doc =
   let run verbose dataset input rows seed output pairs buckets heuristic
-      sweeps shards shard_by =
+      sweeps shards shard_by trace_out =
     setup_logs verbose;
     if shards < 1 then begin
       Fmt.epr "%s: --shards must be at least 1@." cmd_name;
       exit 2
     end;
+    with_trace trace_out @@ fun () ->
     let rel =
       match input with
       | Some path -> load_relation dataset path
@@ -165,7 +193,22 @@ let build_cmd_named cmd_name ~doc =
     if shards = 1 then begin
       (* A single shard is just the flat summary; save the flat format so
          older readers keep working. *)
-      let summary = Entropydb_core.Summary.build ~solver_config rel ~joints in
+      (* Verbose builds print the solver's convergence table live, one
+         row per sweep, off the telemetry callback. *)
+      let header_printed = ref false in
+      let on_sweep (st : Entropydb_core.Solver.sweep_stat) =
+        if not !header_printed then begin
+          Printf.printf "%5s  %20s  %12s  %12s  %9s\n" "sweep" "dual"
+            "max_rel_err" "max_step" "elapsed_s";
+          header_printed := true
+        end;
+        Printf.printf "%5d  %20.13g  %12.3e  %12.3e  %9.3f\n%!" st.sweep
+          st.dual st.sweep_max_rel_error st.max_step st.elapsed_s
+      in
+      let on_sweep = if verbose then Some on_sweep else None in
+      let summary =
+        Entropydb_core.Summary.build ~solver_config ?on_sweep rel ~joints
+      in
       let report = Entropydb_core.Summary.solver_report summary in
       Printf.printf "solved in %d sweeps, %.1fs (max rel err %.2e)\n"
         report.sweeps report.seconds report.max_rel_error;
@@ -268,7 +311,8 @@ let build_cmd_named cmd_name ~doc =
   Cmd.v (Cmd.info cmd_name ~doc)
     Term.(
       const run $ verbose_t $ dataset_t $ input_t $ rows_t $ seed_t $ output_t
-      $ pairs_t $ buckets_t $ heuristic_t $ sweeps_t $ shards_t $ shard_by_t)
+      $ pairs_t $ buckets_t $ heuristic_t $ sweeps_t $ shards_t $ shard_by_t
+      $ trace_out_t)
 
 let build_cmd =
   build_cmd_named "build" ~doc:"Compute and save a MaxEnt summary."
@@ -289,8 +333,9 @@ let conjunctive_exn c =
   | None -> failwith "OR predicates are not supported with SUM/AVG/GROUP BY"
 
 let query_cmd =
-  let run verbose summary_path sql exact_csv dataset =
+  let run verbose summary_path sql exact_csv dataset trace_out =
     setup_logs verbose;
+    with_trace trace_out @@ fun () ->
     (* Everything under here may raise (bad summary files, SUM/AVG over OR,
        categorical SUM via bin midpoints, >10 disjuncts in
        inclusion-exclusion): turn any of it into a one-line diagnostic and
@@ -417,7 +462,9 @@ let query_cmd =
   in
   Cmd.v
     (Cmd.info "query" ~doc:"Answer SQL against a saved summary.")
-    Term.(const run $ verbose_t $ summary_t $ sql_t $ exact_t $ dataset_opt_t)
+    Term.(
+      const run $ verbose_t $ summary_t $ sql_t $ exact_t $ dataset_opt_t
+      $ trace_out_t)
 
 (* ------------------------------------------------------------------ *)
 (* info                                                                *)
@@ -781,6 +828,59 @@ let client_cmd =
       $ words_t)
 
 (* ------------------------------------------------------------------ *)
+(* stats                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let stats_cmd =
+  (* Sugar for `client STATS`: one request, print the key/value lines
+     (server counters, latency quantiles, and the obs_* registry). *)
+  let run verbose socket tcp_host tcp_port timeout =
+    setup_logs verbose;
+    let address =
+      match (socket, tcp_port) with
+      | Some path, _ -> Some (Edb_server.Client.Unix_socket path)
+      | None, Some port -> Some (Edb_server.Client.Tcp (tcp_host, port))
+      | None, None -> None
+    in
+    match address with
+    | None ->
+        Fmt.epr "stats: need --socket or --tcp-port@.";
+        2
+    | Some address -> (
+        match Edb_server.Client.connect ~timeout address with
+        | Error m ->
+            Fmt.epr "stats: %s@." m;
+            1
+        | Ok conn ->
+            let rc =
+              match Edb_server.Client.request conn Edb_server.Protocol.Stats with
+              | Error m ->
+                  Fmt.epr "stats: %s@." m;
+                  1
+              | Ok (Edb_server.Protocol.Err { code; message }) ->
+                  Fmt.epr "ERR %s %s@." code message;
+                  1
+              | Ok (Edb_server.Protocol.Ok payload) ->
+                  List.iter print_endline payload;
+                  0
+            in
+            Edb_server.Client.close conn;
+            rc)
+  in
+  let timeout_t =
+    Arg.(
+      value & opt float 30.
+      & info [ "timeout" ] ~docv:"SECONDS" ~doc:"Receive timeout.")
+  in
+  Cmd.v
+    (Cmd.info "stats"
+       ~doc:
+         "Print a running server's metrics (counters, latency quantiles, \
+          obs registry).")
+    Term.(
+      const run $ verbose_t $ socket_t $ tcp_host_t $ tcp_port_t $ timeout_t)
+
+(* ------------------------------------------------------------------ *)
 (* check                                                               *)
 (* ------------------------------------------------------------------ *)
 
@@ -909,5 +1009,6 @@ let () =
        (Cmd.group info
           [
             generate_cmd; build_cmd; summarize_cmd; query_cmd; info_cmd;
-            serve_cmd; client_cmd; evaluate_cmd; check_cmd; experiment_cmd;
+            serve_cmd; client_cmd; stats_cmd; evaluate_cmd; check_cmd;
+            experiment_cmd;
           ]))

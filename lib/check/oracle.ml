@@ -679,6 +679,73 @@ let c_exact_count ctx =
       ctx.case.Case.queries
   end
 
+(* Observability wiring: after a known sweep, the global registry's
+   counters and the trace sink must account for exactly the work
+   performed — the engine lying about what it did is a bug even when
+   every answer is right.  Invariants: cache hits + misses = lookups
+   with exact per-query deltas, and one "shard.eval" span (and counter
+   tick) per shard per fanned-out query. *)
+let c_obs_consistency ctx =
+  let module R = Edb_obs.Registry in
+  let module Trace = Edb_obs.Trace in
+  let value name = R.Counter.value (R.counter name) in
+  let nq = List.length ctx.case.Case.queries in
+  tally ctx;
+  let s = ctx.case.Case.summary in
+  let cache = Cache.create s in
+  let l0 = value "cache.lookups"
+  and h0 = value "cache.hits"
+  and m0 = value "cache.misses" in
+  List.iter
+    (fun q ->
+      ignore (Cache.estimate cache q);
+      ignore (Cache.estimate cache q))
+    ctx.case.Case.queries;
+  let dl = value "cache.lookups" - l0
+  and dh = value "cache.hits" - h0
+  and dm = value "cache.misses" - m0 in
+  (* The query list may repeat a predicate, so the miss count is the
+     number of *distinct* keys — which is exactly the entries resident
+     afterwards (capacity far exceeds the sweep, no evictions). *)
+  let st = Cache.stats cache in
+  if
+    dl <> 2 * nq
+    || dh + dm <> dl
+    || dm <> st.Cache.entries
+    || dh <> st.Cache.hits
+    || dm <> st.Cache.misses
+  then
+    fail ctx ~check:"obs-consistency" ~tier:Differential
+      "cache counters off after %d lookup pairs: global lookups +%d, hits \
+       +%d, misses +%d; instance hits %d, misses %d, entries %d"
+      nq dl dh dm st.Cache.hits st.Cache.misses st.Cache.entries;
+  tally ctx;
+  let k = Edb_shard.Sharded.num_shards ctx.case.Case.sharded in
+  let se0 = value "shard.evals" in
+  let was = Trace.enabled () in
+  Trace.set_enabled true;
+  Trace.clear ();
+  Fun.protect
+    ~finally:(fun () -> Trace.set_enabled was)
+    (fun () ->
+      List.iter
+        (fun q -> ignore (Edb_shard.Sharded.estimate ctx.case.Case.sharded q))
+        ctx.case.Case.queries);
+  let spans =
+    List.length
+      (List.filter
+         (fun (e : Trace.event) -> e.Trace.name = "shard.eval")
+         (Trace.events ()))
+  in
+  let dse = value "shard.evals" - se0 in
+  if spans <> k * nq then
+    fail ctx ~check:"obs-consistency" ~tier:Differential
+      "expected %d shard.eval spans (%d shards x %d queries), traced %d" (k * nq)
+      k nq spans;
+  if dse <> k * nq then
+    fail ctx ~check:"obs-consistency" ~tier:Differential
+      "shard.evals counter moved %d for %d shard evaluations" dse (k * nq)
+
 (* ------------------------------------------------------------------ *)
 (* Battery                                                             *)
 (* ------------------------------------------------------------------ *)
@@ -694,6 +761,7 @@ let checks : (string * tier * (ctx -> unit)) list =
     ("serialize-roundtrip", Differential, c_serialize_roundtrip);
     ("cache-vs-uncached", Differential, c_cache_vs_uncached);
     ("server-vs-library", Differential, c_server_vs_library);
+    ("obs-consistency", Differential, c_obs_consistency);
     ("widening-monotonic", Metamorphic, c_widening_monotonic);
     ("groupby-total", Metamorphic, c_groupby_total);
     ("partition-additivity", Metamorphic, c_partition_additivity);

@@ -66,6 +66,14 @@ let with_lock t f =
   Mutex.lock t.lock;
   Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
 
+(* Process-wide registry counters, summed over every cache instance;
+   per-instance accounting stays in [stats].  The obs oracle checks
+   hits + misses = lookups after any interleaving. *)
+let lookups_c = Edb_obs.Registry.counter "cache.lookups"
+let hits_c = Edb_obs.Registry.counter "cache.hits"
+let misses_c = Edb_obs.Registry.counter "cache.misses"
+let evictions_c = Edb_obs.Registry.counter "cache.evictions"
+
 let key_of_predicate pred : pred_key =
   List.map
     (fun i ->
@@ -88,13 +96,15 @@ let evict t =
     (fun i (_, k) ->
       if i < to_drop then begin
         Hashtbl.remove t.table k;
-        t.evictions <- t.evictions + 1
+        t.evictions <- t.evictions + 1;
+        Edb_obs.Registry.Counter.incr evictions_c
       end)
     sorted
 
 (* Shared LRU protocol: locked lookup, evaluation outside the lock on a
    miss, locked insert-with-evict. *)
 let cached t key compute =
+  Edb_obs.Registry.Counter.incr lookups_c;
   let cached =
     with_lock t (fun () ->
         t.tick <- t.tick + 1;
@@ -102,9 +112,11 @@ let cached t key compute =
         | Some entry ->
             entry.last_used <- t.tick;
             t.hits <- t.hits + 1;
+            Edb_obs.Registry.Counter.incr hits_c;
             Some entry.value
         | None ->
             t.misses <- t.misses + 1;
+            Edb_obs.Registry.Counter.incr misses_c;
             None)
   in
   match cached with

@@ -952,6 +952,29 @@ let eval_weighted t query ~weights =
     t.groups;
   !acc
 
+(* Observability: count kernel invocations always (one striped atomic
+   add per call) and wrap each call in a span when tracing is enabled.
+   Instrumentation is per kernel call — never per term — so the
+   disabled-mode cost is one flag load next to a full term pass. *)
+module Obs = Edb_obs.Obs
+
+let evals_counter = Edb_obs.Registry.counter "poly.evals"
+
+let eval_restricted t query =
+  Edb_obs.Registry.Counter.incr evals_counter;
+  Obs.with_span "poly.eval_restricted" ~cat:"answer" (fun () ->
+      eval_restricted t query)
+
+let eval_restricted_by_value t query ~attr =
+  Edb_obs.Registry.Counter.incr evals_counter;
+  Obs.with_span "poly.eval_restricted_by_value" ~cat:"answer" (fun () ->
+      eval_restricted_by_value t query ~attr)
+
+let eval_weighted t query ~weights =
+  Edb_obs.Registry.Counter.incr evals_counter;
+  Obs.with_span "poly.eval_weighted" ~cat:"answer" (fun () ->
+      eval_weighted t query ~weights)
+
 (* E[<q, I>] = n / P * P[zeroed]  — the final formula of Sec. 4.2. *)
 let estimate t query =
   if Predicate.is_unsatisfiable query then 0.

@@ -25,6 +25,9 @@ type payload = {
 }
 
 let save summary path =
+  Edb_obs.Obs.with_span "serialize.save" ~cat:"io"
+    ~attrs:(fun () -> [ ("path", path) ])
+  @@ fun () ->
   let poly = Summary.poly summary in
   let phi = Poly.phi poly in
   let schema = Phi.schema phi in
@@ -60,6 +63,9 @@ let save summary path =
       Marshal.to_channel oc payload [])
 
 let load ?term_cap path =
+  Edb_obs.Obs.with_span "serialize.load" ~cat:"io"
+    ~attrs:(fun () -> [ ("path", path) ])
+  @@ fun () ->
   let ic = open_in_bin path in
   Fun.protect
     ~finally:(fun () -> close_in ic)

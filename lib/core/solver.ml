@@ -53,11 +53,34 @@ type report = {
   seconds : float;
 }
 
+type sweep_stat = {
+  sweep : int;
+  dual : float;
+  sweep_max_rel_error : float;
+  max_step : float;
+  elapsed_s : float;
+}
+
 let src = Logs.Src.create "entropydb.solver" ~doc:"MaxEnt model solver"
 
 module Log = (val Logs.src_log src : Logs.LOG)
+module Obs = Edb_obs.Obs
 
-let solve_coordinate config poly =
+(* Per-sweep telemetry: deliver to the caller's callback and, when
+   tracing is on, as an instant event in the trace stream. *)
+let emit_sweep on_sweep (stat : sweep_stat) =
+  (match on_sweep with Some f -> f stat | None -> ());
+  Obs.instant "solver.sweep" ~cat:"build"
+    ~attrs:(fun () ->
+      [
+        ("sweep", string_of_int stat.sweep);
+        ("dual", Printf.sprintf "%.17g" stat.dual);
+        ("max_rel_error", Printf.sprintf "%.6g" stat.sweep_max_rel_error);
+        ("max_step", Printf.sprintf "%.6g" stat.max_step);
+        ("elapsed_s", Printf.sprintf "%.6f" stat.elapsed_s);
+      ])
+
+let solve_coordinate ?on_sweep config poly =
   let phi = Poly.phi poly in
   let n = float_of_int (Phi.n phi) in
   let k = Phi.num_stats phi in
@@ -69,6 +92,7 @@ let solve_coordinate config poly =
   while (not !converged) && (not !diverged) && !sweeps < config.max_sweeps do
     incr sweeps;
     let sweep_err = ref 0. in
+    let max_step = ref 0. in
     for j = 0 to k - 1 do
       let sj = Phi.target phi j in
       if sj = 0. then begin
@@ -87,7 +111,10 @@ let solve_coordinate config poly =
         let p_without = p -. (aj *. pd) in
         if pd > 0. && p_without > 0. then begin
           let a' = sj *. p_without /. ((n -. sj) *. pd) in
-          if Float.is_finite a' && a' >= 0. then Poly.set_alpha poly j a'
+          if Float.is_finite a' && a' >= 0. then begin
+            max_step := Float.max !max_step (Float.abs (a' -. aj));
+            Poly.set_alpha poly j a'
+          end
         end
       end
       (* s_j = n: the predicate covers every row; its variable is redundant
@@ -112,6 +139,14 @@ let solve_coordinate config poly =
     dual_trace := Poly.dual poly :: !dual_trace;
     max_err := !sweep_err;
     if !sweep_err < config.tolerance then converged := true;
+    emit_sweep on_sweep
+      {
+        sweep = !sweeps;
+        dual = Poly.dual poly;
+        sweep_max_rel_error = !sweep_err;
+        max_step = !max_step;
+        elapsed_s = Edb_util.Timing.now_s () -. t0;
+      };
     if config.log_every > 0 && !sweeps mod config.log_every = 0 then
       Log.info (fun m ->
           m "sweep %d: max rel error %.3e, dual %.6g" !sweeps !sweep_err
@@ -125,7 +160,7 @@ let solve_coordinate config poly =
     seconds = Edb_util.Timing.now_s () -. t0;
   }
 
-let solve_multiplicative config poly =
+let solve_multiplicative ?on_sweep config poly =
   let phi = Poly.phi poly in
   let n = float_of_int (Phi.n phi) in
   let k = Phi.num_stats phi in
@@ -153,6 +188,7 @@ let solve_multiplicative config poly =
       end
     done;
     max_err := !sweep_err;
+    let max_step = ref 0. in
     if !sweep_err < config.tolerance then converged := true
     else begin
       let saved = Poly.alphas poly in
@@ -170,11 +206,22 @@ let solve_multiplicative config poly =
         if !eta < 1e-12 then converged := true (* cannot make progress *)
       end
       else begin
+        for j = 0 to k - 1 do
+          max_step := Float.max !max_step (Float.abs (proposal.(j) -. saved.(j)))
+        done;
         best_dual := Float.max !best_dual d;
         eta := !eta *. 1.05
       end
     end;
     dual_trace := Poly.dual poly :: !dual_trace;
+    emit_sweep on_sweep
+      {
+        sweep = !sweeps;
+        dual = Poly.dual poly;
+        sweep_max_rel_error = !sweep_err;
+        max_step = !max_step;
+        elapsed_s = Edb_util.Timing.now_s () -. t0;
+      };
     if config.log_every > 0 && !sweeps mod config.log_every = 0 then
       Log.info (fun m ->
           m "md sweep %d: max rel error %.3e, eta %.3g, dual %.6g" !sweeps
@@ -207,9 +254,19 @@ let solve_empty poly =
     seconds = Edb_util.Timing.now_s () -. t0;
   }
 
-let solve ?(config = default_config) poly =
-  if Phi.n (Poly.phi poly) = 0 then solve_empty poly
-  else
-    match config.algorithm with
-    | Coordinate -> solve_coordinate config poly
-    | Multiplicative -> solve_multiplicative config poly
+let solve ?(config = default_config) ?on_sweep poly =
+  Obs.with_span "solver.solve" ~cat:"build"
+    ~attrs:(fun () ->
+      [
+        ( "algorithm",
+          match config.algorithm with
+          | Coordinate -> "coordinate"
+          | Multiplicative -> "multiplicative" );
+        ("num_stats", string_of_int (Phi.num_stats (Poly.phi poly)));
+      ])
+    (fun () ->
+      if Phi.n (Poly.phi poly) = 0 then solve_empty poly
+      else
+        match config.algorithm with
+        | Coordinate -> solve_coordinate ?on_sweep config poly
+        | Multiplicative -> solve_multiplicative ?on_sweep config poly)

@@ -26,7 +26,20 @@ type report = {
   seconds : float;
 }
 
-val solve : ?config:config -> Poly.t -> report
+type sweep_stat = {
+  sweep : int;  (** 1-based sweep number *)
+  dual : float;  (** Ψ after this sweep *)
+  sweep_max_rel_error : float;  (** max_j |s_j − E\[c_j\]| / n at sweep start *)
+  max_step : float;  (** max_j |α_j' − α_j| over this sweep's updates *)
+  elapsed_s : float;  (** wall time since the solve started *)
+}
+
+val solve : ?config:config -> ?on_sweep:(sweep_stat -> unit) -> Poly.t -> report
 (** Mutates the polynomial's variables toward the MaxEnt solution.  The
     dual trace is non-decreasing up to floating-point noise (Ψ is concave
-    and every step is an exact coordinate maximization). *)
+    and every step is an exact coordinate maximization).
+
+    [on_sweep] is called after every sweep with that sweep's convergence
+    telemetry; the same stats are also emitted as ["solver.sweep"] instant
+    events (and the whole solve as a ["solver.solve"] span) when tracing
+    is enabled. *)

@@ -16,15 +16,16 @@ type t = {
   report : Solver.report;
 }
 
-let build ?(solver_config = Solver.default_config) ?term_cap rel ~joints =
+let build ?(solver_config = Solver.default_config) ?term_cap ?on_sweep rel
+    ~joints =
   let phi = Phi.of_relation rel ~joints in
   let poly = Poly.create ?term_cap phi in
-  let report = Solver.solve ~config:solver_config poly in
+  let report = Solver.solve ~config:solver_config ?on_sweep poly in
   { poly; schema = Relation.schema rel; n = Relation.cardinality rel; report }
 
-let of_phi ?(solver_config = Solver.default_config) ?term_cap phi =
+let of_phi ?(solver_config = Solver.default_config) ?term_cap ?on_sweep phi =
   let poly = Poly.create ?term_cap phi in
-  let report = Solver.solve ~config:solver_config poly in
+  let report = Solver.solve ~config:solver_config ?on_sweep poly in
   { poly; schema = Phi.schema phi; n = Phi.n phi; report }
 
 let of_solved_poly ~poly ~report =

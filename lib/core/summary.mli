@@ -11,6 +11,7 @@ type t
 val build :
   ?solver_config:Solver.config ->
   ?term_cap:int ->
+  ?on_sweep:(Solver.sweep_stat -> unit) ->
   Relation.t ->
   joints:Predicate.t list ->
   t
@@ -19,7 +20,12 @@ val build :
     solves for the MaxEnt parameters.  Raises like {!Phi.of_relation} and
     {!Poly.create}. *)
 
-val of_phi : ?solver_config:Solver.config -> ?term_cap:int -> Phi.t -> t
+val of_phi :
+  ?solver_config:Solver.config ->
+  ?term_cap:int ->
+  ?on_sweep:(Solver.sweep_stat -> unit) ->
+  Phi.t ->
+  t
 (** Build from a pre-computed statistic set (used by tests and by callers
     that tweak targets). *)
 

@@ -1,0 +1,51 @@
+(* The instrumentation entry points the engine calls.
+
+   The overhead contract: when tracing is disabled, [with_span] is one
+   atomic load and a tail call — no event allocation, and attribute
+   lists are thunks so they are never built.  Instrumentation sites are
+   coarse-grained (per solve, per eval call, per shard, per request),
+   never per polynomial term, so even the enabled path stays far off the
+   inner loops. *)
+
+let enabled = Trace.enabled
+let set_enabled = Trace.set_enabled
+
+let finish_span ~name ~cat ~attrs t0 =
+  let dur = Trace.now_us () -. t0 in
+  Trace.record
+    {
+      name;
+      cat;
+      ph = Trace.Span;
+      ts_us = t0;
+      dur_us = dur;
+      tid = (Domain.self () :> int);
+      attrs = (match attrs with None -> [] | Some g -> g ());
+    }
+
+let with_span ?(cat = "edb") ?attrs name f =
+  if not (Trace.enabled ()) then f ()
+  else begin
+    let t0 = Trace.now_us () in
+    match f () with
+    | v ->
+        finish_span ~name ~cat ~attrs t0;
+        v
+    | exception e ->
+        let bt = Printexc.get_raw_backtrace () in
+        finish_span ~name ~cat ~attrs t0;
+        Printexc.raise_with_backtrace e bt
+  end
+
+let instant ?(cat = "edb") ?attrs name =
+  if Trace.enabled () then
+    Trace.record
+      {
+        name;
+        cat;
+        ph = Trace.Instant;
+        ts_us = Trace.now_us ();
+        dur_us = 0.;
+        tid = (Domain.self () :> int);
+        attrs = (match attrs with None -> [] | Some g -> g ());
+      }

@@ -1,0 +1,24 @@
+(** Instrumentation entry points.
+
+    Overhead contract: with tracing disabled, {!with_span} costs one
+    atomic load plus the call to [f] — attribute thunks are never
+    forced, nothing is recorded.  Sites are coarse-grained (per solve /
+    eval / shard / request), never per polynomial term. *)
+
+val enabled : unit -> bool
+val set_enabled : bool -> unit
+
+val with_span :
+  ?cat:string ->
+  ?attrs:(unit -> (string * string) list) ->
+  string ->
+  (unit -> 'a) ->
+  'a
+(** [with_span name f] runs [f], recording a complete-span event (with
+    the calling domain as [tid]) when tracing is enabled.  Exceptions
+    from [f] still record the span and are re-raised with their
+    backtrace. *)
+
+val instant :
+  ?cat:string -> ?attrs:(unit -> (string * string) list) -> string -> unit
+(** Record a point-in-time event (e.g. one solver sweep). *)

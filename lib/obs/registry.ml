@@ -1,0 +1,202 @@
+(* Process-wide metrics registry: named counters, gauges, and log-spaced
+   latency histograms.
+
+   Every metric is built on Edb_util.Stripe — lock-free per-domain cells
+   merged on read — so hot paths (poly kernels inside Parallel workers,
+   server threads) update metrics without a lock and without losing
+   samples.  The registry table itself is mutex-guarded, but callers
+   register once (typically at module init) and keep the handle.
+
+   Histograms use the same bucket scheme as the server's latency
+   histogram: bucket i covers [10^(i/10), 10^((i+1)/10)) microseconds,
+   ~26% resolution over 1 µs .. 10 s in 70 buckets.  Snapshots are plain
+   records whose merge (bucket-wise + count/sum addition, max of maxima)
+   is associative and commutative, so totals are independent of how many
+   domains — or shards — contributed. *)
+
+module Stripe = Edb_util.Stripe
+
+module Counter = struct
+  type t = Stripe.counter
+
+  let create () = Stripe.counter ()
+  let incr = Stripe.incr
+  let add = Stripe.add
+  let value = Stripe.total
+  let reset = Stripe.reset
+end
+
+module Gauge = struct
+  type t = float Atomic.t
+
+  let create () = Atomic.make 0.
+  let set t v = Atomic.set t v
+  let value t = Atomic.get t
+end
+
+module Hist = struct
+  let num_buckets = 70 (* 10^(70/10) µs = 10 s *)
+
+  let bucket_of_us us =
+    if us <= 1. then 0
+    else
+      let i = int_of_float (10. *. log10 us) in
+      if i < 0 then 0 else if i >= num_buckets then num_buckets - 1 else i
+
+  (* Geometric midpoint of bucket i's bounds 10^(i/10) .. 10^((i+1)/10). *)
+  let bucket_mid_us i = 10. ** ((float_of_int i +. 0.5) /. 10.)
+
+  type t = {
+    buckets : Stripe.counter array;
+    sum_us : Stripe.fsum;
+    max_us : Stripe.fmax;
+  }
+
+  let create () =
+    {
+      buckets = Array.init num_buckets (fun _ -> Stripe.counter ());
+      sum_us = Stripe.fsum ();
+      max_us = Stripe.fmax ();
+    }
+
+  let observe_us t us =
+    Stripe.incr t.buckets.(bucket_of_us us);
+    Stripe.fadd t.sum_us us;
+    Stripe.fmax_update t.max_us us
+
+  let observe t seconds = observe_us t (seconds *. 1e6)
+
+  type snapshot = {
+    buckets : int array;
+    count : int;
+    sum_us : float;
+    max_us : float; (* 0 when empty *)
+  }
+
+  let empty =
+    { buckets = Array.make num_buckets 0; count = 0; sum_us = 0.; max_us = 0. }
+
+  let snapshot (t : t) : snapshot =
+    let buckets = Array.map Stripe.total t.buckets in
+    {
+      buckets;
+      count = Array.fold_left ( + ) 0 buckets;
+      sum_us = Stripe.ftotal t.sum_us;
+      max_us = Float.max 0. (Stripe.fmax_value t.max_us);
+    }
+
+  let merge (a : snapshot) (b : snapshot) : snapshot =
+    {
+      buckets = Array.map2 ( + ) a.buckets b.buckets;
+      count = a.count + b.count;
+      sum_us = a.sum_us +. b.sum_us;
+      max_us = Float.max a.max_us b.max_us;
+    }
+
+  (* Geometric midpoint of the bucket covering rank ceil(q*n), clamped
+     to the observed maximum — same readout as the server's histogram. *)
+  let quantile (s : snapshot) q =
+    if s.count = 0 then 0.
+    else begin
+      let rank = int_of_float (ceil (q *. float_of_int s.count)) in
+      let rank = max 1 (min s.count rank) in
+      let cum = ref 0 and answer = ref (bucket_mid_us (num_buckets - 1)) in
+      (try
+         Array.iteri
+           (fun i n ->
+             cum := !cum + n;
+             if !cum >= rank then begin
+               answer := bucket_mid_us i;
+               raise Exit
+             end)
+           s.buckets
+       with Exit -> ());
+      min !answer s.max_us
+    end
+
+  let reset (t : t) =
+    Array.iter Stripe.reset t.buckets;
+    Stripe.freset t.sum_us;
+    Stripe.fmax_reset t.max_us
+end
+
+(* Named registration.  Re-registering a name returns the existing
+   metric; registering it as a different kind raises. *)
+
+type metric = C of Counter.t | G of Gauge.t | H of Hist.t
+
+let table : (string, metric) Hashtbl.t = Hashtbl.create 64
+let lock = Mutex.create ()
+
+let with_lock f =
+  Mutex.lock lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock lock) f
+
+let counter name =
+  with_lock (fun () ->
+      match Hashtbl.find_opt table name with
+      | Some (C c) -> c
+      | Some _ ->
+          invalid_arg (Printf.sprintf "Registry: %S is not a counter" name)
+      | None ->
+          let c = Counter.create () in
+          Hashtbl.add table name (C c);
+          c)
+
+let gauge name =
+  with_lock (fun () ->
+      match Hashtbl.find_opt table name with
+      | Some (G g) -> g
+      | Some _ ->
+          invalid_arg (Printf.sprintf "Registry: %S is not a gauge" name)
+      | None ->
+          let g = Gauge.create () in
+          Hashtbl.add table name (G g);
+          g)
+
+let histogram name =
+  with_lock (fun () ->
+      match Hashtbl.find_opt table name with
+      | Some (H h) -> h
+      | Some _ ->
+          invalid_arg (Printf.sprintf "Registry: %S is not a histogram" name)
+      | None ->
+          let h = Hist.create () in
+          Hashtbl.add table name (H h);
+          h)
+
+type snapshot = {
+  counters : (string * int) list;
+  gauges : (string * float) list;
+  histograms : (string * Hist.snapshot) list;
+}
+
+let snapshot () =
+  let metrics = with_lock (fun () -> Hashtbl.fold (fun k v acc -> (k, v) :: acc) table []) in
+  let by_name (a, _) (b, _) = String.compare a b in
+  {
+    counters =
+      List.filter_map
+        (function n, C c -> Some (n, Counter.value c) | _ -> None)
+        metrics
+      |> List.sort by_name;
+    gauges =
+      List.filter_map
+        (function n, G g -> Some (n, Gauge.value g) | _ -> None)
+        metrics
+      |> List.sort by_name;
+    histograms =
+      List.filter_map
+        (function n, H h -> Some (n, Hist.snapshot h) | _ -> None)
+        metrics
+      |> List.sort by_name;
+  }
+
+let reset () =
+  with_lock (fun () ->
+      Hashtbl.iter
+        (fun _ -> function
+          | C c -> Counter.reset c
+          | G g -> Gauge.set g 0.
+          | H h -> Hist.reset h)
+        table)

@@ -1,0 +1,94 @@
+(** Process-wide metrics registry: named counters, gauges, and
+    log-bucketed latency histograms, all built on lock-free per-domain
+    stripes ({!Edb_util.Stripe}) merged on read.
+
+    Register once (usually at module init), keep the handle, update it
+    from any domain or thread without locking.  Histogram snapshots are
+    plain mergeable values: merge is associative and commutative, so
+    totals are independent of domain or shard count. *)
+
+module Counter : sig
+  type t
+
+  val create : unit -> t
+  (** A free-standing counter, not in the registry (per-instance use,
+      e.g. one server's metrics). *)
+
+  val incr : t -> unit
+  val add : t -> int -> unit
+  val value : t -> int
+  val reset : t -> unit
+end
+
+module Gauge : sig
+  type t
+
+  val create : unit -> t
+  val set : t -> float -> unit
+  val value : t -> float
+end
+
+module Hist : sig
+  val num_buckets : int
+
+  val bucket_of_us : float -> int
+  (** Bucket i covers [10^(i/10), 10^((i+1)/10)) µs; monotone in its
+      argument; everything ≤ 1 µs lands in bucket 0, everything ≥ 10 s
+      in the last bucket. *)
+
+  val bucket_mid_us : int -> float
+  (** Geometric midpoint of a bucket's bounds. *)
+
+  type t
+
+  val create : unit -> t
+
+  val observe : t -> float -> unit
+  (** Record one latency, in seconds. *)
+
+  val observe_us : t -> float -> unit
+
+  type snapshot = {
+    buckets : int array;
+    count : int;
+    sum_us : float;
+    max_us : float;  (** 0 when empty *)
+  }
+
+  val empty : snapshot
+  (** The identity for {!merge}. *)
+
+  val snapshot : t -> snapshot
+
+  val merge : snapshot -> snapshot -> snapshot
+  (** Bucket-wise and count/sum addition, max of maxima — associative,
+      commutative, with {!empty} as identity. *)
+
+  val quantile : snapshot -> float -> float
+  (** Geometric midpoint of the covering bucket, clamped to the observed
+      maximum; 0 when empty. *)
+
+  val reset : t -> unit
+end
+
+(** {1 Named registration}
+
+    Idempotent per name; registering one name as two different kinds
+    raises [Invalid_argument]. *)
+
+val counter : string -> Counter.t
+val gauge : string -> Gauge.t
+val histogram : string -> Hist.t
+
+type snapshot = {
+  counters : (string * int) list;
+  gauges : (string * float) list;
+  histograms : (string * Hist.snapshot) list;
+}
+
+val snapshot : unit -> snapshot
+(** All registered metrics, each list sorted by name. *)
+
+val reset : unit -> unit
+(** Zero every registered metric.  For tests; not atomic with respect to
+    concurrent writers. *)

@@ -1,0 +1,119 @@
+(* Span tracing with a lock-free ring-buffer sink and Chrome trace_event
+   export.
+
+   Events are immutable records stored into an array of Atomic slots by
+   a fetch-and-add cursor: recording is two atomic operations and never
+   blocks, wraparound overwrites the oldest events, and a reader racing
+   writers sees each slot as either its old or its new event — never a
+   torn one.  The sink is a diagnostic tool: [events] taken mid-burst is
+   a consistent-enough sample, not a barrier.
+
+   Timestamps are microseconds since process start (module init), which
+   is what Chrome's trace viewer expects for "ts"/"dur".  Load a written
+   file in chrome://tracing or https://ui.perfetto.dev. *)
+
+module Timing = Edb_util.Timing
+module Json = Edb_util.Json
+
+type phase = Span | Instant
+
+type event = {
+  name : string;
+  cat : string;
+  ph : phase;
+  ts_us : float;
+  dur_us : float; (* 0 for instants *)
+  tid : int; (* recording domain's id *)
+  attrs : (string * string) list;
+}
+
+let epoch = Timing.now_s ()
+let now_us () = (Timing.now_s () -. epoch) *. 1e6
+
+let enabled_flag =
+  Atomic.make
+    (match Sys.getenv_opt "EDB_TRACE" with
+    | Some ("1" | "true" | "yes" | "on") -> true
+    | _ -> false)
+
+let enabled () = Atomic.get enabled_flag
+let set_enabled b = Atomic.set enabled_flag b
+
+let dummy =
+  { name = ""; cat = ""; ph = Instant; ts_us = 0.; dur_us = 0.; tid = 0; attrs = [] }
+
+type sink = {
+  capacity : int; (* power of two *)
+  slots : event Atomic.t array;
+  cursor : int Atomic.t; (* total events ever recorded *)
+}
+
+let make_sink capacity =
+  let capacity =
+    let rec up c = if c >= capacity then c else up (c * 2) in
+    up 16
+  in
+  {
+    capacity;
+    slots = Array.init capacity (fun _ -> Atomic.make dummy);
+    cursor = Atomic.make 0;
+  }
+
+let default_capacity = 1 lsl 15
+let sink = Atomic.make (make_sink default_capacity)
+
+let set_capacity n = Atomic.set sink (make_sink n)
+let capacity () = (Atomic.get sink).capacity
+let clear () = set_capacity (capacity ())
+
+let record ev =
+  let s = Atomic.get sink in
+  let i = Atomic.fetch_and_add s.cursor 1 in
+  Atomic.set s.slots.(i land (s.capacity - 1)) ev
+
+let total () = Atomic.get (Atomic.get sink).cursor
+let dropped () = max 0 (total () - capacity ())
+
+(* Oldest-first retained events.  A racing writer may overwrite the
+   oldest retained slots mid-read; each slot read is still atomic. *)
+let events () =
+  let s = Atomic.get sink in
+  let c = Atomic.get s.cursor in
+  let slot i = Atomic.get s.slots.(i land (s.capacity - 1)) in
+  if c <= s.capacity then List.init c slot
+  else List.init s.capacity (fun i -> slot (c + i))
+
+let event_json pid ev =
+  let base =
+    [
+      ("name", Json.Str ev.name);
+      ("cat", Json.Str ev.cat);
+      ( "ph",
+        Json.Str (match ev.ph with Span -> "X" | Instant -> "i") );
+      ("ts", Json.Float ev.ts_us);
+    ]
+  in
+  let phase_fields =
+    match ev.ph with
+    | Span -> [ ("dur", Json.Float ev.dur_us) ]
+    | Instant -> [ ("s", Json.Str "t") ]
+  in
+  let tail =
+    [
+      ("pid", Json.Int pid);
+      ("tid", Json.Int ev.tid);
+      ("args", Json.Obj (List.map (fun (k, v) -> (k, Json.Str v)) ev.attrs));
+    ]
+  in
+  Json.Obj (base @ phase_fields @ tail)
+
+let to_json ?events:evs () =
+  let evs = match evs with Some e -> e | None -> events () in
+  let pid = Unix.getpid () in
+  Json.Obj
+    [
+      ("traceEvents", Json.List (List.map (event_json pid) evs));
+      ("displayTimeUnit", Json.Str "ms");
+    ]
+
+let write_file path = Json.write_file path (to_json ())

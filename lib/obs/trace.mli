@@ -1,0 +1,52 @@
+(** Span tracing: a lock-free ring-buffer sink of immutable events with
+    Chrome [trace_event] JSON export (load in [chrome://tracing] or
+    Perfetto).  Recording is two atomic operations; wraparound
+    overwrites the oldest events. *)
+
+type phase = Span | Instant
+
+type event = {
+  name : string;
+  cat : string;
+  ph : phase;
+  ts_us : float;  (** µs since process start *)
+  dur_us : float;  (** 0 for instants *)
+  tid : int;  (** recording domain's id *)
+  attrs : (string * string) list;
+}
+
+val now_us : unit -> float
+(** Microseconds since process start (the trace timebase). *)
+
+val enabled : unit -> bool
+(** Initialised from [EDB_TRACE] (["1"]/["true"]/["yes"]/["on"]). *)
+
+val set_enabled : bool -> unit
+
+val record : event -> unit
+(** Store unconditionally (callers gate on {!enabled}; {!Obs.with_span}
+    does this for you). *)
+
+val events : unit -> event list
+(** Retained events, oldest first. *)
+
+val total : unit -> int
+(** Events ever recorded (including overwritten ones). *)
+
+val dropped : unit -> int
+(** [max 0 (total - capacity)]: events lost to wraparound. *)
+
+val capacity : unit -> int
+val set_capacity : int -> unit
+(** Replace the sink with an empty one of at least the given capacity
+    (rounded up to a power of two).  Also resets {!total}. *)
+
+val clear : unit -> unit
+(** Empty the sink, keeping its capacity. *)
+
+val to_json : ?events:event list -> unit -> Edb_util.Json.t
+(** Chrome [trace_event] document: [{"traceEvents": [...]}] with
+    complete ("X") events for spans and instant ("i") events. *)
+
+val write_file : string -> unit
+(** Export the retained events to a Chrome trace JSON file. *)

@@ -185,6 +185,26 @@ let stats_lines catalog metrics =
     Printf.sprintf "latency_p99_us %.1f" m.Metrics.p99_us;
     Printf.sprintf "latency_max_us %.1f" m.Metrics.max_us;
   ]
+  (* Global obs registry (engine-level counters/gauges/histograms shared
+     by everything in the process), so STATS and `entropydb stats` read
+     the same source of truth as the trace/bench tooling. *)
+  @ (let r = Edb_obs.Registry.snapshot () in
+     List.map
+       (fun (name, v) -> Printf.sprintf "obs_%s %d" name v)
+       r.Edb_obs.Registry.counters
+     @ List.map
+         (fun (name, v) -> Printf.sprintf "obs_%s %.6g" name v)
+         r.Edb_obs.Registry.gauges
+     @ List.concat_map
+         (fun (name, (h : Edb_obs.Registry.Hist.snapshot)) ->
+           [
+             Printf.sprintf "obs_%s_count %d" name h.count;
+             Printf.sprintf "obs_%s_p50_us %.1f" name
+               (Edb_obs.Registry.Hist.quantile h 0.50);
+             Printf.sprintf "obs_%s_p99_us %.1f" name
+               (Edb_obs.Registry.Hist.quantile h 0.99);
+           ])
+         r.Edb_obs.Registry.histograms)
 
 (* ------------------------------------------------------------------ *)
 (* Dispatch                                                            *)

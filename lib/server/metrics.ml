@@ -1,73 +1,49 @@
-(* Server counters and latency distribution.
+(* Server counters and latency distribution, built on the obs layer's
+   lock-free primitives (Edb_obs.Registry): striped per-domain counters
+   and the shared 70-bucket log-spaced latency histogram (bucket i covers
+   [10^(i/10), 10^((i+1)/10)) microseconds, ~26% resolution over
+   1 µs .. 10 s).  Quantiles are the geometric midpoint of the covering
+   bucket, read off a mergeable snapshot.
 
-   Counters are plain ints under one mutex (contention is negligible next
-   to polynomial evaluation).  Latency is a log-spaced histogram: bucket i
-   covers [10^(i/10), 10^((i+1)/10)) microseconds, i.e. ~26% resolution
-   per bucket over 1 µs .. 10 s in 70 buckets — the same design as
-   Prometheus-style histograms, constant memory, mergeable, and good
-   enough to read p50/p95/p99 off the cumulative counts.  Quantiles are
-   reported as the geometric midpoint of the covering bucket. *)
+   Metrics are per-instance (a process can host several servers, e.g.
+   the loadgen bench), not registry-named — the registry's global
+   counters cover the engine underneath; these cover one server. *)
+
+module R = Edb_obs.Registry
 
 type t = {
-  lock : Mutex.t;
   started_at : float;
-  mutable requests : int;
-  mutable errors : int;
-  mutable timeouts : int;
-  mutable rejects : int;
-  mutable connections : int;
-  buckets : int array;
-  mutable observations : int;
-  mutable max_us : float;
+  requests : R.Counter.t;
+  errors : R.Counter.t;
+  timeouts : R.Counter.t;
+  rejects : R.Counter.t;
+  connections : R.Counter.t;
+  latency : R.Hist.t;
 }
-
-let num_buckets = 70 (* 10^(70/10) µs = 10 s *)
 
 let create () =
   {
-    lock = Mutex.create ();
     started_at = Unix.gettimeofday ();
-    requests = 0;
-    errors = 0;
-    timeouts = 0;
-    rejects = 0;
-    connections = 0;
-    buckets = Array.make num_buckets 0;
-    observations = 0;
-    max_us = 0.;
+    requests = R.Counter.create ();
+    errors = R.Counter.create ();
+    timeouts = R.Counter.create ();
+    rejects = R.Counter.create ();
+    connections = R.Counter.create ();
+    latency = R.Hist.create ();
   }
-
-let with_lock t f =
-  Mutex.lock t.lock;
-  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
 
 type counter = Requests | Errors | Timeouts | Rejects | Connections
 
 let incr t c =
-  with_lock t (fun () ->
-      match c with
-      | Requests -> t.requests <- t.requests + 1
-      | Errors -> t.errors <- t.errors + 1
-      | Timeouts -> t.timeouts <- t.timeouts + 1
-      | Rejects -> t.rejects <- t.rejects + 1
-      | Connections -> t.connections <- t.connections + 1)
+  R.Counter.incr
+    (match c with
+    | Requests -> t.requests
+    | Errors -> t.errors
+    | Timeouts -> t.timeouts
+    | Rejects -> t.rejects
+    | Connections -> t.connections)
 
-let bucket_of_us us =
-  if us <= 1. then 0
-  else
-    let i = int_of_float (10. *. log10 us) in
-    if i < 0 then 0 else if i >= num_buckets then num_buckets - 1 else i
-
-(* Geometric midpoint of bucket i's bounds 10^(i/10) .. 10^((i+1)/10). *)
-let bucket_mid_us i = 10. ** ((float_of_int i +. 0.5) /. 10.)
-
-let observe t seconds =
-  let us = seconds *. 1e6 in
-  with_lock t (fun () ->
-      let i = bucket_of_us us in
-      t.buckets.(i) <- t.buckets.(i) + 1;
-      t.observations <- t.observations + 1;
-      if us > t.max_us then t.max_us <- us)
+let observe t seconds = R.Hist.observe t.latency seconds
 
 type snapshot = {
   uptime_s : float;
@@ -83,38 +59,18 @@ type snapshot = {
   max_us : float;
 }
 
-(* Caller holds the lock. *)
-let quantile (t : t) q =
-  if t.observations = 0 then 0.
-  else begin
-    let rank = int_of_float (ceil (q *. float_of_int t.observations)) in
-    let rank = max 1 (min t.observations rank) in
-    let cum = ref 0 and answer = ref (bucket_mid_us (num_buckets - 1)) in
-    (try
-       Array.iteri
-         (fun i n ->
-           cum := !cum + n;
-           if !cum >= rank then begin
-             answer := bucket_mid_us i;
-             raise Exit
-           end)
-         t.buckets
-     with Exit -> ());
-    min !answer t.max_us
-  end
-
 let snapshot t =
-  with_lock t (fun () ->
-      {
-        uptime_s = Unix.gettimeofday () -. t.started_at;
-        requests = t.requests;
-        errors = t.errors;
-        timeouts = t.timeouts;
-        rejects = t.rejects;
-        connections = t.connections;
-        observations = t.observations;
-        p50_us = quantile t 0.50;
-        p95_us = quantile t 0.95;
-        p99_us = quantile t 0.99;
-        max_us = t.max_us;
-      })
+  let h = R.Hist.snapshot t.latency in
+  {
+    uptime_s = Unix.gettimeofday () -. t.started_at;
+    requests = R.Counter.value t.requests;
+    errors = R.Counter.value t.errors;
+    timeouts = R.Counter.value t.timeouts;
+    rejects = R.Counter.value t.rejects;
+    connections = R.Counter.value t.connections;
+    observations = h.R.Hist.count;
+    p50_us = R.Hist.quantile h 0.50;
+    p95_us = R.Hist.quantile h 0.95;
+    p99_us = R.Hist.quantile h 0.99;
+    max_us = h.R.Hist.max_us;
+  }

@@ -1,6 +1,7 @@
-(** Mutex-guarded server counters and a log-bucketed latency histogram
-    (1 µs – 10 s, ~26% bucket resolution) with p50/p95/p99 readouts.
-    Everything is safe to call from any thread. *)
+(** Server counters and a log-bucketed latency histogram (1 µs – 10 s,
+    ~26% bucket resolution) with p50/p95/p99 readouts, built on the obs
+    layer's lock-free striped primitives ({!Edb_obs.Registry}).
+    Everything is safe to call from any thread or domain. *)
 
 type t
 

@@ -33,6 +33,16 @@ type request =
 
 type response = Ok of string list | Err of { code : string; message : string }
 
+let request_tag = function
+  | Hello _ -> "hello"
+  | Query _ -> "query"
+  | Explain _ -> "explain"
+  | List -> "list"
+  | Load _ -> "load"
+  | Stats -> "stats"
+  | Ping -> "ping"
+  | Quit -> "quit"
+
 (* Error codes the server emits; clients may switch on these. *)
 let err_busy = "busy"
 let err_parse = "parse"

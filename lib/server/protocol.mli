@@ -20,6 +20,9 @@ type request =
 
 type response = Ok of string list | Err of { code : string; message : string }
 
+val request_tag : request -> string
+(** Lowercase constructor name, for metrics/trace labels. *)
+
 (** {2 Error codes} *)
 
 val err_busy : string

@@ -173,7 +173,10 @@ let handle_request t line =
   | Ok request ->
       let t0 = Unix.gettimeofday () in
       let response, outcome =
-        Handler.handle ~catalog:t.catalog ~metrics:t.metrics request
+        Edb_obs.Obs.with_span "server.request" ~cat:"serve"
+          ~attrs:(fun () -> [ ("request", Protocol.request_tag request) ])
+          (fun () ->
+            Handler.handle ~catalog:t.catalog ~metrics:t.metrics request)
       in
       let dt = Unix.gettimeofday () -. t0 in
       Metrics.observe t.metrics dt;

@@ -41,10 +41,23 @@ let cardinality t =
 let cardinalities t = Array.to_list (Array.map Summary.cardinality t.shards)
 let solver_reports t = Array.to_list (Array.map Summary.solver_report t.shards)
 
+(* One registry counter and (when tracing) one span per per-shard
+   evaluation, so the fan-out's cost is attributable shard by shard. *)
+let shard_evals_c = Edb_obs.Registry.counter "shard.evals"
+
+let eval_shard i f =
+  Edb_obs.Registry.Counter.incr shard_evals_c;
+  Edb_obs.Obs.with_span "shard.eval" ~cat:"answer"
+    ~attrs:(fun () -> [ ("shard", string_of_int i) ])
+    f
+
 (* Left-to-right sum over shards; starting from 0. keeps k = 1 bitwise
    equal to the flat answer (0. +. x = x for the non-negative estimates
    involved here). *)
-let sum_over t f = Array.fold_left (fun acc s -> acc +. f s) 0. t.shards
+let sum_over t f =
+  let acc = ref 0. in
+  Array.iteri (fun i s -> acc := !acc +. eval_shard i (fun () -> f s)) t.shards;
+  !acc
 
 let estimate t query = sum_over t (fun s -> Summary.estimate s query)
 
@@ -86,7 +99,8 @@ let stddev_disjuncts t disjuncts = sqrt (variance_disjuncts t disjuncts)
 let estimate_groups_with_variance t ~attrs query =
   let k = Array.length t.shards in
   let eval i =
-    Summary.estimate_groups_with_variance t.shards.(i) ~attrs query
+    eval_shard i (fun () ->
+        Summary.estimate_groups_with_variance t.shards.(i) ~attrs query)
   in
   if k = 1 then eval 0
   else

@@ -1,9 +1,11 @@
-(* Minimal JSON emitter for machine-readable benchmark artifacts.
+(* Minimal JSON for machine-readable artifacts.
 
    The bench harness writes one BENCH_<name>.json per experiment so the
    perf trajectory (timings, shard counts, relative errors) is diffable
-   across commits.  Emission only — nothing in the engine consumes JSON —
-   so there is no parser and no external dependency. *)
+   across commits, and the obs layer exports Chrome trace_event files.
+   The parser exists so tests can check those artifacts are well-formed
+   JSON by parsing them back; nothing in the engine's hot paths consumes
+   JSON. *)
 
 type t =
   | Null
@@ -76,3 +78,217 @@ let write_file path v =
     (fun () ->
       output_string oc (to_string v);
       output_char oc '\n')
+
+(* Recursive-descent parser.  Strict JSON (RFC 8259): no trailing
+   commas, no comments, one value per document. *)
+
+exception Parse of string
+
+let of_string s =
+  let len = String.length s in
+  let pos = ref 0 in
+  let fail msg = raise (Parse (Printf.sprintf "%s at offset %d" msg !pos)) in
+  let peek () = if !pos < len then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let skip_ws () =
+    while
+      !pos < len
+      && match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false
+    do
+      advance ()
+    done
+  in
+  let expect c =
+    match peek () with
+    | Some c' when c' = c -> advance ()
+    | _ -> fail (Printf.sprintf "expected '%c'" c)
+  in
+  let literal word v =
+    if
+      !pos + String.length word <= len
+      && String.sub s !pos (String.length word) = word
+    then (
+      pos := !pos + String.length word;
+      v)
+    else fail (Printf.sprintf "expected '%s'" word)
+  in
+  let hex4 () =
+    if !pos + 4 > len then fail "truncated \\u escape";
+    let v = int_of_string ("0x" ^ String.sub s !pos 4) in
+    pos := !pos + 4;
+    v
+  in
+  let add_utf8 buf cp =
+    (* Encode a Unicode scalar value as UTF-8 bytes. *)
+    if cp < 0x80 then Buffer.add_char buf (Char.chr cp)
+    else if cp < 0x800 then (
+      Buffer.add_char buf (Char.chr (0xC0 lor (cp lsr 6)));
+      Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3F))))
+    else if cp < 0x10000 then (
+      Buffer.add_char buf (Char.chr (0xE0 lor (cp lsr 12)));
+      Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 6) land 0x3F)));
+      Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3F))))
+    else (
+      Buffer.add_char buf (Char.chr (0xF0 lor (cp lsr 18)));
+      Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 12) land 0x3F)));
+      Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 6) land 0x3F)));
+      Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3F))))
+  in
+  let parse_string () =
+    expect '"';
+    let buf = Buffer.create 16 in
+    let rec loop () =
+      if !pos >= len then fail "unterminated string";
+      let c = s.[!pos] in
+      advance ();
+      match c with
+      | '"' -> Buffer.contents buf
+      | '\\' -> (
+          if !pos >= len then fail "unterminated escape";
+          let e = s.[!pos] in
+          advance ();
+          match e with
+          | '"' | '\\' | '/' ->
+              Buffer.add_char buf e;
+              loop ()
+          | 'b' ->
+              Buffer.add_char buf '\b';
+              loop ()
+          | 'f' ->
+              Buffer.add_char buf '\012';
+              loop ()
+          | 'n' ->
+              Buffer.add_char buf '\n';
+              loop ()
+          | 'r' ->
+              Buffer.add_char buf '\r';
+              loop ()
+          | 't' ->
+              Buffer.add_char buf '\t';
+              loop ()
+          | 'u' ->
+              let cp = hex4 () in
+              let cp =
+                (* Surrogate pair: \uD800-\uDBFF must pair with a low
+                   surrogate escape. *)
+                if cp >= 0xD800 && cp <= 0xDBFF then (
+                  if
+                    !pos + 1 < len && s.[!pos] = '\\' && s.[!pos + 1] = 'u'
+                  then (
+                    pos := !pos + 2;
+                    let lo = hex4 () in
+                    if lo < 0xDC00 || lo > 0xDFFF then
+                      fail "invalid low surrogate";
+                    0x10000 + ((cp - 0xD800) lsl 10) + (lo - 0xDC00))
+                  else fail "lone high surrogate")
+                else if cp >= 0xDC00 && cp <= 0xDFFF then
+                  fail "lone low surrogate"
+                else cp
+              in
+              add_utf8 buf cp;
+              loop ()
+          | _ -> fail "invalid escape")
+      | c when Char.code c < 0x20 -> fail "control character in string"
+      | c ->
+          Buffer.add_char buf c;
+          loop ()
+    in
+    loop ()
+  in
+  let parse_number () =
+    let start = !pos in
+    if peek () = Some '-' then advance ();
+    let digits () =
+      let d0 = !pos in
+      while !pos < len && match s.[!pos] with '0' .. '9' -> true | _ -> false do
+        advance ()
+      done;
+      if !pos = d0 then fail "expected digit"
+    in
+    digits ();
+    let is_float = ref false in
+    if peek () = Some '.' then (
+      is_float := true;
+      advance ();
+      digits ());
+    (match peek () with
+    | Some ('e' | 'E') ->
+        is_float := true;
+        advance ();
+        (match peek () with Some ('+' | '-') -> advance () | _ -> ());
+        digits ()
+    | _ -> ());
+    let lexeme = String.sub s start (!pos - start) in
+    if !is_float then Float (float_of_string lexeme)
+    else
+      match int_of_string_opt lexeme with
+      | Some i -> Int i
+      | None -> Float (float_of_string lexeme)
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | None -> fail "unexpected end of input"
+    | Some 'n' -> literal "null" Null
+    | Some 't' -> literal "true" (Bool true)
+    | Some 'f' -> literal "false" (Bool false)
+    | Some '"' -> Str (parse_string ())
+    | Some '[' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some ']' then (
+          advance ();
+          List [])
+        else
+          let rec items acc =
+            let v = parse_value () in
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+                advance ();
+                items (v :: acc)
+            | Some ']' ->
+                advance ();
+                List (List.rev (v :: acc))
+            | _ -> fail "expected ',' or ']'"
+          in
+          items []
+    | Some '{' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some '}' then (
+          advance ();
+          Obj [])
+        else
+          let field () =
+            skip_ws ();
+            let k = parse_string () in
+            skip_ws ();
+            expect ':';
+            let v = parse_value () in
+            (k, v)
+          in
+          let rec fields acc =
+            let kv = field () in
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+                advance ();
+                fields (kv :: acc)
+            | Some '}' ->
+                advance ();
+                Obj (List.rev (kv :: acc))
+            | _ -> fail "expected ',' or '}'"
+          in
+          fields []
+    | Some ('-' | '0' .. '9') -> parse_number ()
+    | Some c -> fail (Printf.sprintf "unexpected character '%c'" c)
+  in
+  match
+    let v = parse_value () in
+    skip_ws ();
+    if !pos <> len then fail "trailing garbage";
+    v
+  with
+  | v -> Ok v
+  | exception Parse msg -> Error msg

@@ -1,5 +1,7 @@
-(** Minimal JSON emission for machine-readable benchmark artifacts
-    ([BENCH_<name>.json]).  Emission only; no parser. *)
+(** Minimal JSON for machine-readable artifacts ([BENCH_<name>.json],
+    Chrome trace exports).  Emission plus a strict parser used by tests
+    to check artifacts parse back; the engine's hot paths never touch
+    JSON. *)
 
 type t =
   | Null
@@ -15,3 +17,8 @@ val to_string : t -> string
 
 val write_file : string -> t -> unit
 (** [write_file path v] writes [to_string v] plus a trailing newline. *)
+
+val of_string : string -> (t, string) result
+(** Strict RFC 8259 parser.  Numbers without ['.'/'e'] parse as [Int]
+    when they fit, [Float] otherwise; [\u] escapes decode to UTF-8.
+    [Error msg] carries the byte offset of the failure. *)

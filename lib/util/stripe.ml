@@ -1,0 +1,46 @@
+(* Lock-free striped accumulators for cross-domain metrics.
+
+   A stripe set is a small fixed array of [Atomic] cells; each writer
+   picks the cell indexed by its domain id, so concurrent updates from
+   distinct domains usually touch distinct cells and never lose an
+   update ([Atomic.fetch_and_add] / CAS retry make each cell linearizable
+   even when domain ids collide modulo the stripe count).  Reads sum the
+   cells — a read racing writers sees some linearization of them, which
+   is all a monitoring total needs.
+
+   Cells are separate heap blocks, so adjacent stripes may share a cache
+   line; that costs throughput under contention, never correctness. *)
+
+let stripes = 16 (* power of two, comfortably above typical domain counts *)
+let index () = (Domain.self () :> int) land (stripes - 1)
+
+type counter = int Atomic.t array
+
+let counter () = Array.init stripes (fun _ -> Atomic.make 0)
+let add c n = ignore (Atomic.fetch_and_add c.(index ()) n)
+let incr c = add c 1
+let total c = Array.fold_left (fun acc cell -> acc + Atomic.get cell) 0 c
+let reset c = Array.iter (fun cell -> Atomic.set cell 0) c
+
+type fsum = float Atomic.t array
+
+let fsum () = Array.init stripes (fun _ -> Atomic.make 0.)
+
+let rec cas_add cell x =
+  let v = Atomic.get cell in
+  if not (Atomic.compare_and_set cell v (v +. x)) then cas_add cell x
+
+let fadd s x = cas_add s.(index ()) x
+let ftotal s = Array.fold_left (fun acc cell -> acc +. Atomic.get cell) 0. s
+let freset s = Array.iter (fun cell -> Atomic.set cell 0.) s
+
+type fmax = float Atomic.t
+
+let fmax () = Atomic.make neg_infinity
+
+let rec fmax_update m x =
+  let v = Atomic.get m in
+  if x > v && not (Atomic.compare_and_set m v x) then fmax_update m x
+
+let fmax_value m = Atomic.get m
+let fmax_reset m = Atomic.set m neg_infinity

@@ -1,0 +1,50 @@
+(** Lock-free striped accumulators: the primitive under the metrics
+    registry and the domain-safe {!Timing} stopwatches.
+
+    Writers update the [Atomic] cell indexed by their domain id; readers
+    sum all cells.  No update is ever lost or torn, regardless of how
+    many domains write concurrently; a read concurrent with writers
+    returns some valid linearization. *)
+
+val stripes : int
+(** Number of cells per accumulator (a power of two). *)
+
+val index : unit -> int
+(** Stripe index for the calling domain. *)
+
+(** {1 Integer counters} *)
+
+type counter
+
+val counter : unit -> counter
+val incr : counter -> unit
+val add : counter -> int -> unit
+val total : counter -> int
+
+val reset : counter -> unit
+(** Not atomic with respect to concurrent writers; callers quiesce first
+    (tests, process shutdown). *)
+
+(** {1 Float sums} *)
+
+type fsum
+
+val fsum : unit -> fsum
+val fadd : fsum -> float -> unit
+
+val ftotal : fsum -> float
+(** Sum of all cells.  Addition order across stripes is fixed
+    (left-to-right), so single-domain use is exactly deterministic. *)
+
+val freset : fsum -> unit
+
+(** {1 Float maxima} *)
+
+type fmax
+
+val fmax : unit -> fmax
+(** Starts at [neg_infinity]. *)
+
+val fmax_update : fmax -> float -> unit
+val fmax_value : fmax -> float
+val fmax_reset : fmax -> unit

@@ -1,4 +1,10 @@
-(* Wall-clock timing for the experiment harness. *)
+(* Wall-clock timing for the experiment harness.
+
+   Stopwatches are domain-safe: the in-flight start timestamp lives in
+   domain-local storage (each domain times its own section), and
+   completed intervals accumulate into a striped lock-free sum
+   ({!Stripe.fsum}), so Parallel workers can share one stopwatch without
+   losing or tearing samples. *)
 
 let now_s () = Unix.gettimeofday ()
 
@@ -7,17 +13,31 @@ let time f =
   let result = f () in
   (result, now_s () -. t0)
 
-type stopwatch = { mutable started : float; mutable accumulated : float }
+type stopwatch = {
+  running : float Domain.DLS.key; (* this domain's start time; nan = idle *)
+  acc : Stripe.fsum;
+  count : Stripe.counter;
+}
 
-let stopwatch () = { started = nan; accumulated = 0. }
+let stopwatch () =
+  {
+    running = Domain.DLS.new_key (fun () -> nan);
+    acc = Stripe.fsum ();
+    count = Stripe.counter ();
+  }
 
-let start sw = sw.started <- now_s ()
+let start sw = Domain.DLS.set sw.running (now_s ())
 
 let stop sw =
-  if Float.is_nan sw.started then invalid_arg "Timing.stop: not started";
-  sw.accumulated <- sw.accumulated +. (now_s () -. sw.started);
-  sw.started <- nan
+  let t0 = Domain.DLS.get sw.running in
+  if Float.is_nan t0 then invalid_arg "Timing.stop: not started";
+  Domain.DLS.set sw.running nan;
+  Stripe.fadd sw.acc (now_s () -. t0);
+  Stripe.incr sw.count
 
 let elapsed sw =
-  if Float.is_nan sw.started then sw.accumulated
-  else sw.accumulated +. (now_s () -. sw.started)
+  let base = Stripe.ftotal sw.acc in
+  let t0 = Domain.DLS.get sw.running in
+  if Float.is_nan t0 then base else base +. (now_s () -. t0)
+
+let samples sw = Stripe.total sw.count

@@ -1,4 +1,8 @@
-(** Wall-clock timing used by the experiment harness (Fig. 7 runtimes). *)
+(** Wall-clock timing used by the experiment harness (Fig. 7 runtimes).
+
+    Stopwatches are domain-safe: any number of domains may [start]/[stop]
+    the same stopwatch concurrently; each domain times its own section
+    and no interval is lost or torn. *)
 
 val now_s : unit -> float
 (** Seconds since the epoch, sub-millisecond resolution. *)
@@ -12,8 +16,13 @@ val stopwatch : unit -> stopwatch
 val start : stopwatch -> unit
 
 val stop : stopwatch -> unit
-(** Accumulates the time since the matching [start].  Raises if not
-    running. *)
+(** Accumulates the time since the calling domain's matching [start].
+    Raises if this domain has no start in flight. *)
 
 val elapsed : stopwatch -> float
-(** Total accumulated seconds (including the currently running interval). *)
+(** Total accumulated seconds across all domains, plus the calling
+    domain's currently running interval (other domains' in-flight
+    intervals are counted once they [stop]). *)
+
+val samples : stopwatch -> int
+(** Number of completed [start]/[stop] intervals across all domains. *)

@@ -416,6 +416,77 @@ let test_dual_monotone () =
   in
   check report.dual_trace
 
+(* Convergence regression over the [on_sweep] telemetry stream: fixed
+   seed and config, so the sweep count to 1e-6 is deterministic and
+   pinned.  Catches both solver regressions (more sweeps to tolerance)
+   and telemetry regressions (missing/duplicated/disordered sweep
+   stats). *)
+let test_convergence_telemetry () =
+  let case = random_case 100 in
+  let phi = Phi.of_relation case.rel ~joints:case.joints in
+  let poly = Poly.create phi in
+  let config =
+    { Solver.default_config with max_sweeps = 300; tolerance = 1e-6; log_every = 0 }
+  in
+  let stats = ref [] in
+  let report =
+    Solver.solve ~config ~on_sweep:(fun st -> stats := st :: !stats) poly
+  in
+  let stats = List.rev !stats in
+  if not report.converged then
+    Alcotest.failf "%s: did not converge (err %.3g)" case.descr
+      report.max_rel_error;
+  (* One stat per sweep, numbered 1..sweeps in order. *)
+  Alcotest.(check int) "one stat per sweep" report.sweeps (List.length stats);
+  List.iteri
+    (fun i st -> Alcotest.(check int) "sweep numbering" (i + 1) st.Solver.sweep)
+    stats;
+  (* The telemetry dual is the same series the report's trace records. *)
+  Alcotest.(check (list (float 0.)))
+    "dual matches dual_trace" report.dual_trace
+    (List.map (fun st -> st.Solver.dual) stats);
+  (* Ψ is concave and each coordinate step is an exact maximization, so
+     the dual is non-decreasing up to floating-point noise. *)
+  let rec mono = function
+    | a :: (b :: _ as rest) ->
+        if b.Solver.dual < a.Solver.dual -. 1e-6 *. (1. +. Float.abs a.Solver.dual)
+        then
+          Alcotest.failf "dual decreased at sweep %d: %.9g -> %.9g"
+            b.Solver.sweep a.Solver.dual b.Solver.dual;
+        mono rest
+    | _ -> ()
+  in
+  mono stats;
+  List.iter
+    (fun st ->
+      Alcotest.(check bool) "max_step >= 0" true (st.Solver.max_step >= 0.);
+      Alcotest.(check bool) "rel error >= 0" true
+        (st.Solver.sweep_max_rel_error >= 0.))
+    stats;
+  (* elapsed_s is wall time since the solve began: non-decreasing. *)
+  let rec elapsed_mono = function
+    | a :: (b :: _ as rest) ->
+        if b.Solver.elapsed_s < a.Solver.elapsed_s then
+          Alcotest.fail "elapsed_s decreased between sweeps";
+        elapsed_mono rest
+    | _ -> ()
+  in
+  elapsed_mono stats;
+  (* Per-sweep elapsed time is measured inside the solve the report's
+     end-to-end seconds wrap around, so the last sweep's clock can never
+     exceed the report's. *)
+  (match List.rev stats with
+  | last :: _ ->
+      Alcotest.(check bool) "sweep elapsed within report.seconds" true
+        (last.Solver.elapsed_s <= report.seconds +. 1e-3)
+  | [] -> ());
+  (* Pinned iterations-to-tolerance bound for this fixed case: the seed,
+     schema, and config are frozen, so a jump in sweep count is a solver
+     regression, not noise.  (Currently converges well under this.) *)
+  if report.sweeps > 60 then
+    Alcotest.failf "%s: took %d sweeps to reach 1e-6 (pinned bound 60)"
+      case.descr report.sweeps
+
 (* Query answering consistency: after solving, the estimate of a statistic's
    own predicate equals its target (the query path and the expectation path
    must agree). *)
@@ -1639,6 +1710,8 @@ let () =
           Alcotest.test_case "initialization ablation" `Quick
             test_init_ablation;
           Alcotest.test_case "dual is monotone" `Quick test_dual_monotone;
+          Alcotest.test_case "convergence telemetry (pinned)" `Quick
+            test_convergence_telemetry;
           Alcotest.test_case "estimates match statistics" `Quick
             test_estimate_matches_statistics;
           Alcotest.test_case "1D-only = product of marginals" `Quick

@@ -1,0 +1,491 @@
+(* Tests for the observability layer: histogram bucket algebra, the
+   merge laws the registry's read path depends on, ring-buffer trace
+   semantics (wraparound, ordering, drop accounting), Chrome trace JSON
+   well-formedness (parsed back with the strict Util.Json parser), and
+   the disabled-mode overhead contract of [Obs.with_span].
+
+   Merge-law tests use integer-valued µs samples so float sums are exact
+   and equality checks need no tolerance. *)
+
+open Edb_obs
+module Json = Edb_util.Json
+
+let prop ?(count = 500) name arb f =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name arb f)
+
+(* Run [f] with tracing forced on and a clean sink of [capacity] slots,
+   restoring the previous enabled flag afterwards.  Tests share one
+   process-global sink, so every trace test goes through here. *)
+let with_trace ?(capacity = 1 lsl 10) f =
+  let was = Trace.enabled () in
+  Trace.set_enabled true;
+  Trace.set_capacity capacity;
+  Fun.protect
+    ~finally:(fun () ->
+      Trace.set_enabled was;
+      Trace.clear ())
+    f
+
+(* ------------------------------------------------------------------ *)
+(* Histogram buckets                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let us_arb =
+  (* Latencies spanning the whole bucket range: sub-µs to beyond 10 s. *)
+  QCheck.make
+    ~print:(Printf.sprintf "%g")
+    QCheck.Gen.(
+      oneof
+        [
+          float_bound_inclusive 2.;
+          float_bound_inclusive 1e4;
+          float_bound_inclusive 2e7;
+        ])
+
+let test_bucket_props =
+  [
+    prop "bucket_of_us in range" us_arb (fun us ->
+        let b = Registry.Hist.bucket_of_us us in
+        0 <= b && b < Registry.Hist.num_buckets);
+    prop "bucket_of_us monotone" QCheck.(pair us_arb us_arb) (fun (a, b) ->
+        let lo = Float.min a b and hi = Float.max a b in
+        Registry.Hist.bucket_of_us lo <= Registry.Hist.bucket_of_us hi);
+    prop "bucket_mid_us inside own bucket"
+      QCheck.(int_bound (Registry.Hist.num_buckets - 1))
+      (fun i ->
+        (* The midpoint of bucket i maps back to bucket i — buckets tile
+           the latency axis without gaps or overlaps. *)
+        Registry.Hist.bucket_of_us (Registry.Hist.bucket_mid_us i) = i);
+    prop "bucket_mid_us strictly increasing"
+      QCheck.(int_bound (Registry.Hist.num_buckets - 2))
+      (fun i ->
+        Registry.Hist.bucket_mid_us i < Registry.Hist.bucket_mid_us (i + 1));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Merge laws                                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* Integer-valued µs samples: float addition on them is exact, so the
+   merge laws hold with plain structural equality. *)
+let samples_arb =
+  QCheck.(list_of_size Gen.(int_bound 40) (int_bound 20_000_000))
+
+let hist_of_samples samples =
+  let h = Registry.Hist.create () in
+  List.iter (fun us -> Registry.Hist.observe_us h (float_of_int us)) samples;
+  Registry.Hist.snapshot h
+
+let test_merge_props =
+  [
+    prop "merge identity" samples_arb (fun s ->
+        let a = hist_of_samples s in
+        Registry.Hist.merge a Registry.Hist.empty = a
+        && Registry.Hist.merge Registry.Hist.empty a = a);
+    prop "merge commutative" QCheck.(pair samples_arb samples_arb)
+      (fun (sa, sb) ->
+        let a = hist_of_samples sa and b = hist_of_samples sb in
+        Registry.Hist.merge a b = Registry.Hist.merge b a);
+    prop "merge associative"
+      QCheck.(triple samples_arb samples_arb samples_arb)
+      (fun (sa, sb, sc) ->
+        let a = hist_of_samples sa
+        and b = hist_of_samples sb
+        and c = hist_of_samples sc in
+        Registry.Hist.merge (Registry.Hist.merge a b) c
+        = Registry.Hist.merge a (Registry.Hist.merge b c));
+    prop "split-observe-merge = single histogram"
+      QCheck.(pair samples_arb samples_arb)
+      (fun (sa, sb) ->
+        (* Observing a stream split across two histograms and merging
+           equals observing it all into one — the law that makes totals
+           independent of how many domains or shards contributed. *)
+        Registry.Hist.merge (hist_of_samples sa) (hist_of_samples sb)
+        = hist_of_samples (sa @ sb));
+    prop "count and sum conserved" samples_arb (fun s ->
+        let snap = hist_of_samples s in
+        snap.Registry.Hist.count = List.length s
+        && snap.Registry.Hist.sum_us
+           = List.fold_left (fun acc v -> acc +. float_of_int v) 0. s);
+  ]
+
+let test_quantile_bounds () =
+  let h = Registry.Hist.create () in
+  Alcotest.(check (float 0.)) "empty quantile" 0.
+    (Registry.Hist.quantile (Registry.Hist.snapshot h) 0.5);
+  List.iter
+    (fun us -> Registry.Hist.observe_us h us)
+    [ 10.; 100.; 1000.; 10_000. ];
+  let snap = Registry.Hist.snapshot h in
+  let q50 = Registry.Hist.quantile snap 0.50 in
+  let q99 = Registry.Hist.quantile snap 0.99 in
+  Alcotest.(check bool) "quantiles ordered" true (q50 <= q99);
+  Alcotest.(check bool) "clamped to observed max" true
+    (q99 <= snap.Registry.Hist.max_us);
+  Alcotest.(check (float 1e-9)) "max observed" 10_000.
+    snap.Registry.Hist.max_us
+
+(* ------------------------------------------------------------------ *)
+(* Multi-domain exactness                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_counter_multi_domain () =
+  let c = Registry.Counter.create () in
+  let domains = 4 and iters = 25_000 in
+  let workers =
+    List.init domains (fun _ ->
+        Domain.spawn (fun () ->
+            for _ = 1 to iters do
+              Registry.Counter.incr c
+            done))
+  in
+  List.iter Domain.join workers;
+  Alcotest.(check int) "no lost increments" (domains * iters)
+    (Registry.Counter.value c)
+
+let test_hist_multi_domain () =
+  (* 4 domains each observe the same integer-valued stream; the merged
+     result must equal one domain's stream observed 4 times — same
+     buckets, exact count and sum. *)
+  let h = Registry.Hist.create () in
+  let domains = 4 and iters = 5_000 in
+  let workers =
+    List.init domains (fun _ ->
+        Domain.spawn (fun () ->
+            for i = 1 to iters do
+              Registry.Hist.observe_us h (float_of_int (i * 7))
+            done))
+  in
+  List.iter Domain.join workers;
+  let snap = Registry.Hist.snapshot h in
+  let expected = Registry.Hist.create () in
+  for _ = 1 to domains do
+    for i = 1 to iters do
+      Registry.Hist.observe_us expected (float_of_int (i * 7))
+    done
+  done;
+  let want = Registry.Hist.snapshot expected in
+  Alcotest.(check int) "count exact" want.Registry.Hist.count
+    snap.Registry.Hist.count;
+  Alcotest.(check (float 0.)) "sum exact" want.Registry.Hist.sum_us
+    snap.Registry.Hist.sum_us;
+  Alcotest.(check bool) "buckets equal" true
+    (snap.Registry.Hist.buckets = want.Registry.Hist.buckets);
+  Alcotest.(check (float 0.)) "max equal" want.Registry.Hist.max_us
+    snap.Registry.Hist.max_us
+
+(* ------------------------------------------------------------------ *)
+(* Named registration                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_registry_naming () =
+  let c1 = Registry.counter "test_obs.naming" in
+  let c2 = Registry.counter "test_obs.naming" in
+  Registry.Counter.incr c1;
+  Registry.Counter.incr c2;
+  (* Same name → same handle. *)
+  Alcotest.(check int) "idempotent registration" 2
+    (Registry.Counter.value c1);
+  (try
+     ignore (Registry.gauge "test_obs.naming");
+     Alcotest.fail "kind mismatch not rejected"
+   with Invalid_argument _ -> ());
+  let snap = Registry.snapshot () in
+  Alcotest.(check bool) "appears in snapshot" true
+    (List.mem_assoc "test_obs.naming" snap.Registry.counters);
+  let names = List.map fst snap.Registry.counters in
+  Alcotest.(check bool) "snapshot sorted by name" true
+    (names = List.sort compare names)
+
+(* ------------------------------------------------------------------ *)
+(* Trace ring buffer                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let instant_n name n =
+  for i = 1 to n do
+    Obs.instant ~cat:"test" ~attrs:(fun () -> [ ("i", string_of_int i) ]) name
+  done
+
+let test_ring_wraparound () =
+  with_trace ~capacity:16 @@ fun () ->
+  Alcotest.(check int) "capacity rounded" 16 (Trace.capacity ());
+  instant_n "wrap" (16 + 5);
+  let evs = Trace.events () in
+  Alcotest.(check int) "retains capacity events" 16 (List.length evs);
+  Alcotest.(check int) "total counts all" 21 (Trace.total ());
+  Alcotest.(check int) "dropped = overflow" 5 (Trace.dropped ());
+  (* Oldest-first: the 5 oldest events were overwritten, so the sink
+     holds attrs i = 6..21 in recording order. *)
+  let seqs =
+    List.map (fun (e : Trace.event) -> List.assoc "i" e.Trace.attrs) evs
+  in
+  Alcotest.(check (list string)) "oldest first, oldest dropped"
+    (List.init 16 (fun k -> string_of_int (k + 6)))
+    seqs;
+  Trace.clear ();
+  Alcotest.(check int) "clear empties" 0 (List.length (Trace.events ()))
+
+let test_ring_no_drop_under_capacity () =
+  with_trace ~capacity:64 @@ fun () ->
+  instant_n "fill" 40;
+  Alcotest.(check int) "all retained" 40 (List.length (Trace.events ()));
+  Alcotest.(check int) "nothing dropped" 0 (Trace.dropped ());
+  let ts = List.map (fun (e : Trace.event) -> e.Trace.ts_us) (Trace.events ()) in
+  Alcotest.(check bool) "timestamps non-decreasing" true
+    (List.for_all2 ( <= ) ts (List.tl ts @ [ infinity ]))
+
+(* ------------------------------------------------------------------ *)
+(* with_span semantics                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_with_span_records () =
+  with_trace @@ fun () ->
+  let forced = ref false in
+  let result =
+    Obs.with_span ~cat:"test"
+      ~attrs:(fun () ->
+        forced := true;
+        [ ("k", "v") ])
+      "span-a"
+      (fun () -> 41 + 1)
+  in
+  Alcotest.(check int) "returns f's result" 42 result;
+  Alcotest.(check bool) "attrs forced when enabled" true !forced;
+  match Trace.events () with
+  | [ e ] ->
+      Alcotest.(check string) "name" "span-a" e.Trace.name;
+      Alcotest.(check string) "cat" "test" e.Trace.cat;
+      Alcotest.(check bool) "is span" true (e.Trace.ph = Trace.Span);
+      Alcotest.(check bool) "duration >= 0" true (e.Trace.dur_us >= 0.);
+      Alcotest.(check (list (pair string string))) "attrs" [ ("k", "v") ]
+        e.Trace.attrs
+  | evs -> Alcotest.failf "expected 1 event, got %d" (List.length evs)
+
+let test_with_span_exception () =
+  with_trace @@ fun () ->
+  (try
+     Obs.with_span ~cat:"test" "span-raise" (fun () -> failwith "boom")
+   with Failure m -> Alcotest.(check string) "re-raised" "boom" m);
+  Alcotest.(check int) "span recorded despite exception" 1
+    (List.length (Trace.events ()))
+
+let test_with_span_disabled_no_op () =
+  let was = Trace.enabled () in
+  Trace.set_enabled false;
+  Fun.protect ~finally:(fun () -> Trace.set_enabled was) @@ fun () ->
+  Trace.clear ();
+  let forced = ref false in
+  let r =
+    Obs.with_span
+      ~attrs:(fun () ->
+        forced := true;
+        [])
+      "invisible"
+      (fun () -> 7)
+  in
+  Alcotest.(check int) "transparent" 7 r;
+  Alcotest.(check bool) "attrs never forced" false !forced;
+  Alcotest.(check int) "nothing recorded" 0 (List.length (Trace.events ()))
+
+(* Disabled-mode overhead regression: the same arithmetic workload with
+   every iteration wrapped in a disabled [with_span] must not be
+   dramatically slower than the bare loop.  The contract is ~one atomic
+   load per call; the bound is deliberately generous (4x on a workload
+   whose body dwarfs an atomic load) so scheduler noise can't flake. *)
+let test_disabled_overhead () =
+  let was = Trace.enabled () in
+  Trace.set_enabled false;
+  Fun.protect ~finally:(fun () -> Trace.set_enabled was) @@ fun () ->
+  let iters = 200_000 in
+  let body i =
+    let x = float_of_int (i land 1023) in
+    ignore (Sys.opaque_identity (sqrt ((x *. x) +. 1.)))
+  in
+  let bare () =
+    let t0 = Unix.gettimeofday () in
+    for i = 1 to iters do
+      body i
+    done;
+    Unix.gettimeofday () -. t0
+  in
+  let spanned () =
+    let t0 = Unix.gettimeofday () in
+    for i = 1 to iters do
+      Obs.with_span "noop" (fun () -> body i)
+    done;
+    Unix.gettimeofday () -. t0
+  in
+  (* Warm up, then take the best of 3 for each side to shed jitter. *)
+  ignore (bare ());
+  ignore (spanned ());
+  let best f = List.fold_left min infinity (List.init 3 (fun _ -> f ())) in
+  let tb = best bare and ts = best spanned in
+  if ts > tb *. 4. +. 1e-3 then
+    Alcotest.failf "disabled with_span too slow: bare %.6fs spanned %.6fs" tb
+      ts
+
+(* Differential: span-derived per-phase durations vs the Timing
+   stopwatch's end-to-end measurement.  Two sequential phase spans run
+   inside one timed region; their durations must sum to (almost all of)
+   the region, and never exceed it — both sides read the same monotonic
+   clock, so only the loop scaffolding separates them.  Phases are
+   calibrated to ~10 ms each so scheduling noise is relatively small;
+   the bounds are still generous. *)
+let test_spans_vs_timing () =
+  with_trace @@ fun () ->
+  let busy ms =
+    let t0 = Edb_util.Timing.now_s () in
+    while Edb_util.Timing.now_s () -. t0 < ms /. 1e3 do
+      ignore (Sys.opaque_identity (sqrt 2.))
+    done
+  in
+  let (), total_s =
+    Edb_util.Timing.time (fun () ->
+        Obs.with_span ~cat:"test" "phase-a" (fun () -> busy 10.);
+        Obs.with_span ~cat:"test" "phase-b" (fun () -> busy 10.))
+  in
+  let span_s =
+    List.fold_left
+      (fun acc (e : Trace.event) -> acc +. (e.Trace.dur_us /. 1e6))
+      0. (Trace.events ())
+  in
+  Alcotest.(check int) "two phase spans" 2 (List.length (Trace.events ()));
+  Alcotest.(check bool) "phases within end-to-end" true
+    (span_s <= total_s +. 1e-4);
+  Alcotest.(check bool) "phases cover most of end-to-end" true
+    (span_s >= 0.5 *. total_s)
+
+(* ------------------------------------------------------------------ *)
+(* Chrome trace JSON                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let test_trace_json_well_formed () =
+  with_trace @@ fun () ->
+  ignore
+    (Obs.with_span ~cat:"test"
+       ~attrs:(fun () -> [ ("shard", "3"); ("msg", "a\"b\\c\ntab\t") ])
+       "span-json"
+       (fun () -> 1));
+  Obs.instant ~cat:"test" "instant-json";
+  let doc = Trace.to_json () in
+  (* Round-trip through the strict parser: emission must be valid JSON
+     even with quotes/backslashes/control characters in attrs. *)
+  let reparsed =
+    match Json.of_string (Json.to_string doc) with
+    | Ok v -> v
+    | Error e -> Alcotest.failf "trace JSON does not parse back: %s" e
+  in
+  (* Equal up to numeric representation: a whole-number float emits
+     without a decimal point and parses back as Int. *)
+  let rec jeq a b =
+    match (a, b) with
+    | Json.Int i, Json.Float f | Json.Float f, Json.Int i ->
+        float_of_int i = f
+    | Json.List xs, Json.List ys ->
+        List.length xs = List.length ys && List.for_all2 jeq xs ys
+    | Json.Obj xs, Json.Obj ys ->
+        List.length xs = List.length ys
+        && List.for_all2
+             (fun (ka, va) (kb, vb) -> ka = kb && jeq va vb)
+             xs ys
+    | _ -> a = b
+  in
+  Alcotest.(check bool) "round-trips" true (jeq reparsed doc);
+  let find_field name = function
+    | Json.Obj fields -> List.assoc_opt name fields
+    | _ -> None
+  in
+  let events =
+    match find_field "traceEvents" reparsed with
+    | Some (Json.List evs) -> evs
+    | _ -> Alcotest.fail "missing traceEvents array"
+  in
+  Alcotest.(check int) "two events" 2 (List.length events);
+  List.iter
+    (fun ev ->
+      let str name =
+        match find_field name ev with
+        | Some (Json.Str s) -> s
+        | _ -> Alcotest.failf "event missing string field %s" name
+      in
+      let num name =
+        match find_field name ev with
+        | Some (Json.Int i) -> float_of_int i
+        | Some (Json.Float f) -> f
+        | _ -> Alcotest.failf "event missing numeric field %s" name
+      in
+      Alcotest.(check bool) "has name" true (str "name" <> "");
+      Alcotest.(check string) "cat" "test" (str "cat");
+      Alcotest.(check bool) "ts >= 0" true (num "ts" >= 0.);
+      match str "ph" with
+      | "X" -> Alcotest.(check bool) "dur >= 0" true (num "dur" >= 0.)
+      | "i" -> Alcotest.(check string) "instant scope" "t" (str "s")
+      | ph -> Alcotest.failf "unexpected phase %s" ph)
+    events
+
+let test_trace_write_file () =
+  with_trace @@ fun () ->
+  ignore (Obs.with_span ~cat:"test" "to-disk" (fun () -> ()));
+  let path = Filename.temp_file "edb_obs_trace" ".json" in
+  Fun.protect ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+  @@ fun () ->
+  Trace.write_file path;
+  let ic = open_in_bin path in
+  let contents =
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  match Json.of_string contents with
+  | Ok (Json.Obj fields) ->
+      Alcotest.(check bool) "has traceEvents" true
+        (List.mem_assoc "traceEvents" fields)
+  | Ok _ -> Alcotest.fail "trace file is not a JSON object"
+  | Error e -> Alcotest.failf "trace file does not parse: %s" e
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "entropydb-obs"
+    [
+      ("hist buckets", test_bucket_props);
+      ( "merge laws",
+        test_merge_props
+        @ [ Alcotest.test_case "quantile bounds" `Quick test_quantile_bounds ]
+      );
+      ( "multi-domain",
+        [
+          Alcotest.test_case "counter exact at 4 domains" `Quick
+            test_counter_multi_domain;
+          Alcotest.test_case "histogram exact at 4 domains" `Quick
+            test_hist_multi_domain;
+        ] );
+      ( "registry",
+        [ Alcotest.test_case "naming" `Quick test_registry_naming ] );
+      ( "trace ring",
+        [
+          Alcotest.test_case "wraparound" `Quick test_ring_wraparound;
+          Alcotest.test_case "under capacity" `Quick
+            test_ring_no_drop_under_capacity;
+        ] );
+      ( "with_span",
+        [
+          Alcotest.test_case "records result and attrs" `Quick
+            test_with_span_records;
+          Alcotest.test_case "exception re-raised and recorded" `Quick
+            test_with_span_exception;
+          Alcotest.test_case "disabled is transparent" `Quick
+            test_with_span_disabled_no_op;
+          Alcotest.test_case "disabled overhead bounded" `Slow
+            test_disabled_overhead;
+          Alcotest.test_case "spans sum to Timing end-to-end" `Quick
+            test_spans_vs_timing;
+        ] );
+      ( "chrome json",
+        [
+          Alcotest.test_case "well-formed and round-trips" `Quick
+            test_trace_json_well_formed;
+          Alcotest.test_case "write_file parses back" `Quick
+            test_trace_write_file;
+        ] );
+    ]

@@ -337,8 +337,37 @@ let test_stopwatch () =
   Timing.start sw;
   Timing.stop sw;
   Alcotest.(check bool) "accumulated >= 0" true (Timing.elapsed sw >= 0.);
+  Alcotest.(check int) "one sample" 1 (Timing.samples sw);
   Alcotest.check_raises "stop unstarted"
     (Invalid_argument "Timing.stop: not started") (fun () -> Timing.stop sw)
+
+(* Stress a single stopwatch from 4 concurrent domains.  Every domain's
+   in-flight start lives in domain-local storage and the accumulators are
+   striped atomics, so the sample count must be exact (no lost or torn
+   intervals) and the total must bound the per-domain local sums. *)
+let test_stopwatch_concurrent () =
+  let domains = 4 and iters = 2_000 in
+  let sw = Timing.stopwatch () in
+  let worker () =
+    let local = ref 0. in
+    for _ = 1 to iters do
+      let t0 = Timing.now_s () in
+      Timing.start sw;
+      Timing.stop sw;
+      local := !local +. (Timing.now_s () -. t0)
+    done;
+    !local
+  in
+  let handles = List.init domains (fun _ -> Domain.spawn worker) in
+  let bounds = List.map Domain.join handles in
+  Alcotest.(check int) "no lost samples" (domains * iters) (Timing.samples sw);
+  let total = Timing.elapsed sw in
+  Alcotest.(check bool) "elapsed non-negative" true (total >= 0.);
+  (* Each interval is enclosed by the worker's own [now_s] reads, so the
+     accumulated total can never exceed the sum of those outer bounds. *)
+  let outer = List.fold_left ( +. ) 0. bounds in
+  Alcotest.(check bool) "elapsed within outer bound" true
+    (total <= outer +. 1e-9)
 
 let () =
   Alcotest.run "entropydb-util"
@@ -385,5 +414,10 @@ let () =
           Alcotest.test_case "render" `Quick test_table_render;
           Alcotest.test_case "csv escaping" `Quick test_table_csv;
         ] );
-      ("timing", [ Alcotest.test_case "stopwatch" `Quick test_stopwatch ]);
+      ( "timing",
+        [
+          Alcotest.test_case "stopwatch" `Quick test_stopwatch;
+          Alcotest.test_case "concurrent 4-domain stress" `Quick
+            test_stopwatch_concurrent;
+        ] );
     ]
