@@ -920,6 +920,187 @@ let obs config =
   [ table ]
 
 (* ------------------------------------------------------------------ *)
+(* Planner routing                                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* Route distribution and error-model honesty of edb_plan over a target
+   sweep.  Product-mode data with marginal-only statistics puts the
+   generating distribution inside the MaxEnt family, so the summary's
+   predicted variance is sound and realized errors must sit inside the
+   predicted CIs — a violation is a bug, and the experiment fails loud.
+   The sweep spans loose to tight targets so at least two distinct
+   routes must appear. *)
+let planner config =
+  let module P = Edb_plan.Plan in
+  let module E = Edb_plan.Estimator in
+  let int_env name default =
+    match Sys.getenv_opt name with
+    | Some v -> ( match int_of_string_opt v with Some i -> i | None -> default)
+    | None -> default
+  in
+  let rows = int_env "EDB_PLANNER_ROWS" 40_000 in
+  let sizes = [ 8; 10; 6; 5 ] in
+  let rel =
+    Edb_datagen.Synthetic.generate ~sizes ~rows ~mode:Edb_datagen.Synthetic.Product
+      ~seed:(config.Config.seed + 5)
+  in
+  let schema = Edb_storage.Relation.schema rel in
+  (* Joint statistics keep the product distribution inside the family
+     (they are consistent with independence) while making the summary
+     cost more terms than the sample costs rows — so the cheap-to-
+     expensive order is sample < summary < exact and loose targets can
+     exercise every route. *)
+  let joints =
+    List.concat_map
+      (fun (a, b) ->
+        Edb_select.Heuristic.select Edb_select.Heuristic.Composite rel
+          ~attr1:a ~attr2:b ~budget:60)
+      [ (0, 1); (2, 3) ]
+  in
+  let summary =
+    Entropydb_core.Summary.build ~solver_config:Edb_check.Case.quiet rel
+      ~joints
+  in
+  let rng = Prng.create ~seed:(config.Config.seed + 6) () in
+  let sample = Edb_sampling.Uniform.create rng ~rate:0.01 rel in
+  let estimators =
+    [ E.of_summary summary; E.of_sample sample; E.of_relation rel ]
+  in
+  let qrng = Prng.create ~seed:(config.Config.seed + 7) () in
+  let queries =
+    List.init 48 (fun _ -> Edb_check.Gen.random_predicate qrng schema)
+  in
+  let targets = [ "90:25"; "95:5"; "95:1"; "99:0.1:0.1" ] in
+  Printf.printf
+    "planner: %d rows, %d queries x %d targets, sample %s\n%!" rows
+    (List.length queries) (List.length targets)
+    (Edb_sampling.Sample.description sample);
+  (* One record per (query, target): the routing decision, the chosen
+     route's realized error against the exact scan, and its latency. *)
+  let records =
+    List.concat_map
+      (fun target_s ->
+        let target = P.target_of_string target_s in
+        List.map
+          (fun q ->
+            let d = P.choose ~target estimators (P.Count q) in
+            let a = P.chosen_answer d in
+            let exact = float_of_int (Edb_storage.Exec.count rel q) in
+            let sd = sqrt (Float.max 0. a.E.var) in
+            let seconds =
+              match d.P.chosen.P.evaluation with
+              | Some ev -> ev.P.seconds
+              | None -> 0.
+            in
+            let hw =
+              match d.P.chosen.P.evaluation with
+              | Some ev -> ev.P.half_width
+              | None -> 0.
+            in
+            ( target_s,
+              E.kind_name (E.kind d.P.chosen.P.estimator),
+              a.E.est,
+              sd,
+              hw,
+              Float.abs (a.E.est -. exact),
+              seconds ))
+          queries)
+      targets
+  in
+  (* Error-model honesty, oracle-style: realized |error| within z = 6
+     sigmas of the route's own predicted stddev (+1 row of slack against
+     degenerate zero-variance corners, +3 rows absolute). *)
+  List.iter
+    (fun (target_s, route, est, sd, _, err, _) ->
+      if err > (6. *. (sd +. 1.)) +. 3. then
+        failwith
+          (Printf.sprintf
+             "planner CI violation: route %s target %s estimate %.6g is \
+              %.6g off at stddev %.6g"
+             route target_s est err sd))
+    records;
+  let routes =
+    List.sort_uniq compare (List.map (fun (_, r, _, _, _, _, _) -> r) records)
+  in
+  if List.length routes < 2 then
+    failwith
+      (Printf.sprintf "planner: only route [%s] ever chosen — sweep is vacuous"
+         (String.concat " " routes));
+  let pct p xs =
+    match List.sort Float.compare xs with
+    | [] -> 0.
+    | sorted ->
+        let arr = Array.of_list sorted in
+        let idx =
+          min (Array.length arr - 1)
+            (int_of_float (p *. float_of_int (Array.length arr - 1)))
+        in
+        arr.(idx)
+  in
+  let table =
+    Table.create
+      ~title:
+        (Printf.sprintf
+           "Planner routing (product data, %d rows, %d queries x %d targets)"
+           rows (List.length queries) (List.length targets))
+      ~headers:
+        [ "route"; "chosen"; "p50 us"; "p99 us"; "mean |err|"; "mean ±hw" ]
+      ~aligns:[ Table.Left; Table.Right; Table.Right; Table.Right;
+                Table.Right; Table.Right ]
+      ()
+  in
+  List.iter
+    (fun route ->
+      let mine =
+        List.filter (fun (_, r, _, _, _, _, _) -> r = route) records
+      in
+      let n = List.length mine in
+      let lats = List.map (fun (_, _, _, _, _, _, s) -> s *. 1e6) mine in
+      let mean f =
+        List.fold_left (fun acc x -> acc +. f x) 0. mine /. float_of_int n
+      in
+      Table.add_row table
+        [
+          route;
+          string_of_int n;
+          Table.cell_float ~prec:1 (pct 0.50 lats);
+          Table.cell_float ~prec:1 (pct 0.99 lats);
+          Table.cell_float ~prec:3 (mean (fun (_, _, _, _, _, e, _) -> e));
+          Table.cell_float ~prec:3 (mean (fun (_, _, _, _, h, _, _) -> h));
+        ])
+    routes;
+  extra_json :=
+    [
+      ( "route_counts",
+        Json.Obj
+          (List.map
+             (fun route ->
+               ( route,
+                 Json.Int
+                   (List.length
+                      (List.filter
+                         (fun (_, r, _, _, _, _, _) -> r = route)
+                         records)) ))
+             routes) );
+      ( "scatter",
+        Json.List
+          (List.map
+             (fun (target_s, route, est, sd, hw, err, seconds) ->
+               Json.Obj
+                 [
+                   ("target", Json.Str target_s);
+                   ("route", Json.Str route);
+                   ("estimate", Json.Float est);
+                   ("stddev", Json.Float sd);
+                   ("predicted_half_width", Json.Float hw);
+                   ("realized_abs_error", Json.Float err);
+                   ("latency_s", Json.Float seconds);
+                 ])
+             records) );
+    ];
+  [ table ]
+
+(* ------------------------------------------------------------------ *)
 (* Driver                                                              *)
 (* ------------------------------------------------------------------ *)
 
@@ -941,6 +1122,7 @@ let experiments config =
     ("shardscale", fun () -> shardscale config);
     ("groupby", fun () -> groupby config);
     ("obs", fun () -> obs config);
+    ("planner", fun () -> planner config);
     ("check", fun () -> check config);
   ]
 

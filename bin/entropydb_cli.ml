@@ -467,6 +467,156 @@ let query_cmd =
       $ trace_out_t)
 
 (* ------------------------------------------------------------------ *)
+(* explain                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let explain_cmd =
+  let run verbose summary_path sql ci exact_csv dataset sample_rate =
+    setup_logs verbose;
+    let module P = Edb_plan.Plan in
+    let module E = Edb_plan.Estimator in
+    try
+      let summary = Edb_shard.Store.load summary_path in
+      let schema = Edb_shard.Sharded.schema summary in
+      let target = P.target_of_string ci in
+      match Edb_query.Translate.compile_string schema sql with
+      | Error e ->
+          Fmt.epr "explain error: %a@." Edb_query.Translate.pp_error e;
+          1
+      | Ok c -> (
+          let shape =
+            match Edb_query.Translate.conjunctive c with
+            | None ->
+                failwith "the planner supports conjunctive predicates only"
+            | Some pred -> (
+                match c with
+                | { aggregate = Edb_query.Translate.Count; group_attrs = []; _ }
+                  ->
+                    P.Count pred
+                | { aggregate = Edb_query.Translate.Sum attr;
+                    group_attrs = [];
+                    _;
+                  } ->
+                    P.Sum { attr; pred }
+                | { aggregate = Edb_query.Translate.Count; group_attrs; _ } ->
+                    P.Groups { attrs = group_attrs; pred }
+                | _ ->
+                    failwith
+                      "the planner supports COUNT, SUM, and COUNT GROUP BY")
+          in
+          (* The summary route is always available; --exact-csv adds an
+             exact scan plus a deterministic uniform sample of the base
+             table, giving the planner real alternatives to rank. *)
+          let estimators =
+            match (exact_csv, dataset) with
+            | Some path, Some ds ->
+                let rel = load_relation ds path in
+                let rng =
+                  Edb_util.Prng.create ~seed:(Hashtbl.hash (path, sample_rate)) ()
+                in
+                [
+                  E.of_sharded summary;
+                  E.of_sample (Edb_sampling.Uniform.create rng ~rate:sample_rate rel);
+                  E.of_relation rel;
+                ]
+            | None, _ -> [ E.of_sharded summary ]
+            | Some _, None ->
+                failwith "--exact-csv requires --dataset to supply the schema"
+          in
+          let d = P.choose_all ~target estimators shape in
+          let truth =
+            List.find_map
+              (fun (cand : P.candidate) ->
+                match (E.kind cand.P.estimator, cand.P.evaluation) with
+                | E.Exact, Some ev when ev.P.groups = None ->
+                    Some ev.P.answer.E.est
+                | _ -> None)
+              d.P.candidates
+          in
+          Edb_util.Table.print (Edb_plan.Explain.table ?truth d);
+          let a = P.chosen_answer d in
+          Printf.printf "route: %s (%s, %s)\n"
+            (E.name d.P.chosen.P.estimator)
+            (E.kind_name (E.kind d.P.chosen.P.estimator))
+            d.P.reason;
+          Printf.printf "answer: %.2f +/- %.2f\n" a.E.est
+            (sqrt (Float.max 0. a.E.var));
+          match P.chosen_groups d with
+          | None -> 0
+          | Some cells ->
+              List.iter
+                (fun (values, (ans : E.answer)) ->
+                  let labels =
+                    List.map2
+                      (fun attr v ->
+                        Domain.label (Schema.domain schema attr) v)
+                      c.Edb_query.Translate.group_attrs values
+                  in
+                  Printf.printf "%s: %.2f +/- %.2f\n"
+                    (String.concat ", " labels) ans.E.est
+                    (sqrt (Float.max 0. ans.E.var)))
+                cells;
+              0)
+    with
+    | Entropydb_core.Serialize.Format_error m ->
+        Fmt.epr "explain error: %s: %s@." summary_path m;
+        1
+    | Sys_error m | Failure m | Invalid_argument m ->
+        Fmt.epr "explain error: %s@." m;
+        1
+  in
+  let summary_t =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "s"; "summary" ] ~docv:"FILE" ~doc:"Saved summary path.")
+  in
+  let sql_t =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"SQL" ~doc:"The query to plan.")
+  in
+  let ci_t =
+    Arg.(
+      value & opt string "95:2"
+      & info [ "ci" ] ~docv:"CONF:REL[:ABS]"
+          ~doc:
+            "Target interval: confidence (percent), relative half-width \
+             (percent), optional absolute floor in rows.  Default 95:2.")
+  in
+  let exact_t =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "exact-csv" ] ~docv:"FILE"
+          ~doc:
+            "Register sample and exact-scan routes over this index CSV \
+             (requires $(b,--dataset)).")
+  in
+  let dataset_opt_t =
+    Arg.(
+      value
+      & opt (some dataset_conv) None
+      & info [ "dataset" ] ~docv:"NAME"
+          ~doc:"Dataset family of $(b,--exact-csv).")
+  in
+  let rate_t =
+    Arg.(
+      value & opt float 0.01
+      & info [ "sample-rate" ] ~docv:"R"
+          ~doc:"Uniform sampling rate for the sample route (default 1%).")
+  in
+  Cmd.v
+    (Cmd.info "explain"
+       ~doc:
+         "Show the planner's candidate table for a query and the route it \
+          picks for a target confidence interval.")
+    Term.(
+      const run $ verbose_t $ summary_t $ sql_t $ ci_t $ exact_t
+      $ dataset_opt_t $ rate_t)
+
+(* ------------------------------------------------------------------ *)
 (* info                                                                *)
 (* ------------------------------------------------------------------ *)
 
@@ -1008,7 +1158,8 @@ let () =
     (Cmd.eval'
        (Cmd.group info
           [
-            generate_cmd; build_cmd; summarize_cmd; query_cmd; info_cmd;
+            generate_cmd; build_cmd; summarize_cmd; query_cmd; explain_cmd;
+            info_cmd;
             serve_cmd; client_cmd; stats_cmd; evaluate_cmd; check_cmd;
             experiment_cmd;
           ]))

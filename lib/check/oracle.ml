@@ -679,6 +679,96 @@ let c_exact_count ctx =
       ctx.case.Case.queries
   end
 
+(* ------------------------------------------------------------------ *)
+(* Planner                                                             *)
+(* ------------------------------------------------------------------ *)
+
+module P = Edb_plan.Plan
+module E = Edb_plan.Estimator
+
+let planner_sample ctx =
+  let rng =
+    Prng.create ~seed:(ctx.case.Case.spec.Gen.seed + 13) ()
+  in
+  Edb_sampling.Uniform.create rng ~rate:0.2 ctx.case.Case.rel
+
+(* A planner over a single estimator is a pass-through: the chosen answer
+   must be bitwise what calling the backend directly yields — routing may
+   never perturb an answer, only pick one. *)
+let c_planner_singleton ctx =
+  let s = ctx.case.Case.summary in
+  let est = E.of_summary s in
+  List.iter
+    (fun q ->
+      tally ctx;
+      let d =
+        P.choose ~combine:false ~target:P.default_target [ est ] (P.Count q)
+      in
+      let a = P.chosen_answer d in
+      let direct_est = Summary.estimate s q in
+      let direct_est', direct_var = Summary.estimate_with_variance s q in
+      if a.E.est <> direct_est || a.E.est <> direct_est'
+         || a.E.var <> direct_var
+      then
+        fail ctx ~check:"planner-singleton" ~tier:Differential
+          "routed answer (%.17g, %.17g) vs direct (%.17g, %.17g) on %a"
+          a.E.est a.E.var direct_est direct_var Predicate.pp q)
+    ctx.case.Case.queries
+
+(* Inverse-variance weighting can only help: the combined variance is
+   v₁v₂/(v₁+v₂) ≤ min(v₁, v₂) mathematically, and the implementation
+   must not lose that (modulo an ulp of rounding). *)
+let c_planner_combined_variance ctx =
+  let es = E.of_summary ctx.case.Case.summary in
+  let ea = E.of_sample (planner_sample ctx) in
+  let ec = E.combine es ea in
+  List.iter
+    (fun q ->
+      tally ctx;
+      let va = (E.count es q).E.var
+      and vb = (E.count ea q).E.var
+      and vc = (E.count ec q).E.var in
+      let bound = Float.min va vb in
+      if vc > bound +. (1e-12 *. (bound +. 1.)) then
+        fail ctx ~check:"planner-combined-variance" ~tier:Differential
+          "combined variance %.12g exceeds min(%.12g, %.12g) on %a" vc va vb
+          Predicate.pp q)
+    ctx.case.Case.queries
+
+(* Product-gated like exact-count: the chosen route's realized error must
+   sit within its own predicted CI at z sigmas — whichever backend the
+   planner picked, its error model has to be honest. *)
+let c_planner_route_ci ctx =
+  if ctx.case.Case.spec.Gen.mode <> Gen.Product then ()
+  else begin
+    let estimators =
+      [
+        E.of_summary ctx.case.Case.summary;
+        E.of_sample (planner_sample ctx);
+        E.of_relation ctx.case.Case.rel;
+      ]
+    in
+    List.iter
+      (fun q ->
+        tally ctx;
+        let d = P.choose ~target:P.default_target estimators (P.Count q) in
+        let a = P.chosen_answer d in
+        let exact = float_of_int (Exec.count ctx.case.Case.rel q) in
+        let sd = sqrt (Float.max 0. a.E.var) in
+        let sigma = Float.abs (a.E.est -. exact) /. (sd +. 1.) in
+        ctx.max_sigma <- Float.max ctx.max_sigma sigma;
+        if
+          Float.abs (a.E.est -. exact)
+          > (ctx.cfg.z *. (sd +. 1.)) +. ctx.cfg.exact_atol
+        then
+          fail ctx ~check:"planner-route-ci" ~tier:Exact
+            "route %s: estimate %.6g vs exact %g is %.1f sigma (stddev %.4g) \
+             on %a"
+            (E.name d.P.chosen.P.estimator)
+            a.E.est exact sigma sd Predicate.pp q)
+      ctx.case.Case.queries
+  end
+
 (* Observability wiring: after a known sweep, the global registry's
    counters and the trace sink must account for exactly the work
    performed — the engine lying about what it did is a bug even when
@@ -771,7 +861,10 @@ let checks : (string * tier * (ctx -> unit)) list =
     ("disjunction-singleton", Metamorphic, c_disjunction_singleton);
     ("disjunction-disjoint", Metamorphic, c_disjunction_disjoint);
     ("disjunction-bounds", Metamorphic, c_disjunction_bounds);
+    ("planner-singleton", Differential, c_planner_singleton);
+    ("planner-combined-variance", Differential, c_planner_combined_variance);
     ("exact-count", Exact, c_exact_count);
+    ("planner-route-ci", Exact, c_planner_route_ci);
   ]
 
 let check_names = List.map (fun (n, _, _) -> n) checks

@@ -63,6 +63,20 @@ let variance t query =
 
 let stddev t query = sqrt (variance t query)
 
+(* One restricted evaluation serving both moments: the estimate is computed
+   with the same operations in the same order as [Poly.estimate], so it is
+   bitwise-identical to {!estimate}, and the variance matches {!variance}. *)
+let estimate_with_variance t query =
+  if Predicate.is_unsatisfiable query then (0., 0.)
+  else
+    let p_total = Poly.p t.poly in
+    if p_total <= 0. then (0., 0.)
+    else
+      let r = Poly.eval_restricted t.poly query in
+      let est = float_of_int t.n *. r /. p_total in
+      let p_q = Edb_util.Floatx.clamp ~lo:0. ~hi:1. (r /. p_total) in
+      (est, float_of_int t.n *. p_q *. (1. -. p_q))
+
 (* Aggregate queries beyond COUNT: SUM and AVG over a binned attribute,
    answered as weighted linear queries (each row contributes its bin's
    midpoint).  The paper's theory covers all linear queries; its prototype

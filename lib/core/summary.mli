@@ -55,6 +55,11 @@ val variance : t -> Predicate.t -> float
 
 val stddev : t -> Predicate.t -> float
 
+val estimate_with_variance : t -> Predicate.t -> float * float
+(** Both moments from a single restricted evaluation.  The first component
+    is bitwise-identical to {!estimate}; the second equals {!variance}
+    (except that an unsatisfiable query reports exactly [(0., 0.)]). *)
+
 val estimate_sum :
   t -> attr:int -> ?weights:(int -> float) -> Predicate.t -> float
 (** E[SUM(attr)] under the predicate, as a weighted linear query; weights

@@ -1,0 +1,12 @@
+(** Rendering of planner decisions for EXPLAIN surfaces. *)
+
+val lines : ?truth:float -> Plan.decision -> string list
+(** Compact single-line records for the wire protocol: a [plan target]
+    line, one [plan candidate] line per candidate (with estimate, sd,
+    half-width, threshold, and — when [truth] is given — observed
+    absolute error), and a final [plan route] line naming the chosen
+    estimator and the reason. *)
+
+val table : ?truth:float -> Plan.decision -> Edb_util.Table.t
+(** The human candidate table ([entropydb explain]); the chosen route's
+    row is marked with [*]. *)

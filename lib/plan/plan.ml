@@ -1,0 +1,277 @@
+(* The error-aware router.
+
+   Given a target confidence interval and a set of registered estimators,
+   [choose] walks the candidates in ascending predicted cost and evaluates
+   them until one's predicted CI half-width (z·sd) fits inside the target
+   (max of a relative and an absolute tolerance).  An exact scan has zero
+   variance, so when one is registered it is an always-sufficient last
+   resort; when no evaluated candidate meets the target the best (smallest
+   half-width) answer is returned as a best effort.  When both a summary
+   and a sample are registered, a synthetic inverse-variance-weighted
+   combination joins the candidate pool for scalar shapes.
+
+   Routing decisions and per-route evaluation latency are recorded in the
+   process-wide [edb_obs] registry (plan_route_* counters,
+   plan_latency_* histograms), so every surface — CLI, server, bench —
+   shares one set of metrics. *)
+
+open Edb_util
+open Edb_storage
+
+(* ------------------------------------------------------------------ *)
+(* Targets                                                             *)
+(* ------------------------------------------------------------------ *)
+
+type target = { confidence : float; rel : float; abs : float }
+
+let default_target = { confidence = 0.95; rel = 0.05; abs = 1. }
+
+let target_of_string s =
+  let bad () =
+    invalid_arg
+      (Printf.sprintf
+         "Plan.target_of_string: %S (expected CONF:REL%%[:ABS], e.g. 95:2)" s)
+  in
+  let num part = match float_of_string_opt part with
+    | Some v -> v
+    | None -> bad ()
+  in
+  match String.split_on_char ':' (String.trim s) with
+  | [ conf; rel ] | [ conf; rel; _ ] as parts ->
+      let confidence = num conf /. 100. and rel = num rel /. 100. in
+      let abs =
+        match parts with [ _; _; a ] -> num a | _ -> default_target.abs
+      in
+      if not (confidence > 0. && confidence < 1.) then bad ();
+      if not (rel >= 0. && abs >= 0.) then bad ();
+      { confidence; rel; abs }
+  | _ -> bad ()
+
+let target_to_string t =
+  if t.abs = default_target.abs then
+    Printf.sprintf "%g:%g" (t.confidence *. 100.) (t.rel *. 100.)
+  else
+    Printf.sprintf "%g:%g:%g" (t.confidence *. 100.) (t.rel *. 100.) t.abs
+
+(* Inverse standard-normal CDF (Acklam's rational approximation, relative
+   error < 1.2e-9 on (0,1)), so any confidence level maps to its z
+   multiplier without a quantile table. *)
+let probit p =
+  if not (p > 0. && p < 1.) then invalid_arg "Plan.probit: p must be in (0,1)";
+  let a0 = -3.969683028665376e+01 and a1 = 2.209460984245205e+02
+  and a2 = -2.759285104469687e+02 and a3 = 1.383577518672690e+02
+  and a4 = -3.066479806614716e+01 and a5 = 2.506628277459239e+00 in
+  let b0 = -5.447609879822406e+01 and b1 = 1.615858368580409e+02
+  and b2 = -1.556989798598866e+02 and b3 = 6.680131188771972e+01
+  and b4 = -1.328068155288572e+01 in
+  let c0 = -7.784894002430293e-03 and c1 = -3.223964580411365e-01
+  and c2 = -2.400758277161838e+00 and c3 = -2.549732539343734e+00
+  and c4 = 4.374664141464968e+00 and c5 = 2.938163982698783e+00 in
+  let d0 = 7.784695709041462e-03 and d1 = 3.224671290700398e-01
+  and d2 = 2.445134137142996e+00 and d3 = 3.754408661907416e+00 in
+  let tail q =
+    (((((c0 *. q +. c1) *. q +. c2) *. q +. c3) *. q +. c4) *. q +. c5)
+    /. ((((d0 *. q +. d1) *. q +. d2) *. q +. d3) *. q +. 1.)
+  in
+  let p_low = 0.02425 in
+  if p < p_low then tail (sqrt (-2. *. log p))
+  else if p > 1. -. p_low then -.tail (sqrt (-2. *. log (1. -. p)))
+  else
+    let q = p -. 0.5 in
+    let r = q *. q in
+    (((((a0 *. r +. a1) *. r +. a2) *. r +. a3) *. r +. a4) *. r +. a5)
+    *. q
+    /. (((((b0 *. r +. b1) *. r +. b2) *. r +. b3) *. r +. b4) *. r +. 1.)
+
+let z_of_confidence confidence = probit ((1. +. confidence) /. 2.)
+
+(* ------------------------------------------------------------------ *)
+(* Query shapes                                                        *)
+(* ------------------------------------------------------------------ *)
+
+type shape =
+  | Count of Predicate.t
+  | Sum of { attr : int; pred : Predicate.t }
+  | Groups of { attrs : int list; pred : Predicate.t }
+
+let shape_is_scalar = function Count _ | Sum _ -> true | Groups _ -> false
+
+(* ------------------------------------------------------------------ *)
+(* Candidates and decisions                                            *)
+(* ------------------------------------------------------------------ *)
+
+type evaluation = {
+  answer : Estimator.answer;
+      (* scalar answer; for GROUP BY, the widest (max half-width) cell *)
+  groups : (int list * Estimator.answer) list option;
+  half_width : float;
+  threshold : float;
+  meets : bool;
+  seconds : float;
+}
+
+type candidate = {
+  estimator : Estimator.t;
+  evaluation : evaluation option; (* None: skipped (lazy) or unsupported *)
+  supported : bool;
+}
+
+type decision = {
+  target : target;
+  z : float;
+  candidates : candidate list; (* ascending predicted cost *)
+  chosen : candidate;
+  reason : string;
+}
+
+let chosen_answer d =
+  match d.chosen.evaluation with
+  | Some e -> e.answer
+  | None -> assert false (* a chosen candidate is always evaluated *)
+
+let chosen_groups d =
+  match d.chosen.evaluation with Some e -> e.groups | None -> None
+
+(* Half-width z·sd against max(rel·|est|, abs). *)
+let judge ~z ~target (a : Estimator.answer) =
+  let half_width = z *. sqrt (Float.max 0. a.Estimator.var) in
+  let threshold = Float.max (target.rel *. Float.abs a.Estimator.est) target.abs in
+  (half_width, threshold, half_width <= threshold)
+
+let evaluate ~z ~target estimator shape =
+  let run () =
+    match shape with
+    | Count pred -> Some (`Scalar (Estimator.count estimator pred))
+    | Sum { attr; pred } ->
+        Option.map (fun a -> `Scalar a) (Estimator.sum estimator attr pred)
+    | Groups { attrs; pred } ->
+        Option.map (fun g -> `Groups g) (Estimator.groups estimator attrs pred)
+  in
+  let result, seconds = Timing.time run in
+  match result with
+  | None -> None
+  | Some (`Scalar answer) ->
+      let half_width, threshold, meets = judge ~z ~target answer in
+      Some { answer; groups = None; half_width; threshold; meets; seconds }
+  | Some (`Groups cells) ->
+      (* A GROUP BY meets the target iff every cell does; the reported
+         answer is the widest cell (ties to the first). *)
+      let worst, meets =
+        List.fold_left
+          (fun (worst, all_ok) (_, a) ->
+            let hw, thr, ok = judge ~z ~target a in
+            let worst =
+              match worst with
+              | Some (whw, _, _, _) when whw >= hw -> worst
+              | _ -> Some (hw, thr, ok, a)
+            in
+            (worst, all_ok && ok))
+          (None, true) cells
+      in
+      let half_width, threshold, _, answer =
+        match worst with
+        | Some w -> w
+        | None -> (0., Float.max target.abs 0., true, { Estimator.est = 0.; var = 0. })
+      in
+      Some
+        { answer; groups = Some cells; half_width; threshold; meets; seconds }
+
+(* ------------------------------------------------------------------ *)
+(* Observability                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let route_counter kind =
+  Edb_obs.Registry.counter ("plan_route_" ^ Estimator.kind_name kind)
+
+let route_hist kind =
+  Edb_obs.Registry.histogram ("plan_latency_" ^ Estimator.kind_name kind)
+
+let observe_route kind seconds =
+  Edb_obs.Registry.Counter.incr (route_counter kind);
+  Edb_obs.Registry.Hist.observe (route_hist kind) seconds
+
+(* ------------------------------------------------------------------ *)
+(* The planner                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let candidate_pool ~combine estimators shape =
+  let pool =
+    if not (combine && shape_is_scalar shape) then estimators
+    else
+      (* One synthetic combination of the cheapest summary and the
+         cheapest sample, when both are present. *)
+      let cheapest k =
+        List.fold_left
+          (fun best e ->
+            if Estimator.kind e <> k then best
+            else
+              match best with
+              | Some b when Estimator.cost_us b <= Estimator.cost_us e -> best
+              | _ -> Some e)
+          None estimators
+      in
+      match (cheapest Estimator.Summary, cheapest Estimator.Sample) with
+      | Some s, Some u -> estimators @ [ Estimator.combine s u ]
+      | _ -> estimators
+  in
+  List.stable_sort
+    (fun a b -> Float.compare (Estimator.cost_us a) (Estimator.cost_us b))
+    pool
+
+let choose ?(combine = true) ?(eager = false) ~target estimators shape =
+  if estimators = [] then invalid_arg "Plan.choose: no estimators";
+  let z = z_of_confidence target.confidence in
+  let pool = candidate_pool ~combine estimators shape in
+  (* Lazy walk in ascending predicted cost: stop evaluating once a
+     candidate meets the target, so a summary hit never pays for the
+     exact scan.  [eager] evaluates everything (EXPLAIN). *)
+  let stop = ref false in
+  let candidates =
+    List.map
+      (fun estimator ->
+        if !stop && not eager then
+          { estimator; evaluation = None; supported = true }
+        else
+          match evaluate ~z ~target estimator shape with
+          | None -> { estimator; evaluation = None; supported = false }
+          | Some ev ->
+              if ev.meets then stop := true;
+              { estimator; evaluation = Some ev; supported = true })
+      pool
+  in
+  let met =
+    List.find_opt
+      (fun c -> match c.evaluation with Some e -> e.meets | None -> false)
+      candidates
+  in
+  let chosen, reason =
+    match met with
+    | Some c -> (c, "meets-target")
+    | None -> (
+        (* Nothing met the target (no exact scan registered): answer with
+           the smallest evaluated half-width. *)
+        let best =
+          List.fold_left
+            (fun best c ->
+              match (c.evaluation, best) with
+              | None, _ -> best
+              | Some _, None -> Some c
+              | Some e, Some b ->
+                  let bh =
+                    match b.evaluation with
+                    | Some be -> be.half_width
+                    | None -> infinity
+                  in
+                  if e.half_width < bh then Some c else best)
+            None candidates
+        in
+        match best with
+        | Some c -> (c, "best-effort")
+        | None -> invalid_arg "Plan.choose: no estimator supports this shape")
+  in
+  (match chosen.evaluation with
+  | Some e -> observe_route (Estimator.kind chosen.estimator) e.seconds
+  | None -> ());
+  { target; z; candidates; chosen; reason }
+
+let choose_all = choose ~eager:true

@@ -1,0 +1,102 @@
+(** Error-aware query routing across summaries, samples, and exact scan.
+
+    Given a target confidence interval, {!choose} walks the registered
+    estimators in ascending predicted cost, evaluating lazily until one's
+    predicted CI half-width (z·√variance) fits within the target — so a
+    cheap route that suffices never pays for an expensive one.  An exact
+    scan (zero variance) is an always-sufficient last resort; with no
+    sufficient candidate the smallest-half-width answer is returned as a
+    best effort.  When a summary and a sample are both registered, an
+    inverse-variance-weighted combination joins the pool for scalar
+    shapes.
+
+    Every routing decision ticks a [plan_route_<kind>] counter and
+    records the chosen route's evaluation latency in a
+    [plan_latency_<kind>] histogram in the process-wide {!Edb_obs}
+    registry (surfaced by [entropydb stats] with the [obs_] prefix). *)
+
+open Edb_storage
+
+(** {1 Targets} *)
+
+type target = { confidence : float; rel : float; abs : float }
+(** Meet the target iff z·sd ≤ max(rel·|estimate|, abs), with z the
+    two-sided normal quantile of [confidence]. *)
+
+val default_target : target
+(** 95% confidence, ±5% relative, absolute floor 1 row. *)
+
+val target_of_string : string -> target
+(** ["95:2"] = 95% confidence, ±2% relative; an optional third field sets
+    the absolute floor in rows (["95:2:10"]), default 1.  Raises
+    [Invalid_argument] on malformed input. *)
+
+val target_to_string : target -> string
+
+val probit : float -> float
+(** Inverse standard-normal CDF (Acklam's rational approximation,
+    |relative error| < 1.2e-9).  Raises outside (0,1). *)
+
+val z_of_confidence : float -> float
+(** Two-sided quantile: [probit ((1+c)/2)] — e.g. 0.95 ↦ 1.95996…. *)
+
+(** {1 Query shapes} *)
+
+type shape =
+  | Count of Predicate.t
+  | Sum of { attr : int; pred : Predicate.t }
+  | Groups of { attrs : int list; pred : Predicate.t }
+
+(** {1 Decisions} *)
+
+type evaluation = {
+  answer : Estimator.answer;
+      (** the scalar answer; for GROUP BY, the widest (max half-width)
+          cell *)
+  groups : (int list * Estimator.answer) list option;
+      (** per-group answers for GROUP BY shapes *)
+  half_width : float;  (** z·√variance *)
+  threshold : float;  (** max(rel·|est|, abs) *)
+  meets : bool;  (** half_width ≤ threshold; for GROUP BY, every cell *)
+  seconds : float;  (** measured evaluation latency *)
+}
+
+type candidate = {
+  estimator : Estimator.t;
+  evaluation : evaluation option;
+      (** [None]: skipped by the lazy walk, or shape unsupported *)
+  supported : bool;
+}
+
+type decision = {
+  target : target;
+  z : float;
+  candidates : candidate list;  (** in ascending predicted cost *)
+  chosen : candidate;
+  reason : string;  (** ["meets-target"] or ["best-effort"] *)
+}
+
+val chosen_answer : decision -> Estimator.answer
+val chosen_groups : decision -> (int list * Estimator.answer) list option
+
+(** {1 Routing} *)
+
+val choose :
+  ?combine:bool ->
+  ?eager:bool ->
+  target:target ->
+  Estimator.t list ->
+  shape ->
+  decision
+(** Route one query.  [combine] (default true) adds the synthetic
+    inverse-variance combination of the cheapest summary and cheapest
+    sample for scalar shapes.  [eager] (default false) evaluates every
+    candidate instead of stopping at the first sufficient one — use for
+    EXPLAIN.  With a single registered estimator and [combine:false], the
+    chosen answer is bitwise-identical to calling that estimator
+    directly.  Raises [Invalid_argument] on an empty estimator list or
+    when no estimator supports the shape. *)
+
+val choose_all :
+  ?combine:bool -> target:target -> Estimator.t list -> shape -> decision
+(** [choose ~eager:true]. *)

@@ -5,39 +5,76 @@
    sampled rows with a per-row scale-up weight.  A count query is estimated
    as the sum of the weights of the matching sampled rows, which is unbiased
    whenever every source row's inclusion probability is the inverse of its
-   weight. *)
+   weight.
+
+   Samples additionally carry their design — which stratum each sampled row
+   came from and how many source rows each stratum holds — so estimates can
+   report a sampling variance with per-stratum finite-population correction
+   (FPC).  A uniform sample is the degenerate one-stratum design. *)
 
 open Edb_util
 open Edb_storage
+
+type stratum = { population : int; drawn : int }
 
 type t = {
   data : Relation.t;
   weights : float array; (* scale-up weight of each sampled row *)
   source_cardinality : int;
   description : string;
+  strata : stratum array;
+  stratum_of_row : int array;
 }
 
-let create ~data ~weights ~source_cardinality ~description =
-  if Array.length weights <> Relation.cardinality data then
+let create ?strata ~data ~weights ~source_cardinality ~description () =
+  let rows = Relation.cardinality data in
+  if Array.length weights <> rows then
     invalid_arg "Sample.create: weights/rows mismatch";
-  { data; weights; source_cardinality; description }
+  let strata, stratum_of_row =
+    match strata with
+    | None -> ([| { population = source_cardinality; drawn = rows } |],
+               Array.make rows 0)
+    | Some (strata, stratum_of_row) ->
+        if Array.length stratum_of_row <> rows then
+          invalid_arg "Sample.create: stratum_of_row/rows mismatch";
+        let counts = Array.make (Array.length strata) 0 in
+        Array.iter
+          (fun h ->
+            if h < 0 || h >= Array.length strata then
+              invalid_arg "Sample.create: stratum id out of range";
+            counts.(h) <- counts.(h) + 1)
+          stratum_of_row;
+        Array.iteri
+          (fun h st ->
+            if st.drawn <> counts.(h) then
+              invalid_arg "Sample.create: stratum drawn/rows mismatch";
+            if st.population < st.drawn then
+              invalid_arg "Sample.create: stratum drawn exceeds population")
+          strata;
+        (strata, stratum_of_row)
+  in
+  { data; weights; source_cardinality; description; strata; stratum_of_row }
 
 let data t = t.data
 let description t = t.description
 let size t = Relation.cardinality t.data
 let source_cardinality t = t.source_cardinality
+let strata t = Array.copy t.strata
+
+(* Columns restricted by [pred], paired with their admissible ranges —
+   shared by every estimator below so they all scan rows identically. *)
+let restricted_columns t pred =
+  List.map
+    (fun i ->
+      match Predicate.restriction pred i with
+      | Some r -> (Relation.column t.data i, r)
+      | None -> assert false)
+    (Predicate.restricted_attrs pred)
 
 let estimate_count t pred =
   if Predicate.is_unsatisfiable pred then 0.
   else
-    let restricted =
-      List.map
-        (fun i ->
-          match Predicate.restriction pred i with
-          | Some r -> (Relation.column t.data i, r)
-          | None -> assert false)
-        (Predicate.restricted_attrs pred)
-    in
+    let restricted = restricted_columns t pred in
     let acc = ref 0. in
     for row = 0 to Relation.cardinality t.data - 1 do
       if List.for_all (fun (col, r) -> Ranges.mem col.(row) r) restricted then
@@ -45,18 +82,109 @@ let estimate_count t pred =
     done;
     !acc
 
+(* Per-stratum SRSWOR count variance with finite-population correction:
+   N² (1 − k/N) p̃(1−p̃) / max(k−1, 1).  The plug-in proportion p̂ = m/k is
+   clamped away from the degenerate endpoints to p̃ ∈ [1/2k, 1−1/2k] when
+   the stratum is not a census: a sample that missed (or fully hit) a
+   predicate still reports an honest nonzero width rather than certainty.
+   A census stratum (k = N) is exact and contributes 0; an undrawn stratum
+   (k = 0, N > 0) contributes the worst-case binomial spread N²/4 — no
+   draw, no information. *)
+let fpc_count_variance ~population ~drawn ~matched =
+  if population = 0 || drawn >= population then 0.
+  else if drawn = 0 then 0.25 *. float_of_int population *. float_of_int population
+  else begin
+    let n = float_of_int population and k = float_of_int drawn in
+    let p = float_of_int matched /. k in
+    let lo = 1. /. (2. *. k) in
+    let p = Float.min (1. -. lo) (Float.max lo p) in
+    n *. n *. (1. -. (k /. n)) *. p *. (1. -. p) /. Float.max 1. (k -. 1.)
+  end
+
+let variance_of_matched t matched =
+  let var = ref 0. in
+  Array.iteri
+    (fun h st ->
+      var :=
+        !var
+        +. fpc_count_variance ~population:st.population ~drawn:st.drawn
+             ~matched:matched.(h))
+    t.strata;
+  !var
+
+let estimate_with_variance t pred =
+  if Predicate.is_unsatisfiable pred then (0., 0.)
+  else begin
+    let restricted = restricted_columns t pred in
+    let matched = Array.make (Array.length t.strata) 0 in
+    (* Accumulate the estimate in the same row order as [estimate_count]
+       so the two agree bitwise. *)
+    let acc = ref 0. in
+    for row = 0 to Relation.cardinality t.data - 1 do
+      if List.for_all (fun (col, r) -> Ranges.mem col.(row) r) restricted
+      then begin
+        acc := !acc +. t.weights.(row);
+        let h = t.stratum_of_row.(row) in
+        matched.(h) <- matched.(h) + 1
+      end
+    done;
+    (!acc, variance_of_matched t matched)
+  end
+
+(* SUM over a binned attribute's midpoints — the exact counterpart of
+   [Exec.sum] restricted to the sampled rows.  Treating a non-matching row
+   as contributing y = 0 makes the per-stratum sample variance
+   s² = (Σy² − k ȳ²)/(k−1) well-defined from the matching rows alone
+   (they are the only nonzero terms of Σy and Σy²); only k counts every
+   drawn row.  Var = Σ_h N_h²(1 − k_h/N_h) s²_h / k_h.  Unlike counts
+   there is no distribution-free floor: a stratum whose sampled rows all
+   miss the predicate reports zero spread. *)
+let estimate_sum_with_variance t ~attr pred =
+  let schema = Relation.schema t.data in
+  let domain = Schema.domain schema attr in
+  let midpoints =
+    Array.init (Schema.domain_size schema attr) (fun v ->
+        Domain.bin_midpoint domain v)
+  in
+  if Predicate.is_unsatisfiable pred then (0., 0.)
+  else begin
+    let restricted = restricted_columns t pred in
+    let col = Relation.column t.data attr in
+    let s = Array.length t.strata in
+    let sum_y = Array.make s 0. and sum_y2 = Array.make s 0. in
+    let acc = ref 0. in
+    for row = 0 to Relation.cardinality t.data - 1 do
+      if List.for_all (fun (c, r) -> Ranges.mem c.(row) r) restricted
+      then begin
+        let y = midpoints.(col.(row)) in
+        acc := !acc +. (t.weights.(row) *. y);
+        let h = t.stratum_of_row.(row) in
+        sum_y.(h) <- sum_y.(h) +. y;
+        sum_y2.(h) <- sum_y2.(h) +. (y *. y)
+      end
+    done;
+    let var = ref 0. in
+    Array.iteri
+      (fun h st ->
+        if st.population > 0 && st.drawn > 0 && st.drawn < st.population
+        then begin
+          let n = float_of_int st.population and k = float_of_int st.drawn in
+          let mean = sum_y.(h) /. k in
+          let s2 =
+            Float.max 0.
+              ((sum_y2.(h) -. (k *. mean *. mean)) /. Float.max 1. (k -. 1.))
+          in
+          var := !var +. (n *. n *. (1. -. (k /. n)) *. s2 /. k)
+        end)
+      t.strata;
+    (!acc, !var)
+  end
+
 let estimate_group_count t ~attrs pred =
   let schema = Relation.schema t.data in
   let sizes = List.map (fun i -> Schema.domain_size schema i) attrs in
   let cols = List.map (fun i -> Relation.column t.data i) attrs in
-  let restricted =
-    List.map
-      (fun i ->
-        match Predicate.restriction pred i with
-        | Some r -> (Relation.column t.data i, r)
-        | None -> assert false)
-      (Predicate.restricted_attrs pred)
-  in
+  let restricted = restricted_columns t pred in
   let tbl = Hashtbl.create 256 in
   for row = 0 to Relation.cardinality t.data - 1 do
     if List.for_all (fun (col, r) -> Ranges.mem col.(row) r) restricted then begin
@@ -76,3 +204,45 @@ let estimate_group_count t ~attrs pred =
     List.rev (go key rev_sizes)
   in
   Hashtbl.fold (fun key w acc -> (decode key, w) :: acc) tbl []
+
+(* Grouped counts with per-group variance: each group's count is the count
+   of (pred ∧ group = key), so its variance takes the same per-stratum FPC
+   form as [estimate_with_variance], with per-(group, stratum) match
+   tallies.  Groups absent from the sample are absent from the result. *)
+let estimate_group_with_variance t ~attrs pred =
+  let schema = Relation.schema t.data in
+  let sizes = List.map (fun i -> Schema.domain_size schema i) attrs in
+  let cols = List.map (fun i -> Relation.column t.data i) attrs in
+  let restricted = restricted_columns t pred in
+  let s = Array.length t.strata in
+  let tbl = Hashtbl.create 256 in
+  for row = 0 to Relation.cardinality t.data - 1 do
+    if List.for_all (fun (col, r) -> Ranges.mem col.(row) r) restricted then begin
+      let key =
+        List.fold_left2 (fun acc col size -> (acc * size) + col.(row)) 0 cols sizes
+      in
+      let weight, matched =
+        match Hashtbl.find_opt tbl key with
+        | Some cell -> cell
+        | None ->
+            let cell = (ref 0., Array.make s 0) in
+            Hashtbl.add tbl key cell;
+            cell
+      in
+      weight := !weight +. t.weights.(row);
+      let h = t.stratum_of_row.(row) in
+      matched.(h) <- matched.(h) + 1
+    end
+  done;
+  let decode key =
+    let rev_sizes = List.rev sizes in
+    let rec go key = function
+      | [] -> []
+      | size :: rest -> (key mod size) :: go (key / size) rest
+    in
+    List.rev (go key rev_sizes)
+  in
+  Hashtbl.fold
+    (fun key (weight, matched) acc ->
+      (decode key, !weight, variance_of_matched t matched) :: acc)
+    tbl []

@@ -1,29 +1,75 @@
 (** Weighted samples with Horvitz–Thompson count estimation — the common
-    representation of the paper's uniform and stratified baselines. *)
+    representation of the paper's uniform and stratified baselines.
+
+    A sample carries its design: the strata it was drawn from, each with a
+    source population and a drawn count, and the stratum of every sampled
+    row.  Estimators use the design to report a sampling variance with
+    per-stratum finite-population correction; a uniform sample is the
+    degenerate single-stratum design. *)
 
 open Edb_storage
 
 type t
 
+type stratum = { population : int; drawn : int }
+(** One stratum of the sampling design: [population] source rows, of which
+    [drawn] were sampled without replacement. *)
+
 val create :
+  ?strata:stratum array * int array ->
   data:Relation.t ->
   weights:float array ->
   source_cardinality:int ->
   description:string ->
+  unit ->
   t
-(** Raises [Invalid_argument] if weights and rows disagree in length. *)
+(** [strata] pairs the design with a per-sampled-row stratum id.  When
+    omitted, the sample is a single stratum with [population =
+    source_cardinality] and [drawn =] the number of sampled rows.  Raises
+    [Invalid_argument] if weights and rows disagree in length, if the
+    stratum-id array has the wrong length or ids out of range, or if a
+    stratum's [drawn] disagrees with its row count or exceeds its
+    [population]. *)
 
 val data : t -> Relation.t
 val description : t -> string
 val size : t -> int
 val source_cardinality : t -> int
 
+val strata : t -> stratum array
+(** A copy of the sampling design. *)
+
 val estimate_count : t -> Predicate.t -> float
 (** Sum of matching rows' weights: unbiased when each source row's inclusion
     probability is the inverse of its weight. *)
+
+val estimate_with_variance : t -> Predicate.t -> float * float
+(** [(estimate, variance)].  The estimate is bitwise-identical to
+    {!estimate_count}.  The variance is the stratified SRSWOR count
+    variance Σₕ Nₕ²(1−kₕ/Nₕ) p̃ₕ(1−p̃ₕ)/max(kₕ−1,1), where the plug-in
+    match proportion is clamped to p̃ ∈ [1/2k, 1−1/2k] for non-census
+    strata so degenerate all-miss/all-hit strata report an honest width
+    instead of zero; a census stratum (k = N) contributes 0 and an undrawn
+    stratum (k = 0, N > 0) the worst-case Nₕ²/4.  An unsatisfiable
+    predicate is provably zero: [(0., 0.)]. *)
+
+val estimate_sum_with_variance : t -> attr:int -> Predicate.t -> float * float
+(** SUM of attribute [attr]'s bin midpoints over matching source rows —
+    the sampled counterpart of [Exec.sum] — with the per-stratum FPC
+    variance Σₕ Nₕ²(1−kₕ/Nₕ) s²ₕ/kₕ, where s²ₕ is the sample variance of
+    the per-row contribution (0 for non-matching rows).  No variance
+    floor: a stratum whose drawn rows all miss reports zero spread.
+    Raises if [attr]'s domain is categorical (no midpoints). *)
 
 val estimate_group_count :
   t -> attrs:int list -> Predicate.t -> (int list * float) list
 (** Weighted GROUP BY estimate; groups absent from the sample are absent
     from the result (samples cannot distinguish rare from nonexistent — the
     contrast at the heart of the paper's F-measure experiment). *)
+
+val estimate_group_with_variance :
+  t -> attrs:int list -> Predicate.t -> (int list * float * float) list
+(** [(key, estimate, variance)] per group: each group's count is the count
+    of [pred ∧ group = key] and its variance takes the same per-stratum
+    FPC form as {!estimate_with_variance}.  Groups absent from the sample
+    are absent from the result. *)

@@ -17,52 +17,69 @@ open Edb_storage
 let allocate ~budget ~floor_per_stratum sizes =
   let s = Array.length sizes in
   let alloc = Array.make s 0 in
-  let floor_per_stratum =
-    (* If the guarantee alone overshoots the budget, degrade it gracefully
-       rather than fail; at least one row per stratum when possible. *)
-    if s * floor_per_stratum > budget then max 1 (budget / s)
-    else floor_per_stratum
-  in
-  let used = ref 0 in
-  Array.iteri
-    (fun i size ->
-      alloc.(i) <- min size floor_per_stratum;
-      used := !used + alloc.(i))
-    sizes;
-  let remaining = ref (budget - !used) in
-  if !remaining > 0 then begin
-    let capacity = Array.mapi (fun i size -> size - alloc.(i)) sizes in
-    let total_cap = Array.fold_left ( + ) 0 capacity in
-    if total_cap > 0 then begin
-      let budget0 = !remaining in
-      (* Proportional shares with floors; remainders handed out by largest
-         fractional part. *)
-      let shares =
-        Array.map
-          (fun c ->
-            float_of_int budget0 *. float_of_int c /. float_of_int total_cap)
-          capacity
-      in
-      let fracs = ref [] in
+  let total = Array.fold_left ( + ) 0 sizes in
+  (* The budget can never place more rows than exist nor fewer than zero:
+     allocations sum to exactly [min budget total]. *)
+  let budget = max 0 (min budget total) in
+  if s = 0 || budget = 0 then alloc
+  else begin
+    let floor_per_stratum =
+      (* If the guarantee alone overshoots the budget, degrade it to what
+         fits — possibly to zero rows per stratum when budget < #strata. *)
+      let f = max 0 floor_per_stratum in
+      if s * f > budget then budget / s else f
+    in
+    let used = ref 0 in
+    Array.iteri
+      (fun i size ->
+        alloc.(i) <- min size floor_per_stratum;
+        used := !used + alloc.(i))
+      sizes;
+    let remaining = ref (budget - !used) in
+    if !remaining > 0 then begin
+      let capacity = Array.mapi (fun i size -> size - alloc.(i)) sizes in
+      let total_cap = Array.fold_left ( + ) 0 capacity in
+      if total_cap > 0 then begin
+        let budget0 = !remaining in
+        (* Proportional shares with floors; remainders handed out by largest
+           fractional part. *)
+        let shares =
+          Array.map
+            (fun c ->
+              float_of_int budget0 *. float_of_int c /. float_of_int total_cap)
+            capacity
+        in
+        let fracs = ref [] in
+        Array.iteri
+          (fun i sh ->
+            let base = min capacity.(i) (int_of_float sh) in
+            alloc.(i) <- alloc.(i) + base;
+            remaining := !remaining - base;
+            if alloc.(i) < sizes.(i) then
+              fracs := (sh -. Float.of_int (int_of_float sh), i) :: !fracs)
+          shares;
+        let by_frac = List.sort (fun (a, _) (b, _) -> compare b a) !fracs in
+        List.iter
+          (fun (_, i) ->
+            if !remaining > 0 && alloc.(i) < sizes.(i) then begin
+              alloc.(i) <- alloc.(i) + 1;
+              decr remaining
+            end)
+          by_frac
+      end
+    end;
+    (* Deterministic sweep: any budget the fractional pass could not place
+       (float rounding pathologies) goes to the first strata with spare
+       capacity, so the sum is exact. *)
+    if !remaining > 0 then
       Array.iteri
-        (fun i sh ->
-          let base = min capacity.(i) (int_of_float sh) in
-          alloc.(i) <- alloc.(i) + base;
-          remaining := !remaining - base;
-          if alloc.(i) < sizes.(i) then
-            fracs := (sh -. Float.of_int (int_of_float sh), i) :: !fracs)
-        shares;
-      let by_frac = List.sort (fun (a, _) (b, _) -> compare b a) !fracs in
-      List.iter
-        (fun (_, i) ->
-          if !remaining > 0 && alloc.(i) < sizes.(i) then begin
-            alloc.(i) <- alloc.(i) + 1;
-            decr remaining
-          end)
-        by_frac
-    end
-  end;
-  alloc
+        (fun i size ->
+          let give = min !remaining (size - alloc.(i)) in
+          alloc.(i) <- alloc.(i) + give;
+          remaining := !remaining - give)
+        sizes;
+    alloc
+  end
 
 let create rng ~rate ~attrs ?(floor_per_stratum = 4) rel =
   if not (rate > 0. && rate <= 1.) then
@@ -89,7 +106,9 @@ let create rng ~rate ~attrs ?(floor_per_stratum = 4) rel =
   let strata = Array.of_list strata in
   let sizes = Array.map Array.length strata in
   let alloc = allocate ~budget ~floor_per_stratum sizes in
-  let rows = ref [] and weights = ref [] in
+  (* rows/weights/stratum ids are prepended in lockstep so the id array
+     lines up with the selected rows. *)
+  let rows = ref [] and weights = ref [] and sids = ref [] in
   Array.iteri
     (fun i stratum ->
       let k = alloc.(i) in
@@ -98,17 +117,25 @@ let create rng ~rate ~attrs ?(floor_per_stratum = 4) rel =
         let w = float_of_int sizes.(i) /. float_of_int k in
         for j = 0 to k - 1 do
           rows := stratum.(j) :: !rows;
-          weights := w :: !weights
+          weights := w :: !weights;
+          sids := i :: !sids
         done
       end)
     strata;
   let rows = Array.of_list !rows and weights = Array.of_list !weights in
+  let design =
+    Array.mapi
+      (fun i size -> { Sample.population = size; drawn = alloc.(i) })
+      sizes
+  in
   let names =
     String.concat "," (List.map (fun i -> Schema.attr_name schema i) attrs)
   in
   Sample.create
+    ~strata:(design, Array.of_list !sids)
     ~data:(Relation.select_rows rel rows)
     ~weights ~source_cardinality:n
     ~description:
       (Printf.sprintf "stratified(%s) %.2f%% (%d rows, %d strata)" names
          (rate *. 100.) (Array.length rows) (Array.length strata))
+    ()

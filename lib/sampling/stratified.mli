@@ -8,8 +8,10 @@ open Edb_storage
 
 val allocate : budget:int -> floor_per_stratum:int -> int array -> int array
 (** Exposed for testing: per-stratum sample counts given stratum sizes.
-    Never allocates more than a stratum's size; degrades the floor when the
-    guarantee alone exceeds the budget. *)
+    Allocations are non-negative, never exceed a stratum's size, and sum to
+    exactly [min (max budget 0) (sum sizes)]; the floor degrades (possibly
+    to zero) when the guarantee alone exceeds the budget.  Empty strata and
+    negative budgets or floors are tolerated and allocate nothing. *)
 
 val create :
   Prng.t -> rate:float -> attrs:int list -> ?floor_per_stratum:int ->

@@ -1,4 +1,5 @@
-(* Uniform sampling without replacement (the paper's "Uni" baseline). *)
+(* Uniform sampling without replacement (the paper's "Uni" baseline).
+   A single-stratum design: population n, drawn k. *)
 
 open Edb_util
 open Edb_storage
@@ -12,6 +13,8 @@ let create rng ~rate rel =
   let rows = Prng.sample_without_replacement rng ~n ~k in
   let weight = float_of_int n /. float_of_int k in
   Sample.create
+    ~strata:([| { Sample.population = n; drawn = k } |], Array.make k 0)
     ~data:(Relation.select_rows rel rows)
     ~weights:(Array.make k weight) ~source_cardinality:n
     ~description:(Printf.sprintf "uniform %.2f%% (%d rows)" (rate *. 100.) k)
+    ()

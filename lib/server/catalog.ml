@@ -17,12 +17,20 @@
 
 open Entropydb_core
 
+type aux = {
+  rel : Edb_storage.Relation.t;
+  sample : Edb_sampling.Sample.t;
+  rate : float;
+  csv_path : string;
+}
+
 type entry = {
   name : string;
   path : string;
   summary : Edb_shard.Sharded.t;
   cache : Cache.t;
   mutable last_used : int;
+  mutable aux : aux option;
 }
 
 type stats = {
@@ -101,6 +109,7 @@ let load t ~name ~path =
                   pred)
               (Edb_shard.Sharded.estimate summary);
           last_used = 0;
+          aux = None;
         }
       in
       with_lock t (fun () ->
@@ -122,6 +131,35 @@ let find t name =
       | None ->
           t.misses <- t.misses + 1;
           None)
+
+(* Attach a base-table CSV (index form, the summary's schema) to a
+   resident summary: the relation (exact scan) plus a deterministic
+   uniform sample of it become the entry's extra planner routes.  CSV
+   parsing and sampling run outside the lock, like [load]; the sample's
+   PRNG seed derives from (name, path) so re-attachment is
+   reproducible. *)
+let attach t ~name ~path ~rate =
+  match find t name with
+  | None ->
+      Error (Printf.sprintf "no resident summary named %s; LOAD it first" name)
+  | Some entry -> (
+      if not (rate > 0. && rate <= 1.) then
+        Error "attach rate must be in (0, 1]"
+      else
+        let schema = Edb_shard.Sharded.schema entry.summary in
+        match Edb_storage.Csv_io.load_indices schema path with
+        | exception Sys_error m -> Error m
+        | Error e ->
+            Error
+              (Format.asprintf "%s: %a" path Edb_storage.Csv_io.pp_error e)
+        | Ok rel ->
+            let rng =
+              Edb_util.Prng.create ~seed:(Hashtbl.hash (name, path)) ()
+            in
+            let sample = Edb_sampling.Uniform.create rng ~rate rel in
+            with_lock t (fun () ->
+                entry.aux <- Some { rel; sample; rate; csv_path = path });
+            Ok entry)
 
 let evict t name =
   with_lock t (fun () ->

@@ -8,6 +8,14 @@
 
 open Entropydb_core
 
+type aux = {
+  rel : Edb_storage.Relation.t;  (** the base table, for exact scans *)
+  sample : Edb_sampling.Sample.t;  (** deterministic uniform sample *)
+  rate : float;
+  csv_path : string;
+}
+(** Planner routes beyond the summary, attached per entry by {!attach}. *)
+
 type entry = {
   name : string;
   path : string;
@@ -15,6 +23,7 @@ type entry = {
       (** flat files load as single-shard views *)
   cache : Cache.t;
   mutable last_used : int;  (** LRU clock value; managed by the catalog *)
+  mutable aux : aux option;  (** set by {!attach}; dropped with the entry *)
 }
 
 type stats = {
@@ -38,6 +47,12 @@ val load : t -> name:string -> path:string -> (entry, string) result
 (** Deserialize [path] (flat summary or sharded manifest) and make it
     resident under [name], evicting the least-recently-used entries
     beyond capacity.  Replaces any previous summary of the same name. *)
+
+val attach : t -> name:string -> path:string -> rate:float -> (entry, string) result
+(** Load the index-form CSV at [path] under the resident summary [name]'s
+    schema and attach it — plus a deterministic uniform sample at [rate] —
+    as planner routes.  Errors if the summary is not resident, the rate is
+    outside (0, 1], or the CSV does not parse against the schema. *)
 
 val find : t -> string -> entry option
 (** Resident lookup; bumps the entry's LRU position and the hit/miss

@@ -114,6 +114,15 @@ let stats t = expect_ok (request t Protocol.Stats)
 let load t ~name ~path = expect_ok (request t (Protocol.Load { name; path }))
 let query t ~name ~sql = expect_ok (request t (Protocol.Query { name; sql }))
 
+let attach t ~name ~path ?rate () =
+  expect_ok (request t (Protocol.Attach { name; path; rate }))
+
+let plan t ~name ~ci ~sql =
+  expect_ok (request t (Protocol.Plan { name; ci; sql }))
+
+let explain t ~name ~sql =
+  expect_ok (request t (Protocol.Explain { name; sql }))
+
 let quit t =
   let r = expect_ok (request t Protocol.Quit) in
   close t;

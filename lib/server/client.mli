@@ -27,6 +27,19 @@ val stats : t -> (string list, string) result
 val load : t -> name:string -> path:string -> (string list, string) result
 val query : t -> name:string -> sql:string -> (string list, string) result
 
+val attach :
+  t -> name:string -> path:string -> ?rate:float -> unit ->
+  (string list, string) result
+(** Attach a base-table CSV (and a uniform sample at [rate], server
+    default 1%) to a resident summary, enabling [plan]. *)
+
+val plan :
+  t -> name:string -> ci:string -> sql:string -> (string list, string) result
+(** Error-aware routed query; [ci] is a planner target such as ["95:2"].
+    The payload leads with a [route <name> kind <kind> reason <r>] line. *)
+
+val explain : t -> name:string -> sql:string -> (string list, string) result
+
 val quit : t -> (string list, string) result
 (** Sends QUIT and closes the socket regardless of the reply. *)
 

@@ -111,6 +111,135 @@ let run_sql (entry : Catalog.entry) sql =
       | Invalid_argument m -> err Protocol.err_unsupported "%s" m
       | e -> err Protocol.err_internal "%s" (Printexc.to_string e))
 
+(* ------------------------------------------------------------------ *)
+(* Planner routing (PLAN verb, EXPLAIN candidate table)                 *)
+(* ------------------------------------------------------------------ *)
+
+module P = Edb_plan.Plan
+module E = Edb_plan.Estimator
+
+(* The entry's registered routes: always its summary; plus the exact
+   relation and a uniform sample once a base table is ATTACHed. *)
+let entry_estimators (entry : Catalog.entry) =
+  let summary = E.of_sharded entry.Catalog.summary in
+  match entry.Catalog.aux with
+  | None -> [ summary ]
+  | Some aux ->
+      [ summary; E.of_sample aux.Catalog.sample; E.of_relation aux.Catalog.rel ]
+
+(* Only conjunctive COUNT, SUM, and COUNT GROUP BY have error models on
+   every backend; OR-predicates and AVG stay on the default QUERY path. *)
+let shape_of_compiled (c : T.compiled) =
+  match T.conjunctive c with
+  | None -> None
+  | Some pred -> (
+      match c with
+      | { aggregate = T.Count; group_attrs = []; _ } -> Some (P.Count pred)
+      | { aggregate = T.Sum attr; group_attrs = []; _ } ->
+          Some (P.Sum { attr; pred })
+      | { aggregate = T.Count; group_attrs; _ } ->
+          Some (P.Groups { attrs = group_attrs; pred })
+      | _ -> None)
+
+let route_line (d : P.decision) =
+  Printf.sprintf "route %s kind %s reason %s"
+    (E.name d.P.chosen.P.estimator)
+    (E.kind_name (E.kind d.P.chosen.P.estimator))
+    d.P.reason
+
+let plan_group_lines schema (c : T.compiled) cells =
+  let cells =
+    List.map
+      (fun (values, (a : E.answer)) ->
+        (values, a.E.est, sqrt (Float.max 0. a.E.var)))
+      cells
+  in
+  let cells =
+    match c.T.order with
+    | Some Edb_query.Ast.Asc ->
+        List.sort
+          (fun (ka, a, _) (kb, b, _) ->
+            let o = Float.compare a b in
+            if o <> 0 then o else Stdlib.compare ka kb)
+          cells
+    | _ ->
+        List.sort
+          (fun (ka, a, _) (kb, b, _) ->
+            let o = Float.compare b a in
+            if o <> 0 then o else Stdlib.compare ka kb)
+          cells
+  in
+  let cells =
+    match c.T.limit with
+    | Some k -> List.filteri (fun i _ -> i < k) cells
+    | None -> cells
+  in
+  List.map
+    (fun (values, est, sd) ->
+      let labels =
+        List.map2
+          (fun attr v -> Domain.label (Schema.domain schema attr) v)
+          c.T.group_attrs values
+      in
+      Printf.sprintf "group %s %s %s" (float_str est) (float_str sd)
+        (String.concat "," labels))
+    cells
+
+let plan_sql (entry : Catalog.entry) ~ci sql =
+  let schema = Sharded.schema entry.Catalog.summary in
+  match P.target_of_string ci with
+  | exception Invalid_argument m -> err Protocol.err_parse "%s" m
+  | target -> (
+      match T.compile_string schema sql with
+      | Error e -> err Protocol.err_parse "%s" e.T.message
+      | Ok c -> (
+          match shape_of_compiled c with
+          | None ->
+              err Protocol.err_unsupported
+                "PLAN supports conjunctive COUNT, SUM, and COUNT GROUP BY"
+          | Some shape -> (
+              try
+                let d = P.choose ~target (entry_estimators entry) shape in
+                match P.chosen_groups d with
+                | Some cells ->
+                    Protocol.Ok
+                      (route_line d :: plan_group_lines schema c cells)
+                | None ->
+                    let a = P.chosen_answer d in
+                    Protocol.Ok
+                      [
+                        route_line d;
+                        "estimate " ^ float_str a.E.est;
+                        "stddev " ^ float_str (sqrt (Float.max 0. a.E.var));
+                      ]
+              with
+              | Invalid_argument m -> err Protocol.err_unsupported "%s" m
+              | e -> err Protocol.err_internal "%s" (Printexc.to_string e))))
+
+(* The eager decision for EXPLAIN: every candidate evaluated.  Ground
+   truth is read off the exact candidate's own answer when one is
+   registered (it has zero variance), so observed errors cost nothing
+   extra. *)
+let plan_explain_lines (entry : Catalog.entry) (c : T.compiled) =
+  match shape_of_compiled c with
+  | None -> [ "plan unsupported" ]
+  | Some shape -> (
+      try
+        let d =
+          P.choose_all ~target:P.default_target (entry_estimators entry) shape
+        in
+        let truth =
+          List.find_map
+            (fun (cand : P.candidate) ->
+              match (E.kind cand.P.estimator, cand.P.evaluation) with
+              | E.Exact, Some ev when ev.P.groups = None ->
+                  Some ev.P.answer.E.est
+              | _ -> None)
+            d.P.candidates
+        in
+        Edb_plan.Explain.lines ?truth d
+      with Invalid_argument m -> [ "plan unsupported " ^ m ])
+
 let explain_sql (entry : Catalog.entry) sql =
   let summary = entry.Catalog.summary in
   let schema = Sharded.schema summary in
@@ -148,7 +277,8 @@ let explain_sql (entry : Catalog.entry) sql =
                   (List.map (Schema.attr_name schema) c.group_attrs));
            Printf.sprintf "cacheable %b" cacheable;
          ]
-        @ List.map (fun p -> "where " ^ restricted p) c.disjuncts)
+        @ List.map (fun p -> "where " ^ restricted p) c.disjuncts
+        @ plan_explain_lines entry c)
 
 (* ------------------------------------------------------------------ *)
 (* STATS                                                               *)
@@ -256,3 +386,22 @@ let handle ~catalog ~metrics (request : Protocol.request) :
       match Catalog.find catalog name with
       | None -> (err Protocol.err_unknown "no summary named %s" name, Keep)
       | Some entry -> (explain_sql entry sql, Keep))
+  | Protocol.Attach { name; path; rate } -> (
+      let rate = Option.value rate ~default:0.01 in
+      match Catalog.attach catalog ~name ~path ~rate with
+      | Ok entry ->
+          let aux = Option.get entry.Catalog.aux in
+          ( Protocol.Ok
+              [
+                Printf.sprintf "attached %s rows %d sample_rows %d rate %g"
+                  name
+                  (Relation.cardinality aux.Catalog.rel)
+                  (Edb_sampling.Sample.size aux.Catalog.sample)
+                  rate;
+              ],
+            Keep )
+      | Error m -> (err Protocol.err_load "%s" m, Keep))
+  | Protocol.Plan { name; ci; sql } -> (
+      match Catalog.find catalog name with
+      | None -> (err Protocol.err_unknown "no summary named %s" name, Keep)
+      | Some entry -> (plan_sql entry ~ci sql, Keep))

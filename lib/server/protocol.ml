@@ -27,6 +27,12 @@ type request =
   | Explain of { name : string; sql : string }
   | List
   | Load of { name : string; path : string }
+  | Attach of { name : string; path : string; rate : float option }
+      (** attach a base-table CSV (and a uniform sample of it) to a
+          resident summary, enabling PLAN routing *)
+  | Plan of { name : string; ci : string; sql : string }
+      (** error-aware routed query: [ci] is a planner target such as
+          ["95:2"] *)
   | Stats
   | Ping
   | Quit
@@ -39,6 +45,8 @@ let request_tag = function
   | Explain _ -> "explain"
   | List -> "list"
   | Load _ -> "load"
+  | Attach _ -> "attach"
+  | Plan _ -> "plan"
   | Stats -> "stats"
   | Ping -> "ping"
   | Quit -> "quit"
@@ -99,6 +107,23 @@ let parse_request line =
       name_and_rest "LOAD" (fun name path ->
           if valid_word path then Result.Ok (Load { name; path })
           else Error "LOAD path must not contain whitespace")
+  | "ATTACH" ->
+      name_and_rest "ATTACH" (fun name payload ->
+          let path, rest = split_word payload in
+          if not (valid_word path) then
+            Error "ATTACH path must not contain whitespace"
+          else if rest = "" then Result.Ok (Attach { name; path; rate = None })
+          else
+            match float_of_string_opt rest with
+            | Some r when r > 0. && r <= 1. ->
+                Result.Ok (Attach { name; path; rate = Some r })
+            | _ -> Error "ATTACH rate must be a number in (0, 1]")
+  | "PLAN" ->
+      name_and_rest "PLAN" (fun name payload ->
+          let ci, sql = split_word payload in
+          if not (valid_word ci) then Error "PLAN needs a target (e.g. 95:2)"
+          else if sql = "" then Error "PLAN needs SQL"
+          else Result.Ok (Plan { name; ci; sql }))
   | "LIST" ->
       if rest = "" then Result.Ok List else Error "LIST takes no arguments"
   | "STATS" ->
@@ -115,6 +140,11 @@ let print_request = function
   | Explain { name; sql } -> Printf.sprintf "EXPLAIN %s %s" name sql
   | List -> "LIST"
   | Load { name; path } -> Printf.sprintf "LOAD %s %s" name path
+  | Attach { name; path; rate = None } ->
+      Printf.sprintf "ATTACH %s %s" name path
+  | Attach { name; path; rate = Some r } ->
+      Printf.sprintf "ATTACH %s %s %.17g" name path r
+  | Plan { name; ci; sql } -> Printf.sprintf "PLAN %s %s %s" name ci sql
   | Stats -> "STATS"
   | Ping -> "PING"
   | Quit -> "QUIT"

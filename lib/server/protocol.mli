@@ -14,6 +14,14 @@ type request =
   | Explain of { name : string; sql : string }
   | List
   | Load of { name : string; path : string }
+  | Attach of { name : string; path : string; rate : float option }
+      (** [ATTACH <name> <path> [<rate>]]: attach a base-table CSV (and a
+          uniform sample of it, default 1%) to a resident summary,
+          enabling error-aware [PLAN] routing *)
+  | Plan of { name : string; ci : string; sql : string }
+      (** [PLAN <name> <ci> <sql>]: route the query through the planner
+          with target [ci] (a {!Edb_plan.Plan.target_of_string} form such
+          as ["95:2"]) *)
   | Stats
   | Ping
   | Quit

@@ -68,6 +68,19 @@ let estimate_rounded t query =
 let variance t query = sum_over t (fun s -> Summary.variance s query)
 let stddev t query = sqrt (variance t query)
 
+(* Both moments in one fan-out: per-shard estimates and variances each
+   accumulate left to right from 0., so at k = 1 the pair is bitwise
+   equal to the flat summary's [estimate_with_variance]. *)
+let estimate_with_variance t query =
+  let est = ref 0. and var = ref 0. in
+  Array.iteri
+    (fun i s ->
+      let e, v = eval_shard i (fun () -> Summary.estimate_with_variance s query) in
+      est := !est +. e;
+      var := !var +. v)
+    t.shards;
+  (!est, !var)
+
 let estimate_sum t ~attr ?weights query =
   sum_over t (fun s -> Summary.estimate_sum s ~attr ?weights query)
 

@@ -44,6 +44,10 @@ val estimate_rounded : t -> Predicate.t -> float
 val variance : t -> Predicate.t -> float
 val stddev : t -> Predicate.t -> float
 
+val estimate_with_variance : t -> Predicate.t -> float * float
+(** Both moments in a single fan-out; the estimate is bitwise equal to
+    {!estimate} (one accumulation from 0. in shard order). *)
+
 val estimate_sum :
   t -> attr:int -> ?weights:(int -> float) -> Predicate.t -> float
 

@@ -64,14 +64,16 @@ let test_uniform_unbiased () =
 (* Stratified allocation (qcheck invariants)                           *)
 (* ------------------------------------------------------------------ *)
 
+(* Sizes may include empty strata, and budgets/floors reach down to 0 —
+   the degenerate corners the allocator must survive. *)
 let sizes_arb =
   QCheck.(
     make
       ~print:Print.(pair (list int) (pair int int) |> fun p -> p)
       Gen.(
         pair
-          (list_size (int_range 1 12) (int_range 1 500))
-          (pair (int_range 1 300) (int_range 1 10))))
+          (list_size (int_range 1 12) (int_range 0 500))
+          (pair (int_range 0 300) (int_range 0 10))))
 
 let prop name f =
   QCheck_alcotest.to_alcotest (QCheck.Test.make ~count:500 ~name sizes_arb f)
@@ -84,14 +86,13 @@ let allocation_props =
           Stratified.allocate ~budget ~floor_per_stratum:floor_ sizes
         in
         Array.for_all2 (fun a s -> a <= s) alloc sizes);
-    prop "never exceeds budget (when feasible)" (fun (sizes, (budget, floor_)) ->
+    prop "sums to exactly min(budget, total)" (fun (sizes, (budget, floor_)) ->
         let sizes = Array.of_list sizes in
         let alloc =
           Stratified.allocate ~budget ~floor_per_stratum:floor_ sizes
         in
-        (* The degraded floor guarantees at most one row per stratum even
-           when budget < #strata; allow that slack. *)
-        Array.fold_left ( + ) 0 alloc <= max budget (Array.length sizes));
+        let total = Array.fold_left ( + ) 0 sizes in
+        Array.fold_left ( + ) 0 alloc = min budget total);
     prop "non-negative" (fun (sizes, (budget, floor_)) ->
         let sizes = Array.of_list sizes in
         let alloc =
@@ -169,7 +170,143 @@ let test_sample_weights_length_guard () =
     (Invalid_argument "Sample.create: weights/rows mismatch") (fun () ->
       ignore
         (Sample.create ~data:rel ~weights:[| 1. |] ~source_cardinality:100
-           ~description:"bad"))
+           ~description:"bad" ()))
+
+(* ------------------------------------------------------------------ *)
+(* Horvitz–Thompson variance (differential against a naive             *)
+(* reimplementation of the per-stratum FPC formula)                    *)
+(* ------------------------------------------------------------------ *)
+
+(* Independent recomputation for single-stratum (uniform) designs: count
+   matches by brute force over the sampled rows, then apply
+   N²(1−k/N)·p̃(1−p̃)/max(k−1,1) with the endpoint clamp the library
+   documents. *)
+let naive_count_variance s pred =
+  let strata = Sample.strata s in
+  let data = Sample.data s in
+  assert (Array.length strata = 1);
+  let matched = Array.make (Array.length strata) 0 in
+  Relation.iteri
+    (fun _ row -> if Predicate.matches_row pred row then
+        matched.(0) <- matched.(0) + 1)
+    data;
+  Array.to_list strata
+  |> List.mapi (fun h (st : Sample.stratum) ->
+         let n = float_of_int st.population and k = float_of_int st.drawn in
+         if st.population = 0 || st.drawn >= st.population then 0.
+         else if st.drawn = 0 then 0.25 *. n *. n
+         else begin
+           let p = float_of_int matched.(h) /. k in
+           let lo = 1. /. (2. *. k) in
+           let p = Float.min (1. -. lo) (Float.max lo p) in
+           n *. n *. (1. -. (k /. n)) *. p *. (1. -. p)
+           /. Float.max 1. (k -. 1.)
+         end)
+  |> List.fold_left ( +. ) 0.
+
+let test_uniform_variance_differential () =
+  let rel = skewed_relation 5_000 21 in
+  let s = Uniform.create (Prng.create ~seed:22 ()) ~rate:0.05 rel in
+  let preds =
+    [
+      Predicate.tautology 2;
+      Predicate.point ~arity:2 [ (0, 3) ];
+      Predicate.point ~arity:2 [ (0, 0) ];
+      (* likely missed: ~30 rows at 5% *)
+      Predicate.of_alist ~arity:2 [ (1, Ranges.interval 2 7) ];
+      Predicate.point ~arity:2 [ (0, 1); (1, 9) ];
+    ]
+  in
+  List.iter
+    (fun pred ->
+      let est, var = Sample.estimate_with_variance s pred in
+      Alcotest.(check (float 0.))
+        "estimate bitwise = estimate_count"
+        (Sample.estimate_count s pred)
+        est;
+      Alcotest.(check (float 1e-6))
+        "variance matches naive recomputation"
+        (naive_count_variance s pred)
+        var;
+      Alcotest.(check bool) "variance non-negative" true (var >= 0.))
+    preds
+
+let test_variance_floor_on_missed_values () =
+  (* A rare value absent from the sample must still report positive
+     variance: zero would claim certainty about a count the sample never
+     observed (the planner would then mis-route). *)
+  let rel = skewed_relation 5_000 23 in
+  let s = Uniform.create (Prng.create ~seed:24 ()) ~rate:0.01 rel in
+  let pred = Predicate.point ~arity:2 [ (0, 0); (1, 7) ] in
+  let est, var = Sample.estimate_with_variance s pred in
+  if est = 0. then
+    Alcotest.(check bool) "missed value still has variance" true (var > 0.)
+  else Alcotest.(check bool) "variance positive" true (var > 0.)
+
+let test_census_variance_zero () =
+  (* rate 1.0 draws every row: a census has no sampling error. *)
+  let rel = skewed_relation 500 25 in
+  let s = Uniform.create (Prng.create ~seed:26 ()) ~rate:1.0 rel in
+  let pred = Predicate.point ~arity:2 [ (0, 2) ] in
+  let est, var = Sample.estimate_with_variance s pred in
+  Alcotest.(check (float 1e-9))
+    "census estimate exact"
+    (float_of_int (Exec.count rel pred))
+    est;
+  Alcotest.(check (float 0.)) "census variance zero" 0. var;
+  let sum_est, sum_var = Sample.estimate_sum_with_variance s ~attr:1 pred in
+  Alcotest.(check (float 1e-6)) "census sum exact" (Exec.sum rel ~attr:1 pred)
+    sum_est;
+  Alcotest.(check (float 0.)) "census sum variance zero" 0. sum_var
+
+let test_stratified_variance_census_strata () =
+  (* Small strata are drawn completely (floor ≥ size): their contribution
+     to the variance must be zero, and overall variance is finite and
+     non-negative on every predicate. *)
+  let rel = skewed_relation 8_000 27 in
+  let s =
+    Stratified.create (Prng.create ~seed:28 ()) ~rate:0.02 ~attrs:[ 0 ] rel
+  in
+  (* Stratum 0 has ~30 rows: with floor 4 it may or may not be a census,
+     but its per-stratum total is exact either way; the per-stratum
+     predicate's variance comes only from within-stratum sampling. *)
+  for g = 0 to 4 do
+    let pred = Predicate.point ~arity:2 [ (0, g) ] in
+    let est, var = Sample.estimate_with_variance s pred in
+    Alcotest.(check (float 0.))
+      "stratified estimate bitwise = estimate_count"
+      (Sample.estimate_count s pred)
+      est;
+    Alcotest.(check bool) "variance finite and non-negative" true
+      (Float.is_finite var && var >= 0.)
+  done;
+  (* The whole-table count is exact by construction (per-stratum totals
+     are size/alloc-weighted), and census strata contribute 0 variance. *)
+  let strata = Sample.strata s in
+  let census =
+    Array.for_all (fun (st : Sample.stratum) -> st.drawn = st.population) strata
+  in
+  if census then begin
+    let _, var = Sample.estimate_with_variance s (Predicate.tautology 2) in
+    Alcotest.(check (float 0.)) "all-census variance zero" 0. var
+  end
+
+let test_stratified_group_variance_totals () =
+  let rel = skewed_relation 6_000 29 in
+  let s =
+    Stratified.create (Prng.create ~seed:30 ()) ~rate:0.05 ~attrs:[ 0 ] rel
+  in
+  let groups = Sample.estimate_group_with_variance s ~attrs:[ 0 ] (Predicate.tautology 2) in
+  List.iter
+    (fun (key, est, var) ->
+      match key with
+      | [ g ] ->
+          let pred = Predicate.point ~arity:2 [ (0, g) ] in
+          let est', var' = Sample.estimate_with_variance s pred in
+          Alcotest.(check (float 1e-9)) "group est = point est" est' est;
+          Alcotest.(check (float 1e-9)) "group var = point var" var' var
+      | _ -> Alcotest.fail "unexpected key arity")
+    groups
 
 let () =
   Alcotest.run "entropydb-sampling"
@@ -199,5 +336,17 @@ let () =
         [
           Alcotest.test_case "weights length guard" `Quick
             test_sample_weights_length_guard;
+        ] );
+      ( "variance",
+        [
+          Alcotest.test_case "uniform differential" `Quick
+            test_uniform_variance_differential;
+          Alcotest.test_case "floor on missed values" `Quick
+            test_variance_floor_on_missed_values;
+          Alcotest.test_case "census is exact" `Quick test_census_variance_zero;
+          Alcotest.test_case "stratified census strata" `Quick
+            test_stratified_variance_census_strata;
+          Alcotest.test_case "grouped = pointwise" `Quick
+            test_stratified_group_variance_totals;
         ] );
     ]

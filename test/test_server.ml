@@ -97,6 +97,15 @@ let request_gen =
         map2
           (fun name path -> Protocol.Load { name; path })
           word_gen word_gen;
+        map3
+          (fun name path rate -> Protocol.Attach { name; path; rate })
+          word_gen word_gen
+          (* %.17g round-trips any float; simple rates keep counter-
+             examples readable. *)
+          (oneofl [ None; Some 0.01; Some 0.25; Some 1.0 ]);
+        map3
+          (fun name ci sql -> Protocol.Plan { name; ci; sql })
+          word_gen word_gen tail_gen;
         return Protocol.Stats;
         return Protocol.Ping;
         return Protocol.Quit;
@@ -144,6 +153,10 @@ let test_protocol_negatives () =
   bad "QUERY onlyname";
   bad "LIST extra";
   bad "LOAD name path with spaces";
+  bad "ATTACH name path with spaces";
+  bad "ATTACH name path 2.0";
+  bad "ATTACH name path nope";
+  bad "PLAN name 95:2";
   (match Protocol.parse_request "query flights SELECT COUNT(*) FROM f" with
   | Ok (Protocol.Query { name = "flights"; sql }) ->
       Alcotest.(check string) "sql tail" "SELECT COUNT(*) FROM f" sql
@@ -388,6 +401,112 @@ let test_handler_sharded () =
         (List.mem "catalog_shards 2" lines)
   | Protocol.Err { message; _ } -> Alcotest.fail message
 
+(* ATTACH wires a base table (and sample) into a resident entry; PLAN
+   routes per-request.  Before ATTACH the summary is the only route;
+   after it, a tight target must route to the exact scan and answer the
+   true count, EXPLAIN must grow a candidate table, and the planner's
+   edb_obs counters must surface in STATS. *)
+let test_handler_plan () =
+  let starts_with prefix line =
+    String.length line >= String.length prefix
+    && String.sub line 0 (String.length prefix) = prefix
+  in
+  let contains line needle =
+    let ll = String.length line and nl = String.length needle in
+    let rec go i = i + nl <= ll && (String.sub line i nl = needle || go (i + 1)) in
+    go 0
+  in
+  let dir = temp_dir () in
+  let seed = 91 in
+  let rel = small_relation ~seed [ 6; 5; 4 ] 400 in
+  let summary = small_summary ~seed () in
+  let path = saved_summary dir "p" summary in
+  let csv = Filename.concat dir "p.csv" in
+  Csv_io.save_indices rel csv;
+  let catalog = Catalog.create () in
+  let metrics = Metrics.create () in
+  let handle r = fst (Handler.handle ~catalog ~metrics r) in
+  (match handle (Protocol.Load { name = "p"; path }) with
+  | Protocol.Ok _ -> ()
+  | Protocol.Err { message; _ } -> Alcotest.fail message);
+  let sql = "SELECT COUNT(*) FROM f WHERE a0 IN [1,3]" in
+  (* Summary-only: PLAN works before any ATTACH. *)
+  (match handle (Protocol.Plan { name = "p"; ci = "95:50"; sql }) with
+  | Protocol.Ok (route :: _) ->
+      Alcotest.(check bool) "route line first" true (starts_with "route " route);
+      Alcotest.(check bool) "summary is the only route" true
+        (contains route "kind summary")
+  | Protocol.Ok [] -> Alcotest.fail "empty PLAN payload"
+  | Protocol.Err { message; _ } -> Alcotest.fail message);
+  (match handle (Protocol.Plan { name = "p"; ci = "garbage"; sql }) with
+  | Protocol.Err { code; _ } ->
+      Alcotest.(check string) "bad target is a parse error" Protocol.err_parse
+        code
+  | Protocol.Ok _ -> Alcotest.fail "bad target accepted");
+  (match handle (Protocol.Attach { name = "nope"; path = csv; rate = None }) with
+  | Protocol.Err _ -> ()
+  | Protocol.Ok _ -> Alcotest.fail "ATTACH to a non-resident name accepted");
+  (match
+     handle (Protocol.Attach { name = "p"; path = csv; rate = Some 0.25 })
+   with
+  | Protocol.Ok [ line ] ->
+      Alcotest.(check bool) "attached line" true (starts_with "attached p" line);
+      Alcotest.(check bool) "sample size reported" true
+        (contains line "sample_rows 100")
+  | Protocol.Ok l -> Alcotest.failf "ATTACH: %d lines" (List.length l)
+  | Protocol.Err { message; _ } -> Alcotest.fail message);
+  (* A target no estimator's noise can meet routes to the exact scan,
+     whose answer is the true count on the wire, bit for bit. *)
+  (match handle (Protocol.Plan { name = "p"; ci = "99:0.01:0.01"; sql }) with
+  | Protocol.Ok (route :: rest) ->
+      Alcotest.(check bool) "tight target routes exact" true
+        (contains route "kind exact");
+      let q = Predicate.of_alist ~arity:3 [ (0, Ranges.interval 1 3) ] in
+      let v = Option.get (Client.estimate_of_payload rest) in
+      Alcotest.(check (float 0.))
+        "exact route answers the true count"
+        (float_of_int (Exec.count rel q))
+        v
+  | Protocol.Ok [] -> Alcotest.fail "empty PLAN payload"
+  | Protocol.Err { message; _ } -> Alcotest.fail message);
+  (* GROUP BY planning returns one group line per cell. *)
+  (match
+     handle
+       (Protocol.Plan
+          { name = "p"; ci = "95:5"; sql = "SELECT COUNT(*) FROM f GROUP BY a1" })
+   with
+  | Protocol.Ok (route :: groups) ->
+      Alcotest.(check bool) "grouped route line" true (starts_with "route " route);
+      Alcotest.(check int) "one line per a1 value" 5 (List.length groups);
+      List.iter
+        (fun l ->
+          Alcotest.(check bool) "group line" true (starts_with "group " l))
+        groups
+  | Protocol.Ok [] -> Alcotest.fail "empty PLAN payload"
+  | Protocol.Err { message; _ } -> Alcotest.fail message);
+  (* AVG has no planner error model: ERR unsupported, not a crash. *)
+  (match
+     handle
+       (Protocol.Plan
+          { name = "p"; ci = "95:5"; sql = "SELECT AVG(a2) FROM f" })
+   with
+  | Protocol.Err { code; _ } ->
+      Alcotest.(check string) "AVG unsupported" Protocol.err_unsupported code
+  | Protocol.Ok _ -> Alcotest.fail "AVG should be unsupported");
+  (* EXPLAIN now carries the eager candidate table. *)
+  (match handle (Protocol.Explain { name = "p"; sql }) with
+  | Protocol.Ok payload ->
+      Alcotest.(check bool) "explain has plan candidates" true
+        (List.exists (starts_with "plan candidate") payload);
+      Alcotest.(check bool) "explain has the chosen route" true
+        (List.exists (starts_with "plan route") payload)
+  | Protocol.Err { message; _ } -> Alcotest.fail message);
+  match handle Protocol.Stats with
+  | Protocol.Ok lines ->
+      Alcotest.(check bool) "planner route counters surface in STATS" true
+        (List.exists (starts_with "obs_plan_route_") lines)
+  | Protocol.Err { message; _ } -> Alcotest.fail message
+
 (* ------------------------------------------------------------------ *)
 (* End-to-end over a Unix-domain socket                                *)
 (* ------------------------------------------------------------------ *)
@@ -497,6 +616,21 @@ let test_e2e_smoke () =
       (match Client.ping c with
       | Ok [ "pong" ] -> ()
       | _ -> Alcotest.fail "connection should survive a parse error");
+      (* ATTACH a base table, then PLAN routes over the wire. *)
+      let csv = Filename.concat dir "flights.csv" in
+      Csv_io.save_indices (small_relation ~seed:41 [ 6; 5; 4 ] 400) csv;
+      (match Client.attach c ~name:"flights" ~path:csv ~rate:0.5 () with
+      | Ok _ -> ()
+      | Error m -> Alcotest.fail m);
+      (match
+         Client.plan c ~name:"flights" ~ci:"95:2"
+           ~sql:"SELECT COUNT(*) FROM f WHERE a0 IN [1,3]"
+       with
+      | Ok (route :: _) ->
+          Alcotest.(check bool) "plan leads with the route" true
+            (String.length route >= 6 && String.sub route 0 6 = "route ")
+      | Ok [] -> Alcotest.fail "empty PLAN payload"
+      | Error m -> Alcotest.fail m);
       (* STATS over the wire after traffic. *)
       (match Client.stats c with
       | Ok lines ->
@@ -679,6 +813,7 @@ let () =
         [
           Alcotest.test_case "dispatch" `Quick test_handler_dispatch;
           Alcotest.test_case "sharded summary" `Quick test_handler_sharded;
+          Alcotest.test_case "attach + plan routing" `Quick test_handler_plan;
         ] );
       ( "end-to-end",
         [
