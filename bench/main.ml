@@ -1101,6 +1101,193 @@ let planner config =
   [ table ]
 
 (* ------------------------------------------------------------------ *)
+(* ingest: incremental maintenance vs full rebuild                     *)
+(* ------------------------------------------------------------------ *)
+
+(* Streams batches into a base summary two ways — Ingest.append
+   (delta-Φ + warm-started re-solve) and a cold rebuild of the growing
+   union — and records wall time and solver sweeps for each.  The
+   subsystem's whole claim is quantitative, so the experiment fails
+   loud if incremental maintenance does not beat the rebuild on wall
+   time or the warm start does not save solver sweeps. *)
+let ingest config =
+  let module St = Edb_storage in
+  let open Entropydb_core in
+  let sizes = [ 12; 10; 8; 6 ] in
+  let arity = List.length sizes in
+  let schema =
+    St.Schema.create
+      (List.mapi
+         (fun i n ->
+           St.Schema.attr
+             (Printf.sprintf "a%d" i)
+             (St.Domain.int_bins ~lo:0 ~hi:(n - 1) ~width:1))
+         sizes)
+  in
+  let base_rows =
+    match config.Config.scale with
+    | Config.Small -> 60_000
+    | Config.Full -> 400_000
+  in
+  let batch_rows = base_rows / 100 in
+  let num_batches = 4 in
+  let rng = Prng.create ~seed:config.Config.seed () in
+  (* Correlated columns (a1 tracks a0, a2 is skewed) make the 2D joints
+     informative, so a cold solve genuinely works for its α — the regime
+     where warm-starting has something to save. *)
+  let random_rel rows =
+    let b = St.Relation.builder ~capacity:rows schema in
+    for _ = 1 to rows do
+      let a0 = Prng.int rng 12 in
+      let a1 = ((a0 * 10 / 12) + Prng.int rng 3) mod 10 in
+      let a2 = min (Prng.int rng 8) (Prng.int rng 8) in
+      let a3 = Prng.int rng 6 in
+      St.Relation.add_row b [| a0; a1; a2; a3 |]
+    done;
+    St.Relation.build b
+  in
+  let concat a b =
+    let bld =
+      St.Relation.builder
+        ~capacity:(St.Relation.cardinality a + St.Relation.cardinality b)
+        schema
+    in
+    St.Relation.iteri (fun _ r -> St.Relation.add_row bld (Array.copy r)) a;
+    St.Relation.iteri (fun _ r -> St.Relation.add_row bld (Array.copy r)) b;
+    St.Relation.build bld
+  in
+  let joints =
+    [
+      St.Predicate.of_alist ~arity
+        [ (0, Ranges.interval 0 5); (1, Ranges.interval 0 4) ];
+      St.Predicate.of_alist ~arity
+        [ (0, Ranges.interval 6 11); (1, Ranges.interval 5 9) ];
+    ]
+  in
+  let quiet = { Solver.default_config with Solver.log_every = 0 } in
+  let base = random_rel base_rows in
+  let batches = List.init num_batches (fun _ -> random_rel batch_rows) in
+  Printf.printf "[ingest] base %d rows, %d batches x %d rows\n%!" base_rows
+    num_batches batch_rows;
+  let s0, build_s =
+    Timing.time (fun () -> Summary.build ~solver_config:quiet base ~joints)
+  in
+  let table =
+    Table.create
+      ~title:
+        (Printf.sprintf
+           "Incremental ingest vs full rebuild (base %d rows, cold build \
+            %.2fs)"
+           base_rows build_s)
+      ~headers:
+        [
+          "batch"; "rows"; "append ms"; "warm sweeps"; "rebuild ms";
+          "cold sweeps"; "speedup";
+        ]
+      ~aligns:
+        [
+          Table.Left; Table.Right; Table.Right; Table.Right; Table.Right;
+          Table.Right; Table.Right;
+        ]
+      ()
+  in
+  let inc_wall = ref 0. and reb_wall = ref 0. in
+  let warm_sweeps = ref 0 and cold_sweeps = ref 0 in
+  let rec stream i summary union rebuilt = function
+    | [] -> (summary, rebuilt)
+    | batch :: rest ->
+        let (summary', stats), dt_inc =
+          Timing.time (fun () ->
+              Edb_ingest.Ingest.append_with_stats ~solver_config:quiet
+                ~source:(Printf.sprintf "batch-%d" i)
+                summary batch)
+        in
+        let union' = concat union batch in
+        let rebuilt', dt_reb =
+          Timing.time (fun () ->
+              Summary.build ~solver_config:quiet union' ~joints)
+        in
+        let cold = Summary.solver_report rebuilt' in
+        if not (stats.Edb_ingest.Ingest.converged && cold.Solver.converged)
+        then failwith "ingest: a solve failed to converge";
+        inc_wall := !inc_wall +. dt_inc;
+        reb_wall := !reb_wall +. dt_reb;
+        warm_sweeps := !warm_sweeps + stats.Edb_ingest.Ingest.sweeps;
+        cold_sweeps := !cold_sweeps + cold.Solver.sweeps;
+        Table.add_row table
+          [
+            string_of_int i;
+            string_of_int (St.Relation.cardinality batch);
+            Printf.sprintf "%.1f" (dt_inc *. 1e3);
+            string_of_int stats.Edb_ingest.Ingest.sweeps;
+            Printf.sprintf "%.1f" (dt_reb *. 1e3);
+            string_of_int cold.Solver.sweeps;
+            Printf.sprintf "%.1fx" (dt_reb /. dt_inc);
+          ];
+        stream (i + 1) summary' union' rebuilt' rest
+  in
+  let final_inc, final_reb = stream 1 s0 base s0 batches in
+  (* The two maintenance paths must agree on answers, not just cost. *)
+  let probes =
+    List.init 32 (fun k ->
+        St.Predicate.of_alist ~arity
+          [
+            (0, Ranges.interval 0 (k mod 12));
+            (1, Ranges.interval (k mod 5) 9);
+            (2, Ranges.interval 0 (k mod 8));
+          ])
+  in
+  let max_rel =
+    List.fold_left
+      (fun acc q ->
+        let a = Summary.estimate final_inc q
+        and b = Summary.estimate final_reb q in
+        Float.max acc (Float.abs (a -. b) /. Float.max 1. (Float.abs b)))
+      0. probes
+  in
+  Table.add_row table
+    [
+      "total"; string_of_int (num_batches * batch_rows);
+      Printf.sprintf "%.1f" (!inc_wall *. 1e3);
+      string_of_int !warm_sweeps;
+      Printf.sprintf "%.1f" (!reb_wall *. 1e3);
+      string_of_int !cold_sweeps;
+      Printf.sprintf "%.1fx" (!reb_wall /. !inc_wall);
+    ];
+  extra_json :=
+    [
+      ("base_rows", Json.Int base_rows);
+      ("batch_rows", Json.Int batch_rows);
+      ("num_batches", Json.Int num_batches);
+      ("base_build_s", Json.Float build_s);
+      ("incremental_wall_s", Json.Float !inc_wall);
+      ("rebuild_wall_s", Json.Float !reb_wall);
+      ("wall_speedup", Json.Float (!reb_wall /. !inc_wall));
+      ("warm_sweeps", Json.Int !warm_sweeps);
+      ("cold_sweeps", Json.Int !cold_sweeps);
+      ("max_rel_diff_vs_rebuild", Json.Float max_rel);
+      ( "journal_batches",
+        Json.Int (Journal.batches (Summary.journal final_inc)) );
+    ];
+  if max_rel > 0.05 then
+    failwith
+      (Printf.sprintf "ingest: estimates drifted from rebuild (max rel %.3g)"
+         max_rel);
+  if !inc_wall >= !reb_wall then
+    failwith
+      (Printf.sprintf
+         "ingest: incremental maintenance (%.3fs) did not beat the rebuild \
+          (%.3fs)"
+         !inc_wall !reb_wall);
+  if !warm_sweeps >= !cold_sweeps then
+    failwith
+      (Printf.sprintf
+         "ingest: warm starts used %d sweeps vs %d cold — warm-starting \
+          saved nothing"
+         !warm_sweeps !cold_sweeps);
+  [ table ]
+
+(* ------------------------------------------------------------------ *)
 (* Driver                                                              *)
 (* ------------------------------------------------------------------ *)
 
@@ -1123,6 +1310,7 @@ let experiments config =
     ("groupby", fun () -> groupby config);
     ("obs", fun () -> obs config);
     ("planner", fun () -> planner config);
+    ("ingest", fun () -> ingest config);
     ("check", fun () -> check config);
   ]
 

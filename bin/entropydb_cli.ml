@@ -7,6 +7,8 @@
                   `summarize` is the same command under the paper's name)
      query       answer SQL against a saved summary (optionally vs exact)
      info        inspect a saved summary
+     ingest      append a batch CSV to a saved summary (incremental
+                 statistics + warm-started solve, no full rebuild)
      serve       run the resident summary server (lib/server)
      client      talk to a running server
      check       run the correctness oracle battery over random cases
@@ -650,6 +652,10 @@ let info_cmd =
             (if k = 1 then "" else Printf.sprintf " (shard %d)" i)
             report.sweeps report.converged report.max_rel_error)
         (Edb_shard.Sharded.solver_reports summary);
+      if k = 1 then
+        Fmt.pr "lineage:@.%a@." Entropydb_core.Journal.pp
+          (Entropydb_core.Summary.journal
+             (Edb_shard.Sharded.shards summary).(0));
       0
     with
     | Entropydb_core.Serialize.Format_error m ->
@@ -668,6 +674,106 @@ let info_cmd =
   Cmd.v
     (Cmd.info "info" ~doc:"Inspect a saved summary.")
     Term.(const run $ verbose_t $ summary_t)
+
+(* ------------------------------------------------------------------ *)
+(* ingest                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let ingest_cmd =
+  let run verbose summary_path batch_csv output sweeps =
+    setup_logs verbose;
+    try
+      (match Entropydb_core.Serialize.detect summary_path with
+      | Entropydb_core.Serialize.Flat -> ()
+      | Entropydb_core.Serialize.Sharded ->
+          Fmt.epr
+            "ingest error: %s is a sharded manifest; ingest supports flat \
+             summaries@."
+            summary_path;
+          exit 2);
+      let summary = Entropydb_core.Serialize.load summary_path in
+      let schema = Entropydb_core.Summary.schema summary in
+      match Csv_io.load_indices schema batch_csv with
+      | Error e ->
+          Fmt.epr "ingest error: %s: %a@." batch_csv Csv_io.pp_error e;
+          1
+      | Ok batch ->
+          (* Same live convergence table as `build -v`, so the warm
+             start's few sweeps are directly visible. *)
+          let header_printed = ref false in
+          let on_sweep (st : Entropydb_core.Solver.sweep_stat) =
+            if not !header_printed then begin
+              Printf.printf "%5s  %20s  %12s  %12s  %9s\n" "sweep" "dual"
+                "max_rel_err" "max_step" "elapsed_s";
+              header_printed := true
+            end;
+            Printf.printf "%5d  %20.13g  %12.3e  %12.3e  %9.3f\n%!" st.sweep
+              st.dual st.sweep_max_rel_error st.max_step st.elapsed_s
+          in
+          let on_sweep = if verbose then Some on_sweep else None in
+          let solver_config =
+            { Entropydb_core.Solver.default_config with max_sweeps = sweeps }
+          in
+          let summary', stats =
+            Edb_ingest.Ingest.append_with_stats ~solver_config
+              ~source:(Filename.basename batch_csv) ?on_sweep summary batch
+          in
+          let out = Option.value output ~default:summary_path in
+          Edb_ingest.Ingest.save_atomic summary' out;
+          Printf.printf
+            "ingested %d rows in %.2fs (%d warm sweep%s, converged=%b)\n"
+            stats.Edb_ingest.Ingest.batch_rows stats.Edb_ingest.Ingest.seconds
+            stats.Edb_ingest.Ingest.sweeps
+            (if stats.Edb_ingest.Ingest.sweeps = 1 then "" else "s")
+            stats.Edb_ingest.Ingest.converged;
+          Printf.printf "cardinality: %d\n" stats.Edb_ingest.Ingest.cardinality;
+          Fmt.pr "lineage:@.%a@." Entropydb_core.Journal.pp
+            (Entropydb_core.Summary.journal summary');
+          Printf.printf "summary written to %s\n" out;
+          0
+    with
+    | Entropydb_core.Serialize.Format_error m ->
+        Fmt.epr "ingest error: %s: %s@." summary_path m;
+        1
+    | Sys_error m | Failure m | Invalid_argument m ->
+        Fmt.epr "ingest error: %s@." m;
+        1
+  in
+  let summary_t =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "s"; "summary" ] ~docv:"FILE"
+          ~doc:"Saved (flat) summary to append to.")
+  in
+  let batch_t =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"BATCH.csv"
+          ~doc:"Index CSV of new rows, in the summary's schema.")
+  in
+  let output_t =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE"
+          ~doc:
+            "Where to write the updated summary (default: atomically \
+             replace the input file).")
+  in
+  let sweeps_t =
+    Arg.(
+      value
+      & opt int Entropydb_core.Solver.default_config.max_sweeps
+      & info [ "sweeps" ] ~docv:"N" ~doc:"Maximum warm re-solve sweeps.")
+  in
+  Cmd.v
+    (Cmd.info "ingest"
+       ~doc:
+         "Append a batch of rows to a saved summary without a full rebuild \
+          (incremental statistics + warm-started solve).")
+    Term.(const run $ verbose_t $ summary_t $ batch_t $ output_t $ sweeps_t)
 
 (* ------------------------------------------------------------------ *)
 (* evaluate                                                            *)
@@ -1159,7 +1265,7 @@ let () =
        (Cmd.group info
           [
             generate_cmd; build_cmd; summarize_cmd; query_cmd; explain_cmd;
-            info_cmd;
+            info_cmd; ingest_cmd;
             serve_cmd; client_cmd; stats_cmd; evaluate_cmd; check_cmd;
             experiment_cmd;
           ]))

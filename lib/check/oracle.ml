@@ -837,6 +837,117 @@ let c_obs_consistency ctx =
       "shard.evals counter moved %d for %d shard evaluations" dse (k * nq)
 
 (* ------------------------------------------------------------------ *)
+(* Streaming ingest (lib/ingest)                                       *)
+(* ------------------------------------------------------------------ *)
+
+(* Split the case's relation into a base prefix and a ~20% suffix that
+   plays the ingested batch; None for degenerate single-row cases. *)
+let ingest_split ctx =
+  let rel = ctx.case.Case.rel in
+  let n = Relation.cardinality rel in
+  if n < 2 then None
+  else begin
+    let d = max 1 (n / 5) in
+    let prefix = Relation.select_rows rel (Array.init (n - d) Fun.id) in
+    let suffix =
+      Relation.select_rows rel (Array.init d (fun i -> n - d + i))
+    in
+    Some (prefix, suffix)
+  end
+
+(* Incremental maintenance must land where the cold rebuild landed: the
+   delta-updated Φ IS the recount (targets are counts, additive over
+   disjoint bags, exact in floating point), and the warm-started
+   re-solve's estimates match the case's full build up to the slack two
+   independent solves of the same Φ can carry. *)
+let c_ingest_vs_rebuild ctx =
+  match ingest_split ctx with
+  | None -> ()
+  | Some (prefix, suffix) ->
+      let old_s =
+        Summary.build ~solver_config:Case.quiet prefix
+          ~joints:ctx.case.Case.joints
+      in
+      let inc =
+        Edb_ingest.Ingest.append ~solver_config:Case.quiet old_s suffix
+      in
+      let full = ctx.case.Case.summary in
+      let phi_inc = Poly.phi (Summary.poly inc) in
+      let phi_full = Poly.phi (Summary.poly full) in
+      tally ctx;
+      let worst = ref None in
+      for j = 0 to Phi.num_stats phi_full - 1 do
+        let a = Statistic.target (Phi.stat phi_inc j) in
+        let b = Statistic.target (Phi.stat phi_full j) in
+        if a <> b && !worst = None then worst := Some (j, a, b)
+      done;
+      (match !worst with
+      | Some (j, a, b) ->
+          fail ctx ~check:"ingest-vs-rebuild" ~tier:Differential
+            "delta-updated target differs from recount at stat %d: %.17g vs \
+             %.17g"
+            j a b
+      | None -> ());
+      (* Same Φ solved twice (warm vs cold): comparable only when both
+         solves actually reached tolerance. *)
+      if
+        (Summary.solver_report inc).Solver.converged
+        && (Summary.solver_report full).Solver.converged
+      then
+        List.iter
+          (fun q ->
+            tally ctx;
+            let a = Summary.estimate inc q and b = Summary.estimate full q in
+            if
+              not
+                (Floatx.approx_eq ~rtol:0.01
+                   ~atol:(1e-4 *. (nf ctx +. 1.))
+                   a b)
+            then
+              fail ctx ~check:"ingest-vs-rebuild" ~tier:Differential
+                "ingested %.12g vs rebuilt %.12g on %a" a b Predicate.pp q)
+          ctx.case.Case.queries
+
+(* Counts are additive over the partition (old rows ⊎ batch), and each
+   converged summary estimates its own partition's count within its own
+   error bars — so est(old) + est(delta) must agree with the ingested
+   summary's estimate up to the three models' combined uncertainty. *)
+let c_ingest_additivity ctx =
+  match ingest_split ctx with
+  | None -> ()
+  | Some (prefix, suffix) ->
+      let joints = ctx.case.Case.joints in
+      let old_s = Summary.build ~solver_config:Case.quiet prefix ~joints in
+      let delta_s = Summary.build ~solver_config:Case.quiet suffix ~joints in
+      let inc =
+        Edb_ingest.Ingest.append ~solver_config:Case.quiet old_s suffix
+      in
+      if
+        (Summary.solver_report old_s).Solver.converged
+        && (Summary.solver_report delta_s).Solver.converged
+        && (Summary.solver_report inc).Solver.converged
+      then
+        List.iter
+          (fun q ->
+            tally ctx;
+            let parts =
+              Summary.estimate old_s q +. Summary.estimate delta_s q
+            in
+            let whole = Summary.estimate inc q in
+            let tol =
+              ctx.cfg.z
+              *. (Summary.stddev old_s q +. Summary.stddev delta_s q
+                 +. Summary.stddev inc q)
+              +. (3. *. ctx.cfg.exact_atol)
+            in
+            if Float.abs (parts -. whole) > tol then
+              fail ctx ~check:"ingest-additivity" ~tier:Metamorphic
+                "est(old) + est(delta) = %.12g but est(old ⊎ delta) = %.12g \
+                 (tol %.3g) on %a"
+                parts whole tol Predicate.pp q)
+          ctx.case.Case.queries
+
+(* ------------------------------------------------------------------ *)
 (* Battery                                                             *)
 (* ------------------------------------------------------------------ *)
 
@@ -861,6 +972,8 @@ let checks : (string * tier * (ctx -> unit)) list =
     ("disjunction-singleton", Metamorphic, c_disjunction_singleton);
     ("disjunction-disjoint", Metamorphic, c_disjunction_disjoint);
     ("disjunction-bounds", Metamorphic, c_disjunction_bounds);
+    ("ingest-vs-rebuild", Differential, c_ingest_vs_rebuild);
+    ("ingest-additivity", Metamorphic, c_ingest_additivity);
     ("planner-singleton", Differential, c_planner_singleton);
     ("planner-combined-variance", Differential, c_planner_combined_variance);
     ("exact-count", Exact, c_exact_count);

@@ -175,6 +175,55 @@ let of_targets schema ~n ~marginal_targets ~joints =
   create_internal schema ~n ~marginal_counts:marginal_targets
     ~joint_pairs:joints
 
+(* ------------------------------------------------------------------ *)
+(* Incremental maintenance                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* Every statistic target is a count, so appending a batch B to the
+   summarized relation I moves each target by the batch's own count:
+
+     s_j(I ⊎ B) = |σ_{π_j}(I ⊎ B)| = s_j(I) + |σ_{π_j}(B)|.
+
+   The increments therefore cost O(|B|·arity + |B|·#joints) — they touch
+   only the new rows, never the base data (which may no longer exist). *)
+let delta_counts t batch =
+  if Stdlib.compare (Relation.schema batch) t.schema <> 0 then
+    invalid_arg "Phi.delta_counts: batch schema differs from the summary's";
+  let d = Array.make (Array.length t.stats) 0. in
+  let m = Schema.arity t.schema in
+  for i = 0 to m - 1 do
+    Array.iteri
+      (fun v c -> d.(t.marginal_offset.(i) + v) <- float_of_int c)
+      (Histogram.d1 batch ~attr:i)
+  done;
+  List.iter
+    (fun j ->
+      d.(j) <- float_of_int (Exec.count batch t.stats.(j).Statistic.pred))
+    (joint_ids t);
+  d
+
+(* Structure (predicates, families, ids) is untouched by new rows, so the
+   incremental update bypasses [create_internal]'s O(k²) family-disjointness
+   revalidation: only targets and n move. *)
+let add_counts t deltas ~rows =
+  if rows < 0 then invalid_arg "Phi.add_counts: negative row count";
+  if Array.length deltas <> Array.length t.stats then
+    invalid_arg "Phi.add_counts: delta vector length mismatch";
+  Array.iter
+    (fun d ->
+      if d < 0. || not (Float.is_finite d) then
+        invalid_arg "Phi.add_counts: deltas must be finite and >= 0")
+    deltas;
+  {
+    t with
+    n = t.n + rows;
+    stats =
+      Array.mapi (fun j s -> Statistic.add_count s deltas.(j)) t.stats;
+  }
+
+let append t batch =
+  add_counts t (delta_counts t batch) ~rows:(Relation.cardinality batch)
+
 (* Overcompleteness sanity check (Sec. 3.1): for every attribute, the
    marginal targets sum to the relation cardinality. *)
 let check_overcomplete t =

@@ -24,6 +24,25 @@ val of_targets :
     pairs.  Used by deserialization and by tests that perturb targets.
     Same validation as {!of_relation}. *)
 
+val delta_counts : t -> Relation.t -> float array
+(** Per-statistic count increments contributed by a batch of new rows,
+    indexed by statistic id: the batch's 1D histograms for marginals and
+    exact batch counts for joints.  Touches only the batch — O(|batch|) —
+    never the base data.  Raises [Invalid_argument] on a schema
+    mismatch. *)
+
+val add_counts : t -> float array -> rows:int -> t
+(** Φ with every target moved by the given increment and [n] grown by
+    [rows].  Predicates, ids, and families are unchanged (new rows cannot
+    alter the statistic structure), so no revalidation runs.  Raises
+    [Invalid_argument] on a length mismatch or a negative/non-finite
+    increment. *)
+
+val append : t -> Relation.t -> t
+(** [add_counts t (delta_counts t batch) ~rows:(cardinality batch)] — the
+    incremental-ingest statistic update:
+    s_j(I ⊎ B) = s_j(I) + |σ_{π_j}(B)|. *)
+
 val schema : t -> Schema.t
 
 val n : t -> int

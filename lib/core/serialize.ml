@@ -11,9 +11,26 @@
 open Edb_storage
 
 let magic = "ENTROPYDB\x01"
-let version = 1
+
+(* Version history:
+   1 — original payload (schema, n, targets, alpha, report);
+   2 — adds the ingest journal (summary lineage).  v1 files still load
+       (with a fresh base journal); versions beyond [version] are from a
+       future writer and fail with Format_error, never a crash. *)
+let version = 2
 
 exception Format_error of string
+
+(* The exact structural layout version-1 writers marshaled; kept verbatim
+   so old files deserialize safely (Marshal is structural, not named). *)
+type payload_v1 = {
+  v1_schema : Schema.t;
+  v1_n : int;
+  v1_marginal_targets : float array array;
+  v1_joints : (Predicate.t * float) list;
+  v1_alpha : float array;
+  v1_report : Solver.report;
+}
 
 type payload = {
   p_schema : Schema.t;
@@ -22,6 +39,7 @@ type payload = {
   p_joints : (Predicate.t * float) list;
   p_alpha : float array;
   p_report : Solver.report;
+  p_journal : Journal.t;
 }
 
 let save summary path =
@@ -52,6 +70,7 @@ let save summary path =
       p_joints = joints;
       p_alpha = Array.init (Phi.num_stats phi) (fun j -> Poly.alpha poly j);
       p_report = Summary.solver_report summary;
+      p_journal = Summary.journal summary;
     }
   in
   let oc = open_out_bin path in
@@ -76,14 +95,30 @@ let load ?term_cap path =
       in
       if buf <> magic then raise (Format_error "bad magic");
       let v = try input_binary_int ic with End_of_file -> raise (Format_error "truncated header") in
-      if v <> version then
+      if v < 1 || v > version then
         raise (Format_error (Printf.sprintf "unsupported version %d" v));
-      let payload : payload =
-        (* Marshal surfaces corruption as Failure or End_of_file; normalize
-           to Format_error so callers have one error type. *)
+      (* Marshal surfaces corruption as Failure or End_of_file; normalize
+         to Format_error so callers have one error type. *)
+      let unmarshal () =
         try Marshal.from_channel ic with
         | Failure msg -> raise (Format_error ("corrupt payload: " ^ msg))
         | End_of_file -> raise (Format_error "truncated payload")
+      in
+      let payload =
+        if v = 1 then
+          (* Pre-journal file: same data, no lineage; give it a fresh
+             base journal so ingest on top of it starts a clean record. *)
+          let p : payload_v1 = unmarshal () in
+          {
+            p_schema = p.v1_schema;
+            p_n = p.v1_n;
+            p_marginal_targets = p.v1_marginal_targets;
+            p_joints = p.v1_joints;
+            p_alpha = p.v1_alpha;
+            p_report = p.v1_report;
+            p_journal = Journal.base ~rows:p.v1_n ~source:"legacy-v1" ();
+          }
+        else (unmarshal () : payload)
       in
       let phi =
         Phi.of_targets payload.p_schema ~n:payload.p_n
@@ -94,7 +129,8 @@ let load ?term_cap path =
       let poly = Poly.create ?term_cap phi in
       Array.iteri (fun j a -> Poly.set_alpha poly j a) payload.p_alpha;
       Poly.refresh poly;
-      Summary.of_solved_poly ~poly ~report:payload.p_report)
+      Summary.of_solved_poly ~journal:payload.p_journal ~poly
+        ~report:payload.p_report ())
 
 (* ------------------------------------------------------------------ *)
 (* Sharded manifests                                                   *)

@@ -5,11 +5,19 @@
 
 exception Format_error of string
 
+val version : int
+(** Current flat-file format version (2: v1 payload + the ingest
+    {!Journal}).  {!load} accepts every version up to this one — v1 files
+    load with a fresh base journal — and rejects unknown future versions
+    with {!Format_error}. *)
+
 val save : Summary.t -> string -> unit
+(** Always writes the current {!version}. *)
 
 val load : ?term_cap:int -> string -> Summary.t
-(** Raises {!Format_error} on bad magic, version, or payload shape, and
-    like {!Poly.create} if the rebuilt polynomial exceeds [term_cap]. *)
+(** Raises {!Format_error} on bad magic, an unsupported (future) version,
+    or a corrupt payload, and like {!Poly.create} if the rebuilt
+    polynomial exceeds [term_cap]. *)
 
 (** {2 Sharded manifests}
 

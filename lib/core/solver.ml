@@ -254,7 +254,18 @@ let solve_empty poly =
     seconds = Edb_util.Timing.now_s () -. t0;
   }
 
-let solve ?(config = default_config) ?on_sweep poly =
+(* Warm start: overwrite Poly.create's cold initialization (marginals at
+   s_j/n, joints at 1) with a caller-supplied vector — typically the
+   converged α of the summary a batch is being appended to.  Coordinate
+   updates are exact per-variable maximizations from wherever the iterate
+   stands, so any non-negative starting point is admissible; starting
+   near the previous optimum is what makes incremental ingest cheap. *)
+let apply_init poly init =
+  if Array.exists (fun a -> not (Float.is_finite a) || a < 0.) init then
+    invalid_arg "Solver.solve: init must be finite and >= 0";
+  Poly.set_alphas poly init
+
+let solve ?(config = default_config) ?init ?on_sweep poly =
   Obs.with_span "solver.solve" ~cat:"build"
     ~attrs:(fun () ->
       [
@@ -263,8 +274,10 @@ let solve ?(config = default_config) ?on_sweep poly =
           | Coordinate -> "coordinate"
           | Multiplicative -> "multiplicative" );
         ("num_stats", string_of_int (Phi.num_stats (Poly.phi poly)));
+        ("warm_start", string_of_bool (init <> None));
       ])
     (fun () ->
+      (match init with Some a -> apply_init poly a | None -> ());
       if Phi.n (Poly.phi poly) = 0 then solve_empty poly
       else
         match config.algorithm with

@@ -34,10 +34,23 @@ type sweep_stat = {
   elapsed_s : float;  (** wall time since the solve started *)
 }
 
-val solve : ?config:config -> ?on_sweep:(sweep_stat -> unit) -> Poly.t -> report
+val solve :
+  ?config:config ->
+  ?init:float array ->
+  ?on_sweep:(sweep_stat -> unit) ->
+  Poly.t ->
+  report
 (** Mutates the polynomial's variables toward the MaxEnt solution.  The
     dual trace is non-decreasing up to floating-point noise (Ψ is concave
     and every step is an exact coordinate maximization).
+
+    [init] warm-starts the solve from a caller-supplied variable vector
+    (indexed by stat id) instead of {!Poly.create}'s cold initialization —
+    the incremental-ingest path passes the previous summary's converged α
+    so only the perturbation introduced by the new batch must be
+    re-solved.  Omitting it leaves the polynomial's variables untouched,
+    preserving cold-start behavior bitwise.  Raises [Invalid_argument]
+    on a length mismatch or a negative/non-finite component.
 
     [on_sweep] is called after every sweep with that sweep's convergence
     telemetry; the same stats are also emitted as ["solver.sweep"] instant

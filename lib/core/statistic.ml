@@ -31,6 +31,15 @@ let kind t = t.kind
 
 let is_marginal t = match t.kind with Marginal _ -> true | Joint _ -> false
 
+(* Incremental maintenance: a batch of new rows moves a statistic's
+   observed count, never its predicate or identity. *)
+let with_target t target =
+  if target < 0. || not (Float.is_finite target) then
+    invalid_arg "Statistic.with_target: target must be finite and >= 0";
+  { t with target }
+
+let add_count t delta = with_target t (t.target +. delta)
+
 let attrs t = Predicate.restricted_attrs t.pred
 
 let pp ppf t =

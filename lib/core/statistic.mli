@@ -22,6 +22,15 @@ val target : t -> float
 val kind : t -> kind
 val is_marginal : t -> bool
 
+val with_target : t -> float -> t
+(** The same statistic with its observed count replaced — the incremental
+    ingest path's per-statistic update.  Raises [Invalid_argument] on a
+    negative or non-finite target. *)
+
+val add_count : t -> float -> t
+(** [with_target t (target t +. delta)]: fold a batch's contribution into
+    the observed count. *)
+
 val attrs : t -> int list
 (** Attributes the statistic's predicate restricts. *)
 

@@ -14,6 +14,7 @@ type t = {
   schema : Schema.t;
   n : int;
   report : Solver.report;
+  journal : Journal.t; (* lineage: base build + every ingested batch *)
 }
 
 let build ?(solver_config = Solver.default_config) ?term_cap ?on_sweep rel
@@ -21,25 +22,44 @@ let build ?(solver_config = Solver.default_config) ?term_cap ?on_sweep rel
   let phi = Phi.of_relation rel ~joints in
   let poly = Poly.create ?term_cap phi in
   let report = Solver.solve ~config:solver_config ?on_sweep poly in
-  { poly; schema = Relation.schema rel; n = Relation.cardinality rel; report }
+  let n = Relation.cardinality rel in
+  {
+    poly;
+    schema = Relation.schema rel;
+    n;
+    report;
+    journal = Journal.base ~rows:n ();
+  }
 
-let of_phi ?(solver_config = Solver.default_config) ?term_cap ?on_sweep phi =
+let of_phi ?(solver_config = Solver.default_config) ?term_cap ?init ?on_sweep
+    phi =
   let poly = Poly.create ?term_cap phi in
-  let report = Solver.solve ~config:solver_config ?on_sweep poly in
-  { poly; schema = Phi.schema phi; n = Phi.n phi; report }
+  let report = Solver.solve ~config:solver_config ?init ?on_sweep poly in
+  {
+    poly;
+    schema = Phi.schema phi;
+    n = Phi.n phi;
+    report;
+    journal = Journal.base ~rows:(Phi.n phi) ();
+  }
 
-let of_solved_poly ~poly ~report =
+let of_solved_poly ?journal ~poly ~report () =
+  let n = Phi.n (Poly.phi poly) in
   {
     poly;
     schema = Phi.schema (Poly.phi poly);
-    n = Phi.n (Poly.phi poly);
+    n;
     report;
+    journal =
+      (match journal with Some j -> j | None -> Journal.base ~rows:n ());
   }
 
 let schema t = t.schema
 let cardinality t = t.n
 let poly t = t.poly
 let solver_report t = t.report
+let journal t = t.journal
+let with_journal t journal = { t with journal }
 
 let estimate t query = Poly.estimate t.poly query
 

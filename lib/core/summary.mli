@@ -23,15 +23,19 @@ val build :
 val of_phi :
   ?solver_config:Solver.config ->
   ?term_cap:int ->
+  ?init:float array ->
   ?on_sweep:(Solver.sweep_stat -> unit) ->
   Phi.t ->
   t
-(** Build from a pre-computed statistic set (used by tests and by callers
-    that tweak targets). *)
+(** Build from a pre-computed statistic set (used by tests, callers that
+    tweak targets, and the incremental-ingest path).  [init] warm-starts
+    the solve, see {!Solver.solve}. *)
 
-val of_solved_poly : poly:Poly.t -> report:Solver.report -> t
-(** Wrap an already-solved polynomial (deserialization path); does not
-    re-solve. *)
+val of_solved_poly :
+  ?journal:Journal.t -> poly:Poly.t -> report:Solver.report -> unit -> t
+(** Wrap an already-solved polynomial (deserialization and ingest paths);
+    does not re-solve.  [journal] defaults to a fresh base journal of the
+    polynomial's cardinality. *)
 
 val schema : t -> Schema.t
 
@@ -40,6 +44,14 @@ val cardinality : t -> int
 
 val poly : t -> Poly.t
 val solver_report : t -> Solver.report
+
+val journal : t -> Journal.t
+(** The summary's lineage: base build plus every ingested batch.  For a
+    summary maintained through {!Edb_ingest.Ingest},
+    [Journal.total_rows (journal t) = cardinality t]. *)
+
+val with_journal : t -> Journal.t -> t
+(** Replace the lineage record (used by the ingest path). *)
 
 val estimate : t -> Predicate.t -> float
 (** E[⟨q,I⟩] for a conjunctive counting query — Sec. 4.2's zeroing formula;

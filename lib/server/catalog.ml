@@ -161,6 +161,83 @@ let attach t ~name ~path ~rate =
                 entry.aux <- Some { rel; sample; rate; csv_path = path });
             Ok entry)
 
+type refresh_info = {
+  batch_rows : int;
+  cardinality : int;
+  sweeps : int;
+  batches : int;  (* journal length after the append *)
+}
+
+(* Incremental REFRESH: ingest a batch CSV into a resident summary and
+   atomically swap the catalog entry.
+
+   All the expensive work — CSV parse, delta-Φ, warm-started re-solve,
+   atomic on-disk rewrite — runs outside the lock, on the worker thread
+   serving the REFRESH.  Concurrent queries keep answering from the old
+   entry (a request resolves its entry once via [find] and uses that
+   immutable summary throughout, so no request ever mixes old and new
+   answers).  The swap itself is one Hashtbl.replace under the lock with
+   a *fresh* cache, so every cached answer derived from the old summary
+   is invalidated by construction.  Any ATTACHed base table describes
+   the pre-batch relation and is dropped — re-ATTACH after REFRESH. *)
+let refresh t ~name ~path:csv_path =
+  match find t name with
+  | None ->
+      Error (Printf.sprintf "no resident summary named %s; LOAD it first" name)
+  | Some entry -> (
+      if Edb_shard.Sharded.num_shards entry.summary <> 1 then
+        Error
+          (Printf.sprintf
+             "REFRESH supports unsharded summaries; %s has %d shards" name
+             (Edb_shard.Sharded.num_shards entry.summary))
+      else
+        let flat = (Edb_shard.Sharded.shards entry.summary).(0) in
+        let schema = Summary.schema flat in
+        match Edb_storage.Csv_io.load_indices schema csv_path with
+        | exception Sys_error m -> Error m
+        | Error e ->
+            Error
+              (Format.asprintf "%s: %a" csv_path Edb_storage.Csv_io.pp_error e)
+        | Ok batch -> (
+            match
+              Edb_ingest.Ingest.append_with_stats
+                ~source:(Filename.basename csv_path) flat batch
+            with
+            | exception Invalid_argument m -> Error m
+            | summary', stats -> (
+                match Edb_ingest.Ingest.save_atomic summary' entry.path with
+                | exception Sys_error m -> Error m
+                | () ->
+                    let sharded = Edb_shard.Sharded.of_flat summary' in
+                    let entry' =
+                      {
+                        name;
+                        path = entry.path;
+                        summary = sharded;
+                        cache =
+                          Cache.of_fn ~capacity:t.cache_capacity
+                            ~groups:(fun ~attrs pred ->
+                              Edb_shard.Sharded.estimate_groups_with_stddev
+                                sharded ~attrs pred)
+                            (Edb_shard.Sharded.estimate sharded);
+                        last_used = 0;
+                        aux = None;
+                      }
+                    in
+                    with_lock t (fun () ->
+                        t.tick <- t.tick + 1;
+                        entry'.last_used <- t.tick;
+                        Hashtbl.replace t.table name entry');
+                    Ok
+                      ( entry',
+                        {
+                          batch_rows = stats.Edb_ingest.Ingest.batch_rows;
+                          cardinality = stats.Edb_ingest.Ingest.cardinality;
+                          sweeps = stats.Edb_ingest.Ingest.sweeps;
+                          batches =
+                            Journal.batches (Summary.journal summary');
+                        } ))))
+
 let evict t name =
   with_lock t (fun () ->
       if Hashtbl.mem t.table name then begin

@@ -54,6 +54,23 @@ val attach : t -> name:string -> path:string -> rate:float -> (entry, string) re
     as planner routes.  Errors if the summary is not resident, the rate is
     outside (0, 1], or the CSV does not parse against the schema. *)
 
+type refresh_info = {
+  batch_rows : int;
+  cardinality : int;  (** after the append *)
+  sweeps : int;  (** warm-started re-solve sweeps *)
+  batches : int;  (** journal length after the append *)
+}
+
+val refresh : t -> name:string -> path:string -> (entry * refresh_info, string) result
+(** Ingest the batch CSV at [path] into the resident (unsharded) summary
+    [name]: incremental Φ update + warm-started re-solve + atomic rewrite
+    of the summary file, all outside the lock, then an atomic swap of the
+    catalog entry with a fresh (empty) query cache.  Concurrent queries
+    answer from the old summary until the swap and never observe a
+    partial one.  Any ATTACHed planner routes are dropped (they describe
+    the pre-batch table).  Errors if the summary is not resident, is
+    sharded, or the CSV does not parse against its schema. *)
+
 val find : t -> string -> entry option
 (** Resident lookup; bumps the entry's LRU position and the hit/miss
     counters.  Never touches the disk. *)

@@ -112,6 +112,9 @@ let ping t = expect_ok (request t Protocol.Ping)
 let list t = expect_ok (request t Protocol.List)
 let stats t = expect_ok (request t Protocol.Stats)
 let load t ~name ~path = expect_ok (request t (Protocol.Load { name; path }))
+
+let refresh t ~name ~path =
+  expect_ok (request t (Protocol.Refresh { name; path }))
 let query t ~name ~sql = expect_ok (request t (Protocol.Query { name; sql }))
 
 let attach t ~name ~path ?rate () =

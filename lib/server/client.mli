@@ -25,6 +25,12 @@ val ping : t -> (string list, string) result
 val list : t -> (string list, string) result
 val stats : t -> (string list, string) result
 val load : t -> name:string -> path:string -> (string list, string) result
+
+val refresh : t -> name:string -> path:string -> (string list, string) result
+(** Ingest a batch CSV into the resident summary [name] (server-side
+    incremental maintenance + atomic swap). *)
+
+
 val query : t -> name:string -> sql:string -> (string list, string) result
 
 val attach :

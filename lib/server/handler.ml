@@ -22,6 +22,13 @@ let float_str v = Printf.sprintf "%.17g" v
 let err code fmt =
   Printf.ksprintf (fun message -> Protocol.Err { code; message }) fmt
 
+(* REFRESH accounting: successes/failures and end-to-end latency (CSV
+   parse + ingest + disk rewrite + swap), in the global registry so STATS
+   and `entropydb stats` surface them as obs_ingest_refresh* lines. *)
+let m_refreshes = Edb_obs.Registry.counter "ingest_refreshes"
+let m_refresh_failures = Edb_obs.Registry.counter "ingest_refresh_failures"
+let m_refresh_latency = Edb_obs.Registry.histogram "ingest_refresh"
+
 (* ------------------------------------------------------------------ *)
 (* SQL execution                                                       *)
 (* ------------------------------------------------------------------ *)
@@ -405,3 +412,25 @@ let handle ~catalog ~metrics (request : Protocol.request) :
       match Catalog.find catalog name with
       | None -> (err Protocol.err_unknown "no summary named %s" name, Keep)
       | Some entry -> (plan_sql entry ~ci sql, Keep))
+  | Protocol.Refresh { name; path } -> (
+      match Catalog.find catalog name with
+      | None -> (err Protocol.err_unknown "no summary named %s" name, Keep)
+      | Some _ -> (
+          let t0 = Edb_util.Timing.now_s () in
+          match Catalog.refresh catalog ~name ~path with
+          | Ok (_, info) ->
+              Edb_obs.Registry.Counter.incr m_refreshes;
+              Edb_obs.Registry.Hist.observe m_refresh_latency
+                (Edb_util.Timing.now_s () -. t0);
+              ( Protocol.Ok
+                  [
+                    Printf.sprintf
+                      "refreshed %s cardinality %d batch_rows %d batches %d \
+                       sweeps %d"
+                      name info.Catalog.cardinality info.Catalog.batch_rows
+                      info.Catalog.batches info.Catalog.sweeps;
+                  ],
+                Keep )
+          | Error m ->
+              Edb_obs.Registry.Counter.incr m_refresh_failures;
+              (err Protocol.err_load "%s" m, Keep)))

@@ -33,6 +33,9 @@ type request =
   | Plan of { name : string; ci : string; sql : string }
       (** error-aware routed query: [ci] is a planner target such as
           ["95:2"] *)
+  | Refresh of { name : string; path : string }
+      (** ingest a batch CSV into a resident summary: rebuild off the
+          request thread, then atomically swap the catalog entry *)
   | Stats
   | Ping
   | Quit
@@ -47,6 +50,7 @@ let request_tag = function
   | Load _ -> "load"
   | Attach _ -> "attach"
   | Plan _ -> "plan"
+  | Refresh _ -> "refresh"
   | Stats -> "stats"
   | Ping -> "ping"
   | Quit -> "quit"
@@ -107,6 +111,10 @@ let parse_request line =
       name_and_rest "LOAD" (fun name path ->
           if valid_word path then Result.Ok (Load { name; path })
           else Error "LOAD path must not contain whitespace")
+  | "REFRESH" ->
+      name_and_rest "REFRESH" (fun name path ->
+          if valid_word path then Result.Ok (Refresh { name; path })
+          else Error "REFRESH path must not contain whitespace")
   | "ATTACH" ->
       name_and_rest "ATTACH" (fun name payload ->
           let path, rest = split_word payload in
@@ -145,6 +153,7 @@ let print_request = function
   | Attach { name; path; rate = Some r } ->
       Printf.sprintf "ATTACH %s %s %.17g" name path r
   | Plan { name; ci; sql } -> Printf.sprintf "PLAN %s %s %s" name ci sql
+  | Refresh { name; path } -> Printf.sprintf "REFRESH %s %s" name path
   | Stats -> "STATS"
   | Ping -> "PING"
   | Quit -> "QUIT"

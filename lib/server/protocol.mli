@@ -22,6 +22,12 @@ type request =
       (** [PLAN <name> <ci> <sql>]: route the query through the planner
           with target [ci] (a {!Edb_plan.Plan.target_of_string} form such
           as ["95:2"]) *)
+  | Refresh of { name : string; path : string }
+      (** [REFRESH <name> <csv>]: ingest the batch CSV into the resident
+          summary [name] — incremental Φ update + warm-started re-solve
+          off the request thread, then an atomic catalog-entry swap (and
+          an atomic rewrite of the summary file on disk).  Concurrent
+          queries answer from the old summary until the swap. *)
   | Stats
   | Ping
   | Quit

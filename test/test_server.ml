@@ -97,6 +97,9 @@ let request_gen =
         map2
           (fun name path -> Protocol.Load { name; path })
           word_gen word_gen;
+        map2
+          (fun name path -> Protocol.Refresh { name; path })
+          word_gen word_gen;
         map3
           (fun name path rate -> Protocol.Attach { name; path; rate })
           word_gen word_gen
@@ -153,6 +156,9 @@ let test_protocol_negatives () =
   bad "QUERY onlyname";
   bad "LIST extra";
   bad "LOAD name path with spaces";
+  bad "REFRESH";
+  bad "REFRESH onlyname";
+  bad "REFRESH name path with spaces";
   bad "ATTACH name path with spaces";
   bad "ATTACH name path 2.0";
   bad "ATTACH name path nope";
@@ -507,6 +513,105 @@ let test_handler_plan () =
         (List.exists (starts_with "obs_plan_route_") lines)
   | Protocol.Err { message; _ } -> Alcotest.fail message
 
+(* REFRESH ingests a batch CSV into a resident summary: answers change
+   to the incrementally-maintained summary's, the on-disk file gains a
+   journal entry (atomic rewrite), per-summary caches are invalidated,
+   and ingest counters surface in STATS.  Sharded and unknown names are
+   clean errors. *)
+let test_handler_refresh () =
+  let contains line needle =
+    let ll = String.length line and nl = String.length needle in
+    let rec go i = i + nl <= ll && (String.sub line i nl = needle || go (i + 1)) in
+    go 0
+  in
+  let dir = temp_dir () in
+  let summary = small_summary ~seed:101 () in
+  let path = saved_summary dir "r" summary in
+  let batch = small_relation ~seed:102 [ 6; 5; 4 ] 80 in
+  let csv = Filename.concat dir "batch.csv" in
+  Csv_io.save_indices batch csv;
+  let catalog = Catalog.create () in
+  let metrics = Metrics.create () in
+  let handle r = fst (Handler.handle ~catalog ~metrics r) in
+  (match handle (Protocol.Refresh { name = "r"; path = csv }) with
+  | Protocol.Err { code; _ } ->
+      Alcotest.(check string) "not resident yet" Protocol.err_unknown code
+  | Protocol.Ok _ -> Alcotest.fail "refresh of a non-resident name accepted");
+  (match handle (Protocol.Load { name = "r"; path }) with
+  | Protocol.Ok _ -> ()
+  | Protocol.Err { message; _ } -> Alcotest.fail message);
+  (* The exact summary the server now serves (alphas round-trip). *)
+  let loaded0 = Serialize.load path in
+  (match
+     handle (Protocol.Refresh { name = "r"; path = Filename.concat dir "nope.csv" })
+   with
+  | Protocol.Err _ -> ()
+  | Protocol.Ok _ -> Alcotest.fail "refresh from a missing CSV accepted");
+  let sql = "SELECT COUNT(*) FROM f WHERE a0 IN [1,3]" in
+  let q = Predicate.of_alist ~arity:3 [ (0, Ranges.interval 1 3) ] in
+  (* Warm the cache with a pre-refresh answer, to prove invalidation. *)
+  (match handle (Protocol.Query { name = "r"; sql }) with
+  | Protocol.Ok payload ->
+      let v = Option.get (Client.estimate_of_payload payload) in
+      Alcotest.(check (float 1e-9)) "pre-refresh answer"
+        (Summary.estimate summary q) v
+  | Protocol.Err { message; _ } -> Alcotest.fail message);
+  (match handle (Protocol.Refresh { name = "r"; path = csv }) with
+  | Protocol.Ok [ line ] ->
+      Alcotest.(check bool) ("refresh line: " ^ line) true
+        (contains line "refreshed r"
+        && contains line "cardinality 480"
+        && contains line "batch_rows 80"
+        && contains line "batches 1")
+  | Protocol.Ok l -> Alcotest.failf "REFRESH: %d lines" (List.length l)
+  | Protocol.Err { message; _ } -> Alcotest.fail message);
+  (* Replicate the server's maintenance in-process: the wire answer must
+     now be the incrementally-ingested summary's, not the stale cache's. *)
+  let refreshed = Edb_ingest.Ingest.append ~source:"batch.csv" loaded0 batch in
+  (match handle (Protocol.Query { name = "r"; sql }) with
+  | Protocol.Ok payload ->
+      let v = Option.get (Client.estimate_of_payload payload) in
+      Alcotest.(check (float 1e-9)) "post-refresh answer"
+        (Summary.estimate refreshed q) v
+  | Protocol.Err { message; _ } -> Alcotest.fail message);
+  (* The swap also rewrote the file (atomically): reloading yields the
+     refreshed summary with its lineage. *)
+  let on_disk = Serialize.load path in
+  Alcotest.(check int) "on-disk cardinality" 480 (Summary.cardinality on_disk);
+  Alcotest.(check int) "on-disk journal" 1
+    (Journal.batches (Summary.journal on_disk));
+  (match handle Protocol.Stats with
+  | Protocol.Ok lines ->
+      Alcotest.(check bool) "refresh counter in STATS" true
+        (List.mem "obs_ingest_refreshes 1" lines);
+      Alcotest.(check bool) "refresh latency histogram in STATS" true
+        (List.exists
+           (fun l -> contains l "obs_ingest_refresh_")
+           lines)
+  | Protocol.Err { message; _ } -> Alcotest.fail message);
+  (* Sharded summaries: clean error, not a crash. *)
+  let rel = small_relation ~seed:103 [ 6; 5; 4 ] 400 in
+  let sh =
+    Edb_shard.Builder.build
+      ~solver_config:{ Solver.default_config with log_every = 0 }
+      rel ~shards:2 ~strategy:Edb_shard.Partition.Rows
+      ~joints:
+        [
+          Predicate.of_alist ~arity:3
+            [ (0, Ranges.interval 0 2); (1, Ranges.interval 1 3) ];
+        ]
+  in
+  let shpath = Filename.concat dir "sh.edb" in
+  Edb_shard.Store.save sh shpath;
+  (match handle (Protocol.Load { name = "sh"; path = shpath }) with
+  | Protocol.Ok _ -> ()
+  | Protocol.Err { message; _ } -> Alcotest.fail message);
+  match handle (Protocol.Refresh { name = "sh"; path = csv }) with
+  | Protocol.Err { message; _ } ->
+      Alcotest.(check bool) ("sharded refresh error: " ^ message) true
+        (contains message "unsharded")
+  | Protocol.Ok _ -> Alcotest.fail "sharded refresh accepted"
+
 (* ------------------------------------------------------------------ *)
 (* End-to-end over a Unix-domain socket                                *)
 (* ------------------------------------------------------------------ *)
@@ -790,6 +895,99 @@ let test_e2e_drain () =
   | Ok _ -> Alcotest.fail "connection should be closed after drain");
   Client.close c
 
+(* Satellite: REFRESH is atomic from the clients' side.  While one
+   connection REFRESHes the summary (twice), others hammer the same
+   query; every answer must be exactly one of the three consistent
+   (estimate, stddev) pairs — before, after batch 1, after batch 2 —
+   never an error and never a mix of old estimate with new stddev. *)
+let test_e2e_refresh_race () =
+  let dir = temp_dir () in
+  let summary = small_summary ~seed:111 () in
+  let path = saved_summary dir "s" summary in
+  let b1 = small_relation ~seed:112 [ 6; 5; 4 ] 150 in
+  let b2 = small_relation ~seed:113 [ 6; 5; 4 ] 150 in
+  let csv1 = Filename.concat dir "b1.csv" in
+  let csv2 = Filename.concat dir "b2.csv" in
+  Csv_io.save_indices b1 csv1;
+  Csv_io.save_indices b2 csv2;
+  let catalog = Catalog.create () in
+  (match Catalog.load catalog ~name:"s" ~path with
+  | Ok _ -> ()
+  | Error m -> Alcotest.fail m);
+  let q = Predicate.of_alist ~arity:3 [ (0, Ranges.interval 1 3) ] in
+  let sql = "SELECT COUNT(*) FROM f WHERE a0 IN [1,3]" in
+  (* The three summaries clients may legitimately observe, computed by
+     the same deterministic maintenance path the server runs. *)
+  let s0 = Serialize.load path in
+  let s1 = Edb_ingest.Ingest.append ~source:"b1.csv" s0 b1 in
+  let s2 = Edb_ingest.Ingest.append ~source:"b2.csv" s1 b2 in
+  let pair s =
+    let sh = Edb_shard.Sharded.of_flat s in
+    (Edb_shard.Sharded.estimate sh q, Edb_shard.Sharded.stddev sh q)
+  in
+  let consistent = List.map pair [ s0; s1; s2 ] in
+  let answer_of payload =
+    let field key =
+      List.find_map
+        (fun line ->
+          match String.split_on_char ' ' line with
+          | [ k; v ] when k = key -> float_of_string_opt v
+          | _ -> None)
+        payload
+    in
+    match (field "estimate", field "stddev") with
+    | Some e, Some s -> Some (e, s)
+    | _ -> None
+  in
+  with_server ~workers:8 ~queue_depth:16 ~catalog dir (fun _ socket ->
+      let failed = Atomic.make 0 and mixed = Atomic.make 0 in
+      let stop = Atomic.make false in
+      let reader _ =
+        match Client.connect ~timeout:10. (Client.Unix_socket socket) with
+        | Error _ -> Atomic.incr failed
+        | Ok c ->
+            let n = ref 0 in
+            while (not (Atomic.get stop)) || !n = 0 do
+              incr n;
+              (match Client.query c ~name:"s" ~sql with
+              | Error _ -> Atomic.incr failed
+              | Ok payload -> (
+                  match answer_of payload with
+                  | Some (e, s)
+                    when List.exists
+                           (fun (e', s') -> e = e' && s = s')
+                           consistent ->
+                      ()
+                  | _ -> Atomic.incr mixed));
+              Thread.yield ()
+            done;
+            ignore (Client.quit c)
+      in
+      let readers = List.init 4 (fun i -> Thread.create reader i) in
+      let admin = connect_exn socket in
+      (match Client.refresh admin ~name:"s" ~path:csv1 with
+      | Ok _ -> ()
+      | Error m -> Alcotest.fail m);
+      (match Client.refresh admin ~name:"s" ~path:csv2 with
+      | Ok _ -> ()
+      | Error m -> Alcotest.fail m);
+      Atomic.set stop true;
+      List.iter Thread.join readers;
+      Alcotest.(check int) "no transport failures" 0 (Atomic.get failed);
+      Alcotest.(check int) "no mixed or stale-torn answers" 0
+        (Atomic.get mixed);
+      (* After both refreshes every new answer is the final pair. *)
+      (match Client.query admin ~name:"s" ~sql with
+      | Error m -> Alcotest.fail m
+      | Ok payload -> (
+          let e2, sd2 = pair s2 in
+          match answer_of payload with
+          | Some (e, s) ->
+              Alcotest.(check (float 0.)) "final estimate" e2 e;
+              Alcotest.(check (float 0.)) "final stddev" sd2 s
+          | None -> Alcotest.fail "malformed QUERY payload"));
+      ignore (Client.quit admin))
+
 (* ------------------------------------------------------------------ *)
 
 let () =
@@ -814,12 +1012,16 @@ let () =
           Alcotest.test_case "dispatch" `Quick test_handler_dispatch;
           Alcotest.test_case "sharded summary" `Quick test_handler_sharded;
           Alcotest.test_case "attach + plan routing" `Quick test_handler_plan;
+          Alcotest.test_case "refresh ingests and swaps" `Quick
+            test_handler_refresh;
         ] );
       ( "end-to-end",
         [
           Alcotest.test_case "smoke over unix socket" `Quick test_e2e_smoke;
           Alcotest.test_case "16 concurrent clients" `Quick
             test_e2e_concurrent_clients;
+          Alcotest.test_case "refresh race (atomic swap)" `Quick
+            test_e2e_refresh_race;
           Alcotest.test_case "admission control (ERR busy)" `Quick test_e2e_busy;
           Alcotest.test_case "request deadline" `Quick test_e2e_deadline;
           Alcotest.test_case "graceful drain" `Quick test_e2e_drain;
