@@ -285,6 +285,64 @@ let c_groupby_batched_vs_naive ctx =
         queries)
     sets
 
+(* The flat (SoA) kernel's internal contracts, checked from the outside:
+   the into-buffer batched kernel is bitwise the allocating one; batched
+   cells match per-value scalar evaluation; refresh is a pure function
+   of the variable vector (a second refresh is a bitwise no-op, and a
+   perturb/restore of one variable followed by refresh lands exactly
+   where refresh alone did — incremental caches cannot leak state that a
+   recompute would not reproduce). *)
+let c_kernel_soa ctx =
+  let s = ctx.case.Case.summary in
+  let poly = Summary.poly s in
+  let sch = schema ctx in
+  let arity = Schema.arity sch in
+  List.iteri
+    (fun idx q ->
+      let attr = idx mod arity in
+      let size = Schema.domain_size sch attr in
+      tally ctx;
+      let vec = Poly.eval_restricted_by_value poly q ~attr in
+      let out = Array.make size nan in
+      Poly.eval_restricted_by_value_into poly q ~attr ~out;
+      if vec <> out then
+        fail ctx ~check:"kernel-soa" ~tier:Differential
+          "into-buffer kernel not bitwise with allocating kernel (attr %d) \
+           on %a"
+          attr Predicate.pp q;
+      for v = 0 to size - 1 do
+        tally ctx;
+        let scalar =
+          Poly.eval_restricted poly
+            (Predicate.restrict q attr (Ranges.singleton v))
+        in
+        if not (Floatx.approx_eq ~rtol:ctx.cfg.rtol_hard ~atol:(slack ctx) vec.(v) scalar)
+        then
+          fail ctx ~check:"kernel-soa" ~tier:Differential
+            "by-value cell %d: batched %.12g vs scalar %.12g (attr %d) on %a"
+            v vec.(v) scalar attr Predicate.pp q
+      done)
+    ctx.case.Case.queries;
+  let est_all () =
+    List.map (fun q -> Poly.eval_restricted poly q) ctx.case.Case.queries
+  in
+  Poly.refresh poly;
+  let base = est_all () in
+  tally ctx;
+  Poly.refresh poly;
+  if est_all () <> base then
+    fail ctx ~check:"kernel-soa" ~tier:Metamorphic
+      "second refresh moved restricted evaluations";
+  tally ctx;
+  let j = 0 in
+  let a = Poly.alpha poly j in
+  Poly.set_alpha poly j ((2. *. a) +. 0.125);
+  Poly.set_alpha poly j a;
+  Poly.refresh poly;
+  if est_all () <> base then
+    fail ctx ~check:"kernel-soa" ~tier:Metamorphic
+      "perturb/restore/refresh of variable %d is not bitwise refresh" j
+
 let temp_dir () =
   let path = Filename.temp_file "edb-check" "" in
   Sys.remove path;
@@ -959,6 +1017,7 @@ let checks : (string * tier * (ctx -> unit)) list =
     ("flat-vs-k1", Differential, c_flat_vs_k1);
     ("shard-additivity", Differential, c_shard_additivity);
     ("groupby-batched-vs-naive", Differential, c_groupby_batched_vs_naive);
+    ("kernel-soa", Differential, c_kernel_soa);
     ("serialize-roundtrip", Differential, c_serialize_roundtrip);
     ("cache-vs-uncached", Differential, c_cache_vs_uncached);
     ("server-vs-library", Differential, c_server_vs_library);

@@ -37,6 +37,31 @@
    contains the value, plus O(#masks) outer products — #masks is bounded by
    the number of distinct family combinations, typically < 10.
 
+   Memory layout (structure of arrays).  A term is not a record: a group
+   stores all of its terms' data in flat parallel arrays, with CSR offset
+   tables for the variable-length parts.
+
+     term ti:
+       stats       ts_stat.(ts_off.(ti) .. ts_off.(ti+1)-1)
+       factor slot s in fa_off.(ti) .. fa_off.(ti+1)-1:
+         attribute fa_attr.(s), cached factor factors.(s),
+         projection intervals (iv_lo, iv_hi).(iv_off.(s) .. iv_off.(s+1)-1)
+       mask t_mask.(ti), cached fprod/dprod/value.(ti)
+
+   The inverted indexes used by single-variable updates are CSR too:
+   by-stat rows (bys_off/bys_term, keyed through the bys_row table) and
+   per-attribute by-value buckets (byv_off/byv_term/byv_slot).  Both are
+   filled in *descending* term order, matching the prepend-built lists of
+   the previous boxed-record layout, so solver trajectories — every
+   intermediate float — are bitwise identical to that layout's.
+
+   Restricted evaluation walks these arrays with zero per-call
+   minor-heap allocation: interval intersections are merged prefix-sum
+   walks (never materialized), and the per-call accumulators (restricted
+   attribute sums, per-mask masses, per-cell scatter) live in a reusable
+   scratch block claimed with an atomic flag — concurrent evaluations on
+   the same polynomial (server threads) fall back to a fresh block.
+
    The structure is mutable: the solver updates one variable at a time
    (Algorithm 1) and every cached quantity — A_i, per-term factors,
    per-mask sums, Q_g, P — is maintained incrementally.  [refresh]
@@ -46,28 +71,47 @@
 open Edb_util
 open Edb_storage
 
-type term = {
-  t_stats : int array; (* joint stat ids of S; [||] for the base term *)
-  t_attrs : int array; (* attributes S restricts, ascending *)
-  t_restr : Ranges.t array; (* parallel to t_attrs: projection intersections *)
-  t_mask : int; (* mask id within the group *)
-  factors : float array; (* cached F_i(S) = sum of alpha inside t_restr *)
-  mutable fprod : float; (* prod factors *)
-  mutable dprod : float; (* prod_{j in S} (alpha_j - 1); 1 for the base *)
-  mutable value : float; (* fprod * dprod — part (ii) only *)
-}
-
 type group = {
   g_attrs : int array; (* ascending *)
   g_stats : int array; (* joint stat ids *)
-  g_terms : term array; (* index 0 is the base term (S = empty, mask 0) *)
+  n_terms : int; (* term 0 is the base term (S = empty, mask 0) *)
+  (* term -> joint stat ids of S (CSR) *)
+  ts_off : int array; (* length n_terms + 1 *)
+  ts_stat : int array;
+  (* term -> factor slots, one per attribute S restricts, ascending (CSR) *)
+  fa_off : int array; (* length n_terms + 1 *)
+  fa_attr : int array; (* slot -> attribute *)
+  factors : float array; (* slot -> cached F_i(S) = sum of alpha inside *)
+  (* slot -> projection-intersection intervals, ascending (CSR) *)
+  iv_off : int array; (* length #slots + 1 *)
+  iv_lo : int array;
+  iv_hi : int array;
+  (* per-term caches *)
+  t_mask : int array; (* mask id within the group *)
+  fprod : float array; (* prod of the term's factors *)
+  dprod : float array; (* prod_{j in S} (alpha_j - 1); 1 for the base *)
+  value : float array; (* fprod * dprod — part (ii) only *)
   mask_bits : int array; (* mask id -> bitset over local attr indices *)
   mask_sum : float array; (* mask id -> sum of its terms' values *)
   mask_outer : float array; (* mask id -> prod of A_i over unmasked locals *)
   mutable q : float;
-  by_stat : (int, int list) Hashtbl.t; (* joint stat id -> term indices *)
-  by_value : (int * int) list array array;
-      (* local attr -> value -> (term index, factor position) pairs *)
+  (* joint stat id -> row of terms containing it, descending term order *)
+  bys_row : (int, int) Hashtbl.t;
+  bys_off : int array;
+  bys_term : int array;
+  (* local attr -> value -> (term, slot) bucket, descending term order *)
+  byv_off : int array array; (* per local attr, length domain size + 1 *)
+  byv_term : int array array;
+  byv_slot : int array array;
+}
+
+(* Reusable per-evaluation accumulators, sized for the largest group (and
+   largest attribute domain) of the polynomial they belong to. *)
+type scratch = {
+  ra : float array; (* local attr -> restricted attribute sum *)
+  msum : float array; (* mask id -> restricted term-mass sum *)
+  coef : float array; (* mask id -> outer product (GROUP BY kernel) *)
+  scatter : float array; (* domain value -> scattered mass *)
 }
 
 type t = {
@@ -83,9 +127,37 @@ type t = {
   mutable p : float;
   prefix : float array array; (* attr -> prefix sums of alpha, length N_i+1 *)
   mutable prefix_valid : bool;
+  scratch : scratch;
+  scratch_busy : bool Atomic.t; (* claimed by an in-flight evaluation *)
 }
 
 exception Too_many_terms of { cap : int; group_attrs : int list }
+
+(* Identifies the in-memory term layout in benchmark artifacts
+   (BENCH_kernel.json), so speedup and regression gates know whether they
+   are comparing like with like. *)
+let layout = "soa-csr"
+
+(* ------------------------------------------------------------------ *)
+(* Observability                                                       *)
+(* ------------------------------------------------------------------ *)
+
+(* Count kernel invocations always (one striped atomic add per call);
+   spans and the latency histogram cost a closure and a clock read, so
+   they are taken only when tracing is enabled.  Instrumentation is per
+   kernel call — never per term — so the disabled-mode cost is one flag
+   load next to a full term pass, and the disabled path stays
+   allocation-free. *)
+module Obs = Edb_obs.Obs
+
+let evals_counter = Edb_obs.Registry.counter "poly.evals"
+
+(* Bucket values are *nanoseconds* (the name carries the unit): kernel
+   calls on interactive summaries sit well under a microsecond per term,
+   below the histogram's native microsecond resolution. *)
+let eval_ns_hist = Edb_obs.Registry.histogram "kernel_eval_ns"
+let scratch_reuse_counter = Edb_obs.Registry.counter "kernel_scratch_reuses"
+let scratch_alloc_counter = Edb_obs.Registry.counter "kernel_scratch_allocs"
 
 (* ------------------------------------------------------------------ *)
 (* Cached-state maintenance                                            *)
@@ -106,42 +178,88 @@ let ensure_prefix t =
   end
 
 (* Sum of alpha over a value set, via prefix sums: O(#intervals). *)
-let range_sum t ~attr r =
+let[@inline] range_sum t ~attr r =
   let pre = t.prefix.(attr) in
-  List.fold_left
-    (fun acc (lo, hi) -> acc +. pre.(hi + 1) -. pre.(lo))
-    0. (Ranges.intervals r)
-
-let fprod_of term =
-  let acc = ref 1. in
-  Array.iter (fun f -> acc := !acc *. f) term.factors;
+  let acc = ref 0. in
+  for k = 0 to Ranges.num_intervals r - 1 do
+    acc :=
+      !acc +. pre.(Ranges.interval_hi r k + 1) -. pre.(Ranges.interval_lo r k)
+  done;
   !acc
 
-let dprod_of t term =
+(* Sum of [pre] over factor slot [s]'s own intervals.  Unsafe accesses:
+   interval bounds are validated against the attribute domain at
+   construction, and offsets index arrays built from the same counts. *)
+let[@inline] slot_sum pre g s =
+  let iv_lo = g.iv_lo and iv_hi = g.iv_hi in
+  let acc = ref 0. in
+  for k = g.iv_off.(s) to g.iv_off.(s + 1) - 1 do
+    acc :=
+      !acc
+      +. Array.unsafe_get pre (Array.unsafe_get iv_hi k + 1)
+      -. Array.unsafe_get pre (Array.unsafe_get iv_lo k)
+  done;
+  !acc
+
+(* Sum of [pre] over (slot [s]'s intervals ∩ [qr]): the merge walk
+   [Ranges.inter] performs, summed directly instead of materialized.
+   Interval order and summation order match [range_sum] over the
+   materialized intersection, so the result is bitwise identical. *)
+let[@inline] inter_sum pre g s qr =
+  let iv_lo = g.iv_lo and iv_hi = g.iv_hi in
+  let acc = ref 0. in
+  let k = ref g.iv_off.(s) and j = ref 0 in
+  let k1 = g.iv_off.(s + 1) and nq = Ranges.num_intervals qr in
+  while !k < k1 && !j < nq do
+    let alo = Array.unsafe_get iv_lo !k and ahi = Array.unsafe_get iv_hi !k in
+    let blo = Ranges.interval_lo qr !j and bhi = Ranges.interval_hi qr !j in
+    let lo = if alo > blo then alo else blo in
+    let hi = if ahi < bhi then ahi else bhi in
+    if lo <= hi then
+      acc := !acc +. Array.unsafe_get pre (hi + 1) -. Array.unsafe_get pre lo;
+    if ahi < bhi then incr k else incr j
+  done;
+  !acc
+
+let[@inline] fprod_of g ti =
   let acc = ref 1. in
-  Array.iter (fun j -> acc := !acc *. (t.alpha.(j) -. 1.)) term.t_stats;
+  for s = g.fa_off.(ti) to g.fa_off.(ti + 1) - 1 do
+    acc := !acc *. g.factors.(s)
+  done;
+  !acc
+
+let[@inline] dprod_of t g ti =
+  let acc = ref 1. in
+  for s = g.ts_off.(ti) to g.ts_off.(ti + 1) - 1 do
+    acc := !acc *. (t.alpha.(g.ts_stat.(s)) -. 1.)
+  done;
   !acc
 
 (* Recompute every mask's outer product and the group value from the
    current attribute sums and mask sums: O(#masks * |g_attrs|). *)
 let recompute_group_q t g =
+  let n_local = Array.length g.g_attrs in
   let q = ref 0. in
-  Array.iteri
-    (fun k bits ->
-      let outer = ref 1. in
-      Array.iteri
-        (fun li attr ->
-          if bits land (1 lsl li) = 0 then outer := !outer *. t.attr_sums.(attr))
-        g.g_attrs;
-      g.mask_outer.(k) <- !outer;
-      q := !q +. (g.mask_sum.(k) *. !outer))
-    g.mask_bits;
+  for k = 0 to Array.length g.mask_bits - 1 do
+    let bits = g.mask_bits.(k) in
+    let outer = ref 1. in
+    for li = 0 to n_local - 1 do
+      if bits land (1 lsl li) = 0 then
+        outer := !outer *. t.attr_sums.(g.g_attrs.(li))
+    done;
+    g.mask_outer.(k) <- !outer;
+    q := !q +. (g.mask_sum.(k) *. !outer)
+  done;
   g.q <- !q
 
 let compute_p t =
   let p = ref 1. in
-  Array.iter (fun i -> p := !p *. t.attr_sums.(i)) t.free_attrs;
-  Array.iter (fun g -> p := !p *. g.q) t.groups;
+  for k = 0 to Array.length t.free_attrs - 1 do
+    p := !p *. t.attr_sums.(t.free_attrs.(k))
+  done;
+  for gi = 0 to Array.length t.groups - 1 do
+    p := !p *. t.groups.(gi).q
+  done;
   !p
 
 let refresh t =
@@ -153,20 +271,58 @@ let refresh t =
   Array.iter
     (fun g ->
       Array.fill g.mask_sum 0 (Array.length g.mask_sum) 0.;
-      Array.iter
-        (fun term ->
-          Array.iteri
-            (fun pos i ->
-              term.factors.(pos) <- range_sum t ~attr:i term.t_restr.(pos))
-            term.t_attrs;
-          term.fprod <- fprod_of term;
-          term.dprod <- dprod_of t term;
-          term.value <- term.fprod *. term.dprod;
-          g.mask_sum.(term.t_mask) <- g.mask_sum.(term.t_mask) +. term.value)
-        g.g_terms;
+      for ti = 0 to g.n_terms - 1 do
+        for s = g.fa_off.(ti) to g.fa_off.(ti + 1) - 1 do
+          g.factors.(s) <- slot_sum t.prefix.(g.fa_attr.(s)) g s
+        done;
+        g.fprod.(ti) <- fprod_of g ti;
+        g.dprod.(ti) <- dprod_of t g ti;
+        g.value.(ti) <- g.fprod.(ti) *. g.dprod.(ti);
+        g.mask_sum.(g.t_mask.(ti)) <-
+          g.mask_sum.(g.t_mask.(ti)) +. g.value.(ti)
+      done;
       recompute_group_q t g)
     t.groups;
   t.p <- compute_p t
+
+(* ------------------------------------------------------------------ *)
+(* Scratch management                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let make_scratch schema groups =
+  let max_attrs = ref 1 and max_masks = ref 1 in
+  Array.iter
+    (fun g ->
+      max_attrs := max !max_attrs (Array.length g.g_attrs);
+      max_masks := max !max_masks (Array.length g.mask_bits))
+    groups;
+  let max_dom = ref 1 in
+  for i = 0 to Schema.arity schema - 1 do
+    max_dom := max !max_dom (Schema.domain_size schema i)
+  done;
+  {
+    ra = Array.make !max_attrs 0.;
+    msum = Array.make !max_masks 0.;
+    coef = Array.make !max_masks 0.;
+    scatter = Array.make !max_dom 0.;
+  }
+
+(* Claim the polynomial's scratch block, or allocate a fresh one if an
+   evaluation on another thread holds it (server systhreads can
+   interleave at polling points mid-evaluation).  The counters make the
+   steady state observable: reuses should dominate allocs. *)
+let acquire_scratch t =
+  if Atomic.compare_and_set t.scratch_busy false true then begin
+    Edb_obs.Registry.Counter.incr scratch_reuse_counter;
+    t.scratch
+  end
+  else begin
+    Edb_obs.Registry.Counter.incr scratch_alloc_counter;
+    make_scratch t.schema t.groups
+  end
+
+let release_scratch t sc =
+  if sc == t.scratch then Atomic.set t.scratch_busy false
 
 (* ------------------------------------------------------------------ *)
 (* Construction                                                        *)
@@ -263,6 +419,144 @@ let enumerate_raw_terms phi ~term_cap ~g_attrs ~g_families =
   dfs 0 [] false;
   !terms
 
+(* Flatten one group's raw terms into the SoA/CSR layout.  Term 0 is the
+   base term (no stats, no slots); raw terms follow in enumeration order,
+   exactly as the boxed layout stored them. *)
+let build_group schema ~g_attrs ~g_stats ~local_of_attr ~raw_arr ~t_mask
+    ~mask_bits =
+  let nt = 1 + Array.length raw_arr in
+  let ts_off = Array.make (nt + 1) 0 and fa_off = Array.make (nt + 1) 0 in
+  Array.iteri
+    (fun k rt ->
+      ts_off.(k + 2) <- List.length rt.rt_stats;
+      fa_off.(k + 2) <- List.length rt.rt_bound)
+    raw_arr;
+  for ti = 1 to nt do
+    ts_off.(ti) <- ts_off.(ti) + ts_off.(ti - 1);
+    fa_off.(ti) <- fa_off.(ti) + fa_off.(ti - 1)
+  done;
+  let ts_stat = Array.make ts_off.(nt) 0 in
+  let n_slots = fa_off.(nt) in
+  let fa_attr = Array.make n_slots 0 in
+  let slot_restr = Array.make n_slots Ranges.empty in
+  Array.iteri
+    (fun k rt ->
+      let ti = k + 1 in
+      List.iteri (fun d j -> ts_stat.(ts_off.(ti) + d) <- j) rt.rt_stats;
+      List.iteri
+        (fun d (i, r) ->
+          fa_attr.(fa_off.(ti) + d) <- i;
+          slot_restr.(fa_off.(ti) + d) <- r)
+        rt.rt_bound)
+    raw_arr;
+  let iv_off = Array.make (n_slots + 1) 0 in
+  for s = 0 to n_slots - 1 do
+    iv_off.(s + 1) <- iv_off.(s) + Ranges.num_intervals slot_restr.(s)
+  done;
+  let iv_lo = Array.make iv_off.(n_slots) 0
+  and iv_hi = Array.make iv_off.(n_slots) 0 in
+  for s = 0 to n_slots - 1 do
+    let r = slot_restr.(s) in
+    for k = 0 to Ranges.num_intervals r - 1 do
+      iv_lo.(iv_off.(s) + k) <- Ranges.interval_lo r k;
+      iv_hi.(iv_off.(s) + k) <- Ranges.interval_hi r k
+    done
+  done;
+  (* Inverted index: stat -> terms.  Filled in descending term order to
+     match the prepend-built association lists of the boxed layout (the
+     solver's update order, hence its float trajectories, depend on it). *)
+  let n_rows = Array.length g_stats in
+  let bys_row = Hashtbl.create (max 16 n_rows) in
+  Array.iteri (fun row j -> Hashtbl.add bys_row j row) g_stats;
+  let bys_off = Array.make (n_rows + 1) 0 in
+  for s = 0 to ts_off.(nt) - 1 do
+    let row = Hashtbl.find bys_row ts_stat.(s) in
+    bys_off.(row + 1) <- bys_off.(row + 1) + 1
+  done;
+  for r = 1 to n_rows do
+    bys_off.(r) <- bys_off.(r) + bys_off.(r - 1)
+  done;
+  let bys_term = Array.make ts_off.(nt) 0 in
+  let cursor = Array.make n_rows 0 in
+  for ti = nt - 1 downto 0 do
+    for s = ts_off.(ti) to ts_off.(ti + 1) - 1 do
+      let row = Hashtbl.find bys_row ts_stat.(s) in
+      bys_term.(bys_off.(row) + cursor.(row)) <- ti;
+      cursor.(row) <- cursor.(row) + 1
+    done
+  done;
+  (* Inverted index: local attr -> value -> (term, slot), also filled in
+     descending term order. *)
+  let n_local = Array.length g_attrs in
+  let byv_off =
+    Array.init n_local (fun li ->
+        Array.make (Schema.domain_size schema g_attrs.(li) + 1) 0)
+  in
+  for s = 0 to n_slots - 1 do
+    let off = byv_off.(local_of_attr.(fa_attr.(s))) in
+    for k = iv_off.(s) to iv_off.(s + 1) - 1 do
+      for v = iv_lo.(k) to iv_hi.(k) do
+        off.(v + 1) <- off.(v + 1) + 1
+      done
+    done
+  done;
+  Array.iter
+    (fun off ->
+      for v = 1 to Array.length off - 1 do
+        off.(v) <- off.(v) + off.(v - 1)
+      done)
+    byv_off;
+  let bucket_total off = off.(Array.length off - 1) in
+  let byv_term = Array.map (fun off -> Array.make (bucket_total off) 0) byv_off in
+  let byv_slot = Array.map (fun off -> Array.make (bucket_total off) 0) byv_off in
+  let byv_cursor =
+    Array.map (fun off -> Array.make (Array.length off - 1) 0) byv_off
+  in
+  for ti = nt - 1 downto 0 do
+    for s = fa_off.(ti) to fa_off.(ti + 1) - 1 do
+      let li = local_of_attr.(fa_attr.(s)) in
+      let off = byv_off.(li) and cur = byv_cursor.(li) in
+      for k = iv_off.(s) to iv_off.(s + 1) - 1 do
+        for v = iv_lo.(k) to iv_hi.(k) do
+          let p = off.(v) + cur.(v) in
+          byv_term.(li).(p) <- ti;
+          byv_slot.(li).(p) <- s;
+          cur.(v) <- cur.(v) + 1
+        done
+      done
+    done
+  done;
+  let fprod = Array.make nt 0. and value = Array.make nt 0. in
+  fprod.(0) <- 1.;
+  value.(0) <- 1.;
+  {
+    g_attrs;
+    g_stats;
+    n_terms = nt;
+    ts_off;
+    ts_stat;
+    fa_off;
+    fa_attr;
+    factors = Array.make n_slots 0.;
+    iv_off;
+    iv_lo;
+    iv_hi;
+    t_mask;
+    fprod;
+    dprod = Array.make nt 1.;
+    value;
+    mask_bits;
+    mask_sum = Array.make (Array.length mask_bits) 0.;
+    mask_outer = Array.make (Array.length mask_bits) 1.;
+    q = 0.;
+    bys_row;
+    bys_off;
+    bys_term;
+    byv_off;
+    byv_term;
+    byv_slot;
+  }
+
 let create ?(term_cap = 2_000_000) phi =
   let schema = Phi.schema phi in
   let m = Schema.arity schema in
@@ -310,7 +604,8 @@ let create ?(term_cap = 2_000_000) phi =
                if inside = [] then None else Some (Array.of_list inside))
       in
       let raw = enumerate_raw_terms phi ~term_cap ~g_attrs ~g_families in
-      (* Assign mask ids: one per distinct restricted-attribute set. *)
+      (* Assign mask ids: one per distinct restricted-attribute set, in
+         term enumeration order. *)
       let mask_ids = Hashtbl.create 8 in
       Hashtbl.add mask_ids 0 0;
       let next_mask = ref 1 in
@@ -328,77 +623,19 @@ let create ?(term_cap = 2_000_000) phi =
             incr next_mask;
             k
       in
-      let base =
-        {
-          t_stats = [||];
-          t_attrs = [||];
-          t_restr = [||];
-          t_mask = 0;
-          factors = [||];
-          fprod = 1.;
-          dprod = 1.;
-          value = 1.;
-        }
-      in
-      let nonbase =
-        List.map
-          (fun rt ->
-            {
-              t_stats = Array.of_list rt.rt_stats;
-              t_attrs = Array.of_list (List.map fst rt.rt_bound);
-              t_restr = Array.of_list (List.map snd rt.rt_bound);
-              t_mask = mask_of rt.rt_bound;
-              factors = Array.make (List.length rt.rt_bound) 0.;
-              fprod = 0.;
-              dprod = 1.;
-              value = 0.;
-            })
-          raw
-      in
-      let g_terms = Array.of_list (base :: nonbase) in
-      let num_masks = !next_mask in
-      let mask_bits = Array.make num_masks 0 in
+      let raw_arr = Array.of_list raw in
+      let nt = 1 + Array.length raw_arr in
+      let t_mask = Array.make nt 0 in
+      Array.iteri (fun k rt -> t_mask.(k + 1) <- mask_of rt.rt_bound) raw_arr;
+      let mask_bits = Array.make !next_mask 0 in
       Hashtbl.iter (fun bits k -> mask_bits.(k) <- bits) mask_ids;
-      (* Inverted indexes. *)
-      let by_stat = Hashtbl.create 64 in
-      Array.iteri
-        (fun ti term ->
-          Array.iter
-            (fun j ->
-              let cur = Option.value (Hashtbl.find_opt by_stat j) ~default:[] in
-              Hashtbl.replace by_stat j (ti :: cur))
-            term.t_stats)
-        g_terms;
-      let by_value =
-        Array.map
-          (fun i -> Array.make (Schema.domain_size schema i) [])
-          g_attrs
+      let g =
+        build_group schema ~g_attrs ~g_stats:(Array.of_list stats)
+          ~local_of_attr ~raw_arr ~t_mask ~mask_bits
       in
-      Array.iteri
-        (fun ti term ->
-          Array.iteri
-            (fun pos i ->
-              let li = local_of_attr.(i) in
-              Ranges.iter
-                (fun v -> by_value.(li).(v) <- (ti, pos) :: by_value.(li).(v))
-                term.t_restr.(pos))
-            term.t_attrs)
-        g_terms;
       Array.iter (fun i -> group_of_attr.(i) <- !g_idx) g_attrs;
       List.iter (fun j -> Hashtbl.add group_of_stat j !g_idx) stats;
-      groups :=
-        {
-          g_attrs;
-          g_stats = Array.of_list stats;
-          g_terms;
-          mask_bits;
-          mask_sum = Array.make num_masks 0.;
-          mask_outer = Array.make num_masks 1.;
-          q = 0.;
-          by_stat;
-          by_value;
-        }
-        :: !groups;
+      groups := g :: !groups;
       incr g_idx)
     root_stats;
   let groups = Array.of_list (List.rev !groups) in
@@ -434,6 +671,8 @@ let create ?(term_cap = 2_000_000) phi =
       prefix =
         Array.init m (fun i -> Array.make (Schema.domain_size schema i + 1) 0.);
       prefix_valid = false;
+      scratch = make_scratch schema groups;
+      scratch_busy = Atomic.make false;
     }
   in
   refresh t;
@@ -447,10 +686,7 @@ let phi t = t.phi
 let p t = t.p
 let alpha t j = t.alpha.(j)
 let attr_sum t i = t.attr_sums.(i)
-
-let num_terms t =
-  Array.fold_left (fun acc g -> acc + Array.length g.g_terms) 0 t.groups
-
+let num_terms t = Array.fold_left (fun acc g -> acc + g.n_terms) 0 t.groups
 let num_groups t = Array.length t.groups
 let uncompressed_monomials t = Schema.tuple_space_size t.schema
 
@@ -474,30 +710,34 @@ let set_alpha t j v =
         let gi = t.group_of_attr.(attr) in
         if gi >= 0 then begin
           let g = t.groups.(gi) in
-          List.iter
-            (fun (ti, pos) ->
-              let term = g.g_terms.(ti) in
-              term.factors.(pos) <- term.factors.(pos) +. delta;
-              term.fprod <- fprod_of term;
-              let value' = term.fprod *. term.dprod in
-              g.mask_sum.(term.t_mask) <-
-                g.mask_sum.(term.t_mask) +. value' -. term.value;
-              term.value <- value')
-            g.by_value.(local_of g attr).(value);
+          let li = local_of g attr in
+          let off = g.byv_off.(li) in
+          let terms = g.byv_term.(li) and slots = g.byv_slot.(li) in
+          for p = off.(value) to off.(value + 1) - 1 do
+            let ti = terms.(p) and s = slots.(p) in
+            g.factors.(s) <- g.factors.(s) +. delta;
+            g.fprod.(ti) <- fprod_of g ti;
+            let value' = g.fprod.(ti) *. g.dprod.(ti) in
+            g.mask_sum.(g.t_mask.(ti)) <-
+              g.mask_sum.(g.t_mask.(ti)) +. value' -. g.value.(ti);
+            g.value.(ti) <- value'
+          done;
           recompute_group_q t g
         end
     | Statistic.Joint _ ->
         let gi = Hashtbl.find t.group_of_stat j in
         let g = t.groups.(gi) in
-        List.iter
-          (fun ti ->
-            let term = g.g_terms.(ti) in
-            term.dprod <- dprod_of t term;
-            let value' = term.fprod *. term.dprod in
-            g.mask_sum.(term.t_mask) <-
-              g.mask_sum.(term.t_mask) +. value' -. term.value;
-            term.value <- value')
-          (Option.value (Hashtbl.find_opt g.by_stat j) ~default:[]);
+        (match Hashtbl.find_opt g.bys_row j with
+        | None -> ()
+        | Some row ->
+            for p = g.bys_off.(row) to g.bys_off.(row + 1) - 1 do
+              let ti = g.bys_term.(p) in
+              g.dprod.(ti) <- dprod_of t g ti;
+              let value' = g.fprod.(ti) *. g.dprod.(ti) in
+              g.mask_sum.(g.t_mask.(ti)) <-
+                g.mask_sum.(g.t_mask.(ti)) +. value' -. g.value.(ti);
+              g.value.(ti) <- value'
+            done);
         recompute_group_q t g);
     t.p <- compute_p t
   end
@@ -565,9 +805,11 @@ let outer_product t ~skip_attr ~skip_group =
     t.groups;
   !acc
 
-let factors_product_excluding term ~pos =
+let[@inline] factors_product_excluding g ti ~slot =
   let acc = ref 1. in
-  Array.iteri (fun k f -> if k <> pos then acc := !acc *. f) term.factors;
+  for s = g.fa_off.(ti) to g.fa_off.(ti + 1) - 1 do
+    if s <> slot then acc := !acc *. g.factors.(s)
+  done;
   !acc
 
 (* dP/dalpha_j.  P is linear in every variable (each statistic predicate is
@@ -582,46 +824,50 @@ let partial t j =
       else begin
         let g = t.groups.(gi) in
         let li = local_of g attr in
+        let n_local = Array.length g.g_attrs in
         let dq = ref 0. in
         (* Masks not restricting [attr]: the variable enters through the
            full attribute sum A_attr of the outer product. *)
-        Array.iteri
-          (fun k bits ->
-            if bits land (1 lsl li) = 0 then begin
-              let outer = ref 1. in
-              Array.iteri
-                (fun li' attr' ->
-                  if li' <> li && bits land (1 lsl li') = 0 then
-                    outer := !outer *. t.attr_sums.(attr'))
-                g.g_attrs;
-              dq := !dq +. (g.mask_sum.(k) *. !outer)
-            end)
-          g.mask_bits;
+        for k = 0 to Array.length g.mask_bits - 1 do
+          let bits = g.mask_bits.(k) in
+          if bits land (1 lsl li) = 0 then begin
+            let outer = ref 1. in
+            for li' = 0 to n_local - 1 do
+              if li' <> li && bits land (1 lsl li') = 0 then
+                outer := !outer *. t.attr_sums.(g.g_attrs.(li'))
+            done;
+            dq := !dq +. (g.mask_sum.(k) *. !outer)
+          end
+        done;
         (* Terms restricting [attr] with [value] inside their projection:
            the variable enters through the term's own factor. *)
-        List.iter
-          (fun (ti, pos) ->
-            let term = g.g_terms.(ti) in
-            dq :=
-              !dq
-              +. factors_product_excluding term ~pos
-                 *. term.dprod *. g.mask_outer.(term.t_mask))
-          g.by_value.(li).(value);
+        let off = g.byv_off.(li) in
+        let terms = g.byv_term.(li) and slots = g.byv_slot.(li) in
+        for p = off.(value) to off.(value + 1) - 1 do
+          let ti = terms.(p) in
+          dq :=
+            !dq
+            +. factors_product_excluding g ti ~slot:slots.(p)
+               *. g.dprod.(ti) *. g.mask_outer.(g.t_mask.(ti))
+        done;
         outer_product t ~skip_attr:(-1) ~skip_group:gi *. !dq
       end
   | Statistic.Joint _ ->
       let gi = Hashtbl.find t.group_of_stat j in
       let g = t.groups.(gi) in
       let dq = ref 0. in
-      List.iter
-        (fun ti ->
-          let term = g.g_terms.(ti) in
-          let rest = ref 1. in
-          Array.iter
-            (fun j' -> if j' <> j then rest := !rest *. (t.alpha.(j') -. 1.))
-            term.t_stats;
-          dq := !dq +. (term.fprod *. !rest *. g.mask_outer.(term.t_mask)))
-        (Option.value (Hashtbl.find_opt g.by_stat j) ~default:[]);
+      (match Hashtbl.find_opt g.bys_row j with
+      | None -> ()
+      | Some row ->
+          for p = g.bys_off.(row) to g.bys_off.(row + 1) - 1 do
+            let ti = g.bys_term.(p) in
+            let rest = ref 1. in
+            for s = g.ts_off.(ti) to g.ts_off.(ti + 1) - 1 do
+              let j' = g.ts_stat.(s) in
+              if j' <> j then rest := !rest *. (t.alpha.(j') -. 1.)
+            done;
+            dq := !dq +. (g.fprod.(ti) *. !rest *. g.mask_outer.(g.t_mask.(ti)))
+          done);
       outer_product t ~skip_attr:(-1) ~skip_group:gi *. !dq
 
 (* E[<c_j, I>] = n * alpha_j * dP/dalpha_j / P   (Eq. 8). *)
@@ -647,67 +893,88 @@ let set_parallelism ?threshold n =
 
 (* Floor of the cancellation clamp on restricted group values.  0 in
    production; the correctness harness raises it to plant a detectable
-   estimator bug (entropydb check --mutate clamp). *)
+   estimator bug (entropydb check --mutate clamp).  The clamp applies to
+   the *group value*, after mask combination — it never looks at the
+   term layout, which is why the SoA rewrite leaves it untouched. *)
 let cancellation_floor = ref 0.
 let set_cancellation_floor f = cancellation_floor := f
 
 (* A_i restricted to the query's value set (the full sum when the query
    leaves attribute [i] free). *)
-let restricted_attr_sum t query i =
+let[@inline] restricted_attr_sum t query i =
   match Predicate.restriction query i with
   | None -> t.attr_sums.(i)
   | Some r -> range_sum t ~attr:i r
 
+(* Restricted masses of terms [lo, hi) accumulated into [msum] by mask:
+   the inner loop of both restricted kernels.  A top-level function, not
+   a closure, so the single-domain path allocates nothing. *)
+let accumulate_masses t query g msum ~lo ~hi =
+  let fa_off = g.fa_off
+  and fa_attr = g.fa_attr
+  and factors = g.factors
+  and dprod = g.dprod
+  and t_mask = g.t_mask
+  and prefix = t.prefix in
+  let f = ref 0. in
+  for ti = lo to hi - 1 do
+    f := Array.unsafe_get dprod ti;
+    (try
+       for s = Array.unsafe_get fa_off ti to Array.unsafe_get fa_off (ti + 1) - 1
+       do
+         let i = Array.unsafe_get fa_attr s in
+         let factor =
+           match Predicate.restriction query i with
+           | None -> Array.unsafe_get factors s
+           | Some qr -> inter_sum (Array.unsafe_get prefix i) g s qr
+         in
+         if factor = 0. then raise Exit;
+         f := !f *. factor
+       done
+     with Exit -> f := 0.);
+    let mask = Array.unsafe_get t_mask ti in
+    Array.unsafe_set msum mask (Array.unsafe_get msum mask +. !f)
+  done
+
 (* Q_g under the query's restrictions: the per-group part of restricted
    evaluation, shared by [eval_restricted] and the batched GROUP BY
-   kernel below. *)
-let restricted_group_q t query g =
-  let restricted_a = Array.map (restricted_attr_sum t query) g.g_attrs in
+   kernel below.  Groups below the parallel threshold accumulate into
+   the scratch block; large groups keep the chunked Parallel.fold (whose
+   per-chunk arrays are the price of running on several domains). *)
+let restricted_group_q t query g sc =
+  let n_local = Array.length g.g_attrs in
+  for li = 0 to n_local - 1 do
+    sc.ra.(li) <- restricted_attr_sum t query g.g_attrs.(li)
+  done;
   let num_masks = Array.length g.mask_bits in
-  let term_masses ~lo ~hi =
-    let local = Array.make num_masks 0. in
-    for ti = lo to hi - 1 do
-      let term = g.g_terms.(ti) in
-      let f = ref term.dprod in
-      (try
-         Array.iteri
-           (fun pos i ->
-             let factor =
-               match Predicate.restriction query i with
-               | None -> term.factors.(pos)
-               | Some qr ->
-                   range_sum t ~attr:i (Ranges.inter term.t_restr.(pos) qr)
-             in
-             if factor = 0. then raise Exit;
-             f := !f *. factor)
-           term.t_attrs
-       with Exit -> f := 0.);
-      local.(term.t_mask) <- local.(term.t_mask) +. !f
-    done;
-    local
-  in
-  let n_terms = Array.length g.g_terms in
-  let domains = if n_terms >= !parallel_threshold then !parallelism else 1 in
   let msum =
-    Parallel.fold ~domains ~n:n_terms ~chunk:term_masses
-      ~combine:(fun a b ->
-        Array.iteri (fun k v -> a.(k) <- a.(k) +. v) b;
-        a)
-      ~init:(Array.make num_masks 0.)
+    if g.n_terms >= !parallel_threshold && !parallelism > 1 then
+      Parallel.fold ~domains:!parallelism ~n:g.n_terms
+        ~chunk:(fun ~lo ~hi ->
+          let local = Array.make num_masks 0. in
+          accumulate_masses t query g local ~lo ~hi;
+          local)
+        ~combine:(fun a b ->
+          Array.iteri (fun k v -> a.(k) <- a.(k) +. v) b;
+          a)
+        ~init:(Array.make num_masks 0.)
+    else begin
+      Array.fill sc.msum 0 num_masks 0.;
+      accumulate_masses t query g sc.msum ~lo:0 ~hi:g.n_terms;
+      sc.msum
+    end
   in
   let q = ref 0. in
-  Array.iteri
-    (fun k bits ->
-      if msum.(k) <> 0. then begin
-        let outer = ref 1. in
-        Array.iteri
-          (fun li _ ->
-            if bits land (1 lsl li) = 0 then
-              outer := !outer *. restricted_a.(li))
-          g.g_attrs;
-        q := !q +. (msum.(k) *. !outer)
-      end)
-    g.mask_bits;
+  for k = 0 to num_masks - 1 do
+    if msum.(k) <> 0. then begin
+      let bits = g.mask_bits.(k) in
+      let outer = ref 1. in
+      for li = 0 to n_local - 1 do
+        if bits land (1 lsl li) = 0 then outer := !outer *. sc.ra.(li)
+      done;
+      q := !q +. (msum.(k) *. !outer)
+    end
+  done;
   (* Q_g is a sum of non-negative monomials; clamp the tiny negative
      values floating-point cancellation can produce.  The floor is 0 in
      production; [set_cancellation_floor] raises it for fault injection. *)
@@ -716,14 +983,97 @@ let restricted_group_q t query g =
 (* P with every 1D variable outside the query's per-attribute restrictions
    set to 0.  Nothing is rebuilt: restricted attribute sums and term
    factors are recomputed from prefix sums over the current alpha. *)
-let eval_restricted t query =
+let eval_restricted_sc t query sc =
   ensure_prefix t;
   let acc = ref 1. in
-  Array.iter
-    (fun i -> acc := !acc *. restricted_attr_sum t query i)
-    t.free_attrs;
-  Array.iter (fun g -> acc := !acc *. restricted_group_q t query g) t.groups;
+  for k = 0 to Array.length t.free_attrs - 1 do
+    acc := !acc *. restricted_attr_sum t query t.free_attrs.(k)
+  done;
+  for gi = 0 to Array.length t.groups - 1 do
+    acc := !acc *. restricted_group_q t query t.groups.(gi) sc
+  done;
   !acc
+
+let[@inline] alpha_of t ~attr v = t.alpha.(Phi.marginal_id t.phi ~attr ~value:v)
+
+(* Term pass of the batched GROUP BY kernel over terms [lo, hi): masses
+   of terms leaving [attr] unmasked accumulate into [msum] by mask;
+   terms restricting [attr] scatter their remaining product, weighted by
+   the mask's outer product [coef], into the cells of their projection ∩
+   query.  Top-level for the same zero-allocation reason as
+   [accumulate_masses]. *)
+let accumulate_by_value t query g ~attr ~q_attr coef msum scatter ~lo ~hi =
+  let fa_off = g.fa_off
+  and fa_attr = g.fa_attr
+  and factors = g.factors
+  and dprod = g.dprod
+  and t_mask = g.t_mask
+  and iv_off = g.iv_off
+  and iv_lo = g.iv_lo
+  and iv_hi = g.iv_hi
+  and prefix = t.prefix in
+  let f = ref 0. in
+  for ti = lo to hi - 1 do
+    let s0 = Array.unsafe_get fa_off ti
+    and s1 = Array.unsafe_get fa_off (ti + 1) in
+    (* One pass over the slots: multiply the non-[attr] factors in slot
+       order (the order the boxed layout used) while remembering [attr]'s
+       slot.  Slots are one-per-attribute, so skipping [attr] inline is
+       the same exclusion as a separate scan. *)
+    let attr_slot = ref (-1) in
+    f := Array.unsafe_get dprod ti;
+    (try
+       for s = s0 to s1 - 1 do
+         let i = Array.unsafe_get fa_attr s in
+         if i = attr then attr_slot := s
+         else begin
+           let factor =
+             match Predicate.restriction query i with
+             | None -> Array.unsafe_get factors s
+             | Some qr -> inter_sum (Array.unsafe_get prefix i) g s qr
+           in
+           if factor = 0. then raise Exit;
+           f := !f *. factor
+         end
+       done
+     with Exit -> f := 0.);
+    let attr_slot = !attr_slot in
+    let fv = !f in
+    if fv <> 0. then
+      let mask = Array.unsafe_get t_mask ti in
+      if attr_slot < 0 then
+        Array.unsafe_set msum mask (Array.unsafe_get msum mask +. fv)
+      else begin
+        let w = fv *. Array.unsafe_get coef mask in
+        match q_attr with
+        | None ->
+            for k = Array.unsafe_get iv_off attr_slot
+                 to Array.unsafe_get iv_off (attr_slot + 1) - 1
+            do
+              for v = Array.unsafe_get iv_lo k to Array.unsafe_get iv_hi k do
+                Array.unsafe_set scatter v (Array.unsafe_get scatter v +. w)
+              done
+            done
+        | Some qr ->
+            (* Merge walk over (slot ∩ query), as in [inter_sum]. *)
+            let k = ref (Array.unsafe_get iv_off attr_slot) and j = ref 0 in
+            let k1 = Array.unsafe_get iv_off (attr_slot + 1) in
+            let nq = Ranges.num_intervals qr in
+            while !k < k1 && !j < nq do
+              let alo = Array.unsafe_get iv_lo !k
+              and ahi = Array.unsafe_get iv_hi !k in
+              let blo = Ranges.interval_lo qr !j
+              and bhi = Ranges.interval_hi qr !j in
+              let lo = if alo > blo then alo else blo in
+              let hi = if ahi < bhi then ahi else bhi in
+              if lo <= hi then
+                for v = lo to hi do
+                  Array.unsafe_set scatter v (Array.unsafe_get scatter v +. w)
+                done;
+              if ahi < bhi then incr k else incr j
+            done
+      end
+  done
 
 (* Batched GROUP BY kernel: restricted P for *all* cells of a grouping
    attribute in one pass over the terms.
@@ -739,123 +1089,108 @@ let eval_restricted t query =
    - [attr] in group g: a term of g either leaves [attr] unmasked — its
      restricted mass enters every cell through alpha_{attr,v} times the
      mask's outer product over the *other* group attributes — or
-     restricts [attr] at some position, in which case its remaining
-     product scatters into exactly the cells of t_restr ∩ query.
+     restricts [attr] at some slot, in which case its remaining product
+     scatters into exactly the cells of projection ∩ query.
 
-   Total cost O(terms + Σ|t_restr ∩ query| + #masks·|g_attrs| + N_attr)
-   instead of the per-cell scan's O(N_attr × terms).  Cells outside the
-   query's restriction on [attr] are 0.  Each cell's Q_g gets the same
-   cancellation clamp as [eval_restricted], so cell values match the
-   per-cell path up to float reassociation. *)
-let eval_restricted_by_value t query ~attr =
+   Total cost O(terms + Σ|projection ∩ query| + #masks·|g_attrs| +
+   N_attr) instead of the per-cell scan's O(N_attr × terms).  Cells
+   outside the query's restriction on [attr] are 0.  Each cell's Q_g
+   gets the same cancellation clamp as [eval_restricted], so cell values
+   match the per-cell path up to float reassociation. *)
+let eval_by_value_sc t query ~attr out sc =
   ensure_prefix t;
   let size = Schema.domain_size t.schema attr in
-  let out = Array.make size 0. in
+  Array.fill out 0 size 0.;
   let q_attr = Predicate.restriction query attr in
-  let alpha_of v = t.alpha.(Phi.marginal_id t.phi ~attr ~value:v) in
-  let each_value f =
-    match q_attr with
-    | None -> for v = 0 to size - 1 do f v done
-    | Some r -> Ranges.iter f r
-  in
   let gi = t.group_of_attr.(attr) in
   (* Factors not involving [attr], shared by every cell. *)
   let base = ref 1. in
-  Array.iter
-    (fun i -> if i <> attr then base := !base *. restricted_attr_sum t query i)
-    t.free_attrs;
-  Array.iteri
-    (fun gj g -> if gj <> gi then base := !base *. restricted_group_q t query g)
-    t.groups;
+  for k = 0 to Array.length t.free_attrs - 1 do
+    let i = t.free_attrs.(k) in
+    if i <> attr then base := !base *. restricted_attr_sum t query i
+  done;
+  for gj = 0 to Array.length t.groups - 1 do
+    if gj <> gi then base := !base *. restricted_group_q t query t.groups.(gj) sc
+  done;
   let base = !base in
-  if gi < 0 then each_value (fun v -> out.(v) <- base *. alpha_of v)
+  if gi < 0 then begin
+    match q_attr with
+    | None ->
+        for v = 0 to size - 1 do
+          out.(v) <- base *. alpha_of t ~attr v
+        done
+    | Some r ->
+        for k = 0 to Ranges.num_intervals r - 1 do
+          for v = Ranges.interval_lo r k to Ranges.interval_hi r k do
+            out.(v) <- base *. alpha_of t ~attr v
+          done
+        done
+  end
   else begin
     let g = t.groups.(gi) in
     let li = local_of g attr in
+    let n_local = Array.length g.g_attrs in
     let num_masks = Array.length g.mask_bits in
     (* Per-mask outer products over the group's other attributes;
        [attr]'s own factor is applied per cell. *)
-    let coef =
-      Array.map
-        (fun bits ->
-          let outer = ref 1. in
-          Array.iteri
-            (fun li' attr' ->
-              if li' <> li && bits land (1 lsl li') = 0 then
-                outer := !outer *. restricted_attr_sum t query attr')
-            g.g_attrs;
-          !outer)
-        g.mask_bits
-    in
-    let chunk ~lo ~hi =
-      let msum = Array.make num_masks 0. in
-      let scatter = Array.make size 0. in
-      for ti = lo to hi - 1 do
-        let term = g.g_terms.(ti) in
-        let attr_pos = ref (-1) in
-        Array.iteri (fun pos i -> if i = attr then attr_pos := pos) term.t_attrs;
-        let attr_pos = !attr_pos in
-        let f = ref term.dprod in
-        (try
-           Array.iteri
-             (fun pos i ->
-               if pos <> attr_pos then begin
-                 let factor =
-                   match Predicate.restriction query i with
-                   | None -> term.factors.(pos)
-                   | Some qr ->
-                       range_sum t ~attr:i (Ranges.inter term.t_restr.(pos) qr)
-                 in
-                 if factor = 0. then raise Exit;
-                 f := !f *. factor
-               end)
-             term.t_attrs
-         with Exit -> f := 0.);
-        if !f <> 0. then
-          if attr_pos < 0 then msum.(term.t_mask) <- msum.(term.t_mask) +. !f
-          else begin
-            let vr =
-              match q_attr with
-              | None -> term.t_restr.(attr_pos)
-              | Some qr -> Ranges.inter term.t_restr.(attr_pos) qr
-            in
-            let w = !f *. coef.(term.t_mask) in
-            List.iter
-              (fun (vlo, vhi) ->
-                for v = vlo to vhi do
-                  scatter.(v) <- scatter.(v) +. w
-                done)
-              (Ranges.intervals vr)
-          end
+    let coef = sc.coef in
+    for k = 0 to num_masks - 1 do
+      let bits = g.mask_bits.(k) in
+      let outer = ref 1. in
+      for li' = 0 to n_local - 1 do
+        if li' <> li && bits land (1 lsl li') = 0 then
+          outer := !outer *. restricted_attr_sum t query g.g_attrs.(li')
       done;
-      (msum, scatter)
-    in
-    let n_terms = Array.length g.g_terms in
-    let domains = if n_terms >= !parallel_threshold then !parallelism else 1 in
+      coef.(k) <- !outer
+    done;
     let msum, scatter =
-      Parallel.fold ~domains ~n:n_terms ~chunk
-        ~combine:(fun (ma, sa) (mb, sb) ->
-          Array.iteri (fun k v -> ma.(k) <- ma.(k) +. v) mb;
-          Array.iteri (fun v x -> sa.(v) <- sa.(v) +. x) sb;
-          (ma, sa))
-        ~init:(Array.make num_masks 0., Array.make size 0.)
+      if g.n_terms >= !parallel_threshold && !parallelism > 1 then
+        Parallel.fold ~domains:!parallelism ~n:g.n_terms
+          ~chunk:(fun ~lo ~hi ->
+            let msum = Array.make num_masks 0. in
+            let scatter = Array.make size 0. in
+            accumulate_by_value t query g ~attr ~q_attr coef msum scatter ~lo
+              ~hi;
+            (msum, scatter))
+          ~combine:(fun (ma, sa) (mb, sb) ->
+            Array.iteri (fun k v -> ma.(k) <- ma.(k) +. v) mb;
+            Array.iteri (fun v x -> sa.(v) <- sa.(v) +. x) sb;
+            (ma, sa))
+          ~init:(Array.make num_masks 0., Array.make size 0.)
+      else begin
+        Array.fill sc.msum 0 num_masks 0.;
+        Array.fill sc.scatter 0 size 0.;
+        accumulate_by_value t query g ~attr ~q_attr coef sc.msum sc.scatter
+          ~lo:0 ~hi:g.n_terms;
+        (sc.msum, sc.scatter)
+      end
     in
     (* Masses of the terms leaving [attr] unmasked, with their outer
        products; these enter every cell through alpha_{attr,v}. *)
     let scalar = ref 0. in
-    Array.iteri
-      (fun k bits ->
-        if bits land (1 lsl li) = 0 && msum.(k) <> 0. then
-          scalar := !scalar +. (msum.(k) *. coef.(k)))
-      g.mask_bits;
+    for k = 0 to num_masks - 1 do
+      if g.mask_bits.(k) land (1 lsl li) = 0 && msum.(k) <> 0. then
+        scalar := !scalar +. (msum.(k) *. coef.(k))
+    done;
     let scalar = !scalar in
-    each_value (fun v ->
-        out.(v) <-
-          base
-          *. Float.max !cancellation_floor
-               (alpha_of v *. (scalar +. scatter.(v))))
-  end;
-  out
+    match q_attr with
+    | None ->
+        for v = 0 to size - 1 do
+          out.(v) <-
+            base
+            *. Float.max !cancellation_floor
+                 (alpha_of t ~attr v *. (scalar +. scatter.(v)))
+        done
+    | Some r ->
+        for k = 0 to Ranges.num_intervals r - 1 do
+          for v = Ranges.interval_lo r k to Ranges.interval_hi r k do
+            out.(v) <-
+              base
+              *. Float.max !cancellation_floor
+                   (alpha_of t ~attr v *. (scalar +. scatter.(v)))
+          done
+        done
+  end
 
 (* Weighted evaluation: sum over tuples satisfying [query] of
    prod_i w_i(t_i) * monomial(t), for product-form per-tuple weights.
@@ -864,7 +1199,7 @@ let eval_restricted_by_value t query ~attr =
    what lets the same factorized representation answer SUM and AVG
    queries (a strictly larger class of the paper's linear queries than
    counting). *)
-let eval_weighted t query ~weights =
+let eval_weighted_impl t query ~weights =
   ensure_prefix t;
   (* Per-attribute prefix sums of weighted alphas; [weights] gives a
      weight function for the attributes it covers, all others weigh 1 and
@@ -892,20 +1227,19 @@ let eval_weighted t query ~weights =
       | Some pre -> pre
       | None -> t.prefix.(attr)
   in
-  let sum_over ~attr r =
-    let pre = prefix_of attr in
-    List.fold_left
-      (fun acc (lo, hi) -> acc +. pre.(hi + 1) -. pre.(lo))
-      0. (Ranges.intervals r)
-  in
-  let full ~attr =
-    let pre = prefix_of attr in
-    pre.(Schema.domain_size t.schema attr)
+  let range_sum_pre pre r =
+    let acc = ref 0. in
+    for k = 0 to Ranges.num_intervals r - 1 do
+      acc :=
+        !acc +. pre.(Ranges.interval_hi r k + 1) -. pre.(Ranges.interval_lo r k)
+    done;
+    !acc
   in
   let attr_total i =
+    let pre = prefix_of i in
     match Predicate.restriction query i with
-    | None -> full ~attr:i
-    | Some r -> sum_over ~attr:i r
+    | None -> pre.(Schema.domain_size t.schema i)
+    | Some r -> range_sum_pre pre r
   in
   let acc = ref 1. in
   Array.iter (fun i -> acc := !acc *. attr_total i) t.free_attrs;
@@ -914,24 +1248,23 @@ let eval_weighted t query ~weights =
       let totals = Array.map attr_total g.g_attrs in
       let num_masks = Array.length g.mask_bits in
       let msum = Array.make num_masks 0. in
-      Array.iter
-        (fun term ->
-          let f = ref term.dprod in
-          (try
-             Array.iteri
-               (fun pos i ->
-                 let restr =
-                   match Predicate.restriction query i with
-                   | None -> term.t_restr.(pos)
-                   | Some qr -> Ranges.inter term.t_restr.(pos) qr
-                 in
-                 let factor = sum_over ~attr:i restr in
-                 if factor = 0. then raise Exit;
-                 f := !f *. factor)
-               term.t_attrs
-           with Exit -> f := 0.);
-          msum.(term.t_mask) <- msum.(term.t_mask) +. !f)
-        g.g_terms;
+      for ti = 0 to g.n_terms - 1 do
+        let f = ref g.dprod.(ti) in
+        (try
+           for s = g.fa_off.(ti) to g.fa_off.(ti + 1) - 1 do
+             let i = g.fa_attr.(s) in
+             let pre = prefix_of i in
+             let factor =
+               match Predicate.restriction query i with
+               | None -> slot_sum pre g s
+               | Some qr -> inter_sum pre g s qr
+             in
+             if factor = 0. then raise Exit;
+             f := !f *. factor
+           done
+         with Exit -> f := 0.);
+        msum.(g.t_mask.(ti)) <- msum.(g.t_mask.(ti)) +. !f
+      done;
       let q = ref 0. in
       Array.iteri
         (fun k bits ->
@@ -952,28 +1285,78 @@ let eval_weighted t query ~weights =
     t.groups;
   !acc
 
-(* Observability: count kernel invocations always (one striped atomic
-   add per call) and wrap each call in a span when tracing is enabled.
-   Instrumentation is per kernel call — never per term — so the
-   disabled-mode cost is one flag load next to a full term pass. *)
-module Obs = Edb_obs.Obs
+(* ------------------------------------------------------------------ *)
+(* Public kernel entry points: scratch claim + observability           *)
+(* ------------------------------------------------------------------ *)
 
-let evals_counter = Edb_obs.Registry.counter "poly.evals"
+let observe_eval_ns t0 =
+  Edb_obs.Registry.Hist.observe_us eval_ns_hist ((Timing.now_s () -. t0) *. 1e9)
 
 let eval_restricted t query =
   Edb_obs.Registry.Counter.incr evals_counter;
-  Obs.with_span "poly.eval_restricted" ~cat:"answer" (fun () ->
-      eval_restricted t query)
+  if Obs.enabled () then begin
+    let t0 = Timing.now_s () in
+    let r =
+      Obs.with_span "poly.eval_restricted" ~cat:"answer" (fun () ->
+          let sc = acquire_scratch t in
+          Fun.protect
+            ~finally:(fun () -> release_scratch t sc)
+            (fun () -> eval_restricted_sc t query sc))
+    in
+    observe_eval_ns t0;
+    r
+  end
+  else begin
+    let sc = acquire_scratch t in
+    match eval_restricted_sc t query sc with
+    | r ->
+        release_scratch t sc;
+        r
+    | exception e ->
+        release_scratch t sc;
+        raise e
+  end
+
+let eval_restricted_by_value_into t query ~attr ~out =
+  let size = Schema.domain_size t.schema attr in
+  if Array.length out < size then
+    invalid_arg "Poly.eval_restricted_by_value_into: out buffer too small";
+  Edb_obs.Registry.Counter.incr evals_counter;
+  if Obs.enabled () then begin
+    let t0 = Timing.now_s () in
+    Obs.with_span "poly.eval_restricted_by_value" ~cat:"answer" (fun () ->
+        let sc = acquire_scratch t in
+        Fun.protect
+          ~finally:(fun () -> release_scratch t sc)
+          (fun () -> eval_by_value_sc t query ~attr out sc));
+    observe_eval_ns t0
+  end
+  else begin
+    let sc = acquire_scratch t in
+    match eval_by_value_sc t query ~attr out sc with
+    | () -> release_scratch t sc
+    | exception e ->
+        release_scratch t sc;
+        raise e
+  end
 
 let eval_restricted_by_value t query ~attr =
-  Edb_obs.Registry.Counter.incr evals_counter;
-  Obs.with_span "poly.eval_restricted_by_value" ~cat:"answer" (fun () ->
-      eval_restricted_by_value t query ~attr)
+  let out = Array.make (Schema.domain_size t.schema attr) 0. in
+  eval_restricted_by_value_into t query ~attr ~out;
+  out
 
 let eval_weighted t query ~weights =
   Edb_obs.Registry.Counter.incr evals_counter;
-  Obs.with_span "poly.eval_weighted" ~cat:"answer" (fun () ->
-      eval_weighted t query ~weights)
+  if Obs.enabled () then begin
+    let t0 = Timing.now_s () in
+    let r =
+      Obs.with_span "poly.eval_weighted" ~cat:"answer" (fun () ->
+          eval_weighted_impl t query ~weights)
+    in
+    observe_eval_ns t0;
+    r
+  end
+  else eval_weighted_impl t query ~weights
 
 (* E[<q, I>] = n / P * P[zeroed]  — the final formula of Sec. 4.2. *)
 let estimate t query =

@@ -12,6 +12,11 @@ type t
 
 exception Too_many_terms of { cap : int; group_attrs : int list }
 
+val layout : string
+(** Name of the in-memory term layout (recorded in BENCH_kernel.json so
+    the kernel bench can tell a layout change from a same-layout
+    regression). *)
+
 val create : ?term_cap:int -> Phi.t -> t
 (** Builds the compressed representation and initializes variables
     (marginals to s_j/n — exact for a marginals-only model — and joints
@@ -76,6 +81,16 @@ val eval_restricted_by_value : t -> Predicate.t -> attr:int -> float array
     are 0.  Cost: O(terms + Σ|projection ∩ query| + domain size) —
     independent of the number of group cells.  Same parallelism gating
     as {!eval_restricted}. *)
+
+val eval_restricted_by_value_into :
+  t -> Predicate.t -> attr:int -> out:float array -> unit
+(** As {!eval_restricted_by_value}, but fills the caller's buffer
+    instead of allocating: cells [0 .. domain_size - 1] of [out] are
+    (over)written, values outside the query's restriction to 0.  [out]
+    must be at least the attribute's domain size (larger is fine; the
+    tail is untouched), which lets callers evaluating many cross-product
+    cells — [Summary.estimate_groups] — reuse one buffer for the whole
+    query.  Raises [Invalid_argument] on a too-small buffer. *)
 
 val set_parallelism : ?threshold:int -> int -> unit
 (** Worker domains for restricted evaluation over large groups (default:

@@ -179,6 +179,13 @@ let estimate_groups_with_variance t ~attrs query =
       let pivot = !pivot in
       let d = Array.length attr_arr in
       let chosen = Array.make d 0 in
+      (* One kernel-result buffer for the whole cross product: the
+         batched kernel fills it in place per non-pivot combination, so
+         a d-attribute GROUP BY no longer allocates a fresh domain-sized
+         vector per cell row. *)
+      let vec =
+        Array.make (Schema.domain_size t.schema attr_arr.(pivot)) 0.
+      in
       let cells = ref [] in
       let rec combos i =
         if i = d then begin
@@ -189,9 +196,8 @@ let estimate_groups_with_variance t ~attrs query =
                 Predicate.restrict !q attr_arr.(j)
                   (Edb_util.Ranges.singleton chosen.(j))
           done;
-          let vec =
-            Poly.eval_restricted_by_value t.poly !q ~attr:attr_arr.(pivot)
-          in
+          Poly.eval_restricted_by_value_into t.poly !q ~attr:attr_arr.(pivot)
+            ~out:vec;
           Array.iter
             (fun v ->
               chosen.(pivot) <- v;

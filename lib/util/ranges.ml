@@ -122,6 +122,8 @@ let fold f init (r : t) =
 let to_list (r : t) = List.rev (fold (fun acc v -> v :: acc) [] r)
 let intervals (r : t) = Array.to_list r
 let num_intervals (r : t) = Array.length r
+let interval_lo (r : t) k = fst r.(k)
+let interval_hi (r : t) k = snd r.(k)
 
 let pp ppf (r : t) =
   let pp_iv ppf (lo, hi) =

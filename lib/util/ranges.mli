@@ -46,4 +46,12 @@ val intervals : t -> (int * int) list
 (** The underlying sorted disjoint inclusive intervals. *)
 
 val num_intervals : t -> int
+
+val interval_lo : t -> int -> int
+(** [interval_lo r k] is the lower bound of the [k]-th interval (0-based,
+    ascending).  Together with {!interval_hi} this gives indexed access
+    without materializing the {!intervals} list — hot loops (the
+    polynomial kernel) walk intervals allocation-free. *)
+
+val interval_hi : t -> int -> int
 val pp : Format.formatter -> t -> unit

@@ -133,6 +133,185 @@ let test_mutation_caught_and_shrunk () =
   let clean = Sweep.run_seeds seeds in
   Alcotest.(check bool) "clean without mutation" true (clean.Sweep.findings = [])
 
+(* ------------------------------------------------------------------ *)
+(* Pinned kernel outputs: the SoA layout vs recorded AoS results        *)
+(* ------------------------------------------------------------------ *)
+
+(* The flat-array (SoA) rewrite of Poly must preserve every observable
+   number bitwise: identical iteration and summation orders mean identical
+   floating-point results, not merely close ones.  This test pins that
+   contract to a committed file of hex-formatted outputs recorded with the
+   pre-refactor boxed-record (AoS) implementation: solved P and dual,
+   every workload query's estimate, the batched GROUP BY kernel's nonzero
+   cells, and the estimates again after a [Poly.refresh] (incremental
+   state must equal recomputed-from-scratch state).
+
+   Regenerate with
+     EDB_KERNEL_PIN_RECORD=$PWD/test/data/kernel_soa_expected.txt \
+       dune exec test/test_check.exe -- test pinned-kernel
+   — but doing so re-baselines the contract; only ever regenerate from an
+   implementation known to produce correct output. *)
+
+let pin_seeds = [ 3; 17; 42; 101 ]
+
+let kernel_pin_lines () =
+  let module Core = Entropydb_core in
+  List.concat_map
+    (fun seed ->
+      let spec = Gen.spec_of_seed seed in
+      let case = Case.build spec in
+      let s = case.Case.summary in
+      let poly = Core.Summary.poly s in
+      let schema = Edb_storage.Relation.schema case.Case.rel in
+      let buf = ref [] in
+      let addf fmt = Printf.ksprintf (fun l -> buf := l :: !buf) fmt in
+      addf "seed %d" seed;
+      addf "p %h" (Core.Poly.p poly);
+      addf "dual %h" (Core.Poly.dual poly);
+      List.iteri
+        (fun i q -> addf "est %d %h" i (Core.Summary.estimate s q))
+        case.Case.queries;
+      let attrs =
+        List.sort_uniq compare
+          (List.concat (Gen.group_attr_sets spec schema))
+      in
+      let queries2 = List.filteri (fun i _ -> i < 2) case.Case.queries in
+      List.iter
+        (fun attr ->
+          List.iteri
+            (fun qi q ->
+              let vec = Core.Poly.eval_restricted_by_value poly q ~attr in
+              Array.iteri
+                (fun v x -> if x <> 0. then addf "vec %d %d %d %h" attr qi v x)
+                vec)
+            queries2)
+        attrs;
+      Core.Poly.refresh poly;
+      List.iteri
+        (fun i q ->
+          if i < 3 then addf "refresh_est %d %h" i (Core.Summary.estimate s q))
+        case.Case.queries;
+      List.rev !buf)
+    pin_seeds
+
+let test_kernel_pinned () =
+  match Sys.getenv_opt "EDB_KERNEL_PIN_RECORD" with
+  | Some path ->
+      let oc = open_out path in
+      List.iter (fun l -> output_string oc (l ^ "\n")) (kernel_pin_lines ());
+      close_out oc;
+      Printf.printf "recorded kernel pin file at %s\n%!" path
+  | None ->
+      (* dune runtest runs with cwd test/; dune exec from the root. *)
+      let path =
+        List.find Sys.file_exists
+          [ "data/kernel_soa_expected.txt"; "test/data/kernel_soa_expected.txt" ]
+      in
+      let expected =
+        In_channel.with_open_text path In_channel.input_all
+        |> String.trim |> String.split_on_char '\n'
+      in
+      let actual = kernel_pin_lines () in
+      Alcotest.(check int)
+        "pinned line count" (List.length expected) (List.length actual);
+      List.iteri
+        (fun i (e, a) ->
+          if e <> a then
+            Alcotest.failf "pinned kernel output %d diverged:\n  recorded %s\n  computed %s"
+              i e a)
+        (List.combine expected actual)
+
+(* ------------------------------------------------------------------ *)
+(* SoA kernel vs brute-force enumeration (property)                    *)
+(* ------------------------------------------------------------------ *)
+
+(* Random [Gen.spec_of_seed] cases: the flat kernel's scalar and batched
+   restricted evaluations must match the brute-force tuple enumeration
+   at the solved assignment (oracle tolerances), keep matching after 50
+   extra solver sweeps plus a [refresh] (incremental caches = recomputed
+   caches), and do all of that identically at 1 and at 4 evaluation
+   domains. *)
+let kernel_soa_vs_bruteforce =
+  let module Core = Entropydb_core in
+  let module St = Edb_storage in
+  let module F = Edb_util.Floatx in
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:6 ~name:"SoA kernel = bruteforce on random specs"
+       QCheck.(int_range 0 10_000)
+       (fun seed ->
+         let spec = Gen.spec_of_seed seed in
+         let case = Case.build spec in
+         let s = case.Case.summary in
+         let poly = Core.Summary.poly s in
+         let bf = Core.Bruteforce.create (Core.Poly.phi poly) in
+         let schema = St.Relation.schema case.Case.rel in
+         let arity = St.Schema.arity schema in
+         let n = float_of_int (Core.Summary.cardinality s) in
+         let check_vs_bruteforce phase =
+           let alphas = Core.Poly.alphas poly in
+           let p = Core.Poly.p poly in
+           let est r = if p <= 0. then 0. else n *. r /. p in
+           List.iteri
+             (fun idx q ->
+               let fast = est (Core.Poly.eval_restricted poly q) in
+               let slow = Core.Bruteforce.estimate bf alphas q in
+               if not (F.approx_eq ~rtol:1e-6 ~atol:1e-6 fast slow) then
+                 QCheck.Test.fail_reportf
+                   "seed %d (%s): estimate %.12g vs bruteforce %.12g on \
+                    query %d"
+                   seed phase fast slow idx;
+               let attr = idx mod arity in
+               let vec = Core.Poly.eval_restricted_by_value poly q ~attr in
+               Array.iteri
+                 (fun v x ->
+                   let qv =
+                     St.Predicate.restrict q attr (Edb_util.Ranges.singleton v)
+                   in
+                   let slow = Core.Bruteforce.estimate bf alphas qv in
+                   if not (F.approx_eq ~rtol:1e-6 ~atol:1e-6 (est x) slow) then
+                     QCheck.Test.fail_reportf
+                       "seed %d (%s): by-value cell (attr %d, v %d) %.12g vs \
+                        bruteforce %.12g on query %d"
+                       seed phase attr v (est x) slow idx)
+                 vec)
+             case.Case.queries
+         in
+         let at_domains d phase =
+           Core.Poly.set_parallelism ~threshold:(if d > 1 then 1 else 30_000) d;
+           Fun.protect
+             ~finally:(fun () -> Core.Poly.set_parallelism ~threshold:30_000 1)
+             (fun () -> check_vs_bruteforce phase)
+         in
+         at_domains 1 "solved, 1 domain";
+         at_domains 4 "solved, 4 domains";
+         (* 50 more sweeps move the variables; refresh must then be a
+            pure recompute of the same state the incremental updates
+            left behind — and the kernels must still match enumeration
+            at the new assignment. *)
+         ignore
+           (Core.Solver.solve
+              ~config:{ Case.quiet with Core.Solver.max_sweeps = 50 }
+              poly);
+         let before =
+           List.map (fun q -> Core.Poly.eval_restricted poly q) case.Case.queries
+         in
+         Core.Poly.refresh poly;
+         let after =
+           List.map (fun q -> Core.Poly.eval_restricted poly q) case.Case.queries
+         in
+         List.iteri
+           (fun i (b, a) ->
+             if not (F.approx_eq ~rtol:1e-9 ~atol:(1e-9 *. (n +. 1.)) b a)
+             then
+               QCheck.Test.fail_reportf
+                 "seed %d: refresh moved query %d's restricted value %.17g \
+                  -> %.17g"
+                 seed i b a)
+           (List.combine before after);
+         at_domains 1 "refreshed, 1 domain";
+         at_domains 4 "refreshed, 4 domains";
+         true))
+
 let test_report_shapes () =
   let spec = Gen.spec_of_seed 5 in
   Alcotest.(check string)
@@ -162,6 +341,12 @@ let () =
             test_replay_deterministic;
           Alcotest.test_case "report shapes" `Quick test_report_shapes;
         ] );
+      ( "pinned-kernel",
+        [
+          Alcotest.test_case "SoA outputs = recorded AoS outputs (bitwise)"
+            `Quick test_kernel_pinned;
+        ] );
+      ("kernel-soa", [ kernel_soa_vs_bruteforce ]);
       ( "fault-injection",
         [
           Alcotest.test_case "clamp mutation caught and shrunk" `Slow

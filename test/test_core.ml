@@ -1691,6 +1691,67 @@ let test_term_cap () =
   | exception Poly.Too_many_terms _ -> ()
   | _poly -> Alcotest.fail "expected Too_many_terms with cap 1"
 
+(* ------------------------------------------------------------------ *)
+(* Allocation regression: steady-state cost of the flat kernel         *)
+(* ------------------------------------------------------------------ *)
+
+(* Minor-heap words allocated per call of [f]: warm up (first calls may
+   claim scratch, fill caches), then bracket a batch so fixed costs
+   amortize away. *)
+let minor_words_per_call f =
+  f ();
+  f ();
+  let n = 200 in
+  let before = Gc.minor_words () in
+  for _ = 1 to n do
+    f ()
+  done;
+  (Gc.minor_words () -. before) /. float_of_int n
+
+let check_words_cap name cap w =
+  Alcotest.(check bool)
+    (Fmt.str "%s: %.1f minor words/call (cap %.0f)" name w cap)
+    true (w <= cap)
+
+let test_kernel_allocation () =
+  if Edb_obs.Obs.enabled () then
+    (* Tracing wraps every evaluation in a span (closure + clock reads),
+       which allocates by design; the steady-state guarantee only holds
+       with observability off, so the EDB_TRACE=1 leg skips this. *)
+    ()
+  else begin
+    (* Wide pivot domain so a per-cell result vector (the pre-SoA
+       behavior of [estimate_groups]) would dominate the budget. *)
+    let schema = make_schema [ 64; 3; 4 ] in
+    let rng = Prng.create ~seed:77 () in
+    let rel = random_relation rng schema 400 in
+    let s = Summary.of_phi ~solver_config:quiet (Phi.of_relation rel ~joints:[]) in
+    let poly = Summary.poly s in
+    let q =
+      Predicate.of_alist ~arity:3
+        [ (1, Ranges.interval 0 1); (2, Ranges.interval 1 3) ]
+    in
+    (* The scalar kernel: zero-allocation steady state (a few words of
+       headroom for the boxed float return at the call boundary). *)
+    check_words_cap "eval_restricted" 16.
+      (minor_words_per_call (fun () -> ignore (Poly.eval_restricted poly q)));
+    (* The batched kernel into a caller-owned buffer: same budget. *)
+    let out = Array.make (Schema.domain_size schema 0) 0. in
+    check_words_cap "eval_restricted_by_value_into" 16.
+      (minor_words_per_call (fun () ->
+           Poly.eval_restricted_by_value_into poly q ~attr:0 ~out));
+    (* GROUP BY reuses one kernel buffer across the cross product.  The
+       remaining budget is the cell list itself (~70 words per cell for
+       key/tuple/boxed floats/sort) plus per-combination predicates;
+       revived per-evaluation kernel scratch (the pre-SoA behavior,
+       hundreds of words per cell) would blow through the cap. *)
+    let cells = 64 * 6 in
+    check_words_cap "estimate_groups"
+      (100. *. float_of_int cells)
+      (minor_words_per_call (fun () ->
+           ignore (Summary.estimate_groups s ~attrs:[ 0; 1; 2 ] q)))
+  end
+
 let () =
   Alcotest.run "entropydb-core"
     [
@@ -1728,6 +1789,11 @@ let () =
             test_phi_rejects_overlapping_family;
           Alcotest.test_case "rejects 1D joint" `Quick test_phi_rejects_1d_joint;
           Alcotest.test_case "marginal id layout" `Quick test_marginal_ids;
+        ] );
+      ( "kernel-allocation",
+        [
+          Alcotest.test_case "steady state allocates nothing" `Quick
+            test_kernel_allocation;
         ] );
       ( "summary",
         [
