@@ -1528,6 +1528,253 @@ let ingest config =
   [ table ]
 
 (* ------------------------------------------------------------------ *)
+(* Thousand-summary catalog residency                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* The v3 format's contract is that [Mapped.open_file] costs
+   O(header + manifest), independent of the body.  Prove it with a
+   thousand small v3 files plus one deliberately fat one: open-latency
+   p50/p99 over the small fleet, and a fail-loud guard that the fat
+   file (several times the body bytes) does not open proportionally
+   slower.  Then run a byte-budgeted catalog over the whole fleet at a
+   budget that keeps only a few dozen resident and measure steady-state
+   query latency while evictions and transparent reopens churn
+   underneath — every answer checked bitwise against the heap summary
+   it was built from. *)
+let catalog config =
+  let module St = Edb_storage in
+  let module Catalog = Edb_server.Catalog in
+  let open Entropydb_core in
+  let n_files =
+    try int_of_string (Sys.getenv "EDB_CATALOG_FILES") with Not_found -> 1000
+  in
+  let accesses =
+    try int_of_string (Sys.getenv "EDB_CATALOG_ACCESSES")
+    with Not_found -> 4000
+  in
+  let rng = Prng.create ~seed:config.Config.seed () in
+  let make_schema sizes =
+    St.Schema.create
+      (List.mapi
+         (fun i n ->
+           St.Schema.attr
+             (Printf.sprintf "a%d" i)
+             (St.Domain.int_bins ~lo:0 ~hi:(n - 1) ~width:1))
+         sizes)
+  in
+  let make_rel ~seed sizes rows =
+    let schema = make_schema sizes in
+    let rng = Prng.create ~seed () in
+    let b = St.Relation.builder ~capacity:rows schema in
+    for _ = 1 to rows do
+      St.Relation.add_row b
+        (Array.init (List.length sizes) (fun i ->
+             Prng.int rng (St.Schema.domain_size schema i)))
+    done;
+    St.Relation.build b
+  in
+  let solver_config = { Solver.default_config with Solver.log_every = 0 } in
+  let small_seeds = [| 31; 32; 33; 34 |] in
+  Printf.printf "catalog: building %d seed summaries + 1 fat summary...\n%!"
+    (Array.length small_seeds);
+  let small_summaries =
+    Array.map
+      (fun seed ->
+        let rel = make_rel ~seed [ 6; 5; 4 ] 400 in
+        let joints =
+          [
+            St.Predicate.of_alist ~arity:3
+              [ (0, Ranges.interval 0 2); (1, Ranges.interval 1 3) ];
+            St.Predicate.of_alist ~arity:3
+              [ (0, Ranges.interval 3 5); (1, Ranges.interval 0 1) ];
+          ]
+        in
+        Summary.build ~solver_config rel ~joints)
+      small_seeds
+  in
+  let fat_summary =
+    let sizes = [ 14; 12; 10; 8 ] in
+    let rel = make_rel ~seed:99 sizes 4000 in
+    let joints =
+      List.concat_map
+        (fun (a, b) ->
+          Edb_select.Heuristic.select Edb_select.Heuristic.Composite rel
+            ~attr1:a ~attr2:b ~budget:24)
+        [ (0, 1); (1, 2); (2, 3); (0, 3) ]
+    in
+    Summary.build ~solver_config rel ~joints
+  in
+  let dir = Filename.temp_file "edb-bench-catalog" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o700;
+  Fun.protect
+    ~finally:(fun () ->
+      Array.iter
+        (fun f -> try Sys.remove (Filename.concat dir f) with Sys_error _ -> ())
+        (Sys.readdir dir);
+      try Unix.rmdir dir with Unix.Unix_error _ -> ())
+  @@ fun () ->
+  Printf.printf "catalog: writing %d v3 files...\n%!" n_files;
+  let paths =
+    Array.init n_files (fun i ->
+        let path = Filename.concat dir (Printf.sprintf "sum-%04d.summary" i) in
+        Serialize.save_v3
+          small_summaries.(i mod Array.length small_summaries)
+          path;
+        path)
+  in
+  let fat_path = Filename.concat dir "fat.summary" in
+  Serialize.save_v3 fat_summary fat_path;
+  let small_bytes = (Unix.stat paths.(0)).Unix.st_size in
+  let fat_bytes = (Unix.stat fat_path).Unix.st_size in
+  Printf.printf "catalog: small file %d B, fat file %d B (%.1fx)\n%!"
+    small_bytes fat_bytes
+    (float_of_int fat_bytes /. float_of_int small_bytes);
+  (* Raw open latency: every small file once, cold-ish; then the fat
+     file repeatedly. *)
+  let time_open path =
+    let t0 = Timing.now_s () in
+    let m = Mapped.open_file path in
+    let dt = Timing.now_s () -. t0 in
+    ignore (Sys.opaque_identity (Mapped.cardinality m));
+    dt *. 1e6
+  in
+  let small_opens = Array.to_list (Array.map time_open paths) in
+  let fat_opens = List.init 200 (fun _ -> time_open fat_path) in
+  let pct p xs =
+    match List.sort Float.compare xs with
+    | [] -> 0.
+    | sorted ->
+        let arr = Array.of_list sorted in
+        arr.(min (Array.length arr - 1)
+               (int_of_float (p *. float_of_int (Array.length arr - 1))))
+  in
+  let open_p50 = pct 0.50 small_opens and open_p99 = pct 0.99 small_opens in
+  let fat_p50 = pct 0.50 fat_opens in
+  (* Heap-load p50 of the same fat file, for scale: open must be far
+     below it, but only the O(1) guard below is load-bearing. *)
+  let load_p50 =
+    pct 0.50
+      (List.init 20 (fun _ ->
+           let t0 = Timing.now_s () in
+           ignore (Sys.opaque_identity (Serialize.load fat_path));
+           (Timing.now_s () -. t0) *. 1e6))
+  in
+  (* Byte-budgeted catalog over the fleet: keep ~24 small summaries
+     resident out of n_files, query random names, verify bitwise. *)
+  let budget = 24 * small_bytes in
+  let cat =
+    Catalog.create ~capacity:(n_files * 2) ~budget_bytes:budget ()
+  in
+  Array.iteri
+    (fun i path ->
+      match
+        Catalog.load cat ~name:(Printf.sprintf "sum-%04d" i) ~path
+      with
+      | Ok _ -> ()
+      | Error m -> failwith ("catalog: load failed: " ^ m))
+    paths;
+  let queries =
+    Array.init 32 (fun _ ->
+        let lo = Prng.int rng 4 in
+        let hi = lo + Prng.int rng (6 - lo) in
+        St.Predicate.of_alist ~arity:3 [ (0, Ranges.interval lo hi) ])
+  in
+  let expected =
+    Array.map
+      (fun s -> Array.map (fun q -> Summary.estimate s q) queries)
+      small_summaries
+  in
+  let wrong = ref 0 in
+  let access_lat = ref [] in
+  for _ = 1 to accesses do
+    let i = Prng.int rng n_files in
+    let qi = Prng.int rng (Array.length queries) in
+    let t0 = Timing.now_s () in
+    (match
+       Catalog.with_entry cat
+         (Printf.sprintf "sum-%04d" i)
+         (fun e -> Catalog.estimate e queries.(qi))
+     with
+    | Ok v ->
+        if v <> expected.(i mod Array.length small_summaries).(qi) then
+          incr wrong
+    | Error m -> failwith ("catalog: query failed: " ^ m));
+    access_lat := ((Timing.now_s () -. t0) *. 1e6) :: !access_lat
+  done;
+  let stats = Catalog.stats cat in
+  let q_p50 = pct 0.50 !access_lat and q_p99 = pct 0.99 !access_lat in
+  let table =
+    Table.create
+      ~title:
+        (Printf.sprintf
+           "Catalog residency (%d v3 files, budget %d B = %d summaries)"
+           n_files budget (budget / small_bytes))
+      ~headers:[ "metric"; "value" ]
+      ~aligns:[ Table.Left; Table.Right ] ()
+  in
+  let add k v = Table.add_row table [ k; v ] in
+  add "small file size" (Printf.sprintf "%d B" small_bytes);
+  add "fat file size"
+    (Printf.sprintf "%d B (%.1fx)" fat_bytes
+       (float_of_int fat_bytes /. float_of_int small_bytes));
+  add "open p50" (Printf.sprintf "%.1f us" open_p50);
+  add "open p99" (Printf.sprintf "%.1f us" open_p99);
+  add "fat open p50" (Printf.sprintf "%.1f us" fat_p50);
+  add "fat heap-load p50" (Printf.sprintf "%.1f us" load_p50);
+  add "accesses" (string_of_int accesses);
+  add "wrong answers" (string_of_int !wrong);
+  add "access p50" (Printf.sprintf "%.1f us" q_p50);
+  add "access p99" (Printf.sprintf "%.1f us" q_p99);
+  add "resident" (string_of_int stats.Catalog.resident);
+  add "resident bytes"
+    (Printf.sprintf "%d / %d" stats.Catalog.resident_bytes budget);
+  add "evictions" (string_of_int stats.Catalog.evictions);
+  add "reopens" (string_of_int stats.Catalog.reopens);
+  extra_json :=
+    [
+      ("n_files", Json.Int n_files);
+      ("small_bytes", Json.Int small_bytes);
+      ("fat_bytes", Json.Int fat_bytes);
+      ("open_p50_us", Json.Float open_p50);
+      ("open_p99_us", Json.Float open_p99);
+      ("fat_open_p50_us", Json.Float fat_p50);
+      ("fat_heap_load_p50_us", Json.Float load_p50);
+      ("budget_bytes", Json.Int budget);
+      ("accesses", Json.Int accesses);
+      ("wrong_answers", Json.Int !wrong);
+      ("access_p50_us", Json.Float q_p50);
+      ("access_p99_us", Json.Float q_p99);
+      ("resident", Json.Int stats.Catalog.resident);
+      ("resident_bytes", Json.Int stats.Catalog.resident_bytes);
+      ("evictions", Json.Int stats.Catalog.evictions);
+      ("reopens", Json.Int stats.Catalog.reopens);
+    ];
+  if !wrong > 0 then
+    failwith
+      (Printf.sprintf "catalog: %d answers differed from the heap summary"
+         !wrong);
+  if stats.Catalog.reopens = 0 then
+    failwith
+      "catalog: no transparent reopens — the budget never evicted, sweep \
+       is vacuous";
+  if stats.Catalog.resident_bytes > budget then
+    failwith
+      (Printf.sprintf "catalog: resident %d B exceeds budget %d B at rest"
+         stats.Catalog.resident_bytes budget);
+  (* The O(1)-open guard: a body ~10x bigger must not open ~10x slower.
+     Generous slack (4x + 1 ms) absorbs scheduler noise while still
+     catching any body-proportional read sneaking into open_file. *)
+  if fat_bytes > 4 * small_bytes && fat_p50 > (4. *. open_p50) +. 1000. then
+    failwith
+      (Printf.sprintf
+         "catalog: open latency scales with body size (small p50 %.1f us, \
+          fat p50 %.1f us for %.1fx the bytes)"
+         open_p50 fat_p50
+         (float_of_int fat_bytes /. float_of_int small_bytes));
+  [ table ]
+
+(* ------------------------------------------------------------------ *)
 (* Driver                                                              *)
 (* ------------------------------------------------------------------ *)
 
@@ -1552,6 +1799,7 @@ let experiments config =
     ("obs", fun () -> obs config);
     ("planner", fun () -> planner config);
     ("ingest", fun () -> ingest config);
+    ("catalog", fun () -> catalog config);
     ("check", fun () -> check config);
   ]
 

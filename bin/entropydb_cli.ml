@@ -162,10 +162,14 @@ let heuristic_conv =
 
 let build_cmd_named cmd_name ~doc =
   let run verbose dataset input rows seed output pairs buckets heuristic
-      sweeps shards shard_by trace_out =
+      sweeps shards shard_by format trace_out =
     setup_logs verbose;
     if shards < 1 then begin
       Fmt.epr "%s: --shards must be at least 1@." cmd_name;
+      exit 2
+    end;
+    if format = "v3" && shards > 1 then begin
+      Fmt.epr "%s: --format v3 is for flat (unsharded) summaries@." cmd_name;
       exit 2
     end;
     with_trace trace_out @@ fun () ->
@@ -214,8 +218,14 @@ let build_cmd_named cmd_name ~doc =
       let report = Entropydb_core.Summary.solver_report summary in
       Printf.printf "solved in %d sweeps, %.1fs (max rel err %.2e)\n"
         report.sweeps report.seconds report.max_rel_error;
-      Entropydb_core.Serialize.save summary output;
-      Printf.printf "summary written to %s\n" output
+      if format = "v3" then begin
+        Entropydb_core.Serialize.save_v3 summary output;
+        Printf.printf "mmap-able v3 summary written to %s\n" output
+      end
+      else begin
+        Entropydb_core.Serialize.save summary output;
+        Printf.printf "summary written to %s\n" output
+      end
     end
     else begin
       let strategy =
@@ -310,11 +320,21 @@ let build_cmd_named cmd_name ~doc =
             "Partitioning key: $(b,rows) (contiguous row ranges) or an \
              attribute name (hash of that attribute's value).")
   in
+  let format_t =
+    Arg.(
+      value
+      & opt (enum [ ("v2", "v2"); ("v3", "v3") ]) "v2"
+      & info [ "format" ] ~docv:"v2|v3"
+          ~doc:
+            "On-disk format for flat summaries: $(b,v2) (the default, \
+             portable) or $(b,v3) (page-aligned, mmap-able; the server \
+             opens it zero-copy in O(1)).")
+  in
   Cmd.v (Cmd.info cmd_name ~doc)
     Term.(
       const run $ verbose_t $ dataset_t $ input_t $ rows_t $ seed_t $ output_t
       $ pairs_t $ buckets_t $ heuristic_t $ sweeps_t $ shards_t $ shard_by_t
-      $ trace_out_t)
+      $ format_t $ trace_out_t)
 
 let build_cmd =
   build_cmd_named "build" ~doc:"Compute and save a MaxEnt summary."
@@ -629,10 +649,26 @@ let info_cmd =
       let summary = Edb_shard.Store.load summary_path in
       let schema = Edb_shard.Sharded.schema summary in
       let k = Edb_shard.Sharded.num_shards summary in
+      let format = Entropydb_core.Serialize.detect summary_path in
       Printf.printf "format: %s\n"
-        (match Entropydb_core.Serialize.detect summary_path with
+        (match format with
         | Entropydb_core.Serialize.Flat -> "flat"
-        | Entropydb_core.Serialize.Sharded -> "sharded manifest");
+        | Entropydb_core.Serialize.Sharded -> "sharded manifest"
+        | Entropydb_core.Serialize.MappedV3 -> "mmap v3");
+      (* v3 files carry a section table the server maps zero-copy; list
+         it so operators can see the layout the checksums cover. *)
+      if format = Entropydb_core.Serialize.MappedV3 then begin
+        let m = Entropydb_core.Serialize.v3_manifest_of summary_path in
+        Printf.printf "sections: %d\n"
+          (List.length m.Entropydb_core.Serialize.v3_sections);
+        List.iter
+          (fun (s : Entropydb_core.Serialize.v3_section) ->
+            Printf.printf
+              "  %-14s %-7s offset %8d  elems %8d  crc32 %08x\n" s.sec_name
+              (if s.sec_float then "float64" else "int")
+              s.sec_off s.sec_len s.sec_crc)
+          m.Entropydb_core.Serialize.v3_sections
+      end;
       Printf.printf "shards: %d (%s)\n" k (Edb_shard.Sharded.strategy summary);
       Printf.printf "cardinality: %d%s\n"
         (Edb_shard.Sharded.cardinality summary)
@@ -684,7 +720,7 @@ let ingest_cmd =
     setup_logs verbose;
     try
       (match Entropydb_core.Serialize.detect summary_path with
-      | Entropydb_core.Serialize.Flat -> ()
+      | Entropydb_core.Serialize.Flat | Entropydb_core.Serialize.MappedV3 -> ()
       | Entropydb_core.Serialize.Sharded ->
           Fmt.epr
             "ingest error: %s is a sharded manifest; ingest supports flat \
@@ -907,7 +943,7 @@ let tcp_port_t =
 
 let serve_cmd =
   let run verbose socket tcp_host tcp_port workers queue deadline idle
-      catalog_capacity cache_capacity preload =
+      catalog_capacity catalog_bytes cache_capacity preload =
     setup_logs verbose;
     let tcp = Option.map (fun p -> (tcp_host, p)) tcp_port in
     if socket = None && tcp = None then begin
@@ -924,6 +960,7 @@ let serve_cmd =
           request_deadline = deadline;
           idle_timeout = idle;
           catalog_capacity;
+          catalog_bytes;
           cache_capacity;
         }
       in
@@ -985,6 +1022,16 @@ let serve_cmd =
       & info [ "catalog-capacity" ] ~docv:"N"
           ~doc:"Resident summaries (LRU beyond this).")
   in
+  let catalog_bytes_t =
+    Arg.(
+      value
+      & opt (some int) Edb_server.Server.default_config.catalog_bytes
+      & info [ "catalog-bytes" ] ~docv:"BYTES"
+          ~doc:
+            "Byte budget over resident summaries' footprints (weighted LRU \
+             beyond it; evicted names transparently reopen on use — O(1) for \
+             mmap v3 files).  Unlimited by default.")
+  in
   let cache_t =
     Arg.(
       value & opt int Edb_server.Server.default_config.cache_capacity
@@ -1004,7 +1051,8 @@ let serve_cmd =
           drain).")
     Term.(
       const run $ verbose_t $ socket_t $ tcp_host_t $ tcp_port_t $ workers_t
-      $ queue_t $ deadline_t $ idle_t $ catalog_t $ cache_t $ preload_t)
+      $ queue_t $ deadline_t $ idle_t $ catalog_t $ catalog_bytes_t $ cache_t
+      $ preload_t)
 
 let client_cmd =
   let run verbose socket tcp_host tcp_port timeout words =

@@ -386,6 +386,100 @@ let c_serialize_roundtrip ctx =
               Predicate.pp q)
         ctx.case.Case.queries)
 
+(* The mapped kernel promises bitwise equality with the heap kernel:
+   same operations, same order, over the same bytes.  Exercise every
+   estimator surface against the heap answers, check the v3 round-trip
+   heap-loads to the same summary as the v2 round-trip, and that a
+   close/reopen of the mapping changes nothing. *)
+let c_mmap_v3 ctx =
+  let s = ctx.case.Case.summary in
+  let dir = temp_dir () in
+  Fun.protect
+    ~finally:(fun () -> rm_rf dir)
+    (fun () ->
+      let v3_path = Filename.concat dir "v3.summary" in
+      Serialize.save_v3 s v3_path;
+      let m = Mapped.open_file v3_path in
+      tally ctx;
+      if Mapped.cardinality m <> Summary.cardinality s then
+        fail ctx ~check:"mmap-v3" ~tier:Differential
+          "mapped cardinality %d vs heap %d" (Mapped.cardinality m)
+          (Summary.cardinality s);
+      List.iter
+        (fun q ->
+          tally ctx;
+          let h = Summary.estimate s q and mm = Mapped.estimate m q in
+          if h <> mm then
+            fail ctx ~check:"mmap-v3" ~tier:Differential
+              "mapped estimate not bitwise: %.17g vs heap %.17g on %a" mm h
+              Predicate.pp q;
+          tally ctx;
+          let hv, hvar = Summary.estimate_with_variance s q in
+          let mv, mvar = Mapped.estimate_with_variance m q in
+          if hv <> mv || hvar <> mvar then
+            fail ctx ~check:"mmap-v3" ~tier:Differential
+              "mapped (est, var) not bitwise: (%.17g, %.17g) vs (%.17g, \
+               %.17g) on %a"
+              mv mvar hv hvar Predicate.pp q;
+          tally ctx;
+          let hs = Summary.estimate_sum s ~attr:0 q in
+          let ms = Mapped.estimate_sum m ~attr:0 q in
+          if hs <> ms then
+            fail ctx ~check:"mmap-v3" ~tier:Differential
+              "mapped SUM not bitwise: %.17g vs heap %.17g on %a" ms hs
+              Predicate.pp q;
+          tally ctx;
+          if Summary.variance_sum s ~attr:0 q <> Mapped.variance_sum m ~attr:0 q
+          then
+            fail ctx ~check:"mmap-v3" ~tier:Differential
+              "mapped SUM variance differs from heap on %a" Predicate.pp q)
+        ctx.case.Case.queries;
+      let attrs =
+        List.hd (Gen.group_attr_sets ctx.case.Case.spec (schema ctx))
+      in
+      let q0 = List.hd ctx.case.Case.queries in
+      tally ctx;
+      if
+        Summary.estimate_groups_with_stddev s ~attrs q0
+        <> Mapped.estimate_groups_with_stddev m ~attrs q0
+      then
+        fail ctx ~check:"mmap-v3" ~tier:Differential
+          "mapped GROUP BY not bitwise on %a" Predicate.pp q0;
+      List.iter
+        (fun d ->
+          tally ctx;
+          let h = Disjunction.estimate s d in
+          let mm = Mapped.estimate_disjuncts m d in
+          if h <> mm then
+            fail ctx ~check:"mmap-v3" ~tier:Differential
+              "mapped disjunction not bitwise: %.17g vs heap %.17g" mm h)
+        (Gen.disjunctions ctx.case.Case.spec (schema ctx));
+      (* v3 heap-load round-trips to the same summary as the v2 path. *)
+      let flat_path = Filename.concat dir "flat.summary" in
+      Serialize.save s flat_path;
+      let via_v2 = Serialize.load flat_path in
+      let via_v3 = Serialize.load v3_path in
+      List.iter
+        (fun q ->
+          tally ctx;
+          let a = Summary.estimate via_v2 q and b = Summary.estimate via_v3 q in
+          if a <> b then
+            fail ctx ~check:"mmap-v3" ~tier:Differential
+              "v3 heap-load differs from v2 round-trip: %.17g vs %.17g on %a"
+              b a Predicate.pp q)
+        ctx.case.Case.queries;
+      (* Close/reopen idempotence: a second mapping of the same file
+         answers identically to the first (and to the heap). *)
+      let m2 = Mapped.open_file v3_path in
+      Mapped.verify m2;
+      List.iter
+        (fun q ->
+          tally ctx;
+          if Mapped.estimate m q <> Mapped.estimate m2 q then
+            fail ctx ~check:"mmap-v3" ~tier:Metamorphic
+              "reopened mapping is not idempotent on %a" Predicate.pp q)
+        ctx.case.Case.queries)
+
 let c_cache_vs_uncached ctx =
   let s = ctx.case.Case.summary in
   let cache = Cache.create s in
@@ -1019,6 +1113,7 @@ let checks : (string * tier * (ctx -> unit)) list =
     ("groupby-batched-vs-naive", Differential, c_groupby_batched_vs_naive);
     ("kernel-soa", Differential, c_kernel_soa);
     ("serialize-roundtrip", Differential, c_serialize_roundtrip);
+    ("mmap-v3", Differential, c_mmap_v3);
     ("cache-vs-uncached", Differential, c_cache_vs_uncached);
     ("server-vs-library", Differential, c_server_vs_library);
     ("obs-consistency", Differential, c_obs_consistency);

@@ -691,6 +691,124 @@ let num_groups t = Array.length t.groups
 let uncompressed_monomials t = Schema.tuple_space_size t.schema
 
 (* ------------------------------------------------------------------ *)
+(* Table export (summary format v3)                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* The flat SoA tables, exposed for the zero-copy serializer: format v3
+   writes exactly these arrays to disk so a mapped summary's kernel walks
+   the same bits the heap kernel does.  The arrays are shared with the
+   polynomial, not copied — callers must treat them as read-only. *)
+type group_tables = {
+  gt_attrs : int array;
+  gt_stats : int array;
+  gt_n_terms : int;
+  gt_ts_off : int array;
+  gt_ts_stat : int array;
+  gt_fa_off : int array;
+  gt_fa_attr : int array;
+  gt_factors : float array;
+  gt_iv_off : int array;
+  gt_iv_lo : int array;
+  gt_iv_hi : int array;
+  gt_t_mask : int array;
+  gt_fprod : float array;
+  gt_dprod : float array;
+  gt_value : float array;
+  gt_mask_bits : int array;
+  gt_mask_sum : float array;
+  gt_mask_outer : float array;
+  gt_q : float;
+  gt_bys_off : int array;
+  gt_bys_term : int array;
+  gt_byv_off : int array array;
+  gt_byv_term : int array array;
+  gt_byv_slot : int array array;
+}
+
+type tables = {
+  tb_alpha : float array;
+  tb_attr_sums : float array;
+  tb_prefix : float array array;
+  tb_p : float;
+  tb_free_attrs : int array;
+  tb_group_of_attr : int array;
+  tb_groups : group_tables array;
+}
+
+let group_tables g =
+  {
+    gt_attrs = g.g_attrs;
+    gt_stats = g.g_stats;
+    gt_n_terms = g.n_terms;
+    gt_ts_off = g.ts_off;
+    gt_ts_stat = g.ts_stat;
+    gt_fa_off = g.fa_off;
+    gt_fa_attr = g.fa_attr;
+    gt_factors = g.factors;
+    gt_iv_off = g.iv_off;
+    gt_iv_lo = g.iv_lo;
+    gt_iv_hi = g.iv_hi;
+    gt_t_mask = g.t_mask;
+    gt_fprod = g.fprod;
+    gt_dprod = g.dprod;
+    gt_value = g.value;
+    gt_mask_bits = g.mask_bits;
+    gt_mask_sum = g.mask_sum;
+    gt_mask_outer = g.mask_outer;
+    gt_q = g.q;
+    gt_bys_off = g.bys_off;
+    gt_bys_term = g.bys_term;
+    gt_byv_off = g.byv_off;
+    gt_byv_term = g.byv_term;
+    gt_byv_slot = g.byv_slot;
+  }
+
+let tables t =
+  ensure_prefix t;
+  {
+    tb_alpha = t.alpha;
+    tb_attr_sums = t.attr_sums;
+    tb_prefix = t.prefix;
+    tb_p = t.p;
+    tb_free_attrs = t.free_attrs;
+    tb_group_of_attr = t.group_of_attr;
+    tb_groups = Array.map group_tables t.groups;
+  }
+
+(* Resident size estimate in bytes: one word per array element plus the
+   prefix tables — the weighted catalog charges heap entries with this. *)
+let footprint_bytes t =
+  let word = 8 in
+  let acc = ref (word * (Array.length t.alpha + Array.length t.attr_sums)) in
+  Array.iter (fun pre -> acc := !acc + (word * Array.length pre)) t.prefix;
+  Array.iter
+    (fun g ->
+      let ints =
+        Array.length g.ts_off + Array.length g.ts_stat + Array.length g.fa_off
+        + Array.length g.fa_attr + Array.length g.iv_off
+        + Array.length g.iv_lo + Array.length g.iv_hi + Array.length g.t_mask
+        + Array.length g.mask_bits + Array.length g.bys_off
+        + Array.length g.bys_term
+      in
+      let ints =
+        Array.fold_left (fun a o -> a + Array.length o) ints g.byv_off
+      in
+      let ints =
+        Array.fold_left (fun a o -> a + Array.length o) ints g.byv_term
+      in
+      let ints =
+        Array.fold_left (fun a o -> a + Array.length o) ints g.byv_slot
+      in
+      let floats =
+        Array.length g.factors + Array.length g.fprod + Array.length g.dprod
+        + Array.length g.value + Array.length g.mask_sum
+        + Array.length g.mask_outer
+      in
+      acc := !acc + (word * (ints + floats)))
+    t.groups;
+  !acc
+
+(* ------------------------------------------------------------------ *)
 (* Incremental variable update                                         *)
 (* ------------------------------------------------------------------ *)
 

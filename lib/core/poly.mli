@@ -135,3 +135,58 @@ val num_groups : t -> int
 
 val uncompressed_monomials : t -> float
 (** |Tup| — the size the naive sum-of-products form would have. *)
+
+(** {2 Table export (summary format v3)}
+
+    The flat SoA/CSR tables behind the kernel, exposed so the zero-copy
+    serializer can write them to disk verbatim: a mapped summary's
+    evaluation then walks bitwise the same data the heap kernel does.
+    All arrays are {e shared} with the polynomial — treat them as
+    read-only snapshots of the current solved state. *)
+
+type group_tables = {
+  gt_attrs : int array;
+  gt_stats : int array;
+  gt_n_terms : int;
+  gt_ts_off : int array;
+  gt_ts_stat : int array;
+  gt_fa_off : int array;
+  gt_fa_attr : int array;
+  gt_factors : float array;
+  gt_iv_off : int array;
+  gt_iv_lo : int array;
+  gt_iv_hi : int array;
+  gt_t_mask : int array;
+  gt_fprod : float array;
+  gt_dprod : float array;
+  gt_value : float array;
+  gt_mask_bits : int array;
+  gt_mask_sum : float array;
+  gt_mask_outer : float array;
+  gt_q : float;
+  gt_bys_off : int array;
+  gt_bys_term : int array;
+  gt_byv_off : int array array;
+  gt_byv_term : int array array;
+  gt_byv_slot : int array array;
+}
+
+type tables = {
+  tb_alpha : float array;
+  tb_attr_sums : float array;
+  tb_prefix : float array array;
+  tb_p : float;
+  tb_free_attrs : int array;
+  tb_group_of_attr : int array;
+  tb_groups : group_tables array;
+}
+
+val tables : t -> tables
+(** Current tables (prefix sums finalized first).  Call {!refresh}
+    beforehand to wash out incremental drift when a canonical
+    (rebuild-from-α) state is required, as the v3 writer does. *)
+
+val footprint_bytes : t -> int
+(** Estimated resident heap size of the flat tables in bytes (one word
+    per array element); the weighted catalog charges heap-backed entries
+    with this. *)

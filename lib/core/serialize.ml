@@ -151,11 +151,13 @@ let sharded_version = 1
 let max_shards = 100_000
 let max_name_len = 4096
 
-type format = Flat | Sharded
+type format = Flat | Sharded | MappedV3
 
 let read_magic ic =
   try really_input_string ic (String.length magic)
   with End_of_file -> raise (Format_error "truncated file")
+
+let v3_magic = "ENTROPYDB\x03"
 
 let detect path =
   let ic = open_in_bin path in
@@ -165,6 +167,7 @@ let detect path =
       let buf = read_magic ic in
       if buf = magic then Flat
       else if buf = sharded_magic then Sharded
+      else if buf = v3_magic then MappedV3
       else raise (Format_error "bad magic"))
 
 let output_str oc s =
@@ -250,3 +253,360 @@ let load_sharded ?term_cap path =
         raise (Format_error "shard schema mismatch"))
     shards;
   (strategy, shards)
+
+(* ------------------------------------------------------------------ *)
+(* Summary format v3: page-aligned, mmap-able                          *)
+(* ------------------------------------------------------------------ *)
+
+(* v3 stores the polynomial's flat SoA tables verbatim, so a summary can
+   be queried directly off a file mapping without deserialization:
+
+     page 0              fixed header (magic, geometry, manifest pointer,
+                         CRC-32 of the header bytes)
+     pages 1..k          body sections, each starting on a page boundary:
+                         the kernel tables of every group plus the alpha
+                         vector, attribute sums, and prefix tables
+     after the body      the manifest — one marshaled pure-data record
+                         holding the small metadata (schema, n, P,
+                         targets, solver report, ingest journal) and the
+                         section table (name, kind, offset, length,
+                         CRC-32 per section) — then zero padding to a
+                         page boundary
+
+   The manifest comes last so section offsets are known before it is
+   written; the header (written with a final seek) points at it.  Opening
+   a v3 file is O(header + manifest): body sections are mapped, not read,
+   and their checksums are verified lazily by the mapped reader
+   (Mapped.ensure_verified) before the first answer is produced — so
+   corruption is always a Format_error, never a silently wrong answer.
+
+   Element encoding is the host representation Bigarray maps: IEEE-754
+   doubles and untagged native ints, little-endian.  The header records
+   int size and byte order; a file from a foreign host is rejected with
+   Format_error rather than misread. *)
+
+let v3_page = 4096
+let v3_version = 3
+
+type v3_section = {
+  sec_name : string;
+  sec_float : bool; (* float64 elements; ints otherwise *)
+  sec_off : int; (* byte offset, page-aligned *)
+  sec_len : int; (* element count (8 bytes each) *)
+  sec_crc : int; (* CRC-32 of the raw section bytes *)
+}
+
+type v3_group_meta = {
+  v3g_attrs : int array;
+  v3g_stats : int array;
+  v3g_n_terms : int;
+  v3g_q : float;
+}
+
+type v3_manifest = {
+  v3_schema : Schema.t;
+  v3_n : int;
+  v3_p : float;
+  v3_marginal_targets : float array array;
+  v3_joints : (Predicate.t * float) list;
+  v3_report : Solver.report;
+  v3_journal : Journal.t;
+  v3_free_attrs : int array;
+  v3_group_of_attr : int array;
+  v3_groups : v3_group_meta array;
+  v3_sections : v3_section list;
+}
+
+let v3_round_page n = (n + v3_page - 1) / v3_page * v3_page
+
+let v3_bytes_of_floats a =
+  let b = Bytes.create (8 * Array.length a) in
+  Array.iteri (fun i v -> Bytes.set_int64_le b (8 * i) (Int64.bits_of_float v)) a;
+  b
+
+let v3_bytes_of_ints a =
+  let b = Bytes.create (8 * Array.length a) in
+  Array.iteri (fun i v -> Bytes.set_int64_le b (8 * i) (Int64.of_int v)) a;
+  b
+
+let v3_floats_of_bytes b =
+  Array.init
+    (Bytes.length b / 8)
+    (fun i -> Int64.float_of_bits (Bytes.get_int64_le b (8 * i)))
+
+(* Fixed header field offsets (bytes; all fields int64 LE after the
+   magic).  The CRC at [v3_hdr_crc] covers bytes [0, v3_hdr_crc). *)
+let v3_hdr_version = 16
+let v3_hdr_int_size = 24
+let v3_hdr_endian = 32
+let v3_hdr_page = 40
+let v3_hdr_manifest_off = 48
+let v3_hdr_manifest_len = 56
+let v3_hdr_manifest_crc = 64
+let v3_hdr_file_size = 72
+let v3_hdr_sections = 80
+let v3_hdr_crc = 88
+
+let save_v3 summary path =
+  Edb_obs.Obs.with_span "serialize.save_v3" ~cat:"io"
+    ~attrs:(fun () -> [ ("path", path) ])
+  @@ fun () ->
+  let poly = Summary.poly summary in
+  (* Canonicalize the cached tables: rebuild them from the variable
+     vector, exactly as every loader does.  Incremental solver updates
+     accumulate float drift relative to that rebuild; refreshing here
+     makes the mapped tables bitwise-equal to a v2 round trip.  The
+     refresh is semantically the identity. *)
+  Poly.refresh poly;
+  let tb = Poly.tables poly in
+  let phi = Poly.phi poly in
+  let schema = Phi.schema phi in
+  let m = Schema.arity schema in
+  let marginal_targets =
+    Array.init m (fun i ->
+        Array.init (Schema.domain_size schema i) (fun v ->
+            Phi.target phi (Phi.marginal_id phi ~attr:i ~value:v)))
+  in
+  let joints =
+    List.map
+      (fun j ->
+        let s = Phi.stat phi j in
+        (Statistic.pred s, Statistic.target s))
+      (Phi.joint_ids phi)
+  in
+  (* Lay out the body: every section page-aligned, offsets assigned in
+     emission order. *)
+  let sections = ref [] and blobs = ref [] in
+  let off = ref v3_page in
+  let add name is_float blob =
+    sections :=
+      {
+        sec_name = name;
+        sec_float = is_float;
+        sec_off = !off;
+        sec_len = Bytes.length blob / 8;
+        sec_crc = Edb_util.Crc32.bytes blob;
+      }
+      :: !sections;
+    blobs := (!off, blob) :: !blobs;
+    off := v3_round_page (!off + Bytes.length blob)
+  in
+  let addf name a = add name true (v3_bytes_of_floats a)
+  and addi name a = add name false (v3_bytes_of_ints a) in
+  addf "alpha" tb.Poly.tb_alpha;
+  addf "attr_sums" tb.Poly.tb_attr_sums;
+  addf "prefix" (Array.concat (Array.to_list tb.Poly.tb_prefix));
+  Array.iteri
+    (fun gi (g : Poly.group_tables) ->
+      let s name = Printf.sprintf "g%d.%s" gi name in
+      addi (s "ts_off") g.Poly.gt_ts_off;
+      addi (s "ts_stat") g.Poly.gt_ts_stat;
+      addi (s "fa_off") g.Poly.gt_fa_off;
+      addi (s "fa_attr") g.Poly.gt_fa_attr;
+      addf (s "factors") g.Poly.gt_factors;
+      addi (s "iv_off") g.Poly.gt_iv_off;
+      addi (s "iv_lo") g.Poly.gt_iv_lo;
+      addi (s "iv_hi") g.Poly.gt_iv_hi;
+      addi (s "t_mask") g.Poly.gt_t_mask;
+      addf (s "fprod") g.Poly.gt_fprod;
+      addf (s "dprod") g.Poly.gt_dprod;
+      addf (s "value") g.Poly.gt_value;
+      addi (s "mask_bits") g.Poly.gt_mask_bits;
+      addf (s "mask_sum") g.Poly.gt_mask_sum;
+      addf (s "mask_outer") g.Poly.gt_mask_outer;
+      addi (s "bys_off") g.Poly.gt_bys_off;
+      addi (s "bys_term") g.Poly.gt_bys_term;
+      (* The per-local-attribute by-value index is stored flattened:
+         byv_idx points each local attribute at its slice of the
+         concatenated offset array (per-attribute offsets stay local;
+         the reader rebuilds data bases from each slice's last entry). *)
+      let n_local = Array.length g.Poly.gt_attrs in
+      let byv_idx = Array.make (n_local + 1) 0 in
+      Array.iteri
+        (fun li o -> byv_idx.(li + 1) <- byv_idx.(li) + Array.length o)
+        g.Poly.gt_byv_off;
+      addi (s "byv_idx") byv_idx;
+      addi (s "byv_off") (Array.concat (Array.to_list g.Poly.gt_byv_off));
+      addi (s "byv_term") (Array.concat (Array.to_list g.Poly.gt_byv_term));
+      addi (s "byv_slot") (Array.concat (Array.to_list g.Poly.gt_byv_slot)))
+    tb.Poly.tb_groups;
+  let manifest =
+    {
+      v3_schema = schema;
+      v3_n = Phi.n phi;
+      v3_p = tb.Poly.tb_p;
+      v3_marginal_targets = marginal_targets;
+      v3_joints = joints;
+      v3_report = Summary.solver_report summary;
+      v3_journal = Summary.journal summary;
+      v3_free_attrs = tb.Poly.tb_free_attrs;
+      v3_group_of_attr = tb.Poly.tb_group_of_attr;
+      v3_groups =
+        Array.map
+          (fun (g : Poly.group_tables) ->
+            {
+              v3g_attrs = g.Poly.gt_attrs;
+              v3g_stats = g.Poly.gt_stats;
+              v3g_n_terms = g.Poly.gt_n_terms;
+              v3g_q = g.Poly.gt_q;
+            })
+          tb.Poly.tb_groups;
+      v3_sections = List.rev !sections;
+    }
+  in
+  let mstr = Marshal.to_string manifest [] in
+  let manifest_off = !off in
+  let file_size = v3_round_page (manifest_off + String.length mstr) in
+  let header = Bytes.make v3_page '\000' in
+  Bytes.blit_string v3_magic 0 header 0 (String.length v3_magic);
+  let put o v = Bytes.set_int64_le header o (Int64.of_int v) in
+  put v3_hdr_version v3_version;
+  put v3_hdr_int_size Sys.int_size;
+  put v3_hdr_endian (if Sys.big_endian then 0 else 1);
+  put v3_hdr_page v3_page;
+  put v3_hdr_manifest_off manifest_off;
+  put v3_hdr_manifest_len (String.length mstr);
+  put v3_hdr_manifest_crc (Edb_util.Crc32.string mstr);
+  put v3_hdr_file_size file_size;
+  put v3_hdr_sections (List.length !sections);
+  put v3_hdr_crc (Edb_util.Crc32.bytes (Bytes.sub header 0 v3_hdr_crc));
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_bytes oc header;
+      List.iter
+        (fun (off, blob) ->
+          let pad = off - pos_out oc in
+          if pad > 0 then output_bytes oc (Bytes.make pad '\000');
+          output_bytes oc blob)
+        (List.rev !blobs);
+      let pad = manifest_off - pos_out oc in
+      if pad > 0 then output_bytes oc (Bytes.make pad '\000');
+      output_string oc mstr;
+      let pad = file_size - pos_out oc in
+      if pad > 0 then output_bytes oc (Bytes.make pad '\000'))
+
+(* Validated header + manifest read: everything [Mapped.open_file] and the
+   heap loader need before touching the body, in O(header + manifest)
+   I/O.  Every integrity failure is a Format_error naming what broke. *)
+let v3_manifest_of path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let size = in_channel_length ic in
+      if size < v3_page then raise (Format_error "truncated v3 header");
+      let header = really_input_string ic v3_page in
+      if String.sub header 0 (String.length v3_magic) <> v3_magic then
+        raise (Format_error "bad magic");
+      let get o = Int64.to_int (String.get_int64_le header o) in
+      let crc = Edb_util.Crc32.string (String.sub header 0 v3_hdr_crc) in
+      if crc <> get v3_hdr_crc then
+        raise (Format_error "v3 header checksum mismatch");
+      let v = get v3_hdr_version in
+      if v <> v3_version then
+        raise (Format_error (Printf.sprintf "unsupported v3 version %d" v));
+      if get v3_hdr_int_size <> Sys.int_size then
+        raise
+          (Format_error
+             (Printf.sprintf "v3 int size mismatch (file %d, host %d)"
+                (get v3_hdr_int_size) Sys.int_size));
+      if get v3_hdr_endian <> if Sys.big_endian then 0 else 1 then
+        raise (Format_error "v3 byte order mismatch");
+      if get v3_hdr_page <> v3_page then
+        raise
+          (Format_error
+             (Printf.sprintf "unsupported v3 page size %d" (get v3_hdr_page)));
+      if get v3_hdr_file_size <> size then
+        raise
+          (Format_error
+             (Printf.sprintf "truncated v3 file (%d bytes, header records %d)"
+                size (get v3_hdr_file_size)));
+      let moff = get v3_hdr_manifest_off and mlen = get v3_hdr_manifest_len in
+      if moff < v3_page || mlen < 0 || moff + mlen > size then
+        raise (Format_error "corrupt v3 manifest bounds");
+      seek_in ic moff;
+      let mstr =
+        try really_input_string ic mlen
+        with End_of_file -> raise (Format_error "truncated v3 manifest")
+      in
+      if Edb_util.Crc32.string mstr <> get v3_hdr_manifest_crc then
+        raise (Format_error "v3 manifest checksum mismatch");
+      let manifest =
+        try (Marshal.from_string mstr 0 : v3_manifest)
+        with _ -> raise (Format_error "corrupt v3 manifest")
+      in
+      if List.length manifest.v3_sections <> get v3_hdr_sections then
+        raise (Format_error "v3 section table mismatch");
+      let seen = Hashtbl.create 64 in
+      List.iter
+        (fun s ->
+          if
+            s.sec_off < v3_page
+            || s.sec_off mod 8 <> 0
+            || s.sec_len < 0
+            || s.sec_off + (8 * s.sec_len) > moff
+            || Hashtbl.mem seen s.sec_name
+          then
+            raise
+              (Format_error
+                 (Printf.sprintf "corrupt v3 section table (%s)" s.sec_name));
+          Hashtbl.add seen s.sec_name ())
+        manifest.v3_sections;
+      manifest)
+
+let v3_sections path = (v3_manifest_of path).v3_sections
+
+(* Heap-load a v3 file: rebuild the polynomial from the manifest's
+   targets and the stored alpha vector, exactly like a v2 load.  All body
+   checksums are verified — this path re-reads the file anyway, so the
+   full battery costs nothing extra and keeps "corruption is never a
+   silent misread" true for every loader. *)
+let v3_load ?term_cap path =
+  let manifest = v3_manifest_of path in
+  let ic = open_in_bin path in
+  let alpha_bytes = ref None in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      List.iter
+        (fun s ->
+          seek_in ic s.sec_off;
+          let blob = Bytes.create (8 * s.sec_len) in
+          (try really_input ic blob 0 (8 * s.sec_len)
+           with End_of_file ->
+             raise
+               (Format_error
+                  (Printf.sprintf "truncated section %s" s.sec_name)));
+          if Edb_util.Crc32.bytes blob <> s.sec_crc then
+            raise
+              (Format_error
+                 (Printf.sprintf "section %s checksum mismatch" s.sec_name));
+          if s.sec_name = "alpha" then alpha_bytes := Some blob)
+        manifest.v3_sections);
+  let alpha =
+    match !alpha_bytes with
+    | Some b -> v3_floats_of_bytes b
+    | None -> raise (Format_error "missing section alpha")
+  in
+  let phi =
+    Phi.of_targets manifest.v3_schema ~n:manifest.v3_n
+      ~marginal_targets:manifest.v3_marginal_targets
+      ~joints:manifest.v3_joints
+  in
+  if Array.length alpha <> Phi.num_stats phi then
+    raise (Format_error "alpha vector length mismatch");
+  let poly = Poly.create ?term_cap phi in
+  Array.iteri (fun j a -> Poly.set_alpha poly j a) alpha;
+  Poly.refresh poly;
+  Summary.of_solved_poly ~journal:manifest.v3_journal ~poly
+    ~report:manifest.v3_report ()
+
+(* Version-dispatching flat load: v1/v2 files take the Marshal path,
+   v3 files the checksummed heap rebuild — callers get a summary either
+   way without caring which writer produced the file. *)
+let load ?term_cap path =
+  match detect path with
+  | MappedV3 -> v3_load ?term_cap path
+  | Flat | Sharded -> load ?term_cap path

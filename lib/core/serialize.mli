@@ -15,9 +15,10 @@ val save : Summary.t -> string -> unit
 (** Always writes the current {!version}. *)
 
 val load : ?term_cap:int -> string -> Summary.t
-(** Raises {!Format_error} on bad magic, an unsupported (future) version,
-    or a corrupt payload, and like {!Poly.create} if the rebuilt
-    polynomial exceeds [term_cap]. *)
+(** Load any flat summary file — v1, v2, or v3 (heap rebuild; see
+    {!v3_load}).  Raises {!Format_error} on bad magic, an unsupported
+    (future) version, or a corrupt payload, and like {!Poly.create} if
+    the rebuilt polynomial exceeds [term_cap]. *)
 
 (** {2 Sharded manifests}
 
@@ -27,11 +28,11 @@ val load : ?term_cap:int -> string -> Summary.t
     files are referenced relative to the manifest's directory, so the
     whole group moves together. *)
 
-type format = Flat | Sharded
+type format = Flat | Sharded | MappedV3
 
 val detect : string -> format
-(** Classify a summary file by magic; {!Format_error} when it is
-    neither.  Reads only the header. *)
+(** Classify a summary file by magic; {!Format_error} when it is none of
+    the known formats.  Reads only the header. *)
 
 val save_sharded : strategy:string -> Summary.t array -> string -> unit
 (** Write the per-shard files and then the manifest at [path].
@@ -44,3 +45,68 @@ val load_sharded : ?term_cap:int -> string -> string * Summary.t array
     magic, unsupported version, truncated fields, a shard count that
     disagrees with the name list or the files on disk, per-shard
     corruption, or a schema mismatch between shards — never a crash. *)
+
+(** {2 Summary format v3 — page-aligned, mmap-able}
+
+    v3 stores the polynomial's flat SoA kernel tables verbatim as
+    page-aligned body sections, preceded by a fixed header and followed
+    by a marshaled manifest (small metadata + per-section checksums), so
+    a summary can be opened in O(header + manifest) and queried directly
+    off a file mapping ({!Mapped}).  The element encoding is the host's
+    Bigarray representation (IEEE-754 doubles, untagged native ints,
+    little-endian); files from hosts with a different int size or byte
+    order are rejected with {!Format_error}. *)
+
+val v3_page : int
+(** Section alignment (4096 bytes). *)
+
+type v3_section = {
+  sec_name : string;  (** e.g. ["alpha"], ["g0.ts_off"] *)
+  sec_float : bool;  (** float64 elements; untagged ints otherwise *)
+  sec_off : int;  (** byte offset, page-aligned *)
+  sec_len : int;  (** element count (8 bytes each) *)
+  sec_crc : int;  (** CRC-32 of the raw section bytes *)
+}
+
+type v3_group_meta = {
+  v3g_attrs : int array;
+  v3g_stats : int array;
+  v3g_n_terms : int;
+  v3g_q : float;
+}
+
+type v3_manifest = {
+  v3_schema : Edb_storage.Schema.t;
+  v3_n : int;
+  v3_p : float;
+  v3_marginal_targets : float array array;
+  v3_joints : (Edb_storage.Predicate.t * float) list;
+  v3_report : Solver.report;
+  v3_journal : Journal.t;
+  v3_free_attrs : int array;
+  v3_group_of_attr : int array;
+  v3_groups : v3_group_meta array;
+  v3_sections : v3_section list;
+}
+
+val save_v3 : Summary.t -> string -> unit
+(** Write the summary in format v3.  Refreshes the polynomial's cached
+    tables first (semantically the identity), so the stored tables are
+    bitwise what any loader rebuilds from the variable vector. *)
+
+val v3_manifest_of : string -> v3_manifest
+(** Validated header + manifest read in O(header + manifest) I/O — the
+    low-level entry {!Mapped.open_file} builds on.  Raises
+    {!Format_error} on bad magic, version/geometry mismatches, a header
+    or manifest checksum failure, truncation, or an inconsistent section
+    table.  Body sections are {e not} read or verified here. *)
+
+val v3_sections : string -> v3_section list
+(** The section table of a v3 file (used by corruption tests and
+    [entropydb info]). *)
+
+val v3_load : ?term_cap:int -> string -> Summary.t
+(** Heap-load a v3 file: verify {e every} section checksum, then rebuild
+    the polynomial from the stored targets and alpha vector exactly like
+    a v2 load.  Raises {!Format_error} as {!v3_manifest_of}, plus on any
+    body-section checksum mismatch. *)

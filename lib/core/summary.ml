@@ -261,6 +261,8 @@ let size_report t =
     uncompressed_monomials = Poly.uncompressed_monomials t.poly;
   }
 
+let footprint_bytes t = Poly.footprint_bytes t.poly
+
 let pp_size_report ppf r =
   Fmt.pf ppf
     "@[<v>statistics: %d (%d marginals, %d joints)@,\

@@ -122,3 +122,8 @@ type size_report = {
 
 val size_report : t -> size_report
 val pp_size_report : Format.formatter -> size_report -> unit
+
+val footprint_bytes : t -> int
+(** Estimated resident heap size of the summary's kernel tables
+    ({!Poly.footprint_bytes}); the weighted catalog charges heap-backed
+    entries with this. *)

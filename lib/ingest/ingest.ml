@@ -102,15 +102,52 @@ let replay ?solver_config ?term_cap ~joints base batches =
 
 (* Atomic on-disk refresh: write next to the target, fsync-free rename
    over it (atomic on POSIX), so a concurrent reader sees either the old
-   file or the new one, never a torn write. *)
-let save_atomic summary path =
+   file or the new one, never a torn write.
+
+   The write format follows the file being replaced — a v3 (mmap-able)
+   file stays v3, so a mapped catalog entry survives REFRESH without a
+   silent downgrade to heap loading — unless the caller forces one with
+   [?format].  A missing or unreadable target gets the default flat
+   format. *)
+let save_atomic ?format summary path =
+  let write =
+    let v3 () = Serialize.save_v3 summary in
+    let flat () = Serialize.save summary in
+    match format with
+    | Some `V3 -> v3 ()
+    | Some `Flat -> flat ()
+    | None -> (
+        match Serialize.detect path with
+        | Serialize.MappedV3 -> v3 ()
+        | Serialize.Flat | Serialize.Sharded -> flat ()
+        | exception (Serialize.Format_error _ | Sys_error _) -> flat ())
+  in
   let tmp =
     Filename.temp_file
       ~temp_dir:(Filename.dirname path)
       (Filename.basename path) ".ingest-tmp"
   in
-  match Serialize.save summary tmp with
+  match write tmp with
   | () -> Sys.rename tmp path
   | exception e ->
       (try Sys.remove tmp with Sys_error _ -> ());
       raise e
+
+(* A crash between the temp write and the rename strands a temp file.
+   They are harmless (never read by any loader) but accumulate; these
+   helpers let operators — and the crash-safety tests — find and sweep
+   them. *)
+let orphan_temps ~dir =
+  match Sys.readdir dir with
+  | exception Sys_error _ -> []
+  | names ->
+      Array.to_list names
+      |> List.filter (fun n -> Filename.check_suffix n ".ingest-tmp")
+      |> List.map (Filename.concat dir)
+      |> List.sort compare
+
+let clean_orphans ~dir =
+  List.fold_left
+    (fun n p ->
+      match Sys.remove p with () -> n + 1 | exception Sys_error _ -> n)
+    0 (orphan_temps ~dir)

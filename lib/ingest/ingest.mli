@@ -57,7 +57,19 @@ val replay :
     batches (as [(source, batch)] pairs) in order.  Within solver
     tolerance of the summary the original ingest sequence produced. *)
 
-val save_atomic : Summary.t -> string -> unit
+val save_atomic : ?format:[ `Flat | `V3 ] -> Summary.t -> string -> unit
 (** Persist via write-to-temp + [rename] in the target's directory, so a
     concurrent reader of [path] sees the old or the new summary, never a
-    torn file.  Raises like {!Serialize.save}. *)
+    torn file.  The write format follows the file being replaced (a v3
+    file stays v3; anything else — including a missing target — gets the
+    flat format) unless [format] forces one.  Raises like
+    {!Serialize.save} / {!Serialize.save_v3}. *)
+
+val orphan_temps : dir:string -> string list
+(** Temp files ([*.ingest-tmp]) stranded in [dir] by a crash between the
+    temp write and the rename, sorted; never read by any loader, safe to
+    delete. *)
+
+val clean_orphans : dir:string -> int
+(** Remove every {!orphan_temps} file in [dir]; returns how many were
+    deleted (files that vanish concurrently are skipped, not errors). *)

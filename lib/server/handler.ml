@@ -14,7 +14,6 @@
 
 open Edb_storage
 open Entropydb_core
-module Sharded = Edb_shard.Sharded
 module T = Edb_query.Translate
 
 let float_str v = Printf.sprintf "%.17g" v
@@ -73,8 +72,7 @@ let group_lines (entry : Catalog.entry) schema (c : T.compiled) predicate =
     groups
 
 let run_sql (entry : Catalog.entry) sql =
-  let summary = entry.Catalog.summary in
-  let schema = Sharded.schema summary in
+  let schema = Catalog.schema entry in
   match T.compile_string schema sql with
   | Error e -> err Protocol.err_parse "%s" e.T.message
   | Ok c -> (
@@ -87,24 +85,24 @@ let run_sql (entry : Catalog.entry) sql =
               (Schema.attr_name schema attr)
         | { aggregate = T.Sum attr; _ } ->
             let predicate = Option.get (T.conjunctive c) in
-            let est = Sharded.estimate_sum summary ~attr predicate in
-            let sd = sqrt (Sharded.variance_sum summary ~attr predicate) in
+            let est = Catalog.estimate_sum entry ~attr predicate in
+            let sd = sqrt (Catalog.variance_sum entry ~attr predicate) in
             Protocol.Ok
               [ "estimate " ^ float_str est; "stddev " ^ float_str sd ]
         | { aggregate = T.Avg attr; _ } -> (
             let predicate = Option.get (T.conjunctive c) in
-            match Sharded.estimate_avg summary ~attr predicate with
+            match Catalog.estimate_avg entry ~attr predicate with
             | Some est -> Protocol.Ok [ "estimate " ^ float_str est ]
             | None -> Protocol.Ok [ "estimate undefined" ])
         | { group_attrs = []; disjuncts = [ predicate ]; _ } ->
             (* The hot path: conjunctive COUNT through the shared cache. *)
             let est = Cache.estimate entry.Catalog.cache predicate in
-            let sd = Sharded.stddev summary predicate in
+            let sd = Catalog.stddev entry predicate in
             Protocol.Ok
               [ "estimate " ^ float_str est; "stddev " ^ float_str sd ]
         | { group_attrs = []; disjuncts; _ } ->
-            let est = Sharded.estimate_disjuncts summary disjuncts in
-            let sd = Sharded.stddev_disjuncts summary disjuncts in
+            let est = Catalog.estimate_disjuncts entry disjuncts in
+            let sd = Catalog.stddev_disjuncts entry disjuncts in
             Protocol.Ok
               [ "estimate " ^ float_str est; "stddev " ^ float_str sd ]
         | _ -> (
@@ -125,10 +123,15 @@ let run_sql (entry : Catalog.entry) sql =
 module P = Edb_plan.Plan
 module E = Edb_plan.Estimator
 
-(* The entry's registered routes: always its summary; plus the exact
-   relation and a uniform sample once a base table is ATTACHed. *)
+(* The entry's registered routes: always its summary (heap or mapped —
+   the two answer bitwise identically); plus the exact relation and a
+   uniform sample once a base table is ATTACHed. *)
 let entry_estimators (entry : Catalog.entry) =
-  let summary = E.of_sharded entry.Catalog.summary in
+  let summary =
+    match entry.Catalog.backing with
+    | Catalog.Heap sh -> E.of_sharded sh
+    | Catalog.Mapped m -> E.of_mapped m
+  in
   match entry.Catalog.aux with
   | None -> [ summary ]
   | Some aux ->
@@ -193,7 +196,7 @@ let plan_group_lines schema (c : T.compiled) cells =
     cells
 
 let plan_sql (entry : Catalog.entry) ~ci sql =
-  let schema = Sharded.schema entry.Catalog.summary in
+  let schema = Catalog.schema entry in
   match P.target_of_string ci with
   | exception Invalid_argument m -> err Protocol.err_parse "%s" m
   | target -> (
@@ -248,8 +251,7 @@ let plan_explain_lines (entry : Catalog.entry) (c : T.compiled) =
       with Invalid_argument m -> [ "plan unsupported " ^ m ])
 
 let explain_sql (entry : Catalog.entry) sql =
-  let summary = entry.Catalog.summary in
-  let schema = Sharded.schema summary in
+  let schema = Catalog.schema entry in
   match T.compile_string schema sql with
   | Error e -> err Protocol.err_parse "%s" e.T.message
   | Ok c ->
@@ -306,12 +308,21 @@ let stats_lines catalog metrics =
     Printf.sprintf "timeouts %d" m.Metrics.timeouts;
     Printf.sprintf "rejects %d" m.Metrics.rejects;
     Printf.sprintf "catalog_resident %d" c.Catalog.resident;
+    Printf.sprintf "catalog_resident_mapped %d" c.Catalog.resident_mapped;
     Printf.sprintf "catalog_capacity %d" c.Catalog.capacity;
+    Printf.sprintf "catalog_budget_bytes %d"
+      (Option.value c.Catalog.budget_bytes ~default:0);
+    Printf.sprintf "catalog_resident_bytes %d" c.Catalog.resident_bytes;
+    Printf.sprintf "catalog_mapped_bytes %d" c.Catalog.mapped_bytes;
+    Printf.sprintf "catalog_heap_bytes %d" c.Catalog.heap_bytes;
+    Printf.sprintf "catalog_pinned %d" c.Catalog.pinned;
+    Printf.sprintf "catalog_slots %d" c.Catalog.slots;
     Printf.sprintf "catalog_shards %d" c.Catalog.shards;
     Printf.sprintf "catalog_hits %d" c.Catalog.hits;
     Printf.sprintf "catalog_misses %d" c.Catalog.misses;
     Printf.sprintf "catalog_loads %d" c.Catalog.loads;
     Printf.sprintf "catalog_evictions %d" c.Catalog.evictions;
+    Printf.sprintf "catalog_reopens %d" c.Catalog.reopens;
     Printf.sprintf "cache_hits %d" ch;
     Printf.sprintf "cache_misses %d" cm;
     Printf.sprintf "cache_evictions %d" ce;
@@ -349,6 +360,18 @@ let stats_lines catalog metrics =
 
 type outcome = Keep | Close
 
+(* Resolve + pin a summary for the duration of one request: resident
+   hit, or transparent reopen after a budget eviction.  Unknown names
+   keep the historical err_unknown wording; a reopen that fails (file
+   deleted or corrupted since the LOAD) is a load error. *)
+let with_summary catalog name f =
+  if not (Catalog.known catalog name) then
+    err Protocol.err_unknown "no summary named %s" name
+  else
+    match Catalog.with_entry catalog name f with
+    | Ok response -> response
+    | Error m -> err Protocol.err_load "%s" m
+
 let handle ~catalog ~metrics (request : Protocol.request) :
     Protocol.response * outcome =
   match request with
@@ -365,11 +388,9 @@ let handle ~catalog ~metrics (request : Protocol.request) :
       let lines =
         List.map
           (fun (e : Catalog.entry) ->
-            Printf.sprintf "summary %s cardinality %d shards %d path %s"
-              e.Catalog.name
-              (Sharded.cardinality e.Catalog.summary)
-              (Sharded.num_shards e.Catalog.summary)
-              e.Catalog.path)
+            Printf.sprintf "summary %s cardinality %d shards %d kind %s path %s"
+              e.Catalog.name (Catalog.cardinality e) (Catalog.num_shards e)
+              (Catalog.kind_name e) e.Catalog.path)
           (Catalog.entries catalog)
       in
       (Protocol.Ok lines, Keep)
@@ -378,21 +399,17 @@ let handle ~catalog ~metrics (request : Protocol.request) :
       | Ok entry ->
           ( Protocol.Ok
               [
-                Printf.sprintf "loaded %s cardinality %d shards %d" name
-                  (Sharded.cardinality entry.Catalog.summary)
-                  (Sharded.num_shards entry.Catalog.summary);
+                Printf.sprintf "loaded %s cardinality %d shards %d kind %s" name
+                  (Catalog.cardinality entry) (Catalog.num_shards entry)
+                  (Catalog.kind_name entry);
               ],
             Keep )
       | Error m -> (err Protocol.err_load "%s" m, Keep))
   | Protocol.Stats -> (Protocol.Ok (stats_lines catalog metrics), Keep)
-  | Protocol.Query { name; sql } -> (
-      match Catalog.find catalog name with
-      | None -> (err Protocol.err_unknown "no summary named %s" name, Keep)
-      | Some entry -> (run_sql entry sql, Keep))
-  | Protocol.Explain { name; sql } -> (
-      match Catalog.find catalog name with
-      | None -> (err Protocol.err_unknown "no summary named %s" name, Keep)
-      | Some entry -> (explain_sql entry sql, Keep))
+  | Protocol.Query { name; sql } ->
+      (with_summary catalog name (fun entry -> run_sql entry sql), Keep)
+  | Protocol.Explain { name; sql } ->
+      (with_summary catalog name (fun entry -> explain_sql entry sql), Keep)
   | Protocol.Attach { name; path; rate } -> (
       let rate = Option.value rate ~default:0.01 in
       match Catalog.attach catalog ~name ~path ~rate with
@@ -408,29 +425,27 @@ let handle ~catalog ~metrics (request : Protocol.request) :
               ],
             Keep )
       | Error m -> (err Protocol.err_load "%s" m, Keep))
-  | Protocol.Plan { name; ci; sql } -> (
-      match Catalog.find catalog name with
-      | None -> (err Protocol.err_unknown "no summary named %s" name, Keep)
-      | Some entry -> (plan_sql entry ~ci sql, Keep))
-  | Protocol.Refresh { name; path } -> (
-      match Catalog.find catalog name with
-      | None -> (err Protocol.err_unknown "no summary named %s" name, Keep)
-      | Some _ -> (
-          let t0 = Edb_util.Timing.now_s () in
-          match Catalog.refresh catalog ~name ~path with
-          | Ok (_, info) ->
-              Edb_obs.Registry.Counter.incr m_refreshes;
-              Edb_obs.Registry.Hist.observe m_refresh_latency
-                (Edb_util.Timing.now_s () -. t0);
-              ( Protocol.Ok
-                  [
-                    Printf.sprintf
-                      "refreshed %s cardinality %d batch_rows %d batches %d \
-                       sweeps %d"
-                      name info.Catalog.cardinality info.Catalog.batch_rows
-                      info.Catalog.batches info.Catalog.sweeps;
-                  ],
-                Keep )
-          | Error m ->
-              Edb_obs.Registry.Counter.incr m_refresh_failures;
-              (err Protocol.err_load "%s" m, Keep)))
+  | Protocol.Plan { name; ci; sql } ->
+      (with_summary catalog name (fun entry -> plan_sql entry ~ci sql), Keep)
+  | Protocol.Refresh { name; path } ->
+      if not (Catalog.known catalog name) then
+        (err Protocol.err_unknown "no summary named %s" name, Keep)
+      else (
+        let t0 = Edb_util.Timing.now_s () in
+        match Catalog.refresh catalog ~name ~path with
+        | Ok (_, info) ->
+            Edb_obs.Registry.Counter.incr m_refreshes;
+            Edb_obs.Registry.Hist.observe m_refresh_latency
+              (Edb_util.Timing.now_s () -. t0);
+            ( Protocol.Ok
+                [
+                  Printf.sprintf
+                    "refreshed %s cardinality %d batch_rows %d batches %d \
+                     sweeps %d"
+                    name info.Catalog.cardinality info.Catalog.batch_rows
+                    info.Catalog.batches info.Catalog.sweeps;
+                ],
+              Keep )
+        | Error m ->
+            Edb_obs.Registry.Counter.incr m_refresh_failures;
+            (err Protocol.err_load "%s" m, Keep))

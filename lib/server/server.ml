@@ -30,6 +30,7 @@ type config = {
   request_deadline : float;  (** seconds; <= 0 disables *)
   idle_timeout : float;  (** seconds a connection may sit quiet *)
   catalog_capacity : int;
+  catalog_bytes : int option;  (** byte budget for resident summaries *)
   cache_capacity : int;
 }
 
@@ -42,6 +43,7 @@ let default_config =
     request_deadline = 10.;
     idle_timeout = 60.;
     catalog_capacity = 8;
+    catalog_bytes = None;
     cache_capacity = 4096;
   }
 
@@ -76,6 +78,7 @@ let create ?catalog config =
     | Some c -> c
     | None ->
         Catalog.create ~capacity:config.catalog_capacity
+          ?budget_bytes:config.catalog_bytes
           ~cache_capacity:config.cache_capacity ()
   in
   {

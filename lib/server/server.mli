@@ -18,6 +18,9 @@ type config = {
           disables *)
   idle_timeout : float;  (** seconds a connection may sit quiet *)
   catalog_capacity : int;  (** resident summaries, when no catalog given *)
+  catalog_bytes : int option;
+      (** byte budget over resident summaries' footprints; evicted names
+          transparently reopen on use ([None] = unlimited) *)
   cache_capacity : int;  (** per-summary query-cache entries *)
 }
 

@@ -179,6 +179,9 @@ let size_report t =
     }
     t.shards
 
+let footprint_bytes t =
+  Array.fold_left (fun acc s -> acc + Summary.footprint_bytes s) 0 t.shards
+
 let pp ppf t =
   Fmt.pf ppf "sharded(%d shard(s), %s, %d rows)" (num_shards t) t.strategy
     (cardinality t)

@@ -92,4 +92,9 @@ val stddev_disjuncts : t -> Predicate.t list -> float
 val size_report : t -> Summary.size_report
 (** Aggregate over shards (fields summed). *)
 
+val footprint_bytes : t -> int
+(** Estimated resident heap size of all shards' kernel tables
+    ({!Summary.footprint_bytes} summed); the weighted catalog charges
+    heap-backed entries with this. *)
+
 val pp : Format.formatter -> t -> unit

@@ -3,8 +3,12 @@
    Save always writes the manifest format (Core.Serialize.save_sharded),
    even at k = 1, so the partitioning strategy survives round trips.
    Load sniffs the magic: flat files come back as a single-shard view,
-   manifests as the full shard group — callers never need to know which
-   format a path holds. *)
+   manifests as the full shard group, and mmap-able v3 files as a heap
+   rebuild — callers never need to know which format a path holds.
+
+   [open_any] is the residency-aware entry the server catalog uses: a v3
+   file comes back as a zero-copy mapped summary (O(1) open, no body
+   read), everything else as the heap form. *)
 
 open Entropydb_core
 
@@ -14,7 +18,21 @@ let save sharded path =
 
 let load ?term_cap path =
   match Serialize.detect path with
-  | Serialize.Flat -> Sharded.of_flat (Serialize.load ?term_cap path)
+  | Serialize.Flat | Serialize.MappedV3 ->
+      Sharded.of_flat (Serialize.load ?term_cap path)
   | Serialize.Sharded ->
       let strategy, shards = Serialize.load_sharded ?term_cap path in
       Sharded.create ~strategy shards
+
+let open_v3 path =
+  match Serialize.detect path with
+  | Serialize.MappedV3 -> Mapped.open_file path
+  | Serialize.Flat | Serialize.Sharded ->
+      raise (Serialize.Format_error "not a v3 summary file")
+
+type opened = Heap of Sharded.t | Mapped of Mapped.t
+
+let open_any ?term_cap path =
+  match Serialize.detect path with
+  | Serialize.MappedV3 -> Mapped (Mapped.open_file path)
+  | Serialize.Flat | Serialize.Sharded -> Heap (load ?term_cap path)

@@ -1,11 +1,27 @@
-(** Transparent persistence: load any summary file — flat or sharded
-    manifest — as a {!Sharded.t}. *)
+(** Transparent persistence: load any summary file — flat, sharded
+    manifest, or mmap-able v3 — as a {!Sharded.t}, or open it
+    residency-aware with {!open_any}. *)
 
 val save : Sharded.t -> string -> unit
 (** Write the manifest plus per-shard files
     (see {!Entropydb_core.Serialize.save_sharded}). *)
 
 val load : ?term_cap:int -> string -> Sharded.t
-(** Sniff the file's magic and load either format; a flat file becomes a
-    single-shard view.  Raises {!Entropydb_core.Serialize.Format_error}
-    like the underlying loaders. *)
+(** Sniff the file's magic and load any format as heap summaries; a flat
+    or v3 file becomes a single-shard view.  Raises
+    {!Entropydb_core.Serialize.Format_error} like the underlying
+    loaders. *)
+
+val open_v3 : string -> Entropydb_core.Mapped.t
+(** Open a v3 file as a zero-copy mapped summary in O(header + manifest)
+    — the body is mapped, not read.  Raises
+    {!Entropydb_core.Serialize.Format_error} if the file is not format
+    v3 or fails validation. *)
+
+type opened =
+  | Heap of Sharded.t
+  | Mapped of Entropydb_core.Mapped.t
+
+val open_any : ?term_cap:int -> string -> opened
+(** Open a summary the cheapest way its format allows: v3 files map
+    ({!open_v3}), everything else heap-loads ({!load}). *)

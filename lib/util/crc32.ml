@@ -1,0 +1,45 @@
+(* CRC-32 (IEEE), table-driven, one byte per step.  Arithmetic is done on
+   plain ints (the polynomial is 32 bits, so no boxing) with a final mask
+   keeping digests in [0, 2^32). *)
+
+type bigchar =
+  (char, Bigarray.int8_unsigned_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+let mask = 0xFFFF_FFFF
+let poly = 0xEDB8_8320
+
+let table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref n in
+         for _ = 0 to 7 do
+           c := if !c land 1 = 1 then poly lxor (!c lsr 1) else !c lsr 1
+         done;
+         !c))
+
+let[@inline] step table crc byte =
+  Array.unsafe_get table ((crc lxor byte) land 0xff) lxor (crc lsr 8)
+
+let string s =
+  let table = Lazy.force table in
+  let crc = ref mask in
+  for i = 0 to String.length s - 1 do
+    crc := step table !crc (Char.code (String.unsafe_get s i))
+  done;
+  !crc lxor mask
+
+let bytes b =
+  let table = Lazy.force table in
+  let crc = ref mask in
+  for i = 0 to Bytes.length b - 1 do
+    crc := step table !crc (Char.code (Bytes.unsafe_get b i))
+  done;
+  !crc lxor mask
+
+let bigchar (buf : bigchar) =
+  let table = Lazy.force table in
+  let crc = ref mask in
+  for i = 0 to Bigarray.Array1.dim buf - 1 do
+    crc := step table !crc (Char.code (Bigarray.Array1.unsafe_get buf i))
+  done;
+  !crc lxor mask

@@ -1058,7 +1058,9 @@ let test_serialize_roundtrip () =
 
 (* Fuzz: truncations and corruptions of a valid summary file must raise
    Format_error (or load to an equivalent summary when the corruption is
-   past the payload), never crash. *)
+   past the payload), never crash.  Runs over every writable flat
+   format — v2 (Marshal) and v3 (page-aligned/mmap-able) take entirely
+   different load paths and must fail identically. *)
 let test_serialize_fuzz () =
   let case = random_case 124 in
   let phi = Phi.of_relation case.rel ~joints:case.joints in
@@ -1066,39 +1068,45 @@ let test_serialize_fuzz () =
     Summary.of_phi ~solver_config:{ Solver.default_config with log_every = 0 }
       phi
   in
-  let path = Filename.temp_file "entropydb" ".summary" in
-  Fun.protect
-    ~finally:(fun () -> Sys.remove path)
-    (fun () ->
-      Serialize.save summary path;
-      let original = In_channel.with_open_bin path In_channel.input_all in
-      let len = String.length original in
-      let rng = Prng.create ~seed:125 () in
-      (* Truncations at random prefixes. *)
-      for _ = 1 to 20 do
-        let cut = Prng.int rng len in
-        Out_channel.with_open_bin path (fun oc ->
-            Out_channel.output_string oc (String.sub original 0 cut));
-        match Serialize.load path with
-        | exception Serialize.Format_error _ -> ()
-        | exception e ->
-            Alcotest.failf "truncation at %d raised %s" cut
-              (Printexc.to_string e)
-        | _ -> Alcotest.failf "truncation at %d loaded successfully" cut
-      done;
-      (* Header byte flips. *)
-      for pos = 0 to min 8 (len - 1) do
-        let corrupted = Bytes.of_string original in
-        Bytes.set corrupted pos
-          (Char.chr ((Char.code (Bytes.get corrupted pos) + 1) land 0xff));
-        Out_channel.with_open_bin path (fun oc ->
-            Out_channel.output_bytes oc corrupted);
-        match Serialize.load path with
-        | exception Serialize.Format_error _ -> ()
-        | exception e ->
-            Alcotest.failf "flip at %d raised %s" pos (Printexc.to_string e)
-        | _ -> Alcotest.failf "flip at %d loaded successfully" pos
-      done)
+  List.iter
+    (fun (what, save) ->
+      let path = Filename.temp_file "entropydb" ".summary" in
+      Fun.protect
+        ~finally:(fun () -> Sys.remove path)
+        (fun () ->
+          save summary path;
+          let original = In_channel.with_open_bin path In_channel.input_all in
+          let len = String.length original in
+          let rng = Prng.create ~seed:125 () in
+          (* Truncations at random prefixes. *)
+          for _ = 1 to 20 do
+            let cut = Prng.int rng len in
+            Out_channel.with_open_bin path (fun oc ->
+                Out_channel.output_string oc (String.sub original 0 cut));
+            match Serialize.load path with
+            | exception Serialize.Format_error _ -> ()
+            | exception e ->
+                Alcotest.failf "%s truncation at %d raised %s" what cut
+                  (Printexc.to_string e)
+            | _ ->
+                Alcotest.failf "%s truncation at %d loaded successfully" what
+                  cut
+          done;
+          (* Header byte flips. *)
+          for pos = 0 to min 8 (len - 1) do
+            let corrupted = Bytes.of_string original in
+            Bytes.set corrupted pos
+              (Char.chr ((Char.code (Bytes.get corrupted pos) + 1) land 0xff));
+            Out_channel.with_open_bin path (fun oc ->
+                Out_channel.output_bytes oc corrupted);
+            match Serialize.load path with
+            | exception Serialize.Format_error _ -> ()
+            | exception e ->
+                Alcotest.failf "%s flip at %d raised %s" what pos
+                  (Printexc.to_string e)
+            | _ -> Alcotest.failf "%s flip at %d loaded successfully" what pos
+          done))
+    [ ("v2", Serialize.save); ("v3", Serialize.save_v3) ]
 
 let test_serialize_bad_magic () =
   let path = Filename.temp_file "entropydb" ".summary" in
@@ -1112,6 +1120,183 @@ let test_serialize_bad_magic () =
         ignore (Serialize.load path);
         Alcotest.fail "expected Format_error"
       with Serialize.Format_error _ -> ())
+
+(* ------------------------------------------------------------------ *)
+(* v3 storage fuzz battery                                             *)
+(* ------------------------------------------------------------------ *)
+
+let str_contains hay needle =
+  let hl = String.length hay and nl = String.length needle in
+  let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+  go 0
+
+(* One summary + its v3 file + pristine bytes, shared by the corruption
+   tests below (the solver build dominates their cost). *)
+let v3_fixture =
+  lazy
+    (let case = random_case 321 in
+     let phi = Phi.of_relation case.rel ~joints:case.joints in
+     let summary =
+       Summary.of_phi
+         ~solver_config:{ Solver.default_config with log_every = 0 }
+         phi
+     in
+     let path = Filename.temp_file "entropydb" ".v3" in
+     at_exit (fun () -> try Sys.remove path with Sys_error _ -> ());
+     Serialize.save_v3 summary path;
+     let original = In_channel.with_open_bin path In_channel.input_all in
+     (summary, path, original))
+
+let v3_restore path original =
+  Out_channel.with_open_bin path (fun oc ->
+      Out_channel.output_string oc original)
+
+(* Every body section, corrupted in isolation: the zero-copy open stays
+   body-blind (it must succeed), lazy verification must raise a
+   Format_error *naming the section*, and the heap loader must refuse
+   the same file.  A flipped byte can never survive to a silently wrong
+   answer because no estimator runs before verification. *)
+let test_v3_section_corruption () =
+  let summary, path, original = Lazy.force v3_fixture in
+  let manifest = Serialize.v3_manifest_of path in
+  let rng = Prng.create ~seed:322 () in
+  Fun.protect
+    ~finally:(fun () -> v3_restore path original)
+    (fun () ->
+      List.iter
+        (fun (sec : Serialize.v3_section) ->
+          let pos = sec.sec_off + Prng.int rng (8 * sec.sec_len) in
+          let b = Bytes.of_string original in
+          Bytes.set b pos (Char.chr (Char.code (Bytes.get b pos) lxor 0x5b));
+          Out_channel.with_open_bin path (fun oc ->
+              Out_channel.output_bytes oc b);
+          (match Mapped.open_file path with
+          | exception e ->
+              Alcotest.failf "flip in %s broke the O(1) open: %s" sec.sec_name
+                (Printexc.to_string e)
+          | m -> (
+              match Mapped.verify m with
+              | exception Serialize.Format_error msg ->
+                  if not (str_contains msg sec.sec_name) then
+                    Alcotest.failf "flip in %s reported %S" sec.sec_name msg
+              | exception e ->
+                  Alcotest.failf "flip in %s raised %s" sec.sec_name
+                    (Printexc.to_string e)
+              | () ->
+                  Alcotest.failf "flip in %s passed verification" sec.sec_name));
+          match Serialize.load path with
+          | exception Serialize.Format_error _ -> ()
+          | exception e ->
+              Alcotest.failf "flip in %s: heap load raised %s" sec.sec_name
+                (Printexc.to_string e)
+          | _ ->
+              Alcotest.failf "flip in %s: heap load succeeded" sec.sec_name)
+        manifest.Serialize.v3_sections;
+      (* Restored intact, both paths serve the file again, bitwise. *)
+      v3_restore path original;
+      let q = random_query (Prng.create ~seed:323 ()) (Summary.schema summary) in
+      let m = Mapped.open_file path in
+      Mapped.verify m;
+      Alcotest.(check (float 0.))
+        "mapped answer after restore" (Summary.estimate summary q)
+        (Mapped.estimate m q))
+
+(* A torn header — any flipped byte in the fixed 96-byte prelude — must
+   be rejected before the body is ever touched. *)
+let test_v3_torn_header () =
+  let _, path, original = Lazy.force v3_fixture in
+  Fun.protect
+    ~finally:(fun () -> v3_restore path original)
+    (fun () ->
+      for pos = 0 to 95 do
+        let b = Bytes.of_string original in
+        Bytes.set b pos (Char.chr (Char.code (Bytes.get b pos) lxor 0x11));
+        Out_channel.with_open_bin path (fun oc ->
+            Out_channel.output_bytes oc b);
+        (match Mapped.open_file path with
+        | exception Serialize.Format_error _ -> ()
+        | exception e ->
+            Alcotest.failf "header flip at %d raised %s" pos
+              (Printexc.to_string e)
+        | _ -> Alcotest.failf "header flip at %d opened" pos);
+        match Serialize.load path with
+        | exception Serialize.Format_error _ -> ()
+        | exception e ->
+            Alcotest.failf "header flip at %d: heap load raised %s" pos
+              (Printexc.to_string e)
+        | _ -> Alcotest.failf "header flip at %d: heap load succeeded" pos
+      done)
+
+(* qcheck: random truncations never crash or load; random single-byte
+   flips anywhere in the file either fail cleanly as Format_error or —
+   when the byte is dead padding outside every checksummed range — leave
+   answers bitwise-identical.  "Wrong but plausible" is the one
+   forbidden outcome. *)
+let v3_fuzz_truncation =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:40 ~name:"v3 random truncation"
+       QCheck.(int_range 0 1_000_000)
+       (fun x ->
+         let _, path, original = Lazy.force v3_fixture in
+         let cut = x mod String.length original in
+         Fun.protect
+           ~finally:(fun () -> v3_restore path original)
+           (fun () ->
+             Out_channel.with_open_bin path (fun oc ->
+                 Out_channel.output_string oc (String.sub original 0 cut));
+             let mapped_rejects =
+               match Mapped.open_file path with
+               | exception Serialize.Format_error _ -> true
+               | exception _ -> false
+               | m -> (
+                   match Mapped.verify m with
+                   | exception Serialize.Format_error _ -> true
+                   | exception _ -> false
+                   | () -> false)
+             in
+             let heap_rejects =
+               match Serialize.load path with
+               | exception Serialize.Format_error _ -> true
+               | exception _ -> false
+               | _ -> false
+             in
+             mapped_rejects && heap_rejects)))
+
+let v3_fuzz_flip =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:60 ~name:"v3 random byte flip"
+       QCheck.(pair (int_range 0 1_000_000) (int_range 1 255))
+       (fun (x, delta) ->
+         let summary, path, original = Lazy.force v3_fixture in
+         let pos = x mod String.length original in
+         let q =
+           random_query (Prng.create ~seed:(x + delta) ())
+             (Summary.schema summary)
+         in
+         let expected = Summary.estimate summary q in
+         Fun.protect
+           ~finally:(fun () -> v3_restore path original)
+           (fun () ->
+             let b = Bytes.of_string original in
+             Bytes.set b pos
+               (Char.chr (Char.code (Bytes.get b pos) lxor delta));
+             Out_channel.with_open_bin path (fun oc ->
+                 Out_channel.output_bytes oc b);
+             match Mapped.open_file path with
+             | exception Serialize.Format_error _ -> true
+             | exception _ -> false
+             | m -> (
+                 match
+                   Mapped.verify m;
+                   Mapped.estimate m q
+                 with
+                 | exception Serialize.Format_error _ -> true
+                 | exception _ -> false
+                 | v ->
+                     (* The flip dodged every checksum: it must have hit
+                        padding, so the answer is still bitwise right. *)
+                     Int64.equal (Int64.bits_of_float v)
+                       (Int64.bits_of_float expected)))))
 
 (* ------------------------------------------------------------------ *)
 (* Sharded manifests                                                   *)
@@ -1834,6 +2019,11 @@ let () =
             test_sharded_manifest_corruption;
           Alcotest.test_case "fuzz truncation/corruption" `Quick
             test_serialize_fuzz;
+          Alcotest.test_case "v3 per-section corruption names the section"
+            `Quick test_v3_section_corruption;
+          Alcotest.test_case "v3 torn header" `Quick test_v3_torn_header;
+          v3_fuzz_truncation;
+          v3_fuzz_flip;
         ] );
       ( "worlds",
         [

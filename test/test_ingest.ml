@@ -442,6 +442,123 @@ let test_save_atomic () =
   in
   Alcotest.(check (list string)) "no temp files" [] leftovers
 
+(* save_atomic preserves the on-disk format across a refresh: a summary
+   stored mmap-able (v3) must still be mmap-able after the rewrite, or a
+   budget-evicted catalog entry would silently downgrade to heap loads. *)
+let test_save_atomic_v3 () =
+  let dir = temp_dir () in
+  let s1 = build_summary (random_relation ~seed:46 300) in
+  let s2 =
+    Ingest.append ~solver_config:quiet s1 (random_relation ~seed:47 30)
+  in
+  let path = Filename.concat dir "s.v3" in
+  Serialize.save_v3 s1 path;
+  Ingest.save_atomic s2 path;
+  Alcotest.(check bool) "still v3" true
+    (Serialize.detect path = Serialize.MappedV3);
+  let s' = Serialize.load path in
+  Alcotest.(check int) "new version on disk" (Summary.cardinality s2)
+    (Summary.cardinality s');
+  Alcotest.(check int) "journal survived" 1
+    (Journal.batches (Summary.journal s'));
+  (* Forcing a format wins over sniffing, both directions. *)
+  Ingest.save_atomic ~format:`Flat s2 path;
+  Alcotest.(check bool) "forced flat" true
+    (Serialize.detect path = Serialize.Flat);
+  Ingest.save_atomic ~format:`V3 s2 path;
+  Alcotest.(check bool) "forced v3" true
+    (Serialize.detect path = Serialize.MappedV3);
+  Alcotest.(check (list string)) "no temp files" []
+    (Ingest.orphan_temps ~dir)
+
+(* Crash safety: a crash between the temp write and the rename leaves
+   the old file untouched and a detectable orphan — never a torn target.
+   Simulated by doing by hand exactly what save_atomic does up to the
+   point of the simulated crash. *)
+let test_save_atomic_crash () =
+  let dir = temp_dir () in
+  let s1 = build_summary (random_relation ~seed:48 300) in
+  let s2 =
+    Ingest.append ~solver_config:quiet s1 (random_relation ~seed:49 30)
+  in
+  let path = Filename.concat dir "s.v3" in
+  Serialize.save_v3 s1 path;
+  let before = In_channel.with_open_bin path In_channel.input_all in
+  (* Crash #1: after the temp write, before the rename. *)
+  let tmp =
+    Filename.temp_file ~temp_dir:dir (Filename.basename path) ".ingest-tmp"
+  in
+  Serialize.save_v3 s2 tmp;
+  (* The target is byte-identical: readers still get the old summary. *)
+  Alcotest.(check string) "target untouched" before
+    (In_channel.with_open_bin path In_channel.input_all);
+  let old = Serialize.load path in
+  Alcotest.(check int) "old cardinality" (Summary.cardinality s1)
+    (Summary.cardinality old);
+  (* The orphan is found, and only it. *)
+  (match Ingest.orphan_temps ~dir with
+  | [ p ] -> Alcotest.(check string) "orphan path" tmp p
+  | l -> Alcotest.failf "expected 1 orphan, got %d" (List.length l));
+  (* Crash #2: mid-write — a torn *temp* header.  Still invisible to
+     readers of the target, and the torn file itself is a clean
+     Format_error for anything that does poke at it. *)
+  let torn =
+    Filename.temp_file ~temp_dir:dir (Filename.basename path) ".ingest-tmp"
+  in
+  Out_channel.with_open_bin torn (fun oc ->
+      Out_channel.output_string oc (String.sub before 0 57));
+  (match Serialize.load torn with
+  | exception Serialize.Format_error _ -> ()
+  | exception e ->
+      Alcotest.failf "torn temp raised %s" (Printexc.to_string e)
+  | _ -> Alcotest.fail "torn temp loaded");
+  Alcotest.(check int) "both orphans listed" 2
+    (List.length (Ingest.orphan_temps ~dir));
+  (* Sweep: orphans go, the real summary stays. *)
+  Alcotest.(check int) "cleaned" 2 (Ingest.clean_orphans ~dir);
+  Alcotest.(check (list string)) "none left" [] (Ingest.orphan_temps ~dir);
+  Alcotest.(check int) "summary intact" (Summary.cardinality s1)
+    (Summary.cardinality (Serialize.load path))
+
+(* v1 corruption fuzz, completing the battery across all three on-disk
+   versions (v2 and v3 are fuzzed in the core suite, next to their
+   loaders; the v1 writer only exists here). *)
+let test_v1_corruption_fuzz () =
+  let dir = temp_dir () in
+  let s = build_summary (random_relation ~seed:50 300) in
+  let path = Filename.concat dir "legacy.summary" in
+  write_v1_file s path;
+  let original = In_channel.with_open_bin path In_channel.input_all in
+  let len = String.length original in
+  let rng = Prng.create ~seed:51 () in
+  let write bytes =
+    Out_channel.with_open_bin path (fun oc ->
+        Out_channel.output_string oc bytes)
+  in
+  for _ = 1 to 20 do
+    let cut = Prng.int rng len in
+    write (String.sub original 0 cut);
+    match Serialize.load path with
+    | exception Serialize.Format_error _ -> ()
+    | exception e ->
+        Alcotest.failf "v1 truncation at %d raised %s" cut
+          (Printexc.to_string e)
+    | _ -> Alcotest.failf "v1 truncation at %d loaded" cut
+  done;
+  for pos = 0 to min 13 (len - 1) do
+    let b = Bytes.of_string original in
+    Bytes.set b pos (Char.chr (Char.code (Bytes.get b pos) lxor 0x24));
+    write (Bytes.to_string b);
+    match Serialize.load path with
+    | exception Serialize.Format_error _ -> ()
+    | exception e ->
+        Alcotest.failf "v1 flip at %d raised %s" pos (Printexc.to_string e)
+    | _ -> Alcotest.failf "v1 flip at %d loaded" pos
+  done;
+  write original;
+  Alcotest.(check int) "intact again" (Summary.cardinality s)
+    (Summary.cardinality (Serialize.load path))
+
 (* ------------------------------------------------------------------ *)
 
 let () =
@@ -487,5 +604,11 @@ let () =
           Alcotest.test_case "future versions are Format_error" `Quick
             test_serialize_future_version;
           Alcotest.test_case "save_atomic" `Quick test_save_atomic;
+          Alcotest.test_case "save_atomic preserves v3" `Quick
+            test_save_atomic_v3;
+          Alcotest.test_case "crash leaves old file + detectable orphans"
+            `Quick test_save_atomic_crash;
+          Alcotest.test_case "v1 corruption fuzz" `Quick
+            test_v1_corruption_fuzz;
         ] );
     ]

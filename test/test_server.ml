@@ -231,6 +231,121 @@ let test_catalog_lru () =
   Alcotest.(check bool) "evict by name" true (Catalog.evict catalog "two");
   Alcotest.(check bool) "evict missing" false (Catalog.evict catalog "two")
 
+let saved_summary_v3 dir name summary =
+  let path = Filename.concat dir (name ^ ".v3") in
+  Serialize.save_v3 summary path;
+  path
+
+(* One summary saved under several names: identical byte footprints, so a
+   byte budget admits an exact entry count and eviction order is pure
+   LRU — assertable to the entry. *)
+let test_catalog_weighted () =
+  let dir = temp_dir () in
+  let s = small_summary ~seed:61 () in
+  let pa = saved_summary_v3 dir "a" s in
+  let pb = saved_summary_v3 dir "b" s in
+  let pc = saved_summary_v3 dir "c" s in
+  let probe = Catalog.create () in
+  let bytes =
+    match Catalog.load probe ~name:"a" ~path:pa with
+    | Ok e ->
+        Alcotest.(check string) "v3 loads zero-copy" "mapped"
+          (Catalog.kind_name e);
+        e.Catalog.bytes
+    | Error m -> Alcotest.fail m
+  in
+  Alcotest.(check bool) "nonzero footprint" true (bytes > 0);
+  let catalog = Catalog.create ~capacity:10 ~budget_bytes:(2 * bytes) () in
+  let load name path =
+    match Catalog.load catalog ~name ~path with
+    | Ok _ -> ()
+    | Error m -> Alcotest.fail m
+  in
+  load "a" pa;
+  load "b" pb;
+  load "c" pc;
+  (* Budget fits exactly two: "a" (the LRU) was evicted, slot kept. *)
+  Alcotest.(check bool) "a not resident" true (Catalog.find catalog "a" = None);
+  Alcotest.(check bool) "b resident" true (Catalog.find catalog "b" <> None);
+  Alcotest.(check bool) "c resident" true (Catalog.find catalog "c" <> None);
+  Alcotest.(check bool) "a still known" true (Catalog.known catalog "a");
+  let st = Catalog.stats catalog in
+  Alcotest.(check int) "resident" 2 st.Catalog.resident;
+  Alcotest.(check int) "resident_mapped" 2 st.Catalog.resident_mapped;
+  Alcotest.(check int) "slots" 3 st.Catalog.slots;
+  Alcotest.(check int) "evictions" 1 st.Catalog.evictions;
+  Alcotest.(check int) "resident_bytes" (2 * bytes) st.Catalog.resident_bytes;
+  Alcotest.(check int) "mapped_bytes" (2 * bytes) st.Catalog.mapped_bytes;
+  Alcotest.(check int) "heap_bytes" 0 st.Catalog.heap_bytes;
+  (* Transparent reopen of "a": answers bitwise the heap summary's, and
+     the new LRU victim is "b" (touched before "c" above). *)
+  let arity = Schema.arity (Summary.schema s) in
+  let q = Predicate.of_alist ~arity [ (0, Ranges.interval 1 3) ] in
+  (match Catalog.with_entry catalog "a" (fun e -> Catalog.estimate e q) with
+  | Ok v ->
+      Alcotest.(check (float 0.)) "reopened answer" (Summary.estimate s q) v
+  | Error m -> Alcotest.fail m);
+  Alcotest.(check bool) "a resident again" true (Catalog.find catalog "a" <> None);
+  Alcotest.(check bool) "b evicted in turn" true (Catalog.find catalog "b" = None);
+  Alcotest.(check bool) "c survived" true (Catalog.find catalog "c" <> None);
+  Alcotest.(check int) "one reopen" 1 (Catalog.stats catalog).Catalog.reopens;
+  (* Explicit evict forgets the name entirely. *)
+  Alcotest.(check bool) "evict a" true (Catalog.evict catalog "a");
+  Alcotest.(check bool) "a unknown now" false (Catalog.known catalog "a");
+  (match Catalog.with_entry catalog "a" (fun _ -> ()) with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "with_entry resurrected an evicted name")
+
+(* Pinning: an entry held by a request survives budget pressure that
+   would otherwise evict it; the budget overshoots instead.  A budget
+   smaller than a single entry is the degenerate stress: nothing stays
+   resident between requests, yet every request succeeds via reopen. *)
+let test_catalog_pinning () =
+  let dir = temp_dir () in
+  let s = small_summary ~seed:62 () in
+  let pp = saved_summary_v3 dir "p" s in
+  let pq = saved_summary_v3 dir "q" s in
+  let bytes =
+    match Catalog.load (Catalog.create ()) ~name:"p" ~path:pp with
+    | Ok e -> e.Catalog.bytes
+    | Error m -> Alcotest.fail m
+  in
+  let catalog = Catalog.create ~capacity:10 ~budget_bytes:bytes () in
+  (match Catalog.load catalog ~name:"p" ~path:pp with
+  | Ok _ -> ()
+  | Error m -> Alcotest.fail m);
+  (match
+     Catalog.with_entry catalog "p" (fun _ ->
+         (* While "p" is pinned, loading "q" blows the budget; the
+            unpinned newcomer is the only eviction candidate. *)
+         (match Catalog.load catalog ~name:"q" ~path:pq with
+         | Ok _ -> ()
+         | Error m -> Alcotest.fail m);
+         Alcotest.(check bool) "pinned p survives" true
+           (Catalog.find catalog "p" <> None);
+         Alcotest.(check int) "pinned count" 1
+           (Catalog.stats catalog).Catalog.pinned)
+   with
+  | Ok () -> ()
+  | Error m -> Alcotest.fail m);
+  Alcotest.(check int) "unpinned after" 0 (Catalog.stats catalog).Catalog.pinned;
+  (* Budget below a single footprint: loads succeed but nothing stays
+     resident; with_entry still answers, bitwise, via reopen. *)
+  let tiny = Catalog.create ~capacity:10 ~budget_bytes:(max 1 (bytes / 2)) () in
+  (match Catalog.load tiny ~name:"p" ~path:pp with
+  | Ok _ -> ()
+  | Error m -> Alcotest.fail m);
+  Alcotest.(check bool) "instantly non-resident" true
+    (Catalog.find tiny "p" = None);
+  let arity = Schema.arity (Summary.schema s) in
+  let q = Predicate.of_alist ~arity [ (1, Ranges.interval 0 2) ] in
+  (match Catalog.with_entry tiny "p" (fun e -> Catalog.estimate e q) with
+  | Ok v -> Alcotest.(check (float 0.)) "tiny-budget answer" (Summary.estimate s q) v
+  | Error m -> Alcotest.fail m);
+  Alcotest.(check int) "reopened once" 1 (Catalog.stats tiny).Catalog.reopens;
+  Alcotest.(check bool) "dropped again after release" true
+    (Catalog.find tiny "p" = None)
+
 (* ------------------------------------------------------------------ *)
 (* Cache under concurrency (satellite: Core.Cache thread safety)       *)
 (* ------------------------------------------------------------------ *)
@@ -988,6 +1103,89 @@ let test_e2e_refresh_race () =
           | None -> Alcotest.fail "malformed QUERY payload"));
       ignore (Client.quit admin))
 
+(* 4 threads churning queries over a Unix socket against a catalog whose
+   byte budget holds ~2 of 6 mapped summaries: the budget forces
+   constant eviction under load, yet every request must succeed
+   (transparent reopen) with answers bitwise-equal to the in-process
+   heap summaries — eviction may never surface to a client as an error
+   or a wrong answer. *)
+let test_e2e_catalog_churn () =
+  let dir = temp_dir () in
+  let named =
+    List.init 6 (fun i ->
+        let name = Printf.sprintf "s%d" i in
+        let s = small_summary ~seed:(70 + i) () in
+        (name, s, saved_summary_v3 dir name s))
+  in
+  let _, _, first_path = List.hd named in
+  let bytes =
+    match Catalog.load (Catalog.create ()) ~name:"probe" ~path:first_path with
+    | Ok e -> e.Catalog.bytes
+    | Error m -> Alcotest.fail m
+  in
+  let budget = (2 * bytes) + (bytes / 2) in
+  let catalog = Catalog.create ~capacity:16 ~budget_bytes:budget () in
+  with_server ~workers:4 ~catalog dir (fun _server socket ->
+      let c0 = connect_exn socket in
+      List.iter
+        (fun (name, _, path) ->
+          match Client.load c0 ~name ~path with
+          | Ok _ -> ()
+          | Error m -> Alcotest.fail m)
+        named;
+      let arr = Array.of_list named in
+      let errors = Atomic.make 0 and mismatches = Atomic.make 0 in
+      let thread tid =
+        let c = connect_exn socket in
+        for k = 0 to 39 do
+          let name, s, _ = arr.((tid + k) mod Array.length arr) in
+          let lo = k mod 3 and hi = 2 + (k mod 4) in
+          let sql =
+            Printf.sprintf "SELECT COUNT(*) FROM f WHERE a0 IN [%d,%d]" lo hi
+          in
+          let q = Predicate.of_alist ~arity:3 [ (0, Ranges.interval lo hi) ] in
+          match Client.query c ~name ~sql with
+          | Error _ -> Atomic.incr errors
+          | Ok payload -> (
+              match Client.estimate_of_payload payload with
+              | None -> Atomic.incr errors
+              | Some v ->
+                  if
+                    not
+                      (Int64.equal (Int64.bits_of_float v)
+                         (Int64.bits_of_float (Summary.estimate s q)))
+                  then Atomic.incr mismatches)
+        done;
+        ignore (Client.quit c)
+      in
+      let threads = List.init 4 (fun i -> Thread.create thread i) in
+      List.iter Thread.join threads;
+      Alcotest.(check int) "0 errors under churn" 0 (Atomic.get errors);
+      Alcotest.(check int) "0 wrong answers under churn" 0
+        (Atomic.get mismatches);
+      let st = Catalog.stats catalog in
+      Alcotest.(check bool) "budget forced reopens" true (st.Catalog.reopens > 0);
+      Alcotest.(check bool) "budget holds at rest" true
+        (st.Catalog.resident_bytes <= budget);
+      Alcotest.(check int) "all six names known" 6 st.Catalog.slots;
+      (match Client.stats c0 with
+      | Ok lines ->
+          let has prefix =
+            List.exists
+              (fun l ->
+                String.length l >= String.length prefix
+                && String.sub l 0 (String.length prefix) = prefix)
+              lines
+          in
+          Alcotest.(check bool) "budget reported" true (has "catalog_budget_bytes");
+          Alcotest.(check bool) "residency reported" true
+            (has "catalog_resident_bytes");
+          Alcotest.(check bool) "reopens reported" true (has "catalog_reopens");
+          Alcotest.(check bool) "open latency histogram" true
+            (has "obs_catalog_open_ns_count")
+      | Error m -> Alcotest.fail m);
+      ignore (Client.quit c0))
+
 (* ------------------------------------------------------------------ *)
 
 let () =
@@ -1004,7 +1202,14 @@ let () =
             test_protocol_negatives;
         ] );
       ("metrics", [ Alcotest.test_case "percentiles" `Quick test_metrics_percentiles ]);
-      ("catalog", [ Alcotest.test_case "LRU + accounting" `Quick test_catalog_lru ]);
+      ( "catalog",
+        [
+          Alcotest.test_case "LRU + accounting" `Quick test_catalog_lru;
+          Alcotest.test_case "weighted budget + transparent reopen" `Quick
+            test_catalog_weighted;
+          Alcotest.test_case "pinning under budget pressure" `Quick
+            test_catalog_pinning;
+        ] );
       ( "cache",
         [ Alcotest.test_case "concurrent hammering" `Quick test_cache_concurrent ] );
       ( "handler",
@@ -1025,5 +1230,7 @@ let () =
           Alcotest.test_case "admission control (ERR busy)" `Quick test_e2e_busy;
           Alcotest.test_case "request deadline" `Quick test_e2e_deadline;
           Alcotest.test_case "graceful drain" `Quick test_e2e_drain;
+          Alcotest.test_case "catalog churn under byte budget" `Quick
+            test_e2e_catalog_churn;
         ] );
     ]
