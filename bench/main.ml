@@ -37,6 +37,11 @@ let print_tables tables =
    fig8, and costs; build it at most once. *)
 let lab_cache = ref None
 
+(* Experiments may push extra machine-readable numbers here; the driver
+   merges them into the experiment's BENCH_<name>.json and clears the
+   list between experiments. *)
+let extra_json : (string * Json.t) list ref = ref []
+
 let get_lab config =
   match !lab_cache with
   | Some lab -> lab
@@ -150,10 +155,26 @@ let latency config =
 
 (* Serving throughput and tail latency, the numbers the paper's
    "interactive" claim is actually about once the summary lives in a
-   daemon instead of being rebuilt per invocation. *)
+   daemon instead of being rebuilt per invocation.
+
+   Three phases against the domain-per-core server:
+   - lockstep: one request per round trip (the v1 protocol), every
+     answer verified against the in-process evaluation — this is also
+     the below-saturation tail-latency measurement;
+   - pipelined: windows of tagged v2 requests per connection, batched
+     and coalesced server-side, every answer verified BITWISE;
+   - saturation: more connections than admission allows; the excess
+     must reject fast with ERR busy.
+
+   Gates (failing loud, for CI): zero wrong answers/transport failures
+   in both verified phases; pipelined throughput at least
+   EDB_LOADGEN_MIN_SPEEDUP (default 1.5) x same-run lockstep; pipelined
+   throughput at least the committed threaded-pool baseline
+   (BENCH_loadgen_baseline.json, override EDB_LOADGEN_MIN_RPS). *)
 let loadgen config =
   let module Server = Edb_server.Server in
   let module Client = Edb_server.Client in
+  let module Protocol = Edb_server.Protocol in
   (* Saturation-phase clients race server-side closes; EPIPE must surface
      as write errors, not kill the benchmark. *)
   Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
@@ -162,9 +183,16 @@ let loadgen config =
     | Some v -> ( match int_of_string_opt v with Some i -> i | None -> default)
     | None -> default
   in
+  let float_env name default =
+    match Sys.getenv_opt name with
+    | Some v -> (
+        match float_of_string_opt v with Some x -> x | None -> default)
+    | None -> default
+  in
   let num_clients = int_env "EDB_CLIENTS" 16 in
   let reqs_per_client = int_env "EDB_REQS" 300 in
   let workers = int_env "EDB_WORKERS" (max 16 num_clients) in
+  let window = max 1 (int_env "EDB_WINDOW" 32) in
   (* A small but real summary: flights-coarse with one 2D pair. *)
   let rel =
     (Edb_datagen.Flights.generate ~rows:20_000 ~seed:config.Config.seed ())
@@ -235,9 +263,13 @@ let loadgen config =
   | Ok _ -> ()
   | Error m -> failwith m);
   Server.start server;
+  let cores = Domain.recommended_domain_count () in
+  let ndomains = Server.num_domains server in
   Printf.printf
-    "loadgen: %d clients x %d requests against %d workers on unix:%s\n%!"
-    num_clients reqs_per_client workers socket;
+    "loadgen: %d clients x %d requests, %d executor domains (%d cores), \
+     window %d, on unix:%s\n%!"
+    num_clients reqs_per_client ndomains cores window socket;
+  (* --- Phase A: lockstep (v1), verified; below-saturation latency. --- *)
   let wrong = Atomic.make 0 and failures = Atomic.make 0 in
   let latencies =
     Array.init num_clients (fun _ -> Array.make reqs_per_client nan)
@@ -286,6 +318,71 @@ let loadgen config =
              (int_of_float (p *. float_of_int (Array.length all))))
   in
   let total = num_clients * reqs_per_client in
+  let lockstep_rps = float_of_int total /. wall in
+  (* --- Phase B: pipelined (v2) windows, verified bitwise. --- *)
+  let counter name =
+    Edb_obs.Registry.Counter.value (Edb_obs.Registry.counter name)
+  in
+  let hits0 = counter "server_coalesce_hits"
+  and batches0 = counter "server_batches"
+  and batched0 = counter "server_batch_requests" in
+  let pipe_rounds = max 1 (reqs_per_client / window) in
+  let pipe_wrong = Atomic.make 0 and pipe_failures = Atomic.make 0 in
+  let pipe_thread c =
+    match Client.connect (Client.Unix_socket socket) with
+    | Error m ->
+        Printf.eprintf "pipelined client %d: %s\n%!" c m;
+        Atomic.incr pipe_failures
+    | Ok conn ->
+        for r = 0 to pipe_rounds - 1 do
+          let idx i =
+            (c + (((r * window) + i) * num_clients)) mod Array.length pool
+          in
+          let reqs =
+            List.init window (fun i ->
+                Protocol.Query { name = "flights"; sql = fst pool.(idx i) })
+          in
+          match Client.pipelined conn reqs with
+          | Error m ->
+              Printf.eprintf "pipelined client %d: %s\n%!" c m;
+              Atomic.incr pipe_failures
+          | Ok responses ->
+              List.iteri
+                (fun i resp ->
+                  let _, expected = pool.(idx i) in
+                  match resp with
+                  | Protocol.Err _ -> Atomic.incr pipe_wrong
+                  | Protocol.Ok payload -> (
+                      match Client.estimate_of_payload payload with
+                      | Some v
+                        when Int64.equal (Int64.bits_of_float v)
+                               (Int64.bits_of_float expected) ->
+                          ()
+                      | _ -> Atomic.incr pipe_wrong))
+                responses
+        done;
+        ignore (Client.quit conn)
+  in
+  let t1 = Timing.now_s () in
+  let pipe_threads =
+    List.init num_clients (fun c -> Thread.create pipe_thread c)
+  in
+  List.iter Thread.join pipe_threads;
+  let pipe_wall = Timing.now_s () -. t1 in
+  let pipe_total = num_clients * pipe_rounds * window in
+  let pipelined_rps = float_of_int pipe_total /. pipe_wall in
+  let coalesce_hits = counter "server_coalesce_hits" - hits0 in
+  let batches = counter "server_batches" - batches0 in
+  let batched_reqs = counter "server_batch_requests" - batched0 in
+  let avg_batch =
+    if batches = 0 then 0.
+    else float_of_int batched_reqs /. float_of_int batches
+  in
+  let coalesce_rate =
+    if batched_reqs = 0 then 0.
+    else float_of_int coalesce_hits /. float_of_int batched_reqs
+  in
+  let speedup = pipelined_rps /. lockstep_rps in
   (* Saturation phase: more clients than workers+queue admits; the excess
      must be rejected fast with ERR busy, never queued indefinitely. *)
   let sat_server =
@@ -341,15 +438,28 @@ let loadgen config =
       ~aligns:[ Table.Left; Table.Right ] ()
   in
   let add k v = Table.add_row table [ k; v ] in
+  add "cores" (string_of_int cores);
+  add "executor domains" (string_of_int ndomains);
   add "clients" (string_of_int num_clients);
-  add "requests" (string_of_int total);
-  add "wrong answers" (string_of_int (Atomic.get wrong));
-  add "transport failures" (string_of_int (Atomic.get failures));
-  add "wall time" (Printf.sprintf "%.2f s" wall);
-  add "throughput" (Printf.sprintf "%.0f req/s" (float_of_int total /. wall));
-  add "p50 latency" (Printf.sprintf "%.1f us" (pct 0.50 *. 1e6));
-  add "p95 latency" (Printf.sprintf "%.1f us" (pct 0.95 *. 1e6));
-  add "p99 latency" (Printf.sprintf "%.1f us" (pct 0.99 *. 1e6));
+  add "lockstep requests" (string_of_int total);
+  add "lockstep wrong answers" (string_of_int (Atomic.get wrong));
+  add "lockstep transport failures" (string_of_int (Atomic.get failures));
+  add "lockstep wall time" (Printf.sprintf "%.2f s" wall);
+  add "lockstep throughput" (Printf.sprintf "%.0f req/s" lockstep_rps);
+  add "p50 latency (lockstep)" (Printf.sprintf "%.1f us" (pct 0.50 *. 1e6));
+  add "p95 latency (lockstep)" (Printf.sprintf "%.1f us" (pct 0.95 *. 1e6));
+  add "p99 latency (lockstep)" (Printf.sprintf "%.1f us" (pct 0.99 *. 1e6));
+  add "pipeline window" (string_of_int window);
+  add "pipelined requests" (string_of_int pipe_total);
+  add "pipelined wrong answers" (string_of_int (Atomic.get pipe_wrong));
+  add "pipelined transport failures" (string_of_int (Atomic.get pipe_failures));
+  add "pipelined wall time" (Printf.sprintf "%.2f s" pipe_wall);
+  add "pipelined throughput" (Printf.sprintf "%.0f req/s" pipelined_rps);
+  add "speedup vs lockstep" (Printf.sprintf "%.2fx" speedup);
+  add "batches" (string_of_int batches);
+  add "mean batch size" (Printf.sprintf "%.1f" avg_batch);
+  add "coalesce hits" (string_of_int coalesce_hits);
+  add "coalesce hit rate" (Printf.sprintf "%.3f" coalesce_rate);
   add "saturation served" (string_of_int (Atomic.get served));
   add "saturation busy rejects" (string_of_int (Atomic.get busy));
   let stats_table =
@@ -368,16 +478,76 @@ let loadgen config =
             ]
       | None -> Table.add_row stats_table [ line; "" ])
     stats_lines;
+  (* --- Gates: fail loud so CI catches regressions. --- *)
+  let baseline_rps =
+    let path = "BENCH_loadgen_baseline.json" in
+    if Sys.file_exists path then begin
+      let text = In_channel.with_open_text path In_channel.input_all in
+      match Json.of_string text with
+      | Ok (Json.Obj kv) -> (
+          match List.assoc_opt "throughput_rps" kv with
+          | Some (Json.Float x) -> Some x
+          | Some (Json.Int i) -> Some (float_of_int i)
+          | _ -> failwith (Printf.sprintf "loadgen: %s lacks throughput_rps" path))
+      | Ok _ | Error _ -> failwith (Printf.sprintf "loadgen: unreadable %s" path)
+    end
+    else begin
+      Printf.printf "loadgen: no %s — absolute gate skipped\n%!" path;
+      None
+    end
+  in
+  let bad = ref [] in
+  let gate name ok detail = if not ok then bad := (name ^ ": " ^ detail) :: !bad in
+  gate "lockstep exactness"
+    (Atomic.get wrong = 0 && Atomic.get failures = 0)
+    (Printf.sprintf "%d wrong, %d failures" (Atomic.get wrong)
+       (Atomic.get failures));
+  gate "pipelined exactness"
+    (Atomic.get pipe_wrong = 0 && Atomic.get pipe_failures = 0)
+    (Printf.sprintf "%d wrong, %d failures" (Atomic.get pipe_wrong)
+       (Atomic.get pipe_failures));
+  let min_speedup = float_env "EDB_LOADGEN_MIN_SPEEDUP" 1.5 in
+  gate "pipelining speedup"
+    (speedup >= min_speedup)
+    (Printf.sprintf "%.2fx < %.2fx same-run lockstep" speedup min_speedup);
+  (match baseline_rps with
+  | None -> ()
+  | Some base ->
+      let min_rps = float_env "EDB_LOADGEN_MIN_RPS" base in
+      gate "throughput vs committed threaded-pool baseline"
+        (pipelined_rps >= min_rps)
+        (Printf.sprintf "%.0f req/s < %.0f req/s" pipelined_rps min_rps));
+  extra_json :=
+    [
+      ("cores", Json.Int cores);
+      ("domains", Json.Int ndomains);
+      ("clients", Json.Int num_clients);
+      ("window", Json.Int window);
+      ("lockstep_rps", Json.Float lockstep_rps);
+      ("lockstep_p50_us", Json.Float (pct 0.50 *. 1e6));
+      ("lockstep_p99_us", Json.Float (pct 0.99 *. 1e6));
+      ("pipelined_rps", Json.Float pipelined_rps);
+      ("speedup_vs_lockstep", Json.Float speedup);
+      ( "speedup_vs_threaded_baseline",
+        match baseline_rps with
+        | Some base -> Json.Float (pipelined_rps /. base)
+        | None -> Json.Null );
+      ("mean_batch", Json.Float avg_batch);
+      ("coalesce_hit_rate", Json.Float coalesce_rate);
+      ("wrong_answers", Json.Int (Atomic.get wrong + Atomic.get pipe_wrong));
+      ( "transport_failures",
+        Json.Int (Atomic.get failures + Atomic.get pipe_failures) );
+      ("saturation_served", Json.Int (Atomic.get served));
+      ("saturation_busy", Json.Int (Atomic.get busy));
+    ];
+  (match !bad with
+  | [] -> ()
+  | bad -> failwith ("loadgen gate failed — " ^ String.concat "; " bad));
   [ table; stats_table ]
 
 (* ------------------------------------------------------------------ *)
 (* Sharded build scaling                                               *)
 (* ------------------------------------------------------------------ *)
-
-(* Experiments may push extra machine-readable numbers here; the driver
-   merges them into the experiment's BENCH_<name>.json and clears the
-   list between experiments. *)
-let extra_json : (string * Json.t) list ref = ref []
 
 (* Build-time speedup and query fidelity of edb_shard vs. the flat
    summary, over shard counts.  Each shard's polynomial has the same

@@ -942,8 +942,9 @@ let tcp_port_t =
     & info [ "tcp-port" ] ~docv:"PORT" ~doc:"TCP port to listen/connect on.")
 
 let serve_cmd =
-  let run verbose socket tcp_host tcp_port workers queue deadline idle
-      catalog_capacity catalog_bytes cache_capacity preload =
+  let run verbose socket tcp_host tcp_port workers queue domains batch_window
+      max_inflight deadline idle catalog_capacity catalog_bytes cache_capacity
+      preload =
     setup_logs verbose;
     let tcp = Option.map (fun p -> (tcp_host, p)) tcp_port in
     if socket = None && tcp = None then begin
@@ -957,6 +958,10 @@ let serve_cmd =
           tcp;
           workers;
           queue_depth = queue;
+          domains;
+          batch_window;
+          max_inflight;
+          max_line_bytes = Edb_server.Server.default_config.max_line_bytes;
           request_deadline = deadline;
           idle_timeout = idle;
           catalog_capacity;
@@ -1003,6 +1008,28 @@ let serve_cmd =
       value & opt int Edb_server.Server.default_config.queue_depth
       & info [ "queue" ] ~docv:"N"
           ~doc:"Pending connections beyond the workers before ERR busy.")
+  in
+  let domains_t =
+    Arg.(
+      value & opt int Edb_server.Server.default_config.domains
+      & info [ "domains" ] ~docv:"N"
+          ~doc:
+            "Executor domains (event loops); 0 = auto (EDB_DOMAINS, else \
+             core count).")
+  in
+  let batch_window_t =
+    Arg.(
+      value & opt float Edb_server.Server.default_config.batch_window
+      & info [ "batch-window" ] ~docv:"SECONDS"
+          ~doc:
+            "Linger this long topping up a request batch before executing \
+             (coalescing window); 0 batches per readiness sweep.")
+  in
+  let max_inflight_t =
+    Arg.(
+      value & opt int Edb_server.Server.default_config.max_inflight
+      & info [ "max-inflight" ] ~docv:"N"
+          ~doc:"Per-connection pipeline window before backpressure.")
   in
   let deadline_t =
     Arg.(
@@ -1051,8 +1078,8 @@ let serve_cmd =
           drain).")
     Term.(
       const run $ verbose_t $ socket_t $ tcp_host_t $ tcp_port_t $ workers_t
-      $ queue_t $ deadline_t $ idle_t $ catalog_t $ catalog_bytes_t $ cache_t
-      $ preload_t)
+      $ queue_t $ domains_t $ batch_window_t $ max_inflight_t $ deadline_t
+      $ idle_t $ catalog_t $ catalog_bytes_t $ cache_t $ preload_t)
 
 let client_cmd =
   let run verbose socket tcp_host tcp_port timeout words =

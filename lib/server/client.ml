@@ -98,6 +98,92 @@ let request t req =
       match read_response t with Ok _ as r -> r | Error _ -> Error m)
 
 (* ------------------------------------------------------------------ *)
+(* Pipelining (protocol v2)                                            *)
+(* ------------------------------------------------------------------ *)
+
+let read_tagged_response t =
+  match input_line_timeout t with
+  | Error _ as e -> e
+  | Ok header -> (
+      match Protocol.parse_tagged_header header with
+      | Error m -> Error ("bad response: " ^ m)
+      | Ok (tag, Protocol.Error_line { code; message }) ->
+          Ok (tag, Protocol.Err { code; message })
+      | Ok (tag, Protocol.Payload k) ->
+          let rec gather acc i =
+            if i = 0 then Ok (tag, Protocol.Ok (List.rev acc))
+            else
+              match input_line_timeout t with
+              | Error _ as e -> e
+              | Ok line -> gather (line :: acc) (i - 1)
+          in
+          gather [] k)
+
+let send t ?id req =
+  let line =
+    match id with
+    | None -> Protocol.print_request req
+    | Some id -> Protocol.print_tagged_request id req
+  in
+  match write_all t (line ^ "\n") with
+  | () -> Ok ()
+  | exception Unix.Unix_error (e, _, _) -> Error (Unix.error_message e)
+  | exception Sys_error m -> Error m
+
+let recv t = read_tagged_response t
+
+let pipelined t reqs =
+  let n = List.length reqs in
+  if n = 0 then Ok []
+  else begin
+    let buf = Buffer.create (n * 64) in
+    List.iteri
+      (fun i r ->
+        Buffer.add_string buf (Protocol.print_tagged_request (string_of_int i) r);
+        Buffer.add_char buf '\n')
+      reqs;
+    (* One write for the whole window.  If it fails (EPIPE: the server
+       may have rejected us with ERR busy and closed before our frames
+       hit the wire), the reject line is usually still readable and is
+       the better diagnostic — fall through to the read loop either way. *)
+    let write_err =
+      match write_all t (Buffer.contents buf) with
+      | () -> None
+      | exception Unix.Unix_error (e, _, _) -> Some (Unix.error_message e)
+      | exception Sys_error m -> Some m
+    in
+    let results = Array.make n None in
+    let outstanding = ref n in
+    let rec collect () =
+      if !outstanding = 0 then
+        Ok (List.map Option.get (Array.to_list results))
+      else
+        match read_tagged_response t with
+        | Error e -> Error (Option.value write_err ~default:e)
+        | Ok (Some id, resp) -> (
+            match int_of_string_opt id with
+            | Some i when i >= 0 && i < n && results.(i) = None ->
+                results.(i) <- Some resp;
+                decr outstanding;
+                collect ()
+            | _ -> Error (Printf.sprintf "response for unknown request id %S" id))
+        | Ok (None, resp) ->
+            (* An untagged response is connection-level — admission's
+               ERR busy racing our frames.  It answers every request
+               still in flight. *)
+            Array.iteri
+              (fun i r ->
+                if r = None then begin
+                  results.(i) <- Some resp;
+                  decr outstanding
+                end)
+              results;
+            collect ()
+    in
+    collect ()
+  end
+
+(* ------------------------------------------------------------------ *)
 (* Convenience wrappers                                                *)
 (* ------------------------------------------------------------------ *)
 

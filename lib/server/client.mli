@@ -17,6 +17,28 @@ val request : t -> Protocol.request -> (Protocol.response, string) result
 (** [Error] is a transport failure (connect/read/write/timeout); protocol
     errors come back as [Ok (Err _)]. *)
 
+(** {2 Pipelining (protocol v2)} — many requests in flight on one
+    connection, responses matched by id. *)
+
+val send : t -> ?id:string -> Protocol.request -> (unit, string) result
+(** Write one request without waiting for its response; [id] tags the
+    frame ({!Protocol.print_tagged_request}) so the reply can be matched
+    out of order. *)
+
+val recv :
+  t -> (string option * Protocol.response, string) result
+(** Read one complete response (header + payload), returning its echoed
+    id ([None] for an untagged / v1 response). *)
+
+val pipelined :
+  t -> Protocol.request list -> (Protocol.response list, string) result
+(** Send the whole list as one pipelined window (ids ["0"], ["1"], …),
+    then collect responses in any order and return them in request
+    order.  An untagged response — the server's connection-level
+    [ERR busy] reject racing the window — answers {e every} request
+    still in flight, so saturation surfaces as [Ok [Err busy; …]]
+    rather than a broken-pipe transport error. *)
+
 (** {2 Convenience wrappers} — flatten protocol errors into [Error
     "code: message"] and return the payload lines. *)
 

@@ -376,11 +376,14 @@ let handle ~catalog ~metrics (request : Protocol.request) :
     Protocol.response * outcome =
   match request with
   | Protocol.Hello v ->
-      if v = Protocol.version then
-        (Protocol.Ok [ Protocol.version ^ " entropydb-server" ], Keep)
+      (* Both protocol versions are served on every connection: v2 is
+         v1 plus optional per-request id tags, so there is no mode to
+         negotiate — HELLO just confirms the dialect the client names. *)
+      if v = Protocol.version || v = Protocol.version_v2 then
+        (Protocol.Ok [ v ^ " entropydb-server" ], Keep)
       else
-        ( err Protocol.err_proto "unsupported protocol version %s (want %s)" v
-            Protocol.version,
+        ( err Protocol.err_proto "unsupported protocol version %s (want %s or %s)"
+            v Protocol.version Protocol.version_v2,
           Keep )
   | Protocol.Ping -> (Protocol.Ok [ "pong" ], Keep)
   | Protocol.Quit -> (Protocol.Ok [ "bye" ], Close)

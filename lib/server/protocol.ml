@@ -20,6 +20,7 @@
    uppercase on output. *)
 
 let version = "EDB/1"
+let version_v2 = "EDB/2"
 
 type request =
   | Hello of string  (** client's protocol version *)
@@ -203,3 +204,79 @@ let pp_response ppf = function
   | Ok payload ->
       Format.fprintf ppf "OK(%d lines)" (List.length payload)
   | Err { code; message } -> Format.fprintf ppf "ERR %s %s" code message
+
+(* ------------------------------------------------------------------ *)
+(* Pipelined (v2) framing                                              *)
+(* ------------------------------------------------------------------ *)
+
+(* A v2 frame is an ordinary request line prefixed by a client-chosen
+   request id:
+
+     @<id> <request line>
+
+   and its response header carries the same id back:
+
+     @<id> OK <k>          (payload lines follow, untagged)
+     @<id> ERR <code> <m>
+
+   The tag is what makes pipelining safe: a client may have many
+   requests in flight on one connection and match responses by id, in
+   any order the server answers.  Untagged lines are exactly the v1
+   lockstep protocol, and the two interleave freely on one connection —
+   an old client never sees a tag it didn't send, and a new client can
+   downgrade per-request.  Ids are opaque short words; the server never
+   interprets them beyond echoing. *)
+
+let max_tag_len = 32
+
+let tag_char c =
+  (c >= 'a' && c <= 'z')
+  || (c >= 'A' && c <= 'Z')
+  || (c >= '0' && c <= '9')
+  || c = '_' || c = '-' || c = '.'
+
+let valid_tag id =
+  let n = String.length id in
+  n >= 1 && n <= max_tag_len && String.for_all tag_char id
+
+let split_tag line =
+  let n = String.length line in
+  if n = 0 || line.[0] <> '@' then Result.Ok (None, line)
+  else begin
+    let i = ref 1 in
+    while !i < n && not (is_space line.[!i]) do
+      incr i
+    done;
+    let id = String.sub line 1 (!i - 1) in
+    if not (valid_tag id) then
+      Error
+        (Printf.sprintf "bad request id %S (want 1-%d of [A-Za-z0-9_.-])" id
+           max_tag_len)
+    else begin
+      while !i < n && is_space line.[!i] do
+        incr i
+      done;
+      if !i >= n then Error (Printf.sprintf "@%s frame carries no request" id)
+      else Result.Ok (Some id, String.sub line !i (n - !i))
+    end
+  end
+
+let print_tagged_request id r =
+  if not (valid_tag id) then invalid_arg "Protocol.print_tagged_request: bad id";
+  "@" ^ id ^ " " ^ print_request r
+
+let print_tagged_response tag response =
+  match (tag, print_response response) with
+  | None, lines -> lines
+  | Some id, header :: payload -> ("@" ^ id ^ " " ^ header) :: payload
+  | Some _, [] -> assert false (* print_response always yields a header *)
+
+let parse_tagged_header line =
+  match split_tag line with
+  | Error _ ->
+      (* A malformed tag on a response is a framing error outright. *)
+      Error (Printf.sprintf "bad response header %S" line)
+  | Result.Ok (tag, rest) -> (
+      match parse_header rest with
+      | Result.Ok h -> Result.Ok (tag, h)
+      | Error e -> Error e)

@@ -6,7 +6,13 @@
     {!Server} and {!Client} only add framing over file descriptors. *)
 
 val version : string
-(** ["EDB/1"]. *)
+(** ["EDB/1"] — the lockstep protocol: one request, then its response. *)
+
+val version_v2 : string
+(** ["EDB/2"] — the pipelined protocol: requests may be prefixed with a
+    client-chosen id ([@id REQUEST...]) and many may be in flight on one
+    connection; response headers echo the id.  Untagged lines behave
+    exactly as v1, and both forms interleave freely on one connection. *)
 
 type request =
   | Hello of string  (** client's protocol version *)
@@ -69,3 +75,30 @@ val parse_header : string -> (header, string) result
 val print_response : response -> string list
 val parse_response : string list -> (response, string) result
 val pp_response : Format.formatter -> response -> unit
+
+(** {2 Pipelined (v2) framing}
+
+    A frame is [@<id> <request line>]; the response header echoes the
+    tag ([@<id> OK <k>] / [@<id> ERR <code> <msg>]) while payload lines
+    stay untagged (the header's count delimits them).  Ids are opaque
+    1–32 character words over [A-Za-z0-9_.-]; the server echoes them
+    verbatim and never interprets them. *)
+
+val valid_tag : string -> bool
+
+val split_tag : string -> (string option * string, string) result
+(** Split an incoming request line into its optional id and the request
+    proper.  Lines not starting with ['@'] pass through as [(None, line)]
+    — v1 compatibility.  A line starting with ['@'] whose tag is
+    malformed, over-long, or followed by nothing is an error. *)
+
+val print_tagged_request : string -> request -> string
+(** [print_tagged_request id r] = ["@id " ^ print_request r].  Raises
+    [Invalid_argument] on an invalid id. *)
+
+val print_tagged_response : string option -> response -> string list
+(** Tag the header line (only) when an id is present. *)
+
+val parse_tagged_header : string -> (string option * header, string) result
+(** Client side: classify a response header line, splitting off the
+    echoed id when present. *)

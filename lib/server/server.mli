@@ -1,17 +1,39 @@
 (** The resident summary-serving daemon.
 
-    A fixed worker pool serves whole connections popped from a bounded
-    queue; connections beyond [workers + queue_depth] receive an immediate
-    [ERR busy] instead of queueing (admission control).  Reads poll a
-    shutdown flag, so [stop] — wired to SIGINT/SIGTERM by {!run} — drains
-    in-flight requests and returns within a fraction of a second plus the
-    longest running evaluation. *)
+    Domain-per-core event loops: one acceptor thread admission-controls
+    incoming connections (beyond [workers + queue_depth] live connections
+    the answer is an immediate [ERR busy]) and hands them round-robin to
+    [domains] executor domains over lock-free MPSC inboxes; each executor
+    multiplexes its connections with non-blocking I/O.  The v2 protocol
+    pipelines many tagged requests per connection ({!Protocol.split_tag});
+    requests arriving in the same loop iteration form a batch, and
+    identical QUERYs within a batch are coalesced into one evaluation
+    whose response fans out byte-identically to every waiter.  All loops
+    poll a shutdown flag, so [stop] — wired to SIGINT/SIGTERM by {!run} —
+    drains in-flight requests and returns within a fraction of a second
+    plus the longest running evaluation. *)
 
 type config = {
   unix_socket : string option;
   tcp : (string * int) option;  (** bind host, port *)
   workers : int;
-  queue_depth : int;  (** pending-connection bound beyond the workers *)
+  queue_depth : int;  (** with [workers], bounds live connections *)
+  domains : int;
+      (** executor domains; 0 = auto: [EDB_DOMAINS] if set, else the
+          machine's core count, clamped to \[1, 8\].  Unlike compute
+          fan-out, executor domains mostly block in [select], so the
+          env value is honoured even beyond the core count. *)
+  batch_window : float;
+      (** seconds an executor lingers topping up a batch after its first
+          request; 0 (default) executes whatever one readiness sweep
+          yields — coalescing still applies within the sweep *)
+  max_inflight : int;
+      (** per-connection pipeline window: once this many requests from
+          one connection are unanswered, its socket is not read until
+          responses drain (backpressure) *)
+  max_line_bytes : int;
+      (** a request line growing past this without a newline gets
+          [ERR proto] and the connection is closed *)
   request_deadline : float;
       (** seconds; replies [ERR timeout] when an evaluation overruns
           (checked after the fact — compute is not interrupted); <= 0
@@ -25,8 +47,9 @@ type config = {
 }
 
 val default_config : config
-(** 8 workers, queue 16, 10 s deadline, 60 s idle timeout, no listeners
-    (set at least one of [unix_socket] / [tcp]). *)
+(** 8 workers, queue 16, auto domains, no batch linger, 64-request
+    pipeline window, 1 MiB line cap, 10 s deadline, 60 s idle timeout,
+    no listeners (set at least one of [unix_socket] / [tcp]). *)
 
 type t
 
@@ -36,17 +59,21 @@ val create : ?catalog:Catalog.t -> config -> t
 val catalog : t -> Catalog.t
 val metrics : t -> Metrics.t
 
+val num_domains : t -> int
+(** Resolved executor-domain count (after the 0 = auto rule). *)
+
 val start : t -> unit
-(** Bind the listeners and spawn the accept and worker threads; returns
-    immediately.  Raises [Unix.Unix_error] if binding fails. *)
+(** Bind the listeners, spawn the executor domains and the acceptor
+    thread; returns immediately.  Raises [Unix.Unix_error] if binding
+    fails. *)
 
 val stop : t -> unit
 (** Request a graceful drain.  Async-signal-safe: only flips an atomic
     flag.  Idempotent. *)
 
 val wait : t -> unit
-(** Block until [stop] has been called, then join all threads, close the
-    listeners, and unlink the Unix socket. *)
+(** Block until [stop] has been called, then join the acceptor and the
+    executor domains, close the listeners, and unlink the Unix socket. *)
 
 val run : t -> unit
 (** [start], install SIGINT/SIGTERM handlers that call [stop] (and ignore

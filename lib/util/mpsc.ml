@@ -1,0 +1,27 @@
+(* Lock-free multi-producer / single-consumer queue.
+
+   Producers CAS their item onto the head of an immutable list (a Treiber
+   stack); the consumer grabs the whole stack with a single [exchange]
+   and reverses it.  Each producer's items therefore come out in the
+   order that producer pushed them (its pushes are totally ordered on the
+   stack, and one reversal restores them), while items from different
+   producers interleave in some linearization of the pushes — exactly the
+   guarantee a run queue needs.
+
+   Push is wait-free in the absence of contention and lock-free under it
+   (a failed CAS means some other push succeeded); [drain] is one atomic
+   exchange plus an O(k) reversal, and never blocks producers.  The same
+   stripe-free shape as [Stripe]: a single [Atomic.t] cell, no mutexes,
+   safe from any domain or thread. *)
+
+type 'a t = 'a list Atomic.t
+
+let create () = Atomic.make []
+
+let rec push t x =
+  let old = Atomic.get t in
+  if not (Atomic.compare_and_set t old (x :: old)) then push t x
+
+let drain t = List.rev (Atomic.exchange t [])
+let is_empty t = Atomic.get t = []
+let length t = List.length (Atomic.get t)

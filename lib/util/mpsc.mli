@@ -1,0 +1,26 @@
+(** Lock-free multi-producer / single-consumer queue.
+
+    Any number of domains or threads may {!push} concurrently; one
+    consumer {!drain}s.  Per-producer FIFO order is preserved: if a
+    producer pushes [a] before [b], every drain that contains both
+    yields [a] before [b].  Items from different producers appear in
+    some linearization of their pushes. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val push : 'a t -> 'a -> unit
+(** Lock-free; never blocks the caller. *)
+
+val drain : 'a t -> 'a list
+(** Remove and return everything pushed so far, oldest first (per
+    producer).  Single-consumer: concurrent drains would each get a
+    disjoint subset, which is not what a run queue wants — call from
+    the owning consumer only. *)
+
+val is_empty : 'a t -> bool
+(** Snapshot; racy by nature, useful for idle checks. *)
+
+val length : 'a t -> int
+(** Snapshot length (O(n)); monitoring only. *)

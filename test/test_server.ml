@@ -732,7 +732,7 @@ let test_handler_refresh () =
 (* ------------------------------------------------------------------ *)
 
 let with_server ?(workers = 4) ?(queue_depth = 4) ?(request_deadline = 10.)
-    ?catalog dir f =
+    ?(domains = 0) ?(batch_window = 0.) ?(max_inflight = 64) ?catalog dir f =
   let socket = Filename.concat dir "edb.sock" in
   let server =
     Server.create ?catalog
@@ -741,6 +741,9 @@ let with_server ?(workers = 4) ?(queue_depth = 4) ?(request_deadline = 10.)
         unix_socket = Some socket;
         workers;
         queue_depth;
+        domains;
+        batch_window;
+        max_inflight;
         request_deadline;
         idle_timeout = 10.;
       }
@@ -1187,6 +1190,164 @@ let test_e2e_catalog_churn () =
       ignore (Client.quit c0))
 
 (* ------------------------------------------------------------------ *)
+(* Pipelining and coalescing (protocol v2)                             *)
+(* ------------------------------------------------------------------ *)
+
+let coalesce_hits () =
+  Edb_obs.Registry.Counter.value (Edb_obs.Registry.counter "server_coalesce_hits")
+
+(* Two spellings of the same shape: they compile to the same predicate
+   (and share a query-cache entry) but are distinct coalescing keys. *)
+let sql_in = "SELECT COUNT(*) FROM f WHERE a0 IN [1,3]"
+let sql_cmp = "SELECT COUNT(*) FROM f WHERE a0 BETWEEN 1 AND 3"
+
+(* One connection pipelines 16 queries — 8 of each spelling — in a
+   single write, so they land in one executor batch: each spelling must
+   evaluate once and fan out, and every answer must be byte-identical
+   to the solo (uncoalesced) response. *)
+let test_pipeline_coalesce () =
+  let dir = temp_dir () in
+  let summary = small_summary ~seed:121 () in
+  let path = saved_summary dir "s" summary in
+  let catalog = Catalog.create () in
+  (match Catalog.load catalog ~name:"s" ~path with
+  | Ok _ -> ()
+  | Error m -> Alcotest.fail m);
+  let arity = Schema.arity (Summary.schema summary) in
+  let q = Predicate.of_alist ~arity [ (0, Ranges.interval 1 3) ] in
+  let expected = Summary.estimate summary q in
+  with_server ~domains:1 ~catalog dir (fun _ socket ->
+      (* Reference responses, evaluated solo (nothing to coalesce with). *)
+      let solo = connect_exn socket in
+      let reference sql =
+        match Client.request solo (Protocol.Query { name = "s"; sql }) with
+        | Ok r -> r
+        | Error m -> Alcotest.fail m
+      in
+      let ref_in = reference sql_in and ref_cmp = reference sql_cmp in
+      ignore (Client.quit solo);
+      let hits0 = coalesce_hits () in
+      let c = connect_exn socket in
+      let reqs =
+        List.init 16 (fun i ->
+            Protocol.Query
+              { name = "s"; sql = (if i mod 2 = 0 then sql_in else sql_cmp) })
+      in
+      (match Client.pipelined c reqs with
+      | Error m -> Alcotest.fail m
+      | Ok responses ->
+          Alcotest.(check int) "all answered" 16 (List.length responses);
+          List.iteri
+            (fun i r ->
+              let want = if i mod 2 = 0 then ref_in else ref_cmp in
+              Alcotest.(check bool)
+                (Printf.sprintf "response %d byte-identical to solo" i)
+                true
+                (Protocol.print_response r = Protocol.print_response want);
+              match r with
+              | Protocol.Ok payload ->
+                  let v = Option.get (Client.estimate_of_payload payload) in
+                  Alcotest.(check bool)
+                    (Printf.sprintf "response %d bitwise = in-process" i)
+                    true
+                    (Int64.equal (Int64.bits_of_float v)
+                       (Int64.bits_of_float expected))
+              | Protocol.Err { message; _ } -> Alcotest.fail message)
+            responses);
+      (* 8 + 8 identical in one batch: 2 evaluations, 14 fan-outs. *)
+      Alcotest.(check bool) "coalesce hits counted" true
+        (coalesce_hits () - hits0 >= 14);
+      ignore (Client.quit c))
+
+(* Same shapes at 4 executor domains: connections spread round-robin
+   across executors, and every pipelined answer must still be bitwise
+   equal to the in-process evaluation. *)
+let test_pipeline_coalesce_domains () =
+  let dir = temp_dir () in
+  let summary = small_summary ~seed:122 () in
+  let path = saved_summary dir "s" summary in
+  let catalog = Catalog.create () in
+  (match Catalog.load catalog ~name:"s" ~path with
+  | Ok _ -> ()
+  | Error m -> Alcotest.fail m);
+  let arity = Schema.arity (Summary.schema summary) in
+  let q = Predicate.of_alist ~arity [ (0, Ranges.interval 1 3) ] in
+  let expected = Summary.estimate summary q in
+  with_server ~domains:4 ~workers:8 ~queue_depth:16 ~catalog dir
+    (fun server socket ->
+      Alcotest.(check int) "4 executor domains" 4 (Server.num_domains server);
+      let wrong = Atomic.make 0 and failed = Atomic.make 0 in
+      let client _ =
+        match Client.connect ~timeout:10. (Client.Unix_socket socket) with
+        | Error _ -> Atomic.incr failed
+        | Ok c ->
+            for _ = 1 to 5 do
+              let reqs =
+                List.init 16 (fun i ->
+                    Protocol.Query
+                      {
+                        name = "s";
+                        sql = (if i mod 2 = 0 then sql_in else sql_cmp);
+                      })
+              in
+              match Client.pipelined c reqs with
+              | Error _ -> Atomic.incr failed
+              | Ok responses ->
+                  List.iter
+                    (fun r ->
+                      match r with
+                      | Protocol.Ok payload -> (
+                          match Client.estimate_of_payload payload with
+                          | Some v
+                            when Int64.equal (Int64.bits_of_float v)
+                                   (Int64.bits_of_float expected) ->
+                              ()
+                          | _ -> Atomic.incr wrong)
+                      | Protocol.Err _ -> Atomic.incr wrong)
+                    responses
+            done;
+            ignore (Client.quit c)
+      in
+      let threads = List.init 4 (fun i -> Thread.create client i) in
+      List.iter Thread.join threads;
+      Alcotest.(check int) "no transport failures" 0 (Atomic.get failed);
+      Alcotest.(check int) "no wrong answers across domains" 0
+        (Atomic.get wrong))
+
+(* Admission reject racing a pipelined window: every in-flight request
+   must surface as ERR busy — the untagged connection-level reject fans
+   out to all of them — never as a broken-pipe transport error. *)
+let test_pipeline_busy_race () =
+  let dir = temp_dir () in
+  let summary = small_summary ~seed:123 () in
+  let path = saved_summary dir "s" summary in
+  let catalog = Catalog.create () in
+  (match Catalog.load catalog ~name:"s" ~path with
+  | Ok _ -> ()
+  | Error m -> Alcotest.fail m);
+  with_server ~workers:1 ~queue_depth:0 ~catalog dir (fun _ socket ->
+      let c1 = connect_exn socket in
+      (match Client.ping c1 with
+      | Ok _ -> ()
+      | Error m -> Alcotest.fail m);
+      let c2 = connect_exn socket in
+      (match
+         Client.pipelined c2 [ Protocol.Ping; Protocol.Ping; Protocol.Ping ]
+       with
+      | Error m -> Alcotest.failf "expected ERR busy on every request, got transport error %s" m
+      | Ok responses ->
+          Alcotest.(check int) "all three answered" 3 (List.length responses);
+          List.iter
+            (fun r ->
+              match r with
+              | Protocol.Err { code; _ } ->
+                  Alcotest.(check string) "busy code" Protocol.err_busy code
+              | Protocol.Ok _ -> Alcotest.fail "expected ERR busy")
+            responses);
+      Client.close c2;
+      ignore (Client.quit c1))
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   (* Writes to sockets the peer already closed (drain test, busy test) must
@@ -1232,5 +1393,14 @@ let () =
           Alcotest.test_case "graceful drain" `Quick test_e2e_drain;
           Alcotest.test_case "catalog churn under byte budget" `Quick
             test_e2e_catalog_churn;
+        ] );
+      ( "pipeline",
+        [
+          Alcotest.test_case "coalescing is exact (1 domain)" `Quick
+            test_pipeline_coalesce;
+          Alcotest.test_case "coalescing is exact (4 domains)" `Quick
+            test_pipeline_coalesce_domains;
+          Alcotest.test_case "busy reject fans out to the window" `Quick
+            test_pipeline_busy_race;
         ] );
     ]

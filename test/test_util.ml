@@ -369,6 +369,59 @@ let test_stopwatch_concurrent () =
   Alcotest.(check bool) "elapsed within outer bound" true
     (total <= outer +. 1e-9)
 
+(* ------------------------------------------------------------------ *)
+(* Mpsc                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_mpsc_fifo () =
+  let q = Mpsc.create () in
+  Alcotest.(check bool) "fresh queue empty" true (Mpsc.is_empty q);
+  Alcotest.(check (list int)) "empty drain" [] (Mpsc.drain q);
+  List.iter (Mpsc.push q) [ 1; 2; 3 ];
+  Alcotest.(check int) "length" 3 (Mpsc.length q);
+  Alcotest.(check (list int)) "FIFO drain" [ 1; 2; 3 ] (Mpsc.drain q);
+  Alcotest.(check bool) "drained empty" true (Mpsc.is_empty q);
+  Mpsc.push q 4;
+  Alcotest.(check (list int)) "reusable after drain" [ 4 ] (Mpsc.drain q)
+
+(* 4 producer domains push disjoint tagged sequences while one consumer
+   drains concurrently: nothing lost, nothing duplicated, and each
+   producer's items arrive in its own push order. *)
+let test_mpsc_concurrent () =
+  let producers = 4 and per = 5_000 in
+  let q = Mpsc.create () in
+  let spawn p =
+    Domain.spawn (fun () ->
+        for i = 0 to per - 1 do
+          Mpsc.push q ((p * per) + i)
+        done)
+  in
+  let handles = List.init producers spawn in
+  let seen = ref [] and total = ref 0 in
+  while !total < producers * per do
+    let items = Mpsc.drain q in
+    total := !total + List.length items;
+    seen := List.rev_append items !seen
+  done;
+  List.iter Domain.join handles;
+  Alcotest.(check (list int)) "nothing after the last drain" [] (Mpsc.drain q);
+  let per_producer = Array.make producers [] in
+  List.iter
+    (fun x -> per_producer.(x / per) <- (x mod per) :: per_producer.(x / per))
+    !seen;
+  (* [seen] is reverse arrival order, so each per-producer list must come
+     out ascending — exactly its push order. *)
+  Array.iteri
+    (fun p l ->
+      Alcotest.(check int)
+        (Printf.sprintf "producer %d complete" p)
+        per (List.length l);
+      Alcotest.(check bool)
+        (Printf.sprintf "producer %d FIFO" p)
+        true
+        (List.for_all2 ( = ) l (List.init per Fun.id)))
+    per_producer
+
 let () =
   Alcotest.run "entropydb-util"
     [
@@ -419,5 +472,11 @@ let () =
           Alcotest.test_case "stopwatch" `Quick test_stopwatch;
           Alcotest.test_case "concurrent 4-domain stress" `Quick
             test_stopwatch_concurrent;
+        ] );
+      ( "mpsc",
+        [
+          Alcotest.test_case "single-threaded FIFO" `Quick test_mpsc_fifo;
+          Alcotest.test_case "4 producers, concurrent drains" `Quick
+            test_mpsc_concurrent;
         ] );
     ]
