@@ -168,9 +168,12 @@ let latency config =
 
    Gates (failing loud, for CI): zero wrong answers/transport failures
    in both verified phases; pipelined throughput at least
-   EDB_LOADGEN_MIN_SPEEDUP (default 1.5) x same-run lockstep; pipelined
-   throughput at least the committed threaded-pool baseline
-   (BENCH_loadgen_baseline.json, override EDB_LOADGEN_MIN_RPS). *)
+   EDB_LOADGEN_MIN_SPEEDUP (default 1.5) x same-run lockstep.  The
+   committed threaded-pool baseline (BENCH_loadgen_baseline.json) is
+   compared *informationally* — absolute req/s depends on the host, so
+   gating on it would make shared CI runners flaky.  Set
+   EDB_LOADGEN_MIN_RPS explicitly to turn the absolute comparison into
+   a hard gate on known hardware. *)
 let loadgen config =
   let module Server = Edb_server.Server in
   let module Client = Edb_server.Client in
@@ -492,7 +495,7 @@ let loadgen config =
       | Ok _ | Error _ -> failwith (Printf.sprintf "loadgen: unreadable %s" path)
     end
     else begin
-      Printf.printf "loadgen: no %s — absolute gate skipped\n%!" path;
+      Printf.printf "loadgen: no %s — absolute comparison skipped\n%!" path;
       None
     end
   in
@@ -510,13 +513,22 @@ let loadgen config =
   gate "pipelining speedup"
     (speedup >= min_speedup)
     (Printf.sprintf "%.2fx < %.2fx same-run lockstep" speedup min_speedup);
+  (* Absolute throughput vs the committed baseline is informational by
+     default — the baseline was recorded on one machine and shared CI
+     runners differ.  EDB_LOADGEN_MIN_RPS opts into a hard gate. *)
   (match baseline_rps with
   | None -> ()
   | Some base ->
-      let min_rps = float_env "EDB_LOADGEN_MIN_RPS" base in
-      gate "throughput vs committed threaded-pool baseline"
+      Printf.printf
+        "loadgen: %.0f req/s pipelined vs %.0f req/s committed threaded-pool \
+         baseline (%.2fx, informational)\n%!"
+        pipelined_rps base (pipelined_rps /. base));
+  (match float_env "EDB_LOADGEN_MIN_RPS" 0. with
+  | min_rps when min_rps > 0. ->
+      gate "throughput vs EDB_LOADGEN_MIN_RPS"
         (pipelined_rps >= min_rps)
-        (Printf.sprintf "%.0f req/s < %.0f req/s" pipelined_rps min_rps));
+        (Printf.sprintf "%.0f req/s < %.0f req/s" pipelined_rps min_rps)
+  | _ -> ());
   extra_json :=
     [
       ("cores", Json.Int cores);

@@ -132,52 +132,79 @@ let send t ?id req =
 
 let recv t = read_tagged_response t
 
+(* Writes are chunked and interleaved with reads: pushing the whole
+   window in one blocking write means nobody reads responses while the
+   server keeps answering, and once its pending output for us passes its
+   slow-loris cap it kills the connection — so a large window would fail
+   spuriously.  Bounding unanswered requests to [pipe_max_outstanding]
+   keeps the server's output buffer small regardless of window size,
+   while a [pipe_write_chunk]-deep pipeline is kept full. *)
+let pipe_write_chunk = 128
+let pipe_max_outstanding = 2 * pipe_write_chunk
+
 let pipelined t reqs =
-  let n = List.length reqs in
+  let reqs = Array.of_list reqs in
+  let n = Array.length reqs in
   if n = 0 then Ok []
   else begin
-    let buf = Buffer.create (n * 64) in
-    List.iteri
-      (fun i r ->
-        Buffer.add_string buf (Protocol.print_tagged_request (string_of_int i) r);
-        Buffer.add_char buf '\n')
-      reqs;
-    (* One write for the whole window.  If it fails (EPIPE: the server
-       may have rejected us with ERR busy and closed before our frames
-       hit the wire), the reject line is usually still readable and is
-       the better diagnostic — fall through to the read loop either way. *)
-    let write_err =
-      match write_all t (Buffer.contents buf) with
-      | () -> None
-      | exception Unix.Unix_error (e, _, _) -> Some (Unix.error_message e)
-      | exception Sys_error m -> Some m
-    in
     let results = Array.make n None in
-    let outstanding = ref n in
+    let answered = ref 0 in
+    let next_write = ref 0 in  (* requests written so far *)
+    let write_err = ref None in
+    (* Set once a connection-level (untagged) response arrives: the
+       server answered everything in one line (admission's ERR busy), so
+       writing further frames is pointless. *)
+    let aborted = ref false in
+    let write_chunk () =
+      let hi = min n (!next_write + pipe_write_chunk) in
+      let buf = Buffer.create ((hi - !next_write) * 64) in
+      for i = !next_write to hi - 1 do
+        Buffer.add_string buf
+          (Protocol.print_tagged_request (string_of_int i) reqs.(i));
+        Buffer.add_char buf '\n'
+      done;
+      (* If the write fails (EPIPE: the server may have rejected us with
+         ERR busy and closed before our frames hit the wire), the reject
+         line is usually still readable and is the better diagnostic —
+         fall through to the read loop either way. *)
+      (match write_all t (Buffer.contents buf) with
+      | () -> ()
+      | exception Unix.Unix_error (e, _, _) ->
+          write_err := Some (Unix.error_message e)
+      | exception Sys_error m -> write_err := Some m);
+      next_write := hi
+    in
     let rec collect () =
-      if !outstanding = 0 then
-        Ok (List.map Option.get (Array.to_list results))
+      if !answered = n then Ok (List.map Option.get (Array.to_list results))
+      else if
+        (not !aborted) && !write_err = None && !next_write < n
+        && !next_write - !answered < pipe_max_outstanding
+      then begin
+        write_chunk ();
+        collect ()
+      end
       else
         match read_tagged_response t with
-        | Error e -> Error (Option.value write_err ~default:e)
+        | Error e -> Error (Option.value !write_err ~default:e)
         | Ok (Some id, resp) -> (
             match int_of_string_opt id with
             | Some i when i >= 0 && i < n && results.(i) = None ->
                 results.(i) <- Some resp;
-                decr outstanding;
+                incr answered;
                 collect ()
             | _ -> Error (Printf.sprintf "response for unknown request id %S" id))
         | Ok (None, resp) ->
             (* An untagged response is connection-level — admission's
                ERR busy racing our frames.  It answers every request
-               still in flight. *)
+               in the window, written or not. *)
             Array.iteri
               (fun i r ->
                 if r = None then begin
                   results.(i) <- Some resp;
-                  decr outstanding
+                  incr answered
                 end)
               results;
+            aborted := true;
             collect ()
     in
     collect ()

@@ -34,9 +34,12 @@ val pipelined :
   t -> Protocol.request list -> (Protocol.response list, string) result
 (** Send the whole list as one pipelined window (ids ["0"], ["1"], …),
     then collect responses in any order and return them in request
-    order.  An untagged response — the server's connection-level
+    order.  Writes are chunked and interleaved with reads so that
+    arbitrarily large windows never leave the server's responses
+    undrained (which its slow-loris output cap would punish with a
+    close).  An untagged response — the server's connection-level
     [ERR busy] reject racing the window — answers {e every} request
-    still in flight, so saturation surfaces as [Ok [Err busy; …]]
+    in the window, so saturation surfaces as [Ok [Err busy; …]]
     rather than a broken-pipe transport error. *)
 
 (** {2 Convenience wrappers} — flatten protocol errors into [Error

@@ -21,7 +21,10 @@
    name, same SQL — are *coalesced*: one evaluation through the shared
    shape-keyed cache, its response fanned back out to every waiter.
    QUERY is read-only and deterministic, so a coalesced answer is
-   byte-identical to the uncoalesced one.  Backpressure is the
+   byte-identical to the uncoalesced one; a mutating verb
+   (LOAD/REFRESH/ATTACH) executing mid-batch invalidates the coalesced
+   answers collected so far, preserving arrival-order semantics for
+   QUERYs that follow it.  Backpressure is the
    per-connection window: once [max_inflight] requests from one
    connection are unanswered, its socket is simply not read until
    responses drain, bounding both memory and batch latency.
@@ -355,7 +358,14 @@ let collect_conn t c acc =
    Only QUERY coalesces: it is read-only and deterministic, so the
    shared response is byte-identical to an uncoalesced evaluation.
    Mutating verbs (LOAD/REFRESH/ATTACH) and introspection run
-   individually, in order. *)
+   individually, in order — and a mutating verb also *invalidates* the
+   coalesced answers collected so far, so a pipelined `QUERY q; REFRESH
+   s; QUERY q` sees the post-REFRESH answer for the second QUERY, exactly
+   as it would uncoalesced. *)
+let mutates = function
+  | Protocol.Load _ | Protocol.Refresh _ | Protocol.Attach _ -> true
+  | _ -> false
+
 let execute_batch t batch =
   let coalesced : (string, Protocol.response) Hashtbl.t =
     Hashtbl.create (List.length batch)
@@ -392,6 +402,7 @@ let execute_batch t batch =
                     Edb_obs.Registry.Counter.incr m_coalesce_evals;
                     enqueue_response c p.p_tag response)
             | Ok request ->
+                if mutates request then Hashtbl.reset coalesced;
                 let response, outcome = execute_parsed t request in
                 enqueue_response c p.p_tag response;
                 if outcome = Handler.Close then c.closing <- true)
@@ -549,7 +560,25 @@ let executor_loop t ex =
   in
   (try loop ()
    with e -> Log.err (fun m -> m "executor %d: %s" ex.ex_id (Printexc.to_string e)));
-  (* Drain: flush whatever is already answered (bounded), then close. *)
+  (* Drain, part 1: answer the complete requests already sitting in read
+     buffers — the shutdown contract is "requests already read are
+     answered", and the loop above exits before collecting them.  Each
+     pass frees inflight slots, so repeated passes drain buffers larger
+     than one window; no further reads happen, so this terminates. *)
+  (try
+     let rec final_batches () =
+       match
+         List.rev (List.fold_left (fun acc c -> collect_conn t c acc) [] !conns)
+       with
+       | [] -> ()
+       | batch ->
+           execute_batch t batch;
+           final_batches ()
+     in
+     final_batches ()
+   with e ->
+     Log.err (fun m -> m "executor %d drain: %s" ex.ex_id (Printexc.to_string e)));
+  (* Drain, part 2: flush whatever is answered (bounded), then close. *)
   let deadline = Unix.gettimeofday () +. 1.0 in
   let rec drain_flush () =
     List.iter flush_conn !conns;

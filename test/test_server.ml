@@ -1314,6 +1314,95 @@ let test_pipeline_coalesce_domains () =
       Alcotest.(check int) "no wrong answers across domains" 0
         (Atomic.get wrong))
 
+(* A mutating verb mid-batch must invalidate coalesced answers: one
+   pipelined window `QUERY q; REFRESH b; QUERY q` lands in a single
+   executor batch (one write, one wakeup), and the second QUERY must see
+   the post-REFRESH summary — byte-identical to a solo post-refresh
+   query — never the coalesced pre-REFRESH answer. *)
+let test_pipeline_coalesce_refresh () =
+  let dir = temp_dir () in
+  let summary = small_summary ~seed:131 () in
+  let path = saved_summary dir "s" summary in
+  let batch = small_relation ~seed:132 [ 6; 5; 4 ] 150 in
+  let csv = Filename.concat dir "batch.csv" in
+  Csv_io.save_indices batch csv;
+  let catalog = Catalog.create () in
+  (match Catalog.load catalog ~name:"s" ~path with
+  | Ok _ -> ()
+  | Error m -> Alcotest.fail m);
+  with_server ~domains:1 ~catalog dir (fun _ socket ->
+      let solo = connect_exn socket in
+      let reference () =
+        match
+          Client.request solo (Protocol.Query { name = "s"; sql = sql_in })
+        with
+        | Ok r -> r
+        | Error m -> Alcotest.fail m
+      in
+      let pre = reference () in
+      let c = connect_exn socket in
+      (match
+         Client.pipelined c
+           [
+             Protocol.Query { name = "s"; sql = sql_in };
+             Protocol.Refresh { name = "s"; path = csv };
+             Protocol.Query { name = "s"; sql = sql_in };
+           ]
+       with
+      | Error m -> Alcotest.fail m
+      | Ok [ first; refreshed; second ] ->
+          let post = reference () in
+          (match refreshed with
+          | Protocol.Ok _ -> ()
+          | Protocol.Err { message; _ } ->
+              Alcotest.fail ("refresh rejected: " ^ message));
+          (* Guard against vacuity: the refresh must actually move the
+             answer, or invalidation would be untestable. *)
+          Alcotest.(check bool) "refresh changed the answer" true
+            (Protocol.print_response pre <> Protocol.print_response post);
+          Alcotest.(check bool) "first QUERY = pre-refresh solo" true
+            (Protocol.print_response first = Protocol.print_response pre);
+          Alcotest.(check bool) "second QUERY = post-refresh solo" true
+            (Protocol.print_response second = Protocol.print_response post)
+      | Ok rs ->
+          Alcotest.failf "expected 3 responses, got %d" (List.length rs));
+      ignore (Client.quit c);
+      ignore (Client.quit solo))
+
+(* A window far larger than the server's per-connection inflight cap:
+   the client must interleave its chunked writes with reads (a single
+   up-front write would leave the server answering a non-reading peer)
+   and still return every response, in order. *)
+let test_pipeline_large_window () =
+  let dir = temp_dir () in
+  let summary = small_summary ~seed:124 () in
+  let path = saved_summary dir "s" summary in
+  let catalog = Catalog.create () in
+  (match Catalog.load catalog ~name:"s" ~path with
+  | Ok _ -> ()
+  | Error m -> Alcotest.fail m);
+  with_server ~catalog dir (fun _ socket ->
+      let c = connect_exn socket in
+      let ref_resp =
+        match Client.request c (Protocol.Query { name = "s"; sql = sql_in }) with
+        | Ok r -> r
+        | Error m -> Alcotest.fail m
+      in
+      let n = 512 in
+      (match
+         Client.pipelined c
+           (List.init n (fun _ -> Protocol.Query { name = "s"; sql = sql_in }))
+       with
+      | Error m -> Alcotest.fail m
+      | Ok responses ->
+          Alcotest.(check int) "all answered" n (List.length responses);
+          List.iteri
+            (fun i r ->
+              if Protocol.print_response r <> Protocol.print_response ref_resp
+              then Alcotest.failf "response %d differs from solo answer" i)
+            responses);
+      ignore (Client.quit c))
+
 (* Admission reject racing a pipelined window: every in-flight request
    must surface as ERR busy — the untagged connection-level reject fans
    out to all of them — never as a broken-pipe transport error. *)
@@ -1400,6 +1489,10 @@ let () =
             test_pipeline_coalesce;
           Alcotest.test_case "coalescing is exact (4 domains)" `Quick
             test_pipeline_coalesce_domains;
+          Alcotest.test_case "mutating verb invalidates coalesced answers"
+            `Quick test_pipeline_coalesce_refresh;
+          Alcotest.test_case "large window interleaves writes and reads"
+            `Quick test_pipeline_large_window;
           Alcotest.test_case "busy reject fans out to the window" `Quick
             test_pipeline_busy_race;
         ] );
